@@ -1,0 +1,193 @@
+// E2 — plugin instrumentation overhead.
+//
+// The TCG-plugin architecture's selling point is that uninstrumented
+// execution pays (almost) nothing and full per-instruction instrumentation
+// costs a moderate constant factor (the QEMU user-mode figure the group
+// reports is ~2x). Measured here: the hot kernel under no plugin, a tb-exec
+// counter, full per-insn coverage, QTA co-simulation, and memwatch.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "asm/assembler.hpp"
+#include "coverage/coverage.hpp"
+#include "memwatch/memwatch.hpp"
+#include "qta/qta.hpp"
+#include "vp/machine.hpp"
+#include "wcet/analyzer.hpp"
+
+namespace {
+
+using namespace s4e;
+
+const char* kKernel = R"(
+_start:
+    la t6, buf
+    li t0, 50000
+loop:
+    lw t1, 0(t6)
+    addi t1, t1, 1
+    sw t1, 0(t6)
+    xor t2, t1, t0
+    add t3, t2, t1
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+buf:
+    .space 16
+)";
+
+const assembler::Program& kernel_program() {
+  static const assembler::Program program = [] {
+    auto result = assembler::assemble(kKernel);
+    S4E_CHECK(result.ok());
+    return *result;
+  }();
+  return program;
+}
+
+const wcet::AnnotatedCfg& kernel_annotated() {
+  static const wcet::AnnotatedCfg annotated = [] {
+    auto analysis = wcet::Analyzer().analyze(kernel_program());
+    S4E_CHECK(analysis.ok());
+    return analysis->annotated;
+  }();
+  return annotated;
+}
+
+enum class PluginKind { kNone, kTbExec, kCoverage, kQta, kMemWatch, kInsnNop };
+
+struct TbExecCounter final : vp::PluginBase {
+  Subscriptions subscriptions() const override {
+    Subscriptions subs;
+    subs.tb_exec = true;
+    return subs;
+  }
+  void on_tb_exec(u32) override { ++count; }
+  u64 count = 0;
+};
+
+// The cheapest possible per-insn plugin: isolates dispatch cost.
+struct InsnNop final : vp::PluginBase {
+  Subscriptions subscriptions() const override {
+    Subscriptions subs;
+    subs.insn_exec = true;
+    return subs;
+  }
+  void on_insn_exec(const s4e_insn_info&) override { ++count; }
+  u64 count = 0;
+};
+
+void run_with_plugin(benchmark::State& state, PluginKind kind) {
+  u64 instructions = 0;
+  for (auto _ : state) {
+    vp::Machine machine;
+    S4E_CHECK(machine.load_program(kernel_program()).ok());
+    TbExecCounter tb_counter;
+    InsnNop insn_nop;
+    coverage::CoveragePlugin coverage_plugin;
+    memwatch::Policy policy;
+    policy.regions.push_back(
+        memwatch::Region{"buf", 0x8001'0000, 16, true, true, 0, 0});
+    memwatch::MemWatchPlugin memwatch_plugin(policy);
+    qta::QtaPlugin qta_plugin(kernel_annotated());
+    switch (kind) {
+      case PluginKind::kNone: break;
+      case PluginKind::kTbExec: tb_counter.attach(machine.vm_handle()); break;
+      case PluginKind::kCoverage:
+        coverage_plugin.attach(machine.vm_handle());
+        break;
+      case PluginKind::kQta: qta_plugin.attach(machine.vm_handle()); break;
+      case PluginKind::kMemWatch:
+        memwatch_plugin.attach(machine.vm_handle());
+        break;
+      case PluginKind::kInsnNop: insn_nop.attach(machine.vm_handle()); break;
+    }
+    const vp::RunResult result = machine.run();
+    S4E_CHECK(result.normal_exit());
+    instructions += result.instructions;
+  }
+  state.counters["guest_mips"] = benchmark::Counter(
+      static_cast<double>(instructions) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void BM_NoPlugin(benchmark::State& state) {
+  run_with_plugin(state, PluginKind::kNone);
+}
+void BM_TbExecCounter(benchmark::State& state) {
+  run_with_plugin(state, PluginKind::kTbExec);
+}
+void BM_InsnNop(benchmark::State& state) {
+  run_with_plugin(state, PluginKind::kInsnNop);
+}
+void BM_CoveragePlugin(benchmark::State& state) {
+  run_with_plugin(state, PluginKind::kCoverage);
+}
+void BM_QtaPlugin(benchmark::State& state) {
+  run_with_plugin(state, PluginKind::kQta);
+}
+void BM_MemWatchPlugin(benchmark::State& state) {
+  run_with_plugin(state, PluginKind::kMemWatch);
+}
+
+BENCHMARK(BM_NoPlugin)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TbExecCounter)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InsnNop)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CoveragePlugin)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QtaPlugin)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MemWatchPlugin)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Overhead-factor summary for EXPERIMENTS.md.
+  auto seconds_for = [&](PluginKind kind) {
+    vp::Machine machine;
+    S4E_CHECK(machine.load_program(kernel_program()).ok());
+    TbExecCounter tb_counter;
+    InsnNop insn_nop;
+    coverage::CoveragePlugin coverage_plugin;
+    qta::QtaPlugin qta_plugin(kernel_annotated());
+    memwatch::Policy policy;
+    policy.regions.push_back(
+        memwatch::Region{"buf", 0x8001'0000, 16, true, true, 0, 0});
+    memwatch::MemWatchPlugin memwatch_plugin(policy);
+    switch (kind) {
+      case PluginKind::kNone: break;
+      case PluginKind::kTbExec: tb_counter.attach(machine.vm_handle()); break;
+      case PluginKind::kCoverage:
+        coverage_plugin.attach(machine.vm_handle());
+        break;
+      case PluginKind::kQta: qta_plugin.attach(machine.vm_handle()); break;
+      case PluginKind::kMemWatch:
+        memwatch_plugin.attach(machine.vm_handle());
+        break;
+      case PluginKind::kInsnNop: insn_nop.attach(machine.vm_handle()); break;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    machine.run();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const double base = seconds_for(PluginKind::kNone);
+  std::printf("\n[E2] overhead vs uninstrumented:\n");
+  std::printf("  tb-exec counter : %.2fx\n",
+              seconds_for(PluginKind::kTbExec) / base);
+  std::printf("  per-insn nop    : %.2fx\n",
+              seconds_for(PluginKind::kInsnNop) / base);
+  std::printf("  coverage        : %.2fx\n",
+              seconds_for(PluginKind::kCoverage) / base);
+  std::printf("  qta             : %.2fx\n",
+              seconds_for(PluginKind::kQta) / base);
+  std::printf("  memwatch        : %.2fx\n",
+              seconds_for(PluginKind::kMemWatch) / base);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fault-effect analysis demo (MBMV'20): run a coverage-directed bit-flip
+// campaign against a self-checking workload and print the outcome
+// classification, plus the ablation against blind (undirected) injection.
+//
+//   $ ./examples/fault_campaign [workload] [mutants]   (default: bubble_sort 150)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/ecosystem.hpp"
+#include "core/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace s4e;
+
+  const std::string name = argc > 1 ? argv[1] : "bubble_sort";
+  const unsigned mutants =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 150;
+
+  auto workload = core::find_workload(name);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.error().to_string().c_str());
+    return 1;
+  }
+  core::Ecosystem ecosystem;
+  auto program = ecosystem.build(*workload);
+  if (!program.ok()) {
+    std::fprintf(stderr, "assembly failed: %s\n",
+                 program.error().to_string().c_str());
+    return 1;
+  }
+
+  fault::CampaignConfig config;
+  config.seed = 2022;
+  config.mutant_count = mutants;
+
+  std::printf("=== coverage-directed campaign on '%s' (%u mutants) ===\n",
+              name.c_str(), mutants);
+  auto directed = ecosystem.run_campaign(*program, config);
+  if (!directed.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n",
+                 directed.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s\n", directed->to_string().c_str());
+
+  std::printf("=== ablation: blind injection (same seed) ===\n");
+  config.coverage_directed = false;
+  auto blind = ecosystem.run_campaign(*program, config);
+  if (!blind.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n",
+                 blind.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s\n", blind->to_string().c_str());
+
+  const double directed_effective =
+      1.0 - static_cast<double>(directed->count(fault::Outcome::kMasked)) /
+                static_cast<double>(directed->mutants.size());
+  const double blind_effective =
+      1.0 - static_cast<double>(blind->count(fault::Outcome::kMasked)) /
+                static_cast<double>(blind->mutants.size());
+  std::printf("effective (non-masked) fault rate: directed %.1f%% vs blind "
+              "%.1f%%\n",
+              100.0 * directed_effective, 100.0 * blind_effective);
+  std::printf("(coverage-directed lists avoid faults the software can never "
+              "observe, so a larger share of simulated mutants is "
+              "informative)\n");
+  return 0;
+}

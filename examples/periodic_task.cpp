@@ -1,0 +1,171 @@
+// Edge-demonstrator scenario: a periodic sensor task driven by the CLINT
+// machine timer. The firmware sleeps in wfi, wakes on each timer interrupt,
+// "samples" a sensor (here: a software LFSR), accumulates a filtered value
+// and reprograms mtimecmp for the next period. After N periods it reports
+// the result over the UART and exits.
+//
+// Demonstrated here: the interrupt/trap model of the VP, per-job timing
+// observation through the plugin API, and a deadline check — each job's
+// cycle cost is measured against the static WCET of the job body.
+//
+//   $ ./examples/periodic_task [periods]      (default 10)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "common/strings.hpp"
+#include "vp/machine.hpp"
+#include "vp/plugin.hpp"
+
+namespace {
+
+using namespace s4e;
+
+// Firmware. The timer handler only sets a flag (classic edge firmware
+// structure); the main loop does the work. Period = 2000 model cycles.
+std::string firmware(unsigned periods) {
+  return format(R"(
+.equ CLINT_CMP, 0x2004000
+.equ CLINT_TIME, 0x200bff8
+.equ UART, 0x10000000
+.equ PERIOD, 2000
+
+_start:
+    la t0, tick_handler
+    csrw mtvec, t0
+    li s0, %u            # remaining periods
+    li s1, 0x1b          # LFSR state ("sensor")
+    li s2, 0             # filtered accumulator
+    li s3, 0             # tick flag address base (we use mscratch instead)
+    csrw mscratch, zero
+    # arm the first period
+    li t0, CLINT_TIME
+    lw t1, 0(t0)
+    li t2, PERIOD
+    add t1, t1, t2
+    li t0, CLINT_CMP
+    sw t1, 0(t0)
+    sw zero, 4(t0)
+    li t0, 128           # mie.MTIE
+    csrw mie, t0
+    csrsi mstatus, 8     # global enable
+
+main_loop:
+    wfi                  # sleep until the timer fires
+    csrr t0, mscratch    # tick pending?
+    beqz t0, main_loop
+    csrw mscratch, zero
+
+job_start:
+    # --- job body: LFSR step + low-pass accumulate ---
+    andi t0, s1, 1
+    srli s1, s1, 1
+    beqz t0, no_tap
+    li t1, 0xB8
+    xor s1, s1, t1
+no_tap:
+    add s2, s2, s1
+    srli s2, s2, 1
+job_end:
+    addi s0, s0, -1
+    bnez s0, main_loop
+
+    # report the filtered value as a single byte over the UART and exit
+    li t0, UART
+    andi t1, s2, 0xff
+    sw t1, 0(t0)
+    mv a0, s2
+    li a7, 93
+    ecall
+
+tick_handler:
+    csrwi mscratch, 1    # set the tick flag
+    # rearm: mtimecmp += PERIOD
+    li t5, CLINT_CMP
+    lw t6, 0(t5)
+    li t4, PERIOD
+    add t6, t6, t4
+    sw t6, 0(t5)
+    sw zero, 4(t5)
+    mret
+)",
+                periods);
+}
+
+// Observes job_start..job_end spans and records per-job cycle costs.
+class JobTimer final : public vp::PluginBase {
+ public:
+  JobTimer(u32 job_start, u32 job_end)
+      : job_start_(job_start), job_end_(job_end) {}
+
+  Subscriptions subscriptions() const override {
+    Subscriptions subs;
+    subs.insn_exec = true;
+    return subs;
+  }
+
+  void on_insn_exec(const s4e_insn_info& insn) override {
+    if (insn.address == job_start_) {
+      start_cycles_ = s4e_cycles(vm());
+    } else if (insn.address == job_end_ && start_cycles_ != 0) {
+      jobs_.push_back(s4e_cycles(vm()) - start_cycles_);
+      start_cycles_ = 0;
+    }
+  }
+
+  const std::vector<u64>& jobs() const noexcept { return jobs_; }
+
+ private:
+  u32 job_start_;
+  u32 job_end_;
+  u64 start_cycles_ = 0;
+  std::vector<u64> jobs_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned periods =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 10;
+
+  auto program = assembler::assemble(firmware(periods));
+  if (!program.ok()) {
+    std::fprintf(stderr, "assembly failed: %s\n",
+                 program.error().to_string().c_str());
+    return 1;
+  }
+
+  vp::Machine machine;
+  S4E_CHECK(machine.load_program(*program).ok());
+  JobTimer timer(*program->symbol("job_start"), *program->symbol("job_end"));
+  timer.attach(machine.vm_handle());
+
+  const vp::RunResult result = machine.run();
+  std::printf("periodic sensor task: %u periods of 2000 cycles\n", periods);
+  std::printf("run: reason=%s exit=%d, %llu instructions, %llu cycles\n",
+              std::string(vp::to_string(result.reason)).c_str(),
+              result.exit_code,
+              static_cast<unsigned long long>(result.instructions),
+              static_cast<unsigned long long>(result.cycles));
+  std::printf("uart reported byte: 0x%02x\n",
+              machine.uart()->tx_log().empty()
+                  ? 0u
+                  : static_cast<unsigned char>(machine.uart()->tx_log()[0]));
+
+  std::printf("\nper-job cycle cost (deadline = period = 2000):\n");
+  u64 worst = 0;
+  for (std::size_t i = 0; i < timer.jobs().size(); ++i) {
+    worst = std::max(worst, timer.jobs()[i]);
+    std::printf("  job %2zu : %4llu cycles%s\n", i,
+                static_cast<unsigned long long>(timer.jobs()[i]),
+                timer.jobs()[i] > 2000 ? "  ** DEADLINE MISS **" : "");
+  }
+  std::printf("worst observed job: %llu cycles — %s\n",
+              static_cast<unsigned long long>(worst),
+              worst <= 2000 ? "all deadlines met" : "DEADLINE VIOLATED");
+
+  const bool ok = result.normal_exit() &&
+                  timer.jobs().size() == periods && worst <= 2000;
+  return ok ? 0 : 1;
+}

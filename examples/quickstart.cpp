@@ -1,0 +1,66 @@
+// Quickstart: assemble a small RISC-V program, run it on the virtual
+// prototype, and inspect execution statistics and coverage — the minimal
+// end-to-end tour of the ecosystem API.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/ecosystem.hpp"
+#include "coverage/coverage.hpp"
+#include "isa/disasm.hpp"
+
+int main() {
+  using namespace s4e;
+
+  // 1. A workload in the project assembler syntax: sum the squares of
+  //    1..10 and return the result as the exit code (385).
+  const std::string source = R"(
+_start:
+    li t0, 10          # n
+    li a0, 0           # acc
+loop:
+    mul t1, t0, t0
+    add a0, a0, t1
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93          # exit ecall
+    ecall
+)";
+
+  core::Ecosystem ecosystem;
+  auto program = ecosystem.build_source(source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "assembly failed: %s\n",
+                 program.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("assembled %zu bytes of code, entry at 0x%08x\n",
+              program->find_section(".text")->bytes.size(), program->entry);
+
+  // 2. Run it on a fresh VP, with the coverage plugin attached through the
+  //    QEMU-style C plugin API.
+  vp::Machine machine(ecosystem.machine_config());
+  if (auto status = machine.load_program(*program); !status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  coverage::CoveragePlugin coverage_plugin;
+  coverage_plugin.attach(machine.vm_handle());
+
+  const vp::RunResult result = machine.run();
+  std::printf("run finished: reason=%s exit=%d\n",
+              std::string(vp::to_string(result.reason)).c_str(),
+              result.exit_code);
+  std::printf("  %llu instructions, %llu cycles (CPI %.2f)\n",
+              static_cast<unsigned long long>(result.instructions),
+              static_cast<unsigned long long>(result.cycles),
+              static_cast<double>(result.cycles) /
+                  static_cast<double>(result.instructions));
+  std::printf("  translation blocks cached: %zu\n", machine.tb_cache().size());
+
+  // 3. Coverage report for the run.
+  std::printf("\n%s\n",
+              coverage::to_report(coverage_plugin.data(), "quickstart").c_str());
+
+  return result.exit_code == 385 ? 0 : 1;
+}

@@ -1,0 +1,985 @@
+#include "asm/assembler.hpp"
+
+#include <cctype>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "isa/csr.hpp"
+#include "isa/encoder.hpp"
+#include "isa/rvc.hpp"
+#include "isa/registers.hpp"
+
+namespace s4e::assembler {
+
+namespace {
+
+using isa::Format;
+using isa::Instr;
+using isa::Op;
+using isa::OpInfo;
+
+Error at_line(unsigned line, const std::string& message) {
+  return Error(ErrorCode::kParseError,
+               format("line %u: %s", line, message.c_str()));
+}
+
+// ---------------------------------------------------------------------------
+// Expressions: literal | symbol | %hi(expr) | %lo(expr), combined with +/-.
+
+struct ExprContext {
+  const std::map<std::string, u32>* symbols;  // labels + .equ constants
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+// Compensated %hi: (value + 0x800) >> 12, so that %hi<<12 + signext(%lo)
+// reconstructs the full 32-bit value.
+u32 hi20(u32 value) { return (value + 0x800u) >> 12; }
+i32 lo12(u32 value) { return sign_extend(value & 0xfffu, 12); }
+
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, const ExprContext& ctx)
+      : text_(text), ctx_(ctx) {}
+
+  Result<i64> parse() {
+    S4E_TRY(value, parse_shift());
+    skip_spaces();
+    if (pos_ != text_.size()) {
+      return Error(ErrorCode::kParseError,
+                   "trailing characters in expression '" + std::string(text_) +
+                       "'");
+    }
+    return value;
+  }
+
+  // True if the expression references any identifier not resolvable in ctx
+  // (used by pass 1 to size `li`).
+  static bool has_unresolved_symbol(std::string_view text,
+                                    const ExprContext& ctx) {
+    for (std::size_t i = 0; i < text.size();) {
+      if (std::isalpha(static_cast<unsigned char>(text[i])) ||
+          text[i] == '_' || text[i] == '.') {
+        std::size_t start = i;
+        while (i < text.size() && is_ident_char(text[i])) ++i;
+        const std::string ident(text.substr(start, i - start));
+        if (ident != "hi" && ident != "lo" &&
+            ctx.symbols->find(ident) == ctx.symbols->end()) {
+          return true;
+        }
+      } else {
+        ++i;
+      }
+    }
+    return false;
+  }
+
+ private:
+  void skip_spaces() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Lowest precedence: '<<' and '>>' (logical).
+  Result<i64> parse_shift() {
+    S4E_TRY(left, parse_sum());
+    i64 value = left;
+    while (true) {
+      skip_spaces();
+      if (pos_ + 1 >= text_.size() ||
+          !((text_[pos_] == '<' && text_[pos_ + 1] == '<') ||
+            (text_[pos_] == '>' && text_[pos_ + 1] == '>'))) {
+        return value;
+      }
+      const bool left_shift = text_[pos_] == '<';
+      pos_ += 2;
+      S4E_TRY(amount, parse_sum());
+      if (amount < 0 || amount > 31) {
+        return Error(ErrorCode::kParseError, "shift amount out of range");
+      }
+      value = left_shift
+                  ? static_cast<i64>(static_cast<u32>(value) << amount)
+                  : static_cast<i64>(static_cast<u32>(value) >> amount);
+    }
+  }
+
+  Result<i64> parse_sum() {
+    S4E_TRY(left, parse_term());
+    i64 value = left;
+    while (true) {
+      skip_spaces();
+      if (pos_ >= text_.size() || (text_[pos_] != '+' && text_[pos_] != '-')) {
+        return value;
+      }
+      const char op = text_[pos_++];
+      S4E_TRY(right, parse_term());
+      value = (op == '+') ? value + right : value - right;
+    }
+  }
+
+  Result<i64> parse_term() {
+    skip_spaces();
+    if (pos_ >= text_.size()) {
+      return Error(ErrorCode::kParseError, "expected expression term");
+    }
+    const char c = text_[pos_];
+    if (c == '%') {
+      return parse_hi_lo();
+    }
+    if (c == '(') {
+      ++pos_;
+      S4E_TRY(inner, parse_shift());
+      skip_spaces();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Error(ErrorCode::kParseError, "missing ')' in expression");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '-' || c == '+' || std::isdigit(static_cast<unsigned char>(c))) {
+      return parse_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+      return parse_symbol();
+    }
+    return Error(ErrorCode::kParseError,
+                 std::string("unexpected character '") + c + "' in expression");
+  }
+
+  Result<i64> parse_number() {
+    std::size_t start = pos_;
+    if (text_[pos_] == '+' || text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+    return parse_integer(text_.substr(start, pos_ - start));
+  }
+
+  Result<i64> parse_symbol() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+    const std::string name(text_.substr(start, pos_ - start));
+    auto it = ctx_.symbols->find(name);
+    if (it == ctx_.symbols->end()) {
+      return Error(ErrorCode::kNotFound, "undefined symbol '" + name + "'");
+    }
+    return static_cast<i64>(it->second);
+  }
+
+  Result<i64> parse_hi_lo() {
+    ++pos_;  // '%'
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    const std::string_view kind = text_.substr(start, pos_ - start);
+    skip_spaces();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return Error(ErrorCode::kParseError, "%hi/%lo requires '(expr)'");
+    }
+    ++pos_;
+    S4E_TRY(inner, parse_shift());
+    skip_spaces();
+    if (pos_ >= text_.size() || text_[pos_] != ')') {
+      return Error(ErrorCode::kParseError, "missing ')' after %hi/%lo");
+    }
+    ++pos_;
+    const u32 value = static_cast<u32>(inner);
+    if (kind == "hi") return static_cast<i64>(hi20(value));
+    if (kind == "lo") return static_cast<i64>(lo12(value));
+    return Error(ErrorCode::kParseError,
+                 "unknown relocation operator %" + std::string(kind));
+  }
+
+  std::string_view text_;
+  const ExprContext& ctx_;
+  std::size_t pos_ = 0;
+};
+
+Result<i64> eval_expr(std::string_view text, const ExprContext& ctx) {
+  return ExprParser(text, ctx).parse();
+}
+
+// ---------------------------------------------------------------------------
+// Line scanning.
+
+// One source statement after label extraction.
+struct Statement {
+  unsigned line = 0;
+  std::string mnemonic;               // lower-case; empty for pure-label lines
+  std::vector<std::string> operands;  // comma-separated, trimmed
+};
+
+// Strip comments. '#' and ';' start a comment outside string literals.
+std::string_view strip_comment(std::string_view text) {
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"' && (i == 0 || text[i - 1] != '\\')) in_string = !in_string;
+    if (!in_string && (c == '#' || c == ';')) return text.substr(0, i);
+  }
+  return text;
+}
+
+// Split operands on top-level commas (string literals may contain commas).
+std::vector<std::string> split_operands(std::string_view text) {
+  if (trim(text).empty()) return {};
+  std::vector<std::string> out;
+  bool in_string = false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    const bool at_end = i == text.size();
+    const char c = at_end ? ',' : text[i];
+    if (!at_end && c == '"' && (i == 0 || text[i - 1] != '\\')) {
+      in_string = !in_string;
+    }
+    if (!in_string && c == ',') {
+      out.emplace_back(trim(text.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Operand parsing helpers.
+
+Result<unsigned> parse_reg_operand(const std::string& text) {
+  if (auto reg = isa::parse_gpr(trim(text))) return *reg;
+  return Error(ErrorCode::kParseError, "expected register, got '" + text + "'");
+}
+
+Result<u16> parse_csr_operand(const std::string& text, const ExprContext& ctx) {
+  const std::string name = to_lower(trim(text));
+  if (auto csr = isa::parse_csr(name)) return *csr;
+  // Allow a numeric CSR address.
+  auto value = eval_expr(text, ctx);
+  if (value.ok() && *value >= 0 && *value < 0x1000) {
+    return static_cast<u16>(*value);
+  }
+  return Error(ErrorCode::kParseError, "unknown CSR '" + text + "'");
+}
+
+// "imm(reg)" or "(reg)" or "imm" -> {imm expr, base reg}.
+struct MemOperand {
+  std::string offset_expr;  // may be empty => 0
+  unsigned base = 0;
+};
+
+Result<MemOperand> parse_mem_operand(const std::string& text) {
+  const std::string_view t = trim(text);
+  const std::size_t open = t.rfind('(');
+  if (open == std::string_view::npos || t.back() != ')') {
+    return Error(ErrorCode::kParseError,
+                 "expected mem operand 'offset(reg)', got '" + text + "'");
+  }
+  MemOperand mem;
+  mem.offset_expr = std::string(trim(t.substr(0, open)));
+  const std::string reg_text(trim(t.substr(open + 1, t.size() - open - 2)));
+  S4E_TRY(reg, parse_reg_operand(reg_text));
+  mem.base = reg;
+  return mem;
+}
+
+// ---------------------------------------------------------------------------
+// Items produced by pass 1.
+
+struct Item {
+  enum class Kind {
+    kInstr,       // one concrete instruction
+    kLiLa,        // li/la expanded to lui+addi (8 bytes)
+    kWord, kHalf, kByte,  // data with expressions
+    kBytesLiteral,        // raw bytes (.asciz, .space)
+  };
+  Kind kind = Kind::kInstr;
+  unsigned line = 0;
+  unsigned section = 0;
+  u32 offset = 0;  // within section
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  std::vector<u8> literal;  // kBytesLiteral
+  u32 size = 0;
+  bool compressed = false;  // kInstr: emit the 16-bit RVC form
+};
+
+// Mnemonic -> Op for concrete (non-pseudo) instructions.
+std::optional<Op> find_op(const std::string& mnemonic) {
+  for (unsigned i = 0; i < isa::kOpCount; ++i) {
+    if (isa::op_table()[i].mnemonic == mnemonic) {
+      return static_cast<Op>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+// Pseudo-instruction expansion: maps a pseudo statement to one concrete
+// statement (single-instruction pseudos). li/la are handled separately
+// because their size depends on the operand.
+Result<Statement> expand_single_pseudo(const Statement& st) {
+  Statement out = st;
+  const auto& ops = st.operands;
+  auto need = [&](std::size_t n) -> Status {
+    if (ops.size() != n) {
+      return Error(ErrorCode::kParseError,
+                   format("'%s' expects %zu operands, got %zu",
+                          st.mnemonic.c_str(), n, ops.size()));
+    }
+    return Status();
+  };
+
+  const std::string& m = st.mnemonic;
+  if (m == "nop") {
+    S4E_TRY_STATUS(need(0));
+    out.mnemonic = "addi";
+    out.operands = {"x0", "x0", "0"};
+  } else if (m == "mv") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "addi";
+    out.operands = {ops[0], ops[1], "0"};
+  } else if (m == "not") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "xori";
+    out.operands = {ops[0], ops[1], "-1"};
+  } else if (m == "neg") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "sub";
+    out.operands = {ops[0], "x0", ops[1]};
+  } else if (m == "seqz") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "sltiu";
+    out.operands = {ops[0], ops[1], "1"};
+  } else if (m == "snez") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "sltu";
+    out.operands = {ops[0], "x0", ops[1]};
+  } else if (m == "sltz") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "slt";
+    out.operands = {ops[0], ops[1], "x0"};
+  } else if (m == "sgtz") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "slt";
+    out.operands = {ops[0], "x0", ops[1]};
+  } else if (m == "beqz") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "beq";
+    out.operands = {ops[0], "x0", ops[1]};
+  } else if (m == "bnez") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "bne";
+    out.operands = {ops[0], "x0", ops[1]};
+  } else if (m == "blez") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "bge";
+    out.operands = {"x0", ops[0], ops[1]};
+  } else if (m == "bgez") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "bge";
+    out.operands = {ops[0], "x0", ops[1]};
+  } else if (m == "bltz") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "blt";
+    out.operands = {ops[0], "x0", ops[1]};
+  } else if (m == "bgtz") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "blt";
+    out.operands = {"x0", ops[0], ops[1]};
+  } else if (m == "bgt") {
+    S4E_TRY_STATUS(need(3));
+    out.mnemonic = "blt";
+    out.operands = {ops[1], ops[0], ops[2]};
+  } else if (m == "ble") {
+    S4E_TRY_STATUS(need(3));
+    out.mnemonic = "bge";
+    out.operands = {ops[1], ops[0], ops[2]};
+  } else if (m == "bgtu") {
+    S4E_TRY_STATUS(need(3));
+    out.mnemonic = "bltu";
+    out.operands = {ops[1], ops[0], ops[2]};
+  } else if (m == "bleu") {
+    S4E_TRY_STATUS(need(3));
+    out.mnemonic = "bgeu";
+    out.operands = {ops[1], ops[0], ops[2]};
+  } else if (m == "j") {
+    S4E_TRY_STATUS(need(1));
+    out.mnemonic = "jal";
+    out.operands = {"x0", ops[0]};
+  } else if (m == "jr") {
+    S4E_TRY_STATUS(need(1));
+    out.mnemonic = "jalr";
+    out.operands = {"x0", "0(" + ops[0] + ")"};
+  } else if (m == "ret") {
+    S4E_TRY_STATUS(need(0));
+    out.mnemonic = "jalr";
+    out.operands = {"x0", "0(ra)"};
+  } else if (m == "call") {
+    S4E_TRY_STATUS(need(1));
+    out.mnemonic = "jal";
+    out.operands = {"ra", ops[0]};
+  } else if (m == "tail") {
+    S4E_TRY_STATUS(need(1));
+    out.mnemonic = "jal";
+    out.operands = {"x0", ops[0]};
+  } else if (m == "jal" && ops.size() == 1) {
+    out.operands = {"ra", ops[0]};
+  } else if (m == "csrr") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "csrrs";
+    out.operands = {ops[0], ops[1], "x0"};
+  } else if (m == "csrw") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "csrrw";
+    out.operands = {"x0", ops[0], ops[1]};
+  } else if (m == "csrs") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "csrrs";
+    out.operands = {"x0", ops[0], ops[1]};
+  } else if (m == "csrc") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "csrrc";
+    out.operands = {"x0", ops[0], ops[1]};
+  } else if (m == "csrwi") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "csrrwi";
+    out.operands = {"x0", ops[0], ops[1]};
+  } else if (m == "csrsi") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "csrrsi";
+    out.operands = {"x0", ops[0], ops[1]};
+  } else if (m == "csrci") {
+    S4E_TRY_STATUS(need(2));
+    out.mnemonic = "csrrci";
+    out.operands = {"x0", ops[0], ops[1]};
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Encoding of a concrete (non-pseudo) statement in pass 2.
+
+// Empty symbol table used to test whether a target expression is symbolic
+// (any identifier is unresolved against it).
+const std::map<std::string, u32> kEmptySymbols;
+
+Result<Instr> parse_statement(const Statement& st, u32 pc,
+                              const ExprContext& ctx) {
+  const auto op = find_op(st.mnemonic);
+  if (!op) {
+    return Error(ErrorCode::kParseError,
+                 "unknown mnemonic '" + st.mnemonic + "'");
+  }
+  const OpInfo& info = isa::op_info(*op);
+  const auto& ops = st.operands;
+  auto need = [&](std::size_t n) -> Status {
+    if (ops.size() != n) {
+      return Error(ErrorCode::kParseError,
+                   format("'%s' expects %zu operands, got %zu",
+                          st.mnemonic.c_str(), n, ops.size()));
+    }
+    return Status();
+  };
+
+  Instr instr;
+  switch (info.format) {
+    case Format::kR: {
+      S4E_TRY_STATUS(need(3));
+      S4E_TRY(rd, parse_reg_operand(ops[0]));
+      S4E_TRY(rs1, parse_reg_operand(ops[1]));
+      S4E_TRY(rs2, parse_reg_operand(ops[2]));
+      instr = isa::make_r(*op, rd, rs1, rs2);
+      break;
+    }
+    case Format::kI: {
+      if (info.op_class == isa::OpClass::kLoad || *op == Op::kJalr) {
+        // rd, offset(base) — also accept "rd, rs1, imm" for jalr.
+        if (*op == Op::kJalr && ops.size() == 3 &&
+            ops[2].find('(') == std::string::npos) {
+          S4E_TRY(rd, parse_reg_operand(ops[0]));
+          S4E_TRY(rs1, parse_reg_operand(ops[1]));
+          S4E_TRY(imm, eval_expr(ops[2], ctx));
+          instr = isa::make_i(*op, rd, rs1, static_cast<i32>(imm));
+          break;
+        }
+        S4E_TRY_STATUS(need(2));
+        S4E_TRY(rd, parse_reg_operand(ops[0]));
+        S4E_TRY(mem, parse_mem_operand(ops[1]));
+        i64 offset = 0;
+        if (!mem.offset_expr.empty()) {
+          S4E_TRY(value, eval_expr(mem.offset_expr, ctx));
+          offset = value;
+        }
+        instr = isa::make_i(*op, rd, mem.base, static_cast<i32>(offset));
+        break;
+      }
+      S4E_TRY_STATUS(need(3));
+      S4E_TRY(rd, parse_reg_operand(ops[0]));
+      S4E_TRY(rs1, parse_reg_operand(ops[1]));
+      S4E_TRY(imm, eval_expr(ops[2], ctx));
+      instr = isa::make_i(*op, rd, rs1, static_cast<i32>(imm));
+      break;
+    }
+    case Format::kIShift: {
+      S4E_TRY_STATUS(need(3));
+      S4E_TRY(rd, parse_reg_operand(ops[0]));
+      S4E_TRY(rs1, parse_reg_operand(ops[1]));
+      S4E_TRY(shamt, eval_expr(ops[2], ctx));
+      if (shamt < 0 || shamt > 31) {
+        return Error(ErrorCode::kParseError,
+                     format("shift amount %lld out of range",
+                            static_cast<long long>(shamt)));
+      }
+      instr = isa::make_shift(*op, rd, rs1, static_cast<unsigned>(shamt));
+      break;
+    }
+    case Format::kS: {
+      S4E_TRY_STATUS(need(2));
+      S4E_TRY(rs2, parse_reg_operand(ops[0]));
+      S4E_TRY(mem, parse_mem_operand(ops[1]));
+      i64 offset = 0;
+      if (!mem.offset_expr.empty()) {
+        S4E_TRY(value, eval_expr(mem.offset_expr, ctx));
+        offset = value;
+      }
+      instr = isa::make_s(*op, mem.base, rs2, static_cast<i32>(offset));
+      break;
+    }
+    case Format::kB: {
+      S4E_TRY_STATUS(need(3));
+      S4E_TRY(rs1, parse_reg_operand(ops[0]));
+      S4E_TRY(rs2, parse_reg_operand(ops[1]));
+      S4E_TRY(target, eval_expr(ops[2], ctx));
+      // Symbolic targets are absolute; pure literals are already relative.
+      i64 offset = target;
+      if (ExprParser::has_unresolved_symbol(ops[2], ExprContext{
+              &kEmptySymbols}) ) {
+        offset = target - static_cast<i64>(pc);
+      }
+      instr = isa::make_b(*op, rs1, rs2, static_cast<i32>(offset));
+      break;
+    }
+    case Format::kU: {
+      S4E_TRY_STATUS(need(2));
+      S4E_TRY(rd, parse_reg_operand(ops[0]));
+      S4E_TRY(value, eval_expr(ops[1], ctx));
+      if (value < 0 || value > 0xfffff) {
+        return Error(ErrorCode::kParseError,
+                     format("U-type immediate %lld out of 20-bit range",
+                            static_cast<long long>(value)));
+      }
+      instr = isa::make_u(*op, rd, static_cast<i32>(value << 12));
+      break;
+    }
+    case Format::kJ: {
+      S4E_TRY_STATUS(need(2));
+      S4E_TRY(rd, parse_reg_operand(ops[0]));
+      S4E_TRY(target, eval_expr(ops[1], ctx));
+      i64 offset = target;
+      if (ExprParser::has_unresolved_symbol(ops[1], ExprContext{
+              &kEmptySymbols})) {
+        offset = target - static_cast<i64>(pc);
+      }
+      instr = isa::make_j(*op, rd, static_cast<i32>(offset));
+      break;
+    }
+    case Format::kCsrReg: {
+      S4E_TRY_STATUS(need(3));
+      S4E_TRY(rd, parse_reg_operand(ops[0]));
+      S4E_TRY(csr, parse_csr_operand(ops[1], ctx));
+      S4E_TRY(rs1, parse_reg_operand(ops[2]));
+      instr = isa::make_csr_reg(*op, rd, csr, rs1);
+      break;
+    }
+    case Format::kCsrImm: {
+      S4E_TRY_STATUS(need(3));
+      S4E_TRY(rd, parse_reg_operand(ops[0]));
+      S4E_TRY(csr, parse_csr_operand(ops[1], ctx));
+      S4E_TRY(zimm, eval_expr(ops[2], ctx));
+      if (zimm < 0 || zimm > 31) {
+        return Error(ErrorCode::kParseError, "CSR zimm out of range");
+      }
+      instr = isa::make_csr_imm(*op, rd, csr, static_cast<unsigned>(zimm));
+      break;
+    }
+    case Format::kNone:
+    case Format::kFence: {
+      if (!ops.empty() && info.format == Format::kNone) {
+        return Error(ErrorCode::kParseError,
+                     "'" + st.mnemonic + "' takes no operands");
+      }
+      instr = isa::make_system(*op);
+      break;
+    }
+  }
+  return instr;
+}
+
+Result<u32> encode_statement(const Statement& st, u32 pc,
+                             const ExprContext& ctx) {
+  S4E_TRY(instr, parse_statement(st, pc, ctx));
+  return isa::encode(instr);
+}
+
+// ---------------------------------------------------------------------------
+// String literal decoding for .asciz.
+
+Result<std::vector<u8>> decode_string_literal(const std::string& text,
+                                              bool zero_terminate) {
+  const std::string_view t = trim(text);
+  if (t.size() < 2 || t.front() != '"' || t.back() != '"') {
+    return Error(ErrorCode::kParseError,
+                 "expected string literal, got '" + text + "'");
+  }
+  std::vector<u8> bytes;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    char c = t[i];
+    if (c == '\\' && i + 2 < t.size()) {
+      ++i;
+      switch (t[i]) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case '0': c = '\0'; break;
+        case '\\': c = '\\'; break;
+        case '"': c = '"'; break;
+        default:
+          return Error(ErrorCode::kParseError,
+                       format("unknown escape '\\%c'", t[i]));
+      }
+    }
+    bytes.push_back(static_cast<u8>(c));
+  }
+  if (zero_terminate) bytes.push_back(0);
+  return bytes;
+}
+
+}  // namespace
+
+Result<Program> assemble(std::string_view source, const Options& options) {
+  Program program;
+  program.sections.push_back(Section{".text", options.text_base, {}});
+  program.sections.push_back(Section{".data", options.data_base, {}});
+
+  std::vector<Item> items;
+  std::map<std::string, u32> equ_constants;
+  unsigned current_section = 0;
+  std::optional<u32> pending_loop_bound;
+
+  // --- Pass 1: scan lines, expand pseudos, assign offsets, collect labels.
+  unsigned line_no = 0;
+  std::size_t line_start = 0;
+  while (line_start <= source.size()) {
+    const std::size_t line_end = source.find('\n', line_start);
+    std::string_view raw_line =
+        source.substr(line_start,
+                      (line_end == std::string_view::npos)
+                          ? source.size() - line_start
+                          : line_end - line_start);
+    line_start = (line_end == std::string_view::npos) ? source.size() + 1
+                                                      : line_end + 1;
+    ++line_no;
+
+    std::string_view line = trim(strip_comment(raw_line));
+    // Peel off any leading labels.
+    while (!line.empty()) {
+      std::size_t colon = std::string_view::npos;
+      // A label is an identifier followed by ':' at the start of the line.
+      std::size_t i = 0;
+      while (i < line.size() && is_ident_char(line[i])) ++i;
+      if (i > 0 && i < line.size() && line[i] == ':') colon = i;
+      if (colon == std::string_view::npos) break;
+      const std::string label(line.substr(0, colon));
+      Section& section = program.sections[current_section];
+      const u32 address =
+          section.base + static_cast<u32>(section.bytes.size()) +
+          [&] {  // account for items already sized in this section
+            u32 extra = 0;
+            for (const Item& item : items) {
+              if (item.section == current_section) extra += item.size;
+            }
+            return extra;
+          }();
+      if (program.symbols.count(label) != 0) {
+        return at_line(line_no, "duplicate label '" + label + "'");
+      }
+      program.symbols[label] = address;
+      line = trim(line.substr(colon + 1));
+    }
+    if (line.empty()) continue;
+
+    // Split mnemonic and operand text.
+    std::size_t space = 0;
+    while (space < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[space]))) {
+      ++space;
+    }
+    Statement st;
+    st.line = line_no;
+    st.mnemonic = to_lower(line.substr(0, space));
+    st.operands = split_operands(trim(line.substr(space)));
+
+    auto current_offset = [&]() -> u32 {
+      u32 offset = 0;
+      for (const Item& item : items) {
+        if (item.section == current_section) offset += item.size;
+      }
+      return offset;
+    };
+
+    auto push_item = [&](Item item) {
+      item.line = line_no;
+      item.section = current_section;
+      item.offset = current_offset();
+      if (pending_loop_bound && current_section == 0 &&
+          item.kind != Item::Kind::kBytesLiteral) {
+        program.loop_bounds.push_back(
+            LoopBound{program.sections[0].base + item.offset,
+                      *pending_loop_bound});
+        pending_loop_bound.reset();
+      }
+      items.push_back(std::move(item));
+    };
+
+    // Directives.
+    if (st.mnemonic[0] == '.') {
+      const std::string& d = st.mnemonic;
+      const ExprContext equ_ctx{&equ_constants};
+      if (d == ".text") {
+        current_section = 0;
+      } else if (d == ".data") {
+        current_section = 1;
+      } else if (d == ".global" || d == ".globl" || d == ".option" ||
+                 d == ".section" || d == ".type" || d == ".size") {
+        // accepted and ignored — all symbols are global
+      } else if (d == ".equ" || d == ".set") {
+        if (st.operands.size() != 2) {
+          return at_line(line_no, ".equ expects 'name, value'");
+        }
+        auto value = eval_expr(st.operands[1], equ_ctx);
+        if (!value.ok()) {
+          return at_line(line_no, value.error().message());
+        }
+        equ_constants[st.operands[0]] = static_cast<u32>(*value);
+        program.symbols[st.operands[0]] = static_cast<u32>(*value);
+      } else if (d == ".align") {
+        if (st.operands.size() != 1) {
+          return at_line(line_no, ".align expects one operand");
+        }
+        auto power = eval_expr(st.operands[0], equ_ctx);
+        if (!power.ok() || *power < 0 || *power > 16) {
+          return at_line(line_no, "bad .align operand");
+        }
+        const u32 alignment = u32{1} << *power;
+        const u32 offset = current_offset();
+        const u32 padded = (offset + alignment - 1) & ~(alignment - 1);
+        if (padded != offset) {
+          Item item;
+          item.kind = Item::Kind::kBytesLiteral;
+          item.literal.assign(padded - offset, 0);
+          item.size = padded - offset;
+          push_item(std::move(item));
+        }
+      } else if (d == ".space" || d == ".zero") {
+        if (st.operands.size() != 1) {
+          return at_line(line_no, ".space expects one operand");
+        }
+        auto count = eval_expr(st.operands[0], equ_ctx);
+        if (!count.ok() || *count < 0 || *count > (1 << 24)) {
+          return at_line(line_no, "bad .space operand");
+        }
+        Item item;
+        item.kind = Item::Kind::kBytesLiteral;
+        item.literal.assign(static_cast<std::size_t>(*count), 0);
+        item.size = static_cast<u32>(*count);
+        push_item(std::move(item));
+      } else if (d == ".word" || d == ".half" || d == ".byte") {
+        if (st.operands.empty()) {
+          return at_line(line_no, d + " expects at least one operand");
+        }
+        Item item;
+        item.kind = (d == ".word")   ? Item::Kind::kWord
+                    : (d == ".half") ? Item::Kind::kHalf
+                                     : Item::Kind::kByte;
+        item.mnemonic = d;
+        item.operands = st.operands;
+        const u32 unit = (d == ".word") ? 4 : (d == ".half") ? 2 : 1;
+        item.size = unit * static_cast<u32>(st.operands.size());
+        push_item(std::move(item));
+      } else if (d == ".asciz" || d == ".ascii" || d == ".string") {
+        if (st.operands.size() != 1) {
+          return at_line(line_no, d + " expects one string literal");
+        }
+        auto bytes = decode_string_literal(st.operands[0],
+                                           d != ".ascii");
+        if (!bytes.ok()) return at_line(line_no, bytes.error().message());
+        Item item;
+        item.kind = Item::Kind::kBytesLiteral;
+        item.literal = std::move(*bytes);
+        item.size = static_cast<u32>(item.literal.size());
+        push_item(std::move(item));
+      } else if (d == ".loopbound") {
+        if (st.operands.size() != 1) {
+          return at_line(line_no, ".loopbound expects one operand");
+        }
+        auto bound = eval_expr(st.operands[0], equ_ctx);
+        if (!bound.ok() || *bound < 0) {
+          return at_line(line_no, "bad .loopbound operand");
+        }
+        pending_loop_bound = static_cast<u32>(*bound);
+      } else {
+        return at_line(line_no, "unknown directive '" + d + "'");
+      }
+      continue;
+    }
+
+    // Instructions. li/la first (variable size), then single pseudos, then
+    // concrete instructions.
+    if (st.mnemonic == "li" || st.mnemonic == "la") {
+      if (st.operands.size() != 2) {
+        return at_line(line_no, st.mnemonic + " expects 'rd, value'");
+      }
+      const ExprContext equ_ctx{&equ_constants};
+      bool wide = st.mnemonic == "la" ||
+                  ExprParser::has_unresolved_symbol(st.operands[1], equ_ctx);
+      if (!wide) {
+        auto value = eval_expr(st.operands[1], equ_ctx);
+        if (!value.ok()) return at_line(line_no, value.error().message());
+        wide = !fits_signed(*value, 12);
+      }
+      Item item;
+      item.kind = wide ? Item::Kind::kLiLa : Item::Kind::kInstr;
+      item.mnemonic = wide ? "li" : "addi";
+      item.operands = wide
+                          ? st.operands
+                          : std::vector<std::string>{st.operands[0], "x0",
+                                                     st.operands[1]};
+      item.size = wide ? 8 : 4;
+      if (!wide && options.compress) {
+        Statement as_addi;
+        as_addi.mnemonic = item.mnemonic;
+        as_addi.operands = item.operands;
+        auto parsed = parse_statement(as_addi, 0, equ_ctx);
+        if (parsed.ok() && isa::compress(*parsed).has_value()) {
+          item.size = 2;
+          item.compressed = true;
+        }
+      }
+      push_item(std::move(item));
+      continue;
+    }
+
+    auto expanded = expand_single_pseudo(st);
+    if (!expanded.ok()) return at_line(line_no, expanded.error().message());
+    if (!find_op(expanded->mnemonic)) {
+      return at_line(line_no, "unknown mnemonic '" + st.mnemonic + "'");
+    }
+    Item item;
+    item.kind = Item::Kind::kInstr;
+    item.mnemonic = expanded->mnemonic;
+    item.operands = expanded->operands;
+    item.size = 4;
+    if (options.compress) {
+      // RVC sizing must be decidable in pass 1, i.e. without label values:
+      // control flow is never compressed, and any operand expression that
+      // references an unresolved symbol keeps the 32-bit form. pc = 0 is
+      // safe because only branch/jump immediates are pc-relative.
+      const ExprContext equ_ctx{&equ_constants};
+      auto parsed = parse_statement(*expanded, 0, equ_ctx);
+      if (parsed.ok() && !parsed->is_control_flow() &&
+          isa::compress(*parsed).has_value()) {
+        item.size = 2;
+        item.compressed = true;
+      }
+    }
+    push_item(std::move(item));
+  }
+
+  if (pending_loop_bound) {
+    return Error(ErrorCode::kParseError,
+                 ".loopbound annotation not followed by an instruction");
+  }
+
+  // --- Pass 2: encode all items with the full symbol table.
+  const ExprContext ctx{&program.symbols};
+  for (const Item& item : items) {
+    Section& section = program.sections[item.section];
+    S4E_CHECK(section.bytes.size() == item.offset);
+    const u32 pc = section.base + item.offset;
+    auto emit_word = [&](u32 word) {
+      for (unsigned i = 0; i < 4; ++i) {
+        section.bytes.push_back(static_cast<u8>(word >> (8 * i)));
+      }
+    };
+    switch (item.kind) {
+      case Item::Kind::kInstr: {
+        Statement st;
+        st.line = item.line;
+        st.mnemonic = item.mnemonic;
+        st.operands = item.operands;
+        if (item.compressed) {
+          auto instr = parse_statement(st, pc, ctx);
+          if (!instr.ok()) return at_line(item.line, instr.error().message());
+          const auto half = isa::compress(*instr);
+          S4E_CHECK_MSG(half.has_value(),
+                        "pass-1 compression decision must hold in pass 2");
+          section.bytes.push_back(static_cast<u8>(*half));
+          section.bytes.push_back(static_cast<u8>(*half >> 8));
+          break;
+        }
+        auto word = encode_statement(st, pc, ctx);
+        if (!word.ok()) return at_line(item.line, word.error().message());
+        emit_word(*word);
+        break;
+      }
+      case Item::Kind::kLiLa: {
+        auto value = eval_expr(item.operands[1], ctx);
+        if (!value.ok()) return at_line(item.line, value.error().message());
+        const u32 target = static_cast<u32>(*value);
+        auto rd = parse_reg_operand(item.operands[0]);
+        if (!rd.ok()) return at_line(item.line, rd.error().message());
+        auto lui = isa::encode(
+            isa::make_u(Op::kLui, *rd, static_cast<i32>(hi20(target) << 12)));
+        if (!lui.ok()) return at_line(item.line, lui.error().message());
+        emit_word(*lui);
+        auto addi = isa::encode(isa::make_i(Op::kAddi, *rd, *rd, lo12(target)));
+        if (!addi.ok()) return at_line(item.line, addi.error().message());
+        emit_word(*addi);
+        break;
+      }
+      case Item::Kind::kWord:
+      case Item::Kind::kHalf:
+      case Item::Kind::kByte: {
+        const unsigned unit = (item.kind == Item::Kind::kWord)   ? 4
+                              : (item.kind == Item::Kind::kHalf) ? 2
+                                                                 : 1;
+        for (const std::string& operand : item.operands) {
+          auto value = eval_expr(operand, ctx);
+          if (!value.ok()) return at_line(item.line, value.error().message());
+          const u32 v = static_cast<u32>(*value);
+          for (unsigned i = 0; i < unit; ++i) {
+            section.bytes.push_back(static_cast<u8>(v >> (8 * i)));
+          }
+        }
+        break;
+      }
+      case Item::Kind::kBytesLiteral:
+        section.bytes.insert(section.bytes.end(), item.literal.begin(),
+                             item.literal.end());
+        break;
+    }
+  }
+
+  // Entry point: _start if defined, else start of .text.
+  if (auto it = program.symbols.find("_start"); it != program.symbols.end()) {
+    program.entry = it->second;
+  } else {
+    program.entry = options.text_base;
+  }
+  return program;
+}
+
+}  // namespace s4e::assembler

@@ -1,0 +1,31 @@
+// Two-pass RV32IM_Zicsr assembler.
+//
+// Replaces the GCC cross-toolchain dependency of the original ecosystem:
+// experiments need binaries with known control flow, which hand-written or
+// generated assembly provides directly. Syntax is the GNU-as subset listed
+// in README.md: labels, the usual pseudo-instructions (li/la/mv/j/call/...),
+// data directives (.word/.half/.byte/.space/.asciz/.align), section
+// directives (.text/.data), `.equ`, `%hi`/`%lo` relocations, and the
+// Scale4Edge-specific `.loopbound N` WCET annotation.
+#pragma once
+
+#include <string_view>
+
+#include "asm/program.hpp"
+#include "common/status.hpp"
+
+namespace s4e::assembler {
+
+struct Options {
+  u32 text_base = 0x8000'0000;
+  u32 data_base = 0x8001'0000;
+  // Emit RV32C encodings where a compressed form exists (never for control
+  // flow, so instruction sizes stay independent of label distances).
+  bool compress = false;
+};
+
+// Assemble `source` into a loadable program. On failure the error message
+// carries the 1-based source line number.
+Result<Program> assemble(std::string_view source, const Options& options = {});
+
+}  // namespace s4e::assembler

@@ -1,0 +1,34 @@
+#include "asm/program.hpp"
+
+#include "common/strings.hpp"
+
+namespace s4e::assembler {
+
+Result<u32> Program::read_word(u32 address) const {
+  for (const auto& section : sections) {
+    if (address >= section.base && address + 4 <= section.end()) {
+      const std::size_t offset = address - section.base;
+      u32 word = 0;
+      for (unsigned i = 0; i < 4; ++i) {
+        word |= static_cast<u32>(section.bytes[offset + i]) << (8 * i);
+      }
+      return word;
+    }
+  }
+  return Error(ErrorCode::kOutOfRange,
+               format("address 0x%08x not covered by any section", address));
+}
+
+Result<u32> Program::read_half(u32 address) const {
+  for (const auto& section : sections) {
+    if (address >= section.base && address + 2 <= section.end()) {
+      const std::size_t offset = address - section.base;
+      return static_cast<u32>(section.bytes[offset]) |
+             (static_cast<u32>(section.bytes[offset + 1]) << 8);
+    }
+  }
+  return Error(ErrorCode::kOutOfRange,
+               format("address 0x%08x not covered by any section", address));
+}
+
+}  // namespace s4e::assembler

@@ -1,0 +1,70 @@
+// Output artefact of the assembler: loadable sections, the symbol table and
+// the WCET annotation side-table (loop bounds). This is what the ELF writer
+// serializes and what the VP loader / CFG reconstructor consume.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+
+namespace s4e::assembler {
+
+struct Section {
+  std::string name;      // ".text" / ".data"
+  u32 base = 0;          // load address
+  std::vector<u8> bytes; // contents
+
+  u32 end() const noexcept { return base + static_cast<u32>(bytes.size()); }
+};
+
+// A `.loopbound N` annotation: the loop headed by the block containing
+// `address` iterates at most `bound` times per entry from outside. This is
+// the user-annotation channel aiT also relies on; the static WCET analyzer
+// reads these when its own bound patterns don't fire.
+struct LoopBound {
+  u32 address = 0;
+  u32 bound = 0;
+};
+
+struct Program {
+  std::vector<Section> sections;
+  std::map<std::string, u32> symbols;
+  std::vector<LoopBound> loop_bounds;
+  u32 entry = 0;
+
+  // Section lookup by name; nullptr if absent.
+  const Section* find_section(const std::string& name) const {
+    for (const auto& section : sections) {
+      if (section.name == name) return &section;
+    }
+    return nullptr;
+  }
+
+  // Symbol lookup.
+  Result<u32> symbol(const std::string& name) const {
+    auto it = symbols.find(name);
+    if (it == symbols.end()) {
+      return Error(ErrorCode::kNotFound, "undefined symbol '" + name + "'");
+    }
+    return it->second;
+  }
+
+  // Read the 32-bit little-endian word at `address` from whichever section
+  // covers it. Fails if no section covers all four bytes.
+  Result<u32> read_word(u32 address) const;
+
+  // 16-bit variant (RVC parcel).
+  Result<u32> read_half(u32 address) const;
+
+  // Total loadable byte count.
+  std::size_t image_size() const {
+    std::size_t total = 0;
+    for (const auto& section : sections) total += section.bytes.size();
+    return total;
+  }
+};
+
+}  // namespace s4e::assembler

@@ -1,0 +1,101 @@
+// Control-flow graph reconstructed from a RISC-V binary.
+//
+// This is the artefact the WCET analyzer (aiT substitute) works on and the
+// skeleton of the annotated CFG the QTA co-simulation consumes. Reconstruction
+// is intraprocedural with an explicit call graph: `jal` with rd=ra is a call
+// site (the callee is analyzed separately), `jalr zero, 0(ra)` is a return.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/status.hpp"
+#include "isa/instr.hpp"
+
+namespace s4e::cfg {
+
+using BlockId = u32;
+inline constexpr BlockId kNoBlock = ~BlockId{0};
+
+enum class EdgeKind : u8 {
+  kFallThrough,  // straight-line successor
+  kTaken,        // taken conditional branch or unconditional jump
+  kCallReturn,   // call site -> continuation (callee summarized separately)
+};
+
+struct Edge {
+  BlockId target = kNoBlock;
+  EdgeKind kind = EdgeKind::kFallThrough;
+};
+
+// How a basic block ends.
+enum class Terminator : u8 {
+  kFallThrough,  // runs into the next block (leader split)
+  kBranch,       // conditional: taken + fall-through edges
+  kJump,         // unconditional jal x0
+  kCall,         // jal ra (call-return edge to the continuation)
+  kReturn,       // jalr zero, 0(ra)
+  kExit,         // ecall / ebreak / wfi / mret: leaves the analyzed code
+  kIndirect,     // jalr with untracked target (rejected by the analyzer)
+};
+
+struct BasicBlock {
+  BlockId id = kNoBlock;
+  u32 start = 0;
+  u32 end = 0;  // exclusive
+  std::vector<isa::Instr> insns;
+  Terminator terminator = Terminator::kFallThrough;
+  std::vector<Edge> successors;
+  std::vector<BlockId> predecessors;
+  u32 call_target = 0;  // entry address of the callee for kCall
+
+  u32 insn_count() const noexcept { return static_cast<u32>(insns.size()); }
+};
+
+// One procedure's CFG.
+struct Function {
+  std::string name;      // symbol name if known, else "fn_<hex>"
+  u32 entry = 0;
+  std::vector<BasicBlock> blocks;  // blocks[0] is the entry block
+  std::map<u32, BlockId> block_by_start;
+
+  const BasicBlock& entry_block() const { return blocks[0]; }
+  Result<BlockId> block_at(u32 address) const {
+    auto it = block_by_start.find(address);
+    if (it == block_by_start.end()) {
+      return Error(ErrorCode::kNotFound,
+                   "no block starts at the given address");
+    }
+    return it->second;
+  }
+};
+
+// Whole-program view: every procedure reachable from the entry point plus
+// the call graph between them.
+struct ProgramCfg {
+  std::vector<Function> functions;  // functions[0] is the program entry
+  std::map<u32, u32> function_by_entry;  // entry address -> index
+  std::vector<assembler::LoopBound> loop_bounds;  // from .s4e.annot
+
+  const Function& entry_function() const { return functions[0]; }
+  Result<u32> function_at(u32 entry) const {
+    auto it = function_by_entry.find(entry);
+    if (it == function_by_entry.end()) {
+      return Error(ErrorCode::kNotFound, "no function at the given entry");
+    }
+    return it->second;
+  }
+};
+
+// Reconstruct the CFG of the program's .text, starting from its entry point.
+// Fails on indirect jumps other than returns, on code that falls off the end
+// of .text, and on overlapping instruction streams — the same preconditions
+// aiT places on analyzable code.
+Result<ProgramCfg> build_cfg(const assembler::Program& program);
+
+// Graphviz dump (one cluster per function) for debugging and docs.
+std::string to_dot(const ProgramCfg& cfg);
+
+}  // namespace s4e::cfg

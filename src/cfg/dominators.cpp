@@ -1,0 +1,72 @@
+#include "cfg/dominators.hpp"
+
+#include <algorithm>
+
+namespace s4e::cfg {
+
+namespace {
+
+// Post-order DFS from the entry.
+void post_order(const Function& fn, BlockId block, std::vector<bool>& visited,
+                std::vector<BlockId>& order) {
+  visited[block] = true;
+  for (const Edge& edge : fn.blocks[block].successors) {
+    if (!visited[edge.target]) post_order(fn, edge.target, visited, order);
+  }
+  order.push_back(block);
+}
+
+}  // namespace
+
+Dominators::Dominators(const Function& fn) {
+  const std::size_t n = fn.blocks.size();
+  idom_.assign(n, kNoBlock);
+  rpo_index_.assign(n, ~u32{0});
+
+  std::vector<bool> visited(n, false);
+  std::vector<BlockId> order;
+  order.reserve(n);
+  post_order(fn, 0, visited, order);
+  rpo_.assign(order.rbegin(), order.rend());
+  for (u32 i = 0; i < rpo_.size(); ++i) rpo_index_[rpo_[i]] = i;
+
+  // Cooper–Harvey–Kennedy iterative algorithm.
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index_[a] > rpo_index_[b]) a = idom_[a];
+      while (rpo_index_[b] > rpo_index_[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  idom_[0] = 0;  // entry's idom is itself during iteration
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId block : rpo_) {
+      if (block == 0) continue;
+      BlockId new_idom = kNoBlock;
+      for (BlockId pred : fn.blocks[block].predecessors) {
+        if (rpo_index_[pred] == ~u32{0}) continue;  // unreachable pred
+        if (idom_[pred] == kNoBlock) continue;      // not yet processed
+        new_idom = (new_idom == kNoBlock) ? pred : intersect(pred, new_idom);
+      }
+      if (new_idom != kNoBlock && idom_[block] != new_idom) {
+        idom_[block] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  idom_[0] = kNoBlock;  // by convention the entry has no idom
+}
+
+bool Dominators::dominates(BlockId a, BlockId b) const {
+  BlockId walk = b;
+  while (true) {
+    if (walk == a) return true;
+    if (walk == kNoBlock) return false;  // reached above the entry
+    walk = idom_[walk];
+  }
+}
+
+}  // namespace s4e::cfg

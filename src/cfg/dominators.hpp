@@ -1,0 +1,32 @@
+// Dominator computation over a Function's CFG (iterative data-flow, in
+// reverse post-order) — the basis of natural-loop detection.
+#pragma once
+
+#include <vector>
+
+#include "cfg/cfg.hpp"
+
+namespace s4e::cfg {
+
+class Dominators {
+ public:
+  // Precondition: fn has at least one block; blocks[0] is the entry.
+  explicit Dominators(const Function& fn);
+
+  // Immediate dominator of `block` (kNoBlock for the entry and for
+  // unreachable blocks).
+  BlockId idom(BlockId block) const { return idom_[block]; }
+
+  // True if `a` dominates `b` (reflexive).
+  bool dominates(BlockId a, BlockId b) const;
+
+  // Blocks in reverse post-order (entry first, unreachable blocks omitted).
+  const std::vector<BlockId>& reverse_post_order() const { return rpo_; }
+
+ private:
+  std::vector<BlockId> idom_;
+  std::vector<BlockId> rpo_;
+  std::vector<u32> rpo_index_;
+};
+
+}  // namespace s4e::cfg

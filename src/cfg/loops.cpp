@@ -1,0 +1,294 @@
+#include "cfg/loops.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace s4e::cfg {
+
+namespace {
+
+using isa::Instr;
+using isa::Op;
+
+// Natural loop of back edge (source -> header): header plus every block that
+// reaches `source` without passing through `header`.
+std::set<BlockId> natural_loop(const Function& fn, BlockId header,
+                               BlockId source) {
+  std::set<BlockId> body{header};
+  std::vector<BlockId> worklist;
+  if (body.insert(source).second || source != header) worklist.push_back(source);
+  while (!worklist.empty()) {
+    const BlockId block = worklist.back();
+    worklist.pop_back();
+    for (BlockId pred : fn.blocks[block].predecessors) {
+      if (body.insert(pred).second) worklist.push_back(pred);
+    }
+  }
+  return body;
+}
+
+// True if `instr` writes GPR `reg`.
+bool writes_reg(const Instr& instr, unsigned reg) {
+  return instr.info().writes_rd && instr.rd == reg && reg != 0;
+}
+
+// If the (unique) definition of `reg` outside `loop`, in a block dominating
+// the loop header, is a constant load, return the constant.
+std::optional<i64> constant_at_entry(const Function& fn, const Dominators& dom,
+                                     const Loop& loop, unsigned reg) {
+  if (reg == 0) return 0;
+  // Collect all out-of-loop definitions.
+  struct Def {
+    BlockId block;
+    u32 index;
+  };
+  std::vector<Def> defs;
+  for (const BasicBlock& block : fn.blocks) {
+    if (loop.contains(block.id)) continue;
+    for (u32 i = 0; i < block.insn_count(); ++i) {
+      if (writes_reg(block.insns[i], reg)) defs.push_back({block.id, i});
+    }
+  }
+  if (defs.size() == 1) {
+    const BasicBlock& block = fn.blocks[defs[0].block];
+    if (!dom.dominates(block.id, loop.header)) return std::nullopt;
+    const Instr& def = block.insns[defs[0].index];
+    if (def.op == Op::kAddi && def.rs1 == 0) {
+      return def.imm;  // li small form
+    }
+    return std::nullopt;
+  }
+  if (defs.size() == 2 && defs[0].block == defs[1].block &&
+      defs[1].index == defs[0].index + 1) {
+    // li wide form: lui reg, hi ; addi reg, reg, lo
+    const BasicBlock& block = fn.blocks[defs[0].block];
+    if (!dom.dominates(block.id, loop.header)) return std::nullopt;
+    const Instr& lui = block.insns[defs[0].index];
+    const Instr& addi = block.insns[defs[1].index];
+    if (lui.op == Op::kLui && addi.op == Op::kAddi && addi.rs1 == reg) {
+      return static_cast<i64>(
+          static_cast<i32>(static_cast<u32>(lui.imm) +
+                           static_cast<u32>(addi.imm)));
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// The unique in-loop update `addi reg, reg, step`; nullopt when the loop
+// writes `reg` in any other way (or more than once).
+std::optional<i32> loop_step(const Function& fn, const Loop& loop,
+                             unsigned reg) {
+  std::optional<i32> step;
+  for (BlockId id : loop.blocks) {
+    for (const Instr& instr : fn.blocks[id].insns) {
+      if (!writes_reg(instr, reg)) continue;
+      if (instr.op == Op::kAddi && instr.rs1 == reg && !step.has_value()) {
+        step = instr.imm;
+      } else {
+        return std::nullopt;
+      }
+    }
+  }
+  return step;
+}
+
+u32 ceil_div(i64 numer, i64 denom) {
+  return static_cast<u32>((numer + denom - 1) / denom);
+}
+
+}  // namespace
+
+std::optional<u32> detect_counted_loop_bound(const Function& fn,
+                                             const Dominators& dom,
+                                             const Loop& loop) {
+  // The loop must have a single back edge whose source ends in a
+  // conditional branch.
+  if (loop.back_sources.size() != 1) return std::nullopt;
+  const BasicBlock& latch = fn.blocks[loop.back_sources[0]];
+  if (latch.terminator != Terminator::kBranch) return std::nullopt;
+  const Instr& branch = latch.insns.back();
+
+  // Which way continues the loop?
+  bool taken_into_loop = false;
+  for (const Edge& edge : latch.successors) {
+    if (edge.target == loop.header) {
+      taken_into_loop = edge.kind == EdgeKind::kTaken;
+    }
+  }
+
+  // Normalize to: "loop continues while cond(rs1, rs2)". When the
+  // fall-through re-enters the loop, the branch condition is the *exit*
+  // condition and must be inverted.
+  Op op = branch.op;
+  unsigned rs1 = branch.rs1;
+  unsigned rs2 = branch.rs2;
+  if (!taken_into_loop) {
+    switch (op) {
+      case Op::kBeq: op = Op::kBne; break;
+      case Op::kBne: op = Op::kBeq; break;
+      case Op::kBlt: op = Op::kBge; break;
+      case Op::kBge: op = Op::kBlt; break;
+      case Op::kBltu: op = Op::kBgeu; break;
+      case Op::kBgeu: op = Op::kBltu; break;
+      default: return std::nullopt;
+    }
+  }
+  // Rewrite kBge(a,b) as kBlt-style by swapping into "while b < a"? kBge is
+  // `a >= b`; continuing while a >= b with a decrementing counter is the
+  // "down-count to limit" family. Handle the common shapes explicitly.
+
+  // Shape 1: while (r != 0), step -c  -> N/c iterations (exact divisor).
+  if (op == Op::kBne && rs2 == 0) {
+    const auto start = constant_at_entry(fn, dom, loop, rs1);
+    const auto step = loop_step(fn, loop, rs1);
+    if (start && step && *step < 0 && *start > 0 &&
+        (*start % -*step) == 0) {
+      return static_cast<u32>(*start / -*step);
+    }
+    return std::nullopt;
+  }
+  // Shape 2: while (0 < r) i.e. blt x0, r / while (r > 0), step -c.
+  if (op == Op::kBlt && rs1 == 0) {
+    const auto start = constant_at_entry(fn, dom, loop, rs2);
+    const auto step = loop_step(fn, loop, rs2);
+    if (start && step && *step < 0 && *start > 0) {
+      return ceil_div(*start, -*step);
+    }
+    return std::nullopt;
+  }
+  // Shape 2b: while (r >= 0) i.e. bge r, x0, step -c: runs for
+  // floor(start / c) + 1 body executions.
+  if (op == Op::kBge && rs2 == 0) {
+    const auto start = constant_at_entry(fn, dom, loop, rs1);
+    const auto step = loop_step(fn, loop, rs1);
+    if (start && step && *step < 0 && *start >= 0) {
+      return static_cast<u32>(*start / -*step) + 1;
+    }
+    return std::nullopt;
+  }
+
+  // Shape 3: while (r < limit), step +c.
+  if ((op == Op::kBlt || op == Op::kBltu) && rs1 != 0) {
+    const auto start = constant_at_entry(fn, dom, loop, rs1);
+    const auto limit = constant_at_entry(fn, dom, loop, rs2);
+    const auto step = loop_step(fn, loop, rs1);
+    if (start && limit && step && *step > 0) {
+      if (*limit <= *start) return 1;  // body runs once, test fails
+      return ceil_div(*limit - *start, *step);
+    }
+    return std::nullopt;
+  }
+  // Shape 4: while (r != limit), step +c with exact landing.
+  if (op == Op::kBne && rs2 != 0) {
+    const auto start = constant_at_entry(fn, dom, loop, rs1);
+    const auto limit = constant_at_entry(fn, dom, loop, rs2);
+    const auto step = loop_step(fn, loop, rs1);
+    if (start && limit && step && *step > 0 && *limit > *start &&
+        ((*limit - *start) % *step) == 0) {
+      return static_cast<u32>((*limit - *start) / *step);
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+Result<LoopForest> find_loops(const Function& fn, const Dominators& dom,
+                              const std::vector<assembler::LoopBound>& bounds) {
+  LoopForest forest;
+
+  // Back edges, merged per header.
+  std::map<BlockId, std::set<BlockId>> back_edges;  // header -> sources
+  for (const BasicBlock& block : fn.blocks) {
+    for (const Edge& edge : block.successors) {
+      if (dom.dominates(edge.target, block.id)) {
+        back_edges[edge.target].insert(block.id);
+      }
+    }
+  }
+
+  for (const auto& [header, sources] : back_edges) {
+    Loop loop;
+    loop.header = header;
+    std::set<BlockId> body;
+    for (BlockId source : sources) {
+      const auto part = natural_loop(fn, header, source);
+      body.insert(part.begin(), part.end());
+      loop.back_sources.push_back(source);
+    }
+    loop.blocks.assign(body.begin(), body.end());
+    forest.loops.push_back(std::move(loop));
+  }
+
+  // Nesting: parent = smallest strictly-containing loop.
+  for (std::size_t i = 0; i < forest.loops.size(); ++i) {
+    std::size_t best_size = ~std::size_t{0};
+    for (std::size_t j = 0; j < forest.loops.size(); ++j) {
+      if (i == j) continue;
+      const Loop& outer = forest.loops[j];
+      if (outer.contains(forest.loops[i].header) &&
+          outer.header != forest.loops[i].header &&
+          outer.blocks.size() < best_size) {
+        // `i` nests in `j` only if all of i's blocks are in j.
+        bool contained = true;
+        for (BlockId b : forest.loops[i].blocks) {
+          if (!outer.contains(b)) {
+            contained = false;
+            break;
+          }
+        }
+        if (contained) {
+          forest.loops[i].parent = static_cast<int>(j);
+          best_size = outer.blocks.size();
+        }
+      }
+    }
+  }
+  for (auto& loop : forest.loops) {
+    u32 depth = 1;
+    int parent = loop.parent;
+    while (parent >= 0) {
+      ++depth;
+      parent = forest.loops[parent].parent;
+    }
+    loop.depth = depth;
+  }
+
+  // Bounds: annotations first (they land in the header block), then the
+  // counted-loop patterns.
+  for (Loop& loop : forest.loops) {
+    const BasicBlock& header = fn.blocks[loop.header];
+    for (const auto& annotation : bounds) {
+      if (annotation.address >= header.start &&
+          annotation.address < header.end) {
+        loop.bound = annotation.bound;
+      }
+    }
+    if (!loop.bound) {
+      loop.bound = detect_counted_loop_bound(fn, dom, loop);
+    }
+  }
+
+  // Innermost (deepest) first — the order the WCET collapse wants. Parent
+  // indices must survive the sort, so remap them.
+  std::vector<std::size_t> order(forest.loops.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return forest.loops[a].depth > forest.loops[b].depth;
+  });
+  std::vector<int> new_index(forest.loops.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    new_index[order[i]] = static_cast<int>(i);
+  }
+  LoopForest sorted;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Loop loop = forest.loops[order[i]];
+    if (loop.parent >= 0) loop.parent = new_index[loop.parent];
+    sorted.loops.push_back(std::move(loop));
+  }
+  return sorted;
+}
+
+}  // namespace s4e::cfg

@@ -1,0 +1,45 @@
+// Minimal leveled logging. Campaign runners emit a lot of per-mutant
+// status; default level is kWarn so batch runs stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace s4e {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+// Writes one line ("[level] message") to stderr if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define S4E_LOG(level) ::s4e::detail::LogLine(level)
+#define S4E_DEBUG() S4E_LOG(::s4e::LogLevel::kDebug)
+#define S4E_INFO() S4E_LOG(::s4e::LogLevel::kInfo)
+#define S4E_WARN() S4E_LOG(::s4e::LogLevel::kWarn)
+#define S4E_ERROR() S4E_LOG(::s4e::LogLevel::kError)
+
+}  // namespace s4e

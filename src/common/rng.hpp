@@ -1,0 +1,53 @@
+// Deterministic PRNG (splitmix64) used by the test generator and the fault
+// campaign. Campaign results must be reproducible from a seed alone, so no
+// std::random_device and no global state.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+
+namespace s4e {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) noexcept : state_(seed + kGamma) {}
+
+  // Uniform 64-bit value.
+  u64 next_u64() noexcept {
+    u64 z = (state_ += kGamma);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  u32 next_u32() noexcept { return static_cast<u32>(next_u64() >> 32); }
+
+  // Uniform in [0, bound). Precondition: bound > 0.
+  u32 next_below(u32 bound) noexcept {
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // statistical quality is irrelevant for stimulus generation.
+    return static_cast<u32>((u64{next_u32()} * bound) >> 32);
+  }
+
+  // Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  i64 next_in_range(i64 lo, i64 hi) noexcept {
+    const u64 span = static_cast<u64>(hi - lo) + 1;
+    return lo + static_cast<i64>(next_u64() % span);
+  }
+
+  // Bernoulli with probability numer/denom.
+  bool chance(u32 numer, u32 denom) noexcept {
+    return next_below(denom) < numer;
+  }
+
+  // Split off an independent stream (for per-mutant reproducibility).
+  Rng fork() noexcept { return Rng(next_u64()); }
+
+ private:
+  static constexpr u64 kGamma = 0x9e3779b97f4a7c15ULL;
+  u64 state_;
+};
+
+}  // namespace s4e

@@ -1,0 +1,45 @@
+#include "common/status.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace s4e {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kEncodingError: return "encoding_error";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kStateError: return "state_error";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kAnalysisError: return "analysis_error";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = s4e::to_string(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::string what = "S4E_CHECK failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!message.empty()) {
+    what += " — ";
+    what += message;
+  }
+  throw std::logic_error(what);
+}
+
+}  // namespace s4e

@@ -1,0 +1,68 @@
+// Top-level facade over the Scale4Edge tool chain: one-call pipelines from
+// workload source to run results, WCET reports, QTA co-simulation, coverage
+// and fault campaigns. The examples and benches are thin wrappers over this
+// API — it is the "ecosystem" a downstream user programs against.
+#pragma once
+
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "core/workloads.hpp"
+#include "coverage/coverage.hpp"
+#include "fault/fault.hpp"
+#include "qta/qta.hpp"
+#include "vp/machine.hpp"
+#include "wcet/analyzer.hpp"
+
+namespace s4e::core {
+
+struct RunOutcome {
+  vp::RunResult result;
+  std::string uart_output;
+};
+
+class Ecosystem {
+ public:
+  explicit Ecosystem(const vp::MachineConfig& machine_config = {})
+      : machine_config_(machine_config) {}
+
+  const vp::MachineConfig& machine_config() const noexcept {
+    return machine_config_;
+  }
+
+  // Assemble workload/arbitrary source into a loadable program.
+  Result<assembler::Program> build(const Workload& workload) const;
+  Result<assembler::Program> build_source(const std::string& source) const;
+
+  // Plain functional run on a fresh VP.
+  Result<RunOutcome> run(const assembler::Program& program,
+                         const std::string& uart_input = "") const;
+
+  // Static WCET analysis (CFG + loop bounds + structural IPET).
+  Result<wcet::AnalysisResult> analyze_wcet(
+      const assembler::Program& program,
+      const std::string& name = "program") const;
+
+  // Full QTA flow: static analysis, co-simulated run, three-timeline report.
+  struct QtaOutcome {
+    wcet::AnalysisResult analysis;
+    qta::QtaReport report;
+    RunOutcome run;
+  };
+  Result<QtaOutcome> run_qta(const assembler::Program& program,
+                             const std::string& name = "program") const;
+
+  // Coverage of one run.
+  Result<coverage::CoverageData> measure_coverage(
+      const assembler::Program& program) const;
+
+  // Fault campaign on a program.
+  Result<fault::CampaignResult> run_campaign(
+      const assembler::Program& program,
+      const fault::CampaignConfig& config) const;
+
+ private:
+  vp::MachineConfig machine_config_;
+};
+
+}  // namespace s4e::core

@@ -1,0 +1,70 @@
+#include "core/profiler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace s4e::core {
+
+u64 ProfilerPlugin::attributed_instructions() const {
+  u64 total = 0;
+  for (const auto& [start, count] : exec_counts_) {
+    auto it = block_insns_.find(start);
+    if (it != block_insns_.end()) total += count * it->second;
+  }
+  return total;
+}
+
+std::string ProfilerPlugin::report(const assembler::Program& program,
+                                   unsigned top_n) const {
+  // Nearest preceding symbol for an address.
+  auto symbolize = [&](u32 address) -> std::string {
+    std::string best_name = "?";
+    u32 best_value = 0;
+    bool found = false;
+    for (const auto& [name, value] : program.symbols) {
+      if (value <= address && (!found || value > best_value)) {
+        best_name = name;
+        best_value = value;
+        found = true;
+      }
+    }
+    if (!found) return format("0x%08x", address);
+    const u32 delta = address - best_value;
+    return delta == 0 ? best_name : format("%s+0x%x", best_name.c_str(), delta);
+  };
+
+  std::vector<std::pair<u32, u64>> sorted(exec_counts_.begin(),
+                                          exec_counts_.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](const auto& a, const auto& b) {
+                     auto weight = [&](const std::pair<u32, u64>& entry) {
+                       auto it = block_insns_.find(entry.first);
+                       const u64 insns =
+                           it == block_insns_.end() ? 1 : it->second;
+                       return entry.second * insns;
+                     };
+                     return weight(a) > weight(b);
+                   });
+
+  const u64 total = std::max<u64>(attributed_instructions(), 1);
+  std::string out = "hot blocks (by attributed instructions):\n";
+  out += format("  %-10s %-26s %10s %8s %8s\n", "address", "symbol", "execs",
+                "insns", "share");
+  unsigned shown = 0;
+  for (const auto& [start, count] : sorted) {
+    if (++shown > top_n) break;
+    auto it = block_insns_.find(start);
+    const u64 insns = it == block_insns_.end() ? 0 : it->second;
+    out += format("  0x%08x %-26s %10llu %8llu %7.1f%%\n", start,
+                  symbolize(start).c_str(),
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(insns),
+                  100.0 * static_cast<double>(count * insns) /
+                      static_cast<double>(total));
+  }
+  return out;
+}
+
+}  // namespace s4e::core

@@ -1,0 +1,45 @@
+// Hot-block execution profiler: per-translation-block execution counts via
+// the plugin API, reported with symbolized addresses — the "where does the
+// time go" companion to the coverage metric.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "asm/program.hpp"
+#include "vp/plugin.hpp"
+
+namespace s4e::core {
+
+class ProfilerPlugin final : public vp::PluginBase {
+ public:
+  Subscriptions subscriptions() const override {
+    Subscriptions subs;
+    subs.tb_exec = true;
+    subs.tb_trans = true;
+    return subs;
+  }
+
+  void on_tb_trans(const s4e_tb_info& tb) override {
+    block_insns_[tb.start] = tb.n_insns;
+  }
+  void on_tb_exec(u32 tb_start) override { ++exec_counts_[tb_start]; }
+
+  const std::map<u32, u64>& exec_counts() const noexcept {
+    return exec_counts_;
+  }
+
+  // Total dynamically executed instructions attributed to blocks (equals
+  // the machine's icount when no block was cut short by a trap/exit).
+  u64 attributed_instructions() const;
+
+  // Top-N table with nearest-symbol annotation from `program`.
+  std::string report(const assembler::Program& program,
+                     unsigned top_n = 10) const;
+
+ private:
+  std::map<u32, u64> exec_counts_;
+  std::map<u32, u32> block_insns_;
+};
+
+}  // namespace s4e::core

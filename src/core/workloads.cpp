@@ -1,0 +1,508 @@
+#include "core/workloads.hpp"
+
+namespace s4e::core {
+
+namespace {
+
+// --- quickstart: checksum over a word table. Exit code = sum (136).
+constexpr const char* kChecksum = R"(
+_start:
+    la t0, data
+    li t1, 16
+    li a0, 0
+sum_loop:
+    lw t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, sum_loop
+    li a7, 93
+    ecall
+.data
+data:
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+)";
+
+// --- FIR filter: 8 output points of a 4-tap filter, via a called dot4
+// helper (exercises the interprocedural WCET path). Exit = sum of outputs.
+constexpr const char* kFir = R"(
+_start:
+    la s0, samples
+    la s1, coeffs
+    la s3, output
+    li s2, 8
+fir_outer:
+    mv a0, s0
+    mv a1, s1
+    call dot4
+    sw a0, 0(s3)
+    addi s3, s3, 4
+    addi s0, s0, 4
+    addi s2, s2, -1
+    bnez s2, fir_outer
+    la t0, output
+    li t1, 8
+    li a0, 0
+acc_loop:
+    lw t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, acc_loop
+    li a7, 93
+    ecall
+
+dot4:
+    li t0, 4
+    li a2, 0
+dot_loop:
+    lw t3, 0(a0)
+    lw t4, 0(a1)
+    mul t3, t3, t4
+    add a2, a2, t3
+    addi a0, a0, 4
+    addi a1, a1, 4
+    addi t0, t0, -1
+    bnez t0, dot_loop
+    mv a0, a2
+    ret
+.data
+samples:
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11
+coeffs:
+    .word 1, 1, 1, 1
+output:
+    .space 32
+)";
+
+// --- bubble sort of 8 words + sortedness check. Exit 0 when sorted.
+constexpr const char* kBubbleSort = R"(
+_start:
+    li s2, 7
+outer:
+    la t1, array
+    li t0, 0
+inner:
+    .loopbound 7
+    lw t2, 0(t1)
+    lw t3, 4(t1)
+    ble t2, t3, noswap
+    sw t3, 0(t1)
+    sw t2, 4(t1)
+noswap:
+    addi t1, t1, 4
+    addi t0, t0, 1
+    blt t0, s2, inner
+    addi s2, s2, -1
+    bnez s2, outer
+    la t1, array
+    li s3, 7
+check:
+    lw t2, 0(t1)
+    lw t3, 4(t1)
+    bgt t2, t3, bad
+    addi t1, t1, 4
+    addi s3, s3, -1
+    bnez s3, check
+    li a0, 0
+    li a7, 93
+    ecall
+bad:
+    li a0, 1
+    li a7, 93
+    ecall
+.data
+array:
+    .word 5, 2, 9, 1, 7, 3, 8, 4
+)";
+
+// --- CRC-32 (reflected, poly 0xEDB88320) of "123456789"; the standard
+// check value is 0xCBF43926. Exit 0 on match.
+constexpr const char* kCrc32 = R"(
+_start:
+    la s0, msg
+    li s1, 9
+    li a0, -1
+    li s3, 0xEDB88320
+byte_loop:
+    lbu t0, 0(s0)
+    xor a0, a0, t0
+    li t1, 8
+bit_loop:
+    andi t2, a0, 1
+    srli a0, a0, 1
+    beqz t2, nobit
+    xor a0, a0, s3
+nobit:
+    addi t1, t1, -1
+    bnez t1, bit_loop
+    addi s0, s0, 1
+    addi s1, s1, -1
+    bnez s1, byte_loop
+    xori a0, a0, -1
+    li t3, 0xCBF43926
+    bne a0, t3, crc_bad
+    li a0, 0
+    li a7, 93
+    ecall
+crc_bad:
+    li a0, 1
+    li a7, 93
+    ecall
+.data
+msg:
+    .ascii "123456789"
+)";
+
+// --- 4x4 integer matrix multiply (B = identity, so C == A); exit code is
+// the byte checksum of C (136).
+constexpr const char* kMatmul = R"(
+_start:
+    la s0, mat_a
+    la s1, mat_b
+    la s2, mat_c
+    li s7, 4
+    li s3, 0
+iloop:
+    li s4, 0
+jloop:
+    li s5, 0
+    li t6, 0
+kloop:
+    slli t0, s3, 4
+    slli t1, s5, 2
+    add t0, t0, t1
+    add t0, t0, s0
+    lw t2, 0(t0)
+    slli t3, s5, 4
+    slli t4, s4, 2
+    add t3, t3, t4
+    add t3, t3, s1
+    lw t5, 0(t3)
+    mul t2, t2, t5
+    add t6, t6, t2
+    addi s5, s5, 1
+    blt s5, s7, kloop
+    slli t0, s3, 4
+    slli t1, s4, 2
+    add t0, t0, t1
+    add t0, t0, s2
+    sw t6, 0(t0)
+    addi s4, s4, 1
+    blt s4, s7, jloop
+    addi s3, s3, 1
+    blt s3, s7, iloop
+    la t0, mat_c
+    li s6, 16
+    li a0, 0
+csum:
+    lw t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 4
+    addi s6, s6, -1
+    bnez s6, csum
+    andi a0, a0, 0xff
+    li a7, 93
+    ecall
+.data
+mat_a:
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+mat_b:
+    .word 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1
+mat_c:
+    .space 64
+)";
+
+// --- Sieve of Eratosthenes over [2, 100); exit code = prime count (25).
+constexpr const char* kSieve = R"(
+_start:
+    la s0, flags
+    li s7, 100
+    li s1, 2
+sieve_outer:
+    add t0, s0, s1
+    lbu t1, 0(t0)
+    bnez t1, notprime
+    add t2, s1, s1
+mark:
+    .loopbound 50
+    bge t2, s7, endmark
+    add t3, s0, t2
+    li t4, 1
+    sb t4, 0(t3)
+    add t2, t2, s1
+    j mark
+endmark:
+notprime:
+    addi s1, s1, 1
+    blt s1, s7, sieve_outer
+    li s2, 2
+    li a0, 0
+count:
+    add t0, s0, s2
+    lbu t1, 0(t0)
+    seqz t1, t1
+    add a0, a0, t1
+    addi s2, s2, 1
+    blt s2, s7, count
+    li a7, 93
+    ecall
+.data
+flags:
+    .space 100
+)";
+
+// --- Lock control (the MBMV'19 security scenario): read a 4-digit PIN from
+// the UART, compare against the stored secret, answer OPEN/DENY over the
+// UART TX — with all TX traffic going through the dedicated driver routine
+// `uart_puts` (the policy anchor for the memwatch analysis). With no input
+// queued the lock denies: exit 1.
+constexpr const char* kLockCtrl = R"(
+.equ UART_BASE, 0x10000000
+_start:
+    la s0, secret
+    li s1, 4
+    li s2, 1
+    li s3, UART_BASE
+read_loop:
+    lw t0, 8(s3)
+    andi t0, t0, 1
+    beqz t0, deny
+    lw t1, 4(s3)
+    lbu t2, 0(s0)
+    beq t1, t2, digit_ok
+    li s2, 0
+digit_ok:
+    addi s0, s0, 1
+    addi s1, s1, -1
+    bnez s1, read_loop
+    beqz s2, deny
+open:
+    la a1, open_msg
+    call uart_puts
+    li a0, 0
+    li a7, 93
+    ecall
+deny:
+    la a1, deny_msg
+    call uart_puts
+    li a0, 1
+    li a7, 93
+    ecall
+
+uart_puts:
+    li t5, UART_BASE
+puts_loop:
+    .loopbound 6
+    lbu t4, 0(a1)
+    beqz t4, puts_done
+    sw t4, 0(t5)
+    addi a1, a1, 1
+    j puts_loop
+puts_done:
+    ret
+uart_puts_end:
+    nop
+.data
+secret:
+    .ascii "1234"
+open_msg:
+    .asciz "OPEN\n"
+deny_msg:
+    .asciz "DENY\n"
+)";
+
+// --- The attack variant of the lock: after a deny, rogue code bypasses the
+// driver and writes to the UART TX register directly. Functionally the
+// output only gains one byte — but the memwatch policy flags the access.
+constexpr const char* kAttackLock = R"(
+.equ UART_BASE, 0x10000000
+_start:
+    la s0, secret
+    li s1, 4
+    li s2, 1
+    li s3, UART_BASE
+read_loop:
+    lw t0, 8(s3)
+    andi t0, t0, 1
+    beqz t0, deny
+    lw t1, 4(s3)
+    lbu t2, 0(s0)
+    beq t1, t2, digit_ok
+    li s2, 0
+digit_ok:
+    addi s0, s0, 1
+    addi s1, s1, -1
+    bnez s1, read_loop
+    beqz s2, deny
+open:
+    la a1, open_msg
+    call uart_puts
+    li a0, 0
+    li a7, 93
+    ecall
+deny:
+    la a1, deny_msg
+    call uart_puts
+attack:
+    li t0, UART_BASE
+    li t1, 88
+    sw t1, 0(t0)
+    li a0, 1
+    li a7, 93
+    ecall
+
+uart_puts:
+    li t5, UART_BASE
+puts_loop:
+    .loopbound 6
+    lbu t4, 0(a1)
+    beqz t4, puts_done
+    sw t4, 0(t5)
+    addi a1, a1, 1
+    j puts_loop
+puts_done:
+    ret
+uart_puts_end:
+    nop
+.data
+secret:
+    .ascii "1234"
+open_msg:
+    .asciz "OPEN\n"
+deny_msg:
+    .asciz "DENY\n"
+)";
+
+
+// --- Fixed-point PID-style controller driving a first-order plant for 50
+// steps; converges to the target, self-check on the residual error.
+constexpr const char* kPid = R"(
+_start:
+    li s0, 0           # plant state x (Q4)
+    li s1, 3200        # target (200 << 4)
+    li s2, 50          # control steps
+    li s3, 3           # proportional gain
+pid_loop:
+    sub t0, s1, s0     # error
+    mul t1, t0, s3
+    srai t2, t1, 4     # u = (Kp * e) >> 4
+    add s0, s0, t2     # plant: x += u
+    addi s2, s2, -1
+    bnez s2, pid_loop
+    sub t0, s1, s0     # residual error
+    bltz t0, pid_bad
+    li t1, 9
+    bge t0, t1, pid_bad
+    li a0, 0
+    li a7, 93
+    ecall
+pid_bad:
+    li a0, 1
+    li a7, 93
+    ecall
+)";
+
+// --- Byte histogram into 16 bins; the source pattern (7i mod 256) hits
+// every residue class mod 16 exactly 4 times. Exit = bins[5] = 4.
+constexpr const char* kHistogram = R"(
+_start:
+    la s0, bytes
+    la s1, bins
+    li s2, 64
+hist_loop:
+    lbu t0, 0(s0)
+    andi t0, t0, 15
+    slli t0, t0, 2
+    add t0, t0, s1
+    lw t1, 0(t0)
+    addi t1, t1, 1
+    sw t1, 0(t0)
+    addi s0, s0, 1
+    addi s2, s2, -1
+    bnez s2, hist_loop
+    lw a0, 20(s1)      # bins[5]
+    li a7, 93
+    ecall
+.data
+bytes:
+    .byte 0, 7, 14, 21, 28, 35, 42, 49, 56, 63, 70, 77, 84, 91, 98, 105, 112, 119, 126, 133, 140, 147, 154, 161, 168, 175, 182, 189, 196, 203, 210, 217, 224, 231, 238, 245, 252, 3, 10, 17, 24, 31, 38, 45, 52, 59, 66, 73, 80, 87, 94, 101, 108, 115, 122, 129, 136, 143, 150, 157, 164, 171, 178, 185
+bins:
+    .space 64
+)";
+
+// --- Binary search in a sorted 16-entry table; the loop is data-dependent
+// (two distinct back edges) and needs a .loopbound annotation. Exit = the
+// index of the key (11).
+constexpr const char* kBsearch = R"(
+_start:
+    la s0, table
+    li s1, 0           # lo
+    li s2, 16          # hi
+    li s3, 743         # key
+bs_loop:
+    .loopbound 5
+    bge s1, s2, notfound
+    add t0, s1, s2
+    srli t0, t0, 1     # mid
+    slli t1, t0, 2
+    add t1, t1, s0
+    lw t2, 0(t1)
+    beq t2, s3, found
+    blt t2, s3, go_right
+    mv s2, t0          # hi = mid
+    j bs_loop
+go_right:
+    addi s1, t0, 1
+    j bs_loop
+found:
+    mv a0, t0
+    li a7, 93
+    ecall
+notfound:
+    li a0, 255
+    li a7, 93
+    ecall
+.data
+table:
+    .word 3, 17, 29, 55, 101, 190, 288, 310
+    .word 402, 555, 680, 743, 800, 855, 901, 999
+)";
+
+}  // namespace
+
+const std::vector<Workload>& standard_workloads() {
+  static const std::vector<Workload> workloads = {
+      {"checksum", "word-table checksum (quickstart kernel)", kChecksum, 136,
+       true},
+      {"fir", "4-tap FIR filter via a called dot-product helper", kFir, 192,
+       true},
+      {"bubble_sort", "bubble sort of 8 words with sortedness self-check",
+       kBubbleSort, 0, true},
+      {"crc32", "bitwise CRC-32 with the standard check value", kCrc32, 0,
+       true},
+      {"matmul", "4x4 integer matrix multiply (identity check)", kMatmul, 136,
+       true},
+      {"sieve", "sieve of Eratosthenes over [2, 100)", kSieve, 25, true},
+      {"lock_ctrl", "UART lock control (security scenario, denies w/o input)",
+       kLockCtrl, 1, true},
+      {"attack_lock", "lock control with an unauthorized direct UART write",
+       kAttackLock, 1, true},
+      {"pid", "fixed-point PID-style controller with convergence self-check",
+       kPid, 0, true},
+      {"histogram", "byte histogram into 16 bins over a 64-byte buffer",
+       kHistogram, 4, true},
+      {"bsearch", "binary search in a sorted table (annotated bound)",
+       kBsearch, 11, true},
+  };
+  return workloads;
+}
+
+Result<Workload> find_workload(const std::string& name) {
+  for (const Workload& workload : standard_workloads()) {
+    if (workload.name == name) return workload;
+  }
+  return Error(ErrorCode::kNotFound, "no workload named '" + name + "'");
+}
+
+}  // namespace s4e::core

@@ -1,0 +1,31 @@
+// The standard edge workloads of the reproduction — the kernels the
+// Scale4Edge demonstrators motivate (signal processing, sorting, checksums,
+// linear algebra, a lock-control application). All are written in the
+// project assembler, carry `.loopbound` annotations where the counted-loop
+// patterns cannot bound a loop, and terminate through the ecall exit
+// convention with a deterministic exit code (which doubles as a built-in
+// self-check for the fault campaigns).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace s4e::core {
+
+struct Workload {
+  std::string name;
+  std::string description;
+  std::string source;        // assembler input
+  int expected_exit = 0;     // golden exit code
+  bool wcet_analyzable = true;  // fits the static analyzer's restrictions
+};
+
+// All registered workloads.
+const std::vector<Workload>& standard_workloads();
+
+// Lookup by name.
+Result<Workload> find_workload(const std::string& name);
+
+}  // namespace s4e::core

@@ -1,0 +1,152 @@
+#include "coverage/coverage.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace s4e::coverage {
+
+void CoverageData::merge(const CoverageData& other) {
+  for (unsigned i = 0; i < isa::kOpCount; ++i) {
+    op_counts[i] += other.op_counts[i];
+  }
+  for (unsigned i = 0; i < isa::kGprCount; ++i) {
+    gpr_reads[i] += other.gpr_reads[i];
+    gpr_writes[i] += other.gpr_writes[i];
+  }
+  csrs_accessed.insert(other.csrs_accessed.begin(), other.csrs_accessed.end());
+  addresses_touched.insert(other.addresses_touched.begin(),
+                           other.addresses_touched.end());
+  total_instructions += other.total_instructions;
+  loads += other.loads;
+  stores += other.stores;
+}
+
+unsigned CoverageData::ops_covered() const {
+  unsigned covered = 0;
+  for (u64 count : op_counts) covered += count != 0;
+  return covered;
+}
+
+unsigned CoverageData::ops_covered(isa::IsaModule module) const {
+  unsigned covered = 0;
+  for (unsigned i = 0; i < isa::kOpCount; ++i) {
+    if (isa::op_table()[i].module == module && op_counts[i] != 0) ++covered;
+  }
+  return covered;
+}
+
+unsigned CoverageData::ops_total(isa::IsaModule module) {
+  unsigned total = 0;
+  for (unsigned i = 0; i < isa::kOpCount; ++i) {
+    total += isa::op_table()[i].module == module;
+  }
+  return total;
+}
+
+double CoverageData::op_coverage() const {
+  return static_cast<double>(ops_covered()) / isa::kOpCount;
+}
+
+double CoverageData::op_coverage(isa::IsaModule module) const {
+  const unsigned total = ops_total(module);
+  return total == 0 ? 0.0
+                    : static_cast<double>(ops_covered(module)) / total;
+}
+
+unsigned CoverageData::gprs_covered() const {
+  unsigned covered = 0;
+  for (unsigned i = 1; i < isa::kGprCount; ++i) {
+    covered += (gpr_reads[i] + gpr_writes[i]) != 0;
+  }
+  return covered;
+}
+
+double CoverageData::gpr_coverage() const {
+  return static_cast<double>(gprs_covered()) / (isa::kGprCount - 1);
+}
+
+double CoverageData::csr_coverage() const {
+  const auto& implemented = isa::implemented_csrs();
+  unsigned covered = 0;
+  for (u16 csr : implemented) covered += csrs_accessed.count(csr) != 0;
+  return static_cast<double>(covered) / implemented.size();
+}
+
+double CoverageData::memory_coverage(u32 base, u32 size) const {
+  if (size == 0) return 0.0;
+  u64 touched = 0;
+  for (u32 address : addresses_touched) {
+    if (address >= base && address - base < size) ++touched;
+  }
+  return static_cast<double>(touched) / static_cast<double>(size);
+}
+
+std::vector<isa::Op> CoverageData::uncovered_ops() const {
+  std::vector<isa::Op> missing;
+  for (unsigned i = 0; i < isa::kOpCount; ++i) {
+    if (op_counts[i] == 0) missing.push_back(static_cast<isa::Op>(i));
+  }
+  return missing;
+}
+
+void CoveragePlugin::on_mem(const s4e_mem_event& event) {
+  if (event.is_store) {
+    ++data_.stores;
+  } else {
+    ++data_.loads;
+  }
+  for (unsigned i = 0; i < event.size; ++i) {
+    data_.addresses_touched.insert(event.vaddr + i);
+  }
+}
+
+void CoveragePlugin::on_insn_exec(const s4e_insn_info& insn) {
+  ++data_.total_instructions;
+  ++data_.op_counts[insn.op];
+  const isa::OpInfo& info = isa::op_info(static_cast<isa::Op>(insn.op));
+  if (info.reads_rs1) ++data_.gpr_reads[insn.rs1];
+  if (info.reads_rs2) ++data_.gpr_reads[insn.rs2];
+  if (info.writes_rd) ++data_.gpr_writes[insn.rd];
+  if (info.op_class == isa::OpClass::kCsr) {
+    data_.csrs_accessed.insert(insn.csr);
+  }
+}
+
+std::string to_report(const CoverageData& data, const std::string& title) {
+  std::string out;
+  out += format("coverage report: %s\n", title.c_str());
+  out += format("  instructions executed : %llu\n",
+                static_cast<unsigned long long>(data.total_instructions));
+  out += format("  instruction types     : %u / %u  (%.1f%%)\n",
+                data.ops_covered(), isa::kOpCount, 100.0 * data.op_coverage());
+  for (unsigned m = 0; m < static_cast<unsigned>(isa::IsaModule::kCount); ++m) {
+    const auto module = static_cast<isa::IsaModule>(m);
+    out += format("    %-6s              : %u / %u  (%.1f%%)\n",
+                  std::string(isa::isa_module_name(module)).c_str(),
+                  data.ops_covered(module), CoverageData::ops_total(module),
+                  100.0 * data.op_coverage(module));
+  }
+  out += format("  GPR coverage          : %u / %u  (%.1f%%)\n",
+                data.gprs_covered(), isa::kGprCount - 1,
+                100.0 * data.gpr_coverage());
+  out += format("  CSR coverage          : %.1f%%\n",
+                100.0 * data.csr_coverage());
+  out += format("  memory accesses       : %llu loads, %llu stores, %zu "
+                "distinct bytes\n",
+                static_cast<unsigned long long>(data.loads),
+                static_cast<unsigned long long>(data.stores),
+                data.addresses_touched.size());
+  const auto missing = data.uncovered_ops();
+  if (!missing.empty()) {
+    out += "  uncovered instructions:";
+    for (isa::Op op : missing) {
+      out += " ";
+      out += std::string(isa::mnemonic(op));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace s4e::coverage

@@ -1,0 +1,370 @@
+#include "elf/elf32.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/strings.hpp"
+
+namespace s4e::elf {
+
+namespace {
+
+// ELF constants (subset needed for ET_EXEC / EM_RISCV images).
+constexpr u8 kElfMag[4] = {0x7f, 'E', 'L', 'F'};
+constexpr u8 kElfClass32 = 1;
+constexpr u8 kElfData2Lsb = 1;
+constexpr u16 kEtExec = 2;
+constexpr u16 kEmRiscv = 243;
+constexpr u32 kPtLoad = 1;
+constexpr u32 kShtProgbits = 1;
+constexpr u32 kShtSymtab = 2;
+constexpr u32 kShtStrtab = 3;
+constexpr u32 kShfAlloc = 0x2;
+constexpr u32 kShfExecinstr = 0x4;
+constexpr u32 kShfWrite = 0x1;
+constexpr u16 kShnAbs = 0xfff1;
+
+constexpr std::size_t kEhdrSize = 52;
+constexpr std::size_t kPhdrSize = 32;
+constexpr std::size_t kShdrSize = 40;
+constexpr std::size_t kSymSize = 16;
+
+// Vendor section carrying `.loopbound` annotations as (addr, bound) pairs.
+constexpr const char* kAnnotSectionName = ".s4e.annot";
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<u8>& out) : out_(out) {}
+
+  void u8_at(std::size_t pos, u8 v) { out_[pos] = v; }
+  void put_u8(u8 v) { out_.push_back(v); }
+  void put_u16(u16 v) {
+    out_.push_back(static_cast<u8>(v));
+    out_.push_back(static_cast<u8>(v >> 8));
+  }
+  void put_u32(u32 v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void patch_u32(std::size_t pos, u32 v) {
+    for (int i = 0; i < 4; ++i) out_[pos + i] = static_cast<u8>(v >> (8 * i));
+  }
+  void put_bytes(const std::vector<u8>& bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+  void pad_to(std::size_t alignment) {
+    while (out_.size() % alignment != 0) out_.push_back(0);
+  }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<u8>& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<u8>& data) : data_(data) {}
+
+  Result<u8> get_u8(std::size_t pos) const {
+    if (pos >= data_.size()) return oob(pos);
+    return data_[pos];
+  }
+  Result<u16> get_u16(std::size_t pos) const {
+    if (pos + 2 > data_.size()) return oob(pos);
+    return static_cast<u16>(data_[pos] | (data_[pos + 1] << 8));
+  }
+  Result<u32> get_u32(std::size_t pos) const {
+    if (pos + 4 > data_.size()) return oob(pos);
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(data_[pos + i]) << (8 * i);
+    return v;
+  }
+  Result<std::string> get_cstr(std::size_t pos) const {
+    std::string out;
+    while (pos < data_.size() && data_[pos] != 0) {
+      out.push_back(static_cast<char>(data_[pos++]));
+    }
+    if (pos >= data_.size()) return Error(ErrorCode::kParseError,
+                                          "unterminated string in ELF");
+    return out;
+  }
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  static Error oob(std::size_t pos) {
+    return Error(ErrorCode::kParseError,
+                 format("ELF truncated at offset %zu", pos));
+  }
+  const std::vector<u8>& data_;
+};
+
+}  // namespace
+
+Result<std::vector<u8>> write_elf(const assembler::Program& program) {
+  // Only emit non-empty loadable sections.
+  std::vector<const assembler::Section*> loadable;
+  for (const auto& section : program.sections) {
+    if (!section.bytes.empty()) loadable.push_back(&section);
+  }
+
+  std::vector<u8> image;
+  ByteWriter w(image);
+
+  const std::size_t phnum = loadable.size();
+  // Section header table: null + loadable + symtab + strtab + annot + shstrtab
+  const std::size_t shnum = 1 + loadable.size() + 4;
+
+  // --- ELF header (patched later for e_shoff).
+  for (u8 b : kElfMag) w.put_u8(b);
+  w.put_u8(kElfClass32);
+  w.put_u8(kElfData2Lsb);
+  w.put_u8(1);              // EV_CURRENT
+  for (int i = 0; i < 9; ++i) w.put_u8(0);  // padding
+  w.put_u16(kEtExec);
+  w.put_u16(kEmRiscv);
+  w.put_u32(1);             // e_version
+  w.put_u32(program.entry); // e_entry
+  w.put_u32(kEhdrSize);     // e_phoff
+  const std::size_t shoff_pos = w.size();
+  w.put_u32(0);             // e_shoff (patched)
+  w.put_u32(0);             // e_flags
+  w.put_u16(kEhdrSize);
+  w.put_u16(kPhdrSize);
+  w.put_u16(static_cast<u16>(phnum));
+  w.put_u16(kShdrSize);
+  w.put_u16(static_cast<u16>(shnum));
+  w.put_u16(static_cast<u16>(shnum - 1));  // shstrtab index (last)
+  S4E_CHECK(w.size() == kEhdrSize);
+
+  // --- Program headers (offsets patched after layout).
+  struct Patch { std::size_t offset_pos; const assembler::Section* section; };
+  std::vector<Patch> phdr_patches;
+  for (const auto* section : loadable) {
+    const bool executable = section->name == ".text";
+    w.put_u32(kPtLoad);
+    phdr_patches.push_back({w.size(), section});
+    w.put_u32(0);  // p_offset (patched)
+    w.put_u32(section->base);  // p_vaddr
+    w.put_u32(section->base);  // p_paddr
+    w.put_u32(static_cast<u32>(section->bytes.size()));  // p_filesz
+    w.put_u32(static_cast<u32>(section->bytes.size()));  // p_memsz
+    w.put_u32(executable ? 0x5u : 0x6u);  // R+X / R+W
+    w.put_u32(4);  // p_align
+  }
+
+  // --- Section contents.
+  std::vector<u32> section_offsets;
+  for (std::size_t i = 0; i < loadable.size(); ++i) {
+    w.pad_to(4);
+    section_offsets.push_back(static_cast<u32>(w.size()));
+    w.patch_u32(phdr_patches[i].offset_pos, static_cast<u32>(w.size()));
+    w.put_bytes(loadable[i]->bytes);
+  }
+
+  // --- .strtab + .symtab.
+  std::vector<u8> strtab{0};
+  std::vector<u8> symtab(kSymSize, 0);  // null symbol
+  {
+    std::vector<u8> sym_bytes;
+    ByteWriter sw(sym_bytes);
+    for (const auto& [name, value] : program.symbols) {
+      const u32 name_offset = static_cast<u32>(strtab.size());
+      strtab.insert(strtab.end(), name.begin(), name.end());
+      strtab.push_back(0);
+      sw.put_u32(name_offset);
+      sw.put_u32(value);
+      sw.put_u32(0);                      // st_size
+      sw.put_u8((1u << 4) | 0u);          // GLOBAL, NOTYPE
+      sw.put_u8(0);                       // st_other
+      sw.put_u16(kShnAbs);
+    }
+    symtab.insert(symtab.end(), sym_bytes.begin(), sym_bytes.end());
+  }
+  w.pad_to(4);
+  const u32 symtab_offset = static_cast<u32>(w.size());
+  w.put_bytes(symtab);
+  const u32 strtab_offset = static_cast<u32>(w.size());
+  w.put_bytes(strtab);
+
+  // --- .s4e.annot (addr, bound pairs).
+  w.pad_to(4);
+  const u32 annot_offset = static_cast<u32>(w.size());
+  for (const auto& bound : program.loop_bounds) {
+    w.put_u32(bound.address);
+    w.put_u32(bound.bound);
+  }
+  const u32 annot_size =
+      static_cast<u32>(program.loop_bounds.size() * 8);
+
+  // --- .shstrtab.
+  std::vector<u8> shstrtab{0};
+  auto shstr = [&](const std::string& name) {
+    const u32 offset = static_cast<u32>(shstrtab.size());
+    shstrtab.insert(shstrtab.end(), name.begin(), name.end());
+    shstrtab.push_back(0);
+    return offset;
+  };
+  std::vector<u32> loadable_names;
+  for (const auto* section : loadable) loadable_names.push_back(shstr(section->name));
+  const u32 symtab_name = shstr(".symtab");
+  const u32 strtab_name = shstr(".strtab");
+  const u32 annot_name = shstr(kAnnotSectionName);
+  const u32 shstrtab_name = shstr(".shstrtab");
+  const u32 shstrtab_offset = static_cast<u32>(w.size());
+  w.put_bytes(shstrtab);
+
+  // --- Section headers.
+  w.pad_to(4);
+  w.patch_u32(shoff_pos, static_cast<u32>(w.size()));
+  auto put_shdr = [&](u32 name, u32 type, u32 flags, u32 addr, u32 offset,
+                      u32 size, u32 link, u32 entsize) {
+    w.put_u32(name);
+    w.put_u32(type);
+    w.put_u32(flags);
+    w.put_u32(addr);
+    w.put_u32(offset);
+    w.put_u32(size);
+    w.put_u32(link);
+    w.put_u32(0);  // sh_info
+    w.put_u32(4);  // sh_addralign
+    w.put_u32(entsize);
+  };
+  put_shdr(0, 0, 0, 0, 0, 0, 0, 0);  // null
+  for (std::size_t i = 0; i < loadable.size(); ++i) {
+    const bool executable = loadable[i]->name == ".text";
+    put_shdr(loadable_names[i], kShtProgbits,
+             kShfAlloc | (executable ? kShfExecinstr : kShfWrite),
+             loadable[i]->base, section_offsets[i],
+             static_cast<u32>(loadable[i]->bytes.size()), 0, 0);
+  }
+  const u32 strtab_index = static_cast<u32>(1 + loadable.size() + 1);
+  put_shdr(symtab_name, kShtSymtab, 0, 0, symtab_offset,
+           static_cast<u32>(symtab.size()), strtab_index, kSymSize);
+  put_shdr(strtab_name, kShtStrtab, 0, 0, strtab_offset,
+           static_cast<u32>(strtab.size()), 0, 0);
+  put_shdr(annot_name, kShtProgbits, 0, 0, annot_offset, annot_size, 0, 8);
+  put_shdr(shstrtab_name, kShtStrtab, 0, 0, shstrtab_offset,
+           static_cast<u32>(shstrtab.size()), 0, 0);
+
+  return image;
+}
+
+Result<assembler::Program> read_elf(const std::vector<u8>& image) {
+  ByteReader r(image);
+  if (image.size() < kEhdrSize ||
+      std::memcmp(image.data(), kElfMag, 4) != 0) {
+    return Error(ErrorCode::kParseError, "not an ELF image");
+  }
+  S4E_TRY(ei_class, r.get_u8(4));
+  S4E_TRY(ei_data, r.get_u8(5));
+  if (ei_class != kElfClass32 || ei_data != kElfData2Lsb) {
+    return Error(ErrorCode::kUnsupported, "only ELF32 little-endian supported");
+  }
+  S4E_TRY(machine, r.get_u16(18));
+  if (machine != kEmRiscv) {
+    return Error(ErrorCode::kUnsupported,
+                 format("unsupported ELF machine %u (want RISC-V)", machine));
+  }
+  assembler::Program program;
+  program.sections.clear();
+  S4E_TRY(entry, r.get_u32(24));
+  program.entry = entry;
+  S4E_TRY(shoff, r.get_u32(32));
+  S4E_TRY(shentsize, r.get_u16(46));
+  S4E_TRY(shnum, r.get_u16(48));
+  S4E_TRY(shstrndx, r.get_u16(50));
+  if (shoff == 0 || shnum == 0) {
+    return Error(ErrorCode::kUnsupported,
+                 "ELF without section headers not supported");
+  }
+
+  struct Shdr {
+    u32 name, type, flags, addr, offset, size, link, entsize;
+  };
+  auto read_shdr = [&](unsigned index) -> Result<Shdr> {
+    const std::size_t base = shoff + std::size_t{index} * shentsize;
+    Shdr s{};
+    S4E_TRY(name, r.get_u32(base + 0));
+    S4E_TRY(type, r.get_u32(base + 4));
+    S4E_TRY(flags, r.get_u32(base + 8));
+    S4E_TRY(addr, r.get_u32(base + 12));
+    S4E_TRY(offset, r.get_u32(base + 16));
+    S4E_TRY(size, r.get_u32(base + 20));
+    S4E_TRY(link, r.get_u32(base + 24));
+    S4E_TRY(entsize, r.get_u32(base + 36));
+    s.name = name; s.type = type; s.flags = flags; s.addr = addr;
+    s.offset = offset; s.size = size; s.link = link; s.entsize = entsize;
+    return s;
+  };
+
+  S4E_TRY(shstr_hdr, read_shdr(shstrndx));
+  auto section_name = [&](u32 name_offset) -> Result<std::string> {
+    return r.get_cstr(shstr_hdr.offset + name_offset);
+  };
+
+  std::optional<Shdr> symtab_hdr;
+  for (unsigned i = 1; i < shnum; ++i) {
+    S4E_TRY(shdr, read_shdr(i));
+    S4E_TRY(name, section_name(shdr.name));
+    if (shdr.type == kShtProgbits && (shdr.flags & kShfAlloc) != 0) {
+      if (shdr.offset + shdr.size > image.size()) {
+        return Error(ErrorCode::kParseError,
+                     "section '" + name + "' exceeds image");
+      }
+      assembler::Section section;
+      section.name = name;
+      section.base = shdr.addr;
+      section.bytes.assign(image.begin() + shdr.offset,
+                           image.begin() + shdr.offset + shdr.size);
+      program.sections.push_back(std::move(section));
+    } else if (shdr.type == kShtSymtab) {
+      symtab_hdr = shdr;
+    } else if (name == kAnnotSectionName) {
+      for (u32 pos = 0; pos + 8 <= shdr.size; pos += 8) {
+        S4E_TRY(addr, r.get_u32(shdr.offset + pos));
+        S4E_TRY(bound, r.get_u32(shdr.offset + pos + 4));
+        program.loop_bounds.push_back(assembler::LoopBound{addr, bound});
+      }
+    }
+  }
+
+  if (symtab_hdr) {
+    S4E_TRY(strtab_hdr, read_shdr(symtab_hdr->link));
+    const u32 count = symtab_hdr->entsize
+                          ? symtab_hdr->size / symtab_hdr->entsize
+                          : 0;
+    for (u32 i = 1; i < count; ++i) {
+      const std::size_t base = symtab_hdr->offset + std::size_t{i} * kSymSize;
+      S4E_TRY(name_offset, r.get_u32(base));
+      S4E_TRY(value, r.get_u32(base + 4));
+      S4E_TRY(name, r.get_cstr(strtab_hdr.offset + name_offset));
+      if (!name.empty()) program.symbols[name] = value;
+    }
+  }
+  return program;
+}
+
+Status write_elf_file(const assembler::Program& program,
+                      const std::string& path) {
+  S4E_TRY(image, write_elf(program));
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Error(ErrorCode::kIoError, "cannot open '" + path + "' for write");
+  }
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  return out.good() ? Status()
+                    : Status(Error(ErrorCode::kIoError,
+                                   "short write to '" + path + "'"));
+}
+
+Result<assembler::Program> read_elf_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error(ErrorCode::kIoError, "cannot open '" + path + "'");
+  }
+  std::vector<u8> image((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  return read_elf(image);
+}
+
+}  // namespace s4e::elf

@@ -1,0 +1,31 @@
+// Minimal ELF32 (little-endian, RISC-V) image writer and loader.
+//
+// The real ecosystem loads GCC-produced ELF binaries into QEMU; we replace
+// the toolchain but keep the artefact format, so assembled programs round-
+// trip through a standards-conformant ELF file: ELF32 header, one PT_LOAD
+// program header per section, a .symtab/.strtab pair, and a vendor section
+// `.s4e.annot` that carries the `.loopbound` WCET annotations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/status.hpp"
+
+namespace s4e::elf {
+
+// Serialize a program into an ELF32 image (in memory).
+Result<std::vector<u8>> write_elf(const assembler::Program& program);
+
+// Parse an ELF32 image back into a Program (sections, symbols, annotations,
+// entry point). Accepts exactly what write_elf produces plus any ELF32
+// executable whose PT_LOAD segments and symtab follow the spec.
+Result<assembler::Program> read_elf(const std::vector<u8>& image);
+
+// File-system convenience wrappers.
+Status write_elf_file(const assembler::Program& program,
+                      const std::string& path);
+Result<assembler::Program> read_elf_file(const std::string& path);
+
+}  // namespace s4e::elf

@@ -1,0 +1,368 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace s4e::fault {
+
+std::string FaultSpec::to_string() const {
+  const char* kind_name =
+      kind == FaultKind::kTransient ? "transient" : "stuck-at";
+  switch (target) {
+    case FaultTarget::kGpr:
+      return format("%s gpr x%u bit %u%s trigger=%llu", kind_name, reg, bit,
+                    kind == FaultKind::kStuckAt ? (stuck_value ? "=1" : "=0")
+                                                : "",
+                    static_cast<unsigned long long>(trigger));
+    case FaultTarget::kMemory:
+      return format("%s mem 0x%08x bit %u%s trigger=%llu", kind_name, address,
+                    bit,
+                    kind == FaultKind::kStuckAt ? (stuck_value ? "=1" : "=0")
+                                                : "",
+                    static_cast<unsigned long long>(trigger));
+    case FaultTarget::kCode:
+      return format("%s code 0x%08x bit %u trigger=%llu", kind_name, address,
+                    bit, static_cast<unsigned long long>(trigger));
+  }
+  return "?";
+}
+
+std::string_view to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kMasked: return "masked";
+    case Outcome::kSdc: return "sdc";
+    case Outcome::kCrash: return "crash";
+    case Outcome::kHang: return "hang";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Injector plugin.
+
+void FaultInjectorPlugin::apply_flip() {
+  switch (spec_.target) {
+    case FaultTarget::kGpr: {
+      const u32 value = s4e_read_gpr(vm(), spec_.reg);
+      s4e_write_gpr(vm(), spec_.reg, flip_bit(value, spec_.bit));
+      break;
+    }
+    case FaultTarget::kMemory: {
+      u8 byte = 0;
+      if (s4e_read_mem(vm(), spec_.address, &byte, 1) == 0) {
+        byte = static_cast<u8>(byte ^ (1u << (spec_.bit & 7)));
+        s4e_write_mem(vm(), spec_.address, &byte, 1);
+      }
+      break;
+    }
+    case FaultTarget::kCode: {
+      u32 word = 0;
+      if (s4e_read_mem(vm(), spec_.address, &word, 4) == 0) {
+        word = flip_bit(word, spec_.bit);
+        s4e_write_mem(vm(), spec_.address, &word, 4);
+        s4e_flush_tb_cache(vm());
+      }
+      break;
+    }
+  }
+  ++applications_;
+}
+
+void FaultInjectorPlugin::apply_stuck() {
+  switch (spec_.target) {
+    case FaultTarget::kGpr: {
+      const u32 value = s4e_read_gpr(vm(), spec_.reg);
+      const u32 forced = spec_.stuck_value ? (value | (u32{1} << spec_.bit))
+                                           : (value & ~(u32{1} << spec_.bit));
+      if (forced != value) {
+        s4e_write_gpr(vm(), spec_.reg, forced);
+        ++applications_;
+      }
+      break;
+    }
+    case FaultTarget::kMemory: {
+      u8 byte = 0;
+      if (s4e_read_mem(vm(), spec_.address, &byte, 1) == 0) {
+        const u8 forced = spec_.stuck_value
+                              ? static_cast<u8>(byte | (1u << (spec_.bit & 7)))
+                              : static_cast<u8>(byte & ~(1u << (spec_.bit & 7)));
+        if (forced != byte) {
+          s4e_write_mem(vm(), spec_.address, &forced, 1);
+          ++applications_;
+        }
+      }
+      break;
+    }
+    case FaultTarget::kCode:
+      // Handled once in on_insn_exec (code bytes don't change on their own).
+      break;
+  }
+}
+
+void FaultInjectorPlugin::on_insn_exec(const s4e_insn_info& insn) {
+  (void)insn;
+  if (spec_.kind == FaultKind::kStuckAt) {
+    if (spec_.target == FaultTarget::kCode) {
+      if (!fired_) {
+        fired_ = true;
+        u32 word = 0;
+        if (s4e_read_mem(vm(), spec_.address, &word, 4) == 0) {
+          const u32 forced = spec_.stuck_value
+                                 ? (word | (u32{1} << spec_.bit))
+                                 : (word & ~(u32{1} << spec_.bit));
+          if (forced != word) {
+            s4e_write_mem(vm(), spec_.address, &forced, 4);
+            s4e_flush_tb_cache(vm());
+            ++applications_;
+          }
+        }
+      }
+      return;
+    }
+    apply_stuck();
+    return;
+  }
+  // Transient: one flip at the trigger point.
+  if (!fired_ && s4e_icount(vm()) >= spec_.trigger) {
+    fired_ = true;
+    apply_flip();
+  }
+}
+
+void FaultInjectorPlugin::on_mem(const s4e_mem_event& event) {
+  // Stuck-at memory bit: re-force after any store covering the faulty byte.
+  if (event.is_store && spec_.target == FaultTarget::kMemory &&
+      spec_.kind == FaultKind::kStuckAt &&
+      event.vaddr <= spec_.address &&
+      spec_.address < event.vaddr + event.size) {
+    apply_stuck();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign.
+
+Result<Campaign::Profile> Campaign::profile_run(CampaignResult& result) {
+  vp::Machine machine(config_.machine);
+  S4E_TRY_STATUS(machine.load_program(program_));
+
+  coverage::CoveragePlugin coverage_plugin;
+  coverage_plugin.attach(machine.vm_handle());
+
+  // Record touched data memory and executed code through the C API.
+  struct Tracker {
+    std::set<u32> memory;
+    std::set<u32> code;
+  } tracker;
+  s4e_register_mem_cb(
+      machine.vm_handle(),
+      [](void* userdata, s4e_vm*, const s4e_mem_event* event) {
+        static_cast<Tracker*>(userdata)->memory.insert(event->vaddr);
+      },
+      &tracker);
+  s4e_register_tb_trans_cb(
+      machine.vm_handle(),
+      [](void* userdata, s4e_vm*, const s4e_tb_info* tb) {
+        auto* t = static_cast<Tracker*>(userdata);
+        for (u32 i = 0; i < tb->n_insns; ++i) {
+          t->code.insert(tb->insns[i].address);
+        }
+      },
+      &tracker);
+
+  const vp::RunResult golden = machine.run();
+  if (!golden.normal_exit()) {
+    return Error(ErrorCode::kStateError,
+                 "golden run did not terminate normally: " +
+                     std::string(vp::to_string(golden.reason)));
+  }
+  result.golden_exit_code = golden.exit_code;
+  result.golden_instructions = golden.instructions;
+  result.golden_uart =
+      machine.uart() != nullptr ? machine.uart()->tx_log() : "";
+  result.golden_memory_hash = data_memory_hash(machine);
+
+  Profile profile;
+  profile.coverage = coverage_plugin.data();
+  profile.touched_memory.assign(tracker.memory.begin(), tracker.memory.end());
+  profile.executed_code.assign(tracker.code.begin(), tracker.code.end());
+  return profile;
+}
+
+std::vector<FaultSpec> Campaign::generate_faults(const Profile& profile) {
+  Rng rng(config_.seed);
+  std::vector<FaultSpec> faults;
+
+  // Candidate registers: coverage-directed -> registers the binary reads
+  // (a fault in a never-read register cannot propagate); blind -> x1..x31.
+  std::vector<unsigned> registers;
+  for (unsigned reg = 1; reg < isa::kGprCount; ++reg) {
+    if (!config_.coverage_directed ||
+        profile.coverage.gpr_reads[reg] != 0) {
+      registers.push_back(reg);
+    }
+  }
+
+  // Candidate memory: touched addresses, or the whole data section.
+  std::vector<u32> memory = profile.touched_memory;
+  if (!config_.coverage_directed || memory.empty()) {
+    memory.clear();
+    if (const assembler::Section* data = program_.find_section(".data")) {
+      for (u32 offset = 0; offset < data->bytes.size(); ++offset) {
+        memory.push_back(data->base + offset);
+      }
+    }
+  }
+
+  // Candidate code: executed addresses, or the whole text section.
+  std::vector<u32> code = profile.executed_code;
+  if (!config_.coverage_directed || code.empty()) {
+    code.clear();
+    if (const assembler::Section* text = program_.find_section(".text")) {
+      for (u32 offset = 0; offset + 4 <= text->bytes.size(); offset += 4) {
+        code.push_back(text->base + offset);
+      }
+    }
+  }
+
+  std::vector<FaultTarget> targets;
+  if (config_.gpr_faults && !registers.empty()) {
+    targets.push_back(FaultTarget::kGpr);
+  }
+  if (config_.memory_faults && !memory.empty()) {
+    targets.push_back(FaultTarget::kMemory);
+  }
+  if (config_.code_faults && !code.empty()) {
+    targets.push_back(FaultTarget::kCode);
+  }
+  if (targets.empty()) return faults;
+
+  const u64 golden_icount = std::max<u64>(profile.coverage.total_instructions, 1);
+  for (unsigned i = 0; i < config_.mutant_count; ++i) {
+    FaultSpec spec;
+    spec.target = targets[rng.next_below(static_cast<u32>(targets.size()))];
+    spec.kind = rng.chance(1, 4) ? FaultKind::kStuckAt : FaultKind::kTransient;
+    spec.trigger = rng.next_u64() % golden_icount;
+    spec.stuck_value = rng.chance(1, 2);
+    switch (spec.target) {
+      case FaultTarget::kGpr:
+        spec.reg = registers[rng.next_below(static_cast<u32>(registers.size()))];
+        spec.bit = static_cast<u8>(rng.next_below(32));
+        break;
+      case FaultTarget::kMemory:
+        spec.address = memory[rng.next_below(static_cast<u32>(memory.size()))];
+        spec.bit = static_cast<u8>(rng.next_below(8));
+        break;
+      case FaultTarget::kCode:
+        spec.address = code[rng.next_below(static_cast<u32>(code.size()))];
+        spec.bit = static_cast<u8>(rng.next_below(32));
+        // Stuck-at code faults behave like load-time mutations.
+        break;
+    }
+    faults.push_back(spec);
+  }
+  return faults;
+}
+
+u64 Campaign::data_memory_hash(vp::Machine& machine) const {
+  const assembler::Section* data = program_.find_section(".data");
+  if (data == nullptr || data->bytes.empty()) return 0;
+  std::vector<u8> buffer(data->bytes.size());
+  if (!machine.bus()
+           .ram_read(data->base, buffer.data(),
+                     static_cast<u32>(buffer.size()))
+           .ok()) {
+    return 0;
+  }
+  u64 hash = 0xcbf29ce484222325ULL;
+  for (u8 byte : buffer) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Outcome Campaign::classify(const vp::RunResult& run, const std::string& uart,
+                           u64 memory_hash,
+                           const CampaignResult& golden) const {
+  if (run.reason == vp::StopReason::kMaxInstructions) return Outcome::kHang;
+  if (!run.normal_exit()) return Outcome::kCrash;
+  if (run.exit_code != golden.golden_exit_code ||
+      uart != golden.golden_uart) {
+    return Outcome::kSdc;
+  }
+  if (config_.compare_memory && memory_hash != golden.golden_memory_hash) {
+    return Outcome::kSdc;  // silent corruption below the output surface
+  }
+  return Outcome::kMasked;
+}
+
+Result<CampaignResult> Campaign::run() {
+  CampaignResult result;
+  S4E_TRY(profile, profile_run(result));
+  faults_ = generate_faults(profile);
+
+  vp::MachineConfig mutant_config = config_.machine;
+  mutant_config.max_instructions =
+      result.golden_instructions * config_.hang_budget_factor + 10'000;
+
+  for (const FaultSpec& spec : faults_) {
+    vp::Machine machine(mutant_config);
+    S4E_TRY_STATUS(machine.load_program(program_));
+    FaultInjectorPlugin injector(spec);
+    injector.attach(machine.vm_handle());
+    const vp::RunResult run = machine.run();
+
+    MutantResult mutant;
+    mutant.spec = spec;
+    mutant.exit_code = run.exit_code;
+    mutant.instructions = run.instructions;
+    mutant.outcome = classify(
+        run, machine.uart() != nullptr ? machine.uart()->tx_log() : "",
+        data_memory_hash(machine), result);
+    ++result.outcome_counts[static_cast<unsigned>(mutant.outcome)];
+    result.simulated_instructions += static_cast<double>(run.instructions);
+    result.mutants.push_back(std::move(mutant));
+  }
+  return result;
+}
+
+double CampaignResult::informative_fraction(FaultTarget target) const {
+  u64 total = 0;
+  u64 informative = 0;
+  for (const MutantResult& mutant : mutants) {
+    if (mutant.spec.target != target) continue;
+    ++total;
+    informative += mutant.outcome != Outcome::kMasked;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(informative) /
+                          static_cast<double>(total);
+}
+
+std::string CampaignResult::to_string() const {
+  std::string out = "fault campaign\n";
+  out += format("  golden: exit=%d, %llu instructions\n", golden_exit_code,
+                static_cast<unsigned long long>(golden_instructions));
+  out += format("  mutants simulated : %zu (%.0f instructions total)\n",
+                mutants.size(), simulated_instructions);
+  const u64 total = std::max<u64>(mutants.size(), 1);
+  for (unsigned i = 0; i < 4; ++i) {
+    const auto outcome = static_cast<Outcome>(i);
+    out += format("  %-7s : %llu  (%.1f%%)\n",
+                  std::string(fault::to_string(outcome)).c_str(),
+                  static_cast<unsigned long long>(outcome_counts[i]),
+                  100.0 * static_cast<double>(outcome_counts[i]) /
+                      static_cast<double>(total));
+  }
+  out += format("  informative by target: gpr %.1f%%, mem %.1f%%, code "
+                "%.1f%%\n",
+                100.0 * informative_fraction(FaultTarget::kGpr),
+                100.0 * informative_fraction(FaultTarget::kMemory),
+                100.0 * informative_fraction(FaultTarget::kCode));
+  return out;
+}
+
+}  // namespace s4e::fault

@@ -1,0 +1,141 @@
+#include "isa/decoder.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace s4e::isa {
+
+namespace {
+
+// Immediate extraction per the RISC-V base encoding.
+i32 imm_i(u32 w) { return sign_extend(extract_bits(w, 20, 12), 12); }
+
+i32 imm_s(u32 w) {
+  const u32 value = (extract_bits(w, 25, 7) << 5) | extract_bits(w, 7, 5);
+  return sign_extend(value, 12);
+}
+
+i32 imm_b(u32 w) {
+  const u32 value = (extract_bits(w, 31, 1) << 12) |
+                    (extract_bits(w, 7, 1) << 11) |
+                    (extract_bits(w, 25, 6) << 5) |
+                    (extract_bits(w, 8, 4) << 1);
+  return sign_extend(value, 13);
+}
+
+i32 imm_u(u32 w) { return static_cast<i32>(w & 0xfffff000u); }
+
+i32 imm_j(u32 w) {
+  const u32 value = (extract_bits(w, 31, 1) << 20) |
+                    (extract_bits(w, 12, 8) << 12) |
+                    (extract_bits(w, 20, 1) << 11) |
+                    (extract_bits(w, 21, 10) << 1);
+  return sign_extend(value, 21);
+}
+
+}  // namespace
+
+Instr extract_operands(Op op, u32 word) noexcept {
+  Instr instr;
+  instr.op = op;
+  instr.raw = word;
+  const u8 rd = static_cast<u8>(extract_bits(word, 7, 5));
+  const u8 rs1 = static_cast<u8>(extract_bits(word, 15, 5));
+  const u8 rs2 = static_cast<u8>(extract_bits(word, 20, 5));
+  switch (op_info(op).format) {
+    case Format::kR:
+      instr.rd = rd;
+      instr.rs1 = rs1;
+      instr.rs2 = rs2;
+      break;
+    case Format::kI:
+      instr.rd = rd;
+      instr.rs1 = rs1;
+      instr.imm = imm_i(word);
+      break;
+    case Format::kIShift:
+      instr.rd = rd;
+      instr.rs1 = rs1;
+      instr.rs2 = rs2;  // shamt
+      instr.imm = static_cast<i32>(rs2);
+      break;
+    case Format::kS:
+      instr.rs1 = rs1;
+      instr.rs2 = rs2;
+      instr.imm = imm_s(word);
+      break;
+    case Format::kB:
+      instr.rs1 = rs1;
+      instr.rs2 = rs2;
+      instr.imm = imm_b(word);
+      break;
+    case Format::kU:
+      instr.rd = rd;
+      instr.imm = imm_u(word);
+      break;
+    case Format::kJ:
+      instr.rd = rd;
+      instr.imm = imm_j(word);
+      break;
+    case Format::kCsrReg:
+      instr.rd = rd;
+      instr.rs1 = rs1;
+      instr.csr = static_cast<u16>(extract_bits(word, 20, 12));
+      break;
+    case Format::kCsrImm:
+      instr.rd = rd;
+      instr.rs2 = rs1;  // zimm lives in the rs1 field
+      instr.imm = static_cast<i32>(rs1);
+      instr.csr = static_cast<u16>(extract_bits(word, 20, 12));
+      break;
+    case Format::kNone:
+    case Format::kFence:
+      break;
+  }
+  return instr;
+}
+
+Decoder::Decoder() {
+  for (unsigned i = 0; i < kOpCount; ++i) {
+    const OpInfo& info = op_table()[i];
+    const unsigned major = (info.match >> 2) & 0x1f;
+    buckets_[major].push_back(Row{info.match, info.mask, info.op});
+  }
+  // Fully-fixed encodings (ecall/ebreak/mret/wfi) must win over the CSR
+  // rows that share funct3 = 0 space; order rows most-specific first.
+  for (auto& bucket : buckets_) {
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [](const Row& a, const Row& b) {
+                       return popcount32(a.mask) > popcount32(b.mask);
+                     });
+  }
+}
+
+bool Decoder::try_decode(u32 word, Instr& out) const noexcept {
+  if ((word & 0x3) != 0x3) return false;  // RVC not supported
+  const unsigned major = (word >> 2) & 0x1f;
+  for (const Row& row : buckets_[major]) {
+    if ((word & row.mask) == row.match) {
+      out = extract_operands(row.op, word);
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<Instr> Decoder::decode(u32 word) const {
+  Instr instr;
+  if (!try_decode(word, instr)) {
+    return Error(ErrorCode::kEncodingError,
+                 format("illegal or unsupported encoding 0x%08x", word));
+  }
+  return instr;
+}
+
+const Decoder& decoder() {
+  static const Decoder instance;
+  return instance;
+}
+
+}  // namespace s4e::isa

@@ -1,0 +1,43 @@
+// Binary -> Instr decoding, DecodeTree-style: the decoder is built from the
+// single declarative OpInfo table (match/mask rows bucketed by major
+// opcode), so it is correct by construction with respect to the encoder.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "isa/instr.hpp"
+
+namespace s4e::isa {
+
+class Decoder {
+ public:
+  Decoder();
+
+  // Decode one 32-bit word. Fails with kEncodingError for illegal or
+  // unsupported encodings (the VP raises an illegal-instruction trap then).
+  Result<Instr> decode(u32 word) const;
+
+  // Fast-path variant used by the translation-block builder: returns false
+  // on illegal encodings without constructing an Error.
+  bool try_decode(u32 word, Instr& out) const noexcept;
+
+ private:
+  struct Row {
+    u32 match;
+    u32 mask;
+    Op op;
+  };
+  // Rows bucketed by the major opcode (bits 6:0 >> 2); bucket 32 collects
+  // nothing (non-11 low bits are always illegal in RV32-without-C).
+  std::vector<Row> buckets_[32];
+};
+
+// Process-wide shared decoder instance (the table is immutable).
+const Decoder& decoder();
+
+// Extract the operand fields for `op` out of `word` (used by decode and by
+// the fault injector to explain opcode-level bit flips).
+Instr extract_operands(Op op, u32 word) noexcept;
+
+}  // namespace s4e::isa

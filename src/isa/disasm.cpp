@@ -1,0 +1,76 @@
+#include "isa/disasm.hpp"
+
+#include "common/strings.hpp"
+#include "isa/csr.hpp"
+#include "isa/registers.hpp"
+
+namespace s4e::isa {
+
+namespace {
+
+std::string reg(unsigned index) { return std::string(gpr_abi_name(index)); }
+
+std::string csr_text(u16 address) {
+  if (auto name = csr_name(address)) return std::string(*name);
+  return format("0x%03x", address);
+}
+
+}  // namespace
+
+std::string disassemble(const Instr& instr) {
+  const OpInfo& info = instr.info();
+  const std::string m(info.mnemonic);
+  switch (info.format) {
+    case Format::kR:
+      return format("%s %s, %s, %s", m.c_str(), reg(instr.rd).c_str(),
+                    reg(instr.rs1).c_str(), reg(instr.rs2).c_str());
+    case Format::kI:
+      if (info.op_class == OpClass::kLoad) {
+        return format("%s %s, %d(%s)", m.c_str(), reg(instr.rd).c_str(),
+                      instr.imm, reg(instr.rs1).c_str());
+      }
+      if (instr.op == Op::kJalr) {
+        return format("%s %s, %d(%s)", m.c_str(), reg(instr.rd).c_str(),
+                      instr.imm, reg(instr.rs1).c_str());
+      }
+      return format("%s %s, %s, %d", m.c_str(), reg(instr.rd).c_str(),
+                    reg(instr.rs1).c_str(), instr.imm);
+    case Format::kIShift:
+      return format("%s %s, %s, %u", m.c_str(), reg(instr.rd).c_str(),
+                    reg(instr.rs1).c_str(), static_cast<unsigned>(instr.rs2));
+    case Format::kS:
+      return format("%s %s, %d(%s)", m.c_str(), reg(instr.rs2).c_str(),
+                    instr.imm, reg(instr.rs1).c_str());
+    case Format::kB:
+      return format("%s %s, %s, %d", m.c_str(), reg(instr.rs1).c_str(),
+                    reg(instr.rs2).c_str(), instr.imm);
+    case Format::kU:
+      return format("%s %s, 0x%x", m.c_str(), reg(instr.rd).c_str(),
+                    static_cast<u32>(instr.imm) >> 12);
+    case Format::kJ:
+      return format("%s %s, %d", m.c_str(), reg(instr.rd).c_str(), instr.imm);
+    case Format::kCsrReg:
+      return format("%s %s, %s, %s", m.c_str(), reg(instr.rd).c_str(),
+                    csr_text(instr.csr).c_str(), reg(instr.rs1).c_str());
+    case Format::kCsrImm:
+      return format("%s %s, %s, %u", m.c_str(), reg(instr.rd).c_str(),
+                    csr_text(instr.csr).c_str(),
+                    static_cast<unsigned>(instr.rs2));
+    case Format::kNone:
+      return m;
+    case Format::kFence:
+      return m;
+  }
+  return m;
+}
+
+std::string disassemble_at(const Instr& instr, u32 pc) {
+  const OpInfo& info = instr.info();
+  if (info.format == Format::kB || info.format == Format::kJ) {
+    const u32 target = pc + static_cast<u32>(instr.imm);
+    return disassemble(instr) + format("    # -> 0x%08x", target);
+  }
+  return disassemble(instr);
+}
+
+}  // namespace s4e::isa

@@ -1,0 +1,20 @@
+// Textual disassembly, round-trippable through the assembler (the
+// disassembler emits exactly the syntax the assembler accepts, which the
+// property tests exploit).
+#pragma once
+
+#include <string>
+
+#include "isa/instr.hpp"
+
+namespace s4e::isa {
+
+// "addi a0, a1, -4" / "lw t0, 8(sp)" / "beq a0, a1, 16" (branch/jump targets
+// are printed as relative byte offsets; pass `pc` to print absolute).
+std::string disassemble(const Instr& instr);
+
+// Same, but branch/jump/auipc targets are rendered as absolute addresses
+// given the instruction's own address.
+std::string disassemble_at(const Instr& instr, u32 pc);
+
+}  // namespace s4e::isa

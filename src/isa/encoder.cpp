@@ -1,0 +1,247 @@
+#include "isa/encoder.hpp"
+
+#include "common/strings.hpp"
+#include "isa/registers.hpp"
+
+namespace s4e::isa {
+
+namespace {
+
+Status check_reg(unsigned reg, const char* what) {
+  if (reg >= kGprCount) {
+    return Error(ErrorCode::kEncodingError,
+                 format("%s register index %u out of range", what, reg));
+  }
+  return Status();
+}
+
+u32 place_imm_i(u32 word, i32 imm) {
+  return insert_bits(word, 20, 12, static_cast<u32>(imm));
+}
+
+u32 place_imm_s(u32 word, i32 imm) {
+  const u32 v = static_cast<u32>(imm);
+  word = insert_bits(word, 7, 5, extract_bits(v, 0, 5));
+  word = insert_bits(word, 25, 7, extract_bits(v, 5, 7));
+  return word;
+}
+
+u32 place_imm_b(u32 word, i32 imm) {
+  const u32 v = static_cast<u32>(imm);
+  word = insert_bits(word, 8, 4, extract_bits(v, 1, 4));
+  word = insert_bits(word, 25, 6, extract_bits(v, 5, 6));
+  word = insert_bits(word, 7, 1, extract_bits(v, 11, 1));
+  word = insert_bits(word, 31, 1, extract_bits(v, 12, 1));
+  return word;
+}
+
+u32 place_imm_j(u32 word, i32 imm) {
+  const u32 v = static_cast<u32>(imm);
+  word = insert_bits(word, 21, 10, extract_bits(v, 1, 10));
+  word = insert_bits(word, 20, 1, extract_bits(v, 11, 1));
+  word = insert_bits(word, 12, 8, extract_bits(v, 12, 8));
+  word = insert_bits(word, 31, 1, extract_bits(v, 20, 1));
+  return word;
+}
+
+}  // namespace
+
+Result<u32> encode(const Instr& instr) {
+  const OpInfo& info = instr.info();
+  u32 word = info.match;
+  switch (info.format) {
+    case Format::kR: {
+      S4E_TRY_STATUS(check_reg(instr.rd, "rd"));
+      S4E_TRY_STATUS(check_reg(instr.rs1, "rs1"));
+      S4E_TRY_STATUS(check_reg(instr.rs2, "rs2"));
+      word = insert_bits(word, 7, 5, instr.rd);
+      word = insert_bits(word, 15, 5, instr.rs1);
+      word = insert_bits(word, 20, 5, instr.rs2);
+      break;
+    }
+    case Format::kI: {
+      S4E_TRY_STATUS(check_reg(instr.rd, "rd"));
+      S4E_TRY_STATUS(check_reg(instr.rs1, "rs1"));
+      if (!fits_signed(instr.imm, 12)) {
+        return Error(ErrorCode::kEncodingError,
+                     format("I-type immediate %d does not fit 12 bits",
+                            instr.imm));
+      }
+      word = insert_bits(word, 7, 5, instr.rd);
+      word = insert_bits(word, 15, 5, instr.rs1);
+      word = place_imm_i(word, instr.imm);
+      break;
+    }
+    case Format::kIShift: {
+      S4E_TRY_STATUS(check_reg(instr.rd, "rd"));
+      S4E_TRY_STATUS(check_reg(instr.rs1, "rs1"));
+      if (instr.rs2 >= 32) {
+        return Error(ErrorCode::kEncodingError,
+                     format("shift amount %u out of range", instr.rs2));
+      }
+      word = insert_bits(word, 7, 5, instr.rd);
+      word = insert_bits(word, 15, 5, instr.rs1);
+      word = insert_bits(word, 20, 5, instr.rs2);
+      break;
+    }
+    case Format::kS: {
+      S4E_TRY_STATUS(check_reg(instr.rs1, "rs1"));
+      S4E_TRY_STATUS(check_reg(instr.rs2, "rs2"));
+      if (!fits_signed(instr.imm, 12)) {
+        return Error(ErrorCode::kEncodingError,
+                     format("S-type immediate %d does not fit 12 bits",
+                            instr.imm));
+      }
+      word = insert_bits(word, 15, 5, instr.rs1);
+      word = insert_bits(word, 20, 5, instr.rs2);
+      word = place_imm_s(word, instr.imm);
+      break;
+    }
+    case Format::kB: {
+      S4E_TRY_STATUS(check_reg(instr.rs1, "rs1"));
+      S4E_TRY_STATUS(check_reg(instr.rs2, "rs2"));
+      if (!fits_signed(instr.imm, 13) || (instr.imm & 1) != 0) {
+        return Error(ErrorCode::kEncodingError,
+                     format("branch offset %d invalid (13-bit even)",
+                            instr.imm));
+      }
+      word = insert_bits(word, 15, 5, instr.rs1);
+      word = insert_bits(word, 20, 5, instr.rs2);
+      word = place_imm_b(word, instr.imm);
+      break;
+    }
+    case Format::kU: {
+      S4E_TRY_STATUS(check_reg(instr.rd, "rd"));
+      if ((static_cast<u32>(instr.imm) & 0xfffu) != 0) {
+        return Error(ErrorCode::kEncodingError,
+                     "U-type immediate must have low 12 bits clear");
+      }
+      word = insert_bits(word, 7, 5, instr.rd);
+      word |= static_cast<u32>(instr.imm) & 0xfffff000u;
+      break;
+    }
+    case Format::kJ: {
+      S4E_TRY_STATUS(check_reg(instr.rd, "rd"));
+      if (!fits_signed(instr.imm, 21) || (instr.imm & 1) != 0) {
+        return Error(ErrorCode::kEncodingError,
+                     format("jump offset %d invalid (21-bit even)",
+                            instr.imm));
+      }
+      word = insert_bits(word, 7, 5, instr.rd);
+      word = place_imm_j(word, instr.imm);
+      break;
+    }
+    case Format::kCsrReg: {
+      S4E_TRY_STATUS(check_reg(instr.rd, "rd"));
+      S4E_TRY_STATUS(check_reg(instr.rs1, "rs1"));
+      word = insert_bits(word, 7, 5, instr.rd);
+      word = insert_bits(word, 15, 5, instr.rs1);
+      word = insert_bits(word, 20, 12, instr.csr);
+      break;
+    }
+    case Format::kCsrImm: {
+      S4E_TRY_STATUS(check_reg(instr.rd, "rd"));
+      if (instr.rs2 >= 32) {
+        return Error(ErrorCode::kEncodingError,
+                     format("CSR zimm %u out of range", instr.rs2));
+      }
+      word = insert_bits(word, 7, 5, instr.rd);
+      word = insert_bits(word, 15, 5, instr.rs2);
+      word = insert_bits(word, 20, 12, instr.csr);
+      break;
+    }
+    case Format::kNone:
+    case Format::kFence:
+      break;
+  }
+  return word;
+}
+
+Instr make_r(Op op, unsigned rd, unsigned rs1, unsigned rs2) {
+  Instr instr;
+  instr.op = op;
+  instr.rd = static_cast<u8>(rd);
+  instr.rs1 = static_cast<u8>(rs1);
+  instr.rs2 = static_cast<u8>(rs2);
+  return instr;
+}
+
+Instr make_i(Op op, unsigned rd, unsigned rs1, i32 imm) {
+  Instr instr;
+  instr.op = op;
+  instr.rd = static_cast<u8>(rd);
+  instr.rs1 = static_cast<u8>(rs1);
+  instr.imm = imm;
+  return instr;
+}
+
+Instr make_shift(Op op, unsigned rd, unsigned rs1, unsigned shamt) {
+  Instr instr;
+  instr.op = op;
+  instr.rd = static_cast<u8>(rd);
+  instr.rs1 = static_cast<u8>(rs1);
+  instr.rs2 = static_cast<u8>(shamt);
+  instr.imm = static_cast<i32>(shamt);
+  return instr;
+}
+
+Instr make_s(Op op, unsigned rs1, unsigned rs2, i32 imm) {
+  Instr instr;
+  instr.op = op;
+  instr.rs1 = static_cast<u8>(rs1);
+  instr.rs2 = static_cast<u8>(rs2);
+  instr.imm = imm;
+  return instr;
+}
+
+Instr make_b(Op op, unsigned rs1, unsigned rs2, i32 offset) {
+  Instr instr;
+  instr.op = op;
+  instr.rs1 = static_cast<u8>(rs1);
+  instr.rs2 = static_cast<u8>(rs2);
+  instr.imm = offset;
+  return instr;
+}
+
+Instr make_u(Op op, unsigned rd, i32 imm_upper20) {
+  Instr instr;
+  instr.op = op;
+  instr.rd = static_cast<u8>(rd);
+  instr.imm = imm_upper20;
+  return instr;
+}
+
+Instr make_j(Op op, unsigned rd, i32 offset) {
+  Instr instr;
+  instr.op = op;
+  instr.rd = static_cast<u8>(rd);
+  instr.imm = offset;
+  return instr;
+}
+
+Instr make_csr_reg(Op op, unsigned rd, u16 csr, unsigned rs1) {
+  Instr instr;
+  instr.op = op;
+  instr.rd = static_cast<u8>(rd);
+  instr.rs1 = static_cast<u8>(rs1);
+  instr.csr = csr;
+  return instr;
+}
+
+Instr make_csr_imm(Op op, unsigned rd, u16 csr, unsigned zimm) {
+  Instr instr;
+  instr.op = op;
+  instr.rd = static_cast<u8>(rd);
+  instr.rs2 = static_cast<u8>(zimm);
+  instr.imm = static_cast<i32>(zimm);
+  instr.csr = csr;
+  return instr;
+}
+
+Instr make_system(Op op) {
+  Instr instr;
+  instr.op = op;
+  return instr;
+}
+
+}  // namespace s4e::isa

@@ -1,0 +1,27 @@
+// Instr -> binary encoding; the inverse of the decoder, derived from the
+// same OpInfo table. The assembler and the test generator emit through this.
+#pragma once
+
+#include "common/status.hpp"
+#include "isa/instr.hpp"
+
+namespace s4e::isa {
+
+// Encode a decoded instruction back into its 32-bit word. Validates operand
+// ranges (register indices, immediate widths, branch alignment) and fails
+// with kEncodingError on violations.
+Result<u32> encode(const Instr& instr);
+
+// Convenience builders used by the assembler, the test generator and tests.
+Instr make_r(Op op, unsigned rd, unsigned rs1, unsigned rs2);
+Instr make_i(Op op, unsigned rd, unsigned rs1, i32 imm);
+Instr make_shift(Op op, unsigned rd, unsigned rs1, unsigned shamt);
+Instr make_s(Op op, unsigned rs1, unsigned rs2, i32 imm);
+Instr make_b(Op op, unsigned rs1, unsigned rs2, i32 offset);
+Instr make_u(Op op, unsigned rd, i32 imm_upper20);  // imm is the <<12 value
+Instr make_j(Op op, unsigned rd, i32 offset);
+Instr make_csr_reg(Op op, unsigned rd, u16 csr, unsigned rs1);
+Instr make_csr_imm(Op op, unsigned rd, u16 csr, unsigned zimm);
+Instr make_system(Op op);
+
+}  // namespace s4e::isa

@@ -1,0 +1,38 @@
+// Decoded instruction representation shared by the emulator, the CFG
+// reconstructor, the disassembler and the fault injector.
+#pragma once
+
+#include "common/bits.hpp"
+#include "isa/opcode.hpp"
+
+namespace s4e::isa {
+
+// A fully decoded 32-bit instruction. `imm` is already sign-extended and,
+// for U-type, already shifted left by 12 — i.e. it is the value the
+// semantics use, not the raw field.
+struct Instr {
+  Op op = Op::kEcall;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;   // also the shamt for kIShift and the zimm for kCsrImm
+  i32 imm = 0;
+  u16 csr = 0;  // kCsrReg / kCsrImm only
+  u32 raw = 0;  // original encoding word (low 16 bits for RVC)
+  u8 length = 4;  // encoding size in bytes: 4, or 2 for RVC
+
+  const OpInfo& info() const noexcept { return op_info(op); }
+
+  bool is_branch() const noexcept { return info().op_class == OpClass::kBranch; }
+  bool is_jump() const noexcept { return info().op_class == OpClass::kJump; }
+  // True if the instruction can redirect control flow (ends a basic block).
+  bool is_control_flow() const noexcept {
+    return is_branch() || is_jump() || op == Op::kEcall || op == Op::kEbreak ||
+           op == Op::kMret;
+  }
+  bool is_load() const noexcept { return info().op_class == OpClass::kLoad; }
+  bool is_store() const noexcept { return info().op_class == OpClass::kStore; }
+
+  bool operator==(const Instr&) const = default;
+};
+
+}  // namespace s4e::isa

@@ -1,0 +1,42 @@
+#include "isa/registers.hpp"
+
+#include <array>
+
+#include "common/strings.hpp"
+
+namespace s4e::isa {
+
+namespace {
+constexpr std::array<std::string_view, kGprCount> kAbiNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0",   "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6",   "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8",   "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+};
+}  // namespace
+
+std::string_view gpr_abi_name(unsigned index) noexcept {
+  return kAbiNames[index % kGprCount];
+}
+
+std::optional<unsigned> parse_gpr(std::string_view name) noexcept {
+  if (name.size() >= 2 && (name[0] == 'x' || name[0] == 'X')) {
+    unsigned value = 0;
+    bool all_digits = true;
+    for (char c : name.substr(1)) {
+      if (c < '0' || c > '9') {
+        all_digits = false;
+        break;
+      }
+      value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (all_digits && value < kGprCount) return value;
+  }
+  if (name == "fp") return 8;  // frame-pointer alias for s0
+  for (unsigned i = 0; i < kGprCount; ++i) {
+    if (name == kAbiNames[i]) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace s4e::isa

@@ -1,0 +1,21 @@
+// GPR naming: architectural (x0..x31) and ABI (zero, ra, sp, ...) names,
+// used by the assembler, disassembler and coverage reports.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/bits.hpp"
+
+namespace s4e::isa {
+
+inline constexpr unsigned kGprCount = 32;
+
+// ABI name of GPR `index` ("zero", "ra", ..., "t6").
+// Precondition: index < kGprCount.
+std::string_view gpr_abi_name(unsigned index) noexcept;
+
+// Parse either an architectural ("x7") or ABI ("t2", "s0", "fp") name.
+std::optional<unsigned> parse_gpr(std::string_view name) noexcept;
+
+}  // namespace s4e::isa

@@ -1,0 +1,69 @@
+#include "memwatch/memwatch.hpp"
+
+#include "common/strings.hpp"
+
+namespace s4e::memwatch {
+
+std::string Violation::to_string() const {
+  return format("%s at pc=0x%08x: %s %u bytes at 0x%08x (value 0x%08x)",
+                region.c_str(), pc, is_store ? "store" : "load", 4, address,
+                value);
+}
+
+void MemWatchPlugin::on_mem(const s4e_mem_event& event) {
+  ++total_accesses_;
+  bool matched = false;
+  for (std::size_t i = 0; i < policy_.regions.size(); ++i) {
+    const Region& region = policy_.regions[i];
+    if (!region.contains(event.vaddr)) continue;
+    matched = true;
+    if (event.is_store) {
+      ++stats_[i].writes;
+    } else {
+      ++stats_[i].reads;
+    }
+    const bool kind_ok =
+        event.is_store ? region.allow_write : region.allow_read;
+    if (!kind_ok || !region.pc_allowed(event.pc)) {
+      Violation violation;
+      violation.region = region.name;
+      violation.pc = event.pc;
+      violation.address = event.vaddr;
+      violation.value = event.value;
+      violation.is_store = event.is_store != 0;
+      violations_.push_back(std::move(violation));
+    }
+  }
+  if (!matched) {
+    ++unmatched_;
+    if (!policy_.default_allow) {
+      Violation violation;
+      violation.region = "<unmatched>";
+      violation.pc = event.pc;
+      violation.address = event.vaddr;
+      violation.value = event.value;
+      violation.is_store = event.is_store != 0;
+      violations_.push_back(std::move(violation));
+    }
+  }
+}
+
+std::string MemWatchPlugin::report() const {
+  std::string out = "memwatch report\n";
+  out += format("  data accesses observed : %llu\n",
+                static_cast<unsigned long long>(total_accesses_));
+  for (std::size_t i = 0; i < policy_.regions.size(); ++i) {
+    const Region& region = policy_.regions[i];
+    out += format("  %-16s [0x%08x, +0x%x): %llu reads, %llu writes\n",
+                  region.name.c_str(), region.base, region.size,
+                  static_cast<unsigned long long>(stats_[i].reads),
+                  static_cast<unsigned long long>(stats_[i].writes));
+  }
+  out += format("  violations             : %zu\n", violations_.size());
+  for (const Violation& violation : violations_) {
+    out += "    " + violation.to_string() + "\n";
+  }
+  return out;
+}
+
+}  // namespace s4e::memwatch

@@ -1,0 +1,91 @@
+// Dynamic memory / IO access analysis for security-sensitive software
+// (MBMV'19): non-invasive observation of every data access through the
+// plugin API, checked against an address-space policy. The motivating
+// scenario is a lock control attached over UART: any access to the UART
+// window from code outside the authorized driver routine is an attack
+// indicator and must be flagged early.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "vp/plugin.hpp"
+
+namespace s4e::memwatch {
+
+// One policy region. Accesses are additionally constrained by the PC range
+// allowed to touch the region ([pc_lo, pc_hi) == [0, 0) means "any code").
+struct Region {
+  std::string name;
+  u32 base = 0;
+  u32 size = 0;
+  bool allow_read = true;
+  bool allow_write = true;
+  u32 pc_lo = 0;  // only code in [pc_lo, pc_hi) may access (0,0 = any)
+  u32 pc_hi = 0;
+
+  bool contains(u32 address) const noexcept {
+    return address >= base && address - base < size;
+  }
+  bool pc_allowed(u32 pc) const noexcept {
+    return (pc_lo == 0 && pc_hi == 0) || (pc >= pc_lo && pc < pc_hi);
+  }
+};
+
+struct Policy {
+  std::vector<Region> regions;
+  // Accesses matching no region: allowed (true) or flagged (false).
+  bool default_allow = true;
+};
+
+struct Violation {
+  std::string region;
+  u32 pc = 0;
+  u32 address = 0;
+  u32 value = 0;
+  bool is_store = false;
+
+  std::string to_string() const;
+};
+
+// Per-region access statistics.
+struct RegionStats {
+  u64 reads = 0;
+  u64 writes = 0;
+};
+
+class MemWatchPlugin final : public vp::PluginBase {
+ public:
+  explicit MemWatchPlugin(Policy policy) : policy_(std::move(policy)) {
+    stats_.resize(policy_.regions.size());
+  }
+
+  Subscriptions subscriptions() const override {
+    Subscriptions subs;
+    subs.mem = true;
+    return subs;
+  }
+
+  void on_mem(const s4e_mem_event& event) override;
+
+  const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  const RegionStats& stats(std::size_t region_index) const {
+    return stats_[region_index];
+  }
+  u64 total_accesses() const noexcept { return total_accesses_; }
+  u64 unmatched_accesses() const noexcept { return unmatched_; }
+
+  std::string report() const;
+
+ private:
+  Policy policy_;
+  std::vector<RegionStats> stats_;
+  std::vector<Violation> violations_;
+  u64 total_accesses_ = 0;
+  u64 unmatched_ = 0;
+};
+
+}  // namespace s4e::memwatch

@@ -1,0 +1,302 @@
+#include "mutation/mutation.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoder.hpp"
+#include "isa/rvc.hpp"
+
+namespace s4e::mutation {
+
+namespace {
+
+using isa::Format;
+using isa::Instr;
+using isa::Op;
+
+// Same-format opcode substitutions (both directions are generated when both
+// sides appear in the program).
+constexpr std::pair<Op, Op> kSubstitutions[] = {
+    {Op::kAdd, Op::kSub},   {Op::kAnd, Op::kOr},    {Op::kOr, Op::kXor},
+    {Op::kSlt, Op::kSltu},  {Op::kSll, Op::kSrl},   {Op::kSrl, Op::kSra},
+    {Op::kBeq, Op::kBne},   {Op::kBlt, Op::kBge},   {Op::kBltu, Op::kBgeu},
+    {Op::kAddi, Op::kXori}, {Op::kOri, Op::kAndi},  {Op::kSlti, Op::kSltiu},
+    {Op::kSlli, Op::kSrli}, {Op::kSrli, Op::kSrai}, {Op::kLw, Op::kLh},
+    {Op::kLbu, Op::kLhu},   {Op::kSw, Op::kSh},     {Op::kMul, Op::kMulh},
+    {Op::kDiv, Op::kRem},   {Op::kDivu, Op::kRemu},
+};
+
+// Re-encode `instr` with the same length as the original; nullopt when the
+// mutated form has no encoding of that length.
+std::optional<u32> encode_same_length(const Instr& instr, u8 length) {
+  if (length == 2) {
+    const auto half = isa::compress(instr);
+    return half.has_value() ? std::optional<u32>(*half) : std::nullopt;
+  }
+  auto word = isa::encode(instr);
+  return word.ok() ? std::optional<u32>(*word) : std::nullopt;
+}
+
+void add_mutant(std::vector<Mutant>& out, u32 address, u32 original,
+                u8 length, const Instr& mutated_instr, Operator op,
+                std::string description) {
+  const auto encoding = encode_same_length(mutated_instr, length);
+  if (!encoding.has_value() || *encoding == original) return;
+  Mutant mutant;
+  mutant.address = address;
+  mutant.original = original;
+  mutant.mutated = *encoding;
+  mutant.length = length;
+  mutant.op = op;
+  mutant.description = std::move(description);
+  out.push_back(std::move(mutant));
+}
+
+void mutants_for(std::vector<Mutant>& out, u32 address, const Instr& instr) {
+  const u32 original = instr.raw;
+  const u8 length = instr.length;
+  const isa::OpInfo& info = instr.info();
+
+  // --- OSR: opcode substitution.
+  for (const auto& [a, b] : kSubstitutions) {
+    Op substitute = Op::kCount;
+    if (instr.op == a) substitute = b;
+    if (instr.op == b) substitute = a;
+    if (substitute == Op::kCount) continue;
+    Instr mutated = instr;
+    mutated.op = substitute;
+    add_mutant(out, address, original, length, mutated,
+               Operator::kOpcodeSubstitution,
+               format("%s -> %s", std::string(isa::mnemonic(instr.op)).c_str(),
+                      std::string(isa::mnemonic(substitute)).c_str()));
+  }
+
+  // --- ROR: register operand replacement (neighbouring register).
+  if (info.writes_rd && instr.rd != 0) {
+    Instr mutated = instr;
+    mutated.rd = static_cast<u8>((instr.rd % 31) + 1);  // stays in x1..x31
+    add_mutant(out, address, original, length, mutated,
+               Operator::kRegisterReplacement,
+               format("rd x%u -> x%u", instr.rd, mutated.rd));
+  }
+  if (info.reads_rs1) {
+    Instr mutated = instr;
+    mutated.rs1 = static_cast<u8>((instr.rs1 + 1) % 32);
+    add_mutant(out, address, original, length, mutated,
+               Operator::kRegisterReplacement,
+               format("rs1 x%u -> x%u", instr.rs1, mutated.rs1));
+  }
+  if (info.reads_rs2 && info.format != Format::kIShift) {
+    Instr mutated = instr;
+    mutated.rs2 = static_cast<u8>((instr.rs2 + 1) % 32);
+    add_mutant(out, address, original, length, mutated,
+               Operator::kRegisterReplacement,
+               format("rs2 x%u -> x%u", instr.rs2, mutated.rs2));
+  }
+
+  // --- IPR: immediate perturbation.
+  switch (info.format) {
+    case Format::kI:
+    case Format::kS: {
+      Instr plus = instr;
+      plus.imm = instr.imm + 1;
+      add_mutant(out, address, original, length, plus,
+                 Operator::kImmediatePerturbation, "imm + 1");
+      if (instr.imm != 0) {
+        Instr zero = instr;
+        zero.imm = 0;
+        add_mutant(out, address, original, length, zero,
+                   Operator::kImmediatePerturbation, "imm -> 0");
+      }
+      break;
+    }
+    case Format::kB:
+    case Format::kJ: {
+      // Keep 2-byte alignment: offset +- one parcel slot.
+      Instr shifted = instr;
+      shifted.imm = instr.imm + 4;
+      add_mutant(out, address, original, length, shifted,
+                 Operator::kImmediatePerturbation, "offset + 4");
+      break;
+    }
+    case Format::kU: {
+      Instr plus = instr;
+      plus.imm = static_cast<i32>(static_cast<u32>(instr.imm) + 0x1000u);
+      add_mutant(out, address, original, length, plus,
+                 Operator::kImmediatePerturbation, "imm + 0x1000");
+      break;
+    }
+    case Format::kIShift: {
+      Instr plus = instr;
+      plus.rs2 = static_cast<u8>((instr.rs2 + 1) % 32);
+      plus.imm = plus.rs2;
+      add_mutant(out, address, original, length, plus,
+                 Operator::kImmediatePerturbation, "shamt + 1");
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Operator op) noexcept {
+  switch (op) {
+    case Operator::kOpcodeSubstitution: return "opcode-subst";
+    case Operator::kRegisterReplacement: return "register-repl";
+    case Operator::kImmediatePerturbation: return "imm-perturb";
+  }
+  return "?";
+}
+
+std::string_view to_string(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kKilledResult: return "killed-result";
+    case Verdict::kKilledCrash: return "killed-crash";
+    case Verdict::kKilledHang: return "killed-hang";
+    case Verdict::kSurvived: return "SURVIVED";
+  }
+  return "?";
+}
+
+double MutationScore::score(Operator op) const {
+  u64 total = 0;
+  u64 killed_count = 0;
+  for (const MutantResult& result : results) {
+    if (result.mutant.op != op) continue;
+    ++total;
+    killed_count += result.verdict != Verdict::kSurvived;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(killed_count) /
+                          static_cast<double>(total);
+}
+
+std::string MutationScore::to_string() const {
+  std::string out = "mutation analysis\n";
+  out += format("  mutants        : %zu\n", results.size());
+  out += format("  killed         : %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(killed()), 100.0 * score());
+  for (unsigned i = 0; i < 4; ++i) {
+    const auto verdict = static_cast<Verdict>(i);
+    out += format("    %-14s : %llu\n",
+                  std::string(mutation::to_string(verdict)).c_str(),
+                  static_cast<unsigned long long>(verdict_counts[i]));
+  }
+  for (unsigned i = 0; i < 3; ++i) {
+    const auto op = static_cast<Operator>(i);
+    out += format("  %-15s : %.1f%% killed\n",
+                  std::string(mutation::to_string(op)).c_str(),
+                  100.0 * score(op));
+  }
+  return out;
+}
+
+std::vector<Mutant> enumerate_mutants(const assembler::Program& program,
+                                      const std::vector<u32>& executed) {
+  std::set<u32> filter(executed.begin(), executed.end());
+  std::vector<Mutant> mutants;
+  const assembler::Section* text = program.find_section(".text");
+  if (text == nullptr) return mutants;
+
+  u32 address = text->base;
+  while (address + 2 <= text->end()) {
+    auto half = program.read_half(address);
+    if (!half.ok()) break;
+    Instr instr;
+    if (isa::is_compressed(static_cast<u16>(*half))) {
+      auto decompressed = isa::decompress(static_cast<u16>(*half));
+      if (!decompressed.ok()) {
+        address += 2;
+        continue;
+      }
+      instr = *decompressed;
+    } else {
+      auto word = program.read_word(address);
+      if (!word.ok()) break;
+      auto decoded = isa::decoder().decode(*word);
+      if (!decoded.ok()) {
+        address += 4;
+        continue;
+      }
+      instr = *decoded;
+    }
+    if (filter.empty() || filter.count(address) != 0) {
+      mutants_for(mutants, address, instr);
+    }
+    address += instr.length;
+  }
+  return mutants;
+}
+
+Result<MutationScore> MutationCampaign::run() {
+  // Golden run + executed-address profile.
+  vp::Machine machine(config_.machine);
+  S4E_TRY_STATUS(machine.load_program(program_));
+  std::set<u32> executed;
+  s4e_register_tb_trans_cb(
+      machine.vm_handle(),
+      [](void* userdata, s4e_vm*, const s4e_tb_info* tb) {
+        auto* set = static_cast<std::set<u32>*>(userdata);
+        for (u32 i = 0; i < tb->n_insns; ++i) {
+          set->insert(tb->insns[i].address);
+        }
+      },
+      &executed);
+  const vp::RunResult golden = machine.run();
+  if (!golden.normal_exit()) {
+    return Error(ErrorCode::kStateError,
+                 "golden run did not terminate normally");
+  }
+  const std::string golden_uart =
+      machine.uart() != nullptr ? machine.uart()->tx_log() : "";
+
+  std::vector<u32> executed_list;
+  if (config_.executed_only) {
+    executed_list.assign(executed.begin(), executed.end());
+  }
+  std::vector<Mutant> mutants = enumerate_mutants(program_, executed_list);
+  if (config_.max_mutants != 0 && mutants.size() > config_.max_mutants) {
+    mutants.resize(config_.max_mutants);
+  }
+
+  vp::MachineConfig mutant_config = config_.machine;
+  mutant_config.max_instructions =
+      golden.instructions * config_.hang_budget_factor + 10'000;
+
+  MutationScore score;
+  for (const Mutant& mutant : mutants) {
+    vp::Machine vm(mutant_config);
+    S4E_TRY_STATUS(vm.load_program(program_));
+    // Patch the mutated encoding over the original bytes.
+    u8 bytes[4];
+    for (unsigned i = 0; i < mutant.length; ++i) {
+      bytes[i] = static_cast<u8>(mutant.mutated >> (8 * i));
+    }
+    S4E_TRY_STATUS(vm.bus().ram_write(mutant.address, bytes, mutant.length));
+
+    const vp::RunResult run = vm.run();
+    MutantResult result;
+    result.mutant = mutant;
+    result.exit_code = run.exit_code;
+    if (run.reason == vp::StopReason::kMaxInstructions) {
+      result.verdict = Verdict::kKilledHang;
+    } else if (!run.normal_exit()) {
+      result.verdict = Verdict::kKilledCrash;
+    } else if (run.exit_code != golden.exit_code ||
+               (vm.uart() != nullptr && vm.uart()->tx_log() != golden_uart)) {
+      result.verdict = Verdict::kKilledResult;
+    } else {
+      result.verdict = Verdict::kSurvived;
+    }
+    ++score.verdict_counts[static_cast<unsigned>(result.verdict)];
+    score.results.push_back(std::move(result));
+  }
+  return score;
+}
+
+}  // namespace s4e::mutation

@@ -1,0 +1,108 @@
+// Binary mutation testing (the XEMU flow, EMSOFT'12): systematic mutation
+// of the software-under-test's *binary* and re-execution to measure how
+// many mutants the program's own checks detect ("kill"). Surviving mutants
+// are exactly the MBMV'20 "normal termination on faulty hardware" class —
+// the subjects for strengthening the verification.
+//
+// Mutation operators mirror XEMU's binary operators, applied at the decoded
+// instruction level so every mutant is a *legal* instruction (no trivial
+// illegal-opcode kills):
+//   - OSR: opcode substitution within the same format (add<->sub, beq<->bne)
+//   - ROR: register operand replacement (rd/rs1/rs2 -> neighbouring reg)
+//   - IPR: immediate perturbation (imm+1, imm = 0)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/status.hpp"
+#include "isa/instr.hpp"
+#include "vp/machine.hpp"
+
+namespace s4e::mutation {
+
+enum class Operator : u8 {
+  kOpcodeSubstitution,
+  kRegisterReplacement,
+  kImmediatePerturbation,
+};
+
+std::string_view to_string(Operator op) noexcept;
+
+struct Mutant {
+  u32 address = 0;       // mutated instruction's address
+  u32 original = 0;      // original encoding
+  u32 mutated = 0;       // replacement encoding (same length)
+  u8 length = 4;         // encoding size (RVC mutants are 2)
+  Operator op = Operator::kOpcodeSubstitution;
+  std::string description;
+};
+
+enum class Verdict : u8 {
+  kKilledResult,  // different exit code or UART output
+  kKilledCrash,   // mutant crashed (trap / breakpoint)
+  kKilledHang,    // mutant exceeded the instruction budget
+  kSurvived,      // indistinguishable from the golden run
+};
+
+std::string_view to_string(Verdict verdict) noexcept;
+
+struct MutantResult {
+  Mutant mutant;
+  Verdict verdict = Verdict::kSurvived;
+  int exit_code = 0;
+};
+
+struct MutationScore {
+  std::vector<MutantResult> results;
+  u64 verdict_counts[4] = {0, 0, 0, 0};
+
+  u64 count(Verdict verdict) const {
+    return verdict_counts[static_cast<unsigned>(verdict)];
+  }
+  u64 killed() const {
+    return count(Verdict::kKilledResult) + count(Verdict::kKilledCrash) +
+           count(Verdict::kKilledHang);
+  }
+  double score() const {
+    return results.empty() ? 0.0
+                           : static_cast<double>(killed()) /
+                                 static_cast<double>(results.size());
+  }
+  // Kill rate restricted to one operator class.
+  double score(Operator op) const;
+
+  std::string to_string() const;
+};
+
+struct MutationConfig {
+  // Only mutate instructions the golden run actually executes (everything
+  // else trivially survives and would dilute the score meaninglessly).
+  bool executed_only = true;
+  // Cap on generated mutants (0 = unlimited); selection is deterministic
+  // (first-N in address order).
+  unsigned max_mutants = 0;
+  u64 hang_budget_factor = 8;
+  vp::MachineConfig machine;
+};
+
+// Enumerate all mutants of `program` (deterministic, address-ordered).
+// `executed` restricts to the given instruction addresses (empty = all).
+std::vector<Mutant> enumerate_mutants(const assembler::Program& program,
+                                      const std::vector<u32>& executed);
+
+class MutationCampaign {
+ public:
+  MutationCampaign(assembler::Program program, const MutationConfig& config)
+      : program_(std::move(program)), config_(config) {}
+
+  // Golden run + enumerate + one run per mutant.
+  Result<MutationScore> run();
+
+ private:
+  assembler::Program program_;
+  MutationConfig config_;
+};
+
+}  // namespace s4e::mutation

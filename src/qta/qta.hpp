@@ -1,0 +1,85 @@
+// QTA — the QEMU Timing Analyzer reproduction.
+//
+// The tool-demo flow (MBMV'21): a static WCET analysis (aiT; here
+// s4e::wcet) produces a WCET-annotated CFG; the emulator loads the binary
+// *and* the annotated graph and simulates them together. While the program
+// runs, QTA accumulates the worst-case time of the *executed path*: on entry
+// to an annotated block it adds the block's WCET, plus the transition
+// penalty whenever control did not simply fall through.
+//
+// Three timelines therefore exist for one run, ordered by construction:
+//     observed cycles  <=  WC time of executed path  <=  static WCET bound
+// The E3 experiment checks exactly this chain.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vp/plugin.hpp"
+#include "wcet/annotated_cfg.hpp"
+
+namespace s4e::qta {
+
+struct QtaReport {
+  u64 observed_cycles = 0;     // VP timing-model cycles for the run
+  u64 wc_path_cycles = 0;      // WCET-annotated time of the executed path
+  u64 static_bound = 0;        // whole-program static WCET
+  u64 blocks_entered = 0;      // annotated block entries
+  u64 unknown_blocks = 0;      // executed blocks missing from the annotation
+  bool bound_violated = false; // wc_path > static_bound (analysis bug!)
+
+  // Pessimism ratios (>= 1.0 when everything is consistent).
+  double path_over_observed() const {
+    return observed_cycles ? static_cast<double>(wc_path_cycles) /
+                                 static_cast<double>(observed_cycles)
+                           : 0.0;
+  }
+  double bound_over_path() const {
+    return wc_path_cycles ? static_cast<double>(static_bound) /
+                                static_cast<double>(wc_path_cycles)
+                          : 0.0;
+  }
+
+  std::string to_string() const;
+};
+
+// The co-simulation plugin. Attach to a VP, run the workload, then collect
+// the report (pass the machine's final cycle count for `observed`).
+class QtaPlugin final : public vp::PluginBase {
+ public:
+  explicit QtaPlugin(wcet::AnnotatedCfg annotated);
+
+  Subscriptions subscriptions() const override {
+    Subscriptions subs;
+    subs.insn_exec = true;
+    return subs;
+  }
+
+  void on_insn_exec(const s4e_insn_info& insn) override;
+
+  u64 wc_path_cycles() const noexcept { return wc_path_cycles_; }
+  u64 blocks_entered() const noexcept { return blocks_entered_; }
+  u64 unknown_blocks() const noexcept { return unknown_blocks_; }
+  const wcet::AnnotatedCfg& annotated() const noexcept { return annotated_; }
+
+  QtaReport report(u64 observed_cycles) const;
+
+  // Reset path accumulation (for re-running the same machine).
+  void reset() noexcept;
+
+ private:
+  wcet::AnnotatedCfg annotated_;
+  // Intra-function edge penalties keyed by (source start << 32 | target
+  // start); transitions not in this map (calls, returns) fall back to the
+  // contiguity rule.
+  std::map<u64, u32> edge_penalty_;
+  u64 wc_path_cycles_ = 0;
+  u64 blocks_entered_ = 0;
+  u64 unknown_blocks_ = 0;
+  u32 prev_block_start_ = 0;
+  u32 prev_block_end_ = 0;
+  bool in_flight_ = false;  // at least one block entered
+};
+
+}  // namespace s4e::qta

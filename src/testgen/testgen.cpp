@@ -1,0 +1,557 @@
+#include "testgen/testgen.hpp"
+
+#include "common/strings.hpp"
+#include "isa/registers.hpp"
+
+namespace s4e::testgen {
+
+namespace {
+
+using isa::Format;
+using isa::Op;
+using isa::OpClass;
+using isa::OpInfo;
+
+constexpr const char* kExit0 = "    li a0, 0\n    li a7, 93\n    ecall\n";
+constexpr const char* kExit1 = "    li a0, 1\n    li a7, 93\n    ecall\n";
+
+std::string reg_name(unsigned index) {
+  return std::string(isa::gpr_abi_name(index));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Architectural-style directed tests.
+
+std::vector<GeneratedProgram> architectural_suite() {
+  std::vector<GeneratedProgram> suite;
+
+  // Golden results for a representative subset (hand-computed); tests with
+  // a golden value are genuinely self-checking, the rest are
+  // execution-directed (the metric counts execution, as in the paper).
+  struct Golden {
+    Op op;
+    i64 a;        // rs1 value
+    i64 b;        // rs2 value / immediate
+    u32 expected; // rd after execution
+  };
+  const Golden goldens[] = {
+      {Op::kAdd, 7, -3, 4},
+      {Op::kSub, 7, 10, static_cast<u32>(-3)},
+      {Op::kXor, 0xff00, 0x0ff0, 0xf0f0},
+      {Op::kOr, 0xf0, 0x0f, 0xff},
+      {Op::kAnd, 0xff, 0x0f, 0x0f},
+      {Op::kSll, 1, 12, 1u << 12},
+      {Op::kSrl, 0x80000000, 4, 0x08000000},
+      {Op::kSra, static_cast<i64>(0x80000000u), 4, 0xf8000000},
+      {Op::kSlt, -1, 1, 1},
+      {Op::kSltu, static_cast<i64>(0xffffffffu), 1, 0},
+      {Op::kMul, -7, 3, static_cast<u32>(-21)},
+      {Op::kMulh, static_cast<i64>(0x7fffffff), 2, 0},
+      {Op::kMulhu, static_cast<i64>(0x80000000u), 2, 1},
+      {Op::kDiv, -20, 3, static_cast<u32>(-6)},
+      {Op::kDivu, 20, 3, 6},
+      {Op::kRem, -20, 3, static_cast<u32>(-2)},
+      {Op::kRemu, 20, 3, 2},
+  };
+
+  auto golden_for = [&](Op op) -> const Golden* {
+    for (const Golden& golden : goldens) {
+      if (golden.op == op) return &golden;
+    }
+    return nullptr;
+  };
+
+  for (unsigned i = 0; i < isa::kOpCount; ++i) {
+    const OpInfo& info = isa::op_table()[i];
+    const Op op = static_cast<Op>(i);
+    const std::string m(info.mnemonic);
+    std::string body;
+    switch (info.format) {
+      case Format::kR: {
+        if (const Golden* golden = golden_for(op)) {
+          body += format("    li a1, %lld\n    li a2, %lld\n",
+                         static_cast<long long>(golden->a),
+                         static_cast<long long>(golden->b));
+          body += format("    %s a3, a1, a2\n", m.c_str());
+          body += format("    li a4, 0x%x\n", golden->expected);
+          body += "    bne a3, a4, fail\n";
+        } else {
+          body += "    li a1, 13\n    li a2, 5\n";
+          body += format("    %s a3, a1, a2\n", m.c_str());
+        }
+        body += kExit0;
+        body += "fail:\n";
+        body += kExit1;
+        break;
+      }
+      case Format::kI: {
+        if (info.op_class == OpClass::kLoad) {
+          body += "    la a1, data\n";
+          body += format("    %s a3, 0(a1)\n", m.c_str());
+          body += kExit0;
+          body += ".data\ndata:\n    .word 0x80c1f3a5\n";
+          break;
+        }
+        if (op == Op::kJalr) {
+          body += "    la a1, target\n";
+          body += "    jalr ra, 0(a1)\n";
+          body += kExit1;  // must not fall through
+          body += "target:\n";
+          body += kExit0;
+          break;
+        }
+        if (op == Op::kEcall) {
+          body += kExit0;  // the exit convention itself
+          break;
+        }
+        body += "    li a1, 100\n";
+        body += format("    %s a3, a1, -7\n", m.c_str());
+        body += kExit0;
+        break;
+      }
+      case Format::kIShift: {
+        body += "    li a1, 0x00f0f000\n";
+        body += format("    %s a3, a1, 5\n", m.c_str());
+        body += kExit0;
+        break;
+      }
+      case Format::kS: {
+        body = "    la a1, buf\n    li a2, 0x12345678\n";
+        body += format("    %s a2, 0(a1)\n", m.c_str());
+        body += "    lw a3, 0(a1)\n";
+        body += kExit0;
+        body += ".data\nbuf:\n    .word 0\n";
+        break;
+      }
+      case Format::kB: {
+        // Arrange the branch to be taken; falling through is a failure.
+        const char* setup =
+            (op == Op::kBeq)    ? "    li a1, 5\n    li a2, 5\n"
+            : (op == Op::kBne)  ? "    li a1, 5\n    li a2, 6\n"
+            : (op == Op::kBlt)  ? "    li a1, -5\n    li a2, 5\n"
+            : (op == Op::kBge)  ? "    li a1, 5\n    li a2, -5\n"
+            : (op == Op::kBltu) ? "    li a1, 5\n    li a2, -1\n"
+                                : "    li a1, -1\n    li a2, 5\n";  // bgeu
+        body += setup;
+        body += format("    %s a1, a2, taken\n", m.c_str());
+        body += kExit1;
+        body += "taken:\n";
+        body += kExit0;
+        break;
+      }
+      case Format::kU: {
+        body += format("    %s a3, 0x12345\n", m.c_str());
+        body += kExit0;
+        break;
+      }
+      case Format::kJ: {
+        body += "    jal ra, target\n";
+        body += kExit1;
+        body += "target:\n";
+        body += kExit0;
+        break;
+      }
+      case Format::kCsrReg: {
+        body += "    li a1, 0x55\n";
+        body += format("    %s a3, mscratch, a1\n", m.c_str());
+        body += kExit0;
+        break;
+      }
+      case Format::kCsrImm: {
+        body += format("    %s a3, mscratch, 21\n", m.c_str());
+        body += kExit0;
+        break;
+      }
+      case Format::kNone: {
+        if (op == Op::kEbreak) {
+          // A handler turns the breakpoint trap into a clean exit.
+          body += "    la a1, handler\n    csrw mtvec, a1\n    ebreak\n";
+          body += kExit1;
+          body += "handler:\n";
+          body += kExit0;
+        } else if (op == Op::kMret) {
+          body += "    la a1, target\n    csrw mepc, a1\n    mret\n";
+          body += kExit1;
+          body += "target:\n";
+          body += kExit0;
+        } else if (op == Op::kWfi) {
+          // Timer wakes the hart; the handler exits.
+          body += "    la a1, handler\n    csrw mtvec, a1\n";
+          body += "    li a1, 0x2004000\n    li a2, 64\n";
+          body += "    sw a2, 0(a1)\n    sw zero, 4(a1)\n";
+          body += "    li a1, 128\n    csrw mie, a1\n    csrsi mstatus, 8\n";
+          body += "    wfi\n";
+          body += kExit1;
+          body += "handler:\n";
+          body += kExit0;
+        } else {  // ecall handled in kI? (ecall is kNone format)
+          body += kExit0;
+        }
+        break;
+      }
+      case Format::kFence: {
+        body += "    fence\n";
+        body += kExit0;
+        break;
+      }
+    }
+    suite.push_back(GeneratedProgram{"arch_" + m, std::move(body)});
+  }
+  return suite;
+}
+
+// ---------------------------------------------------------------------------
+// Unit-style kernels.
+
+std::vector<GeneratedProgram> unit_suite() {
+  std::vector<GeneratedProgram> suite;
+
+  suite.push_back(GeneratedProgram{"unit_alu", R"(
+    li a1, 0x1234
+    li a2, 0x0ff0
+    add a3, a1, a2
+    sub a4, a1, a2
+    xor a5, a1, a2
+    or a6, a1, a2
+    and t0, a1, a2
+    sll t1, a1, a2
+    srl t2, a1, a2
+    sra t3, a1, a2
+    slt t4, a1, a2
+    sltu t5, a1, a2
+    addi s1, a1, -100
+    slti s2, a1, 100
+    sltiu s3, a1, 100
+    xori s4, a1, 0x55
+    ori s5, a1, 0x55
+    andi s6, a1, 0x55
+    slli s7, a1, 3
+    srli s8, a1, 3
+    srai s9, a1, 3
+    lui s10, 0xabcde
+    auipc s11, 0x1
+    li a0, 0
+    li a7, 93
+    ecall
+)"});
+
+  suite.push_back(GeneratedProgram{"unit_memory", R"(
+    addi sp, sp, -16
+    li t3, 0x77
+    sw t3, 0(sp)
+    lw t4, 0(sp)
+    addi sp, sp, 16
+    la t0, buffer
+    li t1, 0xa5c3f017
+    sw t1, 0(t0)
+    sh t1, 4(t0)
+    sb t1, 6(t0)
+    lw a1, 0(t0)
+    lh a2, 4(t0)
+    lhu a3, 4(t0)
+    lb a4, 6(t0)
+    lbu a5, 6(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+buffer:
+    .space 32
+)"});
+
+  suite.push_back(GeneratedProgram{"unit_branches", R"(
+    li s0, 3
+    li s1, 7
+    beq s0, s0, l1
+    ebreak
+l1: bne s0, s1, l2
+    ebreak
+l2: blt s0, s1, l3
+    ebreak
+l3: bge s1, s0, l4
+    ebreak
+l4: bltu s0, s1, l5
+    ebreak
+l5: bgeu s1, s0, l6
+    ebreak
+l6:
+    li a0, 0
+    li a7, 93
+    ecall
+)"});
+
+  suite.push_back(GeneratedProgram{"unit_muldiv", R"(
+    li s2, -1234
+    li s3, 77
+    mul a1, s2, s3
+    mulh a2, s2, s3
+    mulhsu a3, s2, s3
+    mulhu a4, s2, s3
+    div a5, s2, s3
+    divu a6, s2, s3
+    rem t4, s2, s3
+    remu t5, s2, s3
+    li a0, 0
+    li a7, 93
+    ecall
+)"});
+
+  suite.push_back(GeneratedProgram{"unit_csr", R"(
+    li t2, 0x5a5a
+    csrrw t3, mscratch, t2
+    csrrs t4, mscratch, zero
+    csrrc t5, mscratch, t2
+    csrrwi t6, mscratch, 9
+    csrrsi s4, mscratch, 2
+    csrrci s5, mscratch, 1
+    csrr s6, mcycle
+    csrr s7, minstret
+    csrr s8, mhartid
+    li a0, 0
+    li a7, 93
+    ecall
+)"});
+
+  suite.push_back(GeneratedProgram{"unit_calls", R"(
+    call helper
+    call helper
+    jal ra, helper
+    li a0, 0
+    li a7, 93
+    ecall
+helper:
+    addi gp, gp, 1
+    ret
+)"});
+
+  return suite;
+}
+
+// ---------------------------------------------------------------------------
+// Torture-style random programs.
+
+namespace {
+
+class TortureGenerator {
+ public:
+  TortureGenerator(const TortureConfig& config, Rng rng)
+      : config_(config), rng_(rng) {}
+
+  GeneratedProgram generate(unsigned index) {
+    source_.clear();
+    emit_prologue();
+    for (unsigned segment = 0; segment < config_.segments; ++segment) {
+      emit_segment(segment);
+    }
+    emit_epilogue();
+    return GeneratedProgram{format("torture_%03u", index), source_};
+  }
+
+ private:
+  // Register pool: everything but x0 (constant), x2/sp (stack), x30 (loop
+  // counter) and x31 (scratch-buffer base). ABI-style generation draws from
+  // the compressible x8..x15 range three times out of four.
+  unsigned pool_reg() {
+    static constexpr unsigned kPool[] = {1,  3,  4,  5,  6,  7,  8,  9,
+                                         10, 11, 12, 13, 14, 15, 16, 17,
+                                         18, 19, 20, 21, 22, 23, 24, 25,
+                                         26, 27, 28, 29};
+    if (config_.abi_style && rng_.chance(3, 4)) {
+      return 8 + rng_.next_below(8);
+    }
+    return kPool[rng_.next_below(static_cast<u32>(std::size(kPool)))];
+  }
+
+  void emit_prologue() {
+    for (unsigned reg = 3; reg < 30; ++reg) {
+      if (config_.abi_style && reg == 9) continue;  // s1 = scratch base
+      // ABI-style code materializes mostly small constants (c.li range).
+      const i32 value =
+          config_.abi_style
+              ? static_cast<i32>(rng_.next_in_range(-32, 31))
+              : static_cast<i32>(rng_.next_u32() & 0xffff) - 0x8000;
+      source_ += format("    li %s, %d\n", reg_name(reg).c_str(), value);
+    }
+    source_ += config_.abi_style ? "    la s1, scratch\n"
+                                 : "    la t6, scratch\n";
+    source_ += format("    li t5, %u\n", 2 + rng_.next_below(6));  // x30
+    source_ += "outer_loop:\n";
+  }
+
+  void emit_segment(unsigned segment) {
+    const std::string end_label = format("seg%u_end", segment);
+    for (unsigned i = 0; i < config_.segment_length; ++i) {
+      switch (rng_.next_below(10)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+          emit_alu();
+          break;
+        case 4:
+          if (config_.use_mul_div) {
+            emit_muldiv();
+          } else {
+            emit_alu();
+          }
+          break;
+        case 5:
+        case 6:
+          if (config_.use_memory) {
+            emit_memory();
+          } else {
+            emit_alu();
+          }
+          break;
+        case 7:
+          if (config_.use_branches) {
+            emit_branch(end_label);
+          } else {
+            emit_alu();
+          }
+          break;
+        case 8:
+          if (config_.use_csr) {
+            emit_csr();
+          } else {
+            emit_alu();
+          }
+          break;
+        default:
+          emit_alu_imm();
+          break;
+      }
+    }
+    source_ += end_label + ":\n";
+  }
+
+  void emit_alu() {
+    static constexpr const char* kOps[] = {"add", "sub", "xor", "or", "and",
+                                           "sll", "srl", "sra", "slt", "sltu"};
+    const char* op = kOps[rng_.next_below(std::size(kOps))];
+    const unsigned rd = pool_reg();
+    // ABI-style: two-address form (rd == rs1), the shape RVC compresses.
+    const unsigned rs1 =
+        config_.abi_style && rng_.chance(2, 3) ? rd : pool_reg();
+    source_ += format("    %s %s, %s, %s\n", op, reg_name(rd).c_str(),
+                      reg_name(rs1).c_str(), reg_name(pool_reg()).c_str());
+  }
+
+  void emit_alu_imm() {
+    static constexpr const char* kOps[] = {"addi", "slti", "sltiu", "xori",
+                                           "ori", "andi"};
+    static constexpr const char* kShifts[] = {"slli", "srli", "srai"};
+    const unsigned rd = pool_reg();
+    const unsigned rs1 =
+        config_.abi_style && rng_.chance(2, 3) ? rd : pool_reg();
+    if (rng_.chance(1, 3)) {
+      source_ += format("    %s %s, %s, %u\n",
+                        kShifts[rng_.next_below(std::size(kShifts))],
+                        reg_name(rd).c_str(), reg_name(rs1).c_str(),
+                        rng_.next_below(32));
+    } else {
+      const i64 imm = config_.abi_style && rng_.chance(1, 2)
+                          ? rng_.next_in_range(-32, 31)
+                          : rng_.next_in_range(-2048, 2047);
+      source_ += format("    %s %s, %s, %lld\n",
+                        kOps[rng_.next_below(std::size(kOps))],
+                        reg_name(rd).c_str(), reg_name(rs1).c_str(),
+                        static_cast<long long>(imm));
+    }
+  }
+
+  void emit_muldiv() {
+    static constexpr const char* kOps[] = {"mul", "mulh", "mulhsu", "mulhu",
+                                           "div", "divu", "rem", "remu"};
+    source_ += format("    %s %s, %s, %s\n",
+                      kOps[rng_.next_below(std::size(kOps))],
+                      reg_name(pool_reg()).c_str(),
+                      reg_name(pool_reg()).c_str(),
+                      reg_name(pool_reg()).c_str());
+  }
+
+  void emit_memory() {
+    static constexpr struct {
+      const char* store;
+      const char* load;
+      unsigned align;
+    } kPairs[] = {
+        {"sw", "lw", 4}, {"sh", "lh", 2}, {"sh", "lhu", 2},
+        {"sb", "lb", 1}, {"sb", "lbu", 1},
+    };
+    const auto& pair = kPairs[rng_.next_below(std::size(kPairs))];
+    const unsigned offset =
+        rng_.next_below(kScratchSize / pair.align) * pair.align;
+    const char* base = config_.abi_style ? "s1" : "t6";
+    if (rng_.chance(1, 2)) {
+      source_ += format("    %s %s, %u(%s)\n", pair.store,
+                        reg_name(pool_reg()).c_str(), offset, base);
+    } else {
+      source_ += format("    %s %s, %u(%s)\n", pair.load,
+                        reg_name(pool_reg()).c_str(), offset, base);
+    }
+  }
+
+  void emit_branch(const std::string& target) {
+    static constexpr const char* kOps[] = {"beq", "bne", "blt",
+                                           "bge", "bltu", "bgeu"};
+    source_ += format("    %s %s, %s, %s\n",
+                      kOps[rng_.next_below(std::size(kOps))],
+                      reg_name(pool_reg()).c_str(),
+                      reg_name(pool_reg()).c_str(), target.c_str());
+  }
+
+  void emit_csr() {
+    switch (rng_.next_below(4)) {
+      case 0:
+        source_ += format("    csrrw %s, mscratch, %s\n",
+                          reg_name(pool_reg()).c_str(),
+                          reg_name(pool_reg()).c_str());
+        break;
+      case 1:
+        source_ += format("    csrr %s, mcycle\n",
+                          reg_name(pool_reg()).c_str());
+        break;
+      case 2:
+        source_ += format("    csrrs %s, mscratch, %s\n",
+                          reg_name(pool_reg()).c_str(),
+                          reg_name(pool_reg()).c_str());
+        break;
+      default:
+        source_ += format("    csrrwi %s, mscratch, %u\n",
+                          reg_name(pool_reg()).c_str(), rng_.next_below(32));
+        break;
+    }
+  }
+
+  void emit_epilogue() {
+    // Bounded outer loop: decrement-to-zero on x30/t5.
+    source_ += "    addi t5, t5, -1\n";
+    source_ += "    bnez t5, outer_loop\n";
+    source_ += "    li a0, 0\n    li a7, 93\n    ecall\n";
+    source_ += ".data\nscratch:\n";
+    source_ += format("    .space %u\n", kScratchSize);
+  }
+
+  static constexpr unsigned kScratchSize = 64;
+
+  TortureConfig config_;
+  Rng rng_;
+  std::string source_;
+};
+
+}  // namespace
+
+std::vector<GeneratedProgram> torture_suite(const TortureConfig& config) {
+  std::vector<GeneratedProgram> suite;
+  Rng rng(config.seed);
+  for (unsigned i = 0; i < config.programs; ++i) {
+    TortureGenerator generator(config, rng.fork());
+    suite.push_back(generator.generate(i));
+  }
+  return suite;
+}
+
+}  // namespace s4e::testgen

@@ -1,0 +1,54 @@
+// Random / directed RISC-V test-program generation — the ecosystem's
+// stand-in for the three openly available suites the coverage paper
+// (MBMV'21) measures:
+//   - an architectural-test-style suite: one small directed test per
+//     instruction type, checking a golden result;
+//   - a unit-test-style suite: themed kernels per instruction class;
+//   - a Torture-style suite: seeded random instruction soup with a bounded
+//     loop skeleton, guaranteed to terminate.
+// All generators emit assembler source (consumed by s4e::assembler), so
+// every generated program goes through the same binary pipeline as
+// hand-written workloads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/opcode.hpp"
+
+namespace s4e::testgen {
+
+struct GeneratedProgram {
+  std::string name;
+  std::string source;  // assembler input
+};
+
+// --- Architectural-style suite: directed single-instruction tests.
+// Every test initializes operands, executes the instruction under test and
+// exits with code 0 on the expected result (self-checking). Instructions
+// without a natural self-check (fence, wfi, mret) are exercised for
+// execution only.
+std::vector<GeneratedProgram> architectural_suite();
+
+// --- Unit-style suite: one kernel per behavioural class (ALU chains,
+// load/store patterns, branch ladders, M-extension math, CSR access).
+std::vector<GeneratedProgram> unit_suite();
+
+// --- Torture-style random programs.
+struct TortureConfig {
+  u64 seed = 1;
+  unsigned programs = 10;
+  unsigned segments = 24;        // random instruction segments per program
+  unsigned segment_length = 8;   // instructions per segment
+  bool use_memory = true;        // loads/stores into a scratch buffer
+  bool use_mul_div = true;
+  bool use_branches = true;      // forward-only branch ladders
+  bool use_csr = true;
+  // ABI-flavoured generation: prefer x8..x15 and two-address forms (the
+  // register profile of compiler output), which is what makes RVC pay off.
+  bool abi_style = false;
+};
+std::vector<GeneratedProgram> torture_suite(const TortureConfig& config);
+
+}  // namespace s4e::testgen

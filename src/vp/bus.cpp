@@ -1,0 +1,144 @@
+#include "vp/bus.hpp"
+
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace s4e::vp {
+
+void Bus::add_ram(u32 base, u32 size) {
+  S4E_CHECK_MSG(size > 0, "RAM region must be non-empty");
+  RamRegion region;
+  region.base = base;
+  region.bytes.assign(size, 0);
+  ram_.push_back(std::move(region));
+}
+
+void Bus::add_device(u32 base, u32 size, std::unique_ptr<Device> device) {
+  S4E_CHECK_MSG(device != nullptr, "null device");
+  devices_.push_back(DeviceMapping{base, size, std::move(device)});
+}
+
+Bus::RamRegion* Bus::find_ram(u32 address, u32 size) noexcept {
+  for (auto& region : ram_) {
+    if (address >= region.base && address + size <= region.end() &&
+        address + size >= address) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+const Bus::RamRegion* Bus::find_ram(u32 address, u32 size) const noexcept {
+  return const_cast<Bus*>(this)->find_ram(address, size);
+}
+
+Bus::DeviceMapping* Bus::find_device(u32 address) noexcept {
+  for (auto& mapping : devices_) {
+    if (address >= mapping.base && address < mapping.base + mapping.size) {
+      return &mapping;
+    }
+  }
+  return nullptr;
+}
+
+Result<BusRead> Bus::read(u32 address, unsigned size) {
+  if (RamRegion* region = find_ram(address, size)) {
+    const std::size_t offset = address - region->base;
+    u32 value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+      value |= static_cast<u32>(region->bytes[offset + i]) << (8 * i);
+    }
+    return BusRead{value, false};
+  }
+  if (DeviceMapping* mapping = find_device(address)) {
+    if (address % size != 0) {
+      return Error(ErrorCode::kInvalidArgument,
+                   format("misaligned MMIO read at 0x%08x", address));
+    }
+    S4E_TRY(value, mapping->device->read(address - mapping->base, size));
+    return BusRead{value, true};
+  }
+  return Error(ErrorCode::kOutOfRange,
+               format("load access fault at 0x%08x", address));
+}
+
+Result<bool> Bus::write(u32 address, unsigned size, u32 value) {
+  if (RamRegion* region = find_ram(address, size)) {
+    const std::size_t offset = address - region->base;
+    for (unsigned i = 0; i < size; ++i) {
+      region->bytes[offset + i] = static_cast<u8>(value >> (8 * i));
+    }
+    return false;
+  }
+  if (DeviceMapping* mapping = find_device(address)) {
+    if (address % size != 0) {
+      return Error(ErrorCode::kInvalidArgument,
+                   format("misaligned MMIO write at 0x%08x", address));
+    }
+    S4E_TRY_STATUS(mapping->device->write(address - mapping->base, size, value));
+    return true;
+  }
+  return Error(ErrorCode::kOutOfRange,
+               format("store access fault at 0x%08x", address));
+}
+
+Result<u32> Bus::fetch_word(u32 address) {
+  if (const RamRegion* region = find_ram(address, 4)) {
+    const std::size_t offset = address - region->base;
+    u32 value = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      value |= static_cast<u32>(region->bytes[offset + i]) << (8 * i);
+    }
+    return value;
+  }
+  return Error(ErrorCode::kOutOfRange,
+               format("instruction access fault at 0x%08x", address));
+}
+
+Result<u32> Bus::fetch_half(u32 address) {
+  if (const RamRegion* region = find_ram(address, 2)) {
+    const std::size_t offset = address - region->base;
+    return static_cast<u32>(region->bytes[offset]) |
+           (static_cast<u32>(region->bytes[offset + 1]) << 8);
+  }
+  return Error(ErrorCode::kOutOfRange,
+               format("instruction access fault at 0x%08x", address));
+}
+
+Status Bus::ram_read(u32 address, void* buffer, u32 size) const {
+  const RamRegion* region = find_ram(address, size);
+  if (region == nullptr) {
+    return Error(ErrorCode::kOutOfRange,
+                 format("RAM read outside RAM at 0x%08x", address));
+  }
+  std::memcpy(buffer, region->bytes.data() + (address - region->base), size);
+  return Status();
+}
+
+Status Bus::ram_write(u32 address, const void* buffer, u32 size) {
+  RamRegion* region = find_ram(address, size);
+  if (region == nullptr) {
+    return Error(ErrorCode::kOutOfRange,
+                 format("RAM write outside RAM at 0x%08x", address));
+  }
+  std::memcpy(region->bytes.data() + (address - region->base), buffer, size);
+  return Status();
+}
+
+bool Bus::is_ram(u32 address, u32 size) const noexcept {
+  return find_ram(address, size) != nullptr;
+}
+
+void Bus::tick(u64 now) {
+  for (auto& mapping : devices_) mapping.device->tick(now);
+}
+
+Device* Bus::device_at(u32 base) noexcept {
+  for (auto& mapping : devices_) {
+    if (mapping.base == base) return mapping.device.get();
+  }
+  return nullptr;
+}
+
+}  // namespace s4e::vp

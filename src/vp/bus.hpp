@@ -1,0 +1,78 @@
+// Physical address space of the VP: RAM regions plus memory-mapped devices.
+//
+// Default edge-SoC memory map (matches the workloads and the examples):
+//   0x1000_0000  UART0
+//   0x0200_0000  CLINT (mtime / mtimecmp)
+//   0x0010_0000  test finisher (exit device)
+//   0x8000_0000  RAM (code + data), size configurable
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+#include "vp/device.hpp"
+
+namespace s4e::vp {
+
+// Result of a bus access: the value plus whether a device (vs RAM) was hit,
+// which feeds the timing model's MMIO wait states.
+struct BusRead {
+  u32 value = 0;
+  bool mmio = false;
+};
+
+class Bus {
+ public:
+  // Add a RAM region. Regions must not overlap devices or each other.
+  void add_ram(u32 base, u32 size);
+
+  // Map `device` at [base, base+size). The bus keeps ownership.
+  void add_device(u32 base, u32 size, std::unique_ptr<Device> device);
+
+  // Data-side accesses (MMIO side effects apply). Misaligned accesses are
+  // supported for RAM (QEMU semantics); device accesses must be aligned.
+  Result<BusRead> read(u32 address, unsigned size);
+  Result<bool> write(u32 address, unsigned size, u32 value);  // -> mmio?
+
+  // Instruction fetch: RAM only (executing from MMIO is an access fault).
+  Result<u32> fetch_word(u32 address);
+  // 16-bit fetch for RVC parcel decoding.
+  Result<u32> fetch_half(u32 address);
+
+  // Direct RAM access without MMIO side effects (loader, plugins, fault
+  // injector). Fails if the range is not fully RAM-backed.
+  Status ram_read(u32 address, void* buffer, u32 size) const;
+  Status ram_write(u32 address, const void* buffer, u32 size);
+
+  // True if [address, address+size) lies fully inside a RAM region.
+  bool is_ram(u32 address, u32 size) const noexcept;
+
+  // Advance all devices to cycle `now`.
+  void tick(u64 now);
+
+  // Device registered at `base`, or nullptr (tests and example wiring).
+  Device* device_at(u32 base) noexcept;
+
+ private:
+  struct RamRegion {
+    u32 base = 0;
+    std::vector<u8> bytes;
+    u32 end() const noexcept { return base + static_cast<u32>(bytes.size()); }
+  };
+  struct DeviceMapping {
+    u32 base = 0;
+    u32 size = 0;
+    std::unique_ptr<Device> device;
+  };
+
+  RamRegion* find_ram(u32 address, u32 size) noexcept;
+  const RamRegion* find_ram(u32 address, u32 size) const noexcept;
+  DeviceMapping* find_device(u32 address) noexcept;
+
+  std::vector<RamRegion> ram_;
+  std::vector<DeviceMapping> devices_;
+};
+
+}  // namespace s4e::vp

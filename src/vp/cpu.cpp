@@ -1,0 +1,77 @@
+#include "vp/cpu.hpp"
+
+#include "common/strings.hpp"
+
+namespace s4e::vp {
+
+using namespace isa;
+
+Result<u32> CsrFile::read(u16 address, const CounterView& counters) const {
+  switch (address) {
+    case kCsrMstatus: return mstatus;
+    case kCsrMisa:
+      // RV32 (MXL=1) with I and M: bits 8 ('I') and 12 ('M').
+      return (1u << 30) | (1u << 8) | (1u << 12);
+    case kCsrMie: return mie;
+    case kCsrMtvec: return mtvec;
+    case kCsrMscratch: return mscratch;
+    case kCsrMepc: return mepc;
+    case kCsrMcause: return mcause;
+    case kCsrMtval: return mtval;
+    case kCsrMip: return mip;
+    case kCsrMcycle:
+    case kCsrCycle: return static_cast<u32>(counters.cycles);
+    case kCsrMcycleh:
+    case kCsrCycleh: return static_cast<u32>(counters.cycles >> 32);
+    case kCsrMinstret:
+    case kCsrInstret: return static_cast<u32>(counters.instret);
+    case kCsrMinstreth:
+    case kCsrInstreth: return static_cast<u32>(counters.instret >> 32);
+    case kCsrTime: return static_cast<u32>(counters.time);
+    case kCsrTimeh: return static_cast<u32>(counters.time >> 32);
+    case kCsrMvendorid: return 0;
+    case kCsrMarchid: return 0x53344539;  // "S4E9"
+    case kCsrMimpid: return 1;
+    case kCsrMhartid: return 0;
+    default:
+      return Error(ErrorCode::kNotFound,
+                   format("CSR 0x%03x not implemented", address));
+  }
+}
+
+Status CsrFile::write(u16 address, u32 value) {
+  if (csr_is_read_only(address)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 format("write to read-only CSR 0x%03x", address));
+  }
+  switch (address) {
+    case kCsrMstatus:
+      // WARL: only MIE and MPIE are writable; MPP stays M.
+      mstatus = (value & (kMstatusMie | kMstatusMpie)) | kMstatusMpp;
+      return Status();
+    case kCsrMisa:
+      return Status();  // WARL: ignore
+    case kCsrMie:
+      mie = value & kMieMtie;
+      return Status();
+    case kCsrMtvec:
+      mtvec = value & ~u32{2};  // mode bit 1 reserved
+      return Status();
+    case kCsrMscratch: mscratch = value; return Status();
+    case kCsrMepc: mepc = value & ~u32{1}; return Status();
+    case kCsrMcause: mcause = value; return Status();
+    case kCsrMtval: mtval = value; return Status();
+    case kCsrMip:
+      return Status();  // MTIP is hardware-controlled; ignore
+    case kCsrMcycle:
+    case kCsrMcycleh:
+    case kCsrMinstret:
+    case kCsrMinstreth:
+      return Status();  // counter writes ignored (QEMU-like)
+    default:
+      return Error(ErrorCode::kNotFound,
+                   format("CSR 0x%03x not implemented", address));
+  }
+}
+
+}  // namespace s4e::vp

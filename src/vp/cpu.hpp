@@ -1,0 +1,71 @@
+// Architectural state of the RV32IM_Zicsr machine-mode hart.
+#pragma once
+
+#include <array>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+#include "isa/csr.hpp"
+#include "isa/registers.hpp"
+
+namespace s4e::vp {
+
+// mstatus bits the VP implements.
+inline constexpr u32 kMstatusMie = 1u << 3;
+inline constexpr u32 kMstatusMpie = 1u << 7;
+inline constexpr u32 kMstatusMpp = 3u << 11;  // always M (11) here
+
+// mie/mip bits.
+inline constexpr u32 kMipMtip = 1u << 7;
+inline constexpr u32 kMieMtie = 1u << 7;
+
+// mcause values.
+inline constexpr u32 kCauseIllegalInstruction = 2;
+inline constexpr u32 kCauseBreakpoint = 3;
+inline constexpr u32 kCauseLoadFault = 5;
+inline constexpr u32 kCauseStoreFault = 7;
+inline constexpr u32 kCauseEcallM = 11;
+inline constexpr u32 kCauseInterrupt = 0x8000'0000u;
+inline constexpr u32 kCauseMachineTimer = kCauseInterrupt | 7;
+
+// Machine-mode CSR file. Counter CSRs (cycle/instret/time) are not stored
+// here — the machine supplies them at read time from its own counters.
+class CsrFile {
+ public:
+  struct CounterView {
+    u64 cycles = 0;
+    u64 instret = 0;
+    u64 time = 0;
+  };
+
+  // Read with WARL/read-only semantics. Unknown addresses fail (the CPU
+  // raises an illegal-instruction trap).
+  Result<u32> read(u16 address, const CounterView& counters) const;
+
+  // Write; read-only CSRs fail, WARL fields are masked.
+  Status write(u16 address, u32 value);
+
+  // Fields the trap logic manipulates directly.
+  u32 mstatus = kMstatusMpp;  // MPP=M
+  u32 mie = 0;
+  u32 mip = 0;
+  u32 mtvec = 0;
+  u32 mscratch = 0;
+  u32 mepc = 0;
+  u32 mcause = 0;
+  u32 mtval = 0;
+};
+
+struct CpuState {
+  std::array<u32, isa::kGprCount> gpr{};
+  u32 pc = 0;
+  CsrFile csr;
+
+  u32 read_gpr(unsigned index) const noexcept { return gpr[index & 31]; }
+  void write_gpr(unsigned index, u32 value) noexcept {
+    index &= 31;
+    if (index != 0) gpr[index] = value;
+  }
+};
+
+}  // namespace s4e::vp

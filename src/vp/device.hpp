@@ -1,0 +1,28 @@
+// Memory-mapped device interface for the VP bus.
+#pragma once
+
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+
+namespace s4e::vp {
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  // Read `size` (1/2/4) bytes at byte offset `offset` within the device
+  // window. Little-endian, right-aligned in the returned word.
+  virtual Result<u32> read(u32 offset, unsigned size) = 0;
+
+  // Write `size` bytes at `offset`.
+  virtual Status write(u32 offset, unsigned size, u32 value) = 0;
+
+  // Advance device time to absolute cycle `now` (CLINT timer, UART pacing).
+  virtual void tick(u64 now) { (void)now; }
+};
+
+}  // namespace s4e::vp

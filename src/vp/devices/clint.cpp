@@ -1,0 +1,39 @@
+#include "vp/devices/clint.hpp"
+
+#include "common/strings.hpp"
+
+namespace s4e::vp {
+
+Result<u32> Clint::read(u32 offset, unsigned size) {
+  if (size != 4) {
+    return Error(ErrorCode::kInvalidArgument, "clint: only 32-bit access");
+  }
+  switch (offset) {
+    case kMtimecmpLo: return static_cast<u32>(mtimecmp_);
+    case kMtimecmpHi: return static_cast<u32>(mtimecmp_ >> 32);
+    case kMtimeLo: return static_cast<u32>(mtime_);
+    case kMtimeHi: return static_cast<u32>(mtime_ >> 32);
+    default:
+      return Error(ErrorCode::kOutOfRange,
+                   format("clint: read from bad offset 0x%x", offset));
+  }
+}
+
+Status Clint::write(u32 offset, unsigned size, u32 value) {
+  if (size != 4) {
+    return Error(ErrorCode::kInvalidArgument, "clint: only 32-bit access");
+  }
+  switch (offset) {
+    case kMtimecmpLo:
+      mtimecmp_ = (mtimecmp_ & 0xffff'ffff'0000'0000ULL) | value;
+      return Status();
+    case kMtimecmpHi:
+      mtimecmp_ = (mtimecmp_ & 0xffff'ffffULL) | (static_cast<u64>(value) << 32);
+      return Status();
+    default:
+      return Error(ErrorCode::kOutOfRange,
+                   format("clint: write to bad offset 0x%x", offset));
+  }
+}
+
+}  // namespace s4e::vp

@@ -1,0 +1,39 @@
+// CLINT-compatible machine timer: mtime advances with modelled cycles,
+// mtimecmp raises the machine timer interrupt (MTIP).
+//
+// Register map (byte offsets within the CLINT window):
+//   0x4000 mtimecmp (lo), 0x4004 mtimecmp (hi)
+//   0xbff8 mtime    (lo), 0xbffc mtime    (hi)
+#pragma once
+
+#include "vp/device.hpp"
+
+namespace s4e::vp {
+
+class Clint final : public Device {
+ public:
+  static constexpr u32 kDefaultBase = 0x0200'0000;
+  static constexpr u32 kWindowSize = 0x1'0000;
+  static constexpr u32 kMtimecmpLo = 0x4000;
+  static constexpr u32 kMtimecmpHi = 0x4004;
+  static constexpr u32 kMtimeLo = 0xbff8;
+  static constexpr u32 kMtimeHi = 0xbffc;
+
+  std::string_view name() const noexcept override { return "clint"; }
+
+  Result<u32> read(u32 offset, unsigned size) override;
+  Status write(u32 offset, unsigned size, u32 value) override;
+  void tick(u64 now) override { mtime_ = now; }
+
+  // True while mtime >= mtimecmp (level-triggered MTIP).
+  bool timer_pending() const noexcept { return mtime_ >= mtimecmp_; }
+
+  u64 mtime() const noexcept { return mtime_; }
+  u64 mtimecmp() const noexcept { return mtimecmp_; }
+
+ private:
+  u64 mtime_ = 0;
+  u64 mtimecmp_ = ~u64{0};
+};
+
+}  // namespace s4e::vp

@@ -1,0 +1,56 @@
+#include "vp/devices/gpio.hpp"
+
+#include "common/strings.hpp"
+
+namespace s4e::vp {
+
+Result<u32> Gpio::read(u32 offset, unsigned size) {
+  if (size != 4) {
+    return Error(ErrorCode::kInvalidArgument, "gpio: only 32-bit access");
+  }
+  switch (offset) {
+    case kOut: return out_;
+    case kIn: return in_;
+    default:
+      return Error(ErrorCode::kOutOfRange,
+                   format("gpio: read from bad offset 0x%x", offset));
+  }
+}
+
+Status Gpio::write(u32 offset, unsigned size, u32 value) {
+  if (size != 4) {
+    return Error(ErrorCode::kInvalidArgument, "gpio: only 32-bit access");
+  }
+  switch (offset) {
+    case kOut: record(value); return Status();
+    case kSet: record(out_ | value); return Status();
+    case kClear: record(out_ & ~value); return Status();
+    case kToggle: record(out_ ^ value); return Status();
+    default:
+      return Error(ErrorCode::kOutOfRange,
+                   format("gpio: write to bad offset 0x%x", offset));
+  }
+}
+
+void Gpio::record(u32 new_out) {
+  if (new_out == out_) return;
+  out_ = new_out;
+  changes_.push_back(Change{now_, out_});
+}
+
+double Gpio::duty_cycle(unsigned pin) const {
+  if (changes_.size() < 2) return 0.0;
+  const u32 mask = u32{1} << pin;
+  u64 high = 0;
+  u64 total = 0;
+  // Level between change[i] and change[i+1] is change[i].out.
+  for (std::size_t i = 0; i + 1 < changes_.size(); ++i) {
+    const u64 span = changes_[i + 1].cycle - changes_[i].cycle;
+    total += span;
+    if ((changes_[i].out & mask) != 0) high += span;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(high) / static_cast<double>(total);
+}
+
+}  // namespace s4e::vp

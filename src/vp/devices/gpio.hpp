@@ -1,0 +1,59 @@
+// GPIO block for the edge-demonstrator scenarios (the Scale4Edge project
+// evaluates on robot demonstrators): 32 output pins, 32 host-controlled
+// input pins, and a change log with cycle timestamps so host-side tests
+// can reconstruct waveforms (PWM duty cycles, pulse trains).
+//
+// Register map (byte offsets, 32-bit access):
+//   0x00 OUT     (R/W) output pin levels
+//   0x04 SET     (W)   OUT |= value
+//   0x08 CLEAR   (W)   OUT &= ~value
+//   0x0c TOGGLE  (W)   OUT ^= value
+//   0x10 IN      (R)   input pin levels (host-set)
+#pragma once
+
+#include <vector>
+
+#include "vp/device.hpp"
+
+namespace s4e::vp {
+
+class Gpio final : public Device {
+ public:
+  static constexpr u32 kDefaultBase = 0x1001'0000;
+  static constexpr u32 kWindowSize = 0x100;
+  static constexpr u32 kOut = 0x00;
+  static constexpr u32 kSet = 0x04;
+  static constexpr u32 kClear = 0x08;
+  static constexpr u32 kToggle = 0x0c;
+  static constexpr u32 kIn = 0x10;
+
+  struct Change {
+    u64 cycle = 0;  // device time of the write
+    u32 out = 0;    // OUT value after the write
+  };
+
+  std::string_view name() const noexcept override { return "gpio0"; }
+
+  Result<u32> read(u32 offset, unsigned size) override;
+  Status write(u32 offset, unsigned size, u32 value) override;
+  void tick(u64 now) override { now_ = now; }
+
+  // Host side.
+  u32 out() const noexcept { return out_; }
+  void set_in(u32 value) noexcept { in_ = value; }
+  const std::vector<Change>& changes() const noexcept { return changes_; }
+
+  // Fraction of time `pin` was high over the logged interval [first
+  // change, last change). Returns 0 when fewer than two changes exist.
+  double duty_cycle(unsigned pin) const;
+
+ private:
+  void record(u32 new_out);
+
+  u32 out_ = 0;
+  u32 in_ = 0;
+  u64 now_ = 0;
+  std::vector<Change> changes_;
+};
+
+}  // namespace s4e::vp

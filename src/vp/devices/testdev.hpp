@@ -1,0 +1,48 @@
+// Test finisher (modelled on the SiFive test device QEMU uses for exit):
+// a single 32-bit register; writing
+//   0x5555            -> exit(0)   ("pass")
+//   (code<<16)|0x3333 -> exit(code) ("fail" with code)
+// lets bare-metal workloads terminate the simulation cleanly.
+#pragma once
+
+#include <functional>
+
+#include "vp/device.hpp"
+
+namespace s4e::vp {
+
+class TestDevice final : public Device {
+ public:
+  static constexpr u32 kDefaultBase = 0x0010'0000;
+  static constexpr u32 kWindowSize = 0x1000;
+  static constexpr u32 kPass = 0x5555;
+  static constexpr u32 kFailMagic = 0x3333;
+
+  using ExitHook = std::function<void(int exit_code)>;
+
+  explicit TestDevice(ExitHook on_exit) : on_exit_(std::move(on_exit)) {}
+
+  std::string_view name() const noexcept override { return "test-finisher"; }
+
+  Result<u32> read(u32 offset, unsigned size) override {
+    (void)offset;
+    (void)size;
+    return u32{0};
+  }
+
+  Status write(u32 offset, unsigned size, u32 value) override {
+    (void)offset;
+    (void)size;
+    if (value == kPass) {
+      on_exit_(0);
+    } else if ((value & 0xffff) == kFailMagic) {
+      on_exit_(static_cast<int>(value >> 16));
+    }
+    return Status();
+  }
+
+ private:
+  ExitHook on_exit_;
+};
+
+}  // namespace s4e::vp

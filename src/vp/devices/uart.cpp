@@ -1,0 +1,44 @@
+#include "vp/devices/uart.hpp"
+
+#include "common/strings.hpp"
+
+namespace s4e::vp {
+
+Result<u32> Uart::read(u32 offset, unsigned size) {
+  (void)size;
+  switch (offset) {
+    case kTxData:
+      return u32{0};
+    case kRxData: {
+      if (rx_queue_.empty()) return u32{0xffff'ffff};
+      const u32 value = rx_queue_.front();
+      rx_queue_.pop_front();
+      ++rx_count_;
+      return value;
+    }
+    case kStatus:
+      return (rx_queue_.empty() ? 0u : 1u) | 0x2u;
+    default:
+      return Error(ErrorCode::kOutOfRange,
+                   format("uart: read from bad offset 0x%x", offset));
+  }
+}
+
+Status Uart::write(u32 offset, unsigned size, u32 value) {
+  (void)size;
+  switch (offset) {
+    case kTxData:
+      tx_log_.push_back(static_cast<char>(value & 0xff));
+      ++tx_count_;
+      return Status();
+    default:
+      return Error(ErrorCode::kOutOfRange,
+                   format("uart: write to bad offset 0x%x", offset));
+  }
+}
+
+void Uart::push_rx(std::string_view data) {
+  for (char c : data) rx_queue_.push_back(static_cast<u8>(c));
+}
+
+}  // namespace s4e::vp

@@ -1,0 +1,47 @@
+// UART0: the console / lock-control interface of the edge SoC.
+//
+// Register map (byte offsets, 32-bit access):
+//   0x00 TXDATA  (W) transmit one byte
+//   0x04 RXDATA  (R) receive one byte; reads 0xffff'ffff when empty
+//   0x08 STATUS  (R) bit0 = rx available, bit1 = tx ready (always 1)
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "vp/device.hpp"
+
+namespace s4e::vp {
+
+class Uart final : public Device {
+ public:
+  static constexpr u32 kDefaultBase = 0x1000'0000;
+  static constexpr u32 kWindowSize = 0x100;
+  static constexpr u32 kTxData = 0x00;
+  static constexpr u32 kRxData = 0x04;
+  static constexpr u32 kStatus = 0x08;
+
+  std::string_view name() const noexcept override { return "uart0"; }
+
+  Result<u32> read(u32 offset, unsigned size) override;
+  Status write(u32 offset, unsigned size, u32 value) override;
+
+  // Host side: characters transmitted by the guest so far.
+  const std::string& tx_log() const noexcept { return tx_log_; }
+  void clear_tx_log() { tx_log_.clear(); }
+
+  // Host side: queue input bytes for the guest to receive.
+  void push_rx(std::string_view data);
+
+  // Number of TXDATA writes (E6 reports per-access statistics).
+  u64 tx_count() const noexcept { return tx_count_; }
+  u64 rx_count() const noexcept { return rx_count_; }
+
+ private:
+  std::string tx_log_;
+  std::deque<u8> rx_queue_;
+  u64 tx_count_ = 0;
+  u64 rx_count_ = 0;
+};
+
+}  // namespace s4e::vp

@@ -1,0 +1,609 @@
+#include "vp/machine.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "isa/decoder.hpp"
+#include "isa/rvc.hpp"
+
+// The C-API handle just wraps the Machine pointer; defined here so both
+// machine.cpp and plugin_api.cpp see the same layout.
+struct s4e_vm {
+  s4e::vp::Machine* machine;
+};
+
+namespace s4e::vp {
+
+using isa::Instr;
+using isa::Op;
+
+std::string_view to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kExitEcall: return "exit-ecall";
+    case StopReason::kExitTestDevice: return "exit-testdev";
+    case StopReason::kExitRequested: return "exit-requested";
+    case StopReason::kEbreak: return "ebreak";
+    case StopReason::kTrapUnhandled: return "trap-unhandled";
+    case StopReason::kMaxInstructions: return "max-instructions";
+    case StopReason::kWfiHalt: return "wfi-halt";
+  }
+  return "?";
+}
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config), timing_(config.timing) {
+  bus_.add_ram(config_.ram_base, config_.ram_size);
+  if (config_.map_uart) {
+    auto uart = std::make_unique<Uart>();
+    uart_ = uart.get();
+    bus_.add_device(Uart::kDefaultBase, Uart::kWindowSize, std::move(uart));
+  }
+  if (config_.map_clint) {
+    auto clint = std::make_unique<Clint>();
+    clint_ = clint.get();
+    bus_.add_device(Clint::kDefaultBase, Clint::kWindowSize, std::move(clint));
+  }
+  if (config_.map_gpio) {
+    auto gpio = std::make_unique<Gpio>();
+    gpio_ = gpio.get();
+    bus_.add_device(Gpio::kDefaultBase, Gpio::kWindowSize, std::move(gpio));
+  }
+  if (config_.map_testdev) {
+    auto testdev = std::make_unique<TestDevice>([this](int code) {
+      if (!pending_stop_) {
+        pending_stop_ = PendingStop{StopReason::kExitTestDevice, code, 0, ""};
+      }
+    });
+    bus_.add_device(TestDevice::kDefaultBase, TestDevice::kWindowSize,
+                    std::move(testdev));
+  }
+  vm_handle_ = std::make_unique<s4e_vm>(s4e_vm{this});
+  reset();
+}
+
+Machine::~Machine() = default;
+
+s4e_vm* Machine::vm_handle() noexcept { return vm_handle_.get(); }
+
+void Machine::reset(bool clear_ram) {
+  cpu_ = CpuState{};
+  cpu_.pc = config_.ram_base;
+  // Stack grows down from the top of RAM; keep a 16-byte red zone.
+  cpu_.write_gpr(2, config_.ram_base + config_.ram_size - 16);
+  icount_ = 0;
+  cycles_ = 0;
+  pending_stop_.reset();
+  tb_cache_.flush();
+  if (config_.timing.icache_miss_cycles != 0) {
+    icache_tags_.assign(config_.timing.icache_lines, ~u32{0});
+  } else {
+    icache_tags_.clear();
+  }
+  icache_misses_ = 0;
+  bimodal_.fill(0);
+  if (clear_ram) {
+    std::vector<u8> zeros(config_.ram_size, 0);
+    (void)bus_.ram_write(config_.ram_base, zeros.data(), config_.ram_size);
+  }
+}
+
+Status Machine::load_program(const assembler::Program& program) {
+  for (const auto& section : program.sections) {
+    if (section.bytes.empty()) continue;
+    S4E_TRY_STATUS(bus_.ram_write(section.base, section.bytes.data(),
+                                  static_cast<u32>(section.bytes.size())));
+  }
+  cpu_.pc = program.entry;
+  tb_cache_.flush();
+  return Status();
+}
+
+s4e_insn_info Machine::to_insn_info(const Instr& instr, u32 address) {
+  s4e_insn_info info{};
+  info.address = address;
+  info.encoding = instr.raw;
+  info.op = static_cast<u16>(instr.op);
+  info.op_class = static_cast<u8>(instr.info().op_class);
+  info.rd = instr.rd;
+  info.rs1 = instr.rs1;
+  info.rs2 = instr.rs2;
+  info.csr = instr.csr;
+  info.imm = instr.imm;
+  return info;
+}
+
+TranslationBlock* Machine::translate(u32 pc) {
+  auto block = std::make_unique<TranslationBlock>();
+  block->start = pc;
+  u32 address = pc;
+  while (block->insns.size() < TbCache::kMaxBlockInsns) {
+    // Fetch the first 16-bit parcel to distinguish RVC from 32-bit forms.
+    auto half = bus_.fetch_half(address);
+    if (!half.ok()) {
+      if (block->insns.empty()) {
+        // Instruction access fault at the block head.
+        take_trap(1 /* instruction access fault */, address, false);
+        return nullptr;
+      }
+      break;  // fault will be taken when (if) execution reaches it
+    }
+    Instr instr;
+    if (isa::is_compressed(static_cast<u16>(*half))) {
+      auto decompressed = isa::decompress(static_cast<u16>(*half));
+      if (!decompressed.ok()) {
+        if (block->insns.empty()) {
+          take_trap(kCauseIllegalInstruction, *half, false);
+          return nullptr;
+        }
+        break;
+      }
+      instr = *decompressed;
+    } else {
+      auto word = bus_.fetch_word(address);
+      if (!word.ok() || !isa::decoder().try_decode(*word, instr)) {
+        if (block->insns.empty()) {
+          take_trap(kCauseIllegalInstruction, word.ok() ? *word : *half,
+                    false);
+          return nullptr;
+        }
+        break;
+      }
+    }
+    block->insns.push_back(instr);
+    address += instr.length;
+    if (instr.is_control_flow()) break;
+    // WFI must end the block: the timer interrupt it waits for is only
+    // delivered at block boundaries.
+    if (instr.op == Op::kWfi) break;
+  }
+  block->byte_size = address - pc;
+
+  if (!tb_trans_cbs_.empty()) {
+    std::vector<s4e_insn_info> infos;
+    infos.reserve(block->insns.size());
+    u32 a = block->start;
+    for (const Instr& instr : block->insns) {
+      infos.push_back(to_insn_info(instr, a));
+      a += instr.length;
+    }
+    s4e_tb_info tb_info{block->start, static_cast<u32>(infos.size()),
+                        infos.data()};
+    for (const auto& reg : tb_trans_cbs_) {
+      reg.callback(reg.userdata, vm_handle(), &tb_info);
+    }
+  }
+
+  if (config_.enable_tb_cache) {
+    return tb_cache_.insert(std::move(block));
+  }
+  // Uncached (pure-interpreter ablation): hand the block to a scratch slot.
+  scratch_block_ = std::move(block);
+  return scratch_block_.get();
+}
+
+void Machine::take_trap(u32 cause, u32 tval, bool interrupt) {
+  if (!trap_cbs_.empty()) {
+    s4e_trap_event event{cause | (interrupt ? kCauseInterrupt : 0u),
+                         cpu_.pc, tval};
+    for (const auto& reg : trap_cbs_) {
+      reg.callback(reg.userdata, vm_handle(), &event);
+    }
+  }
+  CsrFile& csr = cpu_.csr;
+  if (csr.mtvec == 0) {
+    // No handler installed: stop the simulation (fault campaigns classify
+    // this as a crash).
+    if (!pending_stop_) {
+      StopReason reason = StopReason::kTrapUnhandled;
+      if (!interrupt && cause == kCauseBreakpoint) reason = StopReason::kEbreak;
+      pending_stop_ = PendingStop{
+          reason, -1, cause | (interrupt ? kCauseInterrupt : 0u),
+          format("unhandled trap cause=%u tval=0x%08x at pc=0x%08x", cause,
+                 tval, cpu_.pc)};
+    }
+    return;
+  }
+  csr.mcause = cause | (interrupt ? kCauseInterrupt : 0u);
+  csr.mepc = cpu_.pc;
+  csr.mtval = tval;
+  // Push MIE -> MPIE, clear MIE.
+  const bool mie = (csr.mstatus & kMstatusMie) != 0;
+  csr.mstatus &= ~(kMstatusMie | kMstatusMpie);
+  if (mie) csr.mstatus |= kMstatusMpie;
+  const u32 base = csr.mtvec & ~u32{3};
+  const bool vectored = (csr.mtvec & 3) == 1;
+  cpu_.pc = (vectored && interrupt) ? base + 4 * cause : base;
+  cycles_ += timing_.params().trap_cycles;
+}
+
+void Machine::check_interrupts() {
+  if (clint_ == nullptr) return;
+  if (clint_->timer_pending()) {
+    cpu_.csr.mip |= kMipMtip;
+  } else {
+    cpu_.csr.mip &= ~kMipMtip;
+  }
+  if ((cpu_.csr.mstatus & kMstatusMie) != 0 &&
+      (cpu_.csr.mie & kMieMtie) != 0 && (cpu_.csr.mip & kMipMtip) != 0) {
+    take_trap(7, 0, true);
+  }
+}
+
+void Machine::probe_icache(u32 block_pc) {
+  if (icache_tags_.empty()) return;
+  const TimingParams& params = timing_.params();
+  const u32 line = block_pc / params.icache_line_bytes;
+  const u32 index = line & (params.icache_lines - 1);
+  if (icache_tags_[index] != line) {
+    icache_tags_[index] = line;
+    cycles_ += params.icache_miss_cycles;
+    ++icache_misses_;
+  }
+}
+
+void Machine::fire_mem_cb(u32 vaddr, u32 value, unsigned size, bool is_store) {
+  s4e_mem_event event{current_insn_pc_, vaddr, value, static_cast<u8>(size),
+                      static_cast<u8>(is_store ? 1 : 0)};
+  for (const auto& reg : mem_cbs_) {
+    reg.callback(reg.userdata, vm_handle(), &event);
+  }
+}
+
+bool Machine::execute(const Instr& in) {
+  const u32 pc = cpu_.pc;
+  current_insn_pc_ = pc;
+  u32 next_pc = pc + in.length;
+  bool redirect = false;
+  bool mmio = false;
+  const u32 rs1 = cpu_.read_gpr(in.rs1);
+  const u32 rs2 = cpu_.read_gpr(in.rs2);
+  const i32 srs1 = static_cast<i32>(rs1);
+  const i32 srs2 = static_cast<i32>(rs2);
+
+  // Charge the timing model exactly once per executed instruction, including
+  // the paths that stop the run (traps, exits): a stopping instruction still
+  // consumed pipeline time, and the cycles >= instructions invariant relies
+  // on it.
+  const auto charge = [&](bool redirected) {
+    cycles_ += timing_.dynamic_cycles(in, redirected, rs1, rs2, mmio);
+  };
+
+  switch (in.op) {
+    case Op::kLui:
+      cpu_.write_gpr(in.rd, static_cast<u32>(in.imm));
+      break;
+    case Op::kAuipc:
+      cpu_.write_gpr(in.rd, pc + static_cast<u32>(in.imm));
+      break;
+    case Op::kJal:
+      cpu_.write_gpr(in.rd, pc + in.length);
+      next_pc = pc + static_cast<u32>(in.imm);
+      redirect = true;
+      break;
+    case Op::kJalr:
+      cpu_.write_gpr(in.rd, pc + in.length);
+      next_pc = (rs1 + static_cast<u32>(in.imm)) & ~u32{1};
+      redirect = true;
+      break;
+    case Op::kBeq: redirect = rs1 == rs2; goto branch;
+    case Op::kBne: redirect = rs1 != rs2; goto branch;
+    case Op::kBlt: redirect = srs1 < srs2; goto branch;
+    case Op::kBge: redirect = srs1 >= srs2; goto branch;
+    case Op::kBltu: redirect = rs1 < rs2; goto branch;
+    case Op::kBgeu:
+      redirect = rs1 >= rs2;
+    branch:
+      if (redirect) next_pc = pc + static_cast<u32>(in.imm);
+      break;
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu: {
+      const u32 address = rs1 + static_cast<u32>(in.imm);
+      const unsigned size =
+          (in.op == Op::kLw) ? 4 : (in.op == Op::kLh || in.op == Op::kLhu) ? 2 : 1;
+      auto result = bus_.read(address, size);
+      if (!result.ok()) {
+        take_trap(kCauseLoadFault, address, false);
+        charge(true);
+        return true;
+      }
+      mmio = result->mmio;
+      u32 value = result->value;
+      if (in.op == Op::kLb) value = static_cast<u32>(sign_extend(value, 8));
+      if (in.op == Op::kLh) value = static_cast<u32>(sign_extend(value, 16));
+      cpu_.write_gpr(in.rd, value);
+      if (!mem_cbs_.empty()) fire_mem_cb(address, value, size, false);
+      break;
+    }
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw: {
+      const u32 address = rs1 + static_cast<u32>(in.imm);
+      const unsigned size =
+          (in.op == Op::kSw) ? 4 : (in.op == Op::kSh) ? 2 : 1;
+      const u32 value = rs2 & (size == 4 ? ~u32{0} : (u32{1} << (8 * size)) - 1);
+      auto result = bus_.write(address, size, value);
+      if (!result.ok()) {
+        take_trap(kCauseStoreFault, address, false);
+        charge(true);
+        return true;
+      }
+      mmio = *result;
+      if (!mem_cbs_.empty()) fire_mem_cb(address, value, size, true);
+      if (!mmio && tb_cache_.overlaps_code(address, size)) {
+        // Self-modifying code: flush after this block finishes.
+        tb_flush_pending_ = true;
+      }
+      break;
+    }
+    case Op::kAddi: cpu_.write_gpr(in.rd, rs1 + static_cast<u32>(in.imm)); break;
+    case Op::kSlti: cpu_.write_gpr(in.rd, srs1 < in.imm ? 1 : 0); break;
+    case Op::kSltiu:
+      cpu_.write_gpr(in.rd, rs1 < static_cast<u32>(in.imm) ? 1 : 0);
+      break;
+    case Op::kXori: cpu_.write_gpr(in.rd, rs1 ^ static_cast<u32>(in.imm)); break;
+    case Op::kOri: cpu_.write_gpr(in.rd, rs1 | static_cast<u32>(in.imm)); break;
+    case Op::kAndi: cpu_.write_gpr(in.rd, rs1 & static_cast<u32>(in.imm)); break;
+    case Op::kSlli: cpu_.write_gpr(in.rd, rs1 << in.rs2); break;
+    case Op::kSrli: cpu_.write_gpr(in.rd, rs1 >> in.rs2); break;
+    case Op::kSrai: cpu_.write_gpr(in.rd, static_cast<u32>(srs1 >> in.rs2)); break;
+    case Op::kAdd: cpu_.write_gpr(in.rd, rs1 + rs2); break;
+    case Op::kSub: cpu_.write_gpr(in.rd, rs1 - rs2); break;
+    case Op::kSll: cpu_.write_gpr(in.rd, rs1 << (rs2 & 31)); break;
+    case Op::kSlt: cpu_.write_gpr(in.rd, srs1 < srs2 ? 1 : 0); break;
+    case Op::kSltu: cpu_.write_gpr(in.rd, rs1 < rs2 ? 1 : 0); break;
+    case Op::kXor: cpu_.write_gpr(in.rd, rs1 ^ rs2); break;
+    case Op::kSrl: cpu_.write_gpr(in.rd, rs1 >> (rs2 & 31)); break;
+    case Op::kSra: cpu_.write_gpr(in.rd, static_cast<u32>(srs1 >> (rs2 & 31))); break;
+    case Op::kOr: cpu_.write_gpr(in.rd, rs1 | rs2); break;
+    case Op::kAnd: cpu_.write_gpr(in.rd, rs1 & rs2); break;
+    case Op::kFence: break;
+    case Op::kEcall: {
+      // Semihosting exit convention: a7 = 93, a0 = exit code.
+      if (cpu_.read_gpr(17) == 93) {
+        pending_stop_ = PendingStop{StopReason::kExitEcall,
+                                    static_cast<int>(cpu_.read_gpr(10)), 0, ""};
+        // No redirect penalty: the simulation ends here rather than
+        // redirecting the front-end (keeps the QTA timeline chain exact).
+        charge(false);
+        return true;
+      }
+      take_trap(kCauseEcallM, 0, false);
+      charge(true);
+      return true;
+    }
+    case Op::kEbreak:
+      take_trap(kCauseBreakpoint, pc, false);
+      charge(true);
+      return true;
+    case Op::kMul: cpu_.write_gpr(in.rd, rs1 * rs2); break;
+    case Op::kMulh:
+      cpu_.write_gpr(in.rd, static_cast<u32>(
+          (static_cast<i64>(srs1) * static_cast<i64>(srs2)) >> 32));
+      break;
+    case Op::kMulhsu:
+      cpu_.write_gpr(in.rd, static_cast<u32>(
+          (static_cast<i64>(srs1) * static_cast<i64>(static_cast<u64>(rs2))) >> 32));
+      break;
+    case Op::kMulhu:
+      cpu_.write_gpr(in.rd, static_cast<u32>(
+          (static_cast<u64>(rs1) * static_cast<u64>(rs2)) >> 32));
+      break;
+    case Op::kDiv:
+      if (rs2 == 0) {
+        cpu_.write_gpr(in.rd, ~u32{0});
+      } else if (rs1 == 0x8000'0000u && rs2 == ~u32{0}) {
+        cpu_.write_gpr(in.rd, 0x8000'0000u);  // overflow
+      } else {
+        cpu_.write_gpr(in.rd, static_cast<u32>(srs1 / srs2));
+      }
+      break;
+    case Op::kDivu:
+      cpu_.write_gpr(in.rd, rs2 == 0 ? ~u32{0} : rs1 / rs2);
+      break;
+    case Op::kRem:
+      if (rs2 == 0) {
+        cpu_.write_gpr(in.rd, rs1);
+      } else if (rs1 == 0x8000'0000u && rs2 == ~u32{0}) {
+        cpu_.write_gpr(in.rd, 0);
+      } else {
+        cpu_.write_gpr(in.rd, static_cast<u32>(srs1 % srs2));
+      }
+      break;
+    case Op::kRemu:
+      cpu_.write_gpr(in.rd, rs2 == 0 ? rs1 : rs1 % rs2);
+      break;
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+    case Op::kCsrrwi:
+    case Op::kCsrrsi:
+    case Op::kCsrrci: {
+      const CsrFile::CounterView counters{cycles_, icount_, cycles_};
+      const bool imm_form = in.op == Op::kCsrrwi || in.op == Op::kCsrrsi ||
+                            in.op == Op::kCsrrci;
+      const u32 operand = imm_form ? static_cast<u32>(in.rs2) : rs1;
+      const bool is_write_op = in.op == Op::kCsrrw || in.op == Op::kCsrrwi;
+      const bool wants_read = !is_write_op || in.rd != 0;
+      const bool wants_write =
+          is_write_op || (imm_form ? in.rs2 != 0 : in.rs1 != 0);
+      u32 old_value = 0;
+      if (wants_read) {
+        auto value = cpu_.csr.read(in.csr, counters);
+        if (!value.ok()) {
+          take_trap(kCauseIllegalInstruction, in.raw, false);
+          charge(true);
+        return true;
+        }
+        old_value = *value;
+      }
+      if (wants_write) {
+        u32 new_value = operand;
+        if (in.op == Op::kCsrrs || in.op == Op::kCsrrsi) {
+          new_value = old_value | operand;
+        } else if (in.op == Op::kCsrrc || in.op == Op::kCsrrci) {
+          new_value = old_value & ~operand;
+        }
+        if (!cpu_.csr.write(in.csr, new_value).ok()) {
+          take_trap(kCauseIllegalInstruction, in.raw, false);
+          charge(true);
+        return true;
+        }
+      }
+      cpu_.write_gpr(in.rd, old_value);
+      break;
+    }
+    case Op::kMret: {
+      CsrFile& csr = cpu_.csr;
+      next_pc = csr.mepc;
+      const bool mpie = (csr.mstatus & kMstatusMpie) != 0;
+      csr.mstatus &= ~kMstatusMie;
+      if (mpie) csr.mstatus |= kMstatusMie;
+      csr.mstatus |= kMstatusMpie;
+      redirect = true;
+      break;
+    }
+    case Op::kWfi: {
+      if ((cpu_.csr.mie & kMieMtie) != 0 && clint_ != nullptr &&
+          clint_->mtimecmp() != ~u64{0}) {
+        // Sleep until the timer fires: fast-forward modelled time.
+        if (cycles_ < clint_->mtimecmp()) cycles_ = clint_->mtimecmp();
+      } else {
+        pending_stop_ = PendingStop{StopReason::kWfiHalt, 0, 0,
+                                    "wfi with timer interrupt disabled"};
+        charge(true);
+        return true;
+      }
+      break;
+    }
+    case Op::kCount:
+      S4E_CHECK_MSG(false, "invalid Op in translated block");
+  }
+
+  bool penalize = redirect;
+  if (timing_.params().branch_predictor &&
+      in.info().op_class == isa::OpClass::kBranch) {
+    // Bimodal 2-bit predictor: penalty only on mispredicts (in either
+    // direction); the table is indexed by the branch PC.
+    u8& counter = bimodal_[(pc >> 2) & (bimodal_.size() - 1)];
+    const bool predicted_taken = counter >= 2;
+    penalize = predicted_taken != redirect;
+    if (redirect) {
+      if (counter < 3) ++counter;
+    } else {
+      if (counter > 0) --counter;
+    }
+  }
+  charge(penalize);
+  cpu_.pc = next_pc;
+  return false;
+}
+
+RunResult Machine::run() {
+  const u64 remaining = config_.max_instructions > icount_
+                            ? config_.max_instructions - icount_
+                            : 0;
+  return run(remaining);
+}
+
+RunResult Machine::run(u64 max_insns) {
+  const u64 limit = icount_ + max_insns;
+  while (!pending_stop_) {
+    if (icount_ >= limit) {
+      pending_stop_ = PendingStop{StopReason::kMaxInstructions, -1, 0,
+                                  "instruction budget exhausted"};
+      break;
+    }
+    bus_.tick(cycles_);
+    check_interrupts();
+    if (pending_stop_) break;
+    if (tb_flush_pending_) {
+      // Requested from a plugin callback (or a self-modifying store) while
+      // the previous block was executing; apply at the block boundary.
+      tb_flush_pending_ = false;
+      tb_cache_.flush();
+    }
+
+    const u32 block_pc = cpu_.pc;
+    TranslationBlock* tb =
+        config_.enable_tb_cache ? tb_cache_.lookup(block_pc) : nullptr;
+    if (tb == nullptr) tb = translate(block_pc);
+    if (tb == nullptr) continue;  // trap was taken (or stop is pending)
+
+    ++tb->exec_count;
+    probe_icache(block_pc);
+    for (const auto& reg : tb_exec_cbs_) {
+      reg.callback(reg.userdata, vm_handle(), block_pc);
+    }
+
+    u32 expected_pc = tb->start;
+    for (const Instr& instr : tb->insns) {
+      if (icount_ >= limit) break;
+      if (!insn_exec_cbs_.empty()) {
+        const s4e_insn_info info = to_insn_info(instr, cpu_.pc);
+        for (const auto& reg : insn_exec_cbs_) {
+          reg.callback(reg.userdata, vm_handle(), &info);
+        }
+      }
+      ++icount_;
+      const bool stop = execute(instr);
+      if (stop || pending_stop_) break;
+      expected_pc += instr.length;
+      if (cpu_.pc != expected_pc) break;  // redirect: block ends here
+      if (tb_flush_pending_) break;
+    }
+    if (tb_flush_pending_) {
+      tb_flush_pending_ = false;
+      tb_cache_.flush();
+    }
+  }
+
+  RunResult result;
+  result.reason = pending_stop_->reason;
+  result.exit_code = pending_stop_->exit_code;
+  result.trap_cause = pending_stop_->trap_cause;
+  result.detail = pending_stop_->detail;
+  result.instructions = icount_;
+  result.cycles = cycles_;
+  result.final_pc = cpu_.pc;
+  for (const auto& reg : exit_cbs_) {
+    reg.callback(reg.userdata, vm_handle(), result.exit_code);
+  }
+  pending_stop_.reset();
+  return result;
+}
+
+u64 Machine::add_tb_trans_cb(s4e_tb_trans_cb cb, void* userdata) {
+  tb_trans_cbs_.push_back({cb, userdata});
+  return tb_trans_cbs_.size();
+}
+u64 Machine::add_tb_exec_cb(s4e_tb_exec_cb cb, void* userdata) {
+  tb_exec_cbs_.push_back({cb, userdata});
+  return tb_exec_cbs_.size();
+}
+u64 Machine::add_insn_exec_cb(s4e_insn_exec_cb cb, void* userdata) {
+  insn_exec_cbs_.push_back({cb, userdata});
+  return insn_exec_cbs_.size();
+}
+u64 Machine::add_mem_cb(s4e_mem_cb cb, void* userdata) {
+  mem_cbs_.push_back({cb, userdata});
+  return mem_cbs_.size();
+}
+u64 Machine::add_trap_cb(s4e_trap_cb cb, void* userdata) {
+  trap_cbs_.push_back({cb, userdata});
+  return trap_cbs_.size();
+}
+u64 Machine::add_exit_cb(s4e_exit_cb cb, void* userdata) {
+  exit_cbs_.push_back({cb, userdata});
+  return exit_cbs_.size();
+}
+
+void Machine::request_exit(int exit_code) noexcept {
+  if (!pending_stop_) {
+    pending_stop_ =
+        PendingStop{StopReason::kExitRequested, exit_code, 0, ""};
+  }
+}
+
+}  // namespace s4e::vp

@@ -1,0 +1,171 @@
+// The virtual prototype: RV32IM_Zicsr hart + bus + devices + TB cache +
+// plugin dispatch. This is the ecosystem's QEMU stand-in.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/status.hpp"
+#include "vp/bus.hpp"
+#include "vp/cpu.hpp"
+#include "vp/devices/clint.hpp"
+#include "vp/devices/gpio.hpp"
+#include "vp/devices/testdev.hpp"
+#include "vp/devices/uart.hpp"
+#include "vp/s4e_plugin.h"
+#include "vp/tb_cache.hpp"
+#include "vp/timing.hpp"
+
+namespace s4e::vp {
+
+struct MachineConfig {
+  u32 ram_base = 0x8000'0000;
+  u32 ram_size = 4u << 20;  // 4 MiB
+  TimingParams timing;
+  bool enable_tb_cache = true;  // E1 ablation switch
+  u64 max_instructions = 200'000'000;
+  bool map_uart = true;
+  bool map_clint = true;
+  bool map_testdev = true;
+  bool map_gpio = true;
+};
+
+// Why the run loop stopped.
+enum class StopReason : u8 {
+  kExitEcall,        // ecall exit convention (a7 = 93)
+  kExitTestDevice,   // write to the test finisher
+  kExitRequested,    // s4e_request_exit() from a plugin
+  kEbreak,           // hit ebreak with no trap handler
+  kTrapUnhandled,    // synchronous trap with mtvec == 0
+  kMaxInstructions,  // instruction budget exhausted (hang detector)
+  kWfiHalt,          // wfi with timer interrupts disabled
+};
+
+std::string_view to_string(StopReason reason) noexcept;
+
+struct RunResult {
+  StopReason reason = StopReason::kMaxInstructions;
+  int exit_code = 0;
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u32 final_pc = 0;
+  u32 trap_cause = 0;  // for kTrapUnhandled
+  std::string detail;
+
+  bool normal_exit() const noexcept {
+    return reason == StopReason::kExitEcall ||
+           reason == StopReason::kExitTestDevice ||
+           reason == StopReason::kExitRequested;
+  }
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = {});
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Copy a program's sections into RAM, set the entry PC and the stack
+  // pointer (top of RAM). Does not reset counters — call reset() to rerun.
+  Status load_program(const assembler::Program& program);
+
+  // Run until a stop condition; repeated calls continue execution.
+  RunResult run();
+  // Run at most `max_insns` further instructions.
+  RunResult run(u64 max_insns);
+
+  // Reset architectural state and counters (keeps loaded RAM contents
+  // unless `clear_ram`).
+  void reset(bool clear_ram = false);
+
+  CpuState& cpu() noexcept { return cpu_; }
+  const CpuState& cpu() const noexcept { return cpu_; }
+  Bus& bus() noexcept { return bus_; }
+  const MachineConfig& config() const noexcept { return config_; }
+  const TimingModel& timing() const noexcept { return timing_; }
+
+  u64 icount() const noexcept { return icount_; }
+  u64 cycles() const noexcept { return cycles_; }
+  u64 icache_misses() const noexcept { return icache_misses_; }
+  TbCache& tb_cache() noexcept { return tb_cache_; }
+
+  Uart* uart() noexcept { return uart_; }
+  Clint* clint() noexcept { return clint_; }
+  Gpio* gpio() noexcept { return gpio_; }
+
+  // Plugin C-API handle for this machine (stable for its lifetime).
+  s4e_vm* vm_handle() noexcept;
+
+  // --- Plugin host (called from the C API shims; see plugin_api.cpp).
+  template <typename Cb>
+  struct Registration {
+    Cb callback;
+    void* userdata;
+  };
+  u64 add_tb_trans_cb(s4e_tb_trans_cb cb, void* userdata);
+  u64 add_tb_exec_cb(s4e_tb_exec_cb cb, void* userdata);
+  u64 add_insn_exec_cb(s4e_insn_exec_cb cb, void* userdata);
+  u64 add_mem_cb(s4e_mem_cb cb, void* userdata);
+  u64 add_trap_cb(s4e_trap_cb cb, void* userdata);
+  u64 add_exit_cb(s4e_exit_cb cb, void* userdata);
+  void request_exit(int exit_code) noexcept;
+
+  // Deferred TB-cache flush: safe to call from plugin callbacks while a
+  // block is executing (the flush happens at the next block boundary).
+  void request_tb_flush() noexcept { tb_flush_pending_ = true; }
+
+ private:
+  struct PendingStop {
+    StopReason reason;
+    int exit_code;
+    u32 trap_cause = 0;
+    std::string detail;
+  };
+
+  TranslationBlock* translate(u32 pc);
+  // Execute one instruction; returns true if the run must stop.
+  bool execute(const isa::Instr& instr);
+  void take_trap(u32 cause, u32 tval, bool interrupt);
+  void check_interrupts();
+  void probe_icache(u32 block_pc);
+  void fire_mem_cb(u32 vaddr, u32 value, unsigned size, bool is_store);
+  static s4e_insn_info to_insn_info(const isa::Instr& instr, u32 address);
+
+  MachineConfig config_;
+  TimingModel timing_;
+  CpuState cpu_;
+  Bus bus_;
+  TbCache tb_cache_;
+  Uart* uart_ = nullptr;
+  Clint* clint_ = nullptr;
+  Gpio* gpio_ = nullptr;
+
+  u64 icount_ = 0;
+  u64 cycles_ = 0;
+  std::optional<PendingStop> pending_stop_;
+  u32 current_insn_pc_ = 0;
+  bool tb_flush_pending_ = false;
+  // Instruction-cache model state (see TimingParams): tag per line, ~0 when
+  // invalid. Empty when the model is disabled.
+  std::vector<u32> icache_tags_;
+  u64 icache_misses_ = 0;
+  // Bimodal branch predictor counters (2-bit saturating).
+  std::array<u8, 256> bimodal_{};
+  // Holds the current block when the TB cache is disabled (E1 ablation).
+  std::unique_ptr<TranslationBlock> scratch_block_;
+
+  std::vector<Registration<s4e_tb_trans_cb>> tb_trans_cbs_;
+  std::vector<Registration<s4e_tb_exec_cb>> tb_exec_cbs_;
+  std::vector<Registration<s4e_insn_exec_cb>> insn_exec_cbs_;
+  std::vector<Registration<s4e_mem_cb>> mem_cbs_;
+  std::vector<Registration<s4e_trap_cb>> trap_cbs_;
+  std::vector<Registration<s4e_exit_cb>> exit_cbs_;
+
+  std::unique_ptr<s4e_vm> vm_handle_;
+};
+
+}  // namespace s4e::vp

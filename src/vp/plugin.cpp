@@ -1,0 +1,47 @@
+#include "vp/plugin.hpp"
+
+#include "common/status.hpp"
+
+namespace s4e::vp {
+
+namespace {
+
+void tb_trans_tramp(void* userdata, s4e_vm*, const s4e_tb_info* tb) {
+  static_cast<PluginBase*>(userdata)->on_tb_trans(*tb);
+}
+
+void tb_exec_tramp(void* userdata, s4e_vm*, uint32_t tb_start) {
+  static_cast<PluginBase*>(userdata)->on_tb_exec(tb_start);
+}
+
+void insn_exec_tramp(void* userdata, s4e_vm*, const s4e_insn_info* insn) {
+  static_cast<PluginBase*>(userdata)->on_insn_exec(*insn);
+}
+
+void mem_tramp(void* userdata, s4e_vm*, const s4e_mem_event* event) {
+  static_cast<PluginBase*>(userdata)->on_mem(*event);
+}
+
+void trap_tramp(void* userdata, s4e_vm*, const s4e_trap_event* event) {
+  static_cast<PluginBase*>(userdata)->on_trap(*event);
+}
+
+void exit_tramp(void* userdata, s4e_vm*, int exit_code) {
+  static_cast<PluginBase*>(userdata)->on_exit(exit_code);
+}
+
+}  // namespace
+
+void PluginBase::attach(s4e_vm* vm) {
+  S4E_CHECK_MSG(vm_ == nullptr, "plugin already attached");
+  vm_ = vm;
+  const Subscriptions subs = subscriptions();
+  if (subs.tb_trans) s4e_register_tb_trans_cb(vm, tb_trans_tramp, this);
+  if (subs.tb_exec) s4e_register_tb_exec_cb(vm, tb_exec_tramp, this);
+  if (subs.insn_exec) s4e_register_insn_exec_cb(vm, insn_exec_tramp, this);
+  if (subs.mem) s4e_register_mem_cb(vm, mem_tramp, this);
+  if (subs.trap) s4e_register_trap_cb(vm, trap_tramp, this);
+  if (subs.exit) s4e_register_exit_cb(vm, exit_tramp, this);
+}
+
+}  // namespace s4e::vp

@@ -1,0 +1,48 @@
+// C++ convenience adaptor over the C plugin API.
+//
+// Ecosystem tools derive from PluginBase and override the events they need;
+// the adaptor performs all interaction through the C functions in
+// s4e_plugin.h only, preserving the property that tools depend on the
+// stable C boundary, not on VP internals (the QEMU TCG-plugin discipline).
+#pragma once
+
+#include "common/bits.hpp"
+#include "vp/s4e_plugin.h"
+
+namespace s4e::vp {
+
+class PluginBase {
+ public:
+  virtual ~PluginBase() = default;
+
+  // Register the overridden callbacks with `vm`. Call once per VM.
+  void attach(s4e_vm* vm);
+
+  s4e_vm* vm() const noexcept { return vm_; }
+
+  // Event hooks (public so the C trampolines can dispatch without friend
+  // gymnastics; they are still only meant to be *called* by the VP).
+  virtual void on_tb_trans(const s4e_tb_info& tb) { (void)tb; }
+  virtual void on_tb_exec(u32 tb_start) { (void)tb_start; }
+  virtual void on_insn_exec(const s4e_insn_info& insn) { (void)insn; }
+  virtual void on_mem(const s4e_mem_event& event) { (void)event; }
+  virtual void on_trap(const s4e_trap_event& event) { (void)event; }
+  virtual void on_exit(int exit_code) { (void)exit_code; }
+
+  // Which events to register for; default registers everything overridden
+  // cannot be detected in C++, so derived classes state their needs.
+  struct Subscriptions {
+    bool tb_trans = false;
+    bool tb_exec = false;
+    bool insn_exec = false;
+    bool mem = false;
+    bool trap = false;
+    bool exit = false;
+  };
+  virtual Subscriptions subscriptions() const = 0;
+
+ private:
+  s4e_vm* vm_ = nullptr;
+};
+
+}  // namespace s4e::vp

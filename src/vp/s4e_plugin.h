@@ -1,0 +1,117 @@
+/*
+ * Scale4Edge VP plugin API.
+ *
+ * Modelled on the QEMU TCG plugin API (qemu-plugin.h, QEMU >= 4.2): a plain
+ * C interface, stable across VP versions, through which every analysis tool
+ * of the ecosystem (QTA timing analysis, coverage, fault injection, memory
+ * watch) observes and instruments execution. Plugins register callbacks for
+ * translation-time and execution-time events and may inspect or mutate
+ * architectural state through accessor functions.
+ *
+ * Event model (mirrors QEMU):
+ *   - tb_trans:  a translation block was (re)built from guest code. Fires
+ *                once per block per translation, not per execution.
+ *   - tb_exec:   a translated block is about to execute.
+ *   - insn_exec: one instruction is about to execute (costly; only
+ *                delivered to plugins that registered for it).
+ *   - mem:       one data memory access executed (load or store).
+ *   - trap:      an exception or interrupt was taken.
+ *   - exit:      the guest terminated.
+ */
+#ifndef S4E_PLUGIN_H_
+#define S4E_PLUGIN_H_
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Opaque VM handle (one per s4e::vp::Machine). */
+typedef struct s4e_vm s4e_vm;
+
+/* One decoded instruction inside a translation block.
+ * `op` is the stable instruction-type id (s4e::isa::Op), `op_class` the
+ * behavioural class (s4e::isa::OpClass). */
+typedef struct s4e_insn_info {
+  uint32_t address;
+  uint32_t encoding;
+  uint16_t op;
+  uint8_t op_class;
+  uint8_t rd;
+  uint8_t rs1;
+  uint8_t rs2;
+  uint16_t csr;
+  int32_t imm;
+} s4e_insn_info;
+
+typedef struct s4e_tb_info {
+  uint32_t start;            /* guest address of the first instruction */
+  uint32_t n_insns;
+  const s4e_insn_info* insns;
+} s4e_tb_info;
+
+typedef struct s4e_mem_event {
+  uint32_t pc;               /* address of the accessing instruction */
+  uint32_t vaddr;            /* accessed address */
+  uint32_t value;            /* value stored / loaded */
+  uint8_t size;              /* 1, 2 or 4 */
+  uint8_t is_store;          /* 0 = load, 1 = store */
+} s4e_mem_event;
+
+typedef struct s4e_trap_event {
+  uint32_t cause;            /* mcause value (bit 31 = interrupt) */
+  uint32_t epc;
+  uint32_t tval;
+} s4e_trap_event;
+
+typedef void (*s4e_tb_trans_cb)(void* userdata, s4e_vm* vm,
+                                const s4e_tb_info* tb);
+typedef void (*s4e_tb_exec_cb)(void* userdata, s4e_vm* vm, uint32_t tb_start);
+typedef void (*s4e_insn_exec_cb)(void* userdata, s4e_vm* vm,
+                                 const s4e_insn_info* insn);
+typedef void (*s4e_mem_cb)(void* userdata, s4e_vm* vm,
+                           const s4e_mem_event* event);
+typedef void (*s4e_trap_cb)(void* userdata, s4e_vm* vm,
+                            const s4e_trap_event* event);
+typedef void (*s4e_exit_cb)(void* userdata, s4e_vm* vm, int exit_code);
+
+/* Registration. Each returns a plugin handle id (>0) or 0 on failure.
+ * Callbacks remain registered until the VM is destroyed. */
+uint64_t s4e_register_tb_trans_cb(s4e_vm* vm, s4e_tb_trans_cb cb, void* userdata);
+uint64_t s4e_register_tb_exec_cb(s4e_vm* vm, s4e_tb_exec_cb cb, void* userdata);
+uint64_t s4e_register_insn_exec_cb(s4e_vm* vm, s4e_insn_exec_cb cb, void* userdata);
+uint64_t s4e_register_mem_cb(s4e_vm* vm, s4e_mem_cb cb, void* userdata);
+uint64_t s4e_register_trap_cb(s4e_vm* vm, s4e_trap_cb cb, void* userdata);
+uint64_t s4e_register_exit_cb(s4e_vm* vm, s4e_exit_cb cb, void* userdata);
+
+/* Architectural state access. Indexes are architectural (x0..x31).
+ * Writes to x0 are ignored, as in hardware. */
+uint32_t s4e_read_gpr(s4e_vm* vm, unsigned index);
+void s4e_write_gpr(s4e_vm* vm, unsigned index, uint32_t value);
+uint32_t s4e_read_pc(s4e_vm* vm);
+uint32_t s4e_read_csr(s4e_vm* vm, unsigned address);
+void s4e_write_csr(s4e_vm* vm, unsigned address, uint32_t value);
+
+/* Guest physical memory access (bypasses MMIO side effects: RAM only).
+ * Returns 0 on success, -1 if the range is not RAM. */
+int s4e_read_mem(s4e_vm* vm, uint32_t address, void* buffer, uint32_t size);
+int s4e_write_mem(s4e_vm* vm, uint32_t address, const void* buffer,
+                  uint32_t size);
+
+/* Execution statistics. */
+uint64_t s4e_icount(s4e_vm* vm);     /* retired instructions */
+uint64_t s4e_cycles(s4e_vm* vm);     /* modelled cycles */
+
+/* Request guest termination at the next block boundary (exit_code is
+ * reported through the exit callbacks and the run result). */
+void s4e_request_exit(s4e_vm* vm, int exit_code);
+
+/* Flush the translation-block cache (after patching code bytes). */
+void s4e_flush_tb_cache(s4e_vm* vm);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* S4E_PLUGIN_H_ */

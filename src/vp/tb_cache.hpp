@@ -1,0 +1,69 @@
+// Translation-block cache: the VP's analogue of QEMU's TCG code cache.
+//
+// Guest code is decoded once per basic block and the decoded form is reused
+// on every re-execution; only stores into already-translated code (self-
+// modification, e.g. by the fault injector) force a flush. The E1 experiment
+// ablates this cache against per-instruction re-decoding.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace s4e::vp {
+
+struct TranslationBlock {
+  u32 start = 0;
+  u32 byte_size = 0;
+  std::vector<isa::Instr> insns;
+  // Precomputed worst-case-free base timing per instruction is kept by the
+  // execution loop; the block itself stays a pure decode artefact.
+  u64 exec_count = 0;
+
+  u32 end() const noexcept { return start + byte_size; }
+};
+
+class TbCache {
+ public:
+  // Max instructions per block (QEMU uses a similar translation bound).
+  static constexpr unsigned kMaxBlockInsns = 64;
+
+  TranslationBlock* lookup(u32 pc) noexcept {
+    auto it = blocks_.find(pc);
+    return it == blocks_.end() ? nullptr : it->second.get();
+  }
+
+  TranslationBlock* insert(std::unique_ptr<TranslationBlock> block) {
+    TranslationBlock* raw = block.get();
+    code_lo_ = std::min(code_lo_, raw->start);
+    code_hi_ = std::max(code_hi_, raw->end());
+    blocks_[raw->start] = std::move(block);
+    return raw;
+  }
+
+  void flush() noexcept {
+    blocks_.clear();
+    code_lo_ = ~u32{0};
+    code_hi_ = 0;
+    ++flush_count_;
+  }
+
+  // Conservative self-modification check: true if [address, address+size)
+  // intersects the watermark range of translated code.
+  bool overlaps_code(u32 address, u32 size) const noexcept {
+    return code_hi_ != 0 && address < code_hi_ && address + size > code_lo_;
+  }
+
+  std::size_t size() const noexcept { return blocks_.size(); }
+  u64 flush_count() const noexcept { return flush_count_; }
+
+ private:
+  std::unordered_map<u32, std::unique_ptr<TranslationBlock>> blocks_;
+  u32 code_lo_ = ~u32{0};
+  u32 code_hi_ = 0;
+  u64 flush_count_ = 0;
+};
+
+}  // namespace s4e::vp

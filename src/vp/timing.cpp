@@ -1,0 +1,73 @@
+#include "vp/timing.hpp"
+
+#include <algorithm>
+
+namespace s4e::vp {
+
+u32 TimingModel::divide_cycles(u32 dividend) const noexcept {
+  // Iterative radix-2 divider with early-out on leading zeros: the cost
+  // scales with the significant-bit count of the dividend.
+  unsigned bits = 32;
+  while (bits > 1 && (dividend & (u32{1} << (bits - 1))) == 0) --bits;
+  const u32 span = params_.div_max_cycles - params_.div_min_cycles;
+  return params_.div_min_cycles + (span * bits) / 32;
+}
+
+u32 TimingModel::dynamic_cycles(const isa::Instr& instr, bool redirect,
+                                u32 rs1, u32 rs2, bool mmio) const noexcept {
+  (void)rs2;
+  u32 cycles = params_.base_cycles;
+  switch (instr.info().op_class) {
+    case isa::OpClass::kLoad:
+    case isa::OpClass::kStore:
+      cycles += mmio ? params_.mmio_access_cycles : params_.ram_access_cycles;
+      break;
+    case isa::OpClass::kMul:
+      cycles += params_.mul_cycles;
+      break;
+    case isa::OpClass::kDiv:
+      cycles += divide_cycles(rs1);
+      break;
+    case isa::OpClass::kCsr:
+      cycles += params_.csr_cycles;
+      break;
+    case isa::OpClass::kSystem:
+      cycles += params_.trap_cycles;
+      break;
+    default:
+      break;
+  }
+  if (redirect) cycles += params_.redirect_penalty;
+  return cycles;
+}
+
+u32 TimingModel::worst_case_cycles(const isa::Instr& instr) const noexcept {
+  u32 cycles = params_.base_cycles;
+  switch (instr.info().op_class) {
+    case isa::OpClass::kLoad:
+    case isa::OpClass::kStore:
+      // Without a value analysis the static side cannot prove an access
+      // stays in RAM, so it must assume the slower of the two paths (for
+      // the default parameters that is MMIO). This is the classic source
+      // of static-WCET pessimism on memory-bound code.
+      cycles += std::max(params_.mmio_access_cycles, params_.ram_access_cycles);
+      break;
+    case isa::OpClass::kMul:
+      cycles += params_.mul_cycles;
+      break;
+    case isa::OpClass::kDiv:
+      cycles += params_.div_max_cycles;
+      break;
+    case isa::OpClass::kCsr:
+      cycles += params_.csr_cycles;
+      break;
+    case isa::OpClass::kSystem:
+      cycles += params_.trap_cycles;
+      break;
+    default:
+      break;
+  }
+  return cycles;
+}
+
+}  // namespace s4e::vp

@@ -1,0 +1,82 @@
+// Microarchitectural timing model shared between the VP's cycle counter
+// (dynamic, operand-dependent latencies) and the static WCET analyzer
+// (per-class worst-case latencies).
+//
+// The model is a classic in-order 5-stage pipeline abstraction:
+//   - every instruction costs `base_cycles`,
+//   - loads/stores add memory latency (RAM wait states; MMIO is slower),
+//   - multiplies add a fixed multiplier latency,
+//   - divides are iterative with early-out: the dynamic cost depends on the
+//     dividend magnitude, the static cost is the full iteration count,
+//   - taken branches and jumps flush the front-end (`redirect_penalty`).
+//
+// The invariant the E3 experiment checks — static bound >= observed cycles —
+// holds *by construction*: worst_case_cycles() dominates dynamic_cycles()
+// for every instruction and context (asserted in tests over random programs).
+#pragma once
+
+#include "common/bits.hpp"
+#include "isa/instr.hpp"
+
+namespace s4e::vp {
+
+struct TimingParams {
+  u32 base_cycles = 1;        // issue cost of any instruction
+  u32 ram_access_cycles = 1;  // extra cycles for a RAM data access
+  u32 mmio_access_cycles = 8; // extra cycles for a device access
+  u32 mul_cycles = 2;         // extra cycles for RV32M multiplies
+  u32 div_min_cycles = 3;     // early-out divide, best case (extra)
+  u32 div_max_cycles = 33;    // full 32-bit iterative divide (extra)
+  u32 redirect_penalty = 2;   // taken branch / jump front-end flush
+  u32 csr_cycles = 2;         // CSR access serialization (extra)
+  u32 trap_cycles = 5;        // trap entry/exit cost
+
+  // --- Optional microarchitectural features (ablation candidates). ---
+
+  // Instruction cache: direct-mapped, probed once per executed translation
+  // block; a miss costs `icache_miss_cycles` (0 disables the model). The
+  // static analyzer charges the miss on *every* block execution (it cannot
+  // prove hits without a persistence analysis), so enabling the icache
+  // widens the static-dynamic gap — the classic aiT-vs-hardware effect.
+  u32 icache_miss_cycles = 0;
+  u32 icache_lines = 64;       // power of two
+  u32 icache_line_bytes = 32;  // power of two
+
+  // Bimodal (2-bit) branch predictor: a correctly-predicted conditional
+  // branch pays no redirect penalty; a mispredict pays it in *either*
+  // direction. The static side must then assume a possible mispredict on
+  // both edges of every conditional branch.
+  bool branch_predictor = false;
+};
+
+class TimingModel {
+ public:
+  TimingModel() = default;
+  explicit TimingModel(const TimingParams& params) : params_(params) {}
+
+  const TimingParams& params() const noexcept { return params_; }
+
+  // Actual cycle cost of one executed instruction. `redirect` is true when
+  // the instruction changed the PC away from fall-through (taken branch,
+  // jump, trap-free mret). `rs1`/`rs2` are the operand values (divide
+  // early-out). `mmio` is true when a data access hit a device.
+  u32 dynamic_cycles(const isa::Instr& instr, bool redirect, u32 rs1, u32 rs2,
+                     bool mmio) const noexcept;
+
+  // Context-free worst case for one instruction, *excluding* any redirect
+  // penalty (that is accounted on CFG edges: the static analyzer adds
+  // edge_cycles() on taken edges, matching the aiT-report structure where
+  // time sits on control-flow edges).
+  u32 worst_case_cycles(const isa::Instr& instr) const noexcept;
+
+  // Worst-case penalty attached to a taken (non-fall-through) CFG edge.
+  u32 edge_cycles() const noexcept { return params_.redirect_penalty; }
+
+  // Dynamic cost of an iterative divide by operand value.
+  u32 divide_cycles(u32 dividend) const noexcept;
+
+ private:
+  TimingParams params_;
+};
+
+}  // namespace s4e::vp

@@ -1,0 +1,124 @@
+#include "wcet/annotated_cfg.hpp"
+
+#include "common/strings.hpp"
+
+namespace s4e::wcet {
+
+void AnnotatedCfg::reindex() {
+  index_.clear();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    index_[blocks[i].start] = i;
+  }
+}
+
+std::string AnnotatedCfg::serialize() const {
+  std::string out;
+  out += "qta-cfg v1\n";
+  out += format("program %s entry 0x%08x\n", program_name.c_str(), entry);
+  out += format("penalty %u\n", redirect_penalty);
+  out += format("transitions %s\n",
+                penalize_all_transitions ? "all" : "redirect");
+  out += format("wcet_total %llu\n",
+                static_cast<unsigned long long>(total_wcet));
+  for (const AnnotatedBlock& block : blocks) {
+    out += format("block 0x%08x 0x%08x wcet %u fn 0x%08x\n", block.start,
+                  block.end, block.wcet, block.function_entry);
+  }
+  for (const AnnotatedEdge& edge : edges) {
+    out += format("edge 0x%08x 0x%08x penalty %u%s\n", edge.source,
+                  edge.target, edge.penalty, edge.is_back_edge ? " back" : "");
+  }
+  for (const auto& [header, bound] : loop_bounds) {
+    out += format("loopbound 0x%08x %u\n", header, bound);
+  }
+  return out;
+}
+
+Result<AnnotatedCfg> AnnotatedCfg::parse(std::string_view text) {
+  AnnotatedCfg cfg;
+  bool saw_magic = false;
+  unsigned line_no = 0;
+  for (std::string_view line_raw : split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(line_raw);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = split_whitespace(line);
+    auto bad = [&](const std::string& why) {
+      return Error(ErrorCode::kParseError,
+                   format("qta-cfg line %u: %s", line_no, why.c_str()));
+    };
+    auto num = [&](std::string_view field) -> Result<i64> {
+      return parse_integer(field);
+    };
+    if (!saw_magic) {
+      if (fields.size() != 2 || fields[0] != "qta-cfg" || fields[1] != "v1") {
+        return bad("expected header 'qta-cfg v1'");
+      }
+      saw_magic = true;
+      continue;
+    }
+    if (fields[0] == "program") {
+      if (fields.size() != 4 || fields[2] != "entry") {
+        return bad("malformed program record");
+      }
+      cfg.program_name = std::string(fields[1]);
+      S4E_TRY(entry, num(fields[3]));
+      cfg.entry = static_cast<u32>(entry);
+    } else if (fields[0] == "penalty") {
+      if (fields.size() != 2) return bad("malformed penalty record");
+      S4E_TRY(penalty, num(fields[1]));
+      cfg.redirect_penalty = static_cast<u32>(penalty);
+    } else if (fields[0] == "transitions") {
+      if (fields.size() != 2 || (fields[1] != "all" && fields[1] != "redirect")) {
+        return bad("malformed transitions record");
+      }
+      cfg.penalize_all_transitions = fields[1] == "all";
+    } else if (fields[0] == "wcet_total") {
+      if (fields.size() != 2) return bad("malformed wcet_total record");
+      S4E_TRY(total, num(fields[1]));
+      cfg.total_wcet = static_cast<u64>(total);
+    } else if (fields[0] == "block") {
+      if (fields.size() != 7 || fields[3] != "wcet" || fields[5] != "fn") {
+        return bad("malformed block record");
+      }
+      AnnotatedBlock block;
+      S4E_TRY(start, num(fields[1]));
+      S4E_TRY(end, num(fields[2]));
+      S4E_TRY(wcet, num(fields[4]));
+      S4E_TRY(fn, num(fields[6]));
+      block.start = static_cast<u32>(start);
+      block.end = static_cast<u32>(end);
+      block.wcet = static_cast<u32>(wcet);
+      block.function_entry = static_cast<u32>(fn);
+      cfg.blocks.push_back(block);
+    } else if (fields[0] == "edge") {
+      if (fields.size() < 5 || fields[3] != "penalty") {
+        return bad("malformed edge record");
+      }
+      AnnotatedEdge edge;
+      S4E_TRY(source, num(fields[1]));
+      S4E_TRY(target, num(fields[2]));
+      S4E_TRY(penalty, num(fields[4]));
+      edge.source = static_cast<u32>(source);
+      edge.target = static_cast<u32>(target);
+      edge.penalty = static_cast<u32>(penalty);
+      edge.is_back_edge = fields.size() == 6 && fields[5] == "back";
+      if (fields.size() > 6) return bad("trailing fields on edge record");
+      cfg.edges.push_back(edge);
+    } else if (fields[0] == "loopbound") {
+      if (fields.size() != 3) return bad("malformed loopbound record");
+      S4E_TRY(header, num(fields[1]));
+      S4E_TRY(bound, num(fields[2]));
+      cfg.loop_bounds[static_cast<u32>(header)] = static_cast<u32>(bound);
+    } else {
+      return bad("unknown record kind '" + std::string(fields[0]) + "'");
+    }
+  }
+  if (!saw_magic) {
+    return Error(ErrorCode::kParseError, "empty qta-cfg input");
+  }
+  cfg.reindex();
+  return cfg;
+}
+
+}  // namespace s4e::wcet

@@ -1,0 +1,67 @@
+// WCET-annotated control-flow graph — the interchange artefact between the
+// static analyzer and the QTA co-simulation.
+//
+// This reproduces the `ait2qta` flow of the QTA tool demo: aiT's report is
+// preprocessed into a CFG whose nodes are blocks and whose edges carry the
+// worst-case cost of moving between blocks; QEMU (here: the VP) then loads
+// the binary *and* this annotated graph and simulates both together. The
+// text format is versioned and line-oriented so it survives tool revisions.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+
+namespace s4e::wcet {
+
+struct AnnotatedBlock {
+  u32 start = 0;
+  u32 end = 0;    // exclusive
+  u32 wcet = 0;   // worst-case cycles of the block's own instructions
+  u32 function_entry = 0;  // which procedure the block belongs to
+};
+
+struct AnnotatedEdge {
+  u32 source = 0;       // block start address
+  u32 target = 0;       // block start address
+  u32 penalty = 0;      // worst-case cycles charged on this transition
+  bool is_back_edge = false;
+};
+
+struct AnnotatedCfg {
+  std::string program_name = "program";
+  u32 entry = 0;
+  u64 total_wcet = 0;        // static bound for a whole run from entry
+  u32 redirect_penalty = 0;  // per non-contiguous transition (QTA rule)
+  // When the timing model includes a branch predictor, a mispredict can
+  // also hit the fall-through direction, so QTA must charge the penalty on
+  // *every* block transition, not only non-contiguous ones.
+  bool penalize_all_transitions = false;
+  std::vector<AnnotatedBlock> blocks;
+  std::vector<AnnotatedEdge> edges;
+  std::map<u32, u32> loop_bounds;  // header block start -> bound
+
+  // Block whose start address equals `address`, or nullptr.
+  const AnnotatedBlock* block_at(u32 address) const {
+    auto it = index_.find(address);
+    return it == index_.end() ? nullptr : &blocks[it->second];
+  }
+
+  // Rebuild the start-address index (call after filling `blocks`).
+  void reindex();
+
+  // Serialize to the versioned text format.
+  std::string serialize() const;
+
+  // Parse the text format (strict: unknown record kinds are errors, so a
+  // future format bump cannot be silently misread).
+  static Result<AnnotatedCfg> parse(std::string_view text);
+
+ private:
+  std::map<u32, std::size_t> index_;
+};
+
+}  // namespace s4e::wcet

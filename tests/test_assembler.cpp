@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "common/rng.hpp"
+#include "isa/encoder.hpp"
+#include "isa/csr.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+
+namespace s4e::assembler {
+namespace {
+
+using isa::Op;
+
+Result<Program> asm_ok(std::string_view source) {
+  auto program = assemble(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().to_string());
+  return program;
+}
+
+// Decode the i-th instruction word of .text.
+isa::Instr text_instr(const Program& program, unsigned index) {
+  const Section* text = program.find_section(".text");
+  EXPECT_NE(text, nullptr);
+  auto word = program.read_word(text->base + 4 * index);
+  EXPECT_TRUE(word.ok());
+  auto instr = isa::decoder().decode(*word);
+  EXPECT_TRUE(instr.ok());
+  return *instr;
+}
+
+TEST(Assembler, EmptySourceYieldsEmptyText) {
+  auto program = asm_ok("");
+  EXPECT_EQ(program->find_section(".text")->bytes.size(), 0u);
+}
+
+TEST(Assembler, SingleInstruction) {
+  auto program = asm_ok("addi a0, zero, 42\n");
+  const auto instr = text_instr(*program, 0);
+  EXPECT_EQ(instr.op, Op::kAddi);
+  EXPECT_EQ(instr.rd, 10);
+  EXPECT_EQ(instr.imm, 42);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  auto program = asm_ok(R"(
+    # full-line comment
+    addi a0, zero, 1   # trailing comment
+    ; semicolon comment
+    addi a1, zero, 2
+  )");
+  EXPECT_EQ(program->find_section(".text")->bytes.size(), 8u);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  auto program = asm_ok(R"(
+loop:
+    addi a0, a0, -1
+    bnez a0, loop
+    ebreak
+  )");
+  const auto branch = text_instr(*program, 1);
+  EXPECT_EQ(branch.op, Op::kBne);
+  EXPECT_EQ(branch.imm, -4);  // back to loop
+}
+
+TEST(Assembler, ForwardReferences) {
+  auto program = asm_ok(R"(
+    j end
+    nop
+end:
+    ebreak
+  )");
+  const auto jump = text_instr(*program, 0);
+  EXPECT_EQ(jump.op, Op::kJal);
+  EXPECT_EQ(jump.imm, 8);
+}
+
+TEST(Assembler, LiSmallExpandsToAddi) {
+  auto program = asm_ok("li a0, -5\n");
+  EXPECT_EQ(program->find_section(".text")->bytes.size(), 4u);
+  const auto instr = text_instr(*program, 0);
+  EXPECT_EQ(instr.op, Op::kAddi);
+  EXPECT_EQ(instr.imm, -5);
+}
+
+TEST(Assembler, LiLargeExpandsToLuiAddi) {
+  auto program = asm_ok("li a0, 0x12345678\n");
+  EXPECT_EQ(program->find_section(".text")->bytes.size(), 8u);
+  EXPECT_EQ(text_instr(*program, 0).op, Op::kLui);
+  EXPECT_EQ(text_instr(*program, 1).op, Op::kAddi);
+}
+
+TEST(Assembler, LaResolvesDataSymbol) {
+  auto program = asm_ok(R"(
+    la a0, value
+    lw a1, 0(a0)
+    ebreak
+.data
+value:
+    .word 0xdeadbeef
+  )");
+  // lui+addi must reconstruct the symbol exactly.
+  const auto lui = text_instr(*program, 0);
+  const auto addi = text_instr(*program, 1);
+  const u32 reconstructed =
+      static_cast<u32>(lui.imm) + static_cast<u32>(addi.imm);
+  EXPECT_EQ(reconstructed, *program->symbol("value"));
+}
+
+TEST(Assembler, PseudoExpansions) {
+  auto program = asm_ok(R"(
+    nop
+    mv a0, a1
+    not a2, a3
+    neg a4, a5
+    seqz a6, a7
+    snez t0, t1
+    j 8
+    ret
+  )");
+  EXPECT_EQ(text_instr(*program, 0).op, Op::kAddi);  // nop
+  EXPECT_EQ(text_instr(*program, 1).op, Op::kAddi);  // mv
+  EXPECT_EQ(text_instr(*program, 2).op, Op::kXori);  // not
+  EXPECT_EQ(text_instr(*program, 2).imm, -1);
+  EXPECT_EQ(text_instr(*program, 3).op, Op::kSub);   // neg
+  EXPECT_EQ(text_instr(*program, 4).op, Op::kSltiu); // seqz
+  EXPECT_EQ(text_instr(*program, 5).op, Op::kSltu);  // snez
+  EXPECT_EQ(text_instr(*program, 6).op, Op::kJal);
+  EXPECT_EQ(text_instr(*program, 7).op, Op::kJalr);  // ret
+}
+
+TEST(Assembler, BranchPseudoSwapsOperands) {
+  auto program = asm_ok(R"(
+target:
+    bgt a0, a1, target
+    ble a2, a3, target
+  )");
+  const auto bgt = text_instr(*program, 0);
+  EXPECT_EQ(bgt.op, Op::kBlt);
+  EXPECT_EQ(bgt.rs1, 11);  // a1
+  EXPECT_EQ(bgt.rs2, 10);  // a0
+  const auto ble = text_instr(*program, 1);
+  EXPECT_EQ(ble.op, Op::kBge);
+  EXPECT_EQ(ble.rs1, 13);  // a3
+}
+
+TEST(Assembler, CsrInstructions) {
+  auto program = asm_ok(R"(
+    csrr a0, mstatus
+    csrw mtvec, a1
+    csrrwi a2, mscratch, 7
+  )");
+  EXPECT_EQ(text_instr(*program, 0).op, Op::kCsrrs);
+  EXPECT_EQ(text_instr(*program, 0).csr, isa::kCsrMstatus);
+  EXPECT_EQ(text_instr(*program, 1).op, Op::kCsrrw);
+  EXPECT_EQ(text_instr(*program, 2).op, Op::kCsrrwi);
+  EXPECT_EQ(text_instr(*program, 2).rs2, 7);  // zimm
+}
+
+TEST(Assembler, DataDirectives) {
+  auto program = asm_ok(R"(
+.data
+words:
+    .word 1, 2, 0xffffffff
+halves:
+    .half 0x1234, 0x5678
+bytes:
+    .byte 1, 2, 3
+    .align 2
+aligned:
+    .word 9
+  )");
+  const Section* data = program->find_section(".data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(*program->symbol("words"), data->base);
+  EXPECT_EQ(*program->symbol("halves"), data->base + 12);
+  EXPECT_EQ(*program->symbol("bytes"), data->base + 16);
+  EXPECT_EQ(*program->symbol("aligned"), data->base + 20);
+  EXPECT_EQ(*program->read_word(data->base + 8), 0xffffffffu);
+  EXPECT_EQ(*program->read_word(data->base + 20), 9u);
+}
+
+TEST(Assembler, AscizWithEscapes) {
+  auto program = asm_ok(".data\nmsg: .asciz \"hi\\n\"\n");
+  const Section* data = program->find_section(".data");
+  ASSERT_EQ(data->bytes.size(), 4u);
+  EXPECT_EQ(data->bytes[0], 'h');
+  EXPECT_EQ(data->bytes[2], '\n');
+  EXPECT_EQ(data->bytes[3], 0);
+}
+
+TEST(Assembler, EquConstants) {
+  auto program = asm_ok(R"(
+.equ UART_BASE, 0x10000000
+    li t0, UART_BASE
+    li t1, UART_BASE + 8
+  )");
+  EXPECT_EQ(text_instr(*program, 0).op, Op::kLui);
+  const auto lui = text_instr(*program, 2);
+  const auto addi = text_instr(*program, 3);
+  EXPECT_EQ(static_cast<u32>(lui.imm) + static_cast<u32>(addi.imm),
+            0x10000008u);
+}
+
+TEST(Assembler, HiLoRelocations) {
+  auto program = asm_ok(R"(
+    lui a0, %hi(value)
+    addi a0, a0, %lo(value)
+.data
+    .space 2040
+value:
+    .word 7
+  )");
+  const u32 value_addr = *program->symbol("value");
+  const auto lui = text_instr(*program, 0);
+  const auto addi = text_instr(*program, 1);
+  EXPECT_EQ(static_cast<u32>(lui.imm) + static_cast<u32>(addi.imm),
+            value_addr);
+}
+
+TEST(Assembler, LoopBoundAnnotation) {
+  auto program = asm_ok(R"(
+    li t0, 10
+loop:
+    .loopbound 10
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak
+  )");
+  ASSERT_EQ(program->loop_bounds.size(), 1u);
+  EXPECT_EQ(program->loop_bounds[0].bound, 10u);
+  EXPECT_EQ(program->loop_bounds[0].address, *program->symbol("loop"));
+}
+
+TEST(Assembler, EntryDefaultsAndStart) {
+  auto without = asm_ok("nop\n");
+  EXPECT_EQ(without->entry, without->find_section(".text")->base);
+  auto with = asm_ok("nop\n_start:\nnop\n");
+  EXPECT_EQ(with->entry, *with->symbol("_start"));
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  auto result = assemble("frobnicate a0, a1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("line 1"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  EXPECT_FALSE(assemble("j nowhere\n").ok());
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_FALSE(assemble("a:\nnop\na:\nnop\n").ok());
+}
+
+TEST(AssemblerErrors, BadRegister) {
+  EXPECT_FALSE(assemble("addi q0, zero, 1\n").ok());
+}
+
+TEST(AssemblerErrors, ImmediateOverflow) {
+  EXPECT_FALSE(assemble("addi a0, zero, 5000\n").ok());
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_FALSE(assemble("add a0, a1\n").ok());
+  EXPECT_FALSE(assemble("ecall a0\n").ok());
+}
+
+TEST(AssemblerErrors, DanglingLoopBound) {
+  EXPECT_FALSE(assemble("nop\n.loopbound 4\n").ok());
+}
+
+// Property: disassemble -> assemble round-trips to the identical word for a
+// spread of concrete instructions.
+class DisasmRoundTrip : public ::testing::TestWithParam<u32> {};
+
+TEST_P(DisasmRoundTrip, Reassembles) {
+  const u32 word = GetParam();
+  auto instr = isa::decoder().decode(word);
+  ASSERT_TRUE(instr.ok());
+  const std::string text = isa::disassemble(*instr);
+  auto program = assemble(text + "\n");
+  ASSERT_TRUE(program.ok()) << text << ": " << program.error().to_string();
+  EXPECT_EQ(*program->read_word(program->find_section(".text")->base), word)
+      << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Words, DisasmRoundTrip,
+    ::testing::Values(0x00500093u,  // addi
+                      0x00a282b3u,  // add
+                      0xfff54513u,  // xori -1
+                      0x00c000efu,  // jal +12
+                      0xff1ff06fu,  // jal -16
+                      0x00052503u,  // lw
+                      0x00a52023u,  // sw
+                      0xfe0008e3u,  // beq back
+                      0x02b54533u,  // div
+                      0x300025f3u,  // csrrs
+                      0x30529073u,  // csrw mtvec
+                      0x000800b7u,  // lui
+                      0x00100073u,  // ebreak
+                      0x30200073u,  // mret
+                      0x0000000fu,  // fence
+                      0x40a5d5b3u   // sra
+                      ));
+
+// Property: disassemble(make_op(random operands)) reassembles to the exact
+// encoding for EVERY instruction type (the disassembler emits assembler
+// input by contract).
+class FullDisasmRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FullDisasmRoundTrip, EveryOpReassembles) {
+  const auto op = static_cast<isa::Op>(GetParam());
+  const isa::OpInfo& info = isa::op_info(op);
+  Rng rng(0xd15a + GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    isa::Instr instr;
+    switch (info.format) {
+      case isa::Format::kR:
+        instr = isa::make_r(op, rng.next_below(32), rng.next_below(32),
+                            rng.next_below(32));
+        break;
+      case isa::Format::kI:
+        instr = isa::make_i(op, rng.next_below(32), rng.next_below(32),
+                            static_cast<i32>(rng.next_in_range(-2048, 2047)));
+        break;
+      case isa::Format::kIShift:
+        instr = isa::make_shift(op, rng.next_below(32), rng.next_below(32),
+                                rng.next_below(32));
+        break;
+      case isa::Format::kS:
+        instr = isa::make_s(op, rng.next_below(32), rng.next_below(32),
+                            static_cast<i32>(rng.next_in_range(-2048, 2047)));
+        break;
+      case isa::Format::kB:
+        instr = isa::make_b(op, rng.next_below(32), rng.next_below(32),
+                            static_cast<i32>(rng.next_in_range(-1024, 1023)) * 2);
+        break;
+      case isa::Format::kU:
+        instr = isa::make_u(op, rng.next_below(32),
+                            static_cast<i32>(rng.next_below(1u << 20) << 12));
+        break;
+      case isa::Format::kJ:
+        instr = isa::make_j(op, rng.next_below(32),
+                            static_cast<i32>(rng.next_in_range(-(1 << 19),
+                                                               (1 << 19) - 1)) * 2);
+        break;
+      case isa::Format::kCsrReg: {
+        // Use an implemented CSR so the name<->address mapping is exact.
+        const auto& csrs = isa::implemented_csrs();
+        instr = isa::make_csr_reg(op, rng.next_below(32),
+                                  csrs[rng.next_below(static_cast<u32>(csrs.size()))],
+                                  rng.next_below(32));
+        break;
+      }
+      case isa::Format::kCsrImm: {
+        const auto& csrs = isa::implemented_csrs();
+        instr = isa::make_csr_imm(op, rng.next_below(32),
+                                  csrs[rng.next_below(static_cast<u32>(csrs.size()))],
+                                  rng.next_below(32));
+        break;
+      }
+      case isa::Format::kNone:
+      case isa::Format::kFence:
+        instr = isa::make_system(op);
+        break;
+    }
+    auto word = isa::encode(instr);
+    ASSERT_TRUE(word.ok());
+    const std::string text = isa::disassemble(instr);
+    auto program = assemble(text + "\n");
+    ASSERT_TRUE(program.ok()) << text << ": " << program.error().to_string();
+    EXPECT_EQ(*program->read_word(program->find_section(".text")->base),
+              *word)
+        << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, FullDisasmRoundTrip, ::testing::Range(0u, isa::kOpCount),
+    [](const ::testing::TestParamInfo<unsigned>& info) {
+      std::string name(isa::mnemonic(static_cast<isa::Op>(info.param)));
+      return name;
+    });
+
+}  // namespace
+}  // namespace s4e::assembler

@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "cfg/cfg.hpp"
+#include "common/strings.hpp"
+#include "cfg/dominators.hpp"
+#include "cfg/loops.hpp"
+
+namespace s4e::cfg {
+namespace {
+
+Result<ProgramCfg> build(std::string_view source) {
+  auto program = assembler::assemble(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().to_string());
+  return build_cfg(*program);
+}
+
+ProgramCfg build_ok(std::string_view source) {
+  auto cfg = build(source);
+  EXPECT_TRUE(cfg.ok()) << (cfg.ok() ? "" : cfg.error().to_string());
+  return *cfg;
+}
+
+TEST(CfgBuilder, StraightLineIsOneBlock) {
+  auto cfg = build_ok(R"(
+    addi a0, zero, 1
+    addi a1, zero, 2
+    add a2, a0, a1
+    ecall
+  )");
+  ASSERT_EQ(cfg.functions.size(), 1u);
+  const Function& fn = cfg.entry_function();
+  ASSERT_EQ(fn.blocks.size(), 1u);
+  EXPECT_EQ(fn.blocks[0].insn_count(), 4u);
+  EXPECT_EQ(fn.blocks[0].terminator, Terminator::kExit);
+  EXPECT_TRUE(fn.blocks[0].successors.empty());
+}
+
+TEST(CfgBuilder, BranchSplitsBlocks) {
+  auto cfg = build_ok(R"(
+    beqz a0, target
+    addi a1, zero, 1
+target:
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  ASSERT_EQ(fn.blocks.size(), 3u);
+  const BasicBlock& entry = fn.entry_block();
+  EXPECT_EQ(entry.terminator, Terminator::kBranch);
+  ASSERT_EQ(entry.successors.size(), 2u);
+  EXPECT_EQ(entry.successors[0].kind, EdgeKind::kTaken);
+  EXPECT_EQ(entry.successors[1].kind, EdgeKind::kFallThrough);
+}
+
+TEST(CfgBuilder, LoopFormsBackEdge) {
+  auto cfg = build_ok(R"(
+    li t0, 10
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  // entry block (li) -> loop block -> {loop, exit}
+  ASSERT_EQ(fn.blocks.size(), 3u);
+  Dominators dom(fn);
+  auto loop_block = fn.block_at(fn.blocks[0].end);
+  ASSERT_TRUE(loop_block.ok());
+  bool found_back_edge = false;
+  for (const Edge& edge : fn.blocks[*loop_block].successors) {
+    if (edge.target == *loop_block) found_back_edge = true;
+  }
+  EXPECT_TRUE(found_back_edge);
+}
+
+TEST(CfgBuilder, CallCreatesSecondFunction) {
+  auto cfg = build_ok(R"(
+_start:
+    call helper
+    li a7, 93
+    ecall
+helper:
+    addi a0, a0, 1
+    ret
+  )");
+  ASSERT_EQ(cfg.functions.size(), 2u);
+  EXPECT_EQ(cfg.functions[0].name, "_start");
+  EXPECT_EQ(cfg.functions[1].name, "helper");
+  const BasicBlock& entry = cfg.functions[0].entry_block();
+  EXPECT_EQ(entry.terminator, Terminator::kCall);
+  EXPECT_EQ(entry.call_target, cfg.functions[1].entry);
+  ASSERT_EQ(entry.successors.size(), 1u);
+  EXPECT_EQ(entry.successors[0].kind, EdgeKind::kCallReturn);
+  EXPECT_EQ(cfg.functions[1].blocks.back().terminator, Terminator::kReturn);
+}
+
+TEST(CfgBuilder, SharedHelperDiscoveredOnce) {
+  auto cfg = build_ok(R"(
+_start:
+    call helper
+    call helper
+    li a7, 93
+    ecall
+helper:
+    ret
+  )");
+  EXPECT_EQ(cfg.functions.size(), 2u);
+}
+
+TEST(CfgBuilder, RejectsIndirectJump) {
+  auto result = build(R"(
+    la t0, somewhere
+    jalr zero, 0(t0)
+somewhere:
+    ecall
+  )");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kAnalysisError);
+}
+
+TEST(CfgBuilder, LoopBoundsCarriedThrough) {
+  auto cfg = build_ok(R"(
+    li t0, 5
+loop:
+    .loopbound 5
+    addi t0, t0, -1
+    bnez t0, loop
+    ecall
+  )");
+  ASSERT_EQ(cfg.loop_bounds.size(), 1u);
+  EXPECT_EQ(cfg.loop_bounds[0].bound, 5u);
+}
+
+TEST(CfgBuilder, DotOutputContainsAllBlocks) {
+  auto cfg = build_ok(R"(
+    beqz a0, skip
+    nop
+skip:
+    ecall
+  )");
+  const std::string dot = to_dot(cfg);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (const BasicBlock& block : cfg.entry_function().blocks) {
+    EXPECT_NE(dot.find(format("0x%08x", block.start)), std::string::npos);
+  }
+}
+
+TEST(Dominators, DiamondJoin) {
+  auto cfg = build_ok(R"(
+    beqz a0, left
+    addi a1, zero, 1
+    j join
+left:
+    addi a1, zero, 2
+join:
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  // Entry dominates everything.
+  for (const BasicBlock& block : fn.blocks) {
+    EXPECT_TRUE(dom.dominates(0, block.id));
+  }
+  // Neither arm dominates the join.
+  BlockId left = fn.blocks[0].successors[0].target;
+  BlockId fall = fn.blocks[0].successors[1].target;
+  // Find the join block: successor of both arms.
+  BlockId join_id = fn.blocks[left].successors[0].target;
+  EXPECT_FALSE(dom.dominates(left, fall));
+  EXPECT_FALSE(dom.dominates(left, join_id) && dom.dominates(fall, join_id));
+  EXPECT_EQ(dom.idom(join_id), 0u);
+}
+
+TEST(Dominators, LinearChain) {
+  auto cfg = build_ok(R"(
+    beqz a0, b
+b:
+    beqz a1, c
+c:
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  for (const BasicBlock& block : fn.blocks) {
+    if (block.id != 0) {
+      EXPECT_TRUE(dom.dominates(0, block.id));
+    }
+  }
+  EXPECT_EQ(dom.idom(0), kNoBlock);
+}
+
+TEST(Loops, SimpleCountedLoopDetected) {
+  auto cfg = build_ok(R"(
+    li t0, 10
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  auto forest = find_loops(fn, dom, cfg.loop_bounds);
+  ASSERT_TRUE(forest.ok());
+  ASSERT_EQ(forest->loops.size(), 1u);
+  ASSERT_TRUE(forest->loops[0].bound.has_value());
+  EXPECT_EQ(*forest->loops[0].bound, 10u);
+}
+
+TEST(Loops, IncrementToLimitDetected) {
+  auto cfg = build_ok(R"(
+    li t0, 0
+    li t1, 25
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  auto forest = find_loops(fn, dom, cfg.loop_bounds);
+  ASSERT_TRUE(forest.ok());
+  ASSERT_EQ(forest->loops.size(), 1u);
+  ASSERT_TRUE(forest->loops[0].bound.has_value());
+  EXPECT_EQ(*forest->loops[0].bound, 25u);
+}
+
+TEST(Loops, StrideLargerThanOne) {
+  auto cfg = build_ok(R"(
+    li t0, 0
+    li t1, 10
+loop:
+    addi t0, t0, 3
+    blt t0, t1, loop
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  auto forest = find_loops(fn, dom, cfg.loop_bounds);
+  ASSERT_TRUE(forest.ok());
+  ASSERT_TRUE(forest->loops[0].bound.has_value());
+  EXPECT_EQ(*forest->loops[0].bound, 4u);  // ceil(10/3)
+}
+
+TEST(Loops, DownCountToZeroInclusive) {
+  // while (r >= 0), step -2, start 9: r = 9,7,5,3,1,-1 -> 5+1 = 5... the
+  // body runs for r = 9,7,5,3,1 and once more is NOT entered (exit when
+  // r < 0 after the decrement): bound = floor(9/2)+1 = 5.
+  auto cfg = build_ok(R"(
+    li t0, 9
+loop:
+    addi t0, t0, -2
+    bgez t0, loop
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  auto forest = find_loops(fn, dom, cfg.loop_bounds);
+  ASSERT_TRUE(forest.ok());
+  ASSERT_TRUE(forest->loops[0].bound.has_value());
+  EXPECT_EQ(*forest->loops[0].bound, 5u);
+}
+
+TEST(Loops, AnnotationBeatsPattern) {
+  auto cfg = build_ok(R"(
+    li t0, 10
+loop:
+    .loopbound 12
+    addi t0, t0, -1
+    bnez t0, loop
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  auto forest = find_loops(fn, dom, cfg.loop_bounds);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(*forest->loops[0].bound, 12u);
+}
+
+TEST(Loops, DataDependentLoopNeedsAnnotation) {
+  auto cfg = build_ok(R"(
+    la t0, data
+    lw t1, 0(t0)
+loop:
+    addi t1, t1, -1
+    bnez t1, loop
+    ecall
+.data
+data:
+    .word 10
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  auto forest = find_loops(fn, dom, cfg.loop_bounds);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_FALSE(forest->loops[0].bound.has_value());
+}
+
+TEST(Loops, NestedLoopsDepthAndOrder) {
+  auto cfg = build_ok(R"(
+    li s0, 4
+outer:
+    li t0, 3
+inner:
+    addi t0, t0, -1
+    bnez t0, inner
+    addi s0, s0, -1
+    bnez s0, outer
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  auto forest = find_loops(fn, dom, cfg.loop_bounds);
+  ASSERT_TRUE(forest.ok());
+  ASSERT_EQ(forest->loops.size(), 2u);
+  // Innermost first.
+  EXPECT_GT(forest->loops[0].depth, forest->loops[1].depth);
+  EXPECT_EQ(forest->loops[0].parent, 1);
+  EXPECT_EQ(*forest->loops[0].bound, 3u);
+  EXPECT_EQ(*forest->loops[1].bound, 4u);
+}
+
+TEST(Loops, MultipleWritersDefeatPattern) {
+  auto cfg = build_ok(R"(
+    li t0, 10
+    li t1, 1
+    beqz a0, skip
+    li t0, 20
+skip:
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  auto forest = find_loops(fn, dom, cfg.loop_bounds);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_FALSE(forest->loops[0].bound.has_value());
+}
+
+}  // namespace
+}  // namespace s4e::cfg

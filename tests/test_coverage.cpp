@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "core/ecosystem.hpp"
+#include "coverage/coverage.hpp"
+#include "testgen/testgen.hpp"
+
+namespace s4e::coverage {
+namespace {
+
+CoverageData measure(const std::string& source) {
+  core::Ecosystem ecosystem;
+  auto program = ecosystem.build_source(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().to_string());
+  auto data = ecosystem.measure_coverage(*program);
+  EXPECT_TRUE(data.ok());
+  return *data;
+}
+
+TEST(Coverage, CountsExecutedOps) {
+  auto data = measure(R"(
+    addi t0, zero, 3
+    add t1, t0, t0
+    add t2, t1, t0
+    li a7, 93
+    li a0, 0
+    ecall
+  )");
+  EXPECT_EQ(data.op_counts[static_cast<unsigned>(isa::Op::kAdd)], 2u);
+  // The two li's expand to addi, plus the explicit addi.
+  EXPECT_EQ(data.op_counts[static_cast<unsigned>(isa::Op::kAddi)], 3u);
+  EXPECT_EQ(data.op_counts[static_cast<unsigned>(isa::Op::kEcall)], 1u);
+  EXPECT_EQ(data.total_instructions, 6u);
+}
+
+TEST(Coverage, GprReadWriteTracking) {
+  auto data = measure(R"(
+    addi t0, zero, 1     # writes x5, reads x0
+    add t1, t0, t0       # writes x6, reads x5
+    li a7, 93
+    li a0, 0
+    ecall
+  )");
+  EXPECT_GT(data.gpr_writes[5], 0u);
+  EXPECT_GT(data.gpr_reads[5], 0u);
+  EXPECT_GT(data.gpr_writes[6], 0u);
+  EXPECT_EQ(data.gpr_reads[6], 0u);
+  // x0 reads don't make it "covered" (excluded from the metric).
+  EXPECT_GT(data.gpr_reads[0], 0u);
+}
+
+TEST(Coverage, CsrAccessTracked) {
+  auto data = measure(R"(
+    csrr t0, mscratch
+    csrw mscratch, t0
+    li a7, 93
+    li a0, 0
+    ecall
+  )");
+  EXPECT_EQ(data.csrs_accessed.count(isa::kCsrMscratch), 1u);
+  EXPECT_GT(data.csr_coverage(), 0.0);
+}
+
+TEST(Coverage, MergeIsUnion) {
+  auto a = measure(R"(
+    add t0, t1, t2
+    li a7, 93
+    li a0, 0
+    ecall
+  )");
+  auto b = measure(R"(
+    mul s3, s4, s5
+    li a7, 93
+    li a0, 0
+    ecall
+  )");
+  const u64 total_a = a.total_instructions;
+  CoverageData merged = a;
+  merged.merge(b);
+  EXPECT_GT(merged.op_counts[static_cast<unsigned>(isa::Op::kAdd)], 0u);
+  EXPECT_GT(merged.op_counts[static_cast<unsigned>(isa::Op::kMul)], 0u);
+  EXPECT_EQ(merged.total_instructions, total_a + b.total_instructions);
+  EXPECT_GE(merged.gprs_covered(), a.gprs_covered());
+  EXPECT_GE(merged.gprs_covered(), b.gprs_covered());
+}
+
+TEST(Coverage, ModuleBreakdown) {
+  auto data = measure(R"(
+    mul t0, t1, t2
+    div t3, t4, t5
+    li a7, 93
+    li a0, 0
+    ecall
+  )");
+  EXPECT_EQ(data.ops_covered(isa::IsaModule::kM), 2u);
+  EXPECT_EQ(CoverageData::ops_total(isa::IsaModule::kM), 8u);
+  EXPECT_NEAR(data.op_coverage(isa::IsaModule::kM), 0.25, 1e-9);
+  EXPECT_EQ(data.ops_covered(isa::IsaModule::kZicsr), 0u);
+}
+
+TEST(Coverage, UncoveredListShrinksWithMoreTests) {
+  auto small = measure("li a7, 93\n    li a0, 0\n    ecall\n");
+  const auto missing_small = small.uncovered_ops();
+  auto bigger = measure(R"(
+    add t0, t1, t2
+    sub t3, t4, t5
+    li a7, 93
+    li a0, 0
+    ecall
+  )");
+  CoverageData merged = small;
+  merged.merge(bigger);
+  EXPECT_LT(merged.uncovered_ops().size(), missing_small.size());
+}
+
+TEST(Coverage, AddressedMemorySpaceTracked) {
+  auto data = measure(R"(
+    la t0, buf
+    sw t1, 0(t0)     # touches 4 bytes
+    lbu t2, 8(t0)    # touches 1 byte
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+buf:
+    .space 16
+  )");
+  EXPECT_EQ(data.loads, 1u);
+  EXPECT_EQ(data.stores, 1u);
+  EXPECT_EQ(data.addresses_touched.size(), 5u);
+  // 5 of 16 buffer bytes touched.
+  EXPECT_NEAR(data.memory_coverage(0x8001'0000, 16), 5.0 / 16.0, 1e-9);
+  // Outside the window: nothing.
+  EXPECT_EQ(data.memory_coverage(0x9000'0000, 16), 0.0);
+}
+
+TEST(Coverage, MemorySpaceMergesAsUnion) {
+  auto a = measure(R"(
+    la t0, buf
+    sw t1, 0(t0)
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+buf:
+    .space 8
+  )");
+  auto b = measure(R"(
+    la t0, buf
+    sw t1, 4(t0)
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+buf:
+    .space 8
+  )");
+  CoverageData merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.addresses_touched.size(), 8u);
+  EXPECT_NEAR(merged.memory_coverage(0x8001'0000, 8), 1.0, 1e-9);
+}
+
+TEST(Coverage, ReportContainsSections) {
+  auto data = measure("li a7, 93\n    li a0, 0\n    ecall\n");
+  const std::string report = to_report(data, "smoke");
+  EXPECT_NE(report.find("instruction types"), std::string::npos);
+  EXPECT_NE(report.find("GPR coverage"), std::string::npos);
+  EXPECT_NE(report.find("RV32M"), std::string::npos);
+  EXPECT_NE(report.find("memory accesses"), std::string::npos);
+  EXPECT_NE(report.find("uncovered instructions:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Generated suites: run them through the pipeline.
+
+core::Ecosystem& shared_ecosystem() {
+  static core::Ecosystem ecosystem;
+  return ecosystem;
+}
+
+CoverageData suite_coverage(const std::vector<testgen::GeneratedProgram>& suite,
+                            unsigned* failures = nullptr) {
+  CoverageData merged;
+  for (const auto& test : suite) {
+    auto program = shared_ecosystem().build_source(test.source);
+    EXPECT_TRUE(program.ok())
+        << test.name << ": "
+        << (program.ok() ? "" : program.error().to_string());
+    if (!program.ok()) continue;
+    auto data = shared_ecosystem().measure_coverage(*program);
+    EXPECT_TRUE(data.ok()) << test.name;
+    if (data.ok()) merged.merge(*data);
+    auto run = shared_ecosystem().run(*program);
+    EXPECT_TRUE(run.ok());
+    if (run.ok() && failures != nullptr &&
+        !(run->result.normal_exit() && run->result.exit_code == 0)) {
+      ++*failures;
+    }
+  }
+  return merged;
+}
+
+TEST(Suites, ArchitecturalTestsAllPass) {
+  unsigned failures = 0;
+  auto data = suite_coverage(testgen::architectural_suite(), &failures);
+  EXPECT_EQ(failures, 0u);
+  // Directed tests cover every instruction type by construction.
+  EXPECT_EQ(data.ops_covered(), isa::kOpCount);
+}
+
+TEST(Suites, UnitSuitePassesAndCoversClasses) {
+  unsigned failures = 0;
+  auto data = suite_coverage(testgen::unit_suite(), &failures);
+  EXPECT_EQ(failures, 0u);
+  EXPECT_GT(data.op_coverage(), 0.5);
+  EXPECT_EQ(data.ops_covered(isa::IsaModule::kM), 8u);
+}
+
+TEST(Suites, TortureProgramsTerminateNormally) {
+  testgen::TortureConfig config;
+  config.programs = 5;
+  config.seed = 42;
+  unsigned failures = 0;
+  auto data = suite_coverage(testgen::torture_suite(config), &failures);
+  EXPECT_EQ(failures, 0u);
+  // Random programs hit most GPRs — that's their role in the union.
+  EXPECT_GT(data.gpr_coverage(), 0.9);
+}
+
+TEST(Suites, TortureIsSeedDeterministic) {
+  testgen::TortureConfig config;
+  config.programs = 2;
+  config.seed = 7;
+  auto a = testgen::torture_suite(config);
+  auto b = testgen::torture_suite(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+  }
+  config.seed = 8;
+  auto c = testgen::torture_suite(config);
+  EXPECT_NE(a[0].source, c[0].source);
+}
+
+TEST(Suites, UnifiedSuiteReachesFullRegisterCoverage) {
+  testgen::TortureConfig config;
+  config.programs = 6;
+  config.seed = 123;
+  CoverageData merged = suite_coverage(testgen::architectural_suite());
+  merged.merge(suite_coverage(testgen::unit_suite()));
+  merged.merge(suite_coverage(testgen::torture_suite(config)));
+  // The union reaches 100% GPR coverage (the MBMV'21 result) and near-total
+  // instruction-type coverage.
+  EXPECT_EQ(merged.gpr_coverage(), 1.0);
+  EXPECT_GE(merged.op_coverage(), 0.98);
+}
+
+}  // namespace
+}  // namespace s4e::coverage

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "elf/elf32.hpp"
+
+namespace s4e::elf {
+namespace {
+
+assembler::Program sample_program() {
+  auto program = assembler::assemble(R"(
+_start:
+    li a0, 3
+loop:
+    .loopbound 3
+    addi a0, a0, -1
+    bnez a0, loop
+done:
+    ebreak
+.data
+table:
+    .word 1, 2, 3, 4
+msg:
+    .asciz "scale4edge"
+  )");
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().to_string());
+  return *program;
+}
+
+TEST(Elf, WriteProducesValidHeader) {
+  auto image = write_elf(sample_program());
+  ASSERT_TRUE(image.ok());
+  ASSERT_GE(image->size(), 52u);
+  EXPECT_EQ((*image)[0], 0x7f);
+  EXPECT_EQ((*image)[1], 'E');
+  EXPECT_EQ((*image)[2], 'L');
+  EXPECT_EQ((*image)[3], 'F');
+  EXPECT_EQ((*image)[4], 1);  // ELF32
+  EXPECT_EQ((*image)[5], 1);  // little-endian
+  // e_machine == EM_RISCV (243) at offset 18.
+  EXPECT_EQ((*image)[18], 243);
+}
+
+TEST(Elf, RoundTripPreservesSections) {
+  const auto original = sample_program();
+  auto image = write_elf(original);
+  ASSERT_TRUE(image.ok());
+  auto loaded = read_elf(*image);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+
+  ASSERT_EQ(loaded->sections.size(), original.sections.size());
+  for (const auto& section : original.sections) {
+    const assembler::Section* got = loaded->find_section(section.name);
+    ASSERT_NE(got, nullptr) << section.name;
+    EXPECT_EQ(got->base, section.base);
+    EXPECT_EQ(got->bytes, section.bytes);
+  }
+}
+
+TEST(Elf, RoundTripPreservesSymbolsEntryAnnotations) {
+  const auto original = sample_program();
+  auto image = write_elf(original);
+  ASSERT_TRUE(image.ok());
+  auto loaded = read_elf(*image);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ(loaded->entry, original.entry);
+  for (const auto& [name, value] : original.symbols) {
+    EXPECT_EQ(*loaded->symbol(name), value) << name;
+  }
+  ASSERT_EQ(loaded->loop_bounds.size(), original.loop_bounds.size());
+  EXPECT_EQ(loaded->loop_bounds[0].address, original.loop_bounds[0].address);
+  EXPECT_EQ(loaded->loop_bounds[0].bound, original.loop_bounds[0].bound);
+}
+
+TEST(Elf, RejectsGarbage) {
+  EXPECT_FALSE(read_elf({}).ok());
+  EXPECT_FALSE(read_elf({1, 2, 3, 4}).ok());
+  std::vector<u8> not_elf(64, 0);
+  EXPECT_FALSE(read_elf(not_elf).ok());
+}
+
+TEST(Elf, RejectsWrongMachine) {
+  auto image = write_elf(sample_program());
+  ASSERT_TRUE(image.ok());
+  (*image)[18] = 62;  // EM_X86_64
+  auto loaded = read_elf(*image);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code(), ErrorCode::kUnsupported);
+}
+
+TEST(Elf, RejectsTruncatedImage) {
+  auto image = write_elf(sample_program());
+  ASSERT_TRUE(image.ok());
+  image->resize(image->size() / 2);
+  EXPECT_FALSE(read_elf(*image).ok());
+}
+
+TEST(Elf, FileRoundTrip) {
+  const auto original = sample_program();
+  const std::string path = ::testing::TempDir() + "/s4e_test.elf";
+  ASSERT_TRUE(write_elf_file(original, path).ok());
+  auto loaded = read_elf_file(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->entry, original.entry);
+  EXPECT_EQ(loaded->find_section(".text")->bytes,
+            original.find_section(".text")->bytes);
+  std::remove(path.c_str());
+}
+
+TEST(Elf, EmptyDataSectionOmitted) {
+  auto program = assembler::assemble("nop\n");
+  ASSERT_TRUE(program.ok());
+  auto image = write_elf(*program);
+  ASSERT_TRUE(image.ok());
+  auto loaded = read_elf(*image);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->sections.size(), 1u);
+  EXPECT_EQ(loaded->sections[0].name, ".text");
+}
+
+}  // namespace
+}  // namespace s4e::elf

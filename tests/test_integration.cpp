@@ -1,0 +1,155 @@
+// End-to-end pipeline tests: workload source -> assembler -> ELF -> loader
+// -> VP -> plugins, all through the public Ecosystem API.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/ecosystem.hpp"
+#include "core/workloads.hpp"
+#include "elf/elf32.hpp"
+
+namespace s4e::core {
+namespace {
+
+// Every standard workload must run to its golden exit code.
+class WorkloadRuns : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorkloadRuns, GoldenExitCode) {
+  const Workload& workload = standard_workloads()[GetParam()];
+  Ecosystem ecosystem;
+  auto program = ecosystem.build(workload);
+  ASSERT_TRUE(program.ok()) << program.error().to_string();
+  auto run = ecosystem.run(*program);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->result.normal_exit())
+      << workload.name << ": " << run->result.detail;
+  EXPECT_EQ(run->result.exit_code, workload.expected_exit) << workload.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadRuns,
+    ::testing::Range<std::size_t>(0, standard_workloads().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return standard_workloads()[info.param].name;
+    });
+
+// The same workload must behave identically when round-tripped through an
+// on-disk ELF file (the toolchain artefact boundary).
+class WorkloadElfRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorkloadElfRoundTrip, SameBehaviour) {
+  const Workload& workload = standard_workloads()[GetParam()];
+  Ecosystem ecosystem;
+  auto program = ecosystem.build(workload);
+  ASSERT_TRUE(program.ok());
+
+  const std::string path =
+      ::testing::TempDir() + "/s4e_" + workload.name + ".elf";
+  ASSERT_TRUE(elf::write_elf_file(*program, path).ok());
+  auto loaded = elf::read_elf_file(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+
+  auto direct = ecosystem.run(*program);
+  auto via_elf = ecosystem.run(*loaded);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_elf.ok());
+  EXPECT_EQ(via_elf->result.exit_code, direct->result.exit_code);
+  EXPECT_EQ(via_elf->result.instructions, direct->result.instructions);
+  EXPECT_EQ(via_elf->result.cycles, direct->result.cycles);
+  EXPECT_EQ(via_elf->uart_output, direct->uart_output);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadElfRoundTrip,
+    ::testing::Range<std::size_t>(0, standard_workloads().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return standard_workloads()[info.param].name;
+    });
+
+TEST(Ecosystem, LockOpensWithCorrectPin) {
+  Ecosystem ecosystem;
+  auto workload = find_workload("lock_ctrl");
+  ASSERT_TRUE(workload.ok());
+  auto program = ecosystem.build(*workload);
+  ASSERT_TRUE(program.ok());
+  auto run = ecosystem.run(*program, "1234");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->result.exit_code, 0);
+  EXPECT_EQ(run->uart_output, "OPEN\n");
+}
+
+TEST(Ecosystem, LockDeniesWrongPin) {
+  Ecosystem ecosystem;
+  auto workload = find_workload("lock_ctrl");
+  ASSERT_TRUE(workload.ok());
+  auto program = ecosystem.build(*workload);
+  ASSERT_TRUE(program.ok());
+  auto run = ecosystem.run(*program, "1235");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->result.exit_code, 1);
+  EXPECT_EQ(run->uart_output, "DENY\n");
+}
+
+TEST(Ecosystem, FindWorkloadErrors) {
+  EXPECT_TRUE(find_workload("checksum").ok());
+  EXPECT_FALSE(find_workload("does-not-exist").ok());
+}
+
+TEST(Ecosystem, WcetAnalysisOnWorkload) {
+  Ecosystem ecosystem;
+  auto workload = find_workload("matmul");
+  ASSERT_TRUE(workload.ok());
+  auto program = ecosystem.build(*workload);
+  ASSERT_TRUE(program.ok());
+  auto analysis = ecosystem.analyze_wcet(*program, "matmul");
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  EXPECT_GT(analysis->total_wcet, 0u);
+  // matmul: three nested counted loops + checksum loop.
+  EXPECT_GE(analysis->functions[0].loop_count, 4u);
+  EXPECT_EQ(analysis->functions[0].loop_count,
+            analysis->functions[0].bounded_loops);
+}
+
+TEST(Ecosystem, QtaEndToEndOnFir) {
+  Ecosystem ecosystem;
+  auto workload = find_workload("fir");
+  ASSERT_TRUE(workload.ok());
+  auto program = ecosystem.build(*workload);
+  ASSERT_TRUE(program.ok());
+  auto outcome = ecosystem.run_qta(*program, "fir");
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+  EXPECT_EQ(outcome->run.result.exit_code, workload->expected_exit);
+  EXPECT_GE(outcome->report.wc_path_cycles, outcome->report.observed_cycles);
+  EXPECT_GE(outcome->report.static_bound, outcome->report.wc_path_cycles);
+}
+
+TEST(Ecosystem, CustomTimingParamsPropagate) {
+  vp::MachineConfig slow;
+  slow.timing.ram_access_cycles = 10;
+  Ecosystem slow_ecosystem(slow);
+  Ecosystem fast_ecosystem;
+
+  auto workload = find_workload("checksum");
+  ASSERT_TRUE(workload.ok());
+  auto program = fast_ecosystem.build(*workload);
+  ASSERT_TRUE(program.ok());
+
+  auto slow_run = slow_ecosystem.run(*program);
+  auto fast_run = fast_ecosystem.run(*program);
+  ASSERT_TRUE(slow_run.ok());
+  ASSERT_TRUE(fast_run.ok());
+  EXPECT_GT(slow_run->result.cycles, fast_run->result.cycles);
+  EXPECT_EQ(slow_run->result.instructions, fast_run->result.instructions);
+
+  // The WCET side must honor the same parameters.
+  auto slow_wcet = slow_ecosystem.analyze_wcet(*program);
+  auto fast_wcet = fast_ecosystem.analyze_wcet(*program);
+  ASSERT_TRUE(slow_wcet.ok());
+  ASSERT_TRUE(fast_wcet.ok());
+  EXPECT_GE(slow_wcet->total_wcet, fast_wcet->total_wcet);
+  EXPECT_GE(slow_wcet->total_wcet, slow_run->result.cycles);
+}
+
+}  // namespace
+}  // namespace s4e::core

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/csr.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoder.hpp"
+#include "isa/opcode.hpp"
+#include "isa/registers.hpp"
+
+namespace s4e::isa {
+namespace {
+
+TEST(OpTable, EveryRowMatchesItself) {
+  for (unsigned i = 0; i < kOpCount; ++i) {
+    const OpInfo& info = op_table()[i];
+    EXPECT_EQ((info.match & info.mask), info.match)
+        << "match has bits outside mask for " << info.mnemonic;
+    // The low 2 bits must be 11 (32-bit encoding space).
+    EXPECT_EQ(info.match & 0x3u, 0x3u) << info.mnemonic;
+  }
+}
+
+TEST(OpTable, MnemonicsUnique) {
+  for (unsigned i = 0; i < kOpCount; ++i) {
+    for (unsigned j = i + 1; j < kOpCount; ++j) {
+      EXPECT_NE(op_table()[i].mnemonic, op_table()[j].mnemonic);
+    }
+  }
+}
+
+TEST(OpTable, MatchPatternsDisjoint) {
+  // No two rows may both match the same word (with each other's don't-care
+  // bits zeroed). Check pairwise: patterns collide iff they agree on the
+  // intersection of their masks AND the more specific one doesn't shadow
+  // correctly — for decode correctness we require: for i != j,
+  // (match_i & mask_j) != match_j OR (match_j & mask_i) != match_i,
+  // except when one mask is a strict superset (handled by ordering).
+  for (unsigned i = 0; i < kOpCount; ++i) {
+    for (unsigned j = i + 1; j < kOpCount; ++j) {
+      const OpInfo& a = op_table()[i];
+      const OpInfo& b = op_table()[j];
+      const u32 common = a.mask & b.mask;
+      if ((a.match & common) != (b.match & common)) continue;  // disjoint
+      // Overlapping: one mask must strictly contain the other (a fully-
+      // fixed encoding carved out of a wider row, e.g. ecall vs csrrw
+      // space), and the decoder orders most-specific first.
+      EXPECT_TRUE((a.mask & b.mask) == a.mask || (a.mask & b.mask) == b.mask)
+          << a.mnemonic << " vs " << b.mnemonic;
+    }
+  }
+}
+
+TEST(Decoder, KnownEncodings) {
+  // Golden words cross-checked against the RISC-V spec / GNU as.
+  struct Golden {
+    u32 word;
+    const char* text;
+  };
+  const Golden goldens[] = {
+      {0x00500093, "addi ra, zero, 5"},
+      {0x00a282b3, "add t0, t0, a0"},
+      {0x40b50533, "sub a0, a0, a1"},
+      {0xfff54513, "xori a0, a0, -1"},
+      {0x00c000ef, "jal ra, 12"},
+      {0x00008067, "jalr zero, 0(ra)"},
+      {0x00052503, "lw a0, 0(a0)"},
+      {0x00a52023, "sw a0, 0(a0)"},
+      {0x00000073, "ecall"},
+      {0x00100073, "ebreak"},
+      {0x30200073, "mret"},
+      {0x10500073, "wfi"},
+      {0x02a585b3, "mul a1, a1, a0"},
+      {0x02b54533, "div a0, a0, a1"},
+      {0x300025f3, "csrrs a1, mstatus, zero"},
+      {0x000800b7, "lui ra, 0x80"},
+  };
+  for (const auto& golden : goldens) {
+    auto instr = decoder().decode(golden.word);
+    ASSERT_TRUE(instr.ok()) << golden.text;
+    EXPECT_EQ(disassemble(*instr), golden.text);
+  }
+}
+
+TEST(Decoder, RejectsIllegal) {
+  EXPECT_FALSE(decoder().decode(0x00000000).ok());
+  EXPECT_FALSE(decoder().decode(0xffffffff).ok());
+  // 16-bit (RVC) encodings are rejected.
+  EXPECT_FALSE(decoder().decode(0x00000001).ok());
+  // Valid major opcode but bad funct3 (OP-IMM funct3=101 with bad funct7).
+  EXPECT_FALSE(decoder().decode(0x7e005013).ok());
+}
+
+TEST(Decoder, BranchImmediateSignExtension) {
+  // beq zero, zero, -4 : imm = -4
+  auto instr = decoder().decode(0xfe000ee3);
+  ASSERT_TRUE(instr.ok());
+  EXPECT_EQ(instr->op, Op::kBeq);
+  EXPECT_EQ(instr->imm, -4);
+}
+
+TEST(Decoder, JalNegativeOffset) {
+  // jal zero, -16
+  auto instr = decoder().decode(0xff1ff06f);
+  ASSERT_TRUE(instr.ok());
+  EXPECT_EQ(instr->op, Op::kJal);
+  EXPECT_EQ(instr->imm, -16);
+}
+
+// ---------------------------------------------------------------------------
+// Property: encode(decode(w)) == w for every instruction type, with random
+// operand values.
+
+class EncodeDecodeRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EncodeDecodeRoundTrip, RandomOperands) {
+  const Op op = static_cast<Op>(GetParam());
+  const OpInfo& info = op_info(op);
+  Rng rng(0xc0ffee00u + GetParam());
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    Instr instr;
+    instr.op = op;
+    switch (info.format) {
+      case Format::kR:
+        instr = make_r(op, rng.next_below(32), rng.next_below(32),
+                       rng.next_below(32));
+        break;
+      case Format::kI:
+        instr = make_i(op, rng.next_below(32), rng.next_below(32),
+                       static_cast<i32>(rng.next_in_range(-2048, 2047)));
+        break;
+      case Format::kIShift:
+        instr = make_shift(op, rng.next_below(32), rng.next_below(32),
+                           rng.next_below(32));
+        break;
+      case Format::kS:
+        instr = make_s(op, rng.next_below(32), rng.next_below(32),
+                       static_cast<i32>(rng.next_in_range(-2048, 2047)));
+        break;
+      case Format::kB:
+        instr = make_b(op, rng.next_below(32), rng.next_below(32),
+                       static_cast<i32>(rng.next_in_range(-2048, 2047)) * 2);
+        break;
+      case Format::kU:
+        instr = make_u(op, rng.next_below(32),
+                       static_cast<i32>(rng.next_below(1u << 20) << 12));
+        break;
+      case Format::kJ:
+        instr = make_j(op, rng.next_below(32),
+                       static_cast<i32>(rng.next_in_range(-(1 << 19),
+                                                          (1 << 19) - 1)) * 2);
+        break;
+      case Format::kCsrReg:
+        instr = make_csr_reg(op, rng.next_below(32),
+                             static_cast<u16>(rng.next_below(0x1000)),
+                             rng.next_below(32));
+        break;
+      case Format::kCsrImm:
+        instr = make_csr_imm(op, rng.next_below(32),
+                             static_cast<u16>(rng.next_below(0x1000)),
+                             rng.next_below(32));
+        break;
+      case Format::kNone:
+      case Format::kFence:
+        instr = make_system(op);
+        break;
+    }
+    auto word = encode(instr);
+    ASSERT_TRUE(word.ok()) << mnemonic(op) << ": " << word.error().to_string();
+    auto decoded = decoder().decode(*word);
+    ASSERT_TRUE(decoded.ok()) << mnemonic(op);
+    EXPECT_EQ(decoded->op, op) << mnemonic(op);
+    EXPECT_EQ(decoded->rd, instr.rd);
+    EXPECT_EQ(decoded->rs1, instr.rs1);
+    EXPECT_EQ(decoded->rs2, instr.rs2);
+    EXPECT_EQ(decoded->imm, instr.imm);
+    EXPECT_EQ(decoded->csr, instr.csr);
+    // Re-encoding the decoded form must reproduce the word exactly.
+    auto word2 = encode(*decoded);
+    ASSERT_TRUE(word2.ok());
+    EXPECT_EQ(*word2, *word);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, EncodeDecodeRoundTrip,
+    ::testing::Range(0u, kOpCount),
+    [](const ::testing::TestParamInfo<unsigned>& info) {
+      std::string name(mnemonic(static_cast<Op>(info.param)));
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+TEST(Encoder, RejectsOutOfRangeImmediates) {
+  EXPECT_FALSE(encode(make_i(Op::kAddi, 1, 1, 2048)).ok());
+  EXPECT_FALSE(encode(make_i(Op::kAddi, 1, 1, -2049)).ok());
+  EXPECT_FALSE(encode(make_b(Op::kBeq, 1, 1, 3)).ok());   // odd
+  EXPECT_FALSE(encode(make_b(Op::kBeq, 1, 1, 4096)).ok());
+  EXPECT_FALSE(encode(make_j(Op::kJal, 1, 1 << 20)).ok());
+  EXPECT_FALSE(encode(make_u(Op::kLui, 1, 0x123)).ok());  // low bits set
+  EXPECT_FALSE(encode(make_r(Op::kAdd, 32, 0, 0)).ok());  // bad register
+}
+
+TEST(Registers, AbiNames) {
+  EXPECT_EQ(gpr_abi_name(0), "zero");
+  EXPECT_EQ(gpr_abi_name(1), "ra");
+  EXPECT_EQ(gpr_abi_name(2), "sp");
+  EXPECT_EQ(gpr_abi_name(10), "a0");
+  EXPECT_EQ(gpr_abi_name(31), "t6");
+}
+
+TEST(Registers, ParseBothSpellings) {
+  EXPECT_EQ(*parse_gpr("x0"), 0u);
+  EXPECT_EQ(*parse_gpr("x31"), 31u);
+  EXPECT_EQ(*parse_gpr("zero"), 0u);
+  EXPECT_EQ(*parse_gpr("t6"), 31u);
+  EXPECT_EQ(*parse_gpr("fp"), 8u);
+  EXPECT_EQ(*parse_gpr("s0"), 8u);
+  EXPECT_FALSE(parse_gpr("x32").has_value());
+  EXPECT_FALSE(parse_gpr("a8").has_value());
+  EXPECT_FALSE(parse_gpr("").has_value());
+}
+
+TEST(CsrMap, RoundTrip) {
+  for (u16 address : implemented_csrs()) {
+    auto name = csr_name(address);
+    ASSERT_TRUE(name.has_value());
+    EXPECT_EQ(*parse_csr(*name), address);
+  }
+}
+
+TEST(CsrMap, ReadOnlyDetection) {
+  EXPECT_TRUE(csr_is_read_only(kCsrMhartid));
+  EXPECT_TRUE(csr_is_read_only(kCsrCycle));
+  EXPECT_FALSE(csr_is_read_only(kCsrMstatus));
+  EXPECT_FALSE(csr_is_read_only(kCsrMepc));
+}
+
+TEST(Disasm, LoadsAndStores) {
+  EXPECT_EQ(disassemble(make_i(Op::kLw, 5, 2, 8)), "lw t0, 8(sp)");
+  EXPECT_EQ(disassemble(make_s(Op::kSw, 2, 5, -4)), "sw t0, -4(sp)");
+}
+
+TEST(Disasm, BranchTargetsAbsoluteForm) {
+  const auto instr = make_b(Op::kBne, 10, 11, -8);
+  EXPECT_EQ(disassemble_at(instr, 0x80000010),
+            "bne a0, a1, -8    # -> 0x80000008");
+}
+
+TEST(InstrPredicates, ControlFlowClassification) {
+  EXPECT_TRUE(make_b(Op::kBeq, 0, 0, 4).is_control_flow());
+  EXPECT_TRUE(make_j(Op::kJal, 0, 4).is_control_flow());
+  EXPECT_TRUE(make_system(Op::kEcall).is_control_flow());
+  EXPECT_TRUE(make_system(Op::kMret).is_control_flow());
+  EXPECT_FALSE(make_r(Op::kAdd, 1, 2, 3).is_control_flow());
+  EXPECT_FALSE(make_system(Op::kWfi).is_control_flow());
+}
+
+}  // namespace
+}  // namespace s4e::isa

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "core/workloads.hpp"
+#include "memwatch/memwatch.hpp"
+#include "vp/machine.hpp"
+
+namespace s4e::memwatch {
+namespace {
+
+struct WatchedRun {
+  vp::RunResult result;
+  std::vector<Violation> violations;
+  u64 total_accesses = 0;
+  std::string report;
+  std::string uart;
+};
+
+WatchedRun run_with_policy(const std::string& source, const Policy& policy,
+                           const std::string& uart_input = "") {
+  auto program = assembler::assemble(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().to_string());
+  vp::Machine machine;
+  EXPECT_TRUE(machine.load_program(*program).ok());
+  if (!uart_input.empty()) machine.uart()->push_rx(uart_input);
+  MemWatchPlugin plugin(policy);
+  plugin.attach(machine.vm_handle());
+  WatchedRun run;
+  run.result = machine.run();
+  run.violations = plugin.violations();
+  run.total_accesses = plugin.total_accesses();
+  run.report = plugin.report();
+  run.uart = machine.uart()->tx_log();
+  return run;
+}
+
+Policy uart_tx_policy(u32 pc_lo = 0, u32 pc_hi = 0) {
+  Policy policy;
+  Region tx;
+  tx.name = "uart-tx";
+  tx.base = 0x1000'0000;
+  tx.size = 4;
+  tx.allow_read = true;
+  tx.allow_write = true;
+  tx.pc_lo = pc_lo;
+  tx.pc_hi = pc_hi;
+  policy.regions.push_back(tx);
+  return policy;
+}
+
+TEST(MemWatch, ObservesAllDataAccesses) {
+  Policy policy;  // empty: everything unmatched but allowed
+  auto run = run_with_policy(R"(
+    la t0, buf
+    sw t1, 0(t0)
+    lw t2, 0(t0)
+    sh t1, 4(t0)
+    lbu t2, 4(t0)
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+buf:
+    .space 16
+  )",
+                             policy);
+  EXPECT_TRUE(run.result.normal_exit());
+  EXPECT_EQ(run.total_accesses, 4u);
+  EXPECT_TRUE(run.violations.empty());
+}
+
+TEST(MemWatch, FlagsWriteToReadOnlyRegion) {
+  auto program_source = R"(
+    la t0, config
+    li t1, 99
+    sw t1, 0(t0)      # write into read-only region
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+config:
+    .word 7
+  )";
+  auto program = assembler::assemble(program_source);
+  ASSERT_TRUE(program.ok());
+  Policy policy;
+  Region config_region;
+  config_region.name = "config";
+  config_region.base = program->find_section(".data")->base;
+  config_region.size = 4;
+  config_region.allow_read = true;
+  config_region.allow_write = false;
+  policy.regions.push_back(config_region);
+
+  auto run = run_with_policy(program_source, policy);
+  ASSERT_EQ(run.violations.size(), 1u);
+  EXPECT_TRUE(run.violations[0].is_store);
+  EXPECT_EQ(run.violations[0].region, "config");
+}
+
+TEST(MemWatch, DefaultDenyFlagsUnmatched) {
+  Policy policy;
+  policy.default_allow = false;
+  auto run = run_with_policy(R"(
+    la t0, buf
+    sw t1, 0(t0)
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+buf:
+    .space 4
+  )",
+                             policy);
+  EXPECT_EQ(run.violations.size(), 1u);
+  EXPECT_EQ(run.violations[0].region, "<unmatched>");
+}
+
+TEST(MemWatch, LockControlBenignHasNoTxViolations) {
+  auto workload = core::find_workload("lock_ctrl");
+  ASSERT_TRUE(workload.ok());
+  auto program = assembler::assemble(workload->source);
+  ASSERT_TRUE(program.ok());
+  const u32 driver_lo = *program->symbol("uart_puts");
+  const u32 driver_hi = *program->symbol("uart_puts_end");
+  auto run = run_with_policy(workload->source,
+                             uart_tx_policy(driver_lo, driver_hi), "1234");
+  EXPECT_TRUE(run.result.normal_exit());
+  EXPECT_EQ(run.result.exit_code, 0);  // lock opened
+  EXPECT_EQ(run.uart, "OPEN\n");
+  EXPECT_TRUE(run.violations.empty()) << run.report;
+}
+
+TEST(MemWatch, LockControlWrongPinDenies) {
+  auto workload = core::find_workload("lock_ctrl");
+  ASSERT_TRUE(workload.ok());
+  auto program = assembler::assemble(workload->source);
+  ASSERT_TRUE(program.ok());
+  const u32 driver_lo = *program->symbol("uart_puts");
+  const u32 driver_hi = *program->symbol("uart_puts_end");
+  auto run = run_with_policy(workload->source,
+                             uart_tx_policy(driver_lo, driver_hi), "9999");
+  EXPECT_EQ(run.result.exit_code, 1);
+  EXPECT_EQ(run.uart, "DENY\n");
+  EXPECT_TRUE(run.violations.empty());
+}
+
+TEST(MemWatch, AttackVariantDetected) {
+  auto workload = core::find_workload("attack_lock");
+  ASSERT_TRUE(workload.ok());
+  auto program = assembler::assemble(workload->source);
+  ASSERT_TRUE(program.ok());
+  const u32 driver_lo = *program->symbol("uart_puts");
+  const u32 driver_hi = *program->symbol("uart_puts_end");
+  const u32 attack_pc = *program->symbol("attack");
+  auto run = run_with_policy(workload->source,
+                             uart_tx_policy(driver_lo, driver_hi));
+  // The rogue TX write outside the driver is flagged, with the attacking
+  // instruction's PC identified.
+  ASSERT_EQ(run.violations.size(), 1u);
+  EXPECT_TRUE(run.violations[0].is_store);
+  EXPECT_GE(run.violations[0].pc, attack_pc);
+  EXPECT_EQ(run.violations[0].value, u32{'X'});
+  EXPECT_NE(run.report.find("uart-tx"), std::string::npos);
+}
+
+TEST(MemWatch, RegionStatsAccumulate) {
+  Policy policy = uart_tx_policy();
+  auto run = run_with_policy(R"(
+    li t0, 0x10000000
+    li t1, 65
+    sw t1, 0(t0)
+    sw t1, 0(t0)
+    li a7, 93
+    li a0, 0
+    ecall
+  )",
+                             policy);
+  EXPECT_NE(run.report.find("2 writes"), std::string::npos);
+  EXPECT_TRUE(run.violations.empty());
+}
+
+}  // namespace
+}  // namespace s4e::memwatch

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "core/workloads.hpp"
+#include "mutation/mutation.hpp"
+
+namespace s4e::mutation {
+namespace {
+
+assembler::Program build(const std::string& source,
+                         bool compress = false) {
+  assembler::Options options;
+  options.compress = compress;
+  auto program = assembler::assemble(source, options);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().to_string());
+  return *program;
+}
+
+const char* kSelfChecking = R"(
+_start:
+    li a1, 20
+    li a2, 22
+    add a3, a1, a2
+    li a4, 42
+    bne a3, a4, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+)";
+
+TEST(Enumerate, ProducesLegalDistinctMutants) {
+  auto program = build(kSelfChecking);
+  auto mutants = enumerate_mutants(program, {});
+  EXPECT_GT(mutants.size(), 20u);
+  for (const Mutant& mutant : mutants) {
+    EXPECT_NE(mutant.mutated, mutant.original) << mutant.description;
+    EXPECT_EQ(mutant.length, 4u);
+    EXPECT_FALSE(mutant.description.empty());
+  }
+}
+
+TEST(Enumerate, Deterministic) {
+  auto program = build(kSelfChecking);
+  auto a = enumerate_mutants(program, {});
+  auto b = enumerate_mutants(program, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mutated, b[i].mutated);
+    EXPECT_EQ(a[i].address, b[i].address);
+  }
+}
+
+TEST(Enumerate, ExecutedFilterRestricts) {
+  auto program = build(kSelfChecking);
+  auto all = enumerate_mutants(program, {});
+  const u32 text_base = program.find_section(".text")->base;
+  auto only_first = enumerate_mutants(program, {text_base});
+  EXPECT_LT(only_first.size(), all.size());
+  for (const Mutant& mutant : only_first) {
+    EXPECT_EQ(mutant.address, text_base);
+  }
+}
+
+TEST(Enumerate, CoversAllOperatorClasses) {
+  auto program = build(kSelfChecking);
+  auto mutants = enumerate_mutants(program, {});
+  bool saw[3] = {false, false, false};
+  for (const Mutant& mutant : mutants) {
+    saw[static_cast<unsigned>(mutant.op)] = true;
+  }
+  EXPECT_TRUE(saw[0]);  // opcode substitution
+  EXPECT_TRUE(saw[1]);  // register replacement
+  EXPECT_TRUE(saw[2]);  // immediate perturbation
+}
+
+TEST(Enumerate, CompressedMutantsKeepLength) {
+  auto program = build(kSelfChecking, /*compress=*/true);
+  auto mutants = enumerate_mutants(program, {});
+  bool saw_short = false;
+  for (const Mutant& mutant : mutants) {
+    if (mutant.length == 2) {
+      saw_short = true;
+      EXPECT_LE(mutant.mutated, 0xffffu);
+    }
+  }
+  EXPECT_TRUE(saw_short);
+}
+
+TEST(Campaign, SelfCheckingProgramKillsMostMutants) {
+  MutationConfig config;
+  MutationCampaign campaign(build(kSelfChecking), config);
+  auto score = campaign.run();
+  ASSERT_TRUE(score.ok()) << score.error().to_string();
+  EXPECT_GT(score->results.size(), 20u);
+  // The add feeds a checked compare: most data-path mutants must be caught.
+  EXPECT_GT(score->score(), 0.5);
+  // And some survive (e.g. mutations in the already-failed path).
+  EXPECT_GT(score->count(Verdict::kSurvived), 0u);
+  u64 total = 0;
+  for (unsigned i = 0; i < 4; ++i) total += score->verdict_counts[i];
+  EXPECT_EQ(total, score->results.size());
+}
+
+TEST(Campaign, UncheckedProgramLetsMutantsSurvive) {
+  // Same computation but the result is discarded: only crashes/hangs kill.
+  const char* kUnchecked = R"(
+_start:
+    li a1, 20
+    li a2, 22
+    add a3, a1, a2
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+  MutationConfig config;
+  MutationCampaign checked(build(kSelfChecking), config);
+  MutationCampaign unchecked(build(kUnchecked), config);
+  auto checked_score = checked.run();
+  auto unchecked_score = unchecked.run();
+  ASSERT_TRUE(checked_score.ok() && unchecked_score.ok());
+  EXPECT_LT(unchecked_score->score(), checked_score->score());
+}
+
+TEST(Campaign, MaxMutantsCap) {
+  MutationConfig config;
+  config.max_mutants = 5;
+  MutationCampaign campaign(build(kSelfChecking), config);
+  auto score = campaign.run();
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(score->results.size(), 5u);
+}
+
+TEST(Campaign, ReportContainsBreakdown) {
+  MutationConfig config;
+  config.max_mutants = 30;
+  MutationCampaign campaign(build(kSelfChecking), config);
+  auto score = campaign.run();
+  ASSERT_TRUE(score.ok());
+  const std::string text = score->to_string();
+  EXPECT_NE(text.find("mutants"), std::string::npos);
+  EXPECT_NE(text.find("opcode-subst"), std::string::npos);
+  EXPECT_NE(text.find("SURVIVED"), std::string::npos);
+}
+
+TEST(Campaign, WorkloadSmoke) {
+  auto workload = core::find_workload("crc32");
+  ASSERT_TRUE(workload.ok());
+  MutationConfig config;
+  config.max_mutants = 120;
+  MutationCampaign campaign(build(workload->source), config);
+  auto score = campaign.run();
+  ASSERT_TRUE(score.ok()) << score.error().to_string();
+  // CRC with a golden check value is a strong oracle.
+  EXPECT_GT(score->score(), 0.6);
+}
+
+}  // namespace
+}  // namespace s4e::mutation

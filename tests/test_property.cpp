@@ -1,0 +1,173 @@
+// Cross-cutting property tests over *generated* programs: the strongest
+// correctness evidence in the repo, because none of these inputs were
+// written with the implementation in mind.
+//
+//   P1  cached and uncached execution are observationally identical
+//   P2  ELF round-trip preserves execution exactly
+//   P3  the QTA timeline chain holds on random torture programs
+//   P4  timing-feature combinations keep the chain on random programs
+//   P5  deep-state SDC detection strictly refines the masked class
+#include <gtest/gtest.h>
+
+#include "core/ecosystem.hpp"
+#include "elf/elf32.hpp"
+#include "fault/fault.hpp"
+#include "testgen/testgen.hpp"
+
+namespace s4e {
+namespace {
+
+std::vector<testgen::GeneratedProgram> programs_for_seed(u64 seed,
+                                                         unsigned count) {
+  testgen::TortureConfig config;
+  config.seed = seed;
+  config.programs = count;
+  return testgen::torture_suite(config);
+}
+
+class TortureSeed : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TortureSeed, CachedAndUncachedAgree) {
+  for (const auto& test : programs_for_seed(GetParam(), 3)) {
+    auto program = assembler::assemble(test.source);
+    ASSERT_TRUE(program.ok()) << test.name;
+
+    vp::Machine cached;
+    ASSERT_TRUE(cached.load_program(*program).ok());
+    const auto cached_result = cached.run();
+
+    vp::MachineConfig config;
+    config.enable_tb_cache = false;
+    vp::Machine uncached(config);
+    ASSERT_TRUE(uncached.load_program(*program).ok());
+    const auto uncached_result = uncached.run();
+
+    EXPECT_EQ(cached_result.reason, uncached_result.reason) << test.name;
+    EXPECT_EQ(cached_result.exit_code, uncached_result.exit_code);
+    EXPECT_EQ(cached_result.instructions, uncached_result.instructions);
+    EXPECT_EQ(cached_result.cycles, uncached_result.cycles);
+    for (unsigned reg = 0; reg < isa::kGprCount; ++reg) {
+      EXPECT_EQ(cached.cpu().read_gpr(reg), uncached.cpu().read_gpr(reg))
+          << test.name << " x" << reg;
+    }
+  }
+}
+
+TEST_P(TortureSeed, ElfRoundTripIdenticalRun) {
+  for (const auto& test : programs_for_seed(GetParam() + 1000, 2)) {
+    auto program = assembler::assemble(test.source);
+    ASSERT_TRUE(program.ok()) << test.name;
+    auto image = elf::write_elf(*program);
+    ASSERT_TRUE(image.ok());
+    auto loaded = elf::read_elf(*image);
+    ASSERT_TRUE(loaded.ok());
+
+    core::Ecosystem ecosystem;
+    auto direct = ecosystem.run(*program);
+    auto via_elf = ecosystem.run(*loaded);
+    ASSERT_TRUE(direct.ok() && via_elf.ok());
+    EXPECT_EQ(direct->result.exit_code, via_elf->result.exit_code);
+    EXPECT_EQ(direct->result.instructions, via_elf->result.instructions);
+    EXPECT_EQ(direct->result.cycles, via_elf->result.cycles);
+  }
+}
+
+TEST_P(TortureSeed, QtaChainOnRandomPrograms) {
+  for (const auto& test : programs_for_seed(GetParam() + 2000, 2)) {
+    core::Ecosystem ecosystem;
+    auto program = ecosystem.build_source(test.source);
+    ASSERT_TRUE(program.ok()) << test.name;
+    auto outcome = ecosystem.run_qta(*program, test.name);
+    ASSERT_TRUE(outcome.ok()) << test.name << ": "
+                              << outcome.error().to_string();
+    EXPECT_LE(outcome->report.observed_cycles,
+              outcome->report.wc_path_cycles)
+        << test.name;
+    EXPECT_LE(outcome->report.wc_path_cycles, outcome->report.static_bound)
+        << test.name;
+    EXPECT_EQ(outcome->report.unknown_blocks, 0u) << test.name;
+  }
+}
+
+TEST_P(TortureSeed, QtaChainWithTimingFeatures) {
+  vp::MachineConfig config;
+  config.timing.icache_miss_cycles = 10;
+  config.timing.branch_predictor = true;
+  core::Ecosystem ecosystem(config);
+  for (const auto& test : programs_for_seed(GetParam() + 3000, 2)) {
+    auto program = ecosystem.build_source(test.source);
+    ASSERT_TRUE(program.ok()) << test.name;
+    auto outcome = ecosystem.run_qta(*program, test.name);
+    ASSERT_TRUE(outcome.ok()) << test.name;
+    EXPECT_LE(outcome->report.observed_cycles,
+              outcome->report.wc_path_cycles)
+        << test.name;
+    EXPECT_LE(outcome->report.wc_path_cycles, outcome->report.static_bound)
+        << test.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TortureSeed,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// P5 — deep-state comparison can only move mutants from masked to SDC,
+// never the other way, and it finds silent corruption on a workload whose
+// final memory is not part of the output surface.
+TEST(DeepSdc, RefinesMaskedClass) {
+  auto workload = core::find_workload("bubble_sort");
+  ASSERT_TRUE(workload.ok());
+  auto program = assembler::assemble(workload->source);
+  ASSERT_TRUE(program.ok());
+
+  fault::CampaignConfig shallow;
+  shallow.seed = 31337;
+  shallow.mutant_count = 250;
+  shallow.compare_memory = false;
+  fault::Campaign shallow_campaign(*program, shallow);
+  auto shallow_result = shallow_campaign.run();
+  ASSERT_TRUE(shallow_result.ok());
+
+  fault::CampaignConfig deep = shallow;
+  deep.compare_memory = true;
+  fault::Campaign deep_campaign(*program, deep);
+  auto deep_result = deep_campaign.run();
+  ASSERT_TRUE(deep_result.ok());
+
+  // Same fault list (same seed), so mutant-by-mutant comparison is valid.
+  ASSERT_EQ(shallow_result->mutants.size(), deep_result->mutants.size());
+  unsigned moved = 0;
+  for (std::size_t i = 0; i < deep_result->mutants.size(); ++i) {
+    const auto shallow_outcome = shallow_result->mutants[i].outcome;
+    const auto deep_outcome = deep_result->mutants[i].outcome;
+    if (shallow_outcome == deep_outcome) continue;
+    // The only allowed change: masked -> sdc.
+    EXPECT_EQ(shallow_outcome, fault::Outcome::kMasked);
+    EXPECT_EQ(deep_outcome, fault::Outcome::kSdc);
+    ++moved;
+  }
+  // bubble_sort's sorted array lives in .data and is checked only by the
+  // in-guest verifier; late memory corruption slips past the exit code, so
+  // deep comparison must reclassify at least one mutant.
+  EXPECT_GT(moved, 0u);
+  EXPECT_EQ(deep_result->count(fault::Outcome::kMasked) + moved,
+            shallow_result->count(fault::Outcome::kMasked));
+}
+
+TEST(DeepSdc, GoldenHashStable) {
+  auto workload = core::find_workload("checksum");
+  ASSERT_TRUE(workload.ok());
+  auto program = assembler::assemble(workload->source);
+  ASSERT_TRUE(program.ok());
+  fault::CampaignConfig config;
+  config.mutant_count = 1;
+  fault::Campaign a(*program, config);
+  fault::Campaign b(*program, config);
+  auto ra = a.run();
+  auto rb = b.run();
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->golden_memory_hash, rb->golden_memory_hash);
+  EXPECT_NE(ra->golden_memory_hash, 0u);
+}
+
+}  // namespace
+}  // namespace s4e

@@ -1,0 +1,306 @@
+// RV32C tests: golden decodings, compress/decompress round-trip properties,
+// and end-to-end equivalence of compressed vs uncompressed binaries across
+// the whole pipeline (VP, CFG, WCET, QTA).
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "core/ecosystem.hpp"
+#include "core/workloads.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoder.hpp"
+#include "isa/rvc.hpp"
+#include "vp/machine.hpp"
+
+namespace s4e::isa {
+namespace {
+
+TEST(RvcDecode, GoldenEncodings) {
+  struct Golden {
+    u16 half;
+    const char* text;
+  };
+  // Cross-checked against the RISC-V spec / GNU objdump.
+  const Golden goldens[] = {
+      {0x0001, "addi zero, zero, 0"},   // c.nop
+      {0x4505, "addi a0, zero, 1"},     // c.li a0, 1
+      {0x157d, "addi a0, a0, -1"},      // c.addi a0, -1
+      {0x852e, "add a0, zero, a1"},     // c.mv a0, a1
+      {0x952e, "add a0, a0, a1"},       // c.add a0, a1
+      {0x8d89, "sub a1, a1, a0"},       // c.sub a1, a0
+      {0x8da9, "xor a1, a1, a0"},       // c.xor
+      {0x8dc9, "or a1, a1, a0"},        // c.or
+      {0x8de9, "and a1, a1, a0"},       // c.and
+      {0x892d, "andi a0, a0, 11"},      // c.andi
+      {0x0532, "slli a0, a0, 12"},      // c.slli
+      {0x8131, "srli a0, a0, 12"},      // c.srli
+      {0x8531, "srai a0, a0, 12"},      // c.srai
+      {0x4108, "lw a0, 0(a0)"},         // c.lw
+      {0xc10c, "sw a1, 0(a0)"},         // c.sw
+      {0x8082, "jalr zero, 0(ra)"},     // c.jr ra == ret
+      {0x9002, "ebreak"},               // c.ebreak
+      {0x6505, "lui a0, 0x1"},          // c.lui
+  };
+  for (const auto& golden : goldens) {
+    auto instr = decompress(golden.half);
+    ASSERT_TRUE(instr.ok()) << format("0x%04x: %s", golden.half,
+                                      instr.error().to_string().c_str());
+    EXPECT_EQ(disassemble(*instr), golden.text)
+        << format("0x%04x", golden.half);
+    EXPECT_EQ(instr->length, 2u);
+    EXPECT_EQ(instr->raw, golden.half);
+  }
+}
+
+TEST(RvcDecode, ControlFlowForms) {
+  // c.j +16: CJ immediate field placement (imm[4] lives at bit 11).
+  {
+    auto instr = decompress(0xa801);
+    ASSERT_TRUE(instr.ok());
+    EXPECT_EQ(instr->op, Op::kJal);
+    EXPECT_EQ(instr->rd, 0);
+    EXPECT_EQ(instr->imm, 16);
+  }
+  // c.beqz a0, +8: CB immediate (imm[3] at bit 10), rs1' = a0.
+  {
+    auto instr = decompress(0xc501);
+    ASSERT_TRUE(instr.ok());
+    EXPECT_EQ(instr->op, Op::kBeq);
+    EXPECT_EQ(instr->rs1, 10);
+    EXPECT_EQ(instr->rs2, 0);
+    EXPECT_EQ(instr->imm, 8);
+  }
+}
+
+// Execution-level validation of the CJ/CB offset decoding: raw halfwords
+// are planted with .half and must steer control to the exit stub.
+TEST(RvcDecode, ControlFlowOffsetsExecute) {
+  // Layout (addresses relative to _start):
+  //   +0   c.j +16        (0xa801)
+  //   +2..+14  ebreak padding (would stop with kEbreak if the jump is off)
+  //   +16  li a7, 93 ; li a0, 42 ; ecall
+  auto program = assembler::assemble(R"(
+_start:
+    .half 0xa801
+    .half 0x9002, 0x9002, 0x9002, 0x9002, 0x9002, 0x9002, 0x9002
+    li a7, 93
+    li a0, 42
+    ecall
+  )");
+  ASSERT_TRUE(program.ok()) << program.error().to_string();
+  vp::Machine machine;
+  ASSERT_TRUE(machine.load_program(*program).ok());
+  auto result = machine.run();
+  EXPECT_EQ(result.reason, vp::StopReason::kExitEcall);
+  EXPECT_EQ(result.exit_code, 42);
+
+  // c.beqz a0, +8 with a0 == 0 skips the ebreak padding.
+  auto branch_program = assembler::assemble(R"(
+_start:
+    .half 0xc501
+    .half 0x9002, 0x9002, 0x9002
+    li a7, 93
+    li a0, 7
+    ecall
+  )");
+  ASSERT_TRUE(branch_program.ok());
+  vp::Machine branch_machine;
+  ASSERT_TRUE(branch_machine.load_program(*branch_program).ok());
+  auto branch_result = branch_machine.run();
+  EXPECT_EQ(branch_result.reason, vp::StopReason::kExitEcall);
+  EXPECT_EQ(branch_result.exit_code, 7);
+}
+
+TEST(RvcDecode, IllegalEncodings) {
+  EXPECT_FALSE(decompress(0x0000).ok());  // defined illegal
+  // Reserved quadrant-0 funct3 values.
+  EXPECT_FALSE(decompress(0x2000).ok());  // c.fld (RV32DC, unsupported)
+  // 32-bit encodings are rejected outright.
+  EXPECT_FALSE(decompress(0x0003).ok());
+}
+
+TEST(RvcCompress, NeverCompressesControlFlow) {
+  EXPECT_FALSE(compress(make_j(Op::kJal, 0, 16)).has_value());
+  EXPECT_FALSE(compress(make_b(Op::kBeq, 8, 0, 8)).has_value());
+  EXPECT_FALSE(compress(make_i(Op::kJalr, 0, 1, 0)).has_value());
+  EXPECT_FALSE(compress(make_system(Op::kEbreak)).has_value());
+}
+
+TEST(RvcCompress, RejectsNonCompressibleOperands) {
+  // imm too wide for c.addi
+  EXPECT_FALSE(compress(make_i(Op::kAddi, 10, 10, 100)).has_value());
+  // rd != rs1
+  EXPECT_FALSE(compress(make_i(Op::kAndi, 10, 11, 1)).has_value());
+  // non-prime registers for CA-format ops
+  EXPECT_FALSE(compress(make_r(Op::kSub, 5, 5, 6)).has_value());
+  // misaligned load offset
+  EXPECT_FALSE(compress(make_i(Op::kLw, 10, 11, 2)).has_value());
+}
+
+// Property: whenever compress() produces an encoding, decompress() must
+// reproduce the exact semantic fields.
+TEST(RvcProperty, CompressDecompressRoundTrip) {
+  Rng rng(0x5eed);
+  unsigned compressed_count = 0;
+  // Biased operand generation: favour the shapes RVC can express (rd == rs1,
+  // x8..x15 registers, small immediates, word-aligned offsets) while still
+  // producing plenty of non-compressible forms.
+  auto reg = [&] {
+    return rng.chance(1, 2) ? 8 + rng.next_below(8) : rng.next_below(32);
+  };
+  auto imm = [&] {
+    return rng.chance(1, 2)
+               ? static_cast<i32>(rng.next_in_range(-32, 31))
+               : static_cast<i32>(rng.next_in_range(-2048, 2047));
+  };
+  for (int trial = 0; trial < 20000; ++trial) {
+    Instr instr;
+    instr.op = static_cast<Op>(rng.next_below(kOpCount));
+    const OpInfo& info = op_info(instr.op);
+    const unsigned rd = reg();
+    const unsigned rs1 = rng.chance(2, 3) ? rd : reg();
+    switch (info.format) {
+      case Format::kR:
+        instr = make_r(instr.op, rd, rs1, reg());
+        break;
+      case Format::kI: {
+        i32 value = imm();
+        if (info.op_class == OpClass::kLoad && rng.chance(3, 4)) {
+          value = static_cast<i32>(rng.next_below(64)) * 4;
+        }
+        instr = make_i(instr.op, rd, rng.chance(1, 4) ? 2 : rs1, value);
+        break;
+      }
+      case Format::kIShift:
+        instr = make_shift(instr.op, rd, rs1, rng.next_below(32));
+        break;
+      case Format::kS: {
+        i32 value = rng.chance(3, 4)
+                        ? static_cast<i32>(rng.next_below(64)) * 4
+                        : imm();
+        instr = make_s(instr.op, rng.chance(1, 4) ? 2 : rs1, reg(), value);
+        break;
+      }
+      case Format::kU:
+        instr = make_u(instr.op, rd,
+                       rng.chance(1, 2)
+                           ? static_cast<i32>(rng.next_in_range(1, 31)) << 12
+                           : static_cast<i32>(rng.next_below(1u << 20) << 12));
+        break;
+      default:
+        continue;  // control flow / csr / system: never compressed
+    }
+    const auto half = compress(instr);
+    if (!half.has_value()) continue;
+    ++compressed_count;
+    auto expanded = decompress(*half);
+    ASSERT_TRUE(expanded.ok()) << disassemble(instr);
+    EXPECT_EQ(expanded->op, instr.op) << disassemble(instr);
+    EXPECT_EQ(expanded->rd, instr.rd) << disassemble(instr);
+    EXPECT_EQ(expanded->imm, instr.imm) << disassemble(instr);
+    if (info.format == Format::kR && expanded->rs1 != instr.rs1) {
+      // Commutative swap is allowed; the operand *set* must match.
+      EXPECT_EQ(expanded->rs1, instr.rs2);
+      EXPECT_EQ(expanded->rs2, instr.rs1);
+    } else {
+      EXPECT_EQ(expanded->rs1, instr.rs1) << disassemble(instr);
+      EXPECT_EQ(expanded->rs2, instr.rs2) << disassemble(instr);
+    }
+  }
+  // The sweep must actually exercise the compressor.
+  EXPECT_GT(compressed_count, 500u);
+}
+
+// Property: every 16-bit pattern either fails to decompress or yields an
+// instruction that re-encodes into a legal 32-bit word.
+TEST(RvcProperty, DecompressedFormsAreEncodable) {
+  unsigned legal = 0;
+  for (u32 half = 0; half <= 0xffff; ++half) {
+    if (!is_compressed(static_cast<u16>(half))) continue;
+    auto instr = decompress(static_cast<u16>(half));
+    if (!instr.ok()) continue;
+    ++legal;
+    Instr as32 = *instr;
+    as32.length = 4;
+    auto word = encode(as32);
+    EXPECT_TRUE(word.ok()) << format("0x%04x -> %s", half,
+                                     disassemble(*instr).c_str());
+  }
+  EXPECT_GT(legal, 10000u);  // most of the RVC space is populated
+}
+
+}  // namespace
+}  // namespace s4e::isa
+
+namespace s4e::core {
+namespace {
+
+// End-to-end: every workload compressed must behave identically and be
+// meaningfully smaller.
+class CompressedWorkload : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompressedWorkload, IdenticalBehaviourSmallerText) {
+  const Workload& workload = standard_workloads()[GetParam()];
+  assembler::Options plain_options;
+  assembler::Options rvc_options;
+  rvc_options.compress = true;
+
+  auto plain = assembler::assemble(workload.source, plain_options);
+  auto rvc = assembler::assemble(workload.source, rvc_options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(rvc.ok()) << rvc.error().to_string();
+
+  const std::size_t plain_text = plain->find_section(".text")->bytes.size();
+  const std::size_t rvc_text = rvc->find_section(".text")->bytes.size();
+  EXPECT_LT(rvc_text, plain_text) << workload.name;
+
+  Ecosystem ecosystem;
+  auto plain_run = ecosystem.run(*plain);
+  auto rvc_run = ecosystem.run(*rvc);
+  ASSERT_TRUE(plain_run.ok() && rvc_run.ok());
+  EXPECT_EQ(rvc_run->result.exit_code, plain_run->result.exit_code)
+      << workload.name;
+  EXPECT_EQ(rvc_run->result.instructions, plain_run->result.instructions);
+  EXPECT_EQ(rvc_run->uart_output, plain_run->uart_output);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CompressedWorkload,
+    ::testing::Range<std::size_t>(0, standard_workloads().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return standard_workloads()[info.param].name;
+    });
+
+// The QTA chain must hold on compressed binaries too (CFG, analyzer and VP
+// all walk variable-length instructions).
+class CompressedQta : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompressedQta, ChainHolds) {
+  const Workload& workload = standard_workloads()[GetParam()];
+  if (!workload.wcet_analyzable) GTEST_SKIP();
+  assembler::Options options;
+  options.compress = true;
+  auto program = assembler::assemble(workload.source, options);
+  ASSERT_TRUE(program.ok());
+  Ecosystem ecosystem;
+  auto outcome = ecosystem.run_qta(*program, workload.name);
+  ASSERT_TRUE(outcome.ok()) << workload.name << ": "
+                            << outcome.error().to_string();
+  EXPECT_LE(outcome->report.observed_cycles, outcome->report.wc_path_cycles)
+      << workload.name;
+  EXPECT_LE(outcome->report.wc_path_cycles, outcome->report.static_bound)
+      << workload.name;
+  EXPECT_EQ(outcome->report.unknown_blocks, 0u);
+  EXPECT_EQ(outcome->run.result.exit_code, workload.expected_exit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CompressedQta,
+    ::testing::Range<std::size_t>(0, standard_workloads().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return standard_workloads()[info.param].name;
+    });
+
+}  // namespace
+}  // namespace s4e::core

@@ -1,0 +1,267 @@
+// CLI tool smoke tests: drive the installed binaries through the same
+// pipeline a user would (as -> objdump/wcet -> qta/run/faultsim) and check
+// exit codes and key output fragments. Tool location comes from the build
+// system via S4E_TOOL_DIR.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#ifndef S4E_TOOL_DIR
+#error "S4E_TOOL_DIR must be defined by the build system"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  const std::string full = command + " 2>&1";
+  FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string tool(const std::string& name) {
+  return std::string(S4E_TOOL_DIR) + "/" + name;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class ToolPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    elf_ = temp_path("tools_fir.elf");
+    auto result =
+        run_command(tool("s4e-as") + " --workload fir -o " + elf_);
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+  }
+  void TearDown() override { std::remove(elf_.c_str()); }
+
+  std::string elf_;
+};
+
+TEST(ToolAs, ListWorkloads) {
+  auto result = run_command(tool("s4e-as") + " --list-workloads");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("checksum"), std::string::npos);
+  EXPECT_NE(result.output.find("lock_ctrl"), std::string::npos);
+}
+
+TEST(ToolAs, RejectsMissingInput) {
+  auto result = run_command(tool("s4e-as"));
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage"), std::string::npos);
+}
+
+TEST(ToolAs, RejectsUnknownWorkload) {
+  auto result = run_command(tool("s4e-as") + " --workload nope -o /dev/null");
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST(ToolAs, AssemblesSourceFile) {
+  const std::string source_path = temp_path("tools_tiny.s");
+  const std::string elf_path = temp_path("tools_tiny.elf");
+  FILE* f = std::fopen(source_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("li a0, 7\nli a7, 93\necall\n", f);
+  std::fclose(f);
+  auto assembled =
+      run_command(tool("s4e-as") + " " + source_path + " -o " + elf_path);
+  EXPECT_EQ(assembled.exit_code, 0) << assembled.output;
+  auto run = run_command(tool("s4e-run") + " " + elf_path);
+  EXPECT_EQ(run.exit_code, 7);
+  std::remove(source_path.c_str());
+  std::remove(elf_path.c_str());
+}
+
+TEST(ToolAs, ReportsAssemblyErrorWithLine) {
+  const std::string source_path = temp_path("tools_bad.s");
+  FILE* f = std::fopen(source_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("nop\nfrobnicate a0\n", f);
+  std::fclose(f);
+  auto result =
+      run_command(tool("s4e-as") + " " + source_path + " -o /dev/null");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("line 2"), std::string::npos);
+  std::remove(source_path.c_str());
+}
+
+TEST_F(ToolPipeline, RunExitsWithWorkloadCode) {
+  auto result = run_command(tool("s4e-run") + " " + elf_ + " --stats");
+  EXPECT_EQ(result.exit_code, 192);  // fir's expected exit code
+  EXPECT_NE(result.output.find("insns"), std::string::npos);
+  EXPECT_NE(result.output.find("tb-cache"), std::string::npos);
+}
+
+TEST_F(ToolPipeline, RunHonorsMaxInsns) {
+  auto result = run_command(tool("s4e-run") + " " + elf_ + " --max-insns 10");
+  EXPECT_EQ(result.exit_code, 124);
+}
+
+TEST_F(ToolPipeline, RunTracePrintsDisassembly) {
+  auto result = run_command(tool("s4e-run") + " " + elf_ + " --trace 5");
+  EXPECT_NE(result.output.find("trace"), std::string::npos);
+  EXPECT_NE(result.output.find("lui"), std::string::npos);
+}
+
+TEST_F(ToolPipeline, RunCoverageReport) {
+  auto result = run_command(tool("s4e-run") + " " + elf_ + " --coverage");
+  EXPECT_NE(result.output.find("GPR coverage"), std::string::npos);
+}
+
+TEST_F(ToolPipeline, ObjdumpDisassembles) {
+  auto result = run_command(tool("s4e-objdump") + " " + elf_);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("_start:"), std::string::npos);
+  EXPECT_NE(result.output.find("dot4:"), std::string::npos);
+  EXPECT_NE(result.output.find("mul"), std::string::npos);
+}
+
+TEST_F(ToolPipeline, ObjdumpSymbols) {
+  auto result = run_command(tool("s4e-objdump") + " -t " + elf_);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("dot_loop"), std::string::npos);
+}
+
+TEST_F(ToolPipeline, ObjdumpCfgDot) {
+  auto result = run_command(tool("s4e-objdump") + " --cfg " + elf_);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("digraph"), std::string::npos);
+}
+
+TEST_F(ToolPipeline, WcetQtaRoundTrip) {
+  const std::string cfg_path = temp_path("tools_fir.qtacfg");
+  auto wcet = run_command(tool("s4e-wcet") + " " + elf_ + " --emit-cfg " +
+                          cfg_path);
+  EXPECT_EQ(wcet.exit_code, 0) << wcet.output;
+  EXPECT_NE(wcet.output.find("total static WCET"), std::string::npos);
+  EXPECT_NE(wcet.output.find("dot4"), std::string::npos);
+
+  auto qta = run_command(tool("s4e-qta") + " " + elf_ + " " + cfg_path);
+  EXPECT_EQ(qta.exit_code, 0) << qta.output;
+  EXPECT_NE(qta.output.find("static WCET bound"), std::string::npos);
+  EXPECT_EQ(qta.output.find("VIOLATED"), std::string::npos);
+  std::remove(cfg_path.c_str());
+}
+
+TEST_F(ToolPipeline, QtaRejectsMismatchedCfg) {
+  // An annotated CFG for a different entry must be refused.
+  const std::string cfg_path = temp_path("tools_mismatch.qtacfg");
+  FILE* f = std::fopen(cfg_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("qta-cfg v1\nprogram x entry 0x12345678\npenalty 2\n"
+             "wcet_total 10\n",
+             f);
+  std::fclose(f);
+  auto result = run_command(tool("s4e-qta") + " " + elf_ + " " + cfg_path);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("does not match"), std::string::npos);
+  std::remove(cfg_path.c_str());
+}
+
+TEST_F(ToolPipeline, FaultsimRunsCampaign) {
+  auto result = run_command(tool("s4e-faultsim") + " " + elf_ +
+                            " --mutants 25 --seed 3 --list");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("masked"), std::string::npos);
+  EXPECT_NE(result.output.find("#000"), std::string::npos);
+}
+
+TEST_F(ToolPipeline, RunProfileReport) {
+  auto result = run_command(tool("s4e-run") + " " + elf_ + " --profile");
+  EXPECT_NE(result.output.find("hot blocks"), std::string::npos);
+  EXPECT_NE(result.output.find("dot_loop"), std::string::npos);
+}
+
+TEST_F(ToolPipeline, MutateScoresOracle) {
+  auto result = run_command(tool("s4e-mutate") + " " + elf_ +
+                            " --max 60 --survivors");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("mutation analysis"), std::string::npos);
+  EXPECT_NE(result.output.find("killed"), std::string::npos);
+}
+
+TEST(ToolAs, CompressedBinaryRunsIdentically) {
+  const std::string plain_elf = temp_path("tools_cmp_plain.elf");
+  const std::string rvc_elf = temp_path("tools_cmp_rvc.elf");
+  ASSERT_EQ(run_command(tool("s4e-as") + " --workload checksum -o " +
+                        plain_elf)
+                .exit_code,
+            0);
+  ASSERT_EQ(run_command(tool("s4e-as") + " --workload checksum --compress -o " +
+                        rvc_elf)
+                .exit_code,
+            0);
+  auto plain_run = run_command(tool("s4e-run") + " " + plain_elf);
+  auto rvc_run = run_command(tool("s4e-run") + " " + rvc_elf);
+  EXPECT_EQ(plain_run.exit_code, rvc_run.exit_code);
+  // Disassembly of the compressed binary shows 16-bit encodings.
+  auto dump = run_command(tool("s4e-objdump") + " " + rvc_elf);
+  EXPECT_NE(dump.output.find("sum_loop"), std::string::npos);
+  std::remove(plain_elf.c_str());
+  std::remove(rvc_elf.c_str());
+}
+
+TEST(ToolCov, MergedCoverageAcrossBinaries) {
+  const std::string a = temp_path("tools_cov_a.elf");
+  const std::string b = temp_path("tools_cov_b.elf");
+  ASSERT_EQ(run_command(tool("s4e-as") + " --workload checksum -o " + a)
+                .exit_code,
+            0);
+  ASSERT_EQ(run_command(tool("s4e-as") + " --workload crc32 -o " + b)
+                .exit_code,
+            0);
+  auto result = run_command(tool("s4e-cov") + " " + a + " " + b);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("merged over 2 binaries"), std::string::npos);
+  EXPECT_NE(result.output.find("GPR coverage"), std::string::npos);
+  auto per = run_command(tool("s4e-cov") + " " + a + " --per-binary");
+  EXPECT_NE(per.output.find(a), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(ToolTestgen, DumpsSuitesAndElfs) {
+  const std::string dir = temp_path("tools_suites");
+  auto result = run_command(tool("s4e-testgen") + " " + dir +
+                            " --suite torture --count 2 --seed 9 --elf");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("wrote 2 programs"), std::string::npos);
+  // The dumped ELF runs to exit 0 through s4e-run.
+  auto run = run_command(tool("s4e-run") + " " + dir + "/torture_000.elf");
+  EXPECT_EQ(run.exit_code, 0);
+  run_command("rm -rf " + dir);
+}
+
+TEST(ToolRun, UartInputReachesGuest) {
+  const std::string elf_path = temp_path("tools_lock.elf");
+  auto assembled = run_command(tool("s4e-as") + " --workload lock_ctrl -o " +
+                               elf_path);
+  ASSERT_EQ(assembled.exit_code, 0);
+  auto opened = run_command(tool("s4e-run") + " " + elf_path +
+                            " --uart-input 1234");
+  EXPECT_EQ(opened.exit_code, 0);
+  EXPECT_NE(opened.output.find("OPEN"), std::string::npos);
+  auto denied = run_command(tool("s4e-run") + " " + elf_path);
+  EXPECT_EQ(denied.exit_code, 1);
+  EXPECT_NE(denied.output.find("DENY"), std::string::npos);
+  std::remove(elf_path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,627 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "common/rng.hpp"
+#include "vp/machine.hpp"
+#include "vp/plugin.hpp"
+
+namespace s4e::vp {
+namespace {
+
+using assembler::assemble;
+
+// Assemble, load and run `source`; returns the result.
+RunResult run_source(Machine& machine, std::string_view source) {
+  auto program = assemble(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().to_string());
+  EXPECT_TRUE(machine.load_program(*program).ok());
+  return machine.run();
+}
+
+RunResult run_source(std::string_view source) {
+  Machine machine;
+  return run_source(machine, source);
+}
+
+// Exit idiom that leaves a0..a6 untouched (tests inspect registers after
+// the run; the exit code is then whatever a0 happens to hold).
+constexpr const char* kExit0 = R"(
+    li a7, 93
+    ecall
+)";
+
+TEST(Machine, EcallExit) {
+  auto result = run_source(R"(
+    li a7, 93
+    li a0, 17
+    ecall
+  )");
+  EXPECT_EQ(result.reason, StopReason::kExitEcall);
+  EXPECT_EQ(result.exit_code, 17);
+  EXPECT_EQ(result.instructions, 3u);
+}
+
+TEST(Machine, TestDeviceExit) {
+  auto result = run_source(R"(
+    li t0, 0x100000
+    li t1, 0x5555
+    sw t1, 0(t0)
+  )");
+  EXPECT_EQ(result.reason, StopReason::kExitTestDevice);
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+TEST(Machine, TestDeviceFailCode) {
+  auto result = run_source(R"(
+    li t0, 0x100000
+    li t1, (7 << 16) + 0x3333
+    sw t1, 0(t0)
+  )");
+  EXPECT_EQ(result.reason, StopReason::kExitTestDevice);
+  EXPECT_EQ(result.exit_code, 7);
+}
+
+TEST(Machine, ArithmeticLoop) {
+  Machine machine;
+  auto result = run_source(machine, R"(
+    li a0, 0
+    li t0, 10
+loop:
+    add a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    ecall
+  )");
+  EXPECT_EQ(result.reason, StopReason::kExitEcall);
+  EXPECT_EQ(result.exit_code, 55);  // 10+9+...+1
+}
+
+TEST(Machine, MemoryReadWrite) {
+  Machine machine;
+  auto result = run_source(machine, R"(
+    la t0, buffer
+    li t1, 0xabcd
+    sw t1, 0(t0)
+    lw a0, 0(t0)
+    li a7, 93
+    ecall
+.data
+buffer:
+    .space 16
+  )");
+  EXPECT_EQ(result.exit_code, 0xabcd);
+}
+
+TEST(Machine, SignExtendingLoads) {
+  Machine machine;
+  auto result = run_source(machine, R"(
+    la t0, bytes
+    lb a0, 0(t0)     # 0xff -> -1
+    lbu a1, 0(t0)    # 0xff -> 255
+    lh a2, 0(t0)     # 0x80ff -> sign-extended
+    lhu a3, 0(t0)
+    add a0, a0, a1   # -1 + 255 = 254
+    li a7, 93
+    mv a0, a0
+    ecall
+.data
+bytes:
+    .half 0x80ff
+  )");
+  EXPECT_EQ(result.exit_code, 254);
+  EXPECT_EQ(machine.cpu().read_gpr(12), 0xffff80ffu);  // a2 sign-extended
+  EXPECT_EQ(machine.cpu().read_gpr(13), 0x80ffu);      // a3 zero-extended
+}
+
+TEST(Machine, MulDivSemantics) {
+  Machine machine;
+  run_source(machine, std::string(R"(
+    li t0, -7
+    li t1, 2
+    mul a0, t0, t1     # -14
+    div a1, t0, t1     # -3 (trunc toward zero)
+    rem a2, t0, t1     # -1
+    li t2, 0
+    div a3, t0, t2     # div by zero -> -1
+    rem a4, t0, t2     # rem by zero -> rs1
+    divu a5, t0, t1
+)") + kExit0);
+  EXPECT_EQ(static_cast<i32>(machine.cpu().read_gpr(10)), -14);
+  EXPECT_EQ(static_cast<i32>(machine.cpu().read_gpr(11)), -3);
+  EXPECT_EQ(static_cast<i32>(machine.cpu().read_gpr(12)), -1);
+  EXPECT_EQ(machine.cpu().read_gpr(13), 0xffffffffu);
+  EXPECT_EQ(static_cast<i32>(machine.cpu().read_gpr(14)), -7);
+}
+
+TEST(Machine, DivOverflowCase) {
+  Machine machine;
+  run_source(machine, std::string(R"(
+    li t0, 0x80000000
+    li t1, -1
+    div a0, t0, t1
+    rem a1, t0, t1
+)") + kExit0);
+  EXPECT_EQ(machine.cpu().read_gpr(10), 0x80000000u);
+  EXPECT_EQ(machine.cpu().read_gpr(11), 0u);
+}
+
+TEST(Machine, X0StaysZero) {
+  Machine machine;
+  run_source(machine, std::string(R"(
+    li t0, 5
+    add zero, t0, t0
+    addi x0, x0, 100
+)") + kExit0);
+  EXPECT_EQ(machine.cpu().read_gpr(0), 0u);
+}
+
+TEST(Machine, UnhandledTrapStops) {
+  auto result = run_source("lw a0, 0(zero)\n");  // load from unmapped 0x0
+  EXPECT_EQ(result.reason, StopReason::kTrapUnhandled);
+  EXPECT_EQ(result.trap_cause, kCauseLoadFault);
+}
+
+TEST(Machine, EbreakStops) {
+  auto result = run_source("ebreak\n");
+  EXPECT_EQ(result.reason, StopReason::kEbreak);
+}
+
+TEST(Machine, IllegalInstructionStops) {
+  Machine machine;
+  auto program = assemble(".word 0xffffffff\n");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(machine.load_program(*program).ok());
+  auto result = machine.run();
+  EXPECT_EQ(result.reason, StopReason::kTrapUnhandled);
+  EXPECT_EQ(result.trap_cause, kCauseIllegalInstruction);
+}
+
+TEST(Machine, MaxInstructionsHangDetector) {
+  MachineConfig config;
+  config.max_instructions = 1000;
+  Machine machine(config);
+  auto result = run_source(machine, "spin: j spin\n");
+  EXPECT_EQ(result.reason, StopReason::kMaxInstructions);
+  EXPECT_GE(result.instructions, 1000u);
+}
+
+TEST(Machine, TrapHandlerCatchesEcall) {
+  Machine machine;
+  auto result = run_source(machine, R"(
+    la t0, handler
+    csrw mtvec, t0
+    ecall              # traps to handler (a7 != 93)
+    j fail
+handler:
+    csrr a0, mcause    # 11 = ecall from M
+    li a7, 93
+    ecall              # a7 == 93 now? no — a7 set; but mcause in a0
+fail:
+    ebreak
+  )");
+  // The second ecall has a7 == 93, so it exits with code = mcause = 11.
+  EXPECT_EQ(result.reason, StopReason::kExitEcall);
+  EXPECT_EQ(result.exit_code, 11);
+}
+
+TEST(Machine, MretReturnsFromTrap) {
+  Machine machine;
+  auto result = run_source(machine, R"(
+    la t0, handler
+    csrw mtvec, t0
+    li a1, 0
+    ecall            # trap, handler advances mepc and returns
+    li a1, 42        # executed after mret
+    li a7, 93
+    mv a0, a1
+    ecall
+    j end
+handler:
+    csrr t1, mepc
+    addi t1, t1, 4
+    csrw mepc, t1
+    mret
+end:
+    ebreak
+  )");
+  EXPECT_EQ(result.reason, StopReason::kExitEcall);
+  EXPECT_EQ(result.exit_code, 42);
+}
+
+TEST(Machine, TimerInterruptFires) {
+  Machine machine;
+  auto result = run_source(machine, R"(
+.equ CLINT, 0x2000000
+    la t0, handler
+    csrw mtvec, t0
+    li t0, CLINT + 0x4000
+    li t1, 500           # mtimecmp = 500 cycles
+    sw t1, 0(t0)
+    sw zero, 4(t0)
+    li t2, 128           # mie.MTIE
+    csrw mie, t2
+    csrsi mstatus, 8     # mstatus.MIE
+spin:
+    j spin
+handler:
+    csrr a0, mcause
+    li a7, 93
+    li a0, 1
+    ecall
+  )");
+  EXPECT_EQ(result.reason, StopReason::kExitEcall);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_GE(result.cycles, 500u);
+}
+
+TEST(Machine, WfiWaitsForTimer) {
+  Machine machine;
+  auto result = run_source(machine, R"(
+.equ CLINT, 0x2000000
+    la t0, handler
+    csrw mtvec, t0
+    li t0, CLINT + 0x4000
+    li t1, 10000
+    sw t1, 0(t0)
+    sw zero, 4(t0)
+    li t2, 128
+    csrw mie, t2
+    csrsi mstatus, 8
+    wfi                  # sleep until mtime >= mtimecmp
+    j fail
+handler:
+    li a7, 93
+    li a0, 5
+    ecall
+fail:
+    ebreak
+  )");
+  EXPECT_EQ(result.reason, StopReason::kExitEcall);
+  EXPECT_EQ(result.exit_code, 5);
+  EXPECT_GE(result.cycles, 10000u);
+}
+
+TEST(Machine, VectoredInterruptDispatch) {
+  // mtvec mode 1: interrupts vector to base + 4 * cause. The machine timer
+  // (cause 7) must land on the 7th vector slot, not on the base.
+  Machine machine;
+  auto result = run_source(machine, R"(
+.equ CLINT_CMP, 0x2004000
+    la t0, vectors
+    ori t0, t0, 1        # vectored mode
+    csrw mtvec, t0
+    li t0, CLINT_CMP
+    li t1, 300
+    sw t1, 0(t0)
+    sw zero, 4(t0)
+    li t2, 128
+    csrw mie, t2
+    csrsi mstatus, 8
+spin:
+    j spin
+.align 4
+vectors:
+    j bad_vector         # cause 0
+    j bad_vector         # 1
+    j bad_vector         # 2
+    j bad_vector         # 3
+    j bad_vector         # 4
+    j bad_vector         # 5
+    j bad_vector         # 6
+    j timer_vector       # 7 = machine timer
+bad_vector:
+    li a0, 1
+    li a7, 93
+    ecall
+timer_vector:
+    li a0, 42
+    li a7, 93
+    ecall
+  )");
+  EXPECT_EQ(result.reason, StopReason::kExitEcall);
+  EXPECT_EQ(result.exit_code, 42);
+}
+
+TEST(Machine, GuestDrivesGpio) {
+  Machine machine;
+  machine.gpio()->set_in(0x0f);
+  auto result = run_source(machine, R"(
+.equ GPIO, 0x10010000
+    li t0, GPIO
+    lw a0, 16(t0)     # read inputs
+    sw a0, 0(t0)      # mirror to outputs
+    li t1, 0xf0
+    sw t1, 4(t0)      # SET high nibble
+    li a7, 93
+    ecall
+  )");
+  EXPECT_EQ(result.exit_code, 0x0f);
+  EXPECT_EQ(machine.gpio()->out(), 0xffu);
+  EXPECT_EQ(machine.gpio()->changes().size(), 2u);
+}
+
+TEST(Machine, WfiWithoutTimerHalts) {
+  auto result = run_source("wfi\n");
+  EXPECT_EQ(result.reason, StopReason::kWfiHalt);
+}
+
+TEST(Machine, UartTransmit) {
+  Machine machine;
+  auto result = run_source(machine, R"(
+.equ UART, 0x10000000
+    li t0, UART
+    la t1, msg
+next:
+    lbu t2, 0(t1)
+    beqz t2, done
+    sw t2, 0(t0)
+    addi t1, t1, 1
+    j next
+done:
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+msg:
+    .asciz "hello"
+  )");
+  EXPECT_EQ(result.reason, StopReason::kExitEcall);
+  EXPECT_EQ(machine.uart()->tx_log(), "hello");
+  EXPECT_EQ(machine.uart()->tx_count(), 5u);
+}
+
+TEST(Machine, UartReceive) {
+  Machine machine;
+  machine.uart()->push_rx("AB");
+  auto result = run_source(machine, R"(
+.equ UART, 0x10000000
+    li t0, UART
+    lw a0, 4(t0)       # 'A'
+    lw a1, 4(t0)       # 'B'
+    lw a2, 4(t0)       # empty -> 0xffffffff
+    li a7, 93
+    ecall
+  )");
+  EXPECT_EQ(result.exit_code, 'A');
+  EXPECT_EQ(machine.cpu().read_gpr(11), u32{'B'});
+  EXPECT_EQ(machine.cpu().read_gpr(12), 0xffffffffu);
+}
+
+TEST(Machine, CyclesExceedInstructions) {
+  Machine machine;
+  auto result = run_source(machine, R"(
+    li t0, 100
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    li a0, 0
+    ecall
+  )");
+  EXPECT_GT(result.cycles, result.instructions);
+}
+
+TEST(Machine, CsrCountersReadable) {
+  Machine machine;
+  run_source(machine, std::string(R"(
+    nop
+    nop
+    csrr a0, minstret
+    csrr a1, mcycle
+)") + kExit0);
+  // After two nops, minstret read (3rd insn) sees icount >= 2.
+  EXPECT_GE(machine.cpu().read_gpr(10), 2u);
+  EXPECT_GE(machine.cpu().read_gpr(11), machine.cpu().read_gpr(10));
+}
+
+TEST(Machine, SelfModifyingCodeFlushesTbCache) {
+  Machine machine;
+  auto result = run_source(machine, R"(
+    la t0, patch_site
+    # Patch 'li a0, 1' (0x00100513) over 'li a0, 9' at patch_site.
+    li t1, 0x00100513
+    sw t1, 0(t0)
+patch_site:
+    li a0, 9
+    li a7, 93
+    ecall
+  )");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_GE(machine.tb_cache().flush_count(), 1u);
+}
+
+TEST(Machine, TbCacheReusesBlocks) {
+  Machine machine;
+  run_source(machine, R"(
+    li t0, 50
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    li a0, 0
+    ecall
+  )");
+  // The loop body must be translated once and reused.
+  EXPECT_LE(machine.tb_cache().size(), 8u);
+}
+
+TEST(Machine, UncachedModeMatchesCached) {
+  const char* source = R"(
+    li a0, 0
+    li t0, 20
+loop:
+    add a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    ecall
+  )";
+  Machine cached;
+  auto r1 = run_source(cached, source);
+  MachineConfig config;
+  config.enable_tb_cache = false;
+  Machine uncached(config);
+  auto r2 = run_source(uncached, source);
+  EXPECT_EQ(r1.exit_code, r2.exit_code);
+  EXPECT_EQ(r1.instructions, r2.instructions);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+}
+
+TEST(Machine, ResetClearsState) {
+  Machine machine;
+  run_source(machine, std::string("li t3, 99\n") + kExit0);
+  EXPECT_NE(machine.cpu().read_gpr(28), 0u);
+  machine.reset();
+  EXPECT_EQ(machine.cpu().read_gpr(28), 0u);
+  EXPECT_EQ(machine.icount(), 0u);
+  EXPECT_EQ(machine.cycles(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Plugin API.
+
+struct CountingPlugin : PluginBase {
+  Subscriptions subscriptions() const override {
+    Subscriptions subs;
+    subs.tb_trans = subs.tb_exec = subs.insn_exec = subs.mem = subs.trap =
+        subs.exit = true;
+    return subs;
+  }
+  void on_tb_trans(const s4e_tb_info& tb) override {
+    ++tb_trans;
+    insns_seen += tb.n_insns;
+  }
+  void on_tb_exec(u32) override { ++tb_exec; }
+  void on_insn_exec(const s4e_insn_info&) override { ++insn_exec; }
+  void on_mem(const s4e_mem_event& event) override {
+    if (event.is_store) ++stores; else ++loads;
+  }
+  void on_trap(const s4e_trap_event&) override { ++traps; }
+  void on_exit(int code) override { exit_code = code; ++exits; }
+
+  u64 tb_trans = 0, tb_exec = 0, insn_exec = 0;
+  u64 loads = 0, stores = 0, traps = 0, exits = 0;
+  u64 insns_seen = 0;
+  int exit_code = -100;
+};
+
+TEST(PluginApi, CallbackCountsMatchExecution) {
+  Machine machine;
+  CountingPlugin plugin;
+  plugin.attach(machine.vm_handle());
+  auto result = run_source(machine, R"(
+    la t0, buf
+    li t1, 3
+loop:
+    sw t1, 0(t0)
+    lw t2, 0(t0)
+    addi t1, t1, -1
+    bnez t1, loop
+    li a7, 93
+    li a0, 4
+    ecall
+.data
+buf:
+    .space 4
+  )");
+  EXPECT_EQ(result.exit_code, 4);
+  EXPECT_EQ(plugin.insn_exec, result.instructions);
+  EXPECT_EQ(plugin.stores, 3u);
+  EXPECT_EQ(plugin.loads, 3u);
+  EXPECT_EQ(plugin.exits, 1u);
+  EXPECT_EQ(plugin.exit_code, 4);
+  EXPECT_GT(plugin.tb_exec, plugin.tb_trans);  // loop blocks reused
+}
+
+TEST(PluginApi, TrapCallbackFires) {
+  Machine machine;
+  CountingPlugin plugin;
+  plugin.attach(machine.vm_handle());
+  run_source(machine, "ebreak\n");
+  EXPECT_EQ(plugin.traps, 1u);
+}
+
+TEST(PluginApi, StateAccessors) {
+  Machine machine;
+  auto program = assemble(std::string("li t0, 7\n") + R"(
+    li a7, 93
+    li a0, 0
+    ecall
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(machine.load_program(*program).ok());
+  machine.run();
+  s4e_vm* vm = machine.vm_handle();
+  EXPECT_EQ(s4e_read_gpr(vm, 5), 7u);
+  s4e_write_gpr(vm, 5, 123u);
+  EXPECT_EQ(machine.cpu().read_gpr(5), 123u);
+  s4e_write_gpr(vm, 0, 55u);  // x0 writes ignored
+  EXPECT_EQ(s4e_read_gpr(vm, 0), 0u);
+  EXPECT_GT(s4e_icount(vm), 0u);
+  EXPECT_GE(s4e_cycles(vm), s4e_icount(vm));
+}
+
+TEST(PluginApi, MemAccessors) {
+  Machine machine;
+  s4e_vm* vm = machine.vm_handle();
+  const u32 address = machine.config().ram_base + 0x100;
+  const u32 value = 0xcafebabe;
+  EXPECT_EQ(s4e_write_mem(vm, address, &value, 4), 0);
+  u32 readback = 0;
+  EXPECT_EQ(s4e_read_mem(vm, address, &readback, 4), 0);
+  EXPECT_EQ(readback, value);
+  // Outside RAM fails cleanly.
+  EXPECT_EQ(s4e_read_mem(vm, 0x1000, &readback, 4), -1);
+}
+
+TEST(PluginApi, RequestExitStopsRun) {
+  Machine machine;
+  struct ExitPlugin : PluginBase {
+    Subscriptions subscriptions() const override {
+      Subscriptions subs;
+      subs.insn_exec = true;
+      return subs;
+    }
+    void on_insn_exec(const s4e_insn_info&) override {
+      if (++count == 10) s4e_request_exit(vm(), 77);
+    }
+    int count = 0;
+  } plugin;
+  plugin.attach(machine.vm_handle());
+  auto result = run_source(machine, "spin: j spin\n");
+  EXPECT_EQ(result.reason, StopReason::kExitRequested);
+  EXPECT_EQ(result.exit_code, 77);
+}
+
+TEST(Timing, WorstCaseDominatesDynamic) {
+  TimingModel model;
+  Rng rng(42);
+  for (unsigned i = 0; i < isa::kOpCount; ++i) {
+    isa::Instr instr;
+    instr.op = static_cast<isa::Op>(i);
+    for (int trial = 0; trial < 100; ++trial) {
+      const u32 rs1 = rng.next_u32();
+      const u32 rs2 = rng.next_u32();
+      // Worst case excludes the redirect penalty (modelled on edges) and
+      // must dominate the non-redirect dynamic cost in all contexts.
+      EXPECT_GE(model.worst_case_cycles(instr),
+                model.dynamic_cycles(instr, false, rs1, rs2, true))
+          << isa::mnemonic(instr.op);
+      EXPECT_GE(model.worst_case_cycles(instr) + model.edge_cycles(),
+                model.dynamic_cycles(instr, true, rs1, rs2, true))
+          << isa::mnemonic(instr.op);
+    }
+  }
+}
+
+TEST(Timing, DivideEarlyOut) {
+  TimingModel model;
+  EXPECT_LT(model.divide_cycles(1), model.divide_cycles(0xffffffffu));
+  EXPECT_LE(model.divide_cycles(0xffffffffu),
+            model.params().div_max_cycles);
+  EXPECT_GE(model.divide_cycles(0), model.params().div_min_cycles);
+}
+
+}  // namespace
+}  // namespace s4e::vp

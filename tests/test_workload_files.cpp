@@ -1,0 +1,60 @@
+// The on-disk workload sources (workloads/*.s) are the CLI-facing copies
+// of the built-in registry. This suite keeps them honest: every file must
+// assemble through the same pipeline and run to the exit code its header
+// comment documents — and stay in sync with the registry.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "asm/assembler.hpp"
+#include "core/workloads.hpp"
+#include "vp/machine.hpp"
+
+#ifndef S4E_SOURCE_DIR
+#error "S4E_SOURCE_DIR must be defined by the build system"
+#endif
+
+namespace s4e::core {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class WorkloadFile : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorkloadFile, AssemblesAndRunsToDocumentedExit) {
+  const Workload& workload = standard_workloads()[GetParam()];
+  const std::string path =
+      std::string(S4E_SOURCE_DIR) + "/workloads/" + workload.name + ".s";
+  const std::string source = read_file(path);
+  ASSERT_FALSE(source.empty()) << path;
+
+  // The file must contain the registry source verbatim (after its comment
+  // header), so CLI users and library users run the same bytes.
+  EXPECT_NE(source.find(workload.source), std::string::npos)
+      << path << " has drifted from the built-in registry";
+
+  auto program = assembler::assemble(source);
+  ASSERT_TRUE(program.ok()) << path << ": " << program.error().to_string();
+  vp::Machine machine;
+  ASSERT_TRUE(machine.load_program(*program).ok());
+  auto result = machine.run();
+  EXPECT_TRUE(result.normal_exit()) << path;
+  EXPECT_EQ(result.exit_code, workload.expected_exit) << path;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadFile,
+    ::testing::Range<std::size_t>(0, standard_workloads().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return standard_workloads()[info.param].name;
+    });
+
+}  // namespace
+}  // namespace s4e::core

@@ -1,0 +1,57 @@
+// s4e-cov — run one or more ELFs and print merged coverage (the suite-level
+// view behind the E4 table: per-binary runs, union on merge).
+//
+//   s4e-cov a.elf b.elf ...  [--per-binary]
+#include <cstdio>
+
+#include "coverage/coverage.hpp"
+#include "elf/elf32.hpp"
+#include "tools/tool_util.hpp"
+#include "vp/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace s4e;
+  tools::Args args(argc, argv, {});
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: s4e-cov <a.elf> [b.elf ...] [--per-binary]\n");
+    return 2;
+  }
+
+  coverage::CoverageData merged;
+  unsigned failures = 0;
+  for (const std::string& path : args.positional()) {
+    auto program = elf::read_elf_file(path);
+    if (!program.ok()) {
+      std::fprintf(stderr, "s4e-cov: %s\n",
+                   program.error().to_string().c_str());
+      return 1;
+    }
+    vp::Machine machine;
+    if (auto status = machine.load_program(*program); !status.ok()) {
+      std::fprintf(stderr, "s4e-cov: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    coverage::CoveragePlugin plugin;
+    plugin.attach(machine.vm_handle());
+    const vp::RunResult result = machine.run();
+    if (!result.normal_exit()) {
+      ++failures;
+      std::fprintf(stderr, "s4e-cov: %s did not terminate normally (%s)\n",
+                   path.c_str(),
+                   std::string(vp::to_string(result.reason)).c_str());
+    }
+    if (args.has("--per-binary")) {
+      std::printf("%s", coverage::to_report(plugin.data(), path).c_str());
+      std::printf("\n");
+    }
+    merged.merge(plugin.data());
+  }
+
+  if (args.positional().size() > 1 || !args.has("--per-binary")) {
+    std::printf("%s", coverage::to_report(
+                          merged, format("merged over %zu binaries",
+                                         args.positional().size()))
+                          .c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// s4e-faultsim — fault-effect campaign on an ELF.
+//
+//   s4e-faultsim file.elf [--mutants N] [--seed S] [--blind]
+//                [--no-gpr] [--no-mem] [--no-code] [--list]
+#include <cstdio>
+
+#include "elf/elf32.hpp"
+#include "fault/fault.hpp"
+#include "tools/tool_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace s4e;
+  tools::Args args(argc, argv, {"--mutants", "--seed"});
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: s4e-faultsim <file.elf> [--mutants N] [--seed S] "
+                 "[--blind] [--no-gpr] [--no-mem] [--no-code] [--list]\n");
+    return 2;
+  }
+  auto program = elf::read_elf_file(args.positional()[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "s4e-faultsim: %s\n",
+                 program.error().to_string().c_str());
+    return 1;
+  }
+
+  fault::CampaignConfig config;
+  config.mutant_count = static_cast<unsigned>(
+      parse_integer(args.value("--mutants", "200")).value_or(200));
+  config.seed =
+      static_cast<u64>(parse_integer(args.value("--seed", "1")).value_or(1));
+  config.coverage_directed = !args.has("--blind");
+  config.gpr_faults = !args.has("--no-gpr");
+  config.memory_faults = !args.has("--no-mem");
+  config.code_faults = !args.has("--no-code");
+
+  fault::Campaign campaign(*program, config);
+  auto result = campaign.run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "s4e-faultsim: %s\n",
+                 result.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", result->to_string().c_str());
+
+  if (args.has("--list")) {
+    std::printf("\nper-mutant results:\n");
+    for (std::size_t i = 0; i < result->mutants.size(); ++i) {
+      const auto& mutant = result->mutants[i];
+      std::printf("  #%03zu  %-7s exit=%-4d  %s\n", i,
+                  std::string(fault::to_string(mutant.outcome)).c_str(),
+                  mutant.exit_code, mutant.spec.to_string().c_str());
+    }
+  }
+  return 0;
+}

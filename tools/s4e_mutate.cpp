@@ -1,0 +1,50 @@
+// s4e-mutate — binary mutation analysis of an ELF (the XEMU flow).
+//
+//   s4e-mutate file.elf [--max N] [--all-sites] [--survivors]
+#include <cstdio>
+
+#include "elf/elf32.hpp"
+#include "mutation/mutation.hpp"
+#include "tools/tool_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace s4e;
+  tools::Args args(argc, argv, {"--max"});
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: s4e-mutate <file.elf> [--max N] [--all-sites] "
+                 "[--survivors]\n");
+    return 2;
+  }
+  auto program = elf::read_elf_file(args.positional()[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "s4e-mutate: %s\n",
+                 program.error().to_string().c_str());
+    return 1;
+  }
+
+  mutation::MutationConfig config;
+  config.executed_only = !args.has("--all-sites");
+  config.max_mutants = static_cast<unsigned>(
+      parse_integer(args.value("--max", "0")).value_or(0));
+
+  mutation::MutationCampaign campaign(*program, config);
+  auto score = campaign.run();
+  if (!score.ok()) {
+    std::fprintf(stderr, "s4e-mutate: %s\n",
+                 score.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", score->to_string().c_str());
+
+  if (args.has("--survivors")) {
+    std::printf("\nsurviving mutants:\n");
+    for (const auto& result : score->results) {
+      if (result.verdict != mutation::Verdict::kSurvived) continue;
+      std::printf("  0x%08x  %-14s %s\n", result.mutant.address,
+                  std::string(mutation::to_string(result.mutant.op)).c_str(),
+                  result.mutant.description.c_str());
+    }
+  }
+  return 0;
+}

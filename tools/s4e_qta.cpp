@@ -1,0 +1,65 @@
+// s4e-qta — the QEMU Timing Analyzer reproduction as a standalone tool:
+// load a binary *and* its WCET-annotated CFG (from s4e-wcet, the ait2qta
+// stand-in) and co-simulate them, reporting the three ordered timelines.
+//
+//   s4e-qta file.elf file.qtacfg [--uart-input S]
+#include <cstdio>
+
+#include "elf/elf32.hpp"
+#include "qta/qta.hpp"
+#include "tools/tool_util.hpp"
+#include "vp/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace s4e;
+  tools::Args args(argc, argv, {"--uart-input"});
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "usage: s4e-qta <file.elf> <file.qtacfg> [--uart-input S]\n");
+    return 2;
+  }
+  auto program = elf::read_elf_file(args.positional()[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "s4e-qta: %s\n", program.error().to_string().c_str());
+    return 1;
+  }
+  auto cfg_text = tools::read_file(args.positional()[1]);
+  if (!cfg_text.ok()) {
+    std::fprintf(stderr, "s4e-qta: %s\n",
+                 cfg_text.error().to_string().c_str());
+    return 1;
+  }
+  auto annotated = wcet::AnnotatedCfg::parse(*cfg_text);
+  if (!annotated.ok()) {
+    std::fprintf(stderr, "s4e-qta: %s\n",
+                 annotated.error().to_string().c_str());
+    return 1;
+  }
+  if (annotated->entry != program->entry) {
+    std::fprintf(stderr,
+                 "s4e-qta: annotated CFG entry 0x%08x does not match ELF "
+                 "entry 0x%08x\n",
+                 annotated->entry, program->entry);
+    return 1;
+  }
+
+  vp::Machine machine;
+  if (auto status = machine.load_program(*program); !status.ok()) {
+    std::fprintf(stderr, "s4e-qta: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  if (args.has("--uart-input")) {
+    machine.uart()->push_rx(args.value("--uart-input"));
+  }
+  qta::QtaPlugin plugin(*annotated);
+  plugin.attach(machine.vm_handle());
+
+  const vp::RunResult result = machine.run();
+  std::printf("run: reason=%s exit=%d, %llu instructions\n",
+              std::string(vp::to_string(result.reason)).c_str(),
+              result.exit_code,
+              static_cast<unsigned long long>(result.instructions));
+  const qta::QtaReport report = plugin.report(result.cycles);
+  std::printf("%s", report.to_string().c_str());
+  return report.bound_violated ? 1 : 0;
+}

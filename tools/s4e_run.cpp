@@ -1,0 +1,124 @@
+// s4e-run — execute an ELF on the virtual prototype.
+//
+//   s4e-run file.elf [--max-insns N] [--uart-input STR] [--coverage]
+//                    [--stats] [--trace N]
+//
+// Exit code mirrors the guest's exit code on a normal exit; 124 on the
+// instruction-budget hang detector; 125 on abnormal stops.
+#include <cstdio>
+
+#include "core/profiler.hpp"
+#include "coverage/coverage.hpp"
+#include "elf/elf32.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "tools/tool_util.hpp"
+#include "vp/machine.hpp"
+
+namespace {
+
+using namespace s4e;
+
+// Prints the first N executed instructions (a debugging trace).
+class TracePlugin final : public vp::PluginBase {
+ public:
+  explicit TracePlugin(u64 limit) : limit_(limit) {}
+  Subscriptions subscriptions() const override {
+    Subscriptions subs;
+    subs.insn_exec = true;
+    return subs;
+  }
+  void on_insn_exec(const s4e_insn_info& insn) override {
+    if (printed_ >= limit_) return;
+    ++printed_;
+    auto decoded = isa::decoder().decode(insn.encoding);
+    std::printf("trace %8llu  %08x  %s\n",
+                static_cast<unsigned long long>(printed_), insn.address,
+                decoded.ok() ? isa::disassemble_at(*decoded, insn.address).c_str()
+                             : "<illegal>");
+  }
+
+ private:
+  u64 limit_;
+  u64 printed_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Args args(argc, argv, {"--max-insns", "--uart-input", "--trace"});
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: s4e-run <file.elf> [--max-insns N] [--uart-input S] "
+                 "[--coverage] [--profile] [--stats] [--trace N]\n");
+    return 2;
+  }
+  auto program = elf::read_elf_file(args.positional()[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "s4e-run: %s\n", program.error().to_string().c_str());
+    return 1;
+  }
+
+  vp::MachineConfig config;
+  if (args.has("--max-insns")) {
+    auto limit = parse_integer(args.value("--max-insns"));
+    if (!limit.ok() || *limit <= 0) {
+      std::fprintf(stderr, "bad --max-insns\n");
+      return 2;
+    }
+    config.max_instructions = static_cast<u64>(*limit);
+  }
+  vp::Machine machine(config);
+  if (auto status = machine.load_program(*program); !status.ok()) {
+    std::fprintf(stderr, "s4e-run: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  if (args.has("--uart-input")) {
+    machine.uart()->push_rx(args.value("--uart-input"));
+  }
+
+  coverage::CoveragePlugin coverage_plugin;
+  if (args.has("--coverage")) coverage_plugin.attach(machine.vm_handle());
+  core::ProfilerPlugin profiler;
+  if (args.has("--profile")) profiler.attach(machine.vm_handle());
+  TracePlugin trace(args.has("--trace")
+                        ? static_cast<u64>(
+                              parse_integer(args.value("--trace")).value_or(50))
+                        : 0);
+  if (args.has("--trace")) trace.attach(machine.vm_handle());
+
+  const vp::RunResult result = machine.run();
+
+  if (!machine.uart()->tx_log().empty()) {
+    std::printf("--- uart ---\n%s--- end uart ---\n",
+                machine.uart()->tx_log().c_str());
+  }
+  if (args.has("--stats")) {
+    std::printf("stop     : %s\n",
+                std::string(vp::to_string(result.reason)).c_str());
+    std::printf("exit     : %d\n", result.exit_code);
+    std::printf("insns    : %llu\n",
+                static_cast<unsigned long long>(result.instructions));
+    std::printf("cycles   : %llu\n",
+                static_cast<unsigned long long>(result.cycles));
+    std::printf("final pc : 0x%08x\n", result.final_pc);
+    std::printf("tb-cache : %zu blocks, %llu flushes\n",
+                machine.tb_cache().size(),
+                static_cast<unsigned long long>(
+                    machine.tb_cache().flush_count()));
+  }
+  if (args.has("--coverage")) {
+    std::printf("%s", coverage::to_report(coverage_plugin.data(),
+                                          args.positional()[0])
+                          .c_str());
+  }
+  if (args.has("--profile")) {
+    std::printf("%s", profiler.report(*program).c_str());
+  }
+  if (result.normal_exit()) return result.exit_code & 0xff;
+  if (result.reason == vp::StopReason::kMaxInstructions) return 124;
+  std::fprintf(stderr, "s4e-run: abnormal stop: %s (%s)\n",
+               std::string(vp::to_string(result.reason)).c_str(),
+               result.detail.c_str());
+  return 125;
+}

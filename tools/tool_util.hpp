@@ -1,0 +1,65 @@
+// Shared helpers for the command-line tools: tiny argv parser and file IO.
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/strings.hpp"
+
+namespace s4e::tools {
+
+// "--flag", "--key value" and positional arguments.
+class Args {
+ public:
+  Args(int argc, char** argv, std::vector<std::string> value_keys)
+      : value_keys_(std::move(value_keys)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.size() > 1 && arg[0] == '-' &&
+          !(arg[1] >= '0' && arg[1] <= '9')) {
+        bool takes_value = false;
+        for (const auto& key : value_keys_) takes_value |= key == arg;
+        if (takes_value && i + 1 < argc) {
+          options_[arg] = argv[++i];
+        } else {
+          options_[arg] = "";
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return options_.count(key) != 0; }
+  std::string value(const std::string& key,
+                    const std::string& fallback = "") const {
+    auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::string> value_keys_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+inline Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open '" + path + "'");
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+inline Status write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Error(ErrorCode::kIoError, "cannot open '" + path + "'");
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return out.good() ? Status()
+                    : Status(Error(ErrorCode::kIoError, "short write"));
+}
+
+}  // namespace s4e::tools

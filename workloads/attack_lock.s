@@ -1,0 +1,59 @@
+# lock control with an unauthorized direct UART write
+# expected exit code: 1
+
+.equ UART_BASE, 0x10000000
+_start:
+    la s0, secret
+    li s1, 4
+    li s2, 1
+    li s3, UART_BASE
+read_loop:
+    lw t0, 8(s3)
+    andi t0, t0, 1
+    beqz t0, deny
+    lw t1, 4(s3)
+    lbu t2, 0(s0)
+    beq t1, t2, digit_ok
+    li s2, 0
+digit_ok:
+    addi s0, s0, 1
+    addi s1, s1, -1
+    bnez s1, read_loop
+    beqz s2, deny
+open:
+    la a1, open_msg
+    call uart_puts
+    li a0, 0
+    li a7, 93
+    ecall
+deny:
+    la a1, deny_msg
+    call uart_puts
+attack:
+    li t0, UART_BASE
+    li t1, 88
+    sw t1, 0(t0)
+    li a0, 1
+    li a7, 93
+    ecall
+
+uart_puts:
+    li t5, UART_BASE
+puts_loop:
+    .loopbound 6
+    lbu t4, 0(a1)
+    beqz t4, puts_done
+    sw t4, 0(t5)
+    addi a1, a1, 1
+    j puts_loop
+puts_done:
+    ret
+uart_puts_end:
+    nop
+.data
+secret:
+    .ascii "1234"
+open_msg:
+    .asciz "OPEN\n"
+deny_msg:
+    .asciz "DENY\n"

@@ -1,0 +1,35 @@
+# binary search in a sorted table (annotated bound)
+# expected exit code: 11
+
+_start:
+    la s0, table
+    li s1, 0           # lo
+    li s2, 16          # hi
+    li s3, 743         # key
+bs_loop:
+    .loopbound 5
+    bge s1, s2, notfound
+    add t0, s1, s2
+    srli t0, t0, 1     # mid
+    slli t1, t0, 2
+    add t1, t1, s0
+    lw t2, 0(t1)
+    beq t2, s3, found
+    blt t2, s3, go_right
+    mv s2, t0          # hi = mid
+    j bs_loop
+go_right:
+    addi s1, t0, 1
+    j bs_loop
+found:
+    mv a0, t0
+    li a7, 93
+    ecall
+notfound:
+    li a0, 255
+    li a7, 93
+    ecall
+.data
+table:
+    .word 3, 17, 29, 55, 101, 190, 288, 310
+    .word 402, 555, 680, 743, 800, 855, 901, 999

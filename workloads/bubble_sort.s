@@ -1,0 +1,40 @@
+# bubble sort of 8 words with sortedness self-check
+# expected exit code: 0
+
+_start:
+    li s2, 7
+outer:
+    la t1, array
+    li t0, 0
+inner:
+    .loopbound 7
+    lw t2, 0(t1)
+    lw t3, 4(t1)
+    ble t2, t3, noswap
+    sw t3, 0(t1)
+    sw t2, 4(t1)
+noswap:
+    addi t1, t1, 4
+    addi t0, t0, 1
+    blt t0, s2, inner
+    addi s2, s2, -1
+    bnez s2, outer
+    la t1, array
+    li s3, 7
+check:
+    lw t2, 0(t1)
+    lw t3, 4(t1)
+    bgt t2, t3, bad
+    addi t1, t1, 4
+    addi s3, s3, -1
+    bnez s3, check
+    li a0, 0
+    li a7, 93
+    ecall
+bad:
+    li a0, 1
+    li a7, 93
+    ecall
+.data
+array:
+    .word 5, 2, 9, 1, 7, 3, 8, 4

@@ -1,0 +1,18 @@
+# word-table checksum (quickstart kernel)
+# expected exit code: 136
+
+_start:
+    la t0, data
+    li t1, 16
+    li a0, 0
+sum_loop:
+    lw t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, sum_loop
+    li a7, 93
+    ecall
+.data
+data:
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16

@@ -1,0 +1,36 @@
+# bitwise CRC-32 with the standard check value
+# expected exit code: 0
+
+_start:
+    la s0, msg
+    li s1, 9
+    li a0, -1
+    li s3, 0xEDB88320
+byte_loop:
+    lbu t0, 0(s0)
+    xor a0, a0, t0
+    li t1, 8
+bit_loop:
+    andi t2, a0, 1
+    srli a0, a0, 1
+    beqz t2, nobit
+    xor a0, a0, s3
+nobit:
+    addi t1, t1, -1
+    bnez t1, bit_loop
+    addi s0, s0, 1
+    addi s1, s1, -1
+    bnez s1, byte_loop
+    xori a0, a0, -1
+    li t3, 0xCBF43926
+    bne a0, t3, crc_bad
+    li a0, 0
+    li a7, 93
+    ecall
+crc_bad:
+    li a0, 1
+    li a7, 93
+    ecall
+.data
+msg:
+    .ascii "123456789"

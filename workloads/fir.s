@@ -1,0 +1,50 @@
+# 4-tap FIR filter via a called dot-product helper
+# expected exit code: 192
+
+_start:
+    la s0, samples
+    la s1, coeffs
+    la s3, output
+    li s2, 8
+fir_outer:
+    mv a0, s0
+    mv a1, s1
+    call dot4
+    sw a0, 0(s3)
+    addi s3, s3, 4
+    addi s0, s0, 4
+    addi s2, s2, -1
+    bnez s2, fir_outer
+    la t0, output
+    li t1, 8
+    li a0, 0
+acc_loop:
+    lw t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, acc_loop
+    li a7, 93
+    ecall
+
+dot4:
+    li t0, 4
+    li a2, 0
+dot_loop:
+    lw t3, 0(a0)
+    lw t4, 0(a1)
+    mul t3, t3, t4
+    add a2, a2, t3
+    addi a0, a0, 4
+    addi a1, a1, 4
+    addi t0, t0, -1
+    bnez t0, dot_loop
+    mv a0, a2
+    ret
+.data
+samples:
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11
+coeffs:
+    .word 1, 1, 1, 1
+output:
+    .space 32

@@ -1,0 +1,26 @@
+# byte histogram into 16 bins over a 64-byte buffer
+# expected exit code: 4
+
+_start:
+    la s0, bytes
+    la s1, bins
+    li s2, 64
+hist_loop:
+    lbu t0, 0(s0)
+    andi t0, t0, 15
+    slli t0, t0, 2
+    add t0, t0, s1
+    lw t1, 0(t0)
+    addi t1, t1, 1
+    sw t1, 0(t0)
+    addi s0, s0, 1
+    addi s2, s2, -1
+    bnez s2, hist_loop
+    lw a0, 20(s1)      # bins[5]
+    li a7, 93
+    ecall
+.data
+bytes:
+    .byte 0, 7, 14, 21, 28, 35, 42, 49, 56, 63, 70, 77, 84, 91, 98, 105, 112, 119, 126, 133, 140, 147, 154, 161, 168, 175, 182, 189, 196, 203, 210, 217, 224, 231, 238, 245, 252, 3, 10, 17, 24, 31, 38, 45, 52, 59, 66, 73, 80, 87, 94, 101, 108, 115, 122, 129, 136, 143, 150, 157, 164, 171, 178, 185
+bins:
+    .space 64

@@ -1,0 +1,57 @@
+# 4x4 integer matrix multiply (identity check)
+# expected exit code: 136
+
+_start:
+    la s0, mat_a
+    la s1, mat_b
+    la s2, mat_c
+    li s7, 4
+    li s3, 0
+iloop:
+    li s4, 0
+jloop:
+    li s5, 0
+    li t6, 0
+kloop:
+    slli t0, s3, 4
+    slli t1, s5, 2
+    add t0, t0, t1
+    add t0, t0, s0
+    lw t2, 0(t0)
+    slli t3, s5, 4
+    slli t4, s4, 2
+    add t3, t3, t4
+    add t3, t3, s1
+    lw t5, 0(t3)
+    mul t2, t2, t5
+    add t6, t6, t2
+    addi s5, s5, 1
+    blt s5, s7, kloop
+    slli t0, s3, 4
+    slli t1, s4, 2
+    add t0, t0, t1
+    add t0, t0, s2
+    sw t6, 0(t0)
+    addi s4, s4, 1
+    blt s4, s7, jloop
+    addi s3, s3, 1
+    blt s3, s7, iloop
+    la t0, mat_c
+    li s6, 16
+    li a0, 0
+csum:
+    lw t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 4
+    addi s6, s6, -1
+    bnez s6, csum
+    andi a0, a0, 0xff
+    li a7, 93
+    ecall
+.data
+mat_a:
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+mat_b:
+    .word 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1
+mat_c:
+    .space 64

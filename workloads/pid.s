@@ -1,0 +1,26 @@
+# fixed-point PID-style controller with convergence self-check
+# expected exit code: 0
+
+_start:
+    li s0, 0           # plant state x (Q4)
+    li s1, 3200        # target (200 << 4)
+    li s2, 50          # control steps
+    li s3, 3           # proportional gain
+pid_loop:
+    sub t0, s1, s0     # error
+    mul t1, t0, s3
+    srai t2, t1, 4     # u = (Kp * e) >> 4
+    add s0, s0, t2     # plant: x += u
+    addi s2, s2, -1
+    bnez s2, pid_loop
+    sub t0, s1, s0     # residual error
+    bltz t0, pid_bad
+    li t1, 9
+    bge t0, t1, pid_bad
+    li a0, 0
+    li a7, 93
+    ecall
+pid_bad:
+    li a0, 1
+    li a7, 93
+    ecall

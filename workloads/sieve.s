@@ -1,0 +1,38 @@
+# sieve of Eratosthenes over [2, 100)
+# expected exit code: 25
+
+_start:
+    la s0, flags
+    li s7, 100
+    li s1, 2
+sieve_outer:
+    add t0, s0, s1
+    lbu t1, 0(t0)
+    bnez t1, notprime
+    add t2, s1, s1
+mark:
+    .loopbound 50
+    bge t2, s7, endmark
+    add t3, s0, t2
+    li t4, 1
+    sb t4, 0(t3)
+    add t2, t2, s1
+    j mark
+endmark:
+notprime:
+    addi s1, s1, 1
+    blt s1, s7, sieve_outer
+    li s2, 2
+    li a0, 0
+count:
+    add t0, s0, s2
+    lbu t1, 0(t0)
+    seqz t1, t1
+    add a0, a0, t1
+    addi s2, s2, 1
+    blt s2, s7, count
+    li a7, 93
+    ecall
+.data
+flags:
+    .space 100
