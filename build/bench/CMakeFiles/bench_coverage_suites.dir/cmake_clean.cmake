@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coverage_suites.dir/bench_coverage_suites.cpp.o"
+  "CMakeFiles/bench_coverage_suites.dir/bench_coverage_suites.cpp.o.d"
+  "bench_coverage_suites"
+  "bench_coverage_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coverage_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emulation_speed.dir/bench_emulation_speed.cpp.o"
+  "CMakeFiles/bench_emulation_speed.dir/bench_emulation_speed.cpp.o.d"
+  "bench_emulation_speed"
+  "bench_emulation_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emulation_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

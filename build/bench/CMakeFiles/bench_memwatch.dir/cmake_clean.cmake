@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memwatch.dir/bench_memwatch.cpp.o"
+  "CMakeFiles/bench_memwatch.dir/bench_memwatch.cpp.o.d"
+  "bench_memwatch"
+  "bench_memwatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memwatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

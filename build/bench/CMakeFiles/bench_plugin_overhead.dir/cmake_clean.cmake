@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plugin_overhead.dir/bench_plugin_overhead.cpp.o"
+  "CMakeFiles/bench_plugin_overhead.dir/bench_plugin_overhead.cpp.o.d"
+  "bench_plugin_overhead"
+  "bench_plugin_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plugin_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timing_ablation.dir/bench_timing_ablation.cpp.o"
+  "CMakeFiles/bench_timing_ablation.dir/bench_timing_ablation.cpp.o.d"
+  "bench_timing_ablation"
+  "bench_timing_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

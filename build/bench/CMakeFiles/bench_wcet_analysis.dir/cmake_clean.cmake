@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wcet_analysis.dir/bench_wcet_analysis.cpp.o"
+  "CMakeFiles/bench_wcet_analysis.dir/bench_wcet_analysis.cpp.o.d"
+  "bench_wcet_analysis"
+  "bench_wcet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wcet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wcet_bounds.dir/bench_wcet_bounds.cpp.o"
+  "CMakeFiles/bench_wcet_bounds.dir/bench_wcet_bounds.cpp.o.d"
+  "bench_wcet_bounds"
+  "bench_wcet_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wcet_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

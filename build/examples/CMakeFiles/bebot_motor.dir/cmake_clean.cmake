@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bebot_motor.dir/bebot_motor.cpp.o"
+  "CMakeFiles/bebot_motor.dir/bebot_motor.cpp.o.d"
+  "bebot_motor"
+  "bebot_motor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bebot_motor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_task.dir/periodic_task.cpp.o"
+  "CMakeFiles/periodic_task.dir/periodic_task.cpp.o.d"
+  "periodic_task"
+  "periodic_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_lock.dir/secure_lock.cpp.o"
+  "CMakeFiles/secure_lock.dir/secure_lock.cpp.o.d"
+  "secure_lock"
+  "secure_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

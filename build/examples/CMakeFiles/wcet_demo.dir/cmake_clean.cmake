@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_demo.dir/wcet_demo.cpp.o"
+  "CMakeFiles/wcet_demo.dir/wcet_demo.cpp.o.d"
+  "wcet_demo"
+  "wcet_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("asm")
+subdirs("elf")
+subdirs("vp")
+subdirs("cfg")
+subdirs("wcet")
+subdirs("qta")
+subdirs("coverage")
+subdirs("fault")
+subdirs("memwatch")
+subdirs("testgen")
+subdirs("mutation")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_asm.dir/assembler.cpp.o"
+  "CMakeFiles/s4e_asm.dir/assembler.cpp.o.d"
+  "CMakeFiles/s4e_asm.dir/program.cpp.o"
+  "CMakeFiles/s4e_asm.dir/program.cpp.o.d"
+  "libs4e_asm.a"
+  "libs4e_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/builder.cpp" "src/cfg/CMakeFiles/s4e_cfg.dir/builder.cpp.o" "gcc" "src/cfg/CMakeFiles/s4e_cfg.dir/builder.cpp.o.d"
+  "/root/repo/src/cfg/dominators.cpp" "src/cfg/CMakeFiles/s4e_cfg.dir/dominators.cpp.o" "gcc" "src/cfg/CMakeFiles/s4e_cfg.dir/dominators.cpp.o.d"
+  "/root/repo/src/cfg/loops.cpp" "src/cfg/CMakeFiles/s4e_cfg.dir/loops.cpp.o" "gcc" "src/cfg/CMakeFiles/s4e_cfg.dir/loops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/s4e_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/s4e_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s4e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_cfg.dir/builder.cpp.o"
+  "CMakeFiles/s4e_cfg.dir/builder.cpp.o.d"
+  "CMakeFiles/s4e_cfg.dir/dominators.cpp.o"
+  "CMakeFiles/s4e_cfg.dir/dominators.cpp.o.d"
+  "CMakeFiles/s4e_cfg.dir/loops.cpp.o"
+  "CMakeFiles/s4e_cfg.dir/loops.cpp.o.d"
+  "libs4e_cfg.a"
+  "libs4e_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_common.dir/log.cpp.o"
+  "CMakeFiles/s4e_common.dir/log.cpp.o.d"
+  "CMakeFiles/s4e_common.dir/status.cpp.o"
+  "CMakeFiles/s4e_common.dir/status.cpp.o.d"
+  "CMakeFiles/s4e_common.dir/strings.cpp.o"
+  "CMakeFiles/s4e_common.dir/strings.cpp.o.d"
+  "libs4e_common.a"
+  "libs4e_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_core.dir/ecosystem.cpp.o"
+  "CMakeFiles/s4e_core.dir/ecosystem.cpp.o.d"
+  "CMakeFiles/s4e_core.dir/profiler.cpp.o"
+  "CMakeFiles/s4e_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/s4e_core.dir/workloads.cpp.o"
+  "CMakeFiles/s4e_core.dir/workloads.cpp.o.d"
+  "libs4e_core.a"
+  "libs4e_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_coverage.dir/coverage.cpp.o"
+  "CMakeFiles/s4e_coverage.dir/coverage.cpp.o.d"
+  "libs4e_coverage.a"
+  "libs4e_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

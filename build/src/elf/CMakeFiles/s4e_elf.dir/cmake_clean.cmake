@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_elf.dir/elf32.cpp.o"
+  "CMakeFiles/s4e_elf.dir/elf32.cpp.o.d"
+  "libs4e_elf.a"
+  "libs4e_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_fault.dir/fault.cpp.o"
+  "CMakeFiles/s4e_fault.dir/fault.cpp.o.d"
+  "libs4e_fault.a"
+  "libs4e_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

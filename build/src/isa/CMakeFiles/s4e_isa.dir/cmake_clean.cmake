@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_isa.dir/csr.cpp.o"
+  "CMakeFiles/s4e_isa.dir/csr.cpp.o.d"
+  "CMakeFiles/s4e_isa.dir/decoder.cpp.o"
+  "CMakeFiles/s4e_isa.dir/decoder.cpp.o.d"
+  "CMakeFiles/s4e_isa.dir/disasm.cpp.o"
+  "CMakeFiles/s4e_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/s4e_isa.dir/encoder.cpp.o"
+  "CMakeFiles/s4e_isa.dir/encoder.cpp.o.d"
+  "CMakeFiles/s4e_isa.dir/opcode.cpp.o"
+  "CMakeFiles/s4e_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/s4e_isa.dir/registers.cpp.o"
+  "CMakeFiles/s4e_isa.dir/registers.cpp.o.d"
+  "CMakeFiles/s4e_isa.dir/rvc.cpp.o"
+  "CMakeFiles/s4e_isa.dir/rvc.cpp.o.d"
+  "libs4e_isa.a"
+  "libs4e_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

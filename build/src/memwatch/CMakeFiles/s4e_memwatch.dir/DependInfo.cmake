@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memwatch/memwatch.cpp" "src/memwatch/CMakeFiles/s4e_memwatch.dir/memwatch.cpp.o" "gcc" "src/memwatch/CMakeFiles/s4e_memwatch.dir/memwatch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vp/CMakeFiles/s4e_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s4e_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/s4e_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/s4e_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_memwatch.dir/memwatch.cpp.o"
+  "CMakeFiles/s4e_memwatch.dir/memwatch.cpp.o.d"
+  "libs4e_memwatch.a"
+  "libs4e_memwatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_memwatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_mutation.dir/mutation.cpp.o"
+  "CMakeFiles/s4e_mutation.dir/mutation.cpp.o.d"
+  "libs4e_mutation.a"
+  "libs4e_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

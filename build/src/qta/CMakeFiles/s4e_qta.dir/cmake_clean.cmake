@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_qta.dir/qta.cpp.o"
+  "CMakeFiles/s4e_qta.dir/qta.cpp.o.d"
+  "libs4e_qta.a"
+  "libs4e_qta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_qta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

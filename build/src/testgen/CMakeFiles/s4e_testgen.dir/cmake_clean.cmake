@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_testgen.dir/testgen.cpp.o"
+  "CMakeFiles/s4e_testgen.dir/testgen.cpp.o.d"
+  "libs4e_testgen.a"
+  "libs4e_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

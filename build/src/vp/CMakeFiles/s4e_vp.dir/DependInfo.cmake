@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vp/bus.cpp" "src/vp/CMakeFiles/s4e_vp.dir/bus.cpp.o" "gcc" "src/vp/CMakeFiles/s4e_vp.dir/bus.cpp.o.d"
+  "/root/repo/src/vp/cpu.cpp" "src/vp/CMakeFiles/s4e_vp.dir/cpu.cpp.o" "gcc" "src/vp/CMakeFiles/s4e_vp.dir/cpu.cpp.o.d"
+  "/root/repo/src/vp/devices/clint.cpp" "src/vp/CMakeFiles/s4e_vp.dir/devices/clint.cpp.o" "gcc" "src/vp/CMakeFiles/s4e_vp.dir/devices/clint.cpp.o.d"
+  "/root/repo/src/vp/devices/gpio.cpp" "src/vp/CMakeFiles/s4e_vp.dir/devices/gpio.cpp.o" "gcc" "src/vp/CMakeFiles/s4e_vp.dir/devices/gpio.cpp.o.d"
+  "/root/repo/src/vp/devices/uart.cpp" "src/vp/CMakeFiles/s4e_vp.dir/devices/uart.cpp.o" "gcc" "src/vp/CMakeFiles/s4e_vp.dir/devices/uart.cpp.o.d"
+  "/root/repo/src/vp/machine.cpp" "src/vp/CMakeFiles/s4e_vp.dir/machine.cpp.o" "gcc" "src/vp/CMakeFiles/s4e_vp.dir/machine.cpp.o.d"
+  "/root/repo/src/vp/plugin.cpp" "src/vp/CMakeFiles/s4e_vp.dir/plugin.cpp.o" "gcc" "src/vp/CMakeFiles/s4e_vp.dir/plugin.cpp.o.d"
+  "/root/repo/src/vp/plugin_api.cpp" "src/vp/CMakeFiles/s4e_vp.dir/plugin_api.cpp.o" "gcc" "src/vp/CMakeFiles/s4e_vp.dir/plugin_api.cpp.o.d"
+  "/root/repo/src/vp/timing.cpp" "src/vp/CMakeFiles/s4e_vp.dir/timing.cpp.o" "gcc" "src/vp/CMakeFiles/s4e_vp.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/s4e_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/s4e_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s4e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

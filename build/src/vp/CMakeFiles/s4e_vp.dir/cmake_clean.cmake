@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_vp.dir/bus.cpp.o"
+  "CMakeFiles/s4e_vp.dir/bus.cpp.o.d"
+  "CMakeFiles/s4e_vp.dir/cpu.cpp.o"
+  "CMakeFiles/s4e_vp.dir/cpu.cpp.o.d"
+  "CMakeFiles/s4e_vp.dir/devices/clint.cpp.o"
+  "CMakeFiles/s4e_vp.dir/devices/clint.cpp.o.d"
+  "CMakeFiles/s4e_vp.dir/devices/gpio.cpp.o"
+  "CMakeFiles/s4e_vp.dir/devices/gpio.cpp.o.d"
+  "CMakeFiles/s4e_vp.dir/devices/uart.cpp.o"
+  "CMakeFiles/s4e_vp.dir/devices/uart.cpp.o.d"
+  "CMakeFiles/s4e_vp.dir/machine.cpp.o"
+  "CMakeFiles/s4e_vp.dir/machine.cpp.o.d"
+  "CMakeFiles/s4e_vp.dir/plugin.cpp.o"
+  "CMakeFiles/s4e_vp.dir/plugin.cpp.o.d"
+  "CMakeFiles/s4e_vp.dir/plugin_api.cpp.o"
+  "CMakeFiles/s4e_vp.dir/plugin_api.cpp.o.d"
+  "CMakeFiles/s4e_vp.dir/timing.cpp.o"
+  "CMakeFiles/s4e_vp.dir/timing.cpp.o.d"
+  "libs4e_vp.a"
+  "libs4e_vp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_vp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

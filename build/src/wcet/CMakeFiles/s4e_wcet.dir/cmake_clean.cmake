@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e_wcet.dir/analyzer.cpp.o"
+  "CMakeFiles/s4e_wcet.dir/analyzer.cpp.o.d"
+  "CMakeFiles/s4e_wcet.dir/annotated_cfg.cpp.o"
+  "CMakeFiles/s4e_wcet.dir/annotated_cfg.cpp.o.d"
+  "libs4e_wcet.a"
+  "libs4e_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_devices.dir/test_bus_devices.cpp.o"
+  "CMakeFiles/test_bus_devices.dir/test_bus_devices.cpp.o.d"
+  "test_bus_devices"
+  "test_bus_devices.pdb"
+  "test_bus_devices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_memwatch.cpp" "tests/CMakeFiles/test_memwatch.dir/test_memwatch.cpp.o" "gcc" "tests/CMakeFiles/test_memwatch.dir/test_memwatch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/s4e_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memwatch/CMakeFiles/s4e_memwatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutation/CMakeFiles/s4e_mutation.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/s4e_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/qta/CMakeFiles/s4e_qta.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcet/CMakeFiles/s4e_wcet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/s4e_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/s4e_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/s4e_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vp/CMakeFiles/s4e_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/s4e_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/s4e_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/s4e_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s4e_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

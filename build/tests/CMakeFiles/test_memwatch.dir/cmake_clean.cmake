@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memwatch.dir/test_memwatch.cpp.o"
+  "CMakeFiles/test_memwatch.dir/test_memwatch.cpp.o.d"
+  "test_memwatch"
+  "test_memwatch.pdb"
+  "test_memwatch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memwatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qta.dir/test_qta.cpp.o"
+  "CMakeFiles/test_qta.dir/test_qta.cpp.o.d"
+  "test_qta"
+  "test_qta.pdb"
+  "test_qta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

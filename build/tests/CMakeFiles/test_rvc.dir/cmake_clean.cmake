@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rvc.dir/test_rvc.cpp.o"
+  "CMakeFiles/test_rvc.dir/test_rvc.cpp.o.d"
+  "test_rvc"
+  "test_rvc.pdb"
+  "test_rvc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

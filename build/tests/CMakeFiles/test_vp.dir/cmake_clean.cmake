@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vp.dir/test_vp.cpp.o"
+  "CMakeFiles/test_vp.dir/test_vp.cpp.o.d"
+  "test_vp"
+  "test_vp.pdb"
+  "test_vp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

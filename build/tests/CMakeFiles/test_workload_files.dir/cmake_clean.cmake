@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_files.dir/test_workload_files.cpp.o"
+  "CMakeFiles/test_workload_files.dir/test_workload_files.cpp.o.d"
+  "test_workload_files"
+  "test_workload_files.pdb"
+  "test_workload_files[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

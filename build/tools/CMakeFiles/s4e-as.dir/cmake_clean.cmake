@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e-as.dir/s4e_as.cpp.o"
+  "CMakeFiles/s4e-as.dir/s4e_as.cpp.o.d"
+  "s4e-as"
+  "s4e-as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e-as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e-cov.dir/s4e_cov.cpp.o"
+  "CMakeFiles/s4e-cov.dir/s4e_cov.cpp.o.d"
+  "s4e-cov"
+  "s4e-cov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e-cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e-faultsim.dir/s4e_faultsim.cpp.o"
+  "CMakeFiles/s4e-faultsim.dir/s4e_faultsim.cpp.o.d"
+  "s4e-faultsim"
+  "s4e-faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e-faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e-mutate.dir/s4e_mutate.cpp.o"
+  "CMakeFiles/s4e-mutate.dir/s4e_mutate.cpp.o.d"
+  "s4e-mutate"
+  "s4e-mutate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e-mutate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e-objdump.dir/s4e_objdump.cpp.o"
+  "CMakeFiles/s4e-objdump.dir/s4e_objdump.cpp.o.d"
+  "s4e-objdump"
+  "s4e-objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e-objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e-qta.dir/s4e_qta.cpp.o"
+  "CMakeFiles/s4e-qta.dir/s4e_qta.cpp.o.d"
+  "s4e-qta"
+  "s4e-qta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e-qta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e-run.dir/s4e_run.cpp.o"
+  "CMakeFiles/s4e-run.dir/s4e_run.cpp.o.d"
+  "s4e-run"
+  "s4e-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e-testgen.dir/s4e_testgen.cpp.o"
+  "CMakeFiles/s4e-testgen.dir/s4e_testgen.cpp.o.d"
+  "s4e-testgen"
+  "s4e-testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e-testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for s4e-testgen.
+# This may be replaced when dependencies are built.

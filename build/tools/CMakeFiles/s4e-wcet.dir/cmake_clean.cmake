@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4e-wcet.dir/s4e_wcet.cpp.o"
+  "CMakeFiles/s4e-wcet.dir/s4e_wcet.cpp.o.d"
+  "s4e-wcet"
+  "s4e-wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4e-wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
