@@ -10,10 +10,42 @@
 //     fraction vs blind injection (ablation).
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "common/strings.hpp"
 #include "core/ecosystem.hpp"
 #include "core/workloads.hpp"
+
+namespace {
+
+// Byte-for-byte equality of two campaign results (the executor's
+// determinism guarantee: parallel == serial, including the FP sum).
+bool identical_results(const s4e::fault::CampaignResult& a,
+                       const s4e::fault::CampaignResult& b) {
+  if (a.golden_exit_code != b.golden_exit_code ||
+      a.golden_instructions != b.golden_instructions ||
+      a.golden_uart != b.golden_uart ||
+      a.golden_memory_hash != b.golden_memory_hash ||
+      a.simulated_instructions != b.simulated_instructions ||
+      a.mutants.size() != b.mutants.size()) {
+    return false;
+  }
+  for (unsigned i = 0; i < 4; ++i) {
+    if (a.outcome_counts[i] != b.outcome_counts[i]) return false;
+  }
+  for (std::size_t i = 0; i < a.mutants.size(); ++i) {
+    const auto& ma = a.mutants[i];
+    const auto& mb = b.mutants[i];
+    if (ma.outcome != mb.outcome || ma.exit_code != mb.exit_code ||
+        ma.instructions != mb.instructions ||
+        ma.spec.to_string() != mb.spec.to_string()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace s4e;
@@ -98,6 +130,54 @@ int main() {
     S4E_CHECK(result.ok());
     std::printf("  %5u mutants: %6.2f s  (%7.0f mutants/s)\n", mutants,
                 seconds, mutants / seconds);
+  }
+
+  // Parallel executor: serial vs thread-pooled campaign on one workload.
+  // The parallel result must be bit-identical to the serial one.
+  {
+    // Floor at 2 so the pooled path is exercised even on a 1-core host
+    // (there the comparison degenerates to ~1.0x, as expected).
+    const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+    std::printf("\n[E5-parallel] bubble_sort, 800 mutants, serial vs "
+                "jobs=%u:\n",
+                hw);
+    fault::CampaignConfig par;
+    par.seed = 0x5ca1e4ed;
+    par.mutant_count = 800;
+
+    double serial_seconds = 0;
+    fault::CampaignResult serial_result;
+    {
+      par.jobs = 1;
+      const auto start = std::chrono::steady_clock::now();
+      auto result = ecosystem.run_campaign(*sort_program, par);
+      serial_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      S4E_CHECK(result.ok());
+      serial_result = std::move(*result);
+    }
+    double parallel_seconds = 0;
+    fault::CampaignResult parallel_result;
+    {
+      par.jobs = hw;
+      const auto start = std::chrono::steady_clock::now();
+      auto result = ecosystem.run_campaign(*sort_program, par);
+      parallel_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+      S4E_CHECK(result.ok());
+      parallel_result = std::move(*result);
+    }
+    std::printf("  jobs=1 : %6.2f s  (%7.0f mutants/s)\n", serial_seconds,
+                par.mutant_count / serial_seconds);
+    std::printf("  jobs=%-2u: %6.2f s  (%7.0f mutants/s)\n", hw,
+                parallel_seconds, par.mutant_count / parallel_seconds);
+    std::printf("  speedup: %.2fx   results bit-identical: %s\n",
+                serial_seconds / parallel_seconds,
+                identical_results(serial_result, parallel_result) ? "yes"
+                                                                  : "NO");
+    S4E_CHECK(identical_results(serial_result, parallel_result));
   }
   return 0;
 }

@@ -8,11 +8,34 @@
 // second range (XEMU's headline over interpretation).
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "asm/assembler.hpp"
 #include "common/strings.hpp"
 #include "core/workloads.hpp"
 #include "mutation/mutation.hpp"
+
+namespace {
+
+bool identical_scores(const s4e::mutation::MutationScore& a,
+                      const s4e::mutation::MutationScore& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (unsigned i = 0; i < 4; ++i) {
+    if (a.verdict_counts[i] != b.verdict_counts[i]) return false;
+  }
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    const auto& ra = a.results[i];
+    const auto& rb = b.results[i];
+    if (ra.verdict != rb.verdict || ra.exit_code != rb.exit_code ||
+        ra.mutant.address != rb.mutant.address ||
+        ra.mutant.mutated != rb.mutant.mutated) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace s4e;
@@ -106,6 +129,53 @@ int main() {
                 100.0 * unchecked_score->score());
     std::printf("(the in-guest oracle is what turns silent corruptions into "
                 "kills)\n");
+  }
+
+  // Parallel executor: serial vs thread-pooled mutant runs; the score must
+  // be bit-identical.
+  {
+    // Floor at 2 so the pooled path is exercised even on a 1-core host
+    // (there the comparison degenerates to ~1.0x, as expected).
+    const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+    auto workload = core::find_workload("bubble_sort");
+    S4E_CHECK(workload.ok());
+    auto program = assembler::assemble(workload->source);
+    S4E_CHECK(program.ok());
+
+    mutation::MutationConfig config;
+    config.jobs = 1;
+    mutation::MutationCampaign serial_campaign(*program, config);
+    auto serial_start = std::chrono::steady_clock::now();
+    auto serial_score = serial_campaign.run();
+    const double serial_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      serial_start)
+            .count();
+    S4E_CHECK(serial_score.ok());
+
+    config.jobs = hw;
+    mutation::MutationCampaign parallel_campaign(*program, config);
+    auto parallel_start = std::chrono::steady_clock::now();
+    auto parallel_score = parallel_campaign.run();
+    const double parallel_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      parallel_start)
+            .count();
+    S4E_CHECK(parallel_score.ok());
+
+    std::printf("\n[E10-parallel] bubble_sort, %zu mutants, serial vs "
+                "jobs=%u:\n",
+                serial_score->results.size(), hw);
+    std::printf("  jobs=1 : %6.2f s  (%7.0f runs/s)\n", serial_seconds,
+                serial_score->results.size() / serial_seconds);
+    std::printf("  jobs=%-2u: %6.2f s  (%7.0f runs/s)\n", hw,
+                parallel_seconds,
+                parallel_score->results.size() / parallel_seconds);
+    std::printf("  speedup: %.2fx   scores bit-identical: %s\n",
+                serial_seconds / parallel_seconds,
+                identical_scores(*serial_score, *parallel_score) ? "yes"
+                                                                 : "NO");
+    S4E_CHECK(identical_scores(*serial_score, *parallel_score));
   }
   return 0;
 }

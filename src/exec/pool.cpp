@@ -1,0 +1,88 @@
+#include "exec/pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace s4e::exec {
+
+unsigned ThreadPool::resolve_jobs(unsigned requested) noexcept {
+  if (requested == 0) return std::max(1u, std::thread::hardware_concurrency());
+  // A negative job count cast to unsigned would ask for billions of threads
+  // and abort in std::thread; no host benefits from more than this anyway.
+  return std::min(requested, 4096u);
+}
+
+ThreadPool::ThreadPool(const Options& options)
+    : queue_capacity_(std::max<std::size_t>(1, options.queue_capacity)) {
+  const unsigned threads = resolve_jobs(options.threads);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    space_available_.wait(
+        lock, [this] { return shutdown_ || queue_.size() < queue_capacity_; });
+    if (shutdown_) return false;
+    queue_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+  return true;
+}
+
+void ThreadPool::wait_idle() {
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  space_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    space_available_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace s4e::exec

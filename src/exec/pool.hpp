@@ -1,0 +1,79 @@
+// Fixed-size worker-thread pool with a bounded work queue.
+//
+// Built for the campaign engines (fault injection, binary mutation): they
+// fan out thousands of fully independent guest executions, so the pool
+// deliberately stays minimal — no work stealing, no futures, no priorities.
+// Producers block when the queue is full (backpressure keeps the task
+// backlog, and with it peak memory, bounded), workers pull FIFO, and the
+// first exception thrown by any task is captured and rethrown to the
+// caller of wait_idle()/the destructor's drain.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace s4e::exec {
+
+class ThreadPool {
+ public:
+  struct Options {
+    // Number of worker threads; 0 means std::thread::hardware_concurrency()
+    // (itself clamped to at least 1).
+    unsigned threads = 0;
+    // Maximum queued-but-not-started tasks before submit() blocks.
+    std::size_t queue_capacity = 64;
+  };
+
+  explicit ThreadPool(const Options& options);
+  // Drains the queue, joins all workers. Exceptions captured from tasks are
+  // swallowed here (use wait_idle() to observe them).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue one task; blocks while the queue is at capacity. Returns false
+  // (dropping the task) once shutdown() has begun.
+  bool submit(std::function<void()> task);
+
+  // Block until the queue is empty and every worker is idle, then rethrow
+  // the first exception any task threw (if one did). The pool stays usable
+  // afterwards.
+  void wait_idle();
+
+  // Stop accepting work, finish what is queued, join the workers.
+  // Idempotent.
+  void shutdown();
+
+  unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  std::size_t queue_capacity() const noexcept { return queue_capacity_; }
+
+  // Resolve an Options::threads-style job count: 0 -> hardware concurrency,
+  // always at least 1, capped at 4096.
+  static unsigned resolve_jobs(unsigned requested) noexcept;
+
+ private:
+  void worker_loop();
+
+  const std::size_t queue_capacity_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;   // signalled on push / shutdown
+  std::condition_variable space_available_;  // signalled on pop
+  std::condition_variable idle_;             // signalled when work drains
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;  // tasks currently executing
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace s4e::exec

@@ -299,6 +299,25 @@ Outcome Campaign::classify(const vp::RunResult& run, const std::string& uart,
   return Outcome::kMasked;
 }
 
+Result<MutantResult> Campaign::run_mutant(
+    const FaultSpec& spec, const vp::MachineConfig& machine_config,
+    const CampaignResult& golden) const {
+  vp::Machine machine(machine_config);
+  S4E_TRY_STATUS(machine.load_program(program_));
+  FaultInjectorPlugin injector(spec);
+  injector.attach(machine.vm_handle());
+  const vp::RunResult run = machine.run();
+
+  MutantResult mutant;
+  mutant.spec = spec;
+  mutant.exit_code = run.exit_code;
+  mutant.instructions = run.instructions;
+  mutant.outcome = classify(
+      run, machine.uart() != nullptr ? machine.uart()->tx_log() : "",
+      data_memory_hash(machine), golden);
+  return mutant;
+}
+
 Result<CampaignResult> Campaign::run() {
   CampaignResult result;
   S4E_TRY(profile, profile_run(result));
@@ -308,22 +327,34 @@ Result<CampaignResult> Campaign::run() {
   mutant_config.max_instructions =
       result.golden_instructions * config_.hang_budget_factor + 10'000;
 
-  for (const FaultSpec& spec : faults_) {
-    vp::Machine machine(mutant_config);
-    S4E_TRY_STATUS(machine.load_program(program_));
-    FaultInjectorPlugin injector(spec);
-    injector.attach(machine.vm_handle());
-    const vp::RunResult run = machine.run();
+  // Fan the independent mutant simulations out over the executor. Every
+  // job writes only its own slot; the per-outcome counters and the
+  // floating-point instruction total are aggregated afterwards by walking
+  // the slots in submission order, so the CampaignResult is bit-identical
+  // to the jobs=1 serial run regardless of scheduling.
+  std::vector<MutantResult> slots(faults_.size());
+  std::vector<std::optional<Error>> errors(faults_.size());
+  progress_.begin(faults_.size());
+  exec::CampaignExecutor executor(config_.jobs);
+  executor.run(faults_.size(), [&](std::size_t index) {
+    auto mutant = run_mutant(faults_[index], mutant_config, result);
+    if (mutant.ok()) {
+      const unsigned bucket = static_cast<unsigned>(mutant->outcome);
+      slots[index] = std::move(*mutant);
+      progress_.record(bucket);
+    } else {
+      errors[index] = mutant.error();
+      progress_.record(exec::CampaignProgress::kBuckets);  // count done only
+    }
+  });
 
-    MutantResult mutant;
-    mutant.spec = spec;
-    mutant.exit_code = run.exit_code;
-    mutant.instructions = run.instructions;
-    mutant.outcome = classify(
-        run, machine.uart() != nullptr ? machine.uart()->tx_log() : "",
-        data_memory_hash(machine), result);
+  result.mutants.reserve(slots.size());
+  for (std::size_t index = 0; index < slots.size(); ++index) {
+    if (errors[index].has_value()) return *errors[index];
+    MutantResult& mutant = slots[index];
     ++result.outcome_counts[static_cast<unsigned>(mutant.outcome)];
-    result.simulated_instructions += static_cast<double>(run.instructions);
+    result.simulated_instructions +=
+        static_cast<double>(mutant.instructions);
     result.mutants.push_back(std::move(mutant));
   }
   return result;

@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "coverage/coverage.hpp"
+#include "exec/campaign_executor.hpp"
 #include "vp/machine.hpp"
 #include "vp/plugin.hpp"
 
@@ -98,6 +99,11 @@ struct CampaignConfig {
   // the golden run, catching silent corruption that never reaches the exit
   // code or the UART (classified as SDC).
   bool compare_memory = true;
+  // Worker threads for the mutant simulations (each worker builds its own
+  // vp::Machine from the shared immutable program, so results are
+  // bit-identical to the serial run). 0 = hardware_concurrency, 1 = run
+  // inline on the calling thread (the exact serial code path).
+  unsigned jobs = 0;
   vp::MachineConfig machine;
 };
 
@@ -125,11 +131,17 @@ class Campaign {
   Campaign(assembler::Program program, const CampaignConfig& config)
       : program_(std::move(program)), config_(config) {}
 
-  // Golden run + fault-list generation + one simulation per mutant.
+  // Golden run + fault-list generation + one simulation per mutant
+  // (fanned out over `config.jobs` workers; aggregation is deterministic).
   Result<CampaignResult> run();
 
   // The generated fault list (valid after run()).
   const std::vector<FaultSpec>& fault_list() const noexcept { return faults_; }
+
+  // Live progress of an in-flight run(): mutants done plus an Outcome
+  // histogram snapshot (indexed by static_cast<unsigned>(Outcome)).
+  // Safe to read from any thread while run() executes.
+  const exec::CampaignProgress& progress() const noexcept { return progress_; }
 
  private:
   struct Profile {
@@ -142,12 +154,18 @@ class Campaign {
   std::vector<FaultSpec> generate_faults(const Profile& profile);
   Outcome classify(const vp::RunResult& run, const std::string& uart,
                    u64 memory_hash, const CampaignResult& golden) const;
+  // One mutant simulation on a private machine (thread-safe: shares only
+  // the immutable program and golden reference).
+  Result<MutantResult> run_mutant(const FaultSpec& spec,
+                                  const vp::MachineConfig& machine_config,
+                                  const CampaignResult& golden) const;
   // FNV-1a hash of the program's .data range in `machine`'s RAM.
   u64 data_memory_hash(vp::Machine& machine) const;
 
   assembler::Program program_;
   CampaignConfig config_;
   std::vector<FaultSpec> faults_;
+  exec::CampaignProgress progress_;
 };
 
 }  // namespace s4e::fault

@@ -268,35 +268,63 @@ Result<MutationScore> MutationCampaign::run() {
   mutant_config.max_instructions =
       golden.instructions * config_.hang_budget_factor + 10'000;
 
-  MutationScore score;
-  for (const Mutant& mutant : mutants) {
-    vp::Machine vm(mutant_config);
-    S4E_TRY_STATUS(vm.load_program(program_));
-    // Patch the mutated encoding over the original bytes.
-    u8 bytes[4];
-    for (unsigned i = 0; i < mutant.length; ++i) {
-      bytes[i] = static_cast<u8>(mutant.mutated >> (8 * i));
-    }
-    S4E_TRY_STATUS(vm.bus().ram_write(mutant.address, bytes, mutant.length));
-
-    const vp::RunResult run = vm.run();
-    MutantResult result;
-    result.mutant = mutant;
-    result.exit_code = run.exit_code;
-    if (run.reason == vp::StopReason::kMaxInstructions) {
-      result.verdict = Verdict::kKilledHang;
-    } else if (!run.normal_exit()) {
-      result.verdict = Verdict::kKilledCrash;
-    } else if (run.exit_code != golden.exit_code ||
-               (vm.uart() != nullptr && vm.uart()->tx_log() != golden_uart)) {
-      result.verdict = Verdict::kKilledResult;
+  // Independent mutant runs fanned out over the executor; each job fills
+  // only its own slot, and the verdict histogram is aggregated afterwards
+  // in submission order — the score is bit-identical to a serial run.
+  std::vector<MutantResult> slots(mutants.size());
+  std::vector<std::optional<Error>> errors(mutants.size());
+  progress_.begin(mutants.size());
+  exec::CampaignExecutor executor(config_.jobs);
+  executor.run(mutants.size(), [&](std::size_t index) {
+    auto result = run_mutant(mutants[index], mutant_config, golden.exit_code,
+                             golden_uart);
+    if (result.ok()) {
+      const unsigned bucket = static_cast<unsigned>(result->verdict);
+      slots[index] = std::move(*result);
+      progress_.record(bucket);
     } else {
-      result.verdict = Verdict::kSurvived;
+      errors[index] = result.error();
+      progress_.record(exec::CampaignProgress::kBuckets);  // count done only
     }
-    ++score.verdict_counts[static_cast<unsigned>(result.verdict)];
-    score.results.push_back(std::move(result));
+  });
+
+  MutationScore score;
+  score.results.reserve(slots.size());
+  for (std::size_t index = 0; index < slots.size(); ++index) {
+    if (errors[index].has_value()) return *errors[index];
+    ++score.verdict_counts[static_cast<unsigned>(slots[index].verdict)];
+    score.results.push_back(std::move(slots[index]));
   }
   return score;
+}
+
+Result<MutantResult> MutationCampaign::run_mutant(
+    const Mutant& mutant, const vp::MachineConfig& machine_config,
+    int golden_exit_code, const std::string& golden_uart) const {
+  vp::Machine vm(machine_config);
+  S4E_TRY_STATUS(vm.load_program(program_));
+  // Patch the mutated encoding over the original bytes.
+  u8 bytes[4];
+  for (unsigned i = 0; i < mutant.length; ++i) {
+    bytes[i] = static_cast<u8>(mutant.mutated >> (8 * i));
+  }
+  S4E_TRY_STATUS(vm.bus().ram_write(mutant.address, bytes, mutant.length));
+
+  const vp::RunResult run = vm.run();
+  MutantResult result;
+  result.mutant = mutant;
+  result.exit_code = run.exit_code;
+  if (run.reason == vp::StopReason::kMaxInstructions) {
+    result.verdict = Verdict::kKilledHang;
+  } else if (!run.normal_exit()) {
+    result.verdict = Verdict::kKilledCrash;
+  } else if (run.exit_code != golden_exit_code ||
+             (vm.uart() != nullptr && vm.uart()->tx_log() != golden_uart)) {
+    result.verdict = Verdict::kKilledResult;
+  } else {
+    result.verdict = Verdict::kSurvived;
+  }
+  return result;
 }
 
 }  // namespace s4e::mutation

@@ -17,6 +17,7 @@
 
 #include "asm/program.hpp"
 #include "common/status.hpp"
+#include "exec/campaign_executor.hpp"
 #include "isa/instr.hpp"
 #include "vp/machine.hpp"
 
@@ -84,6 +85,10 @@ struct MutationConfig {
   // (first-N in address order).
   unsigned max_mutants = 0;
   u64 hang_budget_factor = 8;
+  // Worker threads for the mutant runs (one private vp::Machine per job;
+  // the score is bit-identical to the serial run). 0 =
+  // hardware_concurrency, 1 = inline serial execution.
+  unsigned jobs = 0;
   vp::MachineConfig machine;
 };
 
@@ -97,12 +102,28 @@ class MutationCampaign {
   MutationCampaign(assembler::Program program, const MutationConfig& config)
       : program_(std::move(program)), config_(config) {}
 
-  // Golden run + enumerate + one run per mutant.
+  // Golden run + enumerate + one run per mutant (fanned out over
+  // `config.jobs` workers; aggregation is deterministic).
   Result<MutationScore> run();
 
+  // Live progress of an in-flight run(): mutants done plus a Verdict
+  // histogram snapshot (indexed by static_cast<unsigned>(Verdict)).
+  // Safe to read from any thread while run() executes.
+  const exec::CampaignProgress& progress() const noexcept {
+    return progress_;
+  }
+
  private:
+  // One mutant run on a private machine (thread-safe: shares only the
+  // immutable program and the golden reference).
+  Result<MutantResult> run_mutant(const Mutant& mutant,
+                                  const vp::MachineConfig& machine_config,
+                                  int golden_exit_code,
+                                  const std::string& golden_uart) const;
+
   assembler::Program program_;
   MutationConfig config_;
+  exec::CampaignProgress progress_;
 };
 
 }  // namespace s4e::mutation

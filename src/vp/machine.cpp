@@ -420,7 +420,7 @@ bool Machine::execute(const Instr& in) {
     case Op::kCsrrwi:
     case Op::kCsrrsi:
     case Op::kCsrrci: {
-      const CsrFile::CounterView counters{cycles_, icount_, cycles_};
+      const CsrFile::CounterView counters = counter_view();
       const bool imm_form = in.op == Op::kCsrrwi || in.op == Op::kCsrrsi ||
                             in.op == Op::kCsrrci;
       const u32 operand = imm_form ? static_cast<u32>(in.rs2) : rs1;

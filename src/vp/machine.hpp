@@ -90,6 +90,16 @@ class Machine {
 
   u64 icount() const noexcept { return icount_; }
   u64 cycles() const noexcept { return cycles_; }
+
+  // Counter-CSR view (cycle/instret/time) at the current execution point.
+  // icount_ is incremented *before* an instruction executes, so a mid-block
+  // CSR read observes the instruction count *including* the current
+  // instruction — the single definition used by both the direct CSR-op path
+  // and the plugin C API, in the cached and uncached (enable_tb_cache =
+  // false) execution modes alike.
+  CsrFile::CounterView counter_view() const noexcept {
+    return CsrFile::CounterView{cycles_, icount_, cycles_};
+  }
   u64 icache_misses() const noexcept { return icache_misses_; }
   TbCache& tb_cache() noexcept { return tb_cache_; }
 

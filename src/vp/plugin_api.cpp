@@ -56,10 +56,8 @@ void s4e_write_gpr(s4e_vm* vm, unsigned index, uint32_t value) {
 uint32_t s4e_read_pc(s4e_vm* vm) { return vm->machine->cpu().pc; }
 
 uint32_t s4e_read_csr(s4e_vm* vm, unsigned address) {
-  const s4e::vp::CsrFile::CounterView counters{
-      vm->machine->cycles(), vm->machine->icount(), vm->machine->cycles()};
   auto value = vm->machine->cpu().csr.read(static_cast<s4e::u16>(address),
-                                           counters);
+                                           vm->machine->counter_view());
   return value.ok() ? *value : 0;
 }
 

@@ -6,6 +6,7 @@
 // ablates this cache against per-instruction re-decoding.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -29,22 +30,35 @@ class TbCache {
  public:
   // Max instructions per block (QEMU uses a similar translation bound).
   static constexpr unsigned kMaxBlockInsns = 64;
+  // Direct-mapped front cache in front of the hash map: the block-dispatch
+  // loop hits lookup() once per executed block, and campaign workloads
+  // re-execute a handful of hot blocks millions of times. Power of two.
+  static constexpr std::size_t kFrontEntries = 1024;
 
   TranslationBlock* lookup(u32 pc) noexcept {
+    FrontEntry& front = front_[front_slot(pc)];
+    if (front.block != nullptr && front.pc == pc) return front.block;
     auto it = blocks_.find(pc);
-    return it == blocks_.end() ? nullptr : it->second.get();
+    if (it == blocks_.end()) return nullptr;
+    front = {pc, it->second.get()};
+    return front.block;
   }
 
   TranslationBlock* insert(std::unique_ptr<TranslationBlock> block) {
     TranslationBlock* raw = block.get();
     code_lo_ = std::min(code_lo_, raw->start);
     code_hi_ = std::max(code_hi_, raw->end());
+    // Re-inserting at an existing pc destroys the old block; its only
+    // possible front entry lives in front_slot(pc) and is overwritten here,
+    // so no stale pointer survives.
     blocks_[raw->start] = std::move(block);
+    front_[front_slot(raw->start)] = {raw->start, raw};
     return raw;
   }
 
   void flush() noexcept {
     blocks_.clear();
+    front_.fill(FrontEntry{});
     code_lo_ = ~u32{0};
     code_hi_ = 0;
     ++flush_count_;
@@ -60,7 +74,19 @@ class TbCache {
   u64 flush_count() const noexcept { return flush_count_; }
 
  private:
+  struct FrontEntry {
+    u32 pc = 0;
+    TranslationBlock* block = nullptr;  // nullptr = invalid entry
+  };
+
+  // Block starts are at least 2-byte aligned (RVC), so drop the LSB before
+  // indexing to use all slots.
+  static std::size_t front_slot(u32 pc) noexcept {
+    return (pc >> 1) & (kFrontEntries - 1);
+  }
+
   std::unordered_map<u32, std::unique_ptr<TranslationBlock>> blocks_;
+  std::array<FrontEntry, kFrontEntries> front_{};
   u32 code_lo_ = ~u32{0};
   u32 code_hi_ = 0;
   u64 flush_count_ = 0;

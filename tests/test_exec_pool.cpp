@@ -1,0 +1,291 @@
+// Thread pool / campaign executor tests: lifecycle, bounded-queue
+// backpressure, exception propagation, and the determinism guarantee the
+// campaign engines rely on (jobs=1 output == jobs=8 output, bit for bit).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "exec/campaign_executor.hpp"
+#include "exec/pool.hpp"
+#include "fault/fault.hpp"
+#include "mutation/mutation.hpp"
+
+namespace s4e::exec {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasksAndStops) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool::Options options;
+    options.threads = 4;
+    ThreadPool pool(options);
+    EXPECT_EQ(pool.thread_count(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(pool.submit([&counter] { ++counter; }));
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+    pool.shutdown();
+    // After shutdown the pool drops new work.
+    EXPECT_FALSE(pool.submit([&counter] { ++counter; }));
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool::Options options;
+    options.threads = 2;
+    ThreadPool pool(options);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // ~ThreadPool: queued tasks still run before the join
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_EQ(ThreadPool::resolve_jobs(3), 3u);
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1u);
+  // Absurd requests (e.g. a negative count cast to unsigned) are clamped
+  // instead of aborting in std::thread.
+  EXPECT_EQ(ThreadPool::resolve_jobs(0xfffffffdu), 4096u);
+}
+
+TEST(ThreadPool, BoundedQueueAppliesBackpressure) {
+  ThreadPool::Options options;
+  options.threads = 1;
+  options.queue_capacity = 2;
+  ThreadPool pool(options);
+
+  // Park the single worker on a gate so the queue can fill up.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool gate_open = false;
+  pool.submit([&] {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return gate_open; });
+  });
+
+  // Fill the queue (capacity 2), then submit one more from a producer
+  // thread: that call must block until the worker drains an entry.
+  pool.submit([] {});
+  pool.submit([] {});
+  std::atomic<bool> producer_done{false};
+  std::thread producer([&] {
+    pool.submit([] {});
+    producer_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(producer_done.load()) << "submit did not block on a full queue";
+
+  {
+    std::lock_guard lock(mutex);
+    gate_open = true;
+  }
+  cv.notify_all();
+  producer.join();
+  EXPECT_TRUE(producer_done.load());
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool::Options options;
+  options.threads = 2;
+  ThreadPool pool(options);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&completed] { ++completed; });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The failure does not poison the pool: later work still runs.
+  EXPECT_EQ(completed.load(), 10);
+  pool.submit([&completed] { ++completed; });
+  pool.wait_idle();  // no stale exception left behind
+  EXPECT_EQ(completed.load(), 11);
+}
+
+TEST(CampaignExecutor, FillsEverySlotExactlyOnce) {
+  CampaignExecutor executor(8);
+  EXPECT_EQ(executor.jobs(), 8u);
+  std::vector<std::atomic<int>> slots(500);
+  executor.run(slots.size(), [&](std::size_t i) { ++slots[i]; });
+  for (const auto& slot : slots) {
+    EXPECT_EQ(slot.load(), 1);
+  }
+}
+
+TEST(CampaignExecutor, SingleJobRunsInlineInSubmissionOrder) {
+  CampaignExecutor executor(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  executor.run(10, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(CampaignExecutor, PropagatesJobException) {
+  CampaignExecutor executor(4);
+  EXPECT_THROW(executor.run(20,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("job 7");
+                            }),
+               std::runtime_error);
+}
+
+TEST(CampaignProgress, CountsAndSnapshots) {
+  CampaignProgress progress;
+  progress.begin(10);
+  auto empty = progress.snapshot();
+  EXPECT_EQ(empty.total, 10u);
+  EXPECT_EQ(empty.completed, 0u);
+  EXPECT_DOUBLE_EQ(empty.fraction(), 0.0);
+
+  progress.record(0);
+  progress.record(0);
+  progress.record(3);
+  progress.record(CampaignProgress::kBuckets);  // out-of-range: done only
+  auto snap = progress.snapshot();
+  EXPECT_EQ(snap.completed, 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_DOUBLE_EQ(snap.fraction(), 0.4);
+
+  progress.begin(5);  // reusable across campaigns
+  EXPECT_EQ(progress.snapshot().completed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: parallel campaigns must be bit-identical to serial ones.
+
+const char* kChecksumSource = R"(
+_start:
+    la t0, data
+    li t1, 8
+    li a0, 0
+loop:
+    lw t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, loop
+    li a7, 93
+    ecall
+.data
+data:
+    .word 1, 2, 3, 4, 5, 6, 7, 8
+)";
+
+assembler::Program build_checksum() {
+  auto program = assembler::assemble(kChecksumSource);
+  EXPECT_TRUE(program.ok());
+  return *program;
+}
+
+TEST(Determinism, FaultCampaignSerialEqualsParallel) {
+  auto program = build_checksum();
+  fault::CampaignConfig config;
+  config.seed = 42;
+  config.mutant_count = 80;
+
+  config.jobs = 1;
+  fault::Campaign serial(program, config);
+  auto serial_result = serial.run();
+  ASSERT_TRUE(serial_result.ok()) << serial_result.error().to_string();
+
+  config.jobs = 8;
+  fault::Campaign parallel(program, config);
+  auto parallel_result = parallel.run();
+  ASSERT_TRUE(parallel_result.ok()) << parallel_result.error().to_string();
+
+  EXPECT_EQ(serial_result->golden_exit_code,
+            parallel_result->golden_exit_code);
+  EXPECT_EQ(serial_result->golden_instructions,
+            parallel_result->golden_instructions);
+  EXPECT_EQ(serial_result->golden_memory_hash,
+            parallel_result->golden_memory_hash);
+  // simulated_instructions is a float sum: identical aggregation order
+  // makes even that bit-exact.
+  EXPECT_EQ(serial_result->simulated_instructions,
+            parallel_result->simulated_instructions);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(serial_result->outcome_counts[i],
+              parallel_result->outcome_counts[i]);
+  }
+  ASSERT_EQ(serial_result->mutants.size(), parallel_result->mutants.size());
+  for (std::size_t i = 0; i < serial_result->mutants.size(); ++i) {
+    const auto& a = serial_result->mutants[i];
+    const auto& b = parallel_result->mutants[i];
+    EXPECT_EQ(a.outcome, b.outcome) << "mutant " << i;
+    EXPECT_EQ(a.exit_code, b.exit_code) << "mutant " << i;
+    EXPECT_EQ(a.instructions, b.instructions) << "mutant " << i;
+    EXPECT_EQ(a.spec.to_string(), b.spec.to_string()) << "mutant " << i;
+  }
+  // The full report strings must match byte for byte.
+  EXPECT_EQ(serial_result->to_string(), parallel_result->to_string());
+}
+
+TEST(Determinism, MutationCampaignSerialEqualsParallel) {
+  auto program = build_checksum();
+  mutation::MutationConfig config;
+
+  config.jobs = 1;
+  mutation::MutationCampaign serial(program, config);
+  auto serial_score = serial.run();
+  ASSERT_TRUE(serial_score.ok()) << serial_score.error().to_string();
+
+  config.jobs = 8;
+  mutation::MutationCampaign parallel(program, config);
+  auto parallel_score = parallel.run();
+  ASSERT_TRUE(parallel_score.ok()) << parallel_score.error().to_string();
+
+  ASSERT_EQ(serial_score->results.size(), parallel_score->results.size());
+  EXPECT_GT(serial_score->results.size(), 0u);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(serial_score->verdict_counts[i],
+              parallel_score->verdict_counts[i]);
+  }
+  for (std::size_t i = 0; i < serial_score->results.size(); ++i) {
+    const auto& a = serial_score->results[i];
+    const auto& b = parallel_score->results[i];
+    EXPECT_EQ(a.verdict, b.verdict) << "mutant " << i;
+    EXPECT_EQ(a.exit_code, b.exit_code) << "mutant " << i;
+    EXPECT_EQ(a.mutant.address, b.mutant.address) << "mutant " << i;
+    EXPECT_EQ(a.mutant.mutated, b.mutant.mutated) << "mutant " << i;
+  }
+  EXPECT_EQ(serial_score->to_string(), parallel_score->to_string());
+}
+
+TEST(Determinism, ProgressReachesTotalAfterParallelRun) {
+  auto program = build_checksum();
+  fault::CampaignConfig config;
+  config.seed = 7;
+  config.mutant_count = 40;
+  config.jobs = 4;
+  fault::Campaign campaign(program, config);
+  ASSERT_TRUE(campaign.run().ok());
+  const auto snap = campaign.progress().snapshot();
+  EXPECT_EQ(snap.total, 40u);
+  EXPECT_EQ(snap.completed, 40u);
+  u64 histogram_sum = 0;
+  for (u64 bucket : snap.buckets) histogram_sum += bucket;
+  EXPECT_EQ(histogram_sum, 40u);
+  EXPECT_DOUBLE_EQ(snap.fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace s4e::exec

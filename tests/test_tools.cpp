@@ -4,6 +4,8 @@
 // system via S4E_TOOL_DIR.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -38,8 +40,12 @@ std::string tool(const std::string& name) {
   return std::string(S4E_TOOL_DIR) + "/" + name;
 }
 
+// Unique per test and per process: ctest -j runs every discovered test as
+// its own concurrent process, so shared fixture files must not collide.
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "/" + std::to_string(getpid()) + "_" +
+         (info != nullptr ? std::string(info->name()) + "_" : "") + name;
 }
 
 class ToolPipeline : public ::testing::Test {

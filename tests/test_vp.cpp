@@ -415,6 +415,53 @@ TEST(Machine, CsrCountersReadable) {
   EXPECT_GE(machine.cpu().read_gpr(11), machine.cpu().read_gpr(10));
 }
 
+TEST(Machine, CsrCounterReadIncludesCurrentInstruction) {
+  // instret is defined to include the reading instruction itself: a csrr
+  // as the very first instruction observes exactly 1 (see
+  // Machine::counter_view()).
+  Machine machine;
+  run_source(machine, std::string(R"(
+    csrr a0, instret
+    csrr a1, instret
+)") + kExit0);
+  EXPECT_EQ(machine.cpu().read_gpr(10), 1u);
+  EXPECT_EQ(machine.cpu().read_gpr(11), 2u);
+}
+
+TEST(Machine, CsrCounterMidBlockReadsMatchUncachedMode) {
+  // cycle/instret reads in the middle of a hot block must observe the same
+  // values whether the block comes from the TB cache or is re-decoded every
+  // time (enable_tb_cache=false): both paths share Machine::counter_view().
+  const char* source = R"(
+    li t0, 30
+    li a2, 0
+loop:
+    csrr a0, instret      # mid-block counter reads, re-executed 30 times
+    csrr a1, cycle
+    add a2, a2, a0
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    ecall
+  )";
+  Machine cached;
+  auto r1 = run_source(cached, source);
+  MachineConfig config;
+  config.enable_tb_cache = false;
+  Machine uncached(config);
+  auto r2 = run_source(uncached, source);
+  EXPECT_EQ(r1.instructions, r2.instructions);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  // Final architectural state of every counter-derived register agrees.
+  EXPECT_EQ(cached.cpu().read_gpr(10), uncached.cpu().read_gpr(10));
+  EXPECT_EQ(cached.cpu().read_gpr(11), uncached.cpu().read_gpr(11));
+  EXPECT_EQ(cached.cpu().read_gpr(12), uncached.cpu().read_gpr(12));
+  // And the last in-loop instret read includes the reading instruction:
+  // the csrr is instruction 3 of the 5-instruction loop body, first
+  // executed as icount 3 (after the two li), then every 5 instructions.
+  EXPECT_EQ(cached.cpu().read_gpr(10), 3u + 29u * 5u);
+}
+
 TEST(Machine, SelfModifyingCodeFlushesTbCache) {
   Machine machine;
   auto result = run_source(machine, R"(

@@ -1,8 +1,11 @@
 // s4e-faultsim — fault-effect campaign on an ELF.
 //
-//   s4e-faultsim file.elf [--mutants N] [--seed S] [--blind]
-//                [--no-gpr] [--no-mem] [--no-code] [--list]
+//   s4e-faultsim file.elf [--mutants N] [--seed S] [--jobs N] [--blind]
+//                [--no-gpr] [--no-mem] [--no-code] [--list] [--progress]
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "elf/elf32.hpp"
 #include "fault/fault.hpp"
@@ -10,11 +13,12 @@
 
 int main(int argc, char** argv) {
   using namespace s4e;
-  tools::Args args(argc, argv, {"--mutants", "--seed"});
+  tools::Args args(argc, argv, {"--mutants", "--seed", "--jobs"});
   if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: s4e-faultsim <file.elf> [--mutants N] [--seed S] "
-                 "[--blind] [--no-gpr] [--no-mem] [--no-code] [--list]\n");
+                 "[--jobs N] [--blind] [--no-gpr] [--no-mem] [--no-code] "
+                 "[--list] [--progress]\n");
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);
@@ -33,9 +37,44 @@ int main(int argc, char** argv) {
   config.gpr_faults = !args.has("--no-gpr");
   config.memory_faults = !args.has("--no-mem");
   config.code_faults = !args.has("--no-code");
+  // 0 = all hardware threads; --jobs 1 forces the serial path.
+  const auto jobs = parse_integer(args.value("--jobs", "0")).value_or(0);
+  if (jobs < 0 || jobs > 4096) {
+    std::fprintf(stderr, "s4e-faultsim: --jobs expects 0..4096 (got %s)\n",
+                 args.value("--jobs", "0").c_str());
+    return 2;
+  }
+  config.jobs = static_cast<unsigned>(jobs);
 
   fault::Campaign campaign(*program, config);
+
+  // Optional status line fed by the campaign's atomic progress counters.
+  std::atomic<bool> campaign_done{false};
+  std::thread status_thread;
+  if (args.has("--progress")) {
+    status_thread = std::thread([&campaign, &campaign_done] {
+      while (!campaign_done.load(std::memory_order_acquire)) {
+        const auto snap = campaign.progress().snapshot();
+        if (snap.total != 0) {
+          std::fprintf(stderr,
+                       "\r[faultsim] %llu/%llu mutants  "
+                       "(masked %llu, sdc %llu, crash %llu, hang %llu)",
+                       static_cast<unsigned long long>(snap.completed),
+                       static_cast<unsigned long long>(snap.total),
+                       static_cast<unsigned long long>(snap.buckets[0]),
+                       static_cast<unsigned long long>(snap.buckets[1]),
+                       static_cast<unsigned long long>(snap.buckets[2]),
+                       static_cast<unsigned long long>(snap.buckets[3]));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      std::fprintf(stderr, "\n");
+    });
+  }
+
   auto result = campaign.run();
+  campaign_done.store(true, std::memory_order_release);
+  if (status_thread.joinable()) status_thread.join();
   if (!result.ok()) {
     std::fprintf(stderr, "s4e-faultsim: %s\n",
                  result.error().to_string().c_str());

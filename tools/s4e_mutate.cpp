@@ -1,7 +1,11 @@
 // s4e-mutate — binary mutation analysis of an ELF (the XEMU flow).
 //
-//   s4e-mutate file.elf [--max N] [--all-sites] [--survivors]
+//   s4e-mutate file.elf [--max N] [--jobs N] [--all-sites] [--survivors]
+//              [--progress]
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "elf/elf32.hpp"
 #include "mutation/mutation.hpp"
@@ -9,11 +13,11 @@
 
 int main(int argc, char** argv) {
   using namespace s4e;
-  tools::Args args(argc, argv, {"--max"});
+  tools::Args args(argc, argv, {"--max", "--jobs"});
   if (args.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: s4e-mutate <file.elf> [--max N] [--all-sites] "
-                 "[--survivors]\n");
+                 "usage: s4e-mutate <file.elf> [--max N] [--jobs N] "
+                 "[--all-sites] [--survivors] [--progress]\n");
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);
@@ -27,9 +31,45 @@ int main(int argc, char** argv) {
   config.executed_only = !args.has("--all-sites");
   config.max_mutants = static_cast<unsigned>(
       parse_integer(args.value("--max", "0")).value_or(0));
+  // 0 = all hardware threads; --jobs 1 forces the serial path.
+  const auto jobs = parse_integer(args.value("--jobs", "0")).value_or(0);
+  if (jobs < 0 || jobs > 4096) {
+    std::fprintf(stderr, "s4e-mutate: --jobs expects 0..4096 (got %s)\n",
+                 args.value("--jobs", "0").c_str());
+    return 2;
+  }
+  config.jobs = static_cast<unsigned>(jobs);
 
   mutation::MutationCampaign campaign(*program, config);
+
+  // Optional status line fed by the campaign's atomic progress counters.
+  std::atomic<bool> campaign_done{false};
+  std::thread status_thread;
+  if (args.has("--progress")) {
+    status_thread = std::thread([&campaign, &campaign_done] {
+      while (!campaign_done.load(std::memory_order_acquire)) {
+        const auto snap = campaign.progress().snapshot();
+        if (snap.total != 0) {
+          std::fprintf(
+              stderr,
+              "\r[mutate] %llu/%llu mutants  "
+              "(result %llu, crash %llu, hang %llu, survived %llu)",
+              static_cast<unsigned long long>(snap.completed),
+              static_cast<unsigned long long>(snap.total),
+              static_cast<unsigned long long>(snap.buckets[0]),
+              static_cast<unsigned long long>(snap.buckets[1]),
+              static_cast<unsigned long long>(snap.buckets[2]),
+              static_cast<unsigned long long>(snap.buckets[3]));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      std::fprintf(stderr, "\n");
+    });
+  }
+
   auto score = campaign.run();
+  campaign_done.store(true, std::memory_order_release);
+  if (status_thread.joinable()) status_thread.join();
   if (!score.ok()) {
     std::fprintf(stderr, "s4e-mutate: %s\n",
                  score.error().to_string().c_str());
