@@ -51,8 +51,18 @@ struct Discovery {
   std::set<u32> callees;  // call targets found in this function
 };
 
-// Decode and explore all paths of one function.
-Result<Discovery> discover(const assembler::Program& program, u32 entry) {
+// Resolved targets for the jalr at `address`, or nullptr.
+const std::vector<u32>* targets_at(const BuildOptions& options, u32 address) {
+  if (options.indirect_targets == nullptr) return nullptr;
+  auto it = options.indirect_targets->find(address);
+  return it == options.indirect_targets->end() ? nullptr : &it->second;
+}
+
+// Decode and explore all paths of one function. `name` is the enclosing
+// function's symbol (for diagnostics).
+Result<Discovery> discover(const assembler::Program& program, u32 entry,
+                           const std::string& name,
+                           const BuildOptions& options) {
   Discovery d;
   d.leaders.insert(entry);
   std::vector<u32> worklist{entry};
@@ -91,12 +101,22 @@ Result<Discovery> discover(const assembler::Program& program, u32 entry) {
         case Terminator::kReturn:
         case Terminator::kExit:
           break;
-        case Terminator::kIndirect:
+        case Terminator::kIndirect: {
+          if (const std::vector<u32>* targets = targets_at(options, address)) {
+            for (u32 target : *targets) {
+              d.leaders.insert(target);
+              worklist.push_back(target);
+            }
+            break;  // path continues only at the resolved targets
+          }
+          if (options.tolerate_unresolved) break;  // successor-less terminator
           return Error(
               ErrorCode::kAnalysisError,
-              format("indirect jump at 0x%08x (%s) — not analyzable; only "
-                     "'ret' (jalr zero, 0(ra)) indirect flow is supported",
-                     address, isa::disassemble(instr).c_str()));
+              format("indirect jump at 0x%08x (%s) in function '%s' — not "
+                     "analyzable; only 'ret' (jalr zero, 0(ra)) and "
+                     "dataflow-resolved targets are supported",
+                     address, isa::disassemble(instr).c_str(), name.c_str()));
+        }
       }
       break;  // path ended (jump handled via worklist)
     }
@@ -105,9 +125,8 @@ Result<Discovery> discover(const assembler::Program& program, u32 entry) {
 }
 
 // Split the discovered instruction stream into basic blocks and wire edges.
-Result<Function> build_function(const assembler::Program& program, u32 entry) {
-  S4E_TRY(d, discover(program, entry));
-
+Result<Function> build_function(const assembler::Program& program, u32 entry,
+                                const BuildOptions& options) {
   Function fn;
   fn.entry = entry;
   fn.name = format("fn_%08x", entry);
@@ -117,6 +136,7 @@ Result<Function> build_function(const assembler::Program& program, u32 entry) {
       break;
     }
   }
+  S4E_TRY(d, discover(program, entry, fn.name, options));
 
   // Block formation: walk from each leader until a terminator or the next
   // leader. (Leaders outside the discovered set — e.g. the fall-through of
@@ -203,8 +223,19 @@ Result<Function> build_function(const assembler::Program& program, u32 entry) {
       case Terminator::kReturn:
       case Terminator::kExit:
         break;
-      case Terminator::kIndirect:
-        return Error(ErrorCode::kAnalysisError, "indirect terminator");
+      case Terminator::kIndirect: {
+        if (const std::vector<u32>* targets = targets_at(options, last_addr)) {
+          for (u32 target : *targets) {
+            S4E_TRY_STATUS(add_edge(block.id, target, EdgeKind::kTaken));
+          }
+          block.indirect_targets = *targets;
+          break;
+        }
+        if (options.tolerate_unresolved) break;  // no successors
+        return Error(ErrorCode::kAnalysisError,
+                     format("indirect terminator at 0x%08x in function '%s'",
+                            last_addr, fn.name.c_str()));
+      }
     }
   }
   return fn;
@@ -213,6 +244,11 @@ Result<Function> build_function(const assembler::Program& program, u32 entry) {
 }  // namespace
 
 Result<ProgramCfg> build_cfg(const assembler::Program& program) {
+  return build_cfg(program, BuildOptions{});
+}
+
+Result<ProgramCfg> build_cfg(const assembler::Program& program,
+                             const BuildOptions& options) {
   ProgramCfg cfg;
   cfg.loop_bounds = program.loop_bounds;
 
@@ -221,7 +257,7 @@ Result<ProgramCfg> build_cfg(const assembler::Program& program) {
   while (!worklist.empty()) {
     const u32 entry = worklist.back();
     worklist.pop_back();
-    S4E_TRY(fn, build_function(program, entry));
+    S4E_TRY(fn, build_function(program, entry, options));
     // Queue newly discovered callees.
     for (const BasicBlock& block : fn.blocks) {
       if (block.terminator == Terminator::kCall &&

@@ -50,6 +50,9 @@ struct BasicBlock {
   std::vector<Edge> successors;
   std::vector<BlockId> predecessors;
   u32 call_target = 0;  // entry address of the callee for kCall
+  // kIndirect only: the jump targets the data-flow analysis resolved (one
+  // kTaken successor per entry). Empty = unresolved (no successors).
+  std::vector<u32> indirect_targets;
 
   u32 insn_count() const noexcept { return static_cast<u32>(insns.size()); }
 };
@@ -89,11 +92,27 @@ struct ProgramCfg {
   }
 };
 
+// Reconstruction options. The defaults reproduce the strict aiT-style
+// contract: any indirect jump other than a return is an error. The
+// data-flow layer (src/dataflow) drives the two extensions: a map of
+// jalr-site -> resolved targets (each becomes an analyzed kTaken edge),
+// and a tolerant mode that leaves unresolved indirect jumps as
+// successor-less kIndirect terminators instead of failing — so an analysis
+// pass can run over the rest of the program and report them.
+struct BuildOptions {
+  // jalr instruction address -> resolved jump targets (rd == x0 sites).
+  const std::map<u32, std::vector<u32>>* indirect_targets = nullptr;
+  bool tolerate_unresolved = false;
+};
+
 // Reconstruct the CFG of the program's .text, starting from its entry point.
-// Fails on indirect jumps other than returns, on code that falls off the end
-// of .text, and on overlapping instruction streams — the same preconditions
-// aiT places on analyzable code.
+// Fails on indirect jumps other than returns (unless resolved or tolerated
+// via `options`), on code that falls off the end of .text, and on
+// overlapping instruction streams — the same preconditions aiT places on
+// analyzable code.
 Result<ProgramCfg> build_cfg(const assembler::Program& program);
+Result<ProgramCfg> build_cfg(const assembler::Program& program,
+                             const BuildOptions& options);
 
 // Graphviz dump (one cluster per function) for debugging and docs.
 std::string to_dot(const ProgramCfg& cfg);

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/strings.hpp"
+#include "isa/defuse.hpp"
 
 namespace s4e::cfg {
 
@@ -29,9 +30,9 @@ std::set<BlockId> natural_loop(const Function& fn, BlockId header,
   return body;
 }
 
-// True if `instr` writes GPR `reg`.
+// True if `instr` writes GPR `reg` (shared def/use model, x0 hardwired).
 bool writes_reg(const Instr& instr, unsigned reg) {
-  return instr.info().writes_rd && instr.rd == reg && reg != 0;
+  return isa::writes_gpr(instr, reg);
 }
 
 // If the (unique) definition of `reg` outside `loop`, in a block dominating

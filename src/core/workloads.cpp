@@ -469,6 +469,47 @@ table:
     .word 402, 555, 680, 743, 800, 855, 901, 999
 )";
 
+// --- Jump-table dispatcher: a byte-coded interpreter loop whose handlers
+// are reached through a `.word`-table `jr`. The selector is masked to the
+// table size, so the data-flow resolver can enumerate all four targets and
+// the WCET analyzer sees explicit edges. Exit = accumulator (25).
+constexpr const char* kJumptab = R"(
+_start:
+    la s0, opcodes
+    li s1, 8           # opcode count
+    li s2, 0           # accumulator
+dispatch:
+    lbu t0, 0(s0)
+    andi t0, t0, 3     # clamp selector to the table
+    slli t0, t0, 2
+    la t1, table
+    add t0, t0, t1
+    lw t0, 0(t0)
+    jalr zero, 0(t0)   # jump-table dispatch
+op_add:
+    addi s2, s2, 5
+    j next
+op_sub:
+    addi s2, s2, -2
+    j next
+op_dbl:
+    slli s2, s2, 1
+    j next
+op_nop:
+next:
+    addi s0, s0, 1
+    addi s1, s1, -1
+    bnez s1, dispatch
+    mv a0, s2
+    li a7, 93
+    ecall
+.data
+opcodes:
+    .byte 0, 1, 2, 0, 3, 2, 1, 0
+table:
+    .word op_add, op_sub, op_dbl, op_nop
+)";
+
 }  // namespace
 
 const std::vector<Workload>& standard_workloads() {
@@ -494,6 +535,8 @@ const std::vector<Workload>& standard_workloads() {
        kHistogram, 4, true},
       {"bsearch", "binary search in a sorted table (annotated bound)",
        kBsearch, 11, true},
+      {"jumptab", "byte-coded dispatcher through a .word jump table",
+       kJumptab, 25, true},
   };
   return workloads;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "isa/defuse.hpp"
 
 namespace s4e::coverage {
 
@@ -104,16 +105,32 @@ void CoveragePlugin::on_mem(const s4e_mem_event& event) {
 void CoveragePlugin::on_insn_exec(const s4e_insn_info& insn) {
   ++data_.total_instructions;
   ++data_.op_counts[insn.op];
-  const isa::OpInfo& info = isa::op_info(static_cast<isa::Op>(insn.op));
-  if (info.reads_rs1) ++data_.gpr_reads[insn.rs1];
-  if (info.reads_rs2) ++data_.gpr_reads[insn.rs2];
-  if (info.writes_rd) ++data_.gpr_writes[insn.rd];
-  if (info.op_class == isa::OpClass::kCsr) {
+  // Reconstruct the operand view and ask the shared def/use model instead
+  // of poking OpInfo flags by hand (the same model dataflow analyses use).
+  isa::Instr instr;
+  instr.op = static_cast<isa::Op>(insn.op);
+  instr.rd = insn.rd;
+  instr.rs1 = insn.rs1;
+  instr.rs2 = insn.rs2;
+  const isa::DefUse du = isa::def_use(instr);
+  for (unsigned reg = 0; reg < isa::kGprCount; ++reg) {
+    if (du.reads & (u32{1} << reg)) ++data_.gpr_reads[reg];
+    if (du.writes & (u32{1} << reg)) ++data_.gpr_writes[reg];
+  }
+  // An rs2-slot read of x0 (e.g. `bnez`) still counts a distinct read per
+  // operand slot under the old accounting; masks collapse duplicates, so
+  // re-add the second slot when both name the same register.
+  if (instr.info().reads_rs1 && instr.info().reads_rs2 &&
+      insn.rs1 == insn.rs2) {
+    ++data_.gpr_reads[insn.rs1];
+  }
+  if (instr.info().op_class == isa::OpClass::kCsr) {
     data_.csrs_accessed.insert(insn.csr);
   }
 }
 
-std::string to_report(const CoverageData& data, const std::string& title) {
+std::string to_report(const CoverageData& data, const std::string& title,
+                      const std::vector<bool>* static_ops) {
   std::string out;
   out += format("coverage report: %s\n", title.c_str());
   out += format("  instructions executed : %llu\n",
@@ -126,6 +143,25 @@ std::string to_report(const CoverageData& data, const std::string& title) {
                   std::string(isa::isa_module_name(module)).c_str(),
                   data.ops_covered(module), CoverageData::ops_total(module),
                   100.0 * data.op_coverage(module));
+  }
+  if (static_ops != nullptr) {
+    unsigned reachable = 0;
+    unsigned covered = 0;
+    unsigned unexercised = 0;
+    for (unsigned i = 0; i < isa::kOpCount && i < static_ops->size(); ++i) {
+      if (!(*static_ops)[i]) continue;
+      ++reachable;
+      if (data.op_counts[i] != 0) {
+        ++covered;
+      } else {
+        ++unexercised;
+      }
+    }
+    out += format("  statically reachable  : %u / %u types covered  (%.1f%%)"
+                  ", %u reachable but not exercised\n",
+                  covered, reachable,
+                  reachable == 0 ? 0.0 : 100.0 * covered / reachable,
+                  unexercised);
   }
   out += format("  GPR coverage          : %u / %u  (%.1f%%)\n",
                 data.gprs_covered(), isa::kGprCount - 1,

@@ -60,8 +60,13 @@ struct CoverageData {
 };
 
 // Render the standard coverage table (per-module instruction coverage, GPR
-// and CSR coverage, hottest instructions).
-std::string to_report(const CoverageData& data, const std::string& title);
+// and CSR coverage, hottest instructions). When `static_ops` is given
+// (indexed by isa::Op, true = statically reachable — see
+// dataflow::reachable_ops), the report adds a second denominator: covered
+// types over the types the binary could execute at all, which separates
+// "not exercised by this input" from "not present in the program".
+std::string to_report(const CoverageData& data, const std::string& title,
+                      const std::vector<bool>* static_ops = nullptr);
 
 // The plugin: feeds CoverageData from the instruction stream via the C API.
 class CoveragePlugin final : public vp::PluginBase {

@@ -1,0 +1,258 @@
+#include "dataflow/analyze.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.hpp"
+#include "isa/disasm.hpp"
+
+namespace s4e::dataflow {
+
+namespace {
+
+using cfg::Terminator;
+
+// At most this many targets per resolved indirect jump — a jump table
+// larger than this stays unresolved rather than exploding the CFG.
+constexpr u64 kMaxIndirectTargets = 16;
+
+std::vector<Solution<RegDomain>> run_reg_pass(const cfg::ProgramCfg& cfg,
+                                              u32 program_entry,
+                                              const MemModel* mem) {
+  std::vector<Solution<RegDomain>> sols;
+  sols.reserve(cfg.functions.size());
+  for (const cfg::Function& fn : cfg.functions) {
+    RegDomain domain({fn.entry == program_entry, mem});
+    sols.push_back(solve(fn, domain));
+  }
+  return sols;
+}
+
+// Record every reachable store's abstract target range into `mem`.
+void collect_stores(const cfg::ProgramCfg& cfg,
+                    const std::vector<Solution<RegDomain>>& sols,
+                    MemModel& mem) {
+  for (std::size_t f = 0; f < cfg.functions.size(); ++f) {
+    const cfg::Function& fn = cfg.functions[f];
+    for (const cfg::BasicBlock& block : fn.blocks) {
+      const RegState& in = sols[f].in[block.id];
+      if (!in.reached) continue;
+      walk_block(block, &mem, in,
+                 [&](u32 /*pc*/, const isa::Instr& instr,
+                     const RegState& state) {
+                   if (!instr.is_store()) return;
+                   mem.record_store(effective_address(instr, state),
+                                    access_size(instr.op));
+                 });
+    }
+  }
+}
+
+}  // namespace
+
+Result<Analysis> analyze_program(const assembler::Program& program,
+                                 const AnalyzeOptions& options) {
+  Analysis an;
+  // Sites whose target set stopped being enumerable (or kept growing past
+  // the iteration budget): permanently unresolved. Keeping a stale subset
+  // of edges would under-approximate the CFG, which is unsound.
+  std::set<u32> poisoned;
+  for (unsigned iter = 0;; ++iter) {
+    cfg::BuildOptions build_options;
+    build_options.indirect_targets = &an.resolved;
+    build_options.tolerate_unresolved = true;
+    S4E_TRY(cfg, cfg::build_cfg(program, build_options));
+
+    // Pass A: loads opaque; the fixpoint still pins down most store
+    // addresses (la + constant offsets), which become the dirty set.
+    MemModel collect(program);
+    auto sols_a = run_reg_pass(cfg, program.entry, &collect);
+    collect_stores(cfg, sols_a, collect);
+
+    // Pass B: fold loads from clean image regions.
+    MemModel full = collect;
+    full.enable_loads();
+    auto sols = run_reg_pass(cfg, program.entry, &full);
+
+    // Try to resolve reachable `jalr x0` sites with a finite target set.
+    // Already-resolved sites are recomputed every round: the richer CFG can
+    // widen the selector (a jump table's first round only sees the first
+    // feasible index), so each site's edge set grows monotonically (union
+    // with the previous round) until stable.
+    bool changed = false;
+    std::vector<u32> unstable;
+    if (iter < options.max_resolve_iterations) {
+      for (std::size_t f = 0; f < cfg.functions.size(); ++f) {
+        const cfg::Function& fn = cfg.functions[f];
+        for (const cfg::BasicBlock& block : fn.blocks) {
+          if (block.terminator != Terminator::kIndirect ||
+              !sols[f].in[block.id].reached) {
+            continue;
+          }
+          const isa::Instr& jump = block.insns.back();
+          if (jump.rd != 0) continue;  // indirect call, not a jump
+          const u32 pc = block.end - jump.length;
+          if (poisoned.count(pc) != 0) continue;
+          // The jalr writes nothing (rd = x0), so the block's out-state
+          // holds the register values at the jump.
+          const AbsValue target =
+              av_add(sols[f].out[block.id].regs[jump.rs1],
+                     AbsValue::constant(static_cast<u32>(jump.imm)));
+          std::vector<u32> now = target.enumerate(kMaxIndirectTargets);
+          const bool was_resolved = an.resolved.count(pc) != 0;
+          if (now.empty()) {
+            if (was_resolved) {
+              an.resolved.erase(pc);
+              poisoned.insert(pc);
+              changed = true;
+            }
+            continue;
+          }
+          for (u32& t : now) t &= ~u32{1};  // jalr clears bit 0
+          auto& slot = an.resolved[pc];
+          std::vector<u32> merged = slot;
+          merged.insert(merged.end(), now.begin(), now.end());
+          std::sort(merged.begin(), merged.end());
+          merged.erase(std::unique(merged.begin(), merged.end()),
+                       merged.end());
+          if (merged.size() > kMaxIndirectTargets) {
+            an.resolved.erase(pc);
+            poisoned.insert(pc);
+            changed = true;
+            continue;
+          }
+          if (merged != slot) {
+            slot = std::move(merged);
+            changed = true;
+            unstable.push_back(pc);
+          }
+        }
+      }
+      if (changed && iter + 1 == options.max_resolve_iterations) {
+        // Budget exhausted while still growing: drop the unstable sites so
+        // the final build reports them unresolved instead of shipping a
+        // stale (under-approximated) edge set.
+        for (u32 pc : unstable) {
+          an.resolved.erase(pc);
+          poisoned.insert(pc);
+        }
+      }
+    }
+    if (changed) continue;
+
+    // Finalize with the current build and pass-B solutions.
+    an.mem = std::move(full);
+    an.functions.resize(cfg.functions.size());
+    for (std::size_t f = 0; f < cfg.functions.size(); ++f) {
+      const cfg::Function& fn = cfg.functions[f];
+      FunctionAnalysis& fa = an.functions[f];
+      fa.reg = std::move(sols[f]);
+      fa.live = solve(fn, Liveness());
+      fa.block_reachable.resize(fn.blocks.size());
+      fa.edge_ok.resize(fn.blocks.size());
+      RegDomain domain({fn.entry == program.entry, &an.mem});
+      for (const cfg::BasicBlock& block : fn.blocks) {
+        fa.block_reachable[block.id] = fa.reg.in[block.id].reached;
+        auto& ok = fa.edge_ok[block.id];
+        ok.resize(block.successors.size(), true);
+        if (!fa.block_reachable[block.id]) continue;
+        for (std::size_t e = 0; e < block.successors.size(); ++e) {
+          ok[e] = domain.edge_feasible(fn, block, fa.reg.out[block.id],
+                                       block.successors[e]);
+        }
+        if (block.terminator == Terminator::kIndirect &&
+            block.indirect_targets.empty()) {
+          const isa::Instr& jump = block.insns.back();
+          const AbsValue value =
+              av_add(fa.reg.out[block.id].regs[jump.rs1],
+                     AbsValue::constant(static_cast<u32>(jump.imm)));
+          an.unresolved.push_back({block.end - jump.length, fn.name,
+                                   value.describe(), jump.rd != 0});
+        }
+      }
+    }
+
+    // Function reachability: entry plus everything called from reachable
+    // blocks of reachable functions.
+    an.function_reachable.assign(cfg.functions.size(), false);
+    std::vector<u32> worklist{0};
+    an.function_reachable[0] = true;
+    while (!worklist.empty()) {
+      const u32 f = worklist.back();
+      worklist.pop_back();
+      for (const cfg::BasicBlock& block : cfg.functions[f].blocks) {
+        if (block.terminator != Terminator::kCall ||
+            !an.functions[f].block_reachable[block.id]) {
+          continue;
+        }
+        auto it = cfg.function_by_entry.find(block.call_target);
+        if (it != cfg.function_by_entry.end() &&
+            !an.function_reachable[it->second]) {
+          an.function_reachable[it->second] = true;
+          worklist.push_back(it->second);
+        }
+      }
+    }
+    an.cfg = std::move(cfg);
+    return an;
+  }
+}
+
+Result<cfg::ProgramCfg> prune_cfg(const Analysis& analysis) {
+  cfg::ProgramCfg out;
+  out.loop_bounds = analysis.cfg.loop_bounds;
+  for (std::size_t f = 0; f < analysis.cfg.functions.size(); ++f) {
+    if (!analysis.function_reachable[f]) continue;
+    const cfg::Function& fn = analysis.cfg.functions[f];
+    const FunctionAnalysis& fa = analysis.functions[f];
+    cfg::Function pruned;
+    pruned.name = fn.name;
+    pruned.entry = fn.entry;
+    std::vector<cfg::BlockId> remap(fn.blocks.size(), cfg::kNoBlock);
+    for (const cfg::BasicBlock& block : fn.blocks) {
+      if (!fa.block_reachable[block.id]) continue;
+      cfg::BasicBlock copy = block;
+      copy.id = static_cast<cfg::BlockId>(pruned.blocks.size());
+      copy.successors.clear();
+      copy.predecessors.clear();
+      remap[block.id] = copy.id;
+      pruned.block_by_start[copy.start] = copy.id;
+      pruned.blocks.push_back(std::move(copy));
+    }
+    S4E_CHECK_MSG(!pruned.blocks.empty() && remap[0] == 0,
+                  "function entry block must stay first after pruning");
+    for (const cfg::BasicBlock& block : fn.blocks) {
+      if (remap[block.id] == cfg::kNoBlock) continue;
+      for (std::size_t e = 0; e < block.successors.size(); ++e) {
+        const cfg::Edge& edge = block.successors[e];
+        if (!fa.edge_ok[block.id][e] || remap[edge.target] == cfg::kNoBlock) {
+          continue;
+        }
+        pruned.blocks[remap[block.id]].successors.push_back(
+            cfg::Edge{remap[edge.target], edge.kind});
+        pruned.blocks[remap[edge.target]].predecessors.push_back(
+            remap[block.id]);
+      }
+    }
+    out.function_by_entry[pruned.entry] = static_cast<u32>(out.functions.size());
+    out.functions.push_back(std::move(pruned));
+  }
+  S4E_CHECK_MSG(!out.functions.empty(), "entry function pruned away");
+  return out;
+}
+
+std::vector<bool> reachable_ops(const Analysis& analysis) {
+  std::vector<bool> ops(isa::kOpCount, false);
+  for (std::size_t f = 0; f < analysis.cfg.functions.size(); ++f) {
+    if (!analysis.function_reachable[f]) continue;
+    for (const cfg::BasicBlock& block : analysis.cfg.functions[f].blocks) {
+      if (!analysis.functions[f].block_reachable[block.id]) continue;
+      for (const isa::Instr& instr : block.insns) {
+        ops[static_cast<unsigned>(instr.op)] = true;
+      }
+    }
+  }
+  return ops;
+}
+
+}  // namespace s4e::dataflow

@@ -1,0 +1,74 @@
+// Whole-program data-flow analysis driver.
+//
+// analyze_program() ties the pieces together:
+//   1. build a *tolerant* CFG (unresolved indirect jumps become
+//      successor-less terminators instead of hard errors),
+//   2. run the register domain in two memory passes — pass A with loads
+//      opaque to collect every abstract store target (the dirty set),
+//      pass B folding loads from the clean part of the program image,
+//   3. resolve `jalr x0` targets whose register value folded to a finite
+//      set (jump tables, `la`+`jr` trampolines) and rebuild the CFG with
+//      those edges — iterated to a fixpoint,
+//   4. record per-function solutions, block reachability, branch-edge
+//      feasibility and liveness for consumers (WCET pruning, s4e-lint,
+//      coverage denominators).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "cfg/cfg.hpp"
+#include "dataflow/framework.hpp"
+#include "dataflow/liveness.hpp"
+#include "dataflow/memmodel.hpp"
+#include "dataflow/regstate.hpp"
+
+namespace s4e::dataflow {
+
+struct FunctionAnalysis {
+  Solution<RegDomain> reg;
+  Solution<Liveness> live;
+  std::vector<bool> block_reachable;
+  // Parallel to each block's successors vector: false = branch edge proven
+  // infeasible from the solved out-state.
+  std::vector<std::vector<bool>> edge_ok;
+};
+
+// A reachable indirect jump/call whose target set could not be folded.
+struct UnresolvedSite {
+  u32 pc = 0;
+  std::string function;
+  std::string target;  // abstract description of the jump register value
+  bool is_call = false;  // jalr with rd != x0 (indirect call)
+};
+
+struct Analysis {
+  cfg::ProgramCfg cfg;  // tolerant build, resolved indirect edges included
+  std::vector<FunctionAnalysis> functions;  // parallel to cfg.functions
+  std::vector<bool> function_reachable;     // via calls from reachable code
+  std::map<u32, std::vector<u32>> resolved;  // jalr pc -> jump targets
+  std::vector<UnresolvedSite> unresolved;    // reachable, still unknown
+  MemModel mem;  // final-pass model (dirty store ranges populated)
+};
+
+struct AnalyzeOptions {
+  // CFG rebuild rounds for indirect-target resolution.
+  unsigned max_resolve_iterations = 4;
+};
+
+Result<Analysis> analyze_program(const assembler::Program& program,
+                                 const AnalyzeOptions& options = {});
+
+// Rebuild the CFG keeping only reachable functions/blocks and feasible
+// edges. Entry blocks stay first; block ids are remapped densely. The
+// result is a sub-graph of the input, so any worst-case path bound over it
+// is no larger than over the original.
+Result<cfg::ProgramCfg> prune_cfg(const Analysis& analysis);
+
+// Which instruction types appear in statically reachable blocks (indexed
+// by isa::Op) — the denominator for static coverage reporting.
+std::vector<bool> reachable_ops(const Analysis& analysis);
+
+}  // namespace s4e::dataflow

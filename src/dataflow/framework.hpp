@@ -1,0 +1,94 @@
+// Generic intraprocedural worklist solver over a cfg::Function.
+//
+// A Domain supplies the lattice and transfer function:
+//
+//   static constexpr bool kForward;     // direction
+//   using State = ...;                  // per-program-point fact
+//   State boundary(fn, block) const;    // forward: entry block's in-state;
+//                                       // backward: out-state of exit blocks
+//   State transfer(fn, block, state) const;   // through the whole block
+//   bool join(State& into, const State& from, bool widen) const;
+//                                       // accumulate; returns "changed"
+//   bool edge_feasible(fn, block, out_state, edge) const;
+//                                       // forward only: prune branch edges
+//
+// The solver iterates to a fixpoint. After a block has been processed
+// kWidenAfter times, joins into its input are asked to widen so infinite
+// ascending chains (loop counters) terminate.
+#pragma once
+
+#include <vector>
+
+#include "cfg/cfg.hpp"
+
+namespace s4e::dataflow {
+
+template <typename Domain>
+struct Solution {
+  // Forward: in[b] is the state at block entry, out[b] after the block.
+  // Backward: out[b] is the state at block exit, in[b] before the block.
+  std::vector<typename Domain::State> in;
+  std::vector<typename Domain::State> out;
+};
+
+inline constexpr unsigned kWidenAfter = 4;
+
+template <typename Domain>
+Solution<Domain> solve(const cfg::Function& fn, const Domain& domain) {
+  const std::size_t n = fn.blocks.size();
+  Solution<Domain> sol;
+  sol.in.resize(n);
+  sol.out.resize(n);
+  std::vector<unsigned> visits(n, 0);
+  std::vector<bool> queued(n, false);
+  std::vector<cfg::BlockId> worklist;
+
+  auto push = [&](cfg::BlockId id) {
+    if (!queued[id]) {
+      queued[id] = true;
+      worklist.push_back(id);
+    }
+  };
+
+  if constexpr (Domain::kForward) {
+    sol.in[0] = domain.boundary(fn, fn.blocks[0]);
+    push(0);
+    while (!worklist.empty()) {
+      const cfg::BlockId id = worklist.back();
+      worklist.pop_back();
+      queued[id] = false;
+      const cfg::BasicBlock& block = fn.blocks[id];
+      ++visits[id];
+      sol.out[id] = domain.transfer(fn, block, sol.in[id]);
+      for (const cfg::Edge& edge : block.successors) {
+        if (!domain.edge_feasible(fn, block, sol.out[id], edge)) continue;
+        const bool widen = visits[edge.target] >= kWidenAfter;
+        if (domain.join(sol.in[edge.target], sol.out[id], widen)) {
+          push(edge.target);
+        }
+      }
+    }
+  } else {
+    for (cfg::BlockId id = 0; id < n; ++id) {
+      if (fn.blocks[id].successors.empty()) {
+        sol.out[id] = domain.boundary(fn, fn.blocks[id]);
+      }
+      push(id);
+    }
+    while (!worklist.empty()) {
+      const cfg::BlockId id = worklist.back();
+      worklist.pop_back();
+      queued[id] = false;
+      const cfg::BasicBlock& block = fn.blocks[id];
+      ++visits[id];
+      sol.in[id] = domain.transfer(fn, block, sol.out[id]);
+      for (cfg::BlockId pred : block.predecessors) {
+        const bool widen = visits[pred] >= kWidenAfter;
+        if (domain.join(sol.out[pred], sol.in[id], widen)) push(pred);
+      }
+    }
+  }
+  return sol;
+}
+
+}  // namespace s4e::dataflow

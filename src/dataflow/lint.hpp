@@ -1,0 +1,77 @@
+// Binary linter built on the data-flow analysis (the s4e-lint back end).
+//
+// Checks, all flow-sensitive and whole-program:
+//   kUninitRead        — a reachable instruction reads a register that may
+//                        still hold reset garbage on some path
+//   kUnreachableBlock  — code no feasible path reaches (dead branches,
+//                        orphaned functions)
+//   kDeadWrite         — a register write no subsequent instruction reads
+//   kStackImbalance    — a function returns with sp not equal to its value
+//                        on entry
+//   kPolicyViolation   — a load/store whose *entire* resolved address range
+//                        violates a memwatch policy (wrong permission, or
+//                        issued from code outside the region's PC window)
+//   kUnresolvedIndirect— a reachable jalr whose target set could not be
+//                        folded (residual analysis blind spot)
+//
+// Policy screening uses must-target semantics: a finding is emitted only
+// when every address the access can take is in violation, so imprecise
+// (top/interval) pointers never produce false positives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/analyze.hpp"
+#include "memwatch/memwatch.hpp"
+
+namespace s4e::dataflow {
+
+enum class CheckKind : u8 {
+  kUninitRead,
+  kUnreachableBlock,
+  kDeadWrite,
+  kStackImbalance,
+  kPolicyViolation,
+  kUnresolvedIndirect,
+};
+
+std::string_view check_name(CheckKind kind) noexcept;
+
+struct Finding {
+  CheckKind kind;
+  u32 pc = 0;
+  std::string function;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+// Static stack accounting for one function.
+struct FrameInfo {
+  std::string function;
+  i64 frame_bytes = 0;   // deepest sp decrement inside the function
+  i64 total_bytes = -1;  // including the deepest callee chain; -1 = unknown
+};
+
+struct LintReport {
+  std::vector<Finding> findings;
+  std::vector<FrameInfo> frames;  // reachable functions, entry first
+  i64 max_stack_depth = -1;       // entry function's total; -1 = unknown
+
+  bool clean() const noexcept { return findings.empty(); }
+  std::string to_string() const;
+};
+
+struct LintOptions {
+  const memwatch::Policy* policy = nullptr;  // enables kPolicyViolation
+};
+
+// Run every check over a completed analysis.
+LintReport lint(const Analysis& analysis, const LintOptions& options = {});
+
+// Convenience: analyze_program + lint.
+Result<LintReport> lint_program(const assembler::Program& program,
+                                const LintOptions& options = {});
+
+}  // namespace s4e::dataflow

@@ -1,0 +1,78 @@
+// Backward may-live register analysis, used by the dead-write lint check.
+//
+// Conservative at ABI boundaries: a return leaves the result and every
+// callee-saved register live (the caller may observe them), an exit ecall
+// leaves the argument registers live (the environment reads them), a call
+// reads the argument registers and sp. An unresolved indirect terminator
+// treats everything as live, so no dead-write finding can come from code
+// whose continuation is unknown.
+#pragma once
+
+#include "cfg/cfg.hpp"
+#include "dataflow/regstate.hpp"
+#include "isa/defuse.hpp"
+
+namespace s4e::dataflow {
+
+// sp, gp, tp, s0/s1, s2-s11, a0/a1: observable after a return.
+inline constexpr u32 kReturnLiveMask =
+    reg_bit(2) | reg_bit(3) | reg_bit(4) | reg_bit(8) | reg_bit(9) |
+    (0x3ffu << 18) | reg_bit(10) | reg_bit(11);
+
+// a0-a7 plus the preserved pointers: observable at an exit ecall/ebreak.
+inline constexpr u32 kExitLiveMask =
+    (0xffu << 10) | reg_bit(2) | reg_bit(3) | reg_bit(4);
+
+// What a callee may read at a call site: arguments, sp, gp, tp.
+inline constexpr u32 kCallReadMask =
+    (0xffu << 10) | reg_bit(2) | reg_bit(3) | reg_bit(4);
+
+class Liveness {
+ public:
+  static constexpr bool kForward = false;
+  using State = u32;  // bitmask of may-live GPRs
+
+  State boundary(const cfg::Function& fn, const cfg::BasicBlock& block) const {
+    (void)fn;
+    switch (block.terminator) {
+      case cfg::Terminator::kReturn:
+        return kReturnLiveMask;
+      case cfg::Terminator::kExit:
+        return kExitLiveMask;
+      default:
+        return ~u32{0};  // unresolved indirect or truncated path
+    }
+  }
+
+  // Live set adjustment at the bottom of a block (before walking its
+  // instructions backward). Shared with the lint replay.
+  static State exit_adjust(const cfg::BasicBlock& block, State live) {
+    if (block.terminator == cfg::Terminator::kCall) live |= kCallReadMask;
+    return live;
+  }
+
+  State transfer(const cfg::Function& fn, const cfg::BasicBlock& block,
+                 State live) const {
+    (void)fn;
+    live = exit_adjust(block, live);
+    for (auto it = block.insns.rbegin(); it != block.insns.rend(); ++it) {
+      const isa::DefUse du = isa::def_use(*it);
+      live = (live & ~du.writes) | du.reads;
+    }
+    return live & ~u32{1};  // x0 is never live
+  }
+
+  bool join(State& into, const State& from, bool /*widen*/) const {
+    const State merged = into | from;
+    if (merged == into) return false;
+    into = merged;
+    return true;
+  }
+
+  bool edge_feasible(const cfg::Function&, const cfg::BasicBlock&,
+                     const State&, const cfg::Edge&) const {
+    return true;  // unused in the backward direction
+  }
+};
+
+}  // namespace s4e::dataflow

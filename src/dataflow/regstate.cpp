@@ -1,0 +1,338 @@
+#include "dataflow/regstate.hpp"
+
+namespace s4e::dataflow {
+
+namespace {
+
+using isa::Instr;
+using isa::Op;
+
+// Unsigned bounds of a sign-pure value (raw u32 reading); nullopt when the
+// set mixes values above and below 2^31.
+struct UBounds {
+  u64 lo, hi;
+};
+std::optional<UBounds> unsigned_bounds(const AbsValue& v) {
+  if (!v.has_bounds()) return std::nullopt;
+  if (v.lo() >= 0) {
+    return UBounds{static_cast<u64>(v.lo()), static_cast<u64>(v.hi())};
+  }
+  if (v.hi() < 0) {
+    const u64 wrap = u64{1} << 32;
+    return UBounds{static_cast<u64>(v.lo()) + wrap,
+                   static_cast<u64>(v.hi()) + wrap};
+  }
+  return std::nullopt;
+}
+
+// Tri-state comparisons. Stack values compare against each other by offset
+// (same unknown base, assumed not to wrap); stack vs plain is undecidable.
+bool comparable(const AbsValue& a, const AbsValue& b) {
+  if (a.is_stack() || b.is_stack()) return a.is_stack() && b.is_stack();
+  return a.has_bounds() && b.has_bounds();
+}
+
+std::optional<bool> def_eq(const AbsValue& a, const AbsValue& b) {
+  if (!comparable(a, b)) return std::nullopt;
+  if (a.hi() < b.lo() || b.hi() < a.lo()) return false;
+  // Both collapse to one value (consts singleton or one stack offset).
+  if (a.lo() == a.hi() && b.lo() == b.hi() && a.lo() == b.lo()) return true;
+  return std::nullopt;
+}
+
+std::optional<bool> def_lt_signed(const AbsValue& a, const AbsValue& b) {
+  if (!comparable(a, b)) return std::nullopt;
+  if (a.hi() < b.lo()) return true;
+  if (a.lo() >= b.hi()) return false;  // min(a) >= max(b): a < b never holds
+  return std::nullopt;
+}
+
+std::optional<bool> def_lt_unsigned(const AbsValue& a, const AbsValue& b) {
+  if (a.is_stack() && b.is_stack()) return def_lt_signed(a, b);  // offsets
+  const auto ua = unsigned_bounds(a);
+  const auto ub = unsigned_bounds(b);
+  if (!ua || !ub || a.is_stack() || b.is_stack()) return std::nullopt;
+  if (ua->hi < ub->lo) return true;
+  if (ua->lo >= ub->hi) return false;
+  return std::nullopt;
+}
+
+std::optional<bool> negate(std::optional<bool> v) {
+  if (!v) return std::nullopt;
+  return !*v;
+}
+
+}  // namespace
+
+RegState RegDomain::boundary(const cfg::Function& fn,
+                             const cfg::BasicBlock& block) const {
+  (void)fn;
+  (void)block;
+  RegState state;
+  state.reached = true;
+  for (auto& reg : state.regs) reg = AbsValue::top();
+  state.regs[0] = AbsValue::constant(0);
+  state.regs[2] = AbsValue::stack(0, 0, 1);  // incoming sp is the frame ref
+  if (options_.is_entry_function) {
+    // Reset state: the loader initializes sp; x0 is hardwired; gp/tp and
+    // the argument registers are treated as environment-provided. ra and
+    // the temporaries/saved registers hold garbage until written.
+    state.maybe_uninit = kCallerSavedMask & ~(0xffu << 10);  // ra, t0-t6
+    state.maybe_uninit |= reg_bit(8) | reg_bit(9) | (0x3ffu << 18);  // s0-s11
+  }
+  return state;
+}
+
+RegState RegDomain::transfer(const cfg::Function& fn,
+                             const cfg::BasicBlock& block, State state) const {
+  (void)fn;
+  if (!state.reached) return state;
+  u32 pc = block.start;
+  for (const Instr& instr : block.insns) {
+    apply(instr, pc, options_.mem, state);
+    pc += instr.length;
+  }
+  finish_block(block, state);
+  return state;
+}
+
+bool RegDomain::join(State& into, const State& from, bool widen) const {
+  if (!from.reached) return false;
+  if (!into.reached) {
+    into = from;
+    return true;
+  }
+  bool changed = false;
+  for (unsigned r = 0; r < isa::kGprCount; ++r) {
+    AbsValue joined = AbsValue::join(into.regs[r], from.regs[r]);
+    if (joined != into.regs[r]) {
+      if (widen) joined.widen();
+      if (joined != into.regs[r]) {
+        into.regs[r] = std::move(joined);
+        changed = true;
+      }
+    }
+  }
+  const u32 uninit = into.maybe_uninit | from.maybe_uninit;
+  if (uninit != into.maybe_uninit) {
+    into.maybe_uninit = uninit;
+    changed = true;
+  }
+  return changed;
+}
+
+bool RegDomain::edge_feasible(const cfg::Function& fn,
+                              const cfg::BasicBlock& block, const State& out,
+                              const cfg::Edge& edge) const {
+  (void)fn;
+  if (block.terminator != cfg::Terminator::kBranch) return true;
+  const auto taken = eval_branch(block.insns.back(), out);
+  if (!taken) return true;
+  return *taken == (edge.kind == cfg::EdgeKind::kTaken);
+}
+
+void RegDomain::apply(const Instr& instr, u32 pc, const MemModel* mem,
+                      State& state) {
+  auto rv = [&](unsigned r) -> const AbsValue& { return state.regs[r]; };
+  auto set = [&](unsigned r, AbsValue v) {
+    if (r == 0) return;
+    state.regs[r] = std::move(v);
+    state.maybe_uninit &= ~reg_bit(r);
+  };
+  const AbsValue imm = AbsValue::constant(static_cast<u32>(instr.imm));
+  const AbsValue shamt = AbsValue::constant(instr.rs2);  // kIShift encoding
+
+  switch (instr.op) {
+    case Op::kLui:
+      set(instr.rd, imm);  // imm is pre-shifted by the decoder
+      break;
+    case Op::kAuipc:
+      set(instr.rd, AbsValue::constant(pc + static_cast<u32>(instr.imm)));
+      break;
+    case Op::kJal:
+    case Op::kJalr:
+      set(instr.rd, AbsValue::constant(pc + instr.length));
+      break;
+    case Op::kAddi:
+      set(instr.rd, av_add(rv(instr.rs1), imm));
+      break;
+    case Op::kSlti:
+      set(instr.rd, av_slt(rv(instr.rs1), imm, false));
+      break;
+    case Op::kSltiu:
+      set(instr.rd, av_slt(rv(instr.rs1), imm, true));
+      break;
+    case Op::kXori:
+      set(instr.rd, av_xor(rv(instr.rs1), imm));
+      break;
+    case Op::kOri:
+      set(instr.rd, av_or(rv(instr.rs1), imm));
+      break;
+    case Op::kAndi:
+      set(instr.rd, av_and(rv(instr.rs1), imm));
+      break;
+    case Op::kSlli:
+      set(instr.rd, av_sll(rv(instr.rs1), shamt));
+      break;
+    case Op::kSrli:
+      set(instr.rd, av_srl(rv(instr.rs1), shamt));
+      break;
+    case Op::kSrai:
+      set(instr.rd, av_sra(rv(instr.rs1), shamt));
+      break;
+    case Op::kAdd:
+      set(instr.rd, av_add(rv(instr.rs1), rv(instr.rs2)));
+      break;
+    case Op::kSub:
+      set(instr.rd, av_sub(rv(instr.rs1), rv(instr.rs2)));
+      break;
+    case Op::kSll:
+      set(instr.rd, av_sll(rv(instr.rs1), rv(instr.rs2)));
+      break;
+    case Op::kSlt:
+      set(instr.rd, av_slt(rv(instr.rs1), rv(instr.rs2), false));
+      break;
+    case Op::kSltu:
+      set(instr.rd, av_slt(rv(instr.rs1), rv(instr.rs2), true));
+      break;
+    case Op::kXor:
+      set(instr.rd, av_xor(rv(instr.rs1), rv(instr.rs2)));
+      break;
+    case Op::kSrl:
+      set(instr.rd, av_srl(rv(instr.rs1), rv(instr.rs2)));
+      break;
+    case Op::kSra:
+      set(instr.rd, av_sra(rv(instr.rs1), rv(instr.rs2)));
+      break;
+    case Op::kOr:
+      set(instr.rd, av_or(rv(instr.rs1), rv(instr.rs2)));
+      break;
+    case Op::kAnd:
+      set(instr.rd, av_and(rv(instr.rs1), rv(instr.rs2)));
+      break;
+    case Op::kMul:
+      set(instr.rd, av_mul(rv(instr.rs1), rv(instr.rs2)));
+      break;
+    case Op::kMulh:
+    case Op::kMulhsu:
+    case Op::kMulhu:
+    case Op::kDiv:
+    case Op::kDivu:
+    case Op::kRem:
+    case Op::kRemu:
+      set(instr.rd, av_muldiv(instr.op, rv(instr.rs1), rv(instr.rs2)));
+      break;
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu: {
+      const AbsValue addr = effective_address(instr, state);
+      const bool sext = instr.op == Op::kLb || instr.op == Op::kLh;
+      set(instr.rd, mem != nullptr
+                        ? mem->load(addr, access_size(instr.op), sext)
+                        : AbsValue::top());
+      break;
+    }
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+    case Op::kCsrrwi:
+    case Op::kCsrrsi:
+    case Op::kCsrrci:
+      set(instr.rd, AbsValue::top());
+      break;
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+    case Op::kFence:
+    case Op::kEcall:
+    case Op::kEbreak:
+    case Op::kMret:
+    case Op::kWfi:
+    case Op::kCount:
+      break;  // no GPR effect
+  }
+}
+
+void RegDomain::finish_block(const cfg::BasicBlock& block, State& state) {
+  if (block.terminator != cfg::Terminator::kCall || !state.reached) return;
+  // Call-return clobber: the callee may write every caller-saved register
+  // (so they are initialized but unknown at the continuation); sp and the
+  // callee-saved registers are preserved per the calling convention.
+  for (unsigned r = 1; r < isa::kGprCount; ++r) {
+    if (kCallerSavedMask & reg_bit(r)) {
+      state.regs[r] = AbsValue::top();
+      state.maybe_uninit &= ~reg_bit(r);
+    }
+  }
+}
+
+std::optional<bool> RegDomain::eval_branch(const Instr& branch,
+                                           const State& state) {
+  const AbsValue& a = state.regs[branch.rs1];
+  const AbsValue& b = state.regs[branch.rs2];
+  // Exact element-wise evaluation first (covers stride gaps etc.).
+  const u64 ca = a.count();
+  const u64 cb = b.count();
+  if (ca != 0 && cb != 0 && ca * cb <= 256) {
+    const auto va = a.enumerate(256);
+    const auto vb = b.enumerate(256);
+    bool any_true = false;
+    bool any_false = false;
+    for (u32 x : va) {
+      for (u32 y : vb) {
+        bool t = false;
+        switch (branch.op) {
+          case Op::kBeq: t = x == y; break;
+          case Op::kBne: t = x != y; break;
+          case Op::kBlt: t = static_cast<i32>(x) < static_cast<i32>(y); break;
+          case Op::kBge: t = static_cast<i32>(x) >= static_cast<i32>(y); break;
+          case Op::kBltu: t = x < y; break;
+          case Op::kBgeu: t = x >= y; break;
+          default: return std::nullopt;
+        }
+        (t ? any_true : any_false) = true;
+        if (any_true && any_false) return std::nullopt;
+      }
+    }
+    return any_true;
+  }
+  switch (branch.op) {
+    case Op::kBeq: return def_eq(a, b);
+    case Op::kBne: return negate(def_eq(a, b));
+    case Op::kBlt: return def_lt_signed(a, b);
+    case Op::kBge: return negate(def_lt_signed(a, b));
+    case Op::kBltu: return def_lt_unsigned(a, b);
+    case Op::kBgeu: return negate(def_lt_unsigned(a, b));
+    default: return std::nullopt;
+  }
+}
+
+AbsValue effective_address(const Instr& instr, const RegState& state) {
+  return av_add(state.regs[instr.rs1],
+                AbsValue::constant(static_cast<u32>(instr.imm)));
+}
+
+u32 access_size(Op op) {
+  switch (op) {
+    case Op::kLb:
+    case Op::kLbu:
+    case Op::kSb:
+      return 1;
+    case Op::kLh:
+    case Op::kLhu:
+    case Op::kSh:
+      return 2;
+    default:
+      return 4;
+  }
+}
+
+}  // namespace s4e::dataflow

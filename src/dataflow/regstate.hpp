@@ -1,0 +1,95 @@
+// Forward abstract-interpretation domain over the 32 GPRs.
+//
+// Each state tracks, per register, an AbsValue plus a may-be-uninitialized
+// bit. The entry state is ABI-aware: at the program entry point x0 and sp
+// (set by the loader) and the argument/global registers are initialized,
+// while ra and the temporaries/saved registers hold reset garbage; at a
+// callee entry everything is initialized (the caller's frame is live) and
+// sp is the fresh frame reference. Call-return edges clobber the
+// caller-saved registers and preserve sp and the callee-saved registers —
+// the standard RV32 calling-convention assumption, which hand-written
+// assembly in workloads/ must honour for the results to be sound.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "cfg/cfg.hpp"
+#include "dataflow/absvalue.hpp"
+#include "dataflow/memmodel.hpp"
+#include "isa/defuse.hpp"
+#include "isa/registers.hpp"
+
+namespace s4e::dataflow {
+
+constexpr u32 reg_bit(unsigned reg) { return u32{1} << reg; }
+
+// ra, t0-t2, a0-a7, t3-t6: clobbered across calls.
+inline constexpr u32 kCallerSavedMask =
+    reg_bit(1) | reg_bit(5) | reg_bit(6) | reg_bit(7) |
+    (0xffu << 10) |                    // a0-a7
+    (0xfu << 28);                      // t3-t6
+
+struct RegState {
+  bool reached = false;
+  std::array<AbsValue, isa::kGprCount> regs;  // default: all bottom
+  u32 maybe_uninit = 0;
+};
+
+class RegDomain {
+ public:
+  static constexpr bool kForward = true;
+  using State = RegState;
+
+  struct Options {
+    bool is_entry_function = false;
+    const MemModel* mem = nullptr;
+  };
+
+  explicit RegDomain(const Options& options) : options_(options) {}
+
+  State boundary(const cfg::Function& fn, const cfg::BasicBlock& block) const;
+  State transfer(const cfg::Function& fn, const cfg::BasicBlock& block,
+                 State state) const;
+  bool join(State& into, const State& from, bool widen) const;
+  bool edge_feasible(const cfg::Function& fn, const cfg::BasicBlock& block,
+                     const State& out, const cfg::Edge& edge) const;
+
+  // Small-step update for one instruction at `pc`. Public so linter walks
+  // can replay blocks from a solved in-state.
+  static void apply(const isa::Instr& instr, u32 pc, const MemModel* mem,
+                    State& state);
+
+  // Post-block effect: the call-return clobber for kCall blocks.
+  static void finish_block(const cfg::BasicBlock& block, State& state);
+
+  // Definite branch outcome from the state at the branch, if decidable.
+  static std::optional<bool> eval_branch(const isa::Instr& branch,
+                                         const State& state);
+
+ private:
+  Options options_;
+};
+
+// Replay `block` from `state` (its solved in-state), invoking
+// cb(pc, instr, state_before_instr) ahead of every instruction, then
+// applying it. Runs finish_block at the end.
+template <typename Cb>
+void walk_block(const cfg::BasicBlock& block, const MemModel* mem,
+                RegState state, Cb&& cb) {
+  u32 pc = block.start;
+  for (const isa::Instr& instr : block.insns) {
+    cb(pc, instr, state);
+    RegDomain::apply(instr, pc, mem, state);
+    pc += instr.length;
+  }
+  RegDomain::finish_block(block, state);
+}
+
+// Abstract effective address of the load/store `instr` in `state`.
+AbsValue effective_address(const isa::Instr& instr, const RegState& state);
+
+// Access width in bytes for a load/store op.
+u32 access_size(isa::Op op);
+
+}  // namespace s4e::dataflow

@@ -1,0 +1,92 @@
+#include "memwatch/policy_file.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace s4e::memwatch {
+
+namespace {
+
+Result<u32> parse_value(std::string_view token, unsigned line_no,
+                        const std::map<std::string, u32>& symbols) {
+  if (!token.empty() && (std::isdigit(static_cast<unsigned char>(token[0])) ||
+                         token[0] == '-' || token[0] == '+')) {
+    S4E_TRY(value, parse_integer(token));
+    return static_cast<u32>(value);
+  }
+  auto it = symbols.find(std::string(token));
+  if (it == symbols.end()) {
+    return Error(ErrorCode::kParseError,
+                 format("policy line %u: unknown symbol '%.*s'", line_no,
+                        static_cast<int>(token.size()), token.data()));
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Result<Policy> parse_policy(std::string_view text,
+                            const std::map<std::string, u32>& symbols) {
+  Policy policy;
+  unsigned line_no = 0;
+  for (std::string_view line : split(text, '\n')) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const auto fields = split_whitespace(line);
+    if (fields.empty()) continue;
+    if (fields[0] == "default") {
+      if (fields.size() != 2 ||
+          (fields[1] != "allow" && fields[1] != "deny")) {
+        return Error(ErrorCode::kParseError,
+                     format("policy line %u: expected 'default allow|deny'",
+                            line_no));
+      }
+      policy.default_allow = fields[1] == "allow";
+      continue;
+    }
+    if (fields[0] != "region" || fields.size() < 4) {
+      return Error(
+          ErrorCode::kParseError,
+          format("policy line %u: expected 'region <name> <base> <size> "
+                 "[perm r|w|rw|none] [pc <lo> <hi>]'",
+                 line_no));
+    }
+    Region region;
+    region.name = std::string(fields[1]);
+    S4E_TRY(base, parse_value(fields[2], line_no, symbols));
+    S4E_TRY(size, parse_value(fields[3], line_no, symbols));
+    region.base = base;
+    region.size = size;
+    std::size_t i = 4;
+    while (i < fields.size()) {
+      if (fields[i] == "perm" && i + 1 < fields.size()) {
+        const std::string_view perm = fields[i + 1];
+        region.allow_read = perm.find('r') != std::string_view::npos;
+        region.allow_write = perm.find('w') != std::string_view::npos;
+        if (perm != "r" && perm != "w" && perm != "rw" && perm != "none") {
+          return Error(ErrorCode::kParseError,
+                       format("policy line %u: bad perm '%.*s'", line_no,
+                              static_cast<int>(perm.size()), perm.data()));
+        }
+        i += 2;
+      } else if (fields[i] == "pc" && i + 2 < fields.size()) {
+        S4E_TRY(lo, parse_value(fields[i + 1], line_no, symbols));
+        S4E_TRY(hi, parse_value(fields[i + 2], line_no, symbols));
+        region.pc_lo = lo;
+        region.pc_hi = hi;
+        i += 3;
+      } else {
+        return Error(ErrorCode::kParseError,
+                     format("policy line %u: unexpected token '%.*s'", line_no,
+                            static_cast<int>(fields[i].size()),
+                            fields[i].data()));
+      }
+    }
+    policy.regions.push_back(std::move(region));
+  }
+  return policy;
+}
+
+}  // namespace s4e::memwatch

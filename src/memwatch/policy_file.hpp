@@ -1,0 +1,24 @@
+// Text format for memwatch policies, shared by the dynamic plugin tooling
+// and the static screening in s4e-lint:
+//
+//   # comment
+//   default allow|deny
+//   region <name> <base> <size> [perm r|w|rw|none] [pc <lo> <hi>]
+//
+// Numeric fields accept decimal or 0x-prefixed hex; any of them may instead
+// be a symbol name, resolved against the program's symbol table (so a PC
+// window can be written `pc uart_puts uart_puts_end`).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "memwatch/memwatch.hpp"
+
+namespace s4e::memwatch {
+
+Result<Policy> parse_policy(std::string_view text,
+                            const std::map<std::string, u32>& symbols = {});
+
+}  // namespace s4e::memwatch

@@ -4,6 +4,8 @@
 #include <limits>
 #include <set>
 
+#include "dataflow/analyze.hpp"
+
 #include "cfg/dominators.hpp"
 #include "cfg/loops.hpp"
 #include "common/strings.hpp"
@@ -270,8 +272,27 @@ Result<u64> Analyzer::function_wcet(
 
 Result<AnalysisResult> Analyzer::analyze(
     const assembler::Program& program) const {
-  S4E_TRY(program_cfg, cfg::build_cfg(program));
-  return analyze(program_cfg);
+  if (!options_.resolve_indirect && !options_.prune_infeasible) {
+    S4E_TRY(program_cfg, cfg::build_cfg(program));
+    return analyze(program_cfg);
+  }
+  S4E_TRY(analysis, dataflow::analyze_program(program));
+  // The aiT-style contract still holds after resolution: every *reachable*
+  // indirect jump must have an explicit target set.
+  if (!analysis.unresolved.empty()) {
+    const dataflow::UnresolvedSite& site = analysis.unresolved.front();
+    return Error(
+        ErrorCode::kAnalysisError,
+        format("indirect %s at 0x%08x in function '%s' is not analyzable "
+               "(target value: %s; %zu unresolved site(s) total)",
+               site.is_call ? "call" : "jump", site.pc, site.function.c_str(),
+               site.target.c_str(), analysis.unresolved.size()));
+  }
+  if (options_.prune_infeasible) {
+    S4E_TRY(pruned, dataflow::prune_cfg(analysis));
+    return analyze(pruned);
+  }
+  return analyze(analysis.cfg);
 }
 
 Result<AnalysisResult> Analyzer::analyze(

@@ -42,6 +42,15 @@ struct AnalysisResult {
 struct AnalyzerOptions {
   vp::TimingParams timing;
   std::string program_name = "program";
+  // Run the data-flow analysis to resolve jump-table / `la`+`jr` indirect
+  // jumps into explicit CFG edges before analyzing. Without it any indirect
+  // jump is a hard error (the pre-dataflow contract).
+  bool resolve_indirect = true;
+  // Drop statically unreachable blocks and infeasible branch edges before
+  // the IPET pass. Sound (the pruned graph is a sub-graph, so the bound can
+  // only tighten) but off by default: benchmarks guarded by constant-folded
+  // self checks would otherwise lose their deliberately-heavy arms.
+  bool prune_infeasible = false;
 };
 
 class Analyzer {

@@ -338,5 +338,116 @@ loop:
   EXPECT_FALSE(forest->loops[0].bound.has_value());
 }
 
+// Synthetic function: `n` one-instruction blocks plus explicit edges, for
+// exercising dominators/loops on shapes the builder cannot emit directly
+// (blocks with no path from the entry).
+Function make_fn(std::size_t n,
+                 std::initializer_list<std::pair<BlockId, BlockId>> edges) {
+  Function fn;
+  fn.name = "synthetic";
+  for (std::size_t i = 0; i < n; ++i) {
+    BasicBlock block;
+    block.id = static_cast<BlockId>(i);
+    block.start = static_cast<u32>(i * 4);
+    block.end = block.start + 4;
+    fn.block_by_start[block.start] = block.id;
+    fn.blocks.push_back(std::move(block));
+  }
+  for (const auto& [from, to] : edges) {
+    fn.blocks[from].successors.push_back({to, EdgeKind::kTaken});
+    fn.blocks[to].predecessors.push_back(from);
+  }
+  return fn;
+}
+
+TEST(Dominators, UnreachableBlockDominatedByNothing) {
+  // 0 -> 1 -> 3, with 2 -> 3 where block 2 has no path from the entry.
+  Function fn = make_fn(4, {{0, 1}, {1, 3}, {2, 3}});
+  Dominators dom(fn);
+  EXPECT_EQ(dom.idom(2), kNoBlock);
+  EXPECT_FALSE(dom.dominates(0, 2));
+  EXPECT_FALSE(dom.dominates(2, 3));  // the unreachable pred must not count
+  EXPECT_EQ(dom.idom(3), 1u);
+  // RPO covers only the reachable part.
+  EXPECT_EQ(dom.reverse_post_order().size(), 3u);
+}
+
+TEST(Dominators, UnreachableCycleDoesNotPerturbIdoms) {
+  // Reachable diamond 0 -> {1, 2} -> 3 plus an unreachable cycle 4 <-> 5
+  // with an edge 5 -> 3 into the join.
+  Function fn = make_fn(
+      6, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {4, 5}, {5, 4}, {5, 3}});
+  Dominators dom(fn);
+  EXPECT_EQ(dom.idom(3), 0u);
+  EXPECT_TRUE(dom.dominates(0, 3));
+  EXPECT_EQ(dom.idom(4), kNoBlock);
+  EXPECT_EQ(dom.idom(5), kNoBlock);
+}
+
+TEST(Loops, BackEdgeFromUnreachableBlockIgnored) {
+  // 3 -> 1 looks like a latch, but 3 is unreachable, so 1 heads no loop.
+  Function fn = make_fn(4, {{0, 1}, {1, 2}, {3, 1}});
+  Dominators dom(fn);
+  auto forest = find_loops(fn, dom, {});
+  ASSERT_TRUE(forest.ok()) << forest.error().to_string();
+  EXPECT_TRUE(forest->loops.empty());
+}
+
+TEST(Loops, MultiLatchLoopMergesIntoOne) {
+  // Two back edges into the same header (a loop with a `continue` path)
+  // must yield ONE loop containing both latches.
+  auto cfg = build_ok(R"(
+    li t0, 10
+loop:
+    .loopbound 10
+    addi t0, t0, -1
+    andi t1, t0, 1
+    beqz t1, even
+    bnez t0, loop
+    j done
+even:
+    bnez t0, loop
+done:
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  auto forest = find_loops(fn, dom, cfg.loop_bounds);
+  ASSERT_TRUE(forest.ok()) << forest.error().to_string();
+  ASSERT_EQ(forest->loops.size(), 1u);
+  const Loop& loop = forest->loops[0];
+  EXPECT_EQ(loop.back_sources.size(), 2u);
+  for (BlockId latch : loop.back_sources) {
+    EXPECT_TRUE(loop.contains(latch));
+  }
+  ASSERT_TRUE(loop.bound.has_value());
+  EXPECT_EQ(*loop.bound, 10u);
+}
+
+TEST(Loops, MultiLatchDefeatsCountedPattern) {
+  // Same shape without the annotation: the decrement-to-zero pattern
+  // requires a single latch, so the bound must stay unresolved (not
+  // silently wrong).
+  auto cfg = build_ok(R"(
+    li t0, 10
+loop:
+    addi t0, t0, -1
+    andi t1, t0, 1
+    beqz t1, even
+    bnez t0, loop
+    j done
+even:
+    bnez t0, loop
+done:
+    ecall
+  )");
+  const Function& fn = cfg.entry_function();
+  Dominators dom(fn);
+  auto forest = find_loops(fn, dom, cfg.loop_bounds);
+  ASSERT_TRUE(forest.ok()) << forest.error().to_string();
+  ASSERT_EQ(forest->loops.size(), 1u);
+  EXPECT_FALSE(forest->loops[0].bound.has_value());
+}
+
 }  // namespace
 }  // namespace s4e::cfg

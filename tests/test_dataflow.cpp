@@ -1,0 +1,344 @@
+// Tests for the data-flow framework (abstract values, whole-program
+// analysis, indirect-jump resolution) and the s4e-lint checks on top.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "asm/assembler.hpp"
+#include "core/workloads.hpp"
+#include "dataflow/absvalue.hpp"
+#include "dataflow/analyze.hpp"
+#include "dataflow/lint.hpp"
+#include "memwatch/policy_file.hpp"
+
+#ifndef S4E_SOURCE_DIR
+#error "S4E_SOURCE_DIR must be defined by the build system"
+#endif
+
+namespace s4e::dataflow {
+namespace {
+
+// ---------------------------------------------------------------- AbsValue
+
+TEST(AbsValue, ConstantAndJoin) {
+  auto a = AbsValue::constant(3);
+  auto b = AbsValue::constant(7);
+  EXPECT_TRUE(a.is_const());
+  EXPECT_EQ(a.const_value(), 3);
+  auto joined = AbsValue::join(a, b);
+  ASSERT_TRUE(joined.is_consts());
+  EXPECT_EQ(joined.values(), (std::vector<i64>{3, 7}));
+  EXPECT_EQ(AbsValue::join(a, AbsValue::bottom()), a);
+  EXPECT_TRUE(AbsValue::join(a, AbsValue::top()).is_top());
+}
+
+TEST(AbsValue, ConstantsAreCanonicalSignExtended) {
+  auto v = AbsValue::constant(0xffffffffu);
+  EXPECT_EQ(v.const_value(), -1);
+  EXPECT_EQ(v.const_raw(), 0xffffffffu);
+}
+
+TEST(AbsValue, JoinDecaysToHullPastBudget) {
+  std::vector<i64> values;
+  for (i64 i = 0; i < 40; ++i) values.push_back(i * 4);
+  auto v = AbsValue::from_values(values);
+  ASSERT_TRUE(v.is_range());
+  EXPECT_EQ(v.lo(), 0);
+  EXPECT_EQ(v.hi(), 156);
+  EXPECT_EQ(v.stride(), 4);
+}
+
+TEST(AbsValue, RangeNormalization) {
+  EXPECT_TRUE(AbsValue::range(5, 5, 1).is_const());
+  EXPECT_TRUE(AbsValue::range(5, 4, 1).is_bottom());
+  auto v = AbsValue::range(0, 12, 4);
+  EXPECT_EQ(v.count(), 4u);
+  auto raw = v.enumerate();
+  EXPECT_EQ(raw, (std::vector<u32>{0, 4, 8, 12}));
+}
+
+TEST(AbsValue, EnumerateRespectsLimit) {
+  auto v = AbsValue::range(0, 1000, 1);
+  EXPECT_TRUE(v.enumerate(16).empty());
+  EXPECT_TRUE(AbsValue::top().enumerate().empty());
+}
+
+TEST(AbsValue, WidenGoesToTop) {
+  auto v = AbsValue::constant(9);
+  v.widen();
+  EXPECT_TRUE(v.is_top());
+  auto b = AbsValue::bottom();
+  b.widen();
+  EXPECT_TRUE(b.is_bottom());
+}
+
+TEST(AbsValue, AddAndSub) {
+  auto sum = av_add(AbsValue::constant(40), AbsValue::constant(2));
+  ASSERT_TRUE(sum.is_const());
+  EXPECT_EQ(sum.const_value(), 42);
+  auto shifted = av_add(AbsValue::range(0, 12, 4), AbsValue::constant(100));
+  ASSERT_TRUE(shifted.has_bounds());
+  EXPECT_EQ(shifted.lo(), 100);
+  EXPECT_EQ(shifted.hi(), 112);
+  EXPECT_EQ(shifted.count(), 4u);
+  EXPECT_TRUE(av_add(AbsValue::top(), AbsValue::constant(1)).is_top());
+}
+
+TEST(AbsValue, StackArithmetic) {
+  auto sp = AbsValue::stack(0, 0, 1);
+  auto frame = av_add(sp, AbsValue::constant(static_cast<u32>(-16)));
+  ASSERT_TRUE(frame.is_stack());
+  EXPECT_EQ(frame.lo(), -16);
+  // sp-relative minus sp-relative is a plain offset difference.
+  auto diff = av_sub(sp, frame);
+  ASSERT_TRUE(diff.is_const());
+  EXPECT_EQ(diff.const_value(), 16);
+}
+
+TEST(AbsValue, AndWithMaskBoundsTop) {
+  // The jump-table selector clamp: even an unknown value ANDed with a
+  // non-negative constant mask is bounded.
+  auto clamped = av_and(AbsValue::top(), AbsValue::constant(3));
+  ASSERT_TRUE(clamped.has_bounds());
+  EXPECT_EQ(clamped.lo(), 0);
+  EXPECT_EQ(clamped.hi(), 3);
+}
+
+TEST(AbsValue, ShiftForms) {
+  auto v = av_sll(AbsValue::range(0, 3, 1), AbsValue::constant(2));
+  ASSERT_TRUE(v.has_bounds());
+  EXPECT_EQ(v.lo(), 0);
+  EXPECT_EQ(v.hi(), 12);
+  auto s = av_sra(AbsValue::constant(0x80000000u), AbsValue::constant(31));
+  ASSERT_TRUE(s.is_const());
+  EXPECT_EQ(s.const_value(), -1);
+}
+
+TEST(AbsValue, SltDecidableOnDisjointRanges) {
+  auto lt = av_slt(AbsValue::range(0, 5, 1), AbsValue::range(10, 20, 1),
+                   /*is_unsigned=*/false);
+  ASSERT_TRUE(lt.is_const());
+  EXPECT_EQ(lt.const_value(), 1);
+  auto overlap = av_slt(AbsValue::range(0, 15, 1), AbsValue::range(10, 20, 1),
+                        /*is_unsigned=*/false);
+  EXPECT_EQ(overlap.lo(), 0);
+  EXPECT_EQ(overlap.hi(), 1);
+}
+
+TEST(AbsValue, DivisionFollowsRiscvSemantics) {
+  auto div0 = av_muldiv(isa::Op::kDiv, AbsValue::constant(7),
+                        AbsValue::constant(0));
+  ASSERT_TRUE(div0.is_const());
+  EXPECT_EQ(div0.const_value(), -1);  // RV32: x / 0 == -1
+  auto overflow = av_muldiv(isa::Op::kDiv, AbsValue::constant(0x80000000u),
+                            AbsValue::constant(0xffffffffu));
+  ASSERT_TRUE(overflow.is_const());
+  EXPECT_EQ(overflow.const_raw(), 0x80000000u);  // INT_MIN / -1 wraps
+}
+
+// ---------------------------------------------------------------- analysis
+
+Result<Analysis> analyze_source(std::string_view source) {
+  auto program = assembler::assemble(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().to_string());
+  return analyze_program(*program);
+}
+
+TEST(Analysis, ResolvesLaJrTrampoline) {
+  auto analysis = analyze_source(R"(
+    la t0, target
+    jalr zero, 0(t0)
+target:
+    li a7, 93
+    ecall
+  )");
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  EXPECT_TRUE(analysis->unresolved.empty());
+  ASSERT_EQ(analysis->resolved.size(), 1u);
+  EXPECT_EQ(analysis->resolved.begin()->second.size(), 1u);
+}
+
+TEST(Analysis, ResolvesJumpTableToAllTargets) {
+  auto workload = core::find_workload("jumptab");
+  ASSERT_TRUE(workload.ok());
+  auto analysis = analyze_source(workload->source);
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  EXPECT_TRUE(analysis->unresolved.empty());
+  ASSERT_EQ(analysis->resolved.size(), 1u);
+  EXPECT_EQ(analysis->resolved.begin()->second.size(), 4u);
+}
+
+TEST(Analysis, ReportsUnresolvableIndirect) {
+  auto analysis = analyze_source(R"(
+_start:
+    csrr t0, mcycle
+    jalr zero, 0(t0)
+    li a7, 93
+    ecall
+  )");
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  ASSERT_EQ(analysis->unresolved.size(), 1u);
+  EXPECT_FALSE(analysis->unresolved[0].is_call);
+  EXPECT_EQ(analysis->unresolved[0].function, "_start");
+}
+
+TEST(Analysis, PruneDropsInfeasibleArm) {
+  // `li t0, 1; beqz t0, dead` — the taken edge is statically infeasible,
+  // so pruning must drop the dead block (and with it the only `div`).
+  auto analysis = analyze_source(R"(
+    li t0, 1
+    beqz t0, dead
+    li a0, 0
+    li a7, 93
+    ecall
+dead:
+    div t1, t2, t3
+    li a7, 93
+    ecall
+  )");
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  const auto ops = reachable_ops(*analysis);
+  EXPECT_FALSE(ops[static_cast<unsigned>(isa::Op::kDiv)]);
+  EXPECT_TRUE(ops[static_cast<unsigned>(isa::Op::kEcall)]);
+
+  auto pruned = prune_cfg(*analysis);
+  ASSERT_TRUE(pruned.ok()) << pruned.error().to_string();
+  std::size_t full_blocks = 0;
+  for (const auto& fn : analysis->cfg.functions) full_blocks += fn.blocks.size();
+  std::size_t pruned_blocks = 0;
+  for (const auto& fn : pruned->functions) pruned_blocks += fn.blocks.size();
+  EXPECT_LT(pruned_blocks, full_blocks);
+}
+
+// -------------------------------------------------------------------- lint
+
+bool has_kind(const LintReport& report, CheckKind kind) {
+  return std::any_of(report.findings.begin(), report.findings.end(),
+                     [&](const Finding& f) { return f.kind == kind; });
+}
+
+Result<LintReport> lint_source(std::string_view source,
+                               const LintOptions& options = {}) {
+  auto program = assembler::assemble(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().to_string());
+  return lint_program(*program, options);
+}
+
+std::string read_negative(const std::string& name) {
+  const std::string path =
+      std::string(S4E_SOURCE_DIR) + "/workloads/negative/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Lint, CleanOnEveryStandardWorkload) {
+  // The zero-false-positive contract: every shipped workload lints clean.
+  for (const core::Workload& workload : core::standard_workloads()) {
+    auto report = lint_source(workload.source);
+    ASSERT_TRUE(report.ok()) << workload.name;
+    EXPECT_TRUE(report->clean())
+        << workload.name << ":\n" << report->to_string();
+  }
+}
+
+TEST(Lint, FlagsUninitializedReads) {
+  auto report = lint_source(read_negative("uninit_read.s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_kind(*report, CheckKind::kUninitRead));
+  // Both t0 and t1 are flagged at the same pc.
+  EXPECT_EQ(report->findings.size(), 2u);
+}
+
+TEST(Lint, FlagsUnreachableBlockAndDeadWrite) {
+  auto report = lint_source(read_negative("dead_code.s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_kind(*report, CheckKind::kUnreachableBlock));
+  EXPECT_TRUE(has_kind(*report, CheckKind::kDeadWrite));
+}
+
+TEST(Lint, FlagsUnbalancedStackAndReportsDepth) {
+  auto report = lint_source(read_negative("unbalanced_stack.s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_kind(*report, CheckKind::kStackImbalance));
+  EXPECT_EQ(report->max_stack_depth, 16);
+}
+
+TEST(Lint, FlagsOutOfPolicyUartStoreOnly) {
+  auto program = assembler::assemble(read_negative("uart_attack_static.s"));
+  ASSERT_TRUE(program.ok()) << program.error().to_string();
+  auto policy = memwatch::parse_policy(read_negative("uart.policy"),
+                                       program->symbols);
+  ASSERT_TRUE(policy.ok()) << policy.error().to_string();
+  LintOptions options;
+  options.policy = &*policy;
+  auto report = lint_program(*program, options);
+  ASSERT_TRUE(report.ok());
+  // Exactly one finding: the attack store. The in-window driver store and
+  // the .data accesses stay clean.
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].kind, CheckKind::kPolicyViolation);
+  EXPECT_NE(report->findings[0].message.find("uart"), std::string::npos);
+}
+
+TEST(Lint, FlagsUnresolvedIndirectJump) {
+  auto report = lint_source(read_negative("jump_table_unresolved.s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_kind(*report, CheckKind::kUnresolvedIndirect));
+}
+
+TEST(Lint, StackDepthSumsOverCallChain) {
+  auto report = lint_source(R"(
+_start:
+    addi sp, sp, -32
+    call helper
+    addi sp, sp, 32
+    li a0, 0
+    li a7, 93
+    ecall
+helper:
+    addi sp, sp, -48
+    sw zero, 0(sp)
+    addi sp, sp, 48
+    ret
+  )");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->to_string();
+  EXPECT_EQ(report->max_stack_depth, 80);
+}
+
+// ------------------------------------------------------------- policy file
+
+TEST(PolicyFile, ParsesRegionsAndDefaults) {
+  auto policy = memwatch::parse_policy(R"(
+# comment
+default deny
+region rom 0x1000 0x100 perm r
+region dev 0x2000 16 perm rw pc 0x80 0x90
+)");
+  ASSERT_TRUE(policy.ok()) << policy.error().to_string();
+  EXPECT_FALSE(policy->default_allow);
+  ASSERT_EQ(policy->regions.size(), 2u);
+  EXPECT_TRUE(policy->regions[0].allow_read);
+  EXPECT_FALSE(policy->regions[0].allow_write);
+  EXPECT_TRUE(policy->regions[1].pc_allowed(0x84));
+  EXPECT_FALSE(policy->regions[1].pc_allowed(0x94));
+}
+
+TEST(PolicyFile, ResolvesSymbolsAndReportsErrors) {
+  std::map<std::string, u32> symbols{{"uart", 0x10000000u}};
+  auto ok = memwatch::parse_policy("region u uart 8 perm w\n", symbols);
+  ASSERT_TRUE(ok.ok()) << ok.error().to_string();
+  EXPECT_EQ(ok->regions[0].base, 0x10000000u);
+
+  auto bad = memwatch::parse_policy("region u nosuch 8\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message().find("line 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s4e::dataflow

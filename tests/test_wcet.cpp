@@ -249,14 +249,48 @@ side_entry:
   EXPECT_EQ(result.error().code(), ErrorCode::kAnalysisError);
 }
 
-TEST(Wcet, IndirectJumpRejectedWithDiagnostic) {
+TEST(Wcet, ResolvableIndirectJumpAnalyzed) {
+  // `la` + `jr` yields a single constant target: the data-flow resolver
+  // turns it into an explicit CFG edge and the analysis succeeds.
+  const std::string source = std::string(R"(
+    la t0, t1_target
+    jalr zero, 0(t0)
+t1_target:
+)") + kExit;
+  auto analysis = analyze_ok(source);
+  EXPECT_GT(analysis.total_wcet, 0u);
+  EXPECT_GE(analysis.total_wcet, observe(source));
+}
+
+TEST(Wcet, UnresolvableIndirectJumpRejectedWithDiagnostic) {
+  // A jump target read from a CSR is unbounded (Top): the resolver cannot
+  // enumerate it, so the analyzer rejects with the per-site diagnostic.
   auto result = analyze(R"(
+    csrr t0, mcycle
+    jalr zero, 0(t0)
+    li a7, 93
+    ecall
+  )");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("indirect"), std::string::npos);
+  EXPECT_NE(result.error().message().find("not analyzable"),
+            std::string::npos);
+}
+
+TEST(Wcet, LegacyModeRejectsAnyIndirectJump) {
+  // With resolution disabled every indirect jump is a hard error, even a
+  // trivially resolvable one (the pre-dataflow contract).
+  auto program = assembler::assemble(R"(
     la t0, t1_target
     jalr zero, 0(t0)
 t1_target:
     li a7, 93
     ecall
   )");
+  ASSERT_TRUE(program.ok());
+  AnalyzerOptions options;
+  options.resolve_indirect = false;
+  auto result = Analyzer(options).analyze(*program);
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.error().message().find("indirect"), std::string::npos);
 }
@@ -324,6 +358,31 @@ TEST_P(WorkloadBound, StaticBoundHolds) {
   auto run = machine.run();
   ASSERT_TRUE(run.normal_exit()) << workload.name;
   EXPECT_GE(analysis->total_wcet, run.cycles) << workload.name;
+}
+
+TEST_P(WorkloadBound, PrunedBoundNeverWorse) {
+  // Pruning unreachable blocks / infeasible edges analyzes a sub-graph of
+  // the original CFG, so the IPET bound may only tighten — and it must stay
+  // sound against the observed run.
+  const core::Workload& workload =
+      core::standard_workloads()[GetParam()];
+  if (!workload.wcet_analyzable) GTEST_SKIP();
+  auto program = assembler::assemble(workload.source);
+  ASSERT_TRUE(program.ok()) << program.error().to_string();
+  auto unpruned = Analyzer().analyze(*program);
+  ASSERT_TRUE(unpruned.ok()) << workload.name << ": "
+                             << unpruned.error().to_string();
+  AnalyzerOptions options;
+  options.prune_infeasible = true;
+  auto pruned = Analyzer(options).analyze(*program);
+  ASSERT_TRUE(pruned.ok()) << workload.name << ": "
+                           << pruned.error().to_string();
+  EXPECT_LE(pruned->total_wcet, unpruned->total_wcet) << workload.name;
+  vp::Machine machine;
+  ASSERT_TRUE(machine.load_program(*program).ok());
+  auto run = machine.run();
+  ASSERT_TRUE(run.normal_exit()) << workload.name;
+  EXPECT_GE(pruned->total_wcet, run.cycles) << workload.name;
 }
 
 INSTANTIATE_TEST_SUITE_P(

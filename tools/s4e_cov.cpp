@@ -1,11 +1,17 @@
 // s4e-cov — run one or more ELFs and print merged coverage (the suite-level
 // view behind the E4 table: per-binary runs, union on merge).
 //
-//   s4e-cov a.elf b.elf ...  [--per-binary]
+// With --static (default on; disable with --no-static) each binary is also
+// analyzed statically and the report gains a second denominator: coverage
+// over the instruction types a feasible path could execute at all.
+//
+//   s4e-cov a.elf b.elf ...  [--per-binary] [--no-static]
 #include <cstdio>
 
 #include "coverage/coverage.hpp"
+#include "dataflow/analyze.hpp"
 #include "elf/elf32.hpp"
+#include "isa/opcode.hpp"
 #include "tools/tool_util.hpp"
 #include "vp/machine.hpp"
 
@@ -13,11 +19,16 @@ int main(int argc, char** argv) {
   using namespace s4e;
   tools::Args args(argc, argv, {});
   if (args.positional().empty()) {
-    std::fprintf(stderr, "usage: s4e-cov <a.elf> [b.elf ...] [--per-binary]\n");
+    std::fprintf(stderr,
+                 "usage: s4e-cov <a.elf> [b.elf ...] [--per-binary] "
+                 "[--no-static]\n");
     return 2;
   }
+  const bool use_static = !args.has("--no-static");
 
   coverage::CoverageData merged;
+  std::vector<bool> static_ops(isa::kOpCount, false);
+  bool have_static = false;
   unsigned failures = 0;
   for (const std::string& path : args.positional()) {
     auto program = elf::read_elf_file(path);
@@ -25,6 +36,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "s4e-cov: %s\n",
                    program.error().to_string().c_str());
       return 1;
+    }
+    std::vector<bool> binary_ops;
+    if (use_static) {
+      if (auto analysis = dataflow::analyze_program(*program); analysis.ok()) {
+        binary_ops = dataflow::reachable_ops(*analysis);
+        have_static = true;
+        for (unsigned i = 0; i < isa::kOpCount; ++i) {
+          if (binary_ops[i]) static_ops[i] = true;
+        }
+      } else {
+        std::fprintf(stderr, "s4e-cov: %s: static analysis skipped (%s)\n",
+                     path.c_str(), analysis.error().to_string().c_str());
+      }
     }
     vp::Machine machine;
     if (auto status = machine.load_program(*program); !status.ok()) {
@@ -41,7 +65,11 @@ int main(int argc, char** argv) {
                    std::string(vp::to_string(result.reason)).c_str());
     }
     if (args.has("--per-binary")) {
-      std::printf("%s", coverage::to_report(plugin.data(), path).c_str());
+      std::printf("%s",
+                  coverage::to_report(plugin.data(), path,
+                                      binary_ops.empty() ? nullptr
+                                                         : &binary_ops)
+                      .c_str());
       std::printf("\n");
     }
     merged.merge(plugin.data());
@@ -49,8 +77,10 @@ int main(int argc, char** argv) {
 
   if (args.positional().size() > 1 || !args.has("--per-binary")) {
     std::printf("%s", coverage::to_report(
-                          merged, format("merged over %zu binaries",
-                                         args.positional().size()))
+                          merged,
+                          format("merged over %zu binaries",
+                                 args.positional().size()),
+                          have_static ? &static_ops : nullptr)
                           .c_str());
   }
   return failures == 0 ? 0 : 1;

@@ -1,0 +1,71 @@
+// s4e-lint — static binary linter over the reconstructed CFG.
+//
+// Runs the data-flow analysis (abstract register values, liveness,
+// reachability, indirect-target resolution) and reports uninitialized
+// register reads, unreachable code, dead register writes, stack imbalance
+// and static stack depth, memory-policy violations and unresolved indirect
+// jumps. Accepts an ELF or a .s source (assembled in-process).
+//
+//   s4e-lint <prog.elf|prog.s> [--policy file.policy] [--quiet]
+//
+// Exit status: 0 = clean, 1 = findings reported, 2 = usage/analysis error.
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "dataflow/lint.hpp"
+#include "elf/elf32.hpp"
+#include "memwatch/policy_file.hpp"
+#include "tools/tool_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace s4e;
+  tools::Args args(argc, argv, {"--policy"});
+  if (args.positional().size() != 1) {
+    std::fprintf(
+        stderr,
+        "usage: s4e-lint <prog.elf|prog.s> [--policy file.policy] [--quiet]\n");
+    return 2;
+  }
+  const std::string& path = args.positional()[0];
+
+  Result<assembler::Program> program =
+      ends_with(path, ".s")
+          ? [&]() -> Result<assembler::Program> {
+              auto source = tools::read_file(path);
+              if (!source.ok()) return source.error();
+              return assembler::assemble(*source);
+            }()
+          : elf::read_elf_file(path);
+  if (!program.ok()) {
+    std::fprintf(stderr, "s4e-lint: %s\n", program.error().to_string().c_str());
+    return 2;
+  }
+
+  memwatch::Policy policy;
+  dataflow::LintOptions options;
+  if (args.has("--policy")) {
+    auto text = tools::read_file(args.value("--policy"));
+    if (!text.ok()) {
+      std::fprintf(stderr, "s4e-lint: %s\n", text.error().to_string().c_str());
+      return 2;
+    }
+    auto parsed = memwatch::parse_policy(*text, program->symbols);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "s4e-lint: %s\n",
+                   parsed.error().to_string().c_str());
+      return 2;
+    }
+    policy = std::move(*parsed);
+    options.policy = &policy;
+  }
+
+  auto report = dataflow::lint_program(*program, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "s4e-lint: %s\n", report.error().to_string().c_str());
+    return 2;
+  }
+  if (!args.has("--quiet")) {
+    std::printf("%s", report->to_string().c_str());
+  }
+  return report->clean() ? 0 : 1;
+}

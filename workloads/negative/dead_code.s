@@ -1,0 +1,17 @@
+# seeded defect: an unreachable basic block and a dead register write
+# s4e-lint must report unreachable (the island) and dead-write (t2).
+
+_start:
+    li t0, 1
+    beqz t0, island    # t0 == 1: statically never taken, but the edge
+                       # exists so the island is CFG-reachable; the real
+                       # dead block is the fallthrough-free island below.
+    j end
+island:
+    addi t1, t1, 1
+    j end
+end:
+    li t2, 42          # t2 is never read afterwards: dead write
+    li a0, 0
+    li a7, 93
+    ecall

@@ -1,0 +1,9 @@
+# seeded defect: an indirect jump whose target set cannot be enumerated
+# (the register comes from a CSR read). s4e-lint must report an indirect
+# finding; the WCET analyzer rejects the same program.
+
+_start:
+    csrr t0, mcycle
+    jalr zero, 0(t0)
+    li a7, 93
+    ecall

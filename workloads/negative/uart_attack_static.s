@@ -1,0 +1,28 @@
+# seeded defect: a direct UART store from outside the sanctioned driver
+# With workloads/negative/uart.policy, s4e-lint must report a policy
+# finding for the `sb` in _start while the uart_puts store stays clean.
+
+_start:
+    la a0, msg
+    call uart_puts     # sanctioned path: stores from inside the pc window
+    li t0, 0x10000000
+    li t1, 88
+    sb t1, 0(t0)       # direct device write outside the window
+    li a0, 0
+    li a7, 93
+    ecall
+
+uart_puts:
+    lbu t2, 0(a0)
+    beqz t2, puts_done
+    li t3, 0x10000000
+    sb t2, 0(t3)
+    addi a0, a0, 1
+    j uart_puts
+puts_done:
+    ret
+uart_puts_end:
+
+.data
+msg:
+    .asciz "hi"

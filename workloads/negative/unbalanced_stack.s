@@ -1,0 +1,13 @@
+# seeded defect: a callee allocates a frame and returns without releasing it
+# s4e-lint must report a stack-imbalance finding for `leaky`.
+
+_start:
+    call leaky
+    li a0, 0
+    li a7, 93
+    ecall
+
+leaky:
+    addi sp, sp, -16
+    sw zero, 0(sp)
+    ret                # missing `addi sp, sp, 16`

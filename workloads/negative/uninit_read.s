@@ -1,0 +1,7 @@
+# seeded defect: reads temporaries before any write reaches them
+# s4e-lint must report uninit-read findings (t0 and t1 at the add).
+
+_start:
+    add a0, t0, t1     # t0/t1 never initialized on this path
+    li a7, 93
+    ecall
