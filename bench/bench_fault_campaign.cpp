@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench/bench_report.hpp"
 #include "common/strings.hpp"
 #include "core/ecosystem.hpp"
 #include "core/workloads.hpp"
@@ -132,52 +133,90 @@ int main() {
                 seconds, mutants / seconds);
   }
 
-  // Parallel executor: serial vs thread-pooled campaign on one workload.
-  // The parallel result must be bit-identical to the serial one.
+  // Fresh-vs-reuse x serial-vs-parallel matrix on one workload: per-worker
+  // machine reuse (snapshot once, dirty-page restore per mutant) against
+  // the fresh-machine-per-mutant path, at jobs=1 and jobs=hw. All four
+  // results must be bit-identical.
   {
     // Floor at 2 so the pooled path is exercised even on a 1-core host
     // (there the comparison degenerates to ~1.0x, as expected).
     const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
-    std::printf("\n[E5-parallel] bubble_sort, 800 mutants, serial vs "
-                "jobs=%u:\n",
+    std::printf("\n[E5-reuse] bubble_sort, 800 mutants, fresh vs reused "
+                "machines, jobs 1 and %u:\n",
                 hw);
     fault::CampaignConfig par;
     par.seed = 0x5ca1e4ed;
     par.mutant_count = 800;
 
-    double serial_seconds = 0;
-    fault::CampaignResult serial_result;
-    {
-      par.jobs = 1;
+    struct Cell {
+      const char* name;
+      unsigned jobs;
+      bool reuse;
+      double seconds = 0;
+      fault::CampaignResult result;
+    } cells[] = {
+        {"fresh serial", 1, false, 0, {}},
+        {"reuse serial", 1, true, 0, {}},
+        {"fresh parallel", hw, false, 0, {}},
+        {"reuse parallel", hw, true, 0, {}},
+    };
+    for (Cell& cell : cells) {
+      par.jobs = cell.jobs;
+      par.reuse_machines = cell.reuse;
       const auto start = std::chrono::steady_clock::now();
       auto result = ecosystem.run_campaign(*sort_program, par);
-      serial_seconds = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
-      S4E_CHECK(result.ok());
-      serial_result = std::move(*result);
+      cell.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      S4E_CHECK_MSG(result.ok(), cell.name);
+      cell.result = std::move(*result);
     }
-    double parallel_seconds = 0;
-    fault::CampaignResult parallel_result;
-    {
-      par.jobs = hw;
-      const auto start = std::chrono::steady_clock::now();
-      auto result = ecosystem.run_campaign(*sort_program, par);
-      parallel_seconds = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-      S4E_CHECK(result.ok());
-      parallel_result = std::move(*result);
+    bool all_identical = true;
+    for (const Cell& cell : cells) {
+      std::printf("  %-15s (jobs=%-2u): %6.2f s  (%7.0f mutants/s)\n",
+                  cell.name, cell.jobs, cell.seconds,
+                  par.mutant_count / cell.seconds);
+      all_identical &= identical_results(cells[0].result, cell.result);
     }
-    std::printf("  jobs=1 : %6.2f s  (%7.0f mutants/s)\n", serial_seconds,
-                par.mutant_count / serial_seconds);
-    std::printf("  jobs=%-2u: %6.2f s  (%7.0f mutants/s)\n", hw,
-                parallel_seconds, par.mutant_count / parallel_seconds);
-    std::printf("  speedup: %.2fx   results bit-identical: %s\n",
-                serial_seconds / parallel_seconds,
-                identical_results(serial_result, parallel_result) ? "yes"
-                                                                  : "NO");
-    S4E_CHECK(identical_results(serial_result, parallel_result));
+    const auto& stats = cells[1].result.snapshot_stats;
+    std::printf("  reuse speedup: %.2fx serial, %.2fx parallel   "
+                "results bit-identical: %s\n",
+                cells[0].seconds / cells[1].seconds,
+                cells[2].seconds / cells[3].seconds,
+                all_identical ? "yes" : "NO");
+    std::printf("  serial reuse %s\n", stats.to_string().c_str());
+    S4E_CHECK(all_identical);
+
+    bench::merge_bench_entry(
+        "BENCH_campaign.json", "fault_campaign",
+        format("{\"workload\": \"bubble_sort\", \"mutants\": %u, "
+               "\"jobs\": %u, "
+               "\"fresh_serial_mutants_per_s\": %s, "
+               "\"reuse_serial_mutants_per_s\": %s, "
+               "\"fresh_parallel_mutants_per_s\": %s, "
+               "\"reuse_parallel_mutants_per_s\": %s, "
+               "\"reuse_serial_speedup\": %s, "
+               "\"pages_copied_fraction\": %s}",
+               par.mutant_count, hw,
+               bench::json_number(par.mutant_count / cells[0].seconds)
+                   .c_str(),
+               bench::json_number(par.mutant_count / cells[1].seconds)
+                   .c_str(),
+               bench::json_number(par.mutant_count / cells[2].seconds)
+                   .c_str(),
+               bench::json_number(par.mutant_count / cells[3].seconds)
+                   .c_str(),
+               bench::json_number(cells[0].seconds / cells[1].seconds)
+                   .c_str(),
+               bench::json_number(stats.pages_total == 0
+                                      ? 0.0
+                                      : static_cast<double>(
+                                            stats.pages_copied) /
+                                            static_cast<double>(
+                                                stats.pages_total),
+                                  6)
+                   .c_str()));
+    std::printf("  (recorded in BENCH_campaign.json)\n");
   }
   return 0;
 }

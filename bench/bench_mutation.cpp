@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "asm/assembler.hpp"
+#include "bench/bench_report.hpp"
 #include "common/strings.hpp"
 #include "core/workloads.hpp"
 #include "mutation/mutation.hpp"
@@ -131,8 +132,10 @@ int main() {
                 "kills)\n");
   }
 
-  // Parallel executor: serial vs thread-pooled mutant runs; the score must
-  // be bit-identical.
+  // Fresh-vs-reuse x serial-vs-parallel matrix: per-worker machine reuse
+  // (snapshot once, dirty-page restore + patch per mutant) against the
+  // fresh-machine path, at jobs=1 and jobs=hw. All four scores must be
+  // bit-identical.
   {
     // Floor at 2 so the pooled path is exercised even on a 1-core host
     // (there the comparison degenerates to ~1.0x, as expected).
@@ -142,40 +145,76 @@ int main() {
     auto program = assembler::assemble(workload->source);
     S4E_CHECK(program.ok());
 
-    mutation::MutationConfig config;
-    config.jobs = 1;
-    mutation::MutationCampaign serial_campaign(*program, config);
-    auto serial_start = std::chrono::steady_clock::now();
-    auto serial_score = serial_campaign.run();
-    const double serial_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      serial_start)
-            .count();
-    S4E_CHECK(serial_score.ok());
+    struct Cell {
+      const char* name;
+      unsigned jobs;
+      bool reuse;
+      double seconds = 0;
+      mutation::MutationScore score;
+    } cells[] = {
+        {"fresh serial", 1, false, 0, {}},
+        {"reuse serial", 1, true, 0, {}},
+        {"fresh parallel", hw, false, 0, {}},
+        {"reuse parallel", hw, true, 0, {}},
+    };
+    for (Cell& cell : cells) {
+      mutation::MutationConfig config;
+      config.jobs = cell.jobs;
+      config.reuse_machines = cell.reuse;
+      mutation::MutationCampaign campaign(*program, config);
+      const auto start = std::chrono::steady_clock::now();
+      auto score = campaign.run();
+      cell.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      S4E_CHECK_MSG(score.ok(), cell.name);
+      cell.score = std::move(*score);
+    }
+    const double runs = static_cast<double>(cells[0].score.results.size());
+    std::printf("\n[E10-reuse] bubble_sort, %.0f mutants, fresh vs reused "
+                "machines, jobs 1 and %u:\n",
+                runs, hw);
+    bool all_identical = true;
+    for (const Cell& cell : cells) {
+      std::printf("  %-15s (jobs=%-2u): %6.2f s  (%7.0f runs/s)\n",
+                  cell.name, cell.jobs, cell.seconds, runs / cell.seconds);
+      all_identical &= identical_scores(cells[0].score, cell.score);
+    }
+    const auto& stats = cells[1].score.snapshot_stats;
+    std::printf("  reuse speedup: %.2fx serial, %.2fx parallel   "
+                "scores bit-identical: %s\n",
+                cells[0].seconds / cells[1].seconds,
+                cells[2].seconds / cells[3].seconds,
+                all_identical ? "yes" : "NO");
+    std::printf("  serial reuse %s\n", stats.to_string().c_str());
+    S4E_CHECK(all_identical);
 
-    config.jobs = hw;
-    mutation::MutationCampaign parallel_campaign(*program, config);
-    auto parallel_start = std::chrono::steady_clock::now();
-    auto parallel_score = parallel_campaign.run();
-    const double parallel_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      parallel_start)
-            .count();
-    S4E_CHECK(parallel_score.ok());
-
-    std::printf("\n[E10-parallel] bubble_sort, %zu mutants, serial vs "
-                "jobs=%u:\n",
-                serial_score->results.size(), hw);
-    std::printf("  jobs=1 : %6.2f s  (%7.0f runs/s)\n", serial_seconds,
-                serial_score->results.size() / serial_seconds);
-    std::printf("  jobs=%-2u: %6.2f s  (%7.0f runs/s)\n", hw,
-                parallel_seconds,
-                parallel_score->results.size() / parallel_seconds);
-    std::printf("  speedup: %.2fx   scores bit-identical: %s\n",
-                serial_seconds / parallel_seconds,
-                identical_scores(*serial_score, *parallel_score) ? "yes"
-                                                                 : "NO");
-    S4E_CHECK(identical_scores(*serial_score, *parallel_score));
+    bench::merge_bench_entry(
+        "BENCH_campaign.json", "mutation",
+        format("{\"workload\": \"bubble_sort\", \"mutants\": %.0f, "
+               "\"jobs\": %u, "
+               "\"fresh_serial_runs_per_s\": %s, "
+               "\"reuse_serial_runs_per_s\": %s, "
+               "\"fresh_parallel_runs_per_s\": %s, "
+               "\"reuse_parallel_runs_per_s\": %s, "
+               "\"reuse_serial_speedup\": %s, "
+               "\"pages_copied_fraction\": %s}",
+               runs, hw,
+               bench::json_number(runs / cells[0].seconds).c_str(),
+               bench::json_number(runs / cells[1].seconds).c_str(),
+               bench::json_number(runs / cells[2].seconds).c_str(),
+               bench::json_number(runs / cells[3].seconds).c_str(),
+               bench::json_number(cells[0].seconds / cells[1].seconds)
+                   .c_str(),
+               bench::json_number(stats.pages_total == 0
+                                      ? 0.0
+                                      : static_cast<double>(
+                                            stats.pages_copied) /
+                                            static_cast<double>(
+                                                stats.pages_total),
+                                  6)
+                   .c_str()));
+    std::printf("  (recorded in BENCH_campaign.json)\n");
   }
   return 0;
 }

@@ -1,0 +1,73 @@
+// Line-oriented merge of bench results into one flat JSON report file.
+//
+// bench_fault_campaign and bench_mutation both contribute an entry to
+// BENCH_campaign.json; whichever runs later must not clobber the other's
+// entry. The file format is deliberately rigid — one `"key": {...}` object
+// per line inside a single top-level object — so merging is a line replace,
+// not a JSON parse.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace s4e::bench {
+
+// Insert or replace the `key` entry in the report at `path`, preserving the
+// other entries and their order. `object_json` must be a one-line JSON value
+// (typically an object).
+inline void merge_bench_entry(const std::string& path, const std::string& key,
+                              const std::string& object_json) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto open_quote = line.find('"');
+      if (open_quote == std::string::npos) continue;  // braces / blank lines
+      const auto close_quote = line.find('"', open_quote + 1);
+      const auto colon = line.find(':', close_quote);
+      if (close_quote == std::string::npos || colon == std::string::npos) {
+        continue;
+      }
+      std::string value = line.substr(colon + 1);
+      while (!value.empty() && (value.front() == ' ')) value.erase(0, 1);
+      while (!value.empty() &&
+             (value.back() == ',' || value.back() == ' ')) {
+        value.pop_back();
+      }
+      entries.emplace_back(
+          line.substr(open_quote + 1, close_quote - open_quote - 1), value);
+    }
+  }
+  bool replaced = false;
+  for (auto& entry : entries) {
+    if (entry.first == key) {
+      entry.second = object_json;
+      replaced = true;
+    }
+  }
+  if (!replaced) entries.emplace_back(key, object_json);
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << "  \"" << entries[i].first << "\": " << entries[i].second
+        << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+}
+
+// Format a double for JSON with fixed precision (locale-independent digits;
+// the default precision is plenty for throughput numbers, tiny fractions
+// pass a larger `decimals`).
+inline std::string json_number(double value, int decimals = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace s4e::bench

@@ -86,6 +86,19 @@ class CampaignExecutor {
   // silently skipped).
   void run(std::size_t count, const std::function<void(std::size_t)>& job);
 
+  // Worker-affine variant: run job(worker, i) for every i in [0, count),
+  // where `worker` identifies the executing lane (0..jobs()-1, stable for
+  // that lane's whole lifetime). One long-lived pool task per lane claims
+  // indices from a shared atomic counter, so a lane can keep worker-local
+  // state (e.g. a reusable vp::Machine) across the jobs it executes while
+  // load balancing stays dynamic. Determinism is unchanged: slots are still
+  // indexed by submission order. jobs() == 1 runs inline as lane 0. Throws
+  // the first captured job exception after all lanes drained; a lane that
+  // throws stops claiming further indices, the remaining lanes finish the
+  // campaign.
+  void run_affine(std::size_t count,
+                  const std::function<void(unsigned, std::size_t)>& job);
+
  private:
   unsigned jobs_;
 };

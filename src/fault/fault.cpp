@@ -1,9 +1,10 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
-#include <set>
+#include <memory>
 
 #include "common/strings.hpp"
+#include "vp/runner.hpp"
 
 namespace s4e::fault {
 
@@ -146,48 +147,19 @@ void FaultInjectorPlugin::on_mem(const s4e_mem_event& event) {
 
 Result<Campaign::Profile> Campaign::profile_run(CampaignResult& result) {
   vp::Machine machine(config_.machine);
-  S4E_TRY_STATUS(machine.load_program(program_));
-
   coverage::CoveragePlugin coverage_plugin;
   coverage_plugin.attach(machine.vm_handle());
 
-  // Record touched data memory and executed code through the C API.
-  struct Tracker {
-    std::set<u32> memory;
-    std::set<u32> code;
-  } tracker;
-  s4e_register_mem_cb(
-      machine.vm_handle(),
-      [](void* userdata, s4e_vm*, const s4e_mem_event* event) {
-        static_cast<Tracker*>(userdata)->memory.insert(event->vaddr);
-      },
-      &tracker);
-  s4e_register_tb_trans_cb(
-      machine.vm_handle(),
-      [](void* userdata, s4e_vm*, const s4e_tb_info* tb) {
-        auto* t = static_cast<Tracker*>(userdata);
-        for (u32 i = 0; i < tb->n_insns; ++i) {
-          t->code.insert(tb->insns[i].address);
-        }
-      },
-      &tracker);
-
-  const vp::RunResult golden = machine.run();
-  if (!golden.normal_exit()) {
-    return Error(ErrorCode::kStateError,
-                 "golden run did not terminate normally: " +
-                     std::string(vp::to_string(golden.reason)));
-  }
-  result.golden_exit_code = golden.exit_code;
-  result.golden_instructions = golden.instructions;
-  result.golden_uart =
-      machine.uart() != nullptr ? machine.uart()->tx_log() : "";
-  result.golden_memory_hash = data_memory_hash(machine);
+  S4E_TRY(golden, vp::run_golden(machine, program_));
+  result.golden_exit_code = golden.result.exit_code;
+  result.golden_instructions = golden.result.instructions;
+  result.golden_uart = golden.uart;
+  result.golden_memory_hash = golden.memory_hash;
 
   Profile profile;
   profile.coverage = coverage_plugin.data();
-  profile.touched_memory.assign(tracker.memory.begin(), tracker.memory.end());
-  profile.executed_code.assign(tracker.code.begin(), tracker.code.end());
+  profile.touched_memory = std::move(golden.touched_memory);
+  profile.executed_code = std::move(golden.executed_code);
   return profile;
 }
 
@@ -266,24 +238,6 @@ std::vector<FaultSpec> Campaign::generate_faults(const Profile& profile) {
   return faults;
 }
 
-u64 Campaign::data_memory_hash(vp::Machine& machine) const {
-  const assembler::Section* data = program_.find_section(".data");
-  if (data == nullptr || data->bytes.empty()) return 0;
-  std::vector<u8> buffer(data->bytes.size());
-  if (!machine.bus()
-           .ram_read(data->base, buffer.data(),
-                     static_cast<u32>(buffer.size()))
-           .ok()) {
-    return 0;
-  }
-  u64 hash = 0xcbf29ce484222325ULL;
-  for (u8 byte : buffer) {
-    hash ^= byte;
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
 Outcome Campaign::classify(const vp::RunResult& run, const std::string& uart,
                            u64 memory_hash,
                            const CampaignResult& golden) const {
@@ -299,11 +253,9 @@ Outcome Campaign::classify(const vp::RunResult& run, const std::string& uart,
   return Outcome::kMasked;
 }
 
-Result<MutantResult> Campaign::run_mutant(
-    const FaultSpec& spec, const vp::MachineConfig& machine_config,
+Result<MutantResult> Campaign::run_mutant_on(
+    vp::Machine& machine, const FaultSpec& spec,
     const CampaignResult& golden) const {
-  vp::Machine machine(machine_config);
-  S4E_TRY_STATUS(machine.load_program(program_));
   FaultInjectorPlugin injector(spec);
   injector.attach(machine.vm_handle());
   const vp::RunResult run = machine.run();
@@ -314,8 +266,16 @@ Result<MutantResult> Campaign::run_mutant(
   mutant.instructions = run.instructions;
   mutant.outcome = classify(
       run, machine.uart() != nullptr ? machine.uart()->tx_log() : "",
-      data_memory_hash(machine), golden);
+      vp::data_memory_hash(machine, program_), golden);
   return mutant;
+}
+
+Result<MutantResult> Campaign::run_mutant(
+    const FaultSpec& spec, const vp::MachineConfig& machine_config,
+    const CampaignResult& golden) const {
+  vp::Machine machine(machine_config);
+  S4E_TRY_STATUS(machine.load_program(program_));
+  return run_mutant_on(machine, spec, golden);
 }
 
 Result<CampaignResult> Campaign::run() {
@@ -331,13 +291,13 @@ Result<CampaignResult> Campaign::run() {
   // job writes only its own slot; the per-outcome counters and the
   // floating-point instruction total are aggregated afterwards by walking
   // the slots in submission order, so the CampaignResult is bit-identical
-  // to the jobs=1 serial run regardless of scheduling.
+  // to the jobs=1 serial run regardless of scheduling — with or without
+  // machine reuse.
   std::vector<MutantResult> slots(faults_.size());
   std::vector<std::optional<Error>> errors(faults_.size());
   progress_.begin(faults_.size());
   exec::CampaignExecutor executor(config_.jobs);
-  executor.run(faults_.size(), [&](std::size_t index) {
-    auto mutant = run_mutant(faults_[index], mutant_config, result);
+  const auto record = [&](std::size_t index, Result<MutantResult> mutant) {
     if (mutant.ok()) {
       const unsigned bucket = static_cast<unsigned>(mutant->outcome);
       slots[index] = std::move(*mutant);
@@ -346,7 +306,33 @@ Result<CampaignResult> Campaign::run() {
       errors[index] = mutant.error();
       progress_.record(exec::CampaignProgress::kBuckets);  // count done only
     }
-  });
+  };
+  if (config_.reuse_machines) {
+    // One long-lived machine per worker lane, loaded and snapshotted on the
+    // lane's first mutant; every run starts from a dirty-page restore with
+    // a warm TB cache instead of a fresh build + full program load.
+    std::vector<std::unique_ptr<vp::WorkerVm>> vms(executor.jobs());
+    executor.run_affine(faults_.size(), [&](unsigned worker,
+                                            std::size_t index) {
+      if (vms[worker] == nullptr) {
+        auto vm = vp::WorkerVm::create(mutant_config, program_);
+        if (!vm.ok()) {
+          record(index, vm.error());
+          return;
+        }
+        vms[worker] = std::move(*vm);
+      }
+      record(index,
+             run_mutant_on(vms[worker]->prepare(), faults_[index], result));
+    });
+    for (const auto& vm : vms) {
+      if (vm != nullptr) result.snapshot_stats += vm->stats();
+    }
+  } else {
+    executor.run(faults_.size(), [&](std::size_t index) {
+      record(index, run_mutant(faults_[index], mutant_config, result));
+    });
+  }
 
   result.mutants.reserve(slots.size());
   for (std::size_t index = 0; index < slots.size(); ++index) {

@@ -99,11 +99,16 @@ struct CampaignConfig {
   // the golden run, catching silent corruption that never reaches the exit
   // code or the UART (classified as SDC).
   bool compare_memory = true;
-  // Worker threads for the mutant simulations (each worker builds its own
-  // vp::Machine from the shared immutable program, so results are
-  // bit-identical to the serial run). 0 = hardware_concurrency, 1 = run
-  // inline on the calling thread (the exact serial code path).
+  // Worker threads for the mutant simulations (each worker owns a private
+  // vp::Machine, so results are bit-identical to the serial run). 0 =
+  // hardware_concurrency, 1 = run inline on the calling thread (the exact
+  // serial code path).
   unsigned jobs = 0;
+  // Reuse one long-lived machine per worker across its mutants: the loaded
+  // state is snapshotted once and restored (dirty pages only, warm TB
+  // cache) before every run. Off = build a fresh machine per mutant (the
+  // pre-snapshot code path); results are bit-identical either way.
+  bool reuse_machines = true;
   vp::MachineConfig machine;
 };
 
@@ -117,6 +122,9 @@ struct CampaignResult {
   std::vector<MutantResult> mutants;
   u64 outcome_counts[4] = {0, 0, 0, 0};
   double simulated_instructions = 0;  // across all mutants
+  // Aggregate snapshot/restore cost over all reused worker machines (zeroed
+  // when reuse_machines is off).
+  vp::SnapshotStats snapshot_stats;
 
   u64 count(Outcome outcome) const {
     return outcome_counts[static_cast<unsigned>(outcome)];
@@ -154,13 +162,16 @@ class Campaign {
   std::vector<FaultSpec> generate_faults(const Profile& profile);
   Outcome classify(const vp::RunResult& run, const std::string& uart,
                    u64 memory_hash, const CampaignResult& golden) const;
-  // One mutant simulation on a private machine (thread-safe: shares only
-  // the immutable program and golden reference).
+  // One mutant simulation on `machine`, which must hold the freshly loaded
+  // (or snapshot-restored) program with no plugins attached. Thread-safe:
+  // shares only the immutable program and golden reference.
+  Result<MutantResult> run_mutant_on(vp::Machine& machine,
+                                     const FaultSpec& spec,
+                                     const CampaignResult& golden) const;
+  // Fresh-machine path (reuse_machines off): build, load, run one mutant.
   Result<MutantResult> run_mutant(const FaultSpec& spec,
                                   const vp::MachineConfig& machine_config,
                                   const CampaignResult& golden) const;
-  // FNV-1a hash of the program's .data range in `machine`'s RAM.
-  u64 data_memory_hash(vp::Machine& machine) const;
 
   assembler::Program program_;
   CampaignConfig config_;

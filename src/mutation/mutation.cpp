@@ -1,10 +1,12 @@
 #include "mutation/mutation.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "common/strings.hpp"
 #include "isa/decoder.hpp"
+#include "vp/runner.hpp"
 #include "isa/disasm.hpp"
 #include "isa/encoder.hpp"
 #include "isa/rvc.hpp"
@@ -236,29 +238,10 @@ std::vector<Mutant> enumerate_mutants(const assembler::Program& program,
 Result<MutationScore> MutationCampaign::run() {
   // Golden run + executed-address profile.
   vp::Machine machine(config_.machine);
-  S4E_TRY_STATUS(machine.load_program(program_));
-  std::set<u32> executed;
-  s4e_register_tb_trans_cb(
-      machine.vm_handle(),
-      [](void* userdata, s4e_vm*, const s4e_tb_info* tb) {
-        auto* set = static_cast<std::set<u32>*>(userdata);
-        for (u32 i = 0; i < tb->n_insns; ++i) {
-          set->insert(tb->insns[i].address);
-        }
-      },
-      &executed);
-  const vp::RunResult golden = machine.run();
-  if (!golden.normal_exit()) {
-    return Error(ErrorCode::kStateError,
-                 "golden run did not terminate normally");
-  }
-  const std::string golden_uart =
-      machine.uart() != nullptr ? machine.uart()->tx_log() : "";
+  S4E_TRY(golden, vp::run_golden(machine, program_));
 
   std::vector<u32> executed_list;
-  if (config_.executed_only) {
-    executed_list.assign(executed.begin(), executed.end());
-  }
+  if (config_.executed_only) executed_list = std::move(golden.executed_code);
   std::vector<Mutant> mutants = enumerate_mutants(program_, executed_list);
   if (config_.max_mutants != 0 && mutants.size() > config_.max_mutants) {
     mutants.resize(config_.max_mutants);
@@ -266,18 +249,18 @@ Result<MutationScore> MutationCampaign::run() {
 
   vp::MachineConfig mutant_config = config_.machine;
   mutant_config.max_instructions =
-      golden.instructions * config_.hang_budget_factor + 10'000;
+      golden.result.instructions * config_.hang_budget_factor + 10'000;
 
   // Independent mutant runs fanned out over the executor; each job fills
   // only its own slot, and the verdict histogram is aggregated afterwards
-  // in submission order — the score is bit-identical to a serial run.
+  // in submission order — the score is bit-identical to a serial run,
+  // with or without machine reuse.
+  MutationScore score;
   std::vector<MutantResult> slots(mutants.size());
   std::vector<std::optional<Error>> errors(mutants.size());
   progress_.begin(mutants.size());
   exec::CampaignExecutor executor(config_.jobs);
-  executor.run(mutants.size(), [&](std::size_t index) {
-    auto result = run_mutant(mutants[index], mutant_config, golden.exit_code,
-                             golden_uart);
+  const auto record = [&](std::size_t index, Result<MutantResult> result) {
     if (result.ok()) {
       const unsigned bucket = static_cast<unsigned>(result->verdict);
       slots[index] = std::move(*result);
@@ -286,9 +269,34 @@ Result<MutationScore> MutationCampaign::run() {
       errors[index] = result.error();
       progress_.record(exec::CampaignProgress::kBuckets);  // count done only
     }
-  });
+  };
+  if (config_.reuse_machines) {
+    // One long-lived machine per worker lane; each mutant starts from a
+    // dirty-page restore of the loaded state instead of a fresh build.
+    std::vector<std::unique_ptr<vp::WorkerVm>> vms(executor.jobs());
+    executor.run_affine(mutants.size(), [&](unsigned worker,
+                                            std::size_t index) {
+      if (vms[worker] == nullptr) {
+        auto vm = vp::WorkerVm::create(mutant_config, program_);
+        if (!vm.ok()) {
+          record(index, vm.error());
+          return;
+        }
+        vms[worker] = std::move(*vm);
+      }
+      record(index, run_mutant_on(vms[worker]->prepare(), mutants[index],
+                                  golden.result.exit_code, golden.uart));
+    });
+    for (const auto& vm : vms) {
+      if (vm != nullptr) score.snapshot_stats += vm->stats();
+    }
+  } else {
+    executor.run(mutants.size(), [&](std::size_t index) {
+      record(index, run_mutant(mutants[index], mutant_config,
+                               golden.result.exit_code, golden.uart));
+    });
+  }
 
-  MutationScore score;
   score.results.reserve(slots.size());
   for (std::size_t index = 0; index < slots.size(); ++index) {
     if (errors[index].has_value()) return *errors[index];
@@ -298,17 +306,19 @@ Result<MutationScore> MutationCampaign::run() {
   return score;
 }
 
-Result<MutantResult> MutationCampaign::run_mutant(
-    const Mutant& mutant, const vp::MachineConfig& machine_config,
-    int golden_exit_code, const std::string& golden_uart) const {
-  vp::Machine vm(machine_config);
-  S4E_TRY_STATUS(vm.load_program(program_));
-  // Patch the mutated encoding over the original bytes.
+Result<MutantResult> MutationCampaign::run_mutant_on(
+    vp::Machine& vm, const Mutant& mutant, int golden_exit_code,
+    const std::string& golden_uart) const {
+  // Patch the mutated encoding over the original bytes. On a reused
+  // machine warm translation blocks cover the patched address, so the
+  // overlapping blocks must be dropped explicitly (ram_write bypasses the
+  // bus's self-modification detection).
   u8 bytes[4];
   for (unsigned i = 0; i < mutant.length; ++i) {
     bytes[i] = static_cast<u8>(mutant.mutated >> (8 * i));
   }
   S4E_TRY_STATUS(vm.bus().ram_write(mutant.address, bytes, mutant.length));
+  vm.tb_cache().invalidate_range(mutant.address, mutant.length);
 
   const vp::RunResult run = vm.run();
   MutantResult result;
@@ -325,6 +335,14 @@ Result<MutantResult> MutationCampaign::run_mutant(
     result.verdict = Verdict::kSurvived;
   }
   return result;
+}
+
+Result<MutantResult> MutationCampaign::run_mutant(
+    const Mutant& mutant, const vp::MachineConfig& machine_config,
+    int golden_exit_code, const std::string& golden_uart) const {
+  vp::Machine vm(machine_config);
+  S4E_TRY_STATUS(vm.load_program(program_));
+  return run_mutant_on(vm, mutant, golden_exit_code, golden_uart);
 }
 
 }  // namespace s4e::mutation

@@ -58,6 +58,9 @@ struct MutantResult {
 struct MutationScore {
   std::vector<MutantResult> results;
   u64 verdict_counts[4] = {0, 0, 0, 0};
+  // Aggregate snapshot/restore cost over all reused worker machines (zeroed
+  // when reuse_machines is off).
+  vp::SnapshotStats snapshot_stats;
 
   u64 count(Verdict verdict) const {
     return verdict_counts[static_cast<unsigned>(verdict)];
@@ -85,10 +88,15 @@ struct MutationConfig {
   // (first-N in address order).
   unsigned max_mutants = 0;
   u64 hang_budget_factor = 8;
-  // Worker threads for the mutant runs (one private vp::Machine per job;
-  // the score is bit-identical to the serial run). 0 =
+  // Worker threads for the mutant runs (one private vp::Machine per
+  // worker; the score is bit-identical to the serial run). 0 =
   // hardware_concurrency, 1 = inline serial execution.
   unsigned jobs = 0;
+  // Reuse one long-lived machine per worker across its mutants (snapshot
+  // once, dirty-page restore + patch per mutant, warm TB cache except the
+  // mutated block). Off = fresh machine per mutant; the score is
+  // bit-identical either way.
+  bool reuse_machines = true;
   vp::MachineConfig machine;
 };
 
@@ -114,8 +122,15 @@ class MutationCampaign {
   }
 
  private:
-  // One mutant run on a private machine (thread-safe: shares only the
-  // immutable program and the golden reference).
+  // One mutant run on `machine`, which must hold the freshly loaded (or
+  // snapshot-restored) unmutated program; the mutated encoding is patched
+  // in here and the touched translation blocks invalidated. Thread-safe:
+  // shares only the immutable program and the golden reference.
+  Result<MutantResult> run_mutant_on(vp::Machine& machine,
+                                     const Mutant& mutant,
+                                     int golden_exit_code,
+                                     const std::string& golden_uart) const;
+  // Fresh-machine path (reuse_machines off): build, load, run one mutant.
   Result<MutantResult> run_mutant(const Mutant& mutant,
                                   const vp::MachineConfig& machine_config,
                                   int golden_exit_code,

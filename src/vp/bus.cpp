@@ -1,5 +1,7 @@
 #include "vp/bus.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "common/strings.hpp"
@@ -11,6 +13,8 @@ void Bus::add_ram(u32 base, u32 size) {
   RamRegion region;
   region.base = base;
   region.bytes.assign(size, 0);
+  const std::size_t pages = (size + kRamPageBytes - 1) / kRamPageBytes;
+  region.dirty.assign((pages + 63) / 64, 0);
   ram_.push_back(std::move(region));
 }
 
@@ -69,6 +73,7 @@ Result<bool> Bus::write(u32 address, unsigned size, u32 value) {
     for (unsigned i = 0; i < size; ++i) {
       region->bytes[offset + i] = static_cast<u8>(value >> (8 * i));
     }
+    region->mark_dirty(offset, size);
     return false;
   }
   if (DeviceMapping* mapping = find_device(address)) {
@@ -123,6 +128,7 @@ Status Bus::ram_write(u32 address, const void* buffer, u32 size) {
                  format("RAM write outside RAM at 0x%08x", address));
   }
   std::memcpy(region->bytes.data() + (address - region->base), buffer, size);
+  if (size > 0) region->mark_dirty(address - region->base, size);
   return Status();
 }
 
@@ -139,6 +145,88 @@ Device* Bus::device_at(u32 base) noexcept {
     if (mapping.base == base) return mapping.device.get();
   }
   return nullptr;
+}
+
+void Bus::reset_devices() {
+  for (auto& mapping : devices_) mapping.device->reset();
+}
+
+void Bus::ram_snapshot(std::vector<RamImage>& images) {
+  images.clear();
+  images.reserve(ram_.size());
+  for (auto& region : ram_) {
+    RamImage image;
+    image.base = region.base;
+    image.bytes = region.bytes;  // full copy, paid once per snapshot
+    images.push_back(std::move(image));
+    std::fill(region.dirty.begin(), region.dirty.end(), 0);
+  }
+}
+
+u64 Bus::ram_restore(const std::vector<RamImage>& images,
+                     std::vector<std::pair<u32, u32>>* restored) {
+  S4E_CHECK_MSG(images.size() == ram_.size(),
+                "RAM restore from a foreign snapshot");
+  u64 copied = 0;
+  for (std::size_t r = 0; r < ram_.size(); ++r) {
+    RamRegion& region = ram_[r];
+    const RamImage& image = images[r];
+    S4E_CHECK_MSG(image.base == region.base &&
+                      image.bytes.size() == region.bytes.size(),
+                  "RAM restore shape mismatch");
+    const std::size_t pages =
+        (region.bytes.size() + kRamPageBytes - 1) / kRamPageBytes;
+    for (std::size_t word = 0; word < region.dirty.size(); ++word) {
+      u64 bits = region.dirty[word];
+      while (bits != 0) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::size_t page = word * 64 + bit;
+        if (page >= pages) break;
+        const std::size_t offset = page * kRamPageBytes;
+        const std::size_t size =
+            std::min<std::size_t>(kRamPageBytes, region.bytes.size() - offset);
+        std::memcpy(region.bytes.data() + offset, image.bytes.data() + offset,
+                    size);
+        ++copied;
+        if (restored != nullptr) {
+          restored->emplace_back(region.base + static_cast<u32>(offset),
+                                 static_cast<u32>(size));
+        }
+      }
+      region.dirty[word] = 0;
+    }
+  }
+  return copied;
+}
+
+u64 Bus::ram_pages() const noexcept {
+  u64 pages = 0;
+  for (const auto& region : ram_) {
+    pages += (region.bytes.size() + kRamPageBytes - 1) / kRamPageBytes;
+  }
+  return pages;
+}
+
+void Bus::save_device_state(std::vector<std::vector<u8>>& blobs) const {
+  blobs.clear();
+  blobs.reserve(devices_.size());
+  for (const auto& mapping : devices_) {
+    StateWriter writer;
+    mapping.device->save_state(writer);
+    blobs.push_back(writer.take());
+  }
+}
+
+void Bus::restore_device_state(const std::vector<std::vector<u8>>& blobs) {
+  S4E_CHECK_MSG(blobs.size() == devices_.size(),
+                "device state restore from a foreign snapshot");
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    StateReader reader(blobs[d]);
+    devices_[d].device->restore_state(reader);
+    S4E_CHECK_MSG(reader.exhausted(),
+                  "device state blob not fully consumed");
+  }
 }
 
 }  // namespace s4e::vp

@@ -55,11 +55,46 @@ class Bus {
   // Device registered at `base`, or nullptr (tests and example wiring).
   Device* device_at(u32 base) noexcept;
 
+  // Reset every mapped device to power-on state (Machine::reset).
+  void reset_devices();
+
+  // --- Snapshot support (see vp/snapshot.hpp).
+
+  // Capture a full image of every RAM region and mark all pages clean, so
+  // the next ram_restore() copies back only what execution dirtied after
+  // this call.
+  void ram_snapshot(std::vector<RamImage>& images);
+
+  // Write back the dirty pages from `images` (captured by ram_snapshot on
+  // this bus) and clear the dirty map. Returns the number of pages copied.
+  // `restored` (optional) collects the [address, size) extent of each
+  // copied page so the caller can invalidate overlapping translation
+  // blocks.
+  u64 ram_restore(const std::vector<RamImage>& images,
+                  std::vector<std::pair<u32, u32>>* restored = nullptr);
+
+  // Total dirty-tracking pages across all RAM regions (the cost a full
+  // restore would pay; --snapshot-stats denominator).
+  u64 ram_pages() const noexcept;
+
+  // Serialize / restore every mapped device's state, in mapping order.
+  void save_device_state(std::vector<std::vector<u8>>& blobs) const;
+  void restore_device_state(const std::vector<std::vector<u8>>& blobs);
+
  private:
   struct RamRegion {
     u32 base = 0;
     std::vector<u8> bytes;
+    // One bit per kRamPageBytes page, set on every write path into the
+    // region (CPU stores, ram_write); cleared by ram_snapshot/ram_restore.
+    std::vector<u64> dirty;
     u32 end() const noexcept { return base + static_cast<u32>(bytes.size()); }
+    void mark_dirty(std::size_t offset, u32 size) noexcept {
+      const std::size_t last = (offset + size - 1) / kRamPageBytes;
+      for (std::size_t page = offset / kRamPageBytes; page <= last; ++page) {
+        dirty[page >> 6] |= u64{1} << (page & 63);
+      }
+    }
   };
   struct DeviceMapping {
     u32 base = 0;

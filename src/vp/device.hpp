@@ -5,6 +5,7 @@
 
 #include "common/bits.hpp"
 #include "common/status.hpp"
+#include "vp/snapshot.hpp"
 
 namespace s4e::vp {
 
@@ -23,6 +24,20 @@ class Device {
 
   // Advance device time to absolute cycle `now` (CLINT timer, UART pacing).
   virtual void tick(u64 now) { (void)now; }
+
+  // Return to power-on state (Machine::reset). All buffered guest-visible
+  // state — FIFOs, transmit logs, waveform logs, counters — must clear;
+  // host-driven external inputs (GPIO pin levels) survive, like real pins
+  // surviving a board reset.
+  virtual void reset() {}
+
+  // Snapshot contract: serialize *complete* device state — everything
+  // reset() clears plus the host-driven inputs — so that a device restored
+  // from the blob is indistinguishable from one that lived through the
+  // original execution. save/restore must write and read the exact same
+  // field sequence (StateReader checks underflow hard).
+  virtual void save_state(StateWriter& out) const { (void)out; }
+  virtual void restore_state(StateReader& in) { (void)in; }
 };
 
 }  // namespace s4e::vp

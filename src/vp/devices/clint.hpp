@@ -24,6 +24,18 @@ class Clint final : public Device {
   Result<u32> read(u32 offset, unsigned size) override;
   Status write(u32 offset, unsigned size, u32 value) override;
   void tick(u64 now) override { mtime_ = now; }
+  void reset() override {
+    mtime_ = 0;
+    mtimecmp_ = ~u64{0};
+  }
+  void save_state(StateWriter& out) const override {
+    out.put_u64(mtime_);
+    out.put_u64(mtimecmp_);
+  }
+  void restore_state(StateReader& in) override {
+    mtime_ = in.get_u64();
+    mtimecmp_ = in.get_u64();
+  }
 
   // True while mtime >= mtimecmp (level-triggered MTIP).
   bool timer_pending() const noexcept { return mtime_ >= mtimecmp_; }

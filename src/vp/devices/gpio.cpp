@@ -32,6 +32,36 @@ Status Gpio::write(u32 offset, unsigned size, u32 value) {
   }
 }
 
+void Gpio::reset() {
+  out_ = 0;
+  now_ = 0;
+  changes_.clear();
+}
+
+void Gpio::save_state(StateWriter& out) const {
+  out.put_u32(out_);
+  out.put_u32(in_);
+  out.put_u64(now_);
+  out.put_u64(changes_.size());
+  for (const Change& change : changes_) {
+    out.put_u64(change.cycle);
+    out.put_u32(change.out);
+  }
+}
+
+void Gpio::restore_state(StateReader& in) {
+  out_ = in.get_u32();
+  in_ = in.get_u32();
+  now_ = in.get_u64();
+  changes_.clear();
+  for (u64 i = in.get_u64(); i > 0; --i) {
+    Change change;
+    change.cycle = in.get_u64();
+    change.out = in.get_u32();
+    changes_.push_back(change);
+  }
+}
+
 void Gpio::record(u32 new_out) {
   if (new_out == out_) return;
   out_ = new_out;

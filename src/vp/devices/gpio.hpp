@@ -37,6 +37,11 @@ class Gpio final : public Device {
   Result<u32> read(u32 offset, unsigned size) override;
   Status write(u32 offset, unsigned size, u32 value) override;
   void tick(u64 now) override { now_ = now; }
+  // Clears outputs and the waveform log; `in_` survives (externally driven
+  // pin levels are not affected by a machine reset).
+  void reset() override;
+  void save_state(StateWriter& out) const override;
+  void restore_state(StateReader& in) override;
 
   // Host side.
   u32 out() const noexcept { return out_; }

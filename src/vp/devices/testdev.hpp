@@ -24,6 +24,10 @@ class TestDevice final : public Device {
 
   std::string_view name() const noexcept override { return "test-finisher"; }
 
+  // No guest-visible state: the Device reset()/save_state()/restore_state()
+  // defaults (no-ops) are the full contract here. The exit hook is wiring,
+  // not state, and survives reset and restore by design.
+
   Result<u32> read(u32 offset, unsigned size) override {
     (void)offset;
     (void)size;

@@ -41,4 +41,28 @@ void Uart::push_rx(std::string_view data) {
   for (char c : data) rx_queue_.push_back(static_cast<u8>(c));
 }
 
+void Uart::reset() {
+  tx_log_.clear();
+  rx_queue_.clear();
+  tx_count_ = 0;
+  rx_count_ = 0;
+}
+
+void Uart::save_state(StateWriter& out) const {
+  out.put_blob(tx_log_.data(), tx_log_.size());
+  out.put_u64(rx_queue_.size());
+  for (u8 byte : rx_queue_) out.put_u8(byte);
+  out.put_u64(tx_count_);
+  out.put_u64(rx_count_);
+}
+
+void Uart::restore_state(StateReader& in) {
+  tx_log_.resize(in.get_blob_size());
+  in.get_bytes(tx_log_.data(), tx_log_.size());
+  rx_queue_.clear();
+  for (u64 i = in.get_u64(); i > 0; --i) rx_queue_.push_back(in.get_u8());
+  tx_count_ = in.get_u64();
+  rx_count_ = in.get_u64();
+}
+
 }  // namespace s4e::vp

@@ -25,6 +25,9 @@ class Uart final : public Device {
 
   Result<u32> read(u32 offset, unsigned size) override;
   Status write(u32 offset, unsigned size, u32 value) override;
+  void reset() override;
+  void save_state(StateWriter& out) const override;
+  void restore_state(StateReader& in) override;
 
   // Host side: characters transmitted by the guest so far.
   const std::string& tx_log() const noexcept { return tx_log_; }

@@ -80,10 +80,58 @@ void Machine::reset(bool clear_ram) {
   }
   icache_misses_ = 0;
   bimodal_.fill(0);
+  bus_.reset_devices();
   if (clear_ram) {
     std::vector<u8> zeros(config_.ram_size, 0);
     (void)bus_.ram_write(config_.ram_base, zeros.data(), config_.ram_size);
   }
+}
+
+void Machine::save_state(Snapshot& snap) {
+  snap.cpu = cpu_;
+  snap.icount = icount_;
+  snap.cycles = cycles_;
+  snap.icache_misses = icache_misses_;
+  snap.icache_tags = icache_tags_;
+  snap.bimodal = bimodal_;
+  bus_.ram_snapshot(snap.ram);
+  bus_.save_device_state(snap.device_state);
+  snap.valid = true;
+  ++snap_stats_.snapshots;
+}
+
+void Machine::restore_state(const Snapshot& snap) {
+  S4E_CHECK_MSG(snap.valid, "restore from an empty Snapshot");
+  cpu_ = snap.cpu;
+  icount_ = snap.icount;
+  cycles_ = snap.cycles;
+  icache_misses_ = snap.icache_misses;
+  icache_tags_ = snap.icache_tags;
+  bimodal_ = snap.bimodal;
+  pending_stop_.reset();
+  tb_flush_pending_ = false;
+  scratch_block_.reset();
+  // Dirty pages carry everything the run wrote — including patched code, so
+  // invalidating the blocks on restored pages is exactly what keeps the
+  // warm TB cache consistent with the restored RAM.
+  std::vector<std::pair<u32, u32>> restored;
+  snap_stats_.pages_copied += bus_.ram_restore(snap.ram, &restored);
+  snap_stats_.pages_total += bus_.ram_pages();
+  for (const auto& [address, size] : restored) {
+    snap_stats_.tb_blocks_invalidated +=
+        tb_cache_.invalidate_range(address, size);
+  }
+  bus_.restore_device_state(snap.device_state);
+  ++snap_stats_.restores;
+}
+
+void Machine::clear_plugins() noexcept {
+  tb_trans_cbs_.clear();
+  tb_exec_cbs_.clear();
+  insn_exec_cbs_.clear();
+  mem_cbs_.clear();
+  trap_cbs_.clear();
+  exit_cbs_.clear();
 }
 
 Status Machine::load_program(const assembler::Program& program) {

@@ -16,6 +16,7 @@
 #include "vp/devices/testdev.hpp"
 #include "vp/devices/uart.hpp"
 #include "vp/s4e_plugin.h"
+#include "vp/snapshot.hpp"
 #include "vp/tb_cache.hpp"
 #include "vp/timing.hpp"
 
@@ -78,9 +79,31 @@ class Machine {
   // Run at most `max_insns` further instructions.
   RunResult run(u64 max_insns);
 
-  // Reset architectural state and counters (keeps loaded RAM contents
-  // unless `clear_ram`).
+  // Reset architectural state, counters and every mapped device (keeps
+  // loaded RAM contents unless `clear_ram`).
   void reset(bool clear_ram = false);
+
+  // --- Snapshot/restore (see vp/snapshot.hpp).
+
+  // Capture complete machine state into `snap` (full RAM copy, paid once)
+  // and reset the dirty-page baseline: the next restore_state() copies back
+  // only pages written after this call.
+  void save_state(Snapshot& snap);
+
+  // Restore the state captured by save_state() on *this* machine. RAM
+  // restore is proportional to the pages dirtied since the snapshot, and
+  // translation blocks on restored pages are invalidated — the rest of the
+  // TB cache stays warm. Plugin callbacks are untouched; campaign drivers
+  // that re-attach per-run plugins call clear_plugins() first.
+  void restore_state(const Snapshot& snap);
+
+  // Cumulative save/restore cost counters for this machine.
+  const SnapshotStats& snapshot_stats() const noexcept { return snap_stats_; }
+
+  // Drop every registered plugin callback (per-run plugin attachment on a
+  // long-lived machine). Warm translation blocks survive; their tb_trans
+  // events have already fired and are not replayed.
+  void clear_plugins() noexcept;
 
   CpuState& cpu() noexcept { return cpu_; }
   const CpuState& cpu() const noexcept { return cpu_; }
@@ -164,7 +187,8 @@ class Machine {
   std::vector<u32> icache_tags_;
   u64 icache_misses_ = 0;
   // Bimodal branch predictor counters (2-bit saturating).
-  std::array<u8, 256> bimodal_{};
+  std::array<u8, kBimodalEntries> bimodal_{};
+  SnapshotStats snap_stats_;
   // Holds the current block when the TB cache is disabled (E1 ablation).
   std::unique_ptr<TranslationBlock> scratch_block_;
 

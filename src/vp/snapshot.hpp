@@ -1,0 +1,146 @@
+// Machine snapshot/restore layer — the VP's savevm/loadvm analogue.
+//
+// A Snapshot captures complete machine state: hart (GPRs/PC/CSRs), cycle
+// and instret counters, microarchitectural model state (icache tags, branch
+// predictor), full RAM images, and one opaque blob per mapped device. The
+// capture is a full copy (paid once); restores are proportional to what the
+// run *dirtied*: the bus maintains a per-page dirty bitmap on its RAM write
+// path, and restore copies back only touched pages. Campaign engines
+// snapshot once per worker and restore per mutant, keeping the translation-
+// block cache warm across runs (restore invalidates only the blocks on
+// restored pages).
+//
+// Invariant: a run on a restored machine is bit-identical — RunResult, UART
+// output, memory hash, cycle counts — to the same run on a freshly
+// constructed machine (property-tested over generated programs).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+#include "vp/cpu.hpp"
+
+namespace s4e::vp {
+
+// Dirty-tracking granule of the bus RAM regions. Small enough that a short
+// mutant run touching a few stack/data words restores in a handful of page
+// copies, large enough to keep the bitmap negligible (4 MiB -> 4096 bits).
+inline constexpr u32 kRamPageBytes = 1024;
+
+// Bimodal branch-predictor table entries (shared between Machine and
+// Snapshot so the two can never disagree on the copy size).
+inline constexpr std::size_t kBimodalEntries = 256;
+
+// Little-endian byte-stream writer for device state blobs. Devices append
+// their complete state in save_state() and read it back, in the same order,
+// in restore_state().
+class StateWriter {
+ public:
+  void put_u8(u8 value) { bytes_.push_back(value); }
+  void put_u32(u32 value) {
+    for (unsigned i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<u8>(value >> (8 * i)));
+    }
+  }
+  void put_u64(u64 value) {
+    put_u32(static_cast<u32>(value));
+    put_u32(static_cast<u32>(value >> 32));
+  }
+  void put_bytes(const void* data, std::size_t size) {
+    const u8* bytes = static_cast<const u8*>(data);
+    bytes_.insert(bytes_.end(), bytes, bytes + size);
+  }
+  // Length-prefixed convenience for strings / byte containers.
+  void put_blob(const void* data, std::size_t size) {
+    put_u64(size);
+    put_bytes(data, size);
+  }
+
+  std::vector<u8> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<u8> bytes_;
+};
+
+// Reader over a blob produced by StateWriter. Underflow means the device's
+// save/restore pair went out of sync — a programming error, checked hard.
+class StateReader {
+ public:
+  explicit StateReader(const std::vector<u8>& bytes) : bytes_(&bytes) {}
+
+  u8 get_u8() {
+    S4E_CHECK_MSG(pos_ + 1 <= bytes_->size(), "device state blob underflow");
+    return (*bytes_)[pos_++];
+  }
+  u32 get_u32() {
+    u32 value = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      value |= static_cast<u32>(get_u8()) << (8 * i);
+    }
+    return value;
+  }
+  u64 get_u64() {
+    const u64 lo = get_u32();
+    return lo | (static_cast<u64>(get_u32()) << 32);
+  }
+  void get_bytes(void* data, std::size_t size) {
+    S4E_CHECK_MSG(pos_ + size <= bytes_->size(),
+                  "device state blob underflow");
+    std::copy(bytes_->begin() + static_cast<std::ptrdiff_t>(pos_),
+              bytes_->begin() + static_cast<std::ptrdiff_t>(pos_ + size),
+              static_cast<u8*>(data));
+    pos_ += size;
+  }
+  u64 get_blob_size() { return get_u64(); }
+
+  bool exhausted() const noexcept { return pos_ == bytes_->size(); }
+
+ private:
+  const std::vector<u8>* bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Full image of one bus RAM region at snapshot time.
+struct RamImage {
+  u32 base = 0;
+  std::vector<u8> bytes;
+};
+
+// Complete machine state captured by Machine::save_state().
+struct Snapshot {
+  CpuState cpu;
+  u64 icount = 0;
+  u64 cycles = 0;
+  u64 icache_misses = 0;
+  std::vector<u32> icache_tags;
+  std::array<u8, kBimodalEntries> bimodal{};
+  std::vector<RamImage> ram;
+  std::vector<std::vector<u8>> device_state;  // one blob per mapped device
+  bool valid = false;
+};
+
+// Cumulative snapshot/restore cost accounting (the --snapshot-stats
+// output). Plain counters so per-worker instances sum deterministically.
+struct SnapshotStats {
+  u64 snapshots = 0;
+  u64 restores = 0;
+  u64 pages_copied = 0;   // dirty pages written back across all restores
+  u64 pages_total = 0;    // pages a full-RAM restore would copy, summed
+  u64 tb_blocks_invalidated = 0;
+
+  SnapshotStats& operator+=(const SnapshotStats& other) noexcept {
+    snapshots += other.snapshots;
+    restores += other.restores;
+    pages_copied += other.pages_copied;
+    pages_total += other.pages_total;
+    tb_blocks_invalidated += other.tb_blocks_invalidated;
+    return *this;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace s4e::vp

@@ -64,6 +64,31 @@ class TbCache {
     ++flush_count_;
   }
 
+  // Drop only the blocks overlapping [address, address+size) — code was
+  // patched in that range (a mutant, a restored dirty page) but the rest of
+  // the translated code is still valid and stays warm. Returns the number
+  // of blocks dropped. The code watermarks stay (conservative: they may
+  // only over-approximate translated code).
+  u64 invalidate_range(u32 address, u32 size) noexcept {
+    if (!overlaps_code(address, size)) return 0;
+    const u64 lo = address;
+    const u64 hi = static_cast<u64>(address) + size;
+    u64 dropped = 0;
+    for (auto it = blocks_.begin(); it != blocks_.end();) {
+      TranslationBlock* block = it->second.get();
+      if (block->start < hi && static_cast<u64>(block->end()) > lo) {
+        FrontEntry& front = front_[front_slot(block->start)];
+        if (front.block == block) front = FrontEntry{};
+        it = blocks_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    invalidated_blocks_ += dropped;
+    return dropped;
+  }
+
   // Conservative self-modification check: true if [address, address+size)
   // intersects the watermark range of translated code.
   bool overlaps_code(u32 address, u32 size) const noexcept {
@@ -72,6 +97,7 @@ class TbCache {
 
   std::size_t size() const noexcept { return blocks_.size(); }
   u64 flush_count() const noexcept { return flush_count_; }
+  u64 invalidated_blocks() const noexcept { return invalidated_blocks_; }
 
  private:
   struct FrontEntry {
@@ -90,6 +116,7 @@ class TbCache {
   u32 code_lo_ = ~u32{0};
   u32 code_hi_ = 0;
   u64 flush_count_ = 0;
+  u64 invalidated_blocks_ = 0;
 };
 
 }  // namespace s4e::vp

@@ -147,6 +147,64 @@ TEST(CampaignExecutor, PropagatesJobException) {
                std::runtime_error);
 }
 
+TEST(CampaignExecutorAffine, FillsEverySlotOnceWithValidLanes) {
+  CampaignExecutor executor(4);
+  std::vector<std::atomic<int>> slots(300);
+  std::atomic<bool> lane_in_range{true};
+  executor.run_affine(slots.size(), [&](unsigned worker, std::size_t i) {
+    if (worker >= executor.jobs()) lane_in_range.store(false);
+    ++slots[i];
+  });
+  EXPECT_TRUE(lane_in_range.load());
+  for (const auto& slot : slots) {
+    EXPECT_EQ(slot.load(), 1);
+  }
+}
+
+TEST(CampaignExecutorAffine, SingleJobRunsInlineOnLaneZero) {
+  CampaignExecutor executor(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  executor.run_affine(10, [&](unsigned worker, std::size_t i) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(CampaignExecutorAffine, EachLaneKeepsItsOwnThread) {
+  // The point of worker affinity: lane k's jobs all run on one thread, so a
+  // per-lane vp::Machine is never touched concurrently.
+  CampaignExecutor executor(3);
+  std::vector<std::thread::id> lane_thread(3);
+  std::vector<std::atomic<int>> lane_switches(3);
+  executor.run_affine(200, [&](unsigned worker, std::size_t) {
+    const auto self = std::this_thread::get_id();
+    if (lane_thread[worker] == std::thread::id{}) {
+      lane_thread[worker] = self;
+    } else if (lane_thread[worker] != self) {
+      ++lane_switches[worker];
+    }
+  });
+  for (const auto& switches : lane_switches) {
+    EXPECT_EQ(switches.load(), 0);
+  }
+}
+
+TEST(CampaignExecutorAffine, PropagatesJobException) {
+  CampaignExecutor executor(4);
+  EXPECT_THROW(
+      executor.run_affine(20,
+                          [](unsigned, std::size_t i) {
+                            if (i == 7) throw std::runtime_error("job 7");
+                          }),
+      std::runtime_error);
+}
+
 TEST(CampaignProgress, CountsAndSnapshots) {
   CampaignProgress progress;
   progress.begin(10);
@@ -268,6 +326,71 @@ TEST(Determinism, MutationCampaignSerialEqualsParallel) {
     EXPECT_EQ(a.mutant.mutated, b.mutant.mutated) << "mutant " << i;
   }
   EXPECT_EQ(serial_score->to_string(), parallel_score->to_string());
+}
+
+// Per-worker machine reuse under threads: with --jobs 2 each worker lane
+// owns a long-lived vp::Machine that is snapshot-restored between mutants.
+// Run under tsan (ctest -L tsan) this is the race check for that path; the
+// results must also stay bit-identical to the fresh-machine path.
+TEST(Determinism, FaultCampaignMachineReuseAcrossTwoWorkers) {
+  auto program = build_checksum();
+  fault::CampaignConfig config;
+  config.seed = 42;
+  config.mutant_count = 80;
+  config.jobs = 2;
+
+  config.reuse_machines = false;
+  fault::Campaign fresh(program, config);
+  auto fresh_result = fresh.run();
+  ASSERT_TRUE(fresh_result.ok()) << fresh_result.error().to_string();
+
+  config.reuse_machines = true;
+  fault::Campaign reused(program, config);
+  auto reused_result = reused.run();
+  ASSERT_TRUE(reused_result.ok()) << reused_result.error().to_string();
+
+  EXPECT_EQ(fresh_result->to_string(), reused_result->to_string());
+  ASSERT_EQ(fresh_result->mutants.size(), reused_result->mutants.size());
+  for (std::size_t i = 0; i < fresh_result->mutants.size(); ++i) {
+    const auto& a = fresh_result->mutants[i];
+    const auto& b = reused_result->mutants[i];
+    EXPECT_EQ(a.outcome, b.outcome) << "mutant " << i;
+    EXPECT_EQ(a.exit_code, b.exit_code) << "mutant " << i;
+    EXPECT_EQ(a.instructions, b.instructions) << "mutant " << i;
+  }
+  // Every mutant ran on a restored machine; the stats aggregate over the
+  // (at most 2) worker lanes that actually claimed work.
+  EXPECT_EQ(reused_result->snapshot_stats.restores, 80u);
+  EXPECT_GE(reused_result->snapshot_stats.snapshots, 1u);
+  EXPECT_LE(reused_result->snapshot_stats.snapshots, 2u);
+}
+
+TEST(Determinism, MutationCampaignMachineReuseAcrossTwoWorkers) {
+  auto program = build_checksum();
+  mutation::MutationConfig config;
+  config.jobs = 2;
+
+  config.reuse_machines = false;
+  mutation::MutationCampaign fresh(program, config);
+  auto fresh_score = fresh.run();
+  ASSERT_TRUE(fresh_score.ok()) << fresh_score.error().to_string();
+
+  config.reuse_machines = true;
+  mutation::MutationCampaign reused(program, config);
+  auto reused_score = reused.run();
+  ASSERT_TRUE(reused_score.ok()) << reused_score.error().to_string();
+
+  EXPECT_EQ(fresh_score->to_string(), reused_score->to_string());
+  ASSERT_EQ(fresh_score->results.size(), reused_score->results.size());
+  EXPECT_GT(reused_score->results.size(), 0u);
+  for (std::size_t i = 0; i < fresh_score->results.size(); ++i) {
+    const auto& a = fresh_score->results[i];
+    const auto& b = reused_score->results[i];
+    EXPECT_EQ(a.verdict, b.verdict) << "mutant " << i;
+    EXPECT_EQ(a.exit_code, b.exit_code) << "mutant " << i;
+  }
+  EXPECT_EQ(reused_score->snapshot_stats.restores,
+            reused_score->results.size());
 }
 
 TEST(Determinism, ProgressReachesTotalAfterParallelRun) {

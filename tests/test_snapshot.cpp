@@ -1,0 +1,440 @@
+// Snapshot/restore layer tests (ctest -L snapshot):
+//   * StateWriter/StateReader blob round-trips
+//   * per-device reset() regression (UART, CLINT, GPIO, test finisher)
+//   * dirty-page tracking: restore cost proportional to pages written
+//   * TB-cache range invalidation drops only overlapping blocks
+//   * fresh-run == restored-run equivalence, property-tested over
+//     generated torture programs
+//   * campaign engines produce bit-identical results with and without
+//     per-worker machine reuse
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "fault/fault.hpp"
+#include "mutation/mutation.hpp"
+#include "testgen/testgen.hpp"
+#include "vp/machine.hpp"
+#include "vp/runner.hpp"
+#include "vp/snapshot.hpp"
+#include "vp/tb_cache.hpp"
+
+namespace s4e::vp {
+namespace {
+
+assembler::Program assemble_or_die(const char* source) {
+  auto program = assembler::assemble(source);
+  EXPECT_TRUE(program.ok());
+  return *program;
+}
+
+// Prints "hi", stores a marker to .data, exits 7.
+const char* kHelloSource = R"(
+_start:
+    li t0, 0x10000000
+    li t1, 104
+    sw t1, 0(t0)
+    li t1, 105
+    sw t1, 0(t0)
+    la t2, mark
+    li t3, 0x1234
+    sw t3, 0(t2)
+    li a0, 7
+    li a7, 93
+    ecall
+.data
+mark:
+    .word 0
+)";
+
+TEST(StateBlob, RoundTripAndExhaustion) {
+  StateWriter writer;
+  writer.put_u8(0xab);
+  writer.put_u32(0xdeadbeef);
+  writer.put_u64(0x0123456789abcdefULL);
+  const std::string text = "snapshot";
+  writer.put_blob(text.data(), text.size());
+  const std::vector<u8> blob = writer.take();
+
+  StateReader reader(blob);
+  EXPECT_EQ(reader.get_u8(), 0xab);
+  EXPECT_EQ(reader.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_FALSE(reader.exhausted());
+  std::string read_back(reader.get_blob_size(), '\0');
+  reader.get_bytes(read_back.data(), read_back.size());
+  EXPECT_EQ(read_back, text);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(StateBlob, EmptyBlobIsExhausted) {
+  StateWriter writer;
+  const std::vector<u8> blob = writer.take();
+  StateReader reader(blob);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+// --------------------------------------------------------------------------
+// Per-device reset regression: every device must drop its buffered
+// guest-visible state on Machine::reset().
+
+TEST(DeviceReset, UartClearsLogQueueAndCounters) {
+  Machine machine;
+  ASSERT_NE(machine.uart(), nullptr);
+  ASSERT_TRUE(machine.bus().write(Uart::kDefaultBase + Uart::kTxData, 4, 'x')
+                  .ok());
+  machine.uart()->push_rx("abc");
+  ASSERT_TRUE(
+      machine.bus().read(Uart::kDefaultBase + Uart::kRxData, 4).ok());
+  EXPECT_EQ(machine.uart()->tx_log(), "x");
+  EXPECT_EQ(machine.uart()->tx_count(), 1u);
+  EXPECT_EQ(machine.uart()->rx_count(), 1u);
+
+  machine.reset();
+  EXPECT_TRUE(machine.uart()->tx_log().empty());
+  EXPECT_EQ(machine.uart()->tx_count(), 0u);
+  EXPECT_EQ(machine.uart()->rx_count(), 0u);
+  // The queued "bc" is gone too: RXDATA reads empty.
+  auto rx = machine.bus().read(Uart::kDefaultBase + Uart::kRxData, 4);
+  ASSERT_TRUE(rx.ok());
+  EXPECT_EQ(rx->value, 0xffff'ffffu);
+}
+
+TEST(DeviceReset, ClintReturnsToPowerOnTimer) {
+  Machine machine;
+  ASSERT_NE(machine.clint(), nullptr);
+  machine.clint()->tick(500);
+  ASSERT_TRUE(
+      machine.bus().write(Clint::kDefaultBase + Clint::kMtimecmpLo, 4, 100)
+          .ok());
+  ASSERT_TRUE(
+      machine.bus().write(Clint::kDefaultBase + Clint::kMtimecmpHi, 4, 0)
+          .ok());
+  EXPECT_TRUE(machine.clint()->timer_pending());
+
+  machine.reset();
+  EXPECT_EQ(machine.clint()->mtime(), 0u);
+  EXPECT_EQ(machine.clint()->mtimecmp(), ~u64{0});
+  EXPECT_FALSE(machine.clint()->timer_pending());
+}
+
+TEST(DeviceReset, GpioClearsWaveformLogButKeepsInputs) {
+  Machine machine;
+  ASSERT_NE(machine.gpio(), nullptr);
+  machine.gpio()->set_in(0x55);
+  machine.gpio()->tick(10);
+  ASSERT_TRUE(
+      machine.bus().write(Gpio::kDefaultBase + Gpio::kOut, 4, 0x3).ok());
+  ASSERT_TRUE(
+      machine.bus().write(Gpio::kDefaultBase + Gpio::kToggle, 4, 0x1).ok());
+  EXPECT_EQ(machine.gpio()->out(), 0x2u);
+  EXPECT_EQ(machine.gpio()->changes().size(), 2u);
+
+  machine.reset();
+  EXPECT_EQ(machine.gpio()->out(), 0u);
+  EXPECT_TRUE(machine.gpio()->changes().empty());  // the log must not leak
+  // Externally driven pin levels survive a machine reset.
+  auto in = machine.bus().read(Gpio::kDefaultBase + Gpio::kIn, 4);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in->value, 0x55u);
+}
+
+TEST(DeviceReset, TestDeviceStillFinishesAfterReset) {
+  // The finisher is stateless; reset must not disturb its exit wiring.
+  auto program = assemble_or_die(kHelloSource);
+  Machine machine;
+  ASSERT_TRUE(machine.load_program(program).ok());
+  ASSERT_TRUE(machine.run().normal_exit());
+
+  machine.reset();
+  auto write = machine.bus().write(TestDevice::kDefaultBase, 4,
+                                   (9u << 16) | TestDevice::kFailMagic);
+  ASSERT_TRUE(write.ok());
+  const RunResult result = machine.run(1);
+  EXPECT_EQ(result.reason, StopReason::kExitTestDevice);
+  EXPECT_EQ(result.exit_code, 9);
+}
+
+TEST(DeviceReset, MachineRunThenResetDropsUartOutput) {
+  auto program = assemble_or_die(kHelloSource);
+  Machine machine;
+  ASSERT_TRUE(machine.load_program(program).ok());
+  ASSERT_TRUE(machine.run().normal_exit());
+  EXPECT_EQ(machine.uart()->tx_log(), "hi");
+  machine.reset();
+  EXPECT_TRUE(machine.uart()->tx_log().empty());
+}
+
+// --------------------------------------------------------------------------
+// Dirty-page tracking.
+
+TEST(DirtyPages, RestoreCopiesOnlyTouchedPages) {
+  Machine machine;  // 4 MiB RAM -> 4096 pages of kRamPageBytes
+  Snapshot snap;
+  machine.save_state(snap);
+  const u64 total_pages = machine.bus().ram_pages();
+  ASSERT_GT(total_pages, 0u);
+
+  // Dirty two distant pages plus one byte straddling nothing special.
+  const u32 base = machine.config().ram_base;
+  const u8 value = 0xcd;
+  ASSERT_TRUE(machine.bus().ram_write(base + 0, &value, 1).ok());
+  ASSERT_TRUE(
+      machine.bus().ram_write(base + 10 * kRamPageBytes, &value, 1).ok());
+
+  machine.restore_state(snap);
+  const SnapshotStats& stats = machine.snapshot_stats();
+  EXPECT_EQ(stats.snapshots, 1u);
+  EXPECT_EQ(stats.restores, 1u);
+  EXPECT_EQ(stats.pages_copied, 2u);
+  EXPECT_EQ(stats.pages_total, total_pages);
+
+  // Both bytes are back to their snapshot value (zero).
+  u8 read_back = 0xff;
+  ASSERT_TRUE(machine.bus().ram_read(base, &read_back, 1).ok());
+  EXPECT_EQ(read_back, 0u);
+  ASSERT_TRUE(
+      machine.bus().ram_read(base + 10 * kRamPageBytes, &read_back, 1).ok());
+  EXPECT_EQ(read_back, 0u);
+}
+
+TEST(DirtyPages, WriteSpanningPageBoundaryDirtiesBothPages) {
+  Machine machine;
+  Snapshot snap;
+  machine.save_state(snap);
+  const u32 boundary = machine.config().ram_base + kRamPageBytes - 2;
+  const u32 value = 0xaabbccdd;
+  ASSERT_TRUE(machine.bus().ram_write(boundary, &value, 4).ok());
+  machine.restore_state(snap);
+  EXPECT_EQ(machine.snapshot_stats().pages_copied, 2u);
+}
+
+TEST(DirtyPages, SecondRestoreAfterNoWritesCopiesNothing) {
+  Machine machine;
+  Snapshot snap;
+  machine.save_state(snap);
+  const u32 value = 1;
+  ASSERT_TRUE(
+      machine.bus().ram_write(machine.config().ram_base, &value, 4).ok());
+  machine.restore_state(snap);
+  const u64 copied_once = machine.snapshot_stats().pages_copied;
+  EXPECT_EQ(copied_once, 1u);
+  machine.restore_state(snap);  // nothing dirtied since
+  EXPECT_EQ(machine.snapshot_stats().pages_copied, copied_once);
+}
+
+// --------------------------------------------------------------------------
+// TB-cache range invalidation.
+
+std::unique_ptr<TranslationBlock> make_block(u32 start, u32 byte_size) {
+  auto block = std::make_unique<TranslationBlock>();
+  block->start = start;
+  block->byte_size = byte_size;
+  return block;
+}
+
+TEST(TbCacheInvalidate, DropsOnlyOverlappingBlocks) {
+  TbCache cache;
+  cache.insert(make_block(0x8000'0000, 16));
+  cache.insert(make_block(0x8000'0010, 16));
+  cache.insert(make_block(0x8000'0100, 16));
+  ASSERT_EQ(cache.size(), 3u);
+
+  // Invalidate a range overlapping only the second block.
+  EXPECT_EQ(cache.invalidate_range(0x8000'001c, 4), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.lookup(0x8000'0000), nullptr);
+  EXPECT_EQ(cache.lookup(0x8000'0010), nullptr);  // front entry cleared too
+  EXPECT_NE(cache.lookup(0x8000'0100), nullptr);
+  EXPECT_EQ(cache.invalidated_blocks(), 1u);
+
+  // A range outside the code watermarks is a cheap no-op.
+  EXPECT_EQ(cache.invalidate_range(0x9000'0000, 64), 0u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Fresh-run == restored-run equivalence.
+
+struct RunObservation {
+  RunResult result;
+  std::string uart;
+  u64 memory_hash = 0;
+  u64 cycles = 0;
+  std::array<u32, isa::kGprCount> gpr{};
+};
+
+RunObservation observe_run(Machine& machine,
+                           const assembler::Program& program) {
+  RunObservation obs;
+  obs.result = machine.run();
+  obs.uart = machine.uart() != nullptr ? machine.uart()->tx_log() : "";
+  obs.memory_hash = data_memory_hash(machine, program);
+  obs.cycles = machine.cycles();
+  obs.gpr = machine.cpu().gpr;
+  return obs;
+}
+
+void expect_same_observation(const RunObservation& a, const RunObservation& b,
+                             const std::string& label) {
+  EXPECT_EQ(a.result.reason, b.result.reason) << label;
+  EXPECT_EQ(a.result.exit_code, b.result.exit_code) << label;
+  EXPECT_EQ(a.result.instructions, b.result.instructions) << label;
+  EXPECT_EQ(a.result.cycles, b.result.cycles) << label;
+  EXPECT_EQ(a.result.final_pc, b.result.final_pc) << label;
+  EXPECT_EQ(a.uart, b.uart) << label;
+  EXPECT_EQ(a.memory_hash, b.memory_hash) << label;
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  EXPECT_EQ(a.gpr, b.gpr) << label;
+}
+
+TEST(SnapshotRestore, RestoredRunMatchesFreshRunWithDeviceTraffic) {
+  auto program = assemble_or_die(kHelloSource);
+
+  Machine fresh;
+  ASSERT_TRUE(fresh.load_program(program).ok());
+  const RunObservation golden = observe_run(fresh, program);
+  ASSERT_TRUE(golden.result.normal_exit());
+  EXPECT_EQ(golden.uart, "hi");
+
+  Machine reused;
+  ASSERT_TRUE(reused.load_program(program).ok());
+  Snapshot snap;
+  reused.save_state(snap);
+  expect_same_observation(observe_run(reused, program), golden, "first");
+  reused.restore_state(snap);
+  expect_same_observation(observe_run(reused, program), golden, "restored");
+  // And a third time, exercising a now-warm TB cache.
+  reused.restore_state(snap);
+  expect_same_observation(observe_run(reused, program), golden, "rewarmed");
+}
+
+class SnapshotTortureSeed : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SnapshotTortureSeed, FreshAndRestoredRunsAgree) {
+  testgen::TortureConfig config;
+  config.seed = GetParam();
+  config.programs = 3;
+  for (const auto& test : testgen::torture_suite(config)) {
+    auto program = assembler::assemble(test.source);
+    ASSERT_TRUE(program.ok()) << test.name;
+
+    Machine fresh;
+    ASSERT_TRUE(fresh.load_program(*program).ok());
+    const RunObservation golden = observe_run(fresh, *program);
+
+    Machine reused;
+    ASSERT_TRUE(reused.load_program(*program).ok());
+    Snapshot snap;
+    reused.save_state(snap);
+    expect_same_observation(observe_run(reused, *program), golden,
+                            test.name + " first");
+    reused.restore_state(snap);
+    expect_same_observation(observe_run(reused, *program), golden,
+                            test.name + " restored");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotTortureSeed,
+                         ::testing::Values(101u, 202u, 303u));
+
+TEST(WorkerVm, PrepareYieldsIdenticalRunsAndCountsStats) {
+  auto program = assemble_or_die(kHelloSource);
+  auto vm = WorkerVm::create(MachineConfig{}, program);
+  ASSERT_TRUE(vm.ok());
+
+  const RunObservation first = observe_run((*vm)->prepare(), program);
+  ASSERT_TRUE(first.result.normal_exit());
+  const RunObservation second = observe_run((*vm)->prepare(), program);
+  expect_same_observation(second, first, "worker vm");
+  EXPECT_EQ((*vm)->stats().snapshots, 1u);
+  EXPECT_EQ((*vm)->stats().restores, 2u);
+}
+
+// --------------------------------------------------------------------------
+// Campaign engines: reuse on vs off must be bit-identical (jobs = 1; the
+// parallel variant lives in test_exec_pool under the tsan label).
+
+const char* kCampaignSource = R"(
+_start:
+    la t0, data
+    li t1, 8
+    li a0, 0
+loop:
+    lw t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, loop
+    li a7, 93
+    ecall
+.data
+data:
+    .word 3, 1, 4, 1, 5, 9, 2, 6
+)";
+
+TEST(CampaignReuse, FaultCampaignMatchesFreshMachines) {
+  auto program = assemble_or_die(kCampaignSource);
+  fault::CampaignConfig config;
+  config.seed = 77;
+  config.mutant_count = 120;
+  config.jobs = 1;
+
+  config.reuse_machines = false;
+  fault::Campaign fresh(program, config);
+  auto fresh_result = fresh.run();
+  ASSERT_TRUE(fresh_result.ok()) << fresh_result.error().to_string();
+
+  config.reuse_machines = true;
+  fault::Campaign reused(program, config);
+  auto reused_result = reused.run();
+  ASSERT_TRUE(reused_result.ok()) << reused_result.error().to_string();
+
+  EXPECT_EQ(fresh_result->to_string(), reused_result->to_string());
+  ASSERT_EQ(fresh_result->mutants.size(), reused_result->mutants.size());
+  for (std::size_t i = 0; i < fresh_result->mutants.size(); ++i) {
+    const auto& a = fresh_result->mutants[i];
+    const auto& b = reused_result->mutants[i];
+    EXPECT_EQ(a.outcome, b.outcome) << "mutant " << i;
+    EXPECT_EQ(a.exit_code, b.exit_code) << "mutant " << i;
+    EXPECT_EQ(a.instructions, b.instructions) << "mutant " << i;
+  }
+  // The reuse path snapshots once and restores per mutant...
+  EXPECT_EQ(reused_result->snapshot_stats.snapshots, 1u);
+  EXPECT_EQ(reused_result->snapshot_stats.restores, 120u);
+  // ...while the fresh path never touches the snapshot layer.
+  EXPECT_EQ(fresh_result->snapshot_stats.restores, 0u);
+}
+
+TEST(CampaignReuse, MutationCampaignMatchesFreshMachines) {
+  auto program = assemble_or_die(kCampaignSource);
+  mutation::MutationConfig config;
+  config.jobs = 1;
+
+  config.reuse_machines = false;
+  mutation::MutationCampaign fresh(program, config);
+  auto fresh_score = fresh.run();
+  ASSERT_TRUE(fresh_score.ok()) << fresh_score.error().to_string();
+  ASSERT_GT(fresh_score->results.size(), 0u);
+
+  config.reuse_machines = true;
+  mutation::MutationCampaign reused(program, config);
+  auto reused_score = reused.run();
+  ASSERT_TRUE(reused_score.ok()) << reused_score.error().to_string();
+
+  EXPECT_EQ(fresh_score->to_string(), reused_score->to_string());
+  ASSERT_EQ(fresh_score->results.size(), reused_score->results.size());
+  for (std::size_t i = 0; i < fresh_score->results.size(); ++i) {
+    const auto& a = fresh_score->results[i];
+    const auto& b = reused_score->results[i];
+    EXPECT_EQ(a.verdict, b.verdict) << "mutant " << i;
+    EXPECT_EQ(a.exit_code, b.exit_code) << "mutant " << i;
+  }
+  EXPECT_EQ(reused_score->snapshot_stats.restores,
+            reused_score->results.size());
+}
+
+}  // namespace
+}  // namespace s4e::vp

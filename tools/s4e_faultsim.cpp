@@ -2,6 +2,7 @@
 //
 //   s4e-faultsim file.elf [--mutants N] [--seed S] [--jobs N] [--blind]
 //                [--no-gpr] [--no-mem] [--no-code] [--list] [--progress]
+//                [--reuse-machine[=off]] [--snapshot-stats]
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -18,7 +19,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: s4e-faultsim <file.elf> [--mutants N] [--seed S] "
                  "[--jobs N] [--blind] [--no-gpr] [--no-mem] [--no-code] "
-                 "[--list] [--progress]\n");
+                 "[--list] [--progress] [--reuse-machine[=off]] "
+                 "[--snapshot-stats]\n");
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);
@@ -45,6 +47,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.jobs = static_cast<unsigned>(jobs);
+  // Per-worker machine reuse is the default; --reuse-machine is accepted
+  // for symmetry and --reuse-machine=off forces a fresh VP per mutant.
+  config.reuse_machines = !args.has("--reuse-machine=off");
 
   fault::Campaign campaign(*program, config);
 
@@ -81,6 +86,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("%s", result->to_string().c_str());
+  if (args.has("--snapshot-stats")) {
+    // Debug aid on stderr so the stdout report stays byte-identical with
+    // and without the flag (and with and without machine reuse).
+    std::fprintf(stderr, "[faultsim] %s\n",
+                 result->snapshot_stats.to_string().c_str());
+  }
 
   if (args.has("--list")) {
     std::printf("\nper-mutant results:\n");

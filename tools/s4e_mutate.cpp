@@ -1,7 +1,7 @@
 // s4e-mutate — binary mutation analysis of an ELF (the XEMU flow).
 //
 //   s4e-mutate file.elf [--max N] [--jobs N] [--all-sites] [--survivors]
-//              [--progress]
+//              [--progress] [--reuse-machine[=off]] [--snapshot-stats]
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: s4e-mutate <file.elf> [--max N] [--jobs N] "
-                 "[--all-sites] [--survivors] [--progress]\n");
+                 "[--all-sites] [--survivors] [--progress] "
+                 "[--reuse-machine[=off]] [--snapshot-stats]\n");
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);
@@ -39,6 +40,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.jobs = static_cast<unsigned>(jobs);
+  // Per-worker machine reuse is the default; --reuse-machine is accepted
+  // for symmetry and --reuse-machine=off forces a fresh VP per mutant.
+  config.reuse_machines = !args.has("--reuse-machine=off");
 
   mutation::MutationCampaign campaign(*program, config);
 
@@ -76,6 +80,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("%s", score->to_string().c_str());
+  if (args.has("--snapshot-stats")) {
+    // Debug aid on stderr so the stdout report stays byte-identical with
+    // and without the flag (and with and without machine reuse).
+    std::fprintf(stderr, "[mutate] %s\n",
+                 score->snapshot_stats.to_string().c_str());
+  }
 
   if (args.has("--survivors")) {
     std::printf("\nsurviving mutants:\n");
