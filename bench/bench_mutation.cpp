@@ -189,7 +189,7 @@ int main() {
     std::printf("  serial reuse %s\n", stats.to_string().c_str());
     S4E_CHECK(all_identical);
 
-    bench::merge_bench_entry(
+    const bool merged = bench::merge_bench_entry(
         "BENCH_campaign.json", "mutation",
         format("{\"workload\": \"bubble_sort\", \"mutants\": %.0f, "
                "\"jobs\": %u, "
@@ -214,6 +214,7 @@ int main() {
                                                 stats.pages_total),
                                   6)
                    .c_str()));
+    S4E_CHECK(merged);
     std::printf("  (recorded in BENCH_campaign.json)\n");
   }
   return 0;

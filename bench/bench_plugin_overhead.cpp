@@ -12,6 +12,7 @@
 #include "asm/assembler.hpp"
 #include "coverage/coverage.hpp"
 #include "memwatch/memwatch.hpp"
+#include "obs/flight_recorder.hpp"
 #include "qta/qta.hpp"
 #include "vp/machine.hpp"
 #include "wcet/analyzer.hpp"
@@ -58,7 +59,15 @@ const wcet::AnnotatedCfg& kernel_annotated() {
   return annotated;
 }
 
-enum class PluginKind { kNone, kTbExec, kCoverage, kQta, kMemWatch, kInsnNop };
+enum class PluginKind {
+  kNone,
+  kTbExec,
+  kCoverage,
+  kQta,
+  kMemWatch,
+  kInsnNop,
+  kFlightRecorder,
+};
 
 struct TbExecCounter final : vp::PluginBase {
   Subscriptions subscriptions() const override {
@@ -94,6 +103,7 @@ void run_with_plugin(benchmark::State& state, PluginKind kind) {
         memwatch::Region{"buf", 0x8001'0000, 16, true, true, 0, 0});
     memwatch::MemWatchPlugin memwatch_plugin(policy);
     qta::QtaPlugin qta_plugin(kernel_annotated());
+    obs::FlightRecorderPlugin recorder;
     switch (kind) {
       case PluginKind::kNone: break;
       case PluginKind::kTbExec: tb_counter.attach(machine.vm_handle()); break;
@@ -105,6 +115,9 @@ void run_with_plugin(benchmark::State& state, PluginKind kind) {
         memwatch_plugin.attach(machine.vm_handle());
         break;
       case PluginKind::kInsnNop: insn_nop.attach(machine.vm_handle()); break;
+      case PluginKind::kFlightRecorder:
+        recorder.attach(machine.vm_handle());
+        break;
     }
     const vp::RunResult result = machine.run();
     S4E_CHECK(result.normal_exit());
@@ -132,6 +145,9 @@ void BM_QtaPlugin(benchmark::State& state) {
 void BM_MemWatchPlugin(benchmark::State& state) {
   run_with_plugin(state, PluginKind::kMemWatch);
 }
+void BM_FlightRecorder(benchmark::State& state) {
+  run_with_plugin(state, PluginKind::kFlightRecorder);
+}
 
 BENCHMARK(BM_NoPlugin)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TbExecCounter)->Unit(benchmark::kMillisecond);
@@ -139,6 +155,7 @@ BENCHMARK(BM_InsnNop)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CoveragePlugin)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_QtaPlugin)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MemWatchPlugin)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FlightRecorder)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
@@ -159,6 +176,7 @@ int main(int argc, char** argv) {
     policy.regions.push_back(
         memwatch::Region{"buf", 0x8001'0000, 16, true, true, 0, 0});
     memwatch::MemWatchPlugin memwatch_plugin(policy);
+    obs::FlightRecorderPlugin recorder;
     switch (kind) {
       case PluginKind::kNone: break;
       case PluginKind::kTbExec: tb_counter.attach(machine.vm_handle()); break;
@@ -170,6 +188,9 @@ int main(int argc, char** argv) {
         memwatch_plugin.attach(machine.vm_handle());
         break;
       case PluginKind::kInsnNop: insn_nop.attach(machine.vm_handle()); break;
+      case PluginKind::kFlightRecorder:
+        recorder.attach(machine.vm_handle());
+        break;
     }
     const auto start = std::chrono::steady_clock::now();
     machine.run();
@@ -189,5 +210,7 @@ int main(int argc, char** argv) {
               seconds_for(PluginKind::kQta) / base);
   std::printf("  memwatch        : %.2fx\n",
               seconds_for(PluginKind::kMemWatch) / base);
+  std::printf("  flight recorder : %.2fx\n",
+              seconds_for(PluginKind::kFlightRecorder) / base);
   return 0;
 }

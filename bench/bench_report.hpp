@@ -18,8 +18,10 @@ namespace s4e::bench {
 
 // Insert or replace the `key` entry in the report at `path`, preserving the
 // other entries and their order. `object_json` must be a one-line JSON value
-// (typically an object).
-inline void merge_bench_entry(const std::string& path, const std::string& key,
+// (typically an object). Returns false (and reports on stderr) when the
+// report file cannot be opened or fully written — a silently missing report
+// entry looks exactly like a bench that was never run.
+inline bool merge_bench_entry(const std::string& path, const std::string& key,
                               const std::string& object_json) {
   std::vector<std::pair<std::string, std::string>> entries;
   {
@@ -53,12 +55,23 @@ inline void merge_bench_entry(const std::string& path, const std::string& key,
   if (!replaced) entries.emplace_back(key, object_json);
 
   std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot open '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
   out << "{\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     out << "  \"" << entries[i].first << "\": " << entries[i].second
         << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "}\n";
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "bench_report: short write to '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 // Format a double for JSON with fixed precision (locale-independent digits;

@@ -57,6 +57,19 @@ constexpr unsigned popcount32(u32 value) {
   return count;
 }
 
+// Saturating u64 arithmetic for instruction budgets: campaign hang budgets
+// and run limits are products/sums of values callers control (golden
+// instruction counts, user-supplied factors), and a silent wraparound turns
+// "practically unbounded" into "stop immediately".
+constexpr u64 saturating_add(u64 a, u64 b) {
+  return a > ~u64{0} - b ? ~u64{0} : a + b;
+}
+
+constexpr u64 saturating_mul(u64 a, u64 b) {
+  if (a == 0 || b == 0) return 0;
+  return a > ~u64{0} / b ? ~u64{0} : a * b;
+}
+
 // Flip bit `bit` (0-based) of `value`.
 constexpr u32 flip_bit(u32 value, unsigned bit) { return value ^ (u32{1} << bit); }
 

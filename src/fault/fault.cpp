@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "common/strings.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "vp/runner.hpp"
 
 namespace s4e::fault {
@@ -258,6 +260,14 @@ Result<MutantResult> Campaign::run_mutant_on(
     const CampaignResult& golden) const {
   FaultInjectorPlugin injector(spec);
   injector.attach(machine.vm_handle());
+  // The recorder is passive (it only reads the event structs), so outcomes
+  // are bit-identical with and without it.
+  std::unique_ptr<obs::FlightRecorderPlugin> recorder;
+  if (config_.post_mortem) {
+    recorder = std::make_unique<obs::FlightRecorderPlugin>(
+        config_.post_mortem_events);
+    recorder->attach(machine.vm_handle());
+  }
   const vp::RunResult run = machine.run();
 
   MutantResult mutant;
@@ -267,6 +277,10 @@ Result<MutantResult> Campaign::run_mutant_on(
   mutant.outcome = classify(
       run, machine.uart() != nullptr ? machine.uart()->tx_log() : "",
       vp::data_memory_hash(machine, program_), golden);
+  if (recorder != nullptr && (mutant.outcome == Outcome::kHang ||
+                              mutant.outcome == Outcome::kCrash)) {
+    mutant.post_mortem = recorder->post_mortem(config_.post_mortem_events);
+  }
   return mutant;
 }
 
@@ -285,7 +299,8 @@ Result<CampaignResult> Campaign::run() {
 
   vp::MachineConfig mutant_config = config_.machine;
   mutant_config.max_instructions =
-      result.golden_instructions * config_.hang_budget_factor + 10'000;
+      vp::hang_budget(result.golden_instructions, config_.hang_budget_factor,
+                      config_.machine.max_instructions);
 
   // Fan the independent mutant simulations out over the executor. Every
   // job writes only its own slot; the per-outcome counters and the
@@ -297,9 +312,24 @@ Result<CampaignResult> Campaign::run() {
   std::vector<std::optional<Error>> errors(faults_.size());
   progress_.begin(faults_.size());
   exec::CampaignExecutor executor(config_.jobs);
-  const auto record = [&](std::size_t index, Result<MutantResult> mutant) {
+  // Telemetry shards are per worker lane (lock-free: each lane writes only
+  // its own shard) and fold deterministically after the barrier.
+  std::unique_ptr<obs::CampaignTelemetry> telemetry;
+  if (config_.collect_metrics) {
+    telemetry = std::make_unique<obs::CampaignTelemetry>(
+        std::vector<std::string>{"masked", "sdc", "crash", "hang"},
+        executor.jobs());
+    telemetry->set_campaign(faults_.size(), result.golden_instructions,
+                            mutant_config.max_instructions);
+  }
+  const auto record = [&](unsigned worker, std::size_t index,
+                          Result<MutantResult> mutant) {
     if (mutant.ok()) {
       const unsigned bucket = static_cast<unsigned>(mutant->outcome);
+      if (telemetry != nullptr) {
+        telemetry->record_run(worker, bucket, mutant->instructions,
+                              !mutant->post_mortem.empty());
+      }
       slots[index] = std::move(*mutant);
       progress_.record(bucket);
     } else {
@@ -317,20 +347,23 @@ Result<CampaignResult> Campaign::run() {
       if (vms[worker] == nullptr) {
         auto vm = vp::WorkerVm::create(mutant_config, program_);
         if (!vm.ok()) {
-          record(index, vm.error());
+          record(worker, index, vm.error());
           return;
         }
         vms[worker] = std::move(*vm);
       }
-      record(index,
+      record(worker, index,
              run_mutant_on(vms[worker]->prepare(), faults_[index], result));
     });
     for (const auto& vm : vms) {
       if (vm != nullptr) result.snapshot_stats += vm->stats();
     }
   } else {
-    executor.run(faults_.size(), [&](std::size_t index) {
-      record(index, run_mutant(faults_[index], mutant_config, result));
+    // Fresh machine per mutant, still lane-affine so the metric shards have
+    // a stable worker index (slot determinism is unchanged).
+    executor.run_affine(faults_.size(), [&](unsigned worker,
+                                            std::size_t index) {
+      record(worker, index, run_mutant(faults_[index], mutant_config, result));
     });
   }
 
@@ -343,6 +376,7 @@ Result<CampaignResult> Campaign::run() {
         static_cast<double>(mutant.instructions);
     result.mutants.push_back(std::move(mutant));
   }
+  if (telemetry != nullptr) result.metrics_json = telemetry->to_json();
   return result;
 }
 

@@ -84,6 +84,10 @@ struct MutantResult {
   Outcome outcome = Outcome::kMasked;
   int exit_code = 0;
   u64 instructions = 0;
+  // Flight-recorder dump (the mutant's last executed instructions, memory
+  // accesses and traps) captured for kHang/kCrash mutants when the campaign
+  // runs with `post_mortem` enabled; empty otherwise.
+  std::string post_mortem;
 };
 
 struct CampaignConfig {
@@ -109,6 +113,14 @@ struct CampaignConfig {
   // cache) before every run. Off = build a fresh machine per mutant (the
   // pre-snapshot code path); results are bit-identical either way.
   bool reuse_machines = true;
+  // --- Observability (src/obs). Neither switch changes any mutant outcome
+  // or the campaign's stdout report — runs are only observed.
+  // Collect campaign telemetry into CampaignResult::metrics_json.
+  bool collect_metrics = false;
+  // Attach a flight recorder to every mutant run and keep a post-mortem of
+  // the last `post_mortem_events` events for every kHang/kCrash mutant.
+  bool post_mortem = false;
+  unsigned post_mortem_events = 16;
   vp::MachineConfig machine;
 };
 
@@ -125,6 +137,10 @@ struct CampaignResult {
   // Aggregate snapshot/restore cost over all reused worker machines (zeroed
   // when reuse_machines is off).
   vp::SnapshotStats snapshot_stats;
+  // One-line JSON campaign telemetry ("{}" unless collect_metrics). Only
+  // partition-invariant values are exported, so the string is
+  // byte-identical across `jobs` counts and machine reuse on/off.
+  std::string metrics_json = "{}";
 
   u64 count(Outcome outcome) const {
     return outcome_counts[static_cast<unsigned>(outcome)];

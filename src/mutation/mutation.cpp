@@ -6,10 +6,12 @@
 
 #include "common/strings.hpp"
 #include "isa/decoder.hpp"
-#include "vp/runner.hpp"
 #include "isa/disasm.hpp"
 #include "isa/encoder.hpp"
 #include "isa/rvc.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "vp/runner.hpp"
 
 namespace s4e::mutation {
 
@@ -248,8 +250,9 @@ Result<MutationScore> MutationCampaign::run() {
   }
 
   vp::MachineConfig mutant_config = config_.machine;
-  mutant_config.max_instructions =
-      golden.result.instructions * config_.hang_budget_factor + 10'000;
+  mutant_config.max_instructions = vp::hang_budget(
+      golden.result.instructions, config_.hang_budget_factor,
+      config_.machine.max_instructions);
 
   // Independent mutant runs fanned out over the executor; each job fills
   // only its own slot, and the verdict histogram is aggregated afterwards
@@ -260,9 +263,25 @@ Result<MutationScore> MutationCampaign::run() {
   std::vector<std::optional<Error>> errors(mutants.size());
   progress_.begin(mutants.size());
   exec::CampaignExecutor executor(config_.jobs);
-  const auto record = [&](std::size_t index, Result<MutantResult> result) {
+  // Telemetry shards are per worker lane (lock-free: each lane writes only
+  // its own shard) and fold deterministically after the barrier.
+  std::unique_ptr<obs::CampaignTelemetry> telemetry;
+  if (config_.collect_metrics) {
+    telemetry = std::make_unique<obs::CampaignTelemetry>(
+        std::vector<std::string>{"killed_result", "killed_crash",
+                                 "killed_hang", "survived"},
+        executor.jobs());
+    telemetry->set_campaign(mutants.size(), golden.result.instructions,
+                            mutant_config.max_instructions);
+  }
+  const auto record = [&](unsigned worker, std::size_t index,
+                          Result<MutantResult> result) {
     if (result.ok()) {
       const unsigned bucket = static_cast<unsigned>(result->verdict);
+      if (telemetry != nullptr) {
+        telemetry->record_run(worker, bucket, result->instructions,
+                              !result->post_mortem.empty());
+      }
       slots[index] = std::move(*result);
       progress_.record(bucket);
     } else {
@@ -279,21 +298,25 @@ Result<MutationScore> MutationCampaign::run() {
       if (vms[worker] == nullptr) {
         auto vm = vp::WorkerVm::create(mutant_config, program_);
         if (!vm.ok()) {
-          record(index, vm.error());
+          record(worker, index, vm.error());
           return;
         }
         vms[worker] = std::move(*vm);
       }
-      record(index, run_mutant_on(vms[worker]->prepare(), mutants[index],
-                                  golden.result.exit_code, golden.uart));
+      record(worker, index,
+             run_mutant_on(vms[worker]->prepare(), mutants[index],
+                           golden.result.exit_code, golden.uart));
     });
     for (const auto& vm : vms) {
       if (vm != nullptr) score.snapshot_stats += vm->stats();
     }
   } else {
-    executor.run(mutants.size(), [&](std::size_t index) {
-      record(index, run_mutant(mutants[index], mutant_config,
-                               golden.result.exit_code, golden.uart));
+    // Fresh machine per mutant, still lane-affine so the metric shards have
+    // a stable worker index (slot determinism is unchanged).
+    executor.run_affine(mutants.size(), [&](unsigned worker,
+                                            std::size_t index) {
+      record(worker, index, run_mutant(mutants[index], mutant_config,
+                                       golden.result.exit_code, golden.uart));
     });
   }
 
@@ -303,6 +326,7 @@ Result<MutationScore> MutationCampaign::run() {
     ++score.verdict_counts[static_cast<unsigned>(slots[index].verdict)];
     score.results.push_back(std::move(slots[index]));
   }
+  if (telemetry != nullptr) score.metrics_json = telemetry->to_json();
   return score;
 }
 
@@ -320,10 +344,19 @@ Result<MutantResult> MutationCampaign::run_mutant_on(
   S4E_TRY_STATUS(vm.bus().ram_write(mutant.address, bytes, mutant.length));
   vm.tb_cache().invalidate_range(mutant.address, mutant.length);
 
+  // The recorder is passive (it only reads the event structs), so verdicts
+  // are bit-identical with and without it.
+  std::unique_ptr<obs::FlightRecorderPlugin> recorder;
+  if (config_.post_mortem) {
+    recorder = std::make_unique<obs::FlightRecorderPlugin>(
+        config_.post_mortem_events);
+    recorder->attach(vm.vm_handle());
+  }
   const vp::RunResult run = vm.run();
   MutantResult result;
   result.mutant = mutant;
   result.exit_code = run.exit_code;
+  result.instructions = run.instructions;
   if (run.reason == vp::StopReason::kMaxInstructions) {
     result.verdict = Verdict::kKilledHang;
   } else if (!run.normal_exit()) {
@@ -333,6 +366,10 @@ Result<MutantResult> MutationCampaign::run_mutant_on(
     result.verdict = Verdict::kKilledResult;
   } else {
     result.verdict = Verdict::kSurvived;
+  }
+  if (recorder != nullptr && (result.verdict == Verdict::kKilledHang ||
+                              result.verdict == Verdict::kKilledCrash)) {
+    result.post_mortem = recorder->post_mortem(config_.post_mortem_events);
   }
   return result;
 }

@@ -53,6 +53,11 @@ struct MutantResult {
   Mutant mutant;
   Verdict verdict = Verdict::kSurvived;
   int exit_code = 0;
+  u64 instructions = 0;  // guest instructions the mutant executed
+  // Flight-recorder dump (the mutant's last executed instructions, memory
+  // accesses and traps) captured for kKilledHang/kKilledCrash mutants when
+  // the campaign runs with `post_mortem` enabled; empty otherwise.
+  std::string post_mortem;
 };
 
 struct MutationScore {
@@ -61,6 +66,10 @@ struct MutationScore {
   // Aggregate snapshot/restore cost over all reused worker machines (zeroed
   // when reuse_machines is off).
   vp::SnapshotStats snapshot_stats;
+  // One-line JSON campaign telemetry ("{}" unless collect_metrics). Only
+  // partition-invariant values are exported, so the string is
+  // byte-identical across `jobs` counts and machine reuse on/off.
+  std::string metrics_json = "{}";
 
   u64 count(Verdict verdict) const {
     return verdict_counts[static_cast<unsigned>(verdict)];
@@ -97,6 +106,14 @@ struct MutationConfig {
   // mutated block). Off = fresh machine per mutant; the score is
   // bit-identical either way.
   bool reuse_machines = true;
+  // --- Observability (src/obs). Neither switch changes any verdict or the
+  // campaign's stdout report — runs are only observed.
+  // Collect campaign telemetry into MutationScore::metrics_json.
+  bool collect_metrics = false;
+  // Attach a flight recorder to every mutant run and keep a post-mortem of
+  // the last `post_mortem_events` events for every hang/crash kill.
+  bool post_mortem = false;
+  unsigned post_mortem_events = 16;
   vp::MachineConfig machine;
 };
 

@@ -1,0 +1,109 @@
+// Flight recorder — a fixed-size ring buffer of the most recent execution
+// events (instructions, memory accesses, traps), attached through the C
+// plugin API like every other analysis tool.
+//
+// The VP's campaign engines classify a mutant as kHang or kCrash and then
+// throw away everything the machine knew about *why*. The recorder keeps a
+// bounded trail of what happened last — the PC path into the hang loop, the
+// last control-flow decision, the faulting access — cheap enough to leave
+// on for every mutant run (a few stores per instruction, no allocation
+// after construction) and bounded regardless of run length.
+//
+// Recording never perturbs the guest: the plugin only reads the event
+// structs the VP hands it, so a run with the recorder attached is
+// bit-identical (RunResult, UART, memory) to the same run without it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "vp/plugin.hpp"
+
+namespace s4e::obs {
+
+// One recorded event. Plain data, fixed size; the interpretation of the
+// payload words depends on `kind`.
+struct FlightEvent {
+  enum class Kind : u8 {
+    kInsn,  // a = encoding, b = op_class (isa::OpClass)
+    kMem,   // a = vaddr, b = value, size/is_store valid
+    kTrap,  // a = cause (bit 31 = interrupt), b = tval, pc = epc
+  };
+
+  Kind kind = Kind::kInsn;
+  u8 size = 0;           // kMem: access size in bytes
+  u8 is_store = 0;       // kMem: 1 = store
+  u32 pc = 0;            // kInsn/kMem: instruction address; kTrap: epc
+  u32 a = 0;
+  u32 b = 0;
+  // Recorder-local monotonic sequence number. Not written on the hot path:
+  // snapshot() reconstructs it from the ring position.
+  u64 seq = 0;
+};
+
+class FlightRecorderPlugin final : public vp::PluginBase {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  // `capacity` is rounded up to a power of two (ring indexing by mask).
+  explicit FlightRecorderPlugin(std::size_t capacity = kDefaultCapacity);
+
+  Subscriptions subscriptions() const override {
+    Subscriptions subs;
+    subs.insn_exec = true;
+    subs.mem = true;
+    subs.trap = true;
+    return subs;
+  }
+
+  void on_insn_exec(const s4e_insn_info& insn) override {
+    FlightEvent& slot = ring_[head_ & mask_];
+    slot.kind = FlightEvent::Kind::kInsn;
+    slot.pc = insn.address;
+    slot.a = insn.encoding;
+    slot.b = insn.op_class;
+    ++head_;
+  }
+
+  void on_mem(const s4e_mem_event& event) override {
+    FlightEvent& slot = ring_[head_ & mask_];
+    slot.kind = FlightEvent::Kind::kMem;
+    slot.pc = event.pc;
+    slot.a = event.vaddr;
+    slot.b = event.value;
+    slot.size = event.size;
+    slot.is_store = event.is_store;
+    ++head_;
+  }
+
+  void on_trap(const s4e_trap_event& event) override {
+    FlightEvent& slot = ring_[head_ & mask_];
+    slot.kind = FlightEvent::Kind::kTrap;
+    slot.pc = event.epc;
+    slot.a = event.cause;
+    slot.b = event.tval;
+    ++head_;
+  }
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  // Total events observed (>= the number retained).
+  u64 recorded() const noexcept { return head_; }
+
+  // The retained events, oldest first (at most capacity() of them).
+  std::vector<FlightEvent> snapshot() const;
+
+  // Human-readable dump of the last `last_n` retained events: the PC trail
+  // with disassembly, the last control-flow decision, and the last memory
+  // access / trap. `last_n` = 0 dumps everything retained.
+  std::string post_mortem(std::size_t last_n = 0) const;
+
+  void clear() noexcept { head_ = 0; }
+
+ private:
+  std::vector<FlightEvent> ring_;
+  std::size_t mask_;
+  u64 head_ = 0;
+};
+
+}  // namespace s4e::obs

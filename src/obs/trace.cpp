@@ -1,0 +1,79 @@
+#include "obs/trace.hpp"
+
+#include <string>
+
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "isa/rvc.hpp"
+
+namespace s4e::obs {
+
+namespace {
+
+// The disassembler never emits quotes or backslashes today, but the trace
+// promises well-formed JSON, so escape defensively.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string disassemble_encoding(u32 encoding, u32 pc) {
+  auto decoded = s4e::isa::decoder().decode(encoding);
+  if (decoded.ok()) return s4e::isa::disassemble_at(*decoded, pc);
+  if (s4e::isa::is_compressed(static_cast<u16>(encoding))) {
+    auto decompressed = s4e::isa::decompress(static_cast<u16>(encoding));
+    if (decompressed.ok()) {
+      return s4e::isa::disassemble_at(*decompressed, pc);
+    }
+  }
+  return "<illegal>";
+}
+
+}  // namespace
+
+void JsonlTracePlugin::on_insn_exec(const s4e_insn_info& insn) {
+  ++icount_;
+  if (!budget_left()) return;
+  ++emitted_;
+  ++lines_;
+  std::fprintf(out_,
+               "{\"t\":\"insn\",\"n\":%llu,\"pc\":\"0x%08x\","
+               "\"raw\":\"0x%08x\",\"asm\":\"%s\"}\n",
+               static_cast<unsigned long long>(icount_), insn.address,
+               insn.encoding,
+               json_escape(disassemble_encoding(insn.encoding, insn.address))
+                   .c_str());
+}
+
+void JsonlTracePlugin::on_mem(const s4e_mem_event& event) {
+  if (!budget_left()) return;
+  ++emitted_;
+  ++lines_;
+  std::fprintf(out_,
+               "{\"t\":\"mem\",\"pc\":\"0x%08x\",\"addr\":\"0x%08x\","
+               "\"size\":%u,\"store\":%u,\"val\":\"0x%08x\"}\n",
+               event.pc, event.vaddr, event.size, event.is_store,
+               event.value);
+}
+
+void JsonlTracePlugin::on_trap(const s4e_trap_event& event) {
+  ++lines_;
+  std::fprintf(out_,
+               "{\"t\":\"trap\",\"cause\":\"0x%08x\",\"epc\":\"0x%08x\","
+               "\"tval\":\"0x%08x\"}\n",
+               event.cause, event.epc, event.tval);
+}
+
+void JsonlTracePlugin::on_exit(int exit_code) {
+  ++lines_;
+  std::fprintf(out_, "{\"t\":\"exit\",\"code\":%d}\n", exit_code);
+  std::fflush(out_);
+}
+
+}  // namespace s4e::obs

@@ -1,0 +1,57 @@
+// Structured JSONL execution trace — one JSON object per line, one line
+// per event (instruction, memory access, trap, exit), in execution order.
+//
+// The format is the machine-readable counterpart of the flight recorder's
+// human-readable post-mortem: downstream timing/behaviour tooling consumes
+// the trace without parsing disassembly, while the `asm` field keeps each
+// line self-explanatory. Schema (stable key order):
+//   {"t":"insn","n":<icount>,"pc":"0x…","raw":"0x…","asm":"…"}
+//   {"t":"mem","pc":"0x…","addr":"0x…","size":N,"store":0|1,"val":"0x…"}
+//   {"t":"trap","cause":"0x…","epc":"0x…","tval":"0x…"}
+//   {"t":"exit","code":N}
+#pragma once
+
+#include <cstdio>
+
+#include "common/bits.hpp"
+#include "vp/plugin.hpp"
+
+namespace s4e::obs {
+
+class JsonlTracePlugin final : public vp::PluginBase {
+ public:
+  // Writes to `out` (not owned). `limit` bounds the emitted insn/mem lines
+  // (0 = unlimited); trap and exit lines are always emitted.
+  explicit JsonlTracePlugin(std::FILE* out, u64 limit = 0)
+      : out_(out), limit_(limit) {}
+
+  Subscriptions subscriptions() const override {
+    Subscriptions subs;
+    subs.insn_exec = true;
+    subs.mem = true;
+    subs.trap = true;
+    subs.exit = true;
+    return subs;
+  }
+
+  void on_insn_exec(const s4e_insn_info& insn) override;
+  void on_mem(const s4e_mem_event& event) override;
+  void on_trap(const s4e_trap_event& event) override;
+  void on_exit(int exit_code) override;
+
+  // Lines emitted so far (including trap/exit lines).
+  u64 lines() const noexcept { return lines_; }
+
+ private:
+  bool budget_left() const noexcept {
+    return limit_ == 0 || emitted_ < limit_;
+  }
+
+  std::FILE* out_;
+  u64 limit_;
+  u64 emitted_ = 0;   // insn/mem lines, counted against `limit`
+  u64 lines_ = 0;
+  u64 icount_ = 0;
+};
+
+}  // namespace s4e::obs

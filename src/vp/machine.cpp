@@ -556,7 +556,9 @@ RunResult Machine::run() {
 }
 
 RunResult Machine::run(u64 max_insns) {
-  const u64 limit = icount_ + max_insns;
+  // Saturate: run(UINT64_MAX) on a warm machine means "no further bound",
+  // not a wrapped limit below icount_ that stops the VM instantly.
+  const u64 limit = saturating_add(icount_, max_insns);
   while (!pending_stop_) {
     if (icount_ >= limit) {
       pending_stop_ = PendingStop{StopReason::kMaxInstructions, -1, 0,

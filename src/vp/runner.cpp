@@ -25,6 +25,13 @@ u64 data_memory_hash(Machine& machine, const assembler::Program& program) {
   return hash;
 }
 
+u64 hang_budget(u64 golden_instructions, u64 factor,
+                u64 max_instructions) noexcept {
+  const u64 budget = saturating_add(
+      saturating_mul(golden_instructions, factor), 10'000);
+  return budget < max_instructions ? budget : max_instructions;
+}
+
 Result<GoldenRun> run_golden(Machine& machine,
                              const assembler::Program& program) {
   S4E_TRY_STATUS(machine.load_program(program));

@@ -20,6 +20,14 @@ namespace s4e::vp {
 // has no .data section (or it is unreadable).
 u64 data_memory_hash(Machine& machine, const assembler::Program& program);
 
+// Instruction budget for one mutant run: `golden_instructions * factor`
+// plus a fixed slack for short goldens, computed with saturating arithmetic
+// (a long golden run times a large factor must not wrap to a tiny — or
+// zero — budget that disables or corrupts the hang detector), and clamped
+// to the machine config's own `max_instructions` cap.
+u64 hang_budget(u64 golden_instructions, u64 factor, u64 max_instructions)
+    noexcept;
+
 // Golden (fault-free) reference execution of a program.
 struct GoldenRun {
   RunResult result;

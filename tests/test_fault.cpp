@@ -5,6 +5,7 @@
 #include "core/ecosystem.hpp"
 #include "core/workloads.hpp"
 #include "fault/fault.hpp"
+#include "vp/runner.hpp"
 
 namespace s4e::fault {
 namespace {
@@ -256,6 +257,46 @@ loop:
   injector.attach(machine.vm_handle());
   auto run = machine.run();
   EXPECT_EQ(run.reason, vp::StopReason::kMaxInstructions);
+}
+
+TEST(HangBudget, ComputesFactorPlusSlack) {
+  EXPECT_EQ(vp::hang_budget(100, 8, 200'000'000), 10'800u);
+  EXPECT_EQ(vp::hang_budget(0, 8, 200'000'000), 10'000u);
+}
+
+TEST(HangBudget, ClampsToConfiguredMax) {
+  EXPECT_EQ(vp::hang_budget(1'000'000, 1'000, 200'000'000), 200'000'000u);
+}
+
+TEST(HangBudget, SaturatesInsteadOfWrapping) {
+  // golden * factor used to wrap, and `wrapped + 10'000` could land on a
+  // tiny budget (even 0), hanging every mutant after no instructions at
+  // all. Saturation plus the clamp keeps the budget at the configured max.
+  EXPECT_EQ(vp::hang_budget(~u64{0}, 8, 200'000'000), 200'000'000u);
+  EXPECT_EQ(vp::hang_budget(10'000, ~u64{0}, 200'000'000), 200'000'000u);
+  EXPECT_EQ(vp::hang_budget(~u64{0}, ~u64{0}, ~u64{0}), ~u64{0});
+}
+
+TEST(Campaign, HugeHangBudgetFactorDoesNotWrap) {
+  // Regression: with the wrapping arithmetic a factor of UINT64_MAX
+  // produced budget 0 for even goldens (x * MAX + 10'000 ≡ 10'000 - x
+  // mod 2^64) and every mutant "hung" instantly. With saturation the
+  // budget clamps to max_instructions and the campaign classifies
+  // normally.
+  CampaignConfig config;
+  config.mutant_count = 12;
+  config.seed = 5;
+  config.hang_budget_factor = ~u64{0};
+  config.jobs = 1;
+  // Keep genuinely hanging mutants cheap: the budget clamps to this cap.
+  config.machine.max_instructions = 100'000;
+  auto result = Campaign(build(kChecksumSource), config).run();
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  // The checksum workload always yields some masked/SDC mutants; before
+  // the fix every single mutant was (mis)classified as a hang.
+  EXPECT_LT(result->count(Outcome::kHang), result->mutants.size());
+  EXPECT_GT(result->count(Outcome::kMasked) + result->count(Outcome::kSdc),
+            0u);
 }
 
 TEST(Campaign, GoldenMustTerminate) {

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #ifndef S4E_TOOL_DIR
@@ -120,10 +121,34 @@ TEST_F(ToolPipeline, RunHonorsMaxInsns) {
   EXPECT_EQ(result.exit_code, 124);
 }
 
-TEST_F(ToolPipeline, RunTracePrintsDisassembly) {
-  auto result = run_command(tool("s4e-run") + " " + elf_ + " --trace 5");
-  EXPECT_NE(result.output.find("trace"), std::string::npos);
+TEST_F(ToolPipeline, RunTraceEmitsJsonl) {
+  // Bare --trace streams the JSONL events to stderr.
+  auto result = run_command(tool("s4e-run") + " " + elf_ +
+                            " --trace --trace-limit 5");
+  EXPECT_NE(result.output.find("{\"t\":\"insn\",\"n\":1,"), std::string::npos);
   EXPECT_NE(result.output.find("lui"), std::string::npos);
+  EXPECT_NE(result.output.find("{\"t\":\"exit\","), std::string::npos);
+}
+
+TEST_F(ToolPipeline, RunTraceToFile) {
+  const std::string trace_path = temp_path("trace.jsonl");
+  auto result = run_command(tool("s4e-run") + " " + elf_ + " --trace=" +
+                            trace_path + " --trace-limit 8");
+  EXPECT_EQ(result.exit_code, 192);
+  // Run report stays clean of trace lines when tracing to a file.
+  EXPECT_EQ(result.output.find("{\"t\":"), std::string::npos);
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(trace, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"t\":"), std::string::npos) << line;
+  }
+  EXPECT_EQ(lines, 9u);  // 8 insn/mem events + the exit line
+  std::remove(trace_path.c_str());
 }
 
 TEST_F(ToolPipeline, RunCoverageReport) {
@@ -187,6 +212,31 @@ TEST_F(ToolPipeline, FaultsimRunsCampaign) {
   EXPECT_EQ(result.exit_code, 0) << result.output;
   EXPECT_NE(result.output.find("masked"), std::string::npos);
   EXPECT_NE(result.output.find("#000"), std::string::npos);
+}
+
+TEST_F(ToolPipeline, FaultsimMetricsOut) {
+  const std::string metrics_path = temp_path("metrics.json");
+  auto result = run_command(tool("s4e-faultsim") + " " + elf_ +
+                            " --mutants 20 --seed 3 --jobs 1 --metrics-out " +
+                            metrics_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good());
+  std::string content((std::istreambuf_iterator<char>(metrics)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"s4e-faultsim\""), std::string::npos) << content;
+  EXPECT_NE(content.find("\"mutants_total\": 20"), std::string::npos)
+      << content;
+  std::remove(metrics_path.c_str());
+}
+
+TEST_F(ToolPipeline, FaultsimMetricsOutUnwritable) {
+  auto result = run_command(tool("s4e-faultsim") + " " + elf_ +
+                            " --mutants 5 --jobs 1 --metrics-out "
+                            "/nonexistent-dir/metrics.json");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("cannot open"), std::string::npos)
+      << result.output;
 }
 
 TEST_F(ToolPipeline, RunProfileReport) {

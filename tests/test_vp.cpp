@@ -186,6 +186,31 @@ TEST(Machine, MaxInstructionsHangDetector) {
   EXPECT_GE(result.instructions, 1000u);
 }
 
+TEST(Machine, RunBudgetSaturates) {
+  // run(max_insns) computes `icount + max_insns`; on a warm machine with a
+  // huge budget the sum used to wrap to a tiny limit and stop the run after
+  // a single step. The limit must saturate instead.
+  Machine machine;
+  auto program = assemble(R"(
+    li t0, 100
+  loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    li a0, 7
+    ecall
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(machine.load_program(*program).ok());
+  // Warm the instruction counter, then ask for an effectively unlimited
+  // continuation: the run must complete normally, not stop immediately.
+  auto first = machine.run(5);
+  EXPECT_EQ(first.reason, StopReason::kMaxInstructions);
+  auto rest = machine.run(~u64{0});
+  EXPECT_EQ(rest.reason, StopReason::kExitEcall);
+  EXPECT_EQ(rest.exit_code, 7);
+}
+
 TEST(Machine, TrapHandlerCatchesEcall) {
   Machine machine;
   auto result = run_source(machine, R"(

@@ -3,24 +3,32 @@
 //   s4e-faultsim file.elf [--mutants N] [--seed S] [--jobs N] [--blind]
 //                [--no-gpr] [--no-mem] [--no-code] [--list] [--progress]
 //                [--reuse-machine[=off]] [--snapshot-stats]
+//                [--metrics-out FILE] [--post-mortem]
+//                [--post-mortem-dir DIR]
+//
+// Observability flags never change the stdout report: metrics go to FILE,
+// post-mortems go to stderr (or one file per mutant under DIR).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 
+#include "bench/bench_report.hpp"
 #include "elf/elf32.hpp"
 #include "fault/fault.hpp"
 #include "tools/tool_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace s4e;
-  tools::Args args(argc, argv, {"--mutants", "--seed", "--jobs"});
+  tools::Args args(argc, argv, {"--mutants", "--seed", "--jobs",
+                                "--metrics-out", "--post-mortem-dir"});
   if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: s4e-faultsim <file.elf> [--mutants N] [--seed S] "
                  "[--jobs N] [--blind] [--no-gpr] [--no-mem] [--no-code] "
                  "[--list] [--progress] [--reuse-machine[=off]] "
-                 "[--snapshot-stats]\n");
+                 "[--snapshot-stats] [--metrics-out FILE] [--post-mortem] "
+                 "[--post-mortem-dir DIR]\n");
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);
@@ -49,7 +57,10 @@ int main(int argc, char** argv) {
   config.jobs = static_cast<unsigned>(jobs);
   // Per-worker machine reuse is the default; --reuse-machine is accepted
   // for symmetry and --reuse-machine=off forces a fresh VP per mutant.
-  config.reuse_machines = !args.has("--reuse-machine=off");
+  config.reuse_machines = args.value("--reuse-machine") != "off";
+  config.collect_metrics = args.has("--metrics-out");
+  config.post_mortem =
+      args.has("--post-mortem") || args.has("--post-mortem-dir");
 
   fault::Campaign campaign(*program, config);
 
@@ -100,6 +111,41 @@ int main(int argc, char** argv) {
       std::printf("  #%03zu  %-7s exit=%-4d  %s\n", i,
                   std::string(fault::to_string(mutant.outcome)).c_str(),
                   mutant.exit_code, mutant.spec.to_string().c_str());
+    }
+  }
+
+  // Post-mortems are emitted after the campaign, in submission order, so
+  // the output is deterministic regardless of worker scheduling — and on
+  // stderr (or per-mutant files), so stdout stays byte-identical.
+  if (config.post_mortem) {
+    const std::string dir = args.value("--post-mortem-dir");
+    for (std::size_t i = 0; i < result->mutants.size(); ++i) {
+      const auto& mutant = result->mutants[i];
+      if (mutant.post_mortem.empty()) continue;
+      const std::string header =
+          format("[faultsim] post-mortem #%03zu (%s) %s\n", i,
+                 std::string(fault::to_string(mutant.outcome)).c_str(),
+                 mutant.spec.to_string().c_str());
+      if (dir.empty()) {
+        std::fprintf(stderr, "%s%s", header.c_str(),
+                     mutant.post_mortem.c_str());
+      } else {
+        const std::string path = format("%s/mutant_%03zu.txt", dir.c_str(), i);
+        if (auto status =
+                tools::write_file(path, header + mutant.post_mortem);
+            !status.ok()) {
+          std::fprintf(stderr, "s4e-faultsim: %s\n",
+                       status.to_string().c_str());
+          return 1;
+        }
+      }
+    }
+  }
+
+  if (args.has("--metrics-out")) {
+    if (!bench::merge_bench_entry(args.value("--metrics-out"),
+                                  "s4e-faultsim", result->metrics_json)) {
+      return 1;  // merge_bench_entry already reported on stderr
     }
   }
   return 0;

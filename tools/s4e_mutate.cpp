@@ -2,23 +2,31 @@
 //
 //   s4e-mutate file.elf [--max N] [--jobs N] [--all-sites] [--survivors]
 //              [--progress] [--reuse-machine[=off]] [--snapshot-stats]
+//              [--metrics-out FILE] [--post-mortem] [--post-mortem-dir DIR]
+//
+// Observability flags never change the stdout report: metrics go to FILE,
+// post-mortems go to stderr (or one file per mutant under DIR).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 
+#include "bench/bench_report.hpp"
 #include "elf/elf32.hpp"
 #include "mutation/mutation.hpp"
 #include "tools/tool_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace s4e;
-  tools::Args args(argc, argv, {"--max", "--jobs"});
+  tools::Args args(argc, argv,
+                   {"--max", "--jobs", "--metrics-out", "--post-mortem-dir"});
   if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: s4e-mutate <file.elf> [--max N] [--jobs N] "
                  "[--all-sites] [--survivors] [--progress] "
-                 "[--reuse-machine[=off]] [--snapshot-stats]\n");
+                 "[--reuse-machine[=off]] [--snapshot-stats] "
+                 "[--metrics-out FILE] [--post-mortem] "
+                 "[--post-mortem-dir DIR]\n");
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);
@@ -42,7 +50,10 @@ int main(int argc, char** argv) {
   config.jobs = static_cast<unsigned>(jobs);
   // Per-worker machine reuse is the default; --reuse-machine is accepted
   // for symmetry and --reuse-machine=off forces a fresh VP per mutant.
-  config.reuse_machines = !args.has("--reuse-machine=off");
+  config.reuse_machines = args.value("--reuse-machine") != "off";
+  config.collect_metrics = args.has("--metrics-out");
+  config.post_mortem =
+      args.has("--post-mortem") || args.has("--post-mortem-dir");
 
   mutation::MutationCampaign campaign(*program, config);
 
@@ -94,6 +105,41 @@ int main(int argc, char** argv) {
       std::printf("  0x%08x  %-14s %s\n", result.mutant.address,
                   std::string(mutation::to_string(result.mutant.op)).c_str(),
                   result.mutant.description.c_str());
+    }
+  }
+
+  // Post-mortems are emitted after the campaign, in submission order, so
+  // the output is deterministic regardless of worker scheduling — and on
+  // stderr (or per-mutant files), so stdout stays byte-identical.
+  if (config.post_mortem) {
+    const std::string dir = args.value("--post-mortem-dir");
+    for (std::size_t i = 0; i < score->results.size(); ++i) {
+      const auto& result = score->results[i];
+      if (result.post_mortem.empty()) continue;
+      const std::string header =
+          format("[mutate] post-mortem #%03zu (%s) 0x%08x %s\n", i,
+                 std::string(mutation::to_string(result.verdict)).c_str(),
+                 result.mutant.address, result.mutant.description.c_str());
+      if (dir.empty()) {
+        std::fprintf(stderr, "%s%s", header.c_str(),
+                     result.post_mortem.c_str());
+      } else {
+        const std::string path = format("%s/mutant_%03zu.txt", dir.c_str(), i);
+        if (auto status =
+                tools::write_file(path, header + result.post_mortem);
+            !status.ok()) {
+          std::fprintf(stderr, "s4e-mutate: %s\n",
+                       status.to_string().c_str());
+          return 1;
+        }
+      }
+    }
+  }
+
+  if (args.has("--metrics-out")) {
+    if (!bench::merge_bench_entry(args.value("--metrics-out"), "s4e-mutate",
+                                  score->metrics_json)) {
+      return 1;  // merge_bench_entry already reported on stderr
     }
   }
   return 0;

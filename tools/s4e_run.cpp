@@ -1,7 +1,11 @@
 // s4e-run — execute an ELF on the virtual prototype.
 //
 //   s4e-run file.elf [--max-insns N] [--uart-input STR] [--coverage]
-//                    [--stats] [--trace N]
+//                    [--stats] [--trace[=FILE]] [--trace-limit N]
+//
+// --trace emits a structured JSONL event trace (one JSON object per
+// instruction / memory access / trap / exit) to FILE, or to stderr when no
+// FILE is given, so stdout stays reserved for the run report.
 //
 // Exit code mirrors the guest's exit code on a normal exit; 124 on the
 // instruction-budget hang detector; 125 on abnormal stops.
@@ -10,47 +14,19 @@
 #include "core/profiler.hpp"
 #include "coverage/coverage.hpp"
 #include "elf/elf32.hpp"
-#include "isa/decoder.hpp"
-#include "isa/disasm.hpp"
+#include "obs/trace.hpp"
 #include "tools/tool_util.hpp"
 #include "vp/machine.hpp"
 
-namespace {
-
-using namespace s4e;
-
-// Prints the first N executed instructions (a debugging trace).
-class TracePlugin final : public vp::PluginBase {
- public:
-  explicit TracePlugin(u64 limit) : limit_(limit) {}
-  Subscriptions subscriptions() const override {
-    Subscriptions subs;
-    subs.insn_exec = true;
-    return subs;
-  }
-  void on_insn_exec(const s4e_insn_info& insn) override {
-    if (printed_ >= limit_) return;
-    ++printed_;
-    auto decoded = isa::decoder().decode(insn.encoding);
-    std::printf("trace %8llu  %08x  %s\n",
-                static_cast<unsigned long long>(printed_), insn.address,
-                decoded.ok() ? isa::disassemble_at(*decoded, insn.address).c_str()
-                             : "<illegal>");
-  }
-
- private:
-  u64 limit_;
-  u64 printed_ = 0;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  tools::Args args(argc, argv, {"--max-insns", "--uart-input", "--trace"});
+  using namespace s4e;
+  tools::Args args(argc, argv,
+                   {"--max-insns", "--uart-input", "--trace-limit"});
   if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: s4e-run <file.elf> [--max-insns N] [--uart-input S] "
-                 "[--coverage] [--profile] [--stats] [--trace N]\n");
+                 "[--coverage] [--profile] [--stats] [--trace[=FILE]] "
+                 "[--trace-limit N]\n");
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);
@@ -81,13 +57,31 @@ int main(int argc, char** argv) {
   if (args.has("--coverage")) coverage_plugin.attach(machine.vm_handle());
   core::ProfilerPlugin profiler;
   if (args.has("--profile")) profiler.attach(machine.vm_handle());
-  TracePlugin trace(args.has("--trace")
-                        ? static_cast<u64>(
-                              parse_integer(args.value("--trace")).value_or(50))
-                        : 0);
+
+  // --trace=FILE writes the JSONL trace there; bare --trace streams it to
+  // stderr (stdout carries the run report and must stay clean).
+  std::FILE* trace_file = nullptr;
+  std::FILE* trace_sink = stderr;
+  if (args.has("--trace")) {
+    const std::string trace_path = args.value("--trace");
+    if (!trace_path.empty()) {
+      trace_file = std::fopen(trace_path.c_str(), "w");
+      if (trace_file == nullptr) {
+        std::fprintf(stderr, "s4e-run: cannot open trace file '%s'\n",
+                     trace_path.c_str());
+        return 2;
+      }
+      trace_sink = trace_file;
+    }
+  }
+  obs::JsonlTracePlugin trace(
+      trace_sink, static_cast<u64>(
+                      parse_integer(args.value("--trace-limit", "0"))
+                          .value_or(0)));
   if (args.has("--trace")) trace.attach(machine.vm_handle());
 
   const vp::RunResult result = machine.run();
+  if (trace_file != nullptr) std::fclose(trace_file);
 
   if (!machine.uart()->tx_log().empty()) {
     std::printf("--- uart ---\n%s--- end uart ---\n",

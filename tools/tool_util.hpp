@@ -11,7 +11,7 @@
 
 namespace s4e::tools {
 
-// "--flag", "--key value" and positional arguments.
+// "--flag", "--key value", "--key=value" and positional arguments.
 class Args {
  public:
   Args(int argc, char** argv, std::vector<std::string> value_keys)
@@ -20,6 +20,11 @@ class Args {
       const std::string arg = argv[i];
       if (arg.size() > 1 && arg[0] == '-' &&
           !(arg[1] >= '0' && arg[1] <= '9')) {
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+          options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+          continue;
+        }
         bool takes_value = false;
         for (const auto& key : value_keys_) takes_value |= key == arg;
         if (takes_value && i + 1 < argc) {
