@@ -10,6 +10,7 @@
 
 #include "asm/assembler.hpp"
 #include "core/workloads.hpp"
+#include "debug/target.hpp"
 #include "vp/machine.hpp"
 
 namespace {
@@ -77,7 +78,32 @@ void BM_PureInterpreter(benchmark::State& state) {
   run_emulation(state, false);
 }
 
+// Debug subsystem linked but idle: a DebugTarget exists and break/watchpoints
+// were used and removed before the timed run. Must be within noise of
+// BM_TbCached — breakpoints split translation blocks, so plain execution
+// pays only a per-block flag check, never a per-instruction one.
+void BM_TbCachedDebugIdle(benchmark::State& state) {
+  const assembler::Program program = hot_program();
+  u64 instructions = 0;
+  for (auto _ : state) {
+    vp::Machine machine;
+    S4E_CHECK(machine.load_program(program).ok());
+    debug::DebugTarget target(machine);
+    machine.add_breakpoint(machine.cpu().pc);
+    machine.add_watchpoint(0x8000'0000, 4, vp::WatchKind::kWrite);
+    machine.clear_breakpoints();
+    machine.clear_watchpoints();
+    const vp::RunResult result = machine.run();
+    S4E_CHECK(result.normal_exit());
+    instructions += result.instructions;
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.counters["guest_mips"] = benchmark::Counter(
+      static_cast<double>(instructions) / 1e6, benchmark::Counter::kIsRate);
+}
+
 BENCHMARK(BM_TbCached)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TbCachedDebugIdle)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PureInterpreter)->Unit(benchmark::kMillisecond);
 
 // Per-workload cached emulation speed (smaller binaries, branchier code).

@@ -1,0 +1,106 @@
+// Hex encode/decode helpers shared by the GDB RSP codec, the JSONL trace
+// writer and the report formatters. All lowercase, no allocations on the
+// nibble-level primitives.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace s4e {
+
+// Low nibble -> lowercase hex character.
+constexpr char hex_digit(unsigned nibble) {
+  return "0123456789abcdef"[nibble & 0xF];
+}
+
+// Hex character -> value, or -1 when `c` is not a hex digit.
+constexpr int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Byte buffer -> hex string ("ab01..."), two characters per byte.
+inline std::string to_hex(const void* data, std::size_t size) {
+  const u8* bytes = static_cast<const u8*>(data);
+  std::string out;
+  out.reserve(size * 2);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(hex_digit(bytes[i] >> 4));
+    out.push_back(hex_digit(bytes[i]));
+  }
+  return out;
+}
+
+// Hex string -> byte buffer. Fails (nullopt) on odd length or a non-hex
+// character.
+inline std::optional<std::vector<u8>> from_hex(std::string_view text) {
+  if (text.size() % 2 != 0) return std::nullopt;
+  std::vector<u8> out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    const int hi = hex_value(text[i]);
+    const int lo = hex_value(text[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<u8>((hi << 4) | lo));
+  }
+  return out;
+}
+
+// 32-bit value -> 8 fixed-width hex digits, most significant first
+// ("deadbeef"); the common "0x%08x" body.
+inline std::string hex32(u32 value) {
+  std::string out(8, '0');
+  for (unsigned i = 0; i < 8; ++i) {
+    out[7 - i] = hex_digit(value >> (4 * i));
+  }
+  return out;
+}
+
+// 32-bit value -> 8 hex digits in *little-endian byte order*
+// (0x12345678 -> "78563412"): the GDB remote-protocol register wire format
+// for a little-endian RV32 target.
+inline std::string hex32_le(u32 value) {
+  std::string out;
+  out.reserve(8);
+  for (unsigned byte = 0; byte < 4; ++byte) {
+    const u8 b = static_cast<u8>(value >> (8 * byte));
+    out.push_back(hex_digit(b >> 4));
+    out.push_back(hex_digit(b));
+  }
+  return out;
+}
+
+// Parse 8 little-endian-byte-order hex digits back into a u32.
+inline std::optional<u32> parse_hex32_le(std::string_view text) {
+  if (text.size() != 8) return std::nullopt;
+  u32 value = 0;
+  for (unsigned byte = 0; byte < 4; ++byte) {
+    const int hi = hex_value(text[2 * byte]);
+    const int lo = hex_value(text[2 * byte + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    value |= static_cast<u32>((hi << 4) | lo) << (8 * byte);
+  }
+  return value;
+}
+
+// Parse an unsigned big-endian hex number ("80001234"), as used by RSP
+// addresses, lengths and register indices. Fails on empty input, a non-hex
+// character, or overflow past 64 bits.
+inline std::optional<u64> parse_hex(std::string_view text) {
+  if (text.empty() || text.size() > 16) return std::nullopt;
+  u64 value = 0;
+  for (char c : text) {
+    const int nibble = hex_value(c);
+    if (nibble < 0) return std::nullopt;
+    value = (value << 4) | static_cast<u64>(nibble);
+  }
+  return value;
+}
+
+}  // namespace s4e

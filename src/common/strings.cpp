@@ -1,5 +1,6 @@
 #include "common/strings.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
@@ -136,6 +137,24 @@ std::string pad_left(const std::string& value, std::size_t width) {
 std::string pad_right(const std::string& value, std::size_t width) {
   if (value.size() >= width) return value;
   return value + std::string(width - value.size(), ' ');
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Single-row dynamic program; flag names are short, so O(|a|*|b|) with a
+  // |b|+1 row is plenty.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({substitute, row[j] + 1, row[j - 1] + 1});
+    }
+  }
+  return row[b.size()];
 }
 
 }  // namespace s4e

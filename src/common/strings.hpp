@@ -37,4 +37,8 @@ std::string to_lower(std::string_view text);
 std::string pad_left(const std::string& value, std::size_t width);
 std::string pad_right(const std::string& value, std::size_t width);
 
+// Levenshtein edit distance (insert/delete/substitute, unit costs) — the
+// "did you mean --X" suggestion metric of the CLI argument parser.
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
 }  // namespace s4e

@@ -1,0 +1,184 @@
+#include "debug/rsp.hpp"
+
+#include "common/hex.hpp"
+
+namespace s4e::debug {
+
+namespace {
+
+constexpr char kEscape = 0x7d;
+
+bool needs_escape(char c) {
+  return c == '$' || c == '#' || c == kEscape || c == '*';
+}
+
+std::string escape(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size());
+  for (char c : payload) {
+    if (needs_escape(c)) {
+      out.push_back(kEscape);
+      out.push_back(static_cast<char>(c ^ 0x20));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string frame_wire_body(std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 4);
+  out.push_back('$');
+  out.append(body);
+  out.push_back('#');
+  out.append(rsp_checksum(body));
+  return out;
+}
+
+}  // namespace
+
+std::string rsp_checksum(std::string_view payload) {
+  unsigned sum = 0;
+  for (char c : payload) sum += static_cast<u8>(c);
+  std::string out;
+  out.push_back(hex_digit((sum >> 4) & 0xF));
+  out.push_back(hex_digit(sum & 0xF));
+  return out;
+}
+
+std::string rsp_frame(std::string_view payload) {
+  return frame_wire_body(escape(payload));
+}
+
+std::string rsp_frame_rle(std::string_view payload) {
+  std::string body;
+  body.reserve(payload.size());
+  std::size_t i = 0;
+  while (i < payload.size()) {
+    const char c = payload[i];
+    std::size_t run = 1;
+    while (i + run < payload.size() && payload[i + run] == c) ++run;
+    // `X*n` covers X plus (n - 28) repeats; n must be printable (32..126)
+    // and not collide with framing/ack characters. Repeat counts of 6 and 7
+    // would need n = '#'/'$', so cap those runs at 5 (count char 'b'... no:
+    // emit the run split). Escaped characters are never RLE'd.
+    if (needs_escape(c)) {
+      for (std::size_t k = 0; k < run; ++k) {
+        body.push_back(kEscape);
+        body.push_back(static_cast<char>(c ^ 0x20));
+      }
+      i += run;
+      continue;
+    }
+    i += run;
+    while (run > 0) {
+      if (run < 4) {
+        body.append(run, c);
+        break;
+      }
+      std::size_t repeats = run - 1;            // beyond the literal char
+      if (repeats > 97) repeats = 97;           // count char caps at '~'
+      char count = static_cast<char>(repeats + 29);
+      // Shrink the run until the count character is legal. '#' and '$' are
+      // adjacent (35/36), so this may take two steps; the floor is
+      // repeats = 3 (count ' '), well below the first illegal value.
+      while (count == '#' || count == '$' || count == '+' || count == '-') {
+        --repeats;
+        count = static_cast<char>(repeats + 29);
+      }
+      body.push_back(c);
+      body.push_back('*');
+      body.push_back(count);
+      run -= repeats + 1;
+    }
+  }
+  return frame_wire_body(body);
+}
+
+std::string rsp_rle_expand(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] == '*' && !out.empty() && i + 1 < payload.size()) {
+      const std::size_t repeats =
+          static_cast<std::size_t>(static_cast<u8>(payload[i + 1])) - 29;
+      out.append(repeats, out.back());
+      ++i;
+    } else {
+      out.push_back(payload[i]);
+    }
+  }
+  return out;
+}
+
+void PacketDecoder::feed(std::string_view bytes) {
+  for (char c : bytes) {
+    switch (state_) {
+      case State::kIdle:
+        if (c == '$') {
+          state_ = State::kBody;
+          body_.clear();
+        } else if (c == '+') {
+          events_.push_back({EventKind::kAck, ""});
+        } else if (c == '-') {
+          events_.push_back({EventKind::kNak, ""});
+        } else if (c == '\x03') {
+          events_.push_back({EventKind::kInterrupt, ""});
+        }
+        // Anything else between packets is line noise; ignore it.
+        break;
+      case State::kBody:
+        if (c == '#') {
+          state_ = State::kChecksum;
+          checksum_.clear();
+        } else {
+          body_.push_back(c);
+        }
+        break;
+      case State::kChecksum:
+        checksum_.push_back(c);
+        if (checksum_.size() == 2) {
+          finish_packet();
+          state_ = State::kIdle;
+        }
+        break;
+    }
+  }
+}
+
+void PacketDecoder::finish_packet() {
+  const int hi = hex_value(checksum_[0]);
+  const int lo = hex_value(checksum_[1]);
+  unsigned sum = 0;
+  for (char c : body_) sum += static_cast<u8>(c);
+  if (hi < 0 || lo < 0 ||
+      (sum & 0xFF) != static_cast<unsigned>((hi << 4) | lo)) {
+    events_.push_back({EventKind::kBadPacket, ""});
+    return;
+  }
+  // Unescape the body into the payload the handlers see.
+  std::string payload;
+  payload.reserve(body_.size());
+  for (std::size_t i = 0; i < body_.size(); ++i) {
+    if (body_[i] == kEscape && i + 1 < body_.size()) {
+      payload.push_back(static_cast<char>(body_[i + 1] ^ 0x20));
+      ++i;
+    } else {
+      payload.push_back(body_[i]);
+    }
+  }
+  events_.push_back({EventKind::kPacket, std::move(payload)});
+}
+
+PacketDecoder::Event PacketDecoder::next_event() {
+  Event event = std::move(events_[next_]);
+  ++next_;
+  if (next_ == events_.size()) {
+    events_.clear();
+    next_ = 0;
+  }
+  return event;
+}
+
+}  // namespace s4e::debug

@@ -1,0 +1,66 @@
+// GDB Remote Serial Protocol packet codec: `$payload#xx` framing with
+// checksum, 0x7d escaping, optional run-length encoding of replies, and the
+// out-of-band bytes ('+' ack, '-' nak, 0x03 interrupt). Pure byte-level
+// layer — no sockets, no machine knowledge — so the engine and its tests
+// can drive it from any transport.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace s4e::debug {
+
+// Two-hex-digit modulo-256 checksum of a packet payload.
+std::string rsp_checksum(std::string_view payload);
+
+// Frame `payload` as `$<escaped>#<checksum>`. Characters that collide with
+// the framing ('$', '#', '}', '*') are escaped as 0x7d followed by the
+// character xor 0x20; the checksum covers the escaped body (wire bytes).
+std::string rsp_frame(std::string_view payload);
+
+// Run-length-encode a payload per the RSP rules (`X*n` = X repeated
+// (n - 28) more times; count characters are printable and never '#', '$',
+// '+' or '-'), then frame it. Long all-zero register dumps shrink ~4x.
+std::string rsp_frame_rle(std::string_view payload);
+
+// RLE-expand a payload (the inverse of the encoder; test client helper).
+std::string rsp_rle_expand(std::string_view payload);
+
+// Incremental packet decoder: feed raw transport bytes, poll events.
+class PacketDecoder {
+ public:
+  enum class EventKind : u8 {
+    kPacket,     // complete well-checksummed packet; `payload` is unescaped
+    kAck,        // '+'
+    kNak,        // '-'
+    kInterrupt,  // 0x03 (Ctrl-C)
+    kBadPacket,  // framing or checksum error (receiver should nak)
+  };
+
+  struct Event {
+    EventKind kind;
+    std::string payload;  // kPacket only
+  };
+
+  void feed(std::string_view bytes);
+
+  // True if a complete event is queued.
+  bool has_event() const noexcept { return !events_.empty(); }
+  Event next_event();
+
+ private:
+  enum class State : u8 { kIdle, kBody, kChecksum };
+
+  void finish_packet();
+
+  State state_ = State::kIdle;
+  std::string body_;      // escaped wire body of the packet being received
+  std::string checksum_;  // the two checksum characters
+  std::vector<Event> events_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace s4e::debug

@@ -1,0 +1,81 @@
+// Transport-agnostic GDB stub engine: reads packets from a ByteChannel,
+// dispatches RSP commands against a DebugTarget, and writes framed replies.
+// The TCP listener in tcp.hpp provides the production channel; tests feed
+// scripted byte buffers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "debug/rsp.hpp"
+#include "debug/target.hpp"
+
+namespace s4e::debug {
+
+// Minimal blocking byte stream. Implementations: TcpChannel (tcp.hpp) and
+// the scripted channels in the tests.
+class ByteChannel {
+ public:
+  virtual ~ByteChannel() = default;
+
+  // Block until at least one byte arrives; returns it as a string, or an
+  // empty string when the peer closed the connection.
+  virtual std::string read_blocking() = 0;
+
+  // Non-blocking poll: whatever is pending right now (possibly empty).
+  // Used between run slices to notice Ctrl-C while the machine executes.
+  virtual std::string read_poll() = 0;
+
+  // Write all bytes; returns false when the connection broke.
+  virtual bool write_all(std::string_view bytes) = 0;
+};
+
+class RspServer {
+ public:
+  enum class ServeResult : u8 {
+    kDetached,       // debugger sent D; program should resume free-running
+    kKilled,         // debugger sent k
+    kExited,         // program finished (exit/trap) and debugger acknowledged
+    kChannelClosed,  // transport dropped mid-session
+  };
+
+  RspServer(DebugTarget& target, ByteChannel& channel)
+      : target_(target), channel_(channel) {}
+
+  // Run the session until detach, kill, program exit, or channel loss.
+  ServeResult serve();
+
+  // The machine state at the last stop (valid after serve() returns).
+  const vp::RunResult& last_stop() const noexcept { return last_stop_; }
+
+ private:
+  // Returns false when the channel broke.
+  bool send_packet(std::string_view payload);
+  // Dispatch one command packet; fills `done` when the session should end.
+  bool handle_packet(std::string_view payload, ServeResult& done, bool& ended);
+
+  std::string stop_reply() const;
+  std::string handle_query(std::string_view payload);
+  bool handle_resume(bool step);  // c/s: run, then report the stop
+
+  DebugTarget& target_;
+  ByteChannel& channel_;
+  PacketDecoder decoder_;
+  // Command packets that arrived interleaved with an ack wait or during a
+  // run slice; served before new reads.
+  std::vector<PacketDecoder::Event> pending_;
+  // Starts as a debug stop: the machine is halted at its entry point, and a
+  // session that detaches before resuming must free-run afterwards.
+  vp::RunResult last_stop_ = make_initial_stop();
+
+  static vp::RunResult make_initial_stop() {
+    vp::RunResult initial;
+    initial.reason = vp::StopReason::kDebugStep;
+    return initial;
+  }
+  bool no_ack_mode_ = false;
+  bool program_exited_ = false;
+};
+
+}  // namespace s4e::debug

@@ -1,0 +1,73 @@
+// Machine-side adapter of the GDB stub: register/memory access in the RSP
+// wire format, break/watchpoint plumbing, and the bounded-slice resume loop.
+// Protocol framing and command parsing live in server.cpp; this layer only
+// knows the Machine.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "vp/machine.hpp"
+
+namespace s4e::debug {
+
+// GDB register numbering for RV32: x0..x31 are 0..31, the PC is 32.
+inline constexpr unsigned kPcRegnum = 32;
+inline constexpr unsigned kRegCount = 33;
+
+// The RV32 target description served through qXfer:features:read.
+std::string_view target_xml();
+
+class DebugTarget {
+ public:
+  explicit DebugTarget(vp::Machine& machine) : machine_(machine) {}
+
+  vp::Machine& machine() noexcept { return machine_; }
+
+  // --- Registers (little-endian hex wire format).
+
+  // All 33 registers concatenated (the `g` reply).
+  std::string read_registers() const;
+  // Write from a `G` payload; fails on short/malformed input.
+  bool write_registers(std::string_view hex);
+  // Single register, or empty on a bad regnum (`p`).
+  std::string read_register(unsigned regnum) const;
+  bool write_register(unsigned regnum, u32 value);
+
+  // --- Memory. RAM-backed only: a debugger peek must not trigger MMIO
+  // side effects, so device windows read as errors rather than as loads.
+  Status read_memory(u32 address, u32 length, std::string& hex_out) const;
+  // Writes also invalidate overlapping translation blocks — the debugger
+  // may be patching code.
+  Status write_memory(u32 address, const std::vector<u8>& bytes);
+
+  // --- Break/watchpoints (GDB Z-packet types 0..4).
+
+  // type: 0/1 = sw/hw breakpoint (both map to the VP's one kind),
+  // 2 = write, 3 = read, 4 = access watchpoint. Returns false on an
+  // unsupported type.
+  bool insert_point(unsigned type, u32 address, u32 kind);
+  bool remove_point(unsigned type, u32 address, u32 kind);
+
+  // --- Run control.
+
+  // Step exactly one instruction (resumes over a breakpoint at the PC).
+  vp::RunResult step() { return machine_.step(); }
+
+  // Continue in bounded slices until a real stop. Between slices,
+  // `interrupted` is polled; when it returns true the resume stops with
+  // kDebugInterrupt. Honors the machine's global instruction budget.
+  vp::RunResult resume(const std::function<bool()>& interrupted);
+
+  // Instructions per slice between interrupt polls (tests shrink this).
+  void set_slice(u64 insns) noexcept { slice_ = insns; }
+
+ private:
+  vp::Machine& machine_;
+  u64 slice_ = 200'000;
+};
+
+}  // namespace s4e::debug

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/hex.hpp"
 #include "isa/decoder.hpp"
 #include "isa/disasm.hpp"
 #include "isa/rvc.hpp"
@@ -43,10 +44,10 @@ void JsonlTracePlugin::on_insn_exec(const s4e_insn_info& insn) {
   ++emitted_;
   ++lines_;
   std::fprintf(out_,
-               "{\"t\":\"insn\",\"n\":%llu,\"pc\":\"0x%08x\","
-               "\"raw\":\"0x%08x\",\"asm\":\"%s\"}\n",
-               static_cast<unsigned long long>(icount_), insn.address,
-               insn.encoding,
+               "{\"t\":\"insn\",\"n\":%llu,\"pc\":\"0x%s\","
+               "\"raw\":\"0x%s\",\"asm\":\"%s\"}\n",
+               static_cast<unsigned long long>(icount_),
+               hex32(insn.address).c_str(), hex32(insn.encoding).c_str(),
                json_escape(disassemble_encoding(insn.encoding, insn.address))
                    .c_str());
 }
@@ -56,18 +57,19 @@ void JsonlTracePlugin::on_mem(const s4e_mem_event& event) {
   ++emitted_;
   ++lines_;
   std::fprintf(out_,
-               "{\"t\":\"mem\",\"pc\":\"0x%08x\",\"addr\":\"0x%08x\","
-               "\"size\":%u,\"store\":%u,\"val\":\"0x%08x\"}\n",
-               event.pc, event.vaddr, event.size, event.is_store,
-               event.value);
+               "{\"t\":\"mem\",\"pc\":\"0x%s\",\"addr\":\"0x%s\","
+               "\"size\":%u,\"store\":%u,\"val\":\"0x%s\"}\n",
+               hex32(event.pc).c_str(), hex32(event.vaddr).c_str(),
+               event.size, event.is_store, hex32(event.value).c_str());
 }
 
 void JsonlTracePlugin::on_trap(const s4e_trap_event& event) {
   ++lines_;
   std::fprintf(out_,
-               "{\"t\":\"trap\",\"cause\":\"0x%08x\",\"epc\":\"0x%08x\","
-               "\"tval\":\"0x%08x\"}\n",
-               event.cause, event.epc, event.tval);
+               "{\"t\":\"trap\",\"cause\":\"0x%s\",\"epc\":\"0x%s\","
+               "\"tval\":\"0x%s\"}\n",
+               hex32(event.cause).c_str(), hex32(event.epc).c_str(),
+               hex32(event.tval).c_str());
 }
 
 void JsonlTracePlugin::on_exit(int exit_code) {

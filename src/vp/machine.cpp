@@ -25,6 +25,11 @@ std::string_view to_string(StopReason reason) noexcept {
     case StopReason::kTrapUnhandled: return "trap-unhandled";
     case StopReason::kMaxInstructions: return "max-instructions";
     case StopReason::kWfiHalt: return "wfi-halt";
+    case StopReason::kDebugBreak: return "debug-break";
+    case StopReason::kDebugWatch: return "debug-watch";
+    case StopReason::kDebugStep: return "debug-step";
+    case StopReason::kDebugInterrupt: return "debug-interrupt";
+    case StopReason::kDebugSlice: return "debug-slice";
   }
   return "?";
 }
@@ -72,6 +77,8 @@ void Machine::reset(bool clear_ram) {
   icount_ = 0;
   cycles_ = 0;
   pending_stop_.reset();
+  debug_stop_request_ = false;
+  update_debug_check();
   tb_cache_.flush();
   if (config_.timing.icache_miss_cycles != 0) {
     icache_tags_.assign(config_.timing.icache_lines, ~u32{0});
@@ -125,6 +132,82 @@ void Machine::restore_state(const Snapshot& snap) {
   ++snap_stats_.restores;
 }
 
+void Machine::invalidate_code(u32 address, u32 size) {
+  tb_cache_.invalidate_range(address, size);
+  scratch_block_.reset();
+}
+
+void Machine::add_breakpoint(u32 address) {
+  if (!breakpoints_.insert(address).second) return;
+  // A block translated before this insert may carry the breakpointed
+  // instruction mid-block where the dispatch check cannot see it; drop any
+  // such block so retranslation splits at the breakpoint.
+  tb_cache_.invalidate_range(address, 2);
+  scratch_block_.reset();
+  update_debug_check();
+}
+
+bool Machine::remove_breakpoint(u32 address) {
+  if (breakpoints_.erase(address) == 0) return false;
+  // Let the splits around the removed breakpoint re-merge into full blocks.
+  tb_cache_.invalidate_range(address, 2);
+  scratch_block_.reset();
+  update_debug_check();
+  return true;
+}
+
+bool Machine::has_breakpoint(u32 address) const noexcept {
+  return breakpoints_.count(address) != 0;
+}
+
+void Machine::clear_breakpoints() {
+  for (u32 address : breakpoints_) tb_cache_.invalidate_range(address, 2);
+  breakpoints_.clear();
+  scratch_block_.reset();
+  update_debug_check();
+}
+
+void Machine::add_watchpoint(u32 address, u32 length, WatchKind kind) {
+  const Watchpoint wp{address, length == 0 ? 1 : length, kind};
+  for (const Watchpoint& existing : watchpoints_) {
+    if (existing == wp) return;
+  }
+  watchpoints_.push_back(wp);
+}
+
+bool Machine::remove_watchpoint(u32 address, u32 length, WatchKind kind) {
+  const Watchpoint wp{address, length == 0 ? 1 : length, kind};
+  for (auto it = watchpoints_.begin(); it != watchpoints_.end(); ++it) {
+    if (*it == wp) {
+      watchpoints_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Machine::clear_watchpoints() { watchpoints_.clear(); }
+
+void Machine::check_watchpoints(u32 address, unsigned size, bool is_store) {
+  if (pending_stop_) return;
+  for (const Watchpoint& wp : watchpoints_) {
+    const bool kind_matches =
+        wp.kind == WatchKind::kAccess ||
+        (is_store ? wp.kind == WatchKind::kWrite
+                  : wp.kind == WatchKind::kRead);
+    if (!kind_matches) continue;
+    if (address < wp.address + wp.length && address + size > wp.address) {
+      PendingStop stop{StopReason::kDebugWatch, 0, 0,
+                       format("watchpoint at 0x%08x (%s access to 0x%08x)",
+                              wp.address,
+                              is_store ? "store" : "load", address),
+                       address, wp.kind};
+      pending_stop_ = std::move(stop);
+      return;
+    }
+  }
+}
+
 void Machine::clear_plugins() noexcept {
   tb_trans_cbs_.clear();
   tb_exec_cbs_.clear();
@@ -164,6 +247,14 @@ TranslationBlock* Machine::translate(u32 pc) {
   block->start = pc;
   u32 address = pc;
   while (block->insns.size() < TbCache::kMaxBlockInsns) {
+    // A debug breakpoint must sit at a block head so the per-block dispatch
+    // check can stop before executing it: end the block when the *next*
+    // instruction is breakpointed. (A breakpoint at the block's own start is
+    // fine — dispatch already stopped there, or we are resuming over it.)
+    if (!breakpoints_.empty() && !block->insns.empty() &&
+        breakpoints_.count(address) != 0) {
+      break;
+    }
     // Fetch the first 16-bit parcel to distinguish RVC from 32-bit forms.
     auto half = bus_.fetch_half(address);
     if (!half.ok()) {
@@ -362,6 +453,7 @@ bool Machine::execute(const Instr& in) {
       if (in.op == Op::kLh) value = static_cast<u32>(sign_extend(value, 16));
       cpu_.write_gpr(in.rd, value);
       if (!mem_cbs_.empty()) fire_mem_cb(address, value, size, false);
+      if (!watchpoints_.empty()) check_watchpoints(address, size, false);
       break;
     }
     case Op::kSb:
@@ -379,6 +471,7 @@ bool Machine::execute(const Instr& in) {
       }
       mmio = *result;
       if (!mem_cbs_.empty()) fire_mem_cb(address, value, size, true);
+      if (!watchpoints_.empty()) check_watchpoints(address, size, true);
       if (!mmio && tb_cache_.overlaps_code(address, size)) {
         // Self-modifying code: flush after this block finishes.
         tb_flush_pending_ = true;
@@ -556,14 +649,45 @@ RunResult Machine::run() {
 }
 
 RunResult Machine::run(u64 max_insns) {
+  return run_loop(max_insns, StopReason::kMaxInstructions);
+}
+
+RunResult Machine::step() { return run_loop(1, StopReason::kDebugStep); }
+
+RunResult Machine::run_slice(u64 max_insns) {
+  return run_loop(max_insns, StopReason::kDebugSlice);
+}
+
+RunResult Machine::run_loop(u64 max_insns, StopReason budget_reason) {
+  const bool stepping = budget_reason == StopReason::kDebugStep;
   // Saturate: run(UINT64_MAX) on a warm machine means "no further bound",
   // not a wrapped limit below icount_ that stops the VM instantly.
   const u64 limit = saturating_add(icount_, max_insns);
   while (!pending_stop_) {
     if (icount_ >= limit) {
-      pending_stop_ = PendingStop{StopReason::kMaxInstructions, -1, 0,
-                                  "instruction budget exhausted"};
+      if (budget_reason == StopReason::kMaxInstructions) {
+        pending_stop_ = PendingStop{StopReason::kMaxInstructions, -1, 0,
+                                    "instruction budget exhausted"};
+      } else {
+        pending_stop_ = PendingStop{budget_reason, 0, 0, ""};
+      }
       break;
+    }
+    if (debug_check_) {
+      if (debug_stop_request_) {
+        debug_stop_request_ = false;
+        update_debug_check();
+        pending_stop_ = PendingStop{StopReason::kDebugInterrupt, 0, 0, "",
+                                    cpu_.pc};
+        break;
+      }
+      // Stop *before* executing a breakpointed instruction — except while
+      // stepping, which is how the stub resumes off a breakpoint.
+      if (!stepping && breakpoints_.count(cpu_.pc) != 0) {
+        pending_stop_ = PendingStop{StopReason::kDebugBreak, 0, 0, "",
+                                    cpu_.pc};
+        break;
+      }
     }
     bus_.tick(cycles_);
     check_interrupts();
@@ -614,11 +738,17 @@ RunResult Machine::run(u64 max_insns) {
   result.exit_code = pending_stop_->exit_code;
   result.trap_cause = pending_stop_->trap_cause;
   result.detail = pending_stop_->detail;
+  result.debug_addr = pending_stop_->debug_addr;
+  result.watch_kind = pending_stop_->watch_kind;
   result.instructions = icount_;
   result.cycles = cycles_;
   result.final_pc = cpu_.pc;
-  for (const auto& reg : exit_cbs_) {
-    reg.callback(reg.userdata, vm_handle(), result.exit_code);
+  if (!result.debug_stop()) {
+    // Debugger stops are pauses, not ends: exit plugins (trace exit line,
+    // flight-recorder dump) fire once, when the program actually stops.
+    for (const auto& reg : exit_cbs_) {
+      reg.callback(reg.userdata, vm_handle(), result.exit_code);
+    }
   }
   pending_stop_.reset();
   return result;

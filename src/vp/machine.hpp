@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "asm/program.hpp"
@@ -43,9 +44,17 @@ enum class StopReason : u8 {
   kTrapUnhandled,    // synchronous trap with mtvec == 0
   kMaxInstructions,  // instruction budget exhausted (hang detector)
   kWfiHalt,          // wfi with timer interrupts disabled
+  kDebugBreak,       // stopped on a debug breakpoint (before executing it)
+  kDebugWatch,       // stopped on a data watchpoint (after the access)
+  kDebugStep,        // single step completed
+  kDebugInterrupt,   // request_debug_stop() (debugger Ctrl-C)
+  kDebugSlice,       // run_slice() budget exhausted; execution continues
 };
 
 std::string_view to_string(StopReason reason) noexcept;
+
+// Data-watchpoint trigger condition (GDB Z2/Z3/Z4).
+enum class WatchKind : u8 { kWrite, kRead, kAccess };
 
 struct RunResult {
   StopReason reason = StopReason::kMaxInstructions;
@@ -54,12 +63,26 @@ struct RunResult {
   u64 cycles = 0;
   u32 final_pc = 0;
   u32 trap_cause = 0;  // for kTrapUnhandled
+  // For kDebugBreak: the breakpoint PC. For kDebugWatch: the accessed data
+  // address, with `watch_kind` naming the matched watchpoint's condition.
+  u32 debug_addr = 0;
+  WatchKind watch_kind = WatchKind::kWrite;
   std::string detail;
 
   bool normal_exit() const noexcept {
     return reason == StopReason::kExitEcall ||
            reason == StopReason::kExitTestDevice ||
            reason == StopReason::kExitRequested;
+  }
+
+  // True for the four debugger-initiated stops: execution can continue and
+  // exit callbacks have not fired.
+  bool debug_stop() const noexcept {
+    return reason == StopReason::kDebugBreak ||
+           reason == StopReason::kDebugWatch ||
+           reason == StopReason::kDebugStep ||
+           reason == StopReason::kDebugInterrupt ||
+           reason == StopReason::kDebugSlice;
   }
 };
 
@@ -78,6 +101,51 @@ class Machine {
   RunResult run();
   // Run at most `max_insns` further instructions.
   RunResult run(u64 max_insns);
+
+  // --- Debug run control (the GDB stub's machine interface; see src/debug).
+
+  // Execute exactly one instruction and stop. Returns kDebugStep when the
+  // instruction completed uneventfully, otherwise the same taxonomy as
+  // run() (exits, traps, watchpoint hits). A breakpoint at the *current* PC
+  // is deliberately not re-checked, so step() is also the "step over the
+  // breakpoint we are stopped on" resume primitive.
+  RunResult step();
+
+  // Run at most `max_insns` instructions as one bounded debug slice: budget
+  // exhaustion returns kDebugSlice (a pause — exit plugins do not fire)
+  // instead of kMaxInstructions. The debug server's continue loop runs
+  // bounded slices and polls the transport for Ctrl-C between them.
+  RunResult run_slice(u64 max_insns);
+
+  // Software breakpoints: run() stops with kDebugBreak when the PC reaches
+  // a breakpointed address, *before* executing it. Insertion and removal
+  // invalidate overlapping translation blocks and newly translated blocks
+  // are split at breakpoints, so a breakpoint is always a block head and the
+  // per-block dispatch check suffices — execution without breakpoints pays
+  // nothing per instruction.
+  void add_breakpoint(u32 address);
+  bool remove_breakpoint(u32 address);
+  bool has_breakpoint(u32 address) const noexcept;
+  void clear_breakpoints();
+
+  // Data watchpoints over [address, address+length): run()/step() stop with
+  // kDebugWatch after an overlapping data access of the matching kind
+  // completes (GDB semantics: the write has landed when the stop reports).
+  void add_watchpoint(u32 address, u32 length, WatchKind kind);
+  bool remove_watchpoint(u32 address, u32 length, WatchKind kind);
+  void clear_watchpoints();
+
+  // Ask a running machine to stop with kDebugInterrupt at the next block
+  // boundary (the stub's Ctrl-C path; single-threaded — the request is
+  // posted between bounded run slices, not from another thread).
+  void request_debug_stop() noexcept {
+    debug_stop_request_ = true;
+    debug_check_ = true;
+  }
+
+  // Drop translation blocks overlapping [address, address+size) — required
+  // after any out-of-band RAM write (debugger `M` packets patching code).
+  void invalidate_code(u32 address, u32 size);
 
   // Reset architectural state, counters and every mapped device (keeps
   // loaded RAM contents unless `clear_ram`).
@@ -157,11 +225,30 @@ class Machine {
     int exit_code;
     u32 trap_cause = 0;
     std::string detail;
+    u32 debug_addr = 0;
+    WatchKind watch_kind = WatchKind::kWrite;
   };
 
+  struct Watchpoint {
+    u32 address = 0;
+    u32 length = 0;
+    WatchKind kind = WatchKind::kWrite;
+
+    bool operator==(const Watchpoint&) const noexcept = default;
+  };
+
+  // Shared run loop; `budget_reason` is the stop reason reported when
+  // `max_insns` is exhausted (kMaxInstructions for run, kDebugStep for
+  // step, kDebugSlice for run_slice). Stepping skips the breakpoint check
+  // at the entry PC (resume-over-breakpoint semantics).
+  RunResult run_loop(u64 max_insns, StopReason budget_reason);
   TranslationBlock* translate(u32 pc);
   // Execute one instruction; returns true if the run must stop.
   bool execute(const isa::Instr& instr);
+  void check_watchpoints(u32 address, unsigned size, bool is_store);
+  void update_debug_check() noexcept {
+    debug_check_ = debug_stop_request_ || !breakpoints_.empty();
+  }
   void take_trap(u32 cause, u32 tval, bool interrupt);
   void check_interrupts();
   void probe_icache(u32 block_pc);
@@ -182,6 +269,13 @@ class Machine {
   std::optional<PendingStop> pending_stop_;
   u32 current_insn_pc_ = 0;
   bool tb_flush_pending_ = false;
+  // Debug run-control state. `debug_check_` is the single block-dispatch
+  // gate (true iff breakpoints exist or a stop was requested); the
+  // watchpoint vector is checked on data accesses only while non-empty.
+  bool debug_check_ = false;
+  bool debug_stop_request_ = false;
+  std::unordered_set<u32> breakpoints_;
+  std::vector<Watchpoint> watchpoints_;
   // Instruction-cache model state (see TimingParams): tag per line, ~0 when
   // invalid. Empty when the model is disabled.
   std::vector<u32> icache_tags_;

@@ -305,6 +305,71 @@ TEST(ToolTestgen, DumpsSuitesAndElfs) {
   run_command("rm -rf " + dir);
 }
 
+// ---------------------------------------------------------------------------
+// Flag hygiene, shared across every tool: unknown options are rejected with
+// a did-you-mean hint, and --help documents every flag the parser accepts
+// (enforced by diffing --list-flags against the help text).
+
+const char* kAllTools[] = {"s4e-as",       "s4e-objdump", "s4e-run",
+                           "s4e-wcet",     "s4e-qta",     "s4e-faultsim",
+                           "s4e-mutate",   "s4e-cov",     "s4e-lint",
+                           "s4e-testgen"};
+
+TEST(ToolFlags, UnknownFlagIsRejectedWithSuggestion) {
+  auto run = run_command(tool("s4e-run") + " x.elf --max-isns 10");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("unknown option '--max-isns'"),
+            std::string::npos);
+  EXPECT_NE(run.output.find("did you mean '--max-insns'?"),
+            std::string::npos);
+
+  auto faultsim = run_command(tool("s4e-faultsim") + " x.elf --mutant 5");
+  EXPECT_EQ(faultsim.exit_code, 2);
+  EXPECT_NE(faultsim.output.find("did you mean '--mutants'?"),
+            std::string::npos);
+
+  auto mutate = run_command(tool("s4e-mutate") + " x.elf --survivor");
+  EXPECT_EQ(mutate.exit_code, 2);
+  EXPECT_NE(mutate.output.find("did you mean '--survivors'?"),
+            std::string::npos);
+
+  // Far-off typos get a plain rejection, not a wild guess.
+  auto wild = run_command(tool("s4e-run") + " x.elf --frobnicate");
+  EXPECT_EQ(wild.exit_code, 2);
+  EXPECT_NE(wild.output.find("unknown option '--frobnicate'"),
+            std::string::npos);
+  EXPECT_EQ(wild.output.find("did you mean"), std::string::npos);
+}
+
+TEST(ToolFlags, EveryToolRejectsUnknownFlags) {
+  for (const char* name : kAllTools) {
+    auto result = run_command(tool(name) + " --no-such-flag-zz");
+    EXPECT_EQ(result.exit_code, 2) << name << ": " << result.output;
+    EXPECT_NE(result.output.find("unknown option"), std::string::npos)
+        << name;
+  }
+}
+
+TEST(ToolFlags, HelpDocumentsEveryParsedFlag) {
+  for (const char* name : kAllTools) {
+    auto flags = run_command(tool(name) + " --list-flags");
+    ASSERT_EQ(flags.exit_code, 0) << name;
+    auto help = run_command(tool(name) + " --help");
+    ASSERT_EQ(help.exit_code, 0) << name;
+    EXPECT_NE(help.output.find("usage:"), std::string::npos) << name;
+    std::size_t start = 0;
+    while (start < flags.output.size()) {
+      std::size_t end = flags.output.find('\n', start);
+      if (end == std::string::npos) end = flags.output.size();
+      const std::string flag = flags.output.substr(start, end - start);
+      start = end + 1;
+      if (flag.empty()) continue;
+      EXPECT_NE(help.output.find(flag), std::string::npos)
+          << name << " --help does not mention " << flag;
+    }
+  }
+}
+
 TEST(ToolRun, UartInputReachesGuest) {
   const std::string elf_path = temp_path("tools_lock.elf");
   auto assembled = run_command(tool("s4e-as") + " --workload lock_ctrl -o " +

@@ -12,8 +12,18 @@
 
 int main(int argc, char** argv) {
   using namespace s4e;
+  static constexpr char kUsage[] =
+      "usage: s4e-as <input.s> -o <out.elf> [--compress] "
+      "[--text-base ADDR] [--data-base ADDR]\n"
+      "       s4e-as --workload <name> -o <out.elf>\n"
+      "       s4e-as --list-workloads\n";
   tools::Args args(argc, argv,
-                   {"-o", "--o", "--workload", "--text-base", "--data-base"});
+                   {"-o", "--workload", "--text-base", "--data-base"},
+                   {"--compress", "--list-workloads"});
+  if (const int code = tools::standard_flags(args, "s4e-as", kUsage);
+      code >= 0) {
+    return code;
+  }
 
   if (args.has("--list-workloads")) {
     for (const auto& workload : core::standard_workloads()) {
@@ -39,9 +49,7 @@ int main(int argc, char** argv) {
     }
     source = *text;
   } else {
-    std::fprintf(stderr,
-                 "usage: s4e-as <input.s> -o <out.elf> [--compress] | --workload "
-                 "<name> -o <out.elf> | --list-workloads\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
 

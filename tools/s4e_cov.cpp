@@ -17,11 +17,15 @@
 
 int main(int argc, char** argv) {
   using namespace s4e;
-  tools::Args args(argc, argv, {});
+  static constexpr char kUsage[] =
+      "usage: s4e-cov <a.elf> [b.elf ...] [--per-binary] [--no-static]\n";
+  tools::Args args(argc, argv, {}, {"--per-binary", "--no-static"});
+  if (const int code = tools::standard_flags(args, "s4e-cov", kUsage);
+      code >= 0) {
+    return code;
+  }
   if (args.positional().empty()) {
-    std::fprintf(stderr,
-                 "usage: s4e-cov <a.elf> [b.elf ...] [--per-binary] "
-                 "[--no-static]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   const bool use_static = !args.has("--no-static");

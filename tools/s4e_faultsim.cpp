@@ -20,15 +20,24 @@
 
 int main(int argc, char** argv) {
   using namespace s4e;
-  tools::Args args(argc, argv, {"--mutants", "--seed", "--jobs",
-                                "--metrics-out", "--post-mortem-dir"});
+  static constexpr char kUsage[] =
+      "usage: s4e-faultsim <file.elf> [--mutants N] [--seed S] "
+      "[--jobs N] [--blind] [--no-gpr] [--no-mem] [--no-code] "
+      "[--list] [--progress] [--reuse-machine[=off]] "
+      "[--snapshot-stats] [--metrics-out FILE] [--post-mortem] "
+      "[--post-mortem-dir DIR]\n";
+  tools::Args args(argc, argv,
+                   {"--mutants", "--seed", "--jobs", "--metrics-out",
+                    "--post-mortem-dir"},
+                   {"--blind", "--no-gpr", "--no-mem", "--no-code", "--list",
+                    "--progress", "--reuse-machine", "--snapshot-stats",
+                    "--post-mortem"});
+  if (const int code = tools::standard_flags(args, "s4e-faultsim", kUsage);
+      code >= 0) {
+    return code;
+  }
   if (args.positional().empty()) {
-    std::fprintf(stderr,
-                 "usage: s4e-faultsim <file.elf> [--mutants N] [--seed S] "
-                 "[--jobs N] [--blind] [--no-gpr] [--no-mem] [--no-code] "
-                 "[--list] [--progress] [--reuse-machine[=off]] "
-                 "[--snapshot-stats] [--metrics-out FILE] [--post-mortem] "
-                 "[--post-mortem-dir DIR]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);

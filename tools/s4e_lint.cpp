@@ -19,11 +19,15 @@
 
 int main(int argc, char** argv) {
   using namespace s4e;
-  tools::Args args(argc, argv, {"--policy"});
+  static constexpr char kUsage[] =
+      "usage: s4e-lint <prog.elf|prog.s> [--policy file.policy] [--quiet]\n";
+  tools::Args args(argc, argv, {"--policy"}, {"--quiet"});
+  if (const int code = tools::standard_flags(args, "s4e-lint", kUsage);
+      code >= 0) {
+    return code;
+  }
   if (args.positional().size() != 1) {
-    std::fprintf(
-        stderr,
-        "usage: s4e-lint <prog.elf|prog.s> [--policy file.policy] [--quiet]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   const std::string& path = args.positional()[0];

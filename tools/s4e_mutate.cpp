@@ -18,15 +18,22 @@
 
 int main(int argc, char** argv) {
   using namespace s4e;
+  static constexpr char kUsage[] =
+      "usage: s4e-mutate <file.elf> [--max N] [--jobs N] "
+      "[--all-sites] [--survivors] [--progress] "
+      "[--reuse-machine[=off]] [--snapshot-stats] "
+      "[--metrics-out FILE] [--post-mortem] "
+      "[--post-mortem-dir DIR]\n";
   tools::Args args(argc, argv,
-                   {"--max", "--jobs", "--metrics-out", "--post-mortem-dir"});
+                   {"--max", "--jobs", "--metrics-out", "--post-mortem-dir"},
+                   {"--all-sites", "--survivors", "--progress",
+                    "--reuse-machine", "--snapshot-stats", "--post-mortem"});
+  if (const int code = tools::standard_flags(args, "s4e-mutate", kUsage);
+      code >= 0) {
+    return code;
+  }
   if (args.positional().empty()) {
-    std::fprintf(stderr,
-                 "usage: s4e-mutate <file.elf> [--max N] [--jobs N] "
-                 "[--all-sites] [--survivors] [--progress] "
-                 "[--reuse-machine[=off]] [--snapshot-stats] "
-                 "[--metrics-out FILE] [--post-mortem] "
-                 "[--post-mortem-dir DIR]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);

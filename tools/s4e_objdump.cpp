@@ -15,9 +15,15 @@
 
 int main(int argc, char** argv) {
   using namespace s4e;
-  tools::Args args(argc, argv, {});
+  static constexpr char kUsage[] =
+      "usage: s4e-objdump [-t|--cfg|--annot] <file.elf>\n";
+  tools::Args args(argc, argv, {}, {"-t", "--cfg", "--annot"});
+  if (const int code = tools::standard_flags(args, "s4e-objdump", kUsage);
+      code >= 0) {
+    return code;
+  }
   if (args.positional().empty()) {
-    std::fprintf(stderr, "usage: s4e-objdump [-t|--cfg|--annot] <file.elf>\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);

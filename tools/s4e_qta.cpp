@@ -12,10 +12,15 @@
 
 int main(int argc, char** argv) {
   using namespace s4e;
+  static constexpr char kUsage[] =
+      "usage: s4e-qta <file.elf> <file.qtacfg> [--uart-input S]\n";
   tools::Args args(argc, argv, {"--uart-input"});
+  if (const int code = tools::standard_flags(args, "s4e-qta", kUsage);
+      code >= 0) {
+    return code;
+  }
   if (args.positional().size() < 2) {
-    std::fprintf(stderr,
-                 "usage: s4e-qta <file.elf> <file.qtacfg> [--uart-input S]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);

@@ -2,10 +2,17 @@
 //
 //   s4e-run file.elf [--max-insns N] [--uart-input STR] [--coverage]
 //                    [--stats] [--trace[=FILE]] [--trace-limit N]
+//                    [--gdb[=PORT]]
 //
 // --trace emits a structured JSONL event trace (one JSON object per
 // instruction / memory access / trap / exit) to FILE, or to stderr when no
 // FILE is given, so stdout stays reserved for the run report.
+//
+// --gdb halts the machine at its entry point and serves one GDB remote
+// session on 127.0.0.1:PORT (default 1234; PORT 0 binds an ephemeral port).
+// The bound address is announced on stderr. When the debugger detaches (or
+// drops) before the program ends, the machine free-runs to completion, so
+// --coverage/--trace/--stats still see the whole execution.
 //
 // Exit code mirrors the guest's exit code on a normal exit; 124 on the
 // instruction-budget hang detector; 125 on abnormal stops.
@@ -13,20 +20,77 @@
 
 #include "core/profiler.hpp"
 #include "coverage/coverage.hpp"
+#include "debug/tcp.hpp"
 #include "elf/elf32.hpp"
 #include "obs/trace.hpp"
 #include "tools/tool_util.hpp"
 #include "vp/machine.hpp"
 
+namespace {
+
+constexpr char kUsage[] =
+    "usage: s4e-run <file.elf> [--max-insns N] [--uart-input S] "
+    "[--coverage] [--profile] [--stats] [--trace[=FILE]] "
+    "[--trace-limit N] [--gdb[=PORT]]\n";
+
+// Serve one GDB session; the machine is halted at entry. Returns false on a
+// setup error. On return, `result` holds the final machine stop: either the
+// program end observed under the debugger, or — after a detach/drop — the
+// result of free-running the rest of the program.
+bool serve_gdb(s4e::vp::Machine& machine, const std::string& port_text,
+               s4e::vp::RunResult& result, bool& killed) {
+  using namespace s4e;
+  u16 port = 1234;
+  if (!port_text.empty()) {
+    auto parsed = parse_integer(port_text);
+    if (!parsed.ok() || *parsed < 0 || *parsed > 65535) {
+      std::fprintf(stderr, "s4e-run: bad --gdb port '%s'\n",
+                   port_text.c_str());
+      return false;
+    }
+    port = static_cast<u16>(*parsed);
+  }
+  std::string error;
+  auto listener = debug::TcpListener::listen_loopback(port, error);
+  if (listener == nullptr) {
+    std::fprintf(stderr, "s4e-run: %s\n", error.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "s4e-run: gdb stub listening on 127.0.0.1:%u\n",
+               static_cast<unsigned>(listener->port()));
+  auto channel = listener->accept_one(error);
+  if (channel == nullptr) {
+    std::fprintf(stderr, "s4e-run: %s\n", error.c_str());
+    return false;
+  }
+  debug::DebugTarget target(machine);
+  debug::RspServer server(target, *channel);
+  const auto outcome = server.serve();
+  if (outcome == debug::RspServer::ServeResult::kKilled) {
+    killed = true;
+    return true;
+  }
+  if (!server.last_stop().debug_stop()) {
+    result = server.last_stop();  // program finished under the debugger
+  } else {
+    result = machine.run();  // detached / connection lost: free-run the rest
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace s4e;
   tools::Args args(argc, argv,
-                   {"--max-insns", "--uart-input", "--trace-limit"});
+                   {"--max-insns", "--uart-input", "--trace-limit"},
+                   {"--coverage", "--profile", "--stats", "--trace", "--gdb"});
+  if (const int code = tools::standard_flags(args, "s4e-run", kUsage);
+      code >= 0) {
+    return code;
+  }
   if (args.positional().empty()) {
-    std::fprintf(stderr,
-                 "usage: s4e-run <file.elf> [--max-insns N] [--uart-input S] "
-                 "[--coverage] [--profile] [--stats] [--trace[=FILE]] "
-                 "[--trace-limit N]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);
@@ -80,8 +144,15 @@ int main(int argc, char** argv) {
                           .value_or(0)));
   if (args.has("--trace")) trace.attach(machine.vm_handle());
 
-  const vp::RunResult result = machine.run();
+  vp::RunResult result;
+  bool killed = false;
+  if (args.has("--gdb")) {
+    if (!serve_gdb(machine, args.value("--gdb"), result, killed)) return 2;
+  } else {
+    result = machine.run();
+  }
   if (trace_file != nullptr) std::fclose(trace_file);
+  if (killed) return 0;  // debugger issued `k`: not a guest failure
 
   if (!machine.uart()->tx_log().empty()) {
     std::printf("--- uart ---\n%s--- end uart ---\n",

@@ -13,11 +13,17 @@
 
 int main(int argc, char** argv) {
   using namespace s4e;
-  tools::Args args(argc, argv, {"--suite", "--seed", "--count"});
+  static constexpr char kUsage[] =
+      "usage: s4e-testgen <outdir> [--suite arch|unit|torture|all] "
+      "[--seed S] [--count N] [--abi-style] [--elf]\n";
+  tools::Args args(argc, argv, {"--suite", "--seed", "--count"},
+                   {"--abi-style", "--elf"});
+  if (const int code = tools::standard_flags(args, "s4e-testgen", kUsage);
+      code >= 0) {
+    return code;
+  }
   if (args.positional().empty()) {
-    std::fprintf(stderr,
-                 "usage: s4e-testgen <outdir> [--suite arch|unit|torture|all] "
-                 "[--seed S] [--count N] [--abi-style] [--elf]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   const std::string outdir = args.positional()[0];

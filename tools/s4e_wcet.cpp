@@ -11,10 +11,15 @@
 
 int main(int argc, char** argv) {
   using namespace s4e;
-  tools::Args args(argc, argv, {"--emit-cfg"});
+  static constexpr char kUsage[] =
+      "usage: s4e-wcet <file.elf> [--emit-cfg out.qtacfg] [--dot]\n";
+  tools::Args args(argc, argv, {"--emit-cfg"}, {"--dot"});
+  if (const int code = tools::standard_flags(args, "s4e-wcet", kUsage);
+      code >= 0) {
+    return code;
+  }
   if (args.positional().empty()) {
-    std::fprintf(stderr,
-                 "usage: s4e-wcet <file.elf> [--emit-cfg out.qtacfg] [--dot]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   auto program = elf::read_elf_file(args.positional()[0]);

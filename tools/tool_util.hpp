@@ -1,6 +1,8 @@
 // Shared helpers for the command-line tools: tiny argv parser and file IO.
 #pragma once
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <string>
@@ -12,31 +14,50 @@
 namespace s4e::tools {
 
 // "--flag", "--key value", "--key=value" and positional arguments.
+//
+// Every option a tool parses must be declared up front — `value_keys` for
+// options that consume a value, `flag_keys` for booleans (a flag may still
+// carry an inline "=value", e.g. --trace=FILE or --gdb=PORT). Anything else
+// that looks like an option is rejected with a "did you mean --X?" hint, so
+// a typo like --max-isns fails loudly instead of silently running without a
+// budget. "--help" and "--list-flags" are always known.
 class Args {
  public:
-  Args(int argc, char** argv, std::vector<std::string> value_keys)
-      : value_keys_(std::move(value_keys)) {
+  Args(int argc, char** argv, std::vector<std::string> value_keys,
+       std::vector<std::string> flag_keys = {})
+      : value_keys_(std::move(value_keys)), flag_keys_(std::move(flag_keys)) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg.size() > 1 && arg[0] == '-' &&
           !(arg[1] >= '0' && arg[1] <= '9')) {
         const std::size_t eq = arg.find('=');
+        const std::string key = eq == std::string::npos ? arg
+                                                        : arg.substr(0, eq);
+        if (!is_known(key)) {
+          reject(key);
+          continue;
+        }
         if (eq != std::string::npos) {
-          options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+          options_[key] = arg.substr(eq + 1);
           continue;
         }
         bool takes_value = false;
-        for (const auto& key : value_keys_) takes_value |= key == arg;
+        for (const auto& vk : value_keys_) takes_value |= vk == key;
         if (takes_value && i + 1 < argc) {
-          options_[arg] = argv[++i];
+          options_[key] = argv[++i];
         } else {
-          options_[arg] = "";
+          options_[key] = "";
         }
       } else {
         positional_.push_back(arg);
       }
     }
   }
+
+  // False when an undeclared option was seen; `error()` carries the
+  // message (with a nearest-known-option suggestion when one is close).
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
 
   bool has(const std::string& key) const { return options_.count(key) != 0; }
   std::string value(const std::string& key,
@@ -46,11 +67,71 @@ class Args {
   }
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // Every declared option (sorted; without the built-in --help/--list-flags).
+  std::vector<std::string> known_options() const {
+    std::vector<std::string> all = value_keys_;
+    all.insert(all.end(), flag_keys_.begin(), flag_keys_.end());
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+
  private:
+  bool is_known(const std::string& key) const {
+    if (key == "--help" || key == "--list-flags") return true;
+    for (const auto& k : value_keys_) {
+      if (k == key) return true;
+    }
+    for (const auto& k : flag_keys_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+  void reject(const std::string& key) {
+    if (!error_.empty()) return;  // report the first unknown option only
+    error_ = "unknown option '" + key + "'";
+    std::string best;
+    std::size_t best_distance = 3;  // suggest only within edit distance 2
+    for (const auto& candidate : known_options()) {
+      const std::size_t d = edit_distance(key, candidate);
+      if (d < best_distance) {
+        best_distance = d;
+        best = candidate;
+      }
+    }
+    if (!best.empty()) error_ += " (did you mean '" + best + "'?)";
+  }
+
   std::vector<std::string> value_keys_;
+  std::vector<std::string> flag_keys_;
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
+  std::string error_;
 };
+
+// Shared front matter for every tool's main():
+//   - bad option      -> message on stderr, exit 2
+//   - --list-flags    -> declared options one per line on stdout, exit 0
+//   - --help          -> `usage` on stdout, exit 0
+// Returns the exit code to use, or -1 to continue running.
+inline int standard_flags(const Args& args, const char* tool,
+                          const char* usage) {
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s: %s\n", tool, args.error().c_str());
+    return 2;
+  }
+  if (args.has("--list-flags")) {
+    for (const auto& key : args.known_options()) {
+      std::printf("%s\n", key.c_str());
+    }
+    return 0;
+  }
+  if (args.has("--help")) {
+    std::printf("%s", usage);
+    return 0;
+  }
+  return -1;
+}
 
 inline Result<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
