@@ -7,8 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <string>
 
 #include "asm/assembler.hpp"
+#include "bench/bench_report.hpp"
 #include "core/workloads.hpp"
 #include "debug/target.hpp"
 #include "vp/machine.hpp"
@@ -54,12 +56,10 @@ assembler::Program hot_program() {
   return program;
 }
 
-void run_emulation(benchmark::State& state, bool enable_tb_cache) {
+void run_emulation(benchmark::State& state, const vp::MachineConfig& config) {
   const assembler::Program program = hot_program();
   u64 instructions = 0;
   for (auto _ : state) {
-    vp::MachineConfig config;
-    config.enable_tb_cache = enable_tb_cache;
     vp::Machine machine(config);
     S4E_CHECK(machine.load_program(program).ok());
     const vp::RunResult result = machine.run();
@@ -73,9 +73,31 @@ void run_emulation(benchmark::State& state, bool enable_tb_cache) {
   state.counters["guest_insns"] = static_cast<double>(instructions);
 }
 
-void BM_TbCached(benchmark::State& state) { run_emulation(state, true); }
+vp::MachineConfig cached_config() { return vp::MachineConfig{}; }
+
+// Ablation: TB cache on, but every block returns to central dispatch (no
+// chain links, no jump cache follows, no superblocks).
+vp::MachineConfig nochain_config() {
+  vp::MachineConfig config;
+  config.enable_chaining = false;
+  config.enable_superblocks = false;
+  return config;
+}
+
+vp::MachineConfig interp_config() {
+  vp::MachineConfig config;
+  config.enable_tb_cache = false;
+  return config;
+}
+
+void BM_TbCached(benchmark::State& state) {
+  run_emulation(state, cached_config());
+}
+void BM_TbCachedNoChain(benchmark::State& state) {
+  run_emulation(state, nochain_config());
+}
 void BM_PureInterpreter(benchmark::State& state) {
-  run_emulation(state, false);
+  run_emulation(state, interp_config());
 }
 
 // Debug subsystem linked but idle: a DebugTarget exists and break/watchpoints
@@ -103,6 +125,7 @@ void BM_TbCachedDebugIdle(benchmark::State& state) {
 }
 
 BENCHMARK(BM_TbCached)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TbCachedNoChain)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TbCachedDebugIdle)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PureInterpreter)->Unit(benchmark::kMillisecond);
 
@@ -140,18 +163,29 @@ void register_workload_benches() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --no-report (CI smoke): run only the selected benchmarks, skip the
+  // summary timing passes and leave BENCH_emulation.json untouched.
+  bool write_report = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no-report") {
+      write_report = false;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   register_workload_benches();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!write_report) return 0;
 
-  // Summary line for EXPERIMENTS.md: cached vs uncached factor.
+  // Summary for EXPERIMENTS.md and the BENCH_emulation.json trajectory:
+  // cached vs uncached factor plus the chained-vs-unchained ablation.
   {
     using namespace s4e;
     const assembler::Program program = hot_program();
-    auto time_run = [&](bool cached) {
-      vp::MachineConfig config;
-      config.enable_tb_cache = cached;
+    auto time_run = [&](const vp::MachineConfig& config) {
       vp::Machine machine(config);
       S4E_CHECK(machine.load_program(program).ok());
       const auto start = std::chrono::steady_clock::now();
@@ -161,11 +195,24 @@ int main(int argc, char** argv) {
                                .count();
       return static_cast<double>(result.instructions) / elapsed / 1e6;
     };
-    const double cached = time_run(true);
-    const double uncached = time_run(false);
-    std::printf("\n[E1] cached %.1f MIPS, pure-interpreter %.1f MIPS, "
-                "speedup %.2fx\n",
-                cached, uncached, cached / uncached);
+    const double cached = time_run(cached_config());
+    const double nochain = time_run(nochain_config());
+    const double uncached = time_run(interp_config());
+    std::printf("\n[E1] cached %.1f MIPS (%.1f unchained), "
+                "pure-interpreter %.1f MIPS, speedup %.2fx "
+                "(chaining alone %.2fx)\n",
+                cached, nochain, uncached, cached / uncached,
+                cached / nochain);
+    const bool merged = bench::merge_bench_entry(
+        "BENCH_emulation.json", "emulation_speed",
+        "{\"kernel\": \"hot_loop\", "
+        "\"cached_mips\": " + bench::json_number(cached) +
+        ", \"nochain_mips\": " + bench::json_number(nochain) +
+        ", \"interp_mips\": " + bench::json_number(uncached) +
+        ", \"cached_vs_interp\": " + bench::json_number(cached / uncached) +
+        ", \"chain_speedup\": " + bench::json_number(cached / nochain) + "}");
+    S4E_CHECK(merged);
+    std::printf("  (recorded in BENCH_emulation.json)\n");
   }
   return 0;
 }

@@ -1,0 +1,69 @@
+// Execution-engine counters -> MetricsRegistry bridge.
+//
+// The engine keeps its hot counters as plain per-machine u64s (EngineStats
+// on Machine, hit/sever counters on TbCache) so the dispatch loop never
+// touches registry slots. This header flattens one machine's counters into
+// a registered metric set — campaigns record one machine per worker lane
+// and the registry aggregates by addition, same contract as every other
+// counter in the registry.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "vp/machine.hpp"
+
+namespace s4e::obs {
+
+// Handles for the engine metric set; returned by register_engine_metrics()
+// and consumed by record_engine_metrics().
+struct EngineMetricIds {
+  MetricId chain_patches;
+  MetricId chain_follows;
+  MetricId chain_severs;
+  MetricId jump_cache_hits;
+  MetricId jump_cache_misses;
+  MetricId superblocks_formed;
+  MetricId blocks_fast;
+  MetricId blocks_careful;
+  MetricId tb_front_hits;
+  MetricId tb_deep_hits;
+  MetricId tb_lookup_misses;
+};
+
+inline EngineMetricIds register_engine_metrics(MetricsRegistry& registry) {
+  EngineMetricIds ids;
+  ids.chain_patches = registry.add_counter("engine.chain_patches");
+  ids.chain_follows = registry.add_counter("engine.chain_follows");
+  ids.chain_severs = registry.add_counter("engine.chain_severs");
+  ids.jump_cache_hits = registry.add_counter("engine.jump_cache_hits");
+  ids.jump_cache_misses = registry.add_counter("engine.jump_cache_misses");
+  ids.superblocks_formed = registry.add_counter("engine.superblocks_formed");
+  ids.blocks_fast = registry.add_counter("engine.blocks_fast");
+  ids.blocks_careful = registry.add_counter("engine.blocks_careful");
+  ids.tb_front_hits = registry.add_counter("engine.tb_front_hits");
+  ids.tb_deep_hits = registry.add_counter("engine.tb_deep_hits");
+  ids.tb_lookup_misses = registry.add_counter("engine.tb_lookup_misses");
+  return ids;
+}
+
+// Add one machine's lifetime counters into `shard`. Call once per machine
+// (after its runs complete) — the counters are cumulative, so recording the
+// same machine twice double-counts.
+inline void record_engine_metrics(MetricsRegistry::Shard& shard,
+                                  const EngineMetricIds& ids,
+                                  const vp::Machine& machine) {
+  const vp::EngineStats& stats = machine.engine_stats();
+  const vp::TbCache& cache = machine.tb_cache();
+  shard.add(ids.chain_patches, stats.chain_patches);
+  shard.add(ids.chain_follows, stats.chain_follows);
+  shard.add(ids.chain_severs, cache.chain_severs());
+  shard.add(ids.jump_cache_hits, stats.jump_cache_hits);
+  shard.add(ids.jump_cache_misses, stats.jump_cache_misses);
+  shard.add(ids.superblocks_formed, stats.superblocks_formed);
+  shard.add(ids.blocks_fast, stats.blocks_fast);
+  shard.add(ids.blocks_careful, stats.blocks_careful);
+  shard.add(ids.tb_front_hits, cache.front_hits());
+  shard.add(ids.tb_deep_hits, cache.deep_hits());
+  shard.add(ids.tb_lookup_misses, cache.lookup_misses());
+}
+
+}  // namespace s4e::obs

@@ -136,6 +136,14 @@ bool Bus::is_ram(u32 address, u32 size) const noexcept {
   return find_ram(address, size) != nullptr;
 }
 
+Bus::RamWindow Bus::ram_window(u32 address) noexcept {
+  if (RamRegion* region = find_ram(address, 1)) {
+    return RamWindow{region->bytes.data(), region->dirty.data(), region->base,
+                     static_cast<u32>(region->bytes.size())};
+  }
+  return RamWindow{};
+}
+
 void Bus::tick(u64 now) {
   for (auto& mapping : devices_) mapping.device->tick(now);
 }

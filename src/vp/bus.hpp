@@ -49,6 +49,25 @@ class Bus {
   // True if [address, address+size) lies fully inside a RAM region.
   bool is_ram(u32 address, u32 size) const noexcept;
 
+  // Zero-copy view of the RAM region containing `address` (empty view if
+  // none), for the execution engine's inline load/store fast path. The
+  // pointers stay valid for the life of the bus: regions are never removed
+  // and their buffers never reallocate. Stores through the view must mark
+  // dirtiness exactly like Bus::write does.
+  struct RamWindow {
+    u8* data = nullptr;
+    u64* dirty = nullptr;
+    u32 base = 0;
+    u32 size = 0;
+    void mark_dirty(u32 offset, u32 bytes) noexcept {
+      const u32 last = (offset + bytes - 1) / kRamPageBytes;
+      for (u32 page = offset / kRamPageBytes; page <= last; ++page) {
+        dirty[page >> 6] |= u64{1} << (page & 63);
+      }
+    }
+  };
+  RamWindow ram_window(u32 address) noexcept;
+
   // Advance all devices to cycle `now`.
   void tick(u64 now);
 

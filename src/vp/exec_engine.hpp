@@ -1,0 +1,82 @@
+// Threaded-dispatch execution engine: the pre-resolved per-instruction form
+// blocks are lowered into at translate time, plus the counters the engine
+// exposes.
+//
+// The old engine re-dispatched every instruction through a big switch on
+// isa::Op. The lowered DecodedInsn instead carries a direct handler pointer
+// (function-pointer threading — the portable sibling of computed-goto) with
+// every translate-time-constant already resolved: the fall-through pc, the
+// static branch/jal target, and the three possible timing charges
+// (fall-through, redirected, MMIO) precomputed from the TimingParams. The
+// hot loop is then `d->fn(machine, *d)` and nothing else.
+#pragma once
+
+#include "isa/opcode.hpp"
+
+namespace s4e::vp {
+
+class Machine;
+struct DecodedInsn;
+
+// What one handler call did to control flow. The block executors use this to
+// decide whether to keep running the block, follow a chain edge, or return
+// to central dispatch.
+enum class ExecOutcome : u8 {
+  kNext = 0,         // fell through; execution continues at d.link
+  kNextSpliced = 1,  // continued inside a superblock splice (target != link);
+                     // the handler set cpu.pc itself
+  kTakenStatic,      // redirected to the precomputed d.target (branch/jal)
+  kTakenIndirect,    // redirected through a register (jalr/mret): jump-cache
+  kSideExit,         // superblock interior edge left the trace; pc already set
+  kStop,             // block must end now: trap taken, stop pending, or flush
+};
+
+using ExecHandler = ExecOutcome (*)(Machine&, const DecodedInsn&);
+
+// One lowered instruction. 48 bytes; a 64-insn block's code[] spans 48
+// cache lines of pure sequential reads.
+struct DecodedInsn {
+  ExecHandler fn = nullptr;
+  u32 pc = 0;      // instruction address
+  u32 link = 0;    // pc + length: fall-through pc and jal/jalr link value
+  i32 imm = 0;     // sign-extended immediate (U-type pre-shifted)
+  u32 target = 0;  // branch/jal static destination (pc + imm)
+  // Timing charges, precomputed from TimingParams at lowering time:
+  u32 c_fall = 0;   // not-redirected cost (loads/stores: the RAM path)
+  u32 c_taken = 0;  // redirected cost (and the load/store fault path)
+  u32 c_mmio = 0;   // load/store device-access path
+  u32 raw = 0;      // original encoding (plugin insn info)
+  u16 csr = 0;
+  isa::Op op{};
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;  // also shamt / CSR zimm
+  u8 length = 4;
+};
+
+// Engine-level counters (chaining, jump cache, superblocks, dispatch mix).
+// Cumulative per machine; reset() clears them with the rest of the
+// performance counters. The TB-cache-level counters (front-cache hit rate,
+// chain severs) live on TbCache.
+struct EngineStats {
+  u64 chain_patches = 0;     // block->block links written
+  u64 chain_follows = 0;     // dispatches that rode an existing link
+  u64 jump_cache_hits = 0;   // indirect targets resolved from the 2-entry jc
+  u64 jump_cache_misses = 0;
+  u64 superblocks_formed = 0;
+  u64 blocks_fast = 0;     // blocks run by the chained threaded engine
+  u64 blocks_careful = 0;  // blocks run by the exact per-insn loop
+};
+
+// A chain run returns to central dispatch (one "epoch": bus tick, interrupt
+// poll, debug/budget checks) at least every kChainQuantum instructions, so
+// run_slice pauses and debug-stop requests keep a bounded latency even in
+// fully chained code.
+inline constexpr u64 kChainQuantum = 4096;
+
+// A chain edge followed this many times is spliced into a superblock.
+inline constexpr u32 kSuperblockHotThreshold = 64;
+// Superblocks stop growing here (old engine's block bound is 64 insns).
+inline constexpr std::size_t kMaxSuperblockInsns = 256;
+
+}  // namespace s4e::vp

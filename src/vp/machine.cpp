@@ -1,5 +1,7 @@
 #include "vp/machine.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "isa/decoder.hpp"
@@ -62,7 +64,16 @@ Machine::Machine(const MachineConfig& config)
                     std::move(testdev));
   }
   vm_handle_ = std::make_unique<s4e_vm>(s4e_vm{this});
+  refresh_ram_window();
   reset();
+}
+
+void Machine::refresh_ram_window() noexcept {
+  const Bus::RamWindow window = bus_.ram_window(config_.ram_base);
+  ram_data_ = window.data;
+  ram_dirty_ = window.dirty;
+  ram_base_ = window.base;
+  ram_size_ = window.size;
 }
 
 Machine::~Machine() = default;
@@ -78,6 +89,8 @@ void Machine::reset(bool clear_ram) {
   cycles_ = 0;
   pending_stop_.reset();
   debug_stop_request_ = false;
+  chain_epoch_recheck_ = false;
+  estats_ = EngineStats{};
   update_debug_check();
   tb_cache_.flush();
   if (config_.timing.icache_miss_cycles != 0) {
@@ -117,6 +130,7 @@ void Machine::restore_state(const Snapshot& snap) {
   bimodal_ = snap.bimodal;
   pending_stop_.reset();
   tb_flush_pending_ = false;
+  chain_epoch_recheck_ = false;
   scratch_block_.reset();
   // Dirty pages carry everything the run wrote — including patched code, so
   // invalidating the blocks on restored pages is exactly what keeps the
@@ -173,6 +187,7 @@ void Machine::add_watchpoint(u32 address, u32 length, WatchKind kind) {
     if (existing == wp) return;
   }
   watchpoints_.push_back(wp);
+  update_mem_slow();
 }
 
 bool Machine::remove_watchpoint(u32 address, u32 length, WatchKind kind) {
@@ -180,13 +195,17 @@ bool Machine::remove_watchpoint(u32 address, u32 length, WatchKind kind) {
   for (auto it = watchpoints_.begin(); it != watchpoints_.end(); ++it) {
     if (*it == wp) {
       watchpoints_.erase(it);
+      update_mem_slow();
       return true;
     }
   }
   return false;
 }
 
-void Machine::clear_watchpoints() { watchpoints_.clear(); }
+void Machine::clear_watchpoints() {
+  watchpoints_.clear();
+  update_mem_slow();
+}
 
 void Machine::check_watchpoints(u32 address, unsigned size, bool is_store) {
   if (pending_stop_) return;
@@ -215,6 +234,7 @@ void Machine::clear_plugins() noexcept {
   mem_cbs_.clear();
   trap_cbs_.clear();
   exit_cbs_.clear();
+  update_mem_slow();
 }
 
 Status Machine::load_program(const assembler::Program& program) {
@@ -295,6 +315,7 @@ TranslationBlock* Machine::translate(u32 pc) {
     if (instr.op == Op::kWfi) break;
   }
   block->byte_size = address - pc;
+  lower_block(*block);
 
   if (!tb_trans_cbs_.empty()) {
     std::vector<s4e_insn_info> infos;
@@ -387,258 +408,785 @@ void Machine::fire_mem_cb(u32 vaddr, u32 value, unsigned size, bool is_store) {
   }
 }
 
-bool Machine::execute(const Instr& in) {
-  const u32 pc = cpu_.pc;
-  current_insn_pc_ = pc;
-  u32 next_pc = pc + in.length;
-  bool redirect = false;
-  bool mmio = false;
-  const u32 rs1 = cpu_.read_gpr(in.rs1);
-  const u32 rs2 = cpu_.read_gpr(in.rs2);
-  const i32 srs1 = static_cast<i32>(rs1);
-  const i32 srs2 = static_cast<i32>(rs2);
+// ---------------------------------------------------------------------------
+// Threaded-dispatch execution engine.
+//
+// Every instruction is lowered at translate time into a DecodedInsn carrying
+// a direct handler pointer (see exec_engine.hpp); the per-instruction switch
+// the old engine paid on every execution is gone from the hot path. The
+// handlers below replicate the old Machine::execute semantics exactly —
+// operand order, trap-entry pc, stop-path pc, and the single timing charge
+// per instruction (precomputed as c_fall/c_taken/c_mmio) are all preserved,
+// which is what keeps chained and unchained execution bit-identical.
+//
+// Handler contract:
+//   kNext          fell through; cpu_.pc was NOT updated (the fast loop
+//                  skips the store; the careful loop writes d.link).
+//                  Handlers that can also stop (loads/stores) write d.link
+//                  themselves before returning kNext — a harmless re-store.
+//   kNextSpliced   superblock interior edge continued off the fall-through
+//                  (jal splice, taken-branch splice); the handler set pc.
+//   kTakenStatic / kTakenIndirect / kSideExit / kStop
+//                  the handler set cpu_.pc (for traps: before take_trap, so
+//                  mepc and the trap-callback pc are exact).
 
-  // Charge the timing model exactly once per executed instruction, including
-  // the paths that stop the run (traps, exits): a stopping instruction still
-  // consumed pipeline time, and the cycles >= instructions invariant relies
-  // on it.
-  const auto charge = [&](bool redirected) {
-    cycles_ += timing_.dynamic_cycles(in, redirected, rs1, rs2, mmio);
-  };
+namespace {
 
-  switch (in.op) {
-    case Op::kLui:
-      cpu_.write_gpr(in.rd, static_cast<u32>(in.imm));
-      break;
-    case Op::kAuipc:
-      cpu_.write_gpr(in.rd, pc + static_cast<u32>(in.imm));
-      break;
-    case Op::kJal:
-      cpu_.write_gpr(in.rd, pc + in.length);
-      next_pc = pc + static_cast<u32>(in.imm);
-      redirect = true;
-      break;
-    case Op::kJalr:
-      cpu_.write_gpr(in.rd, pc + in.length);
-      next_pc = (rs1 + static_cast<u32>(in.imm)) & ~u32{1};
-      redirect = true;
-      break;
-    case Op::kBeq: redirect = rs1 == rs2; goto branch;
-    case Op::kBne: redirect = rs1 != rs2; goto branch;
-    case Op::kBlt: redirect = srs1 < srs2; goto branch;
-    case Op::kBge: redirect = srs1 >= srs2; goto branch;
-    case Op::kBltu: redirect = rs1 < rs2; goto branch;
-    case Op::kBgeu:
-      redirect = rs1 >= rs2;
-    branch:
-      if (redirect) next_pc = pc + static_cast<u32>(in.imm);
-      break;
-    case Op::kLb:
-    case Op::kLh:
-    case Op::kLw:
-    case Op::kLbu:
-    case Op::kLhu: {
-      const u32 address = rs1 + static_cast<u32>(in.imm);
-      const unsigned size =
-          (in.op == Op::kLw) ? 4 : (in.op == Op::kLh || in.op == Op::kLhu) ? 2 : 1;
-      auto result = bus_.read(address, size);
-      if (!result.ok()) {
-        take_trap(kCauseLoadFault, address, false);
-        charge(true);
-        return true;
-      }
-      mmio = result->mmio;
-      u32 value = result->value;
-      if (in.op == Op::kLb) value = static_cast<u32>(sign_extend(value, 8));
-      if (in.op == Op::kLh) value = static_cast<u32>(sign_extend(value, 16));
-      cpu_.write_gpr(in.rd, value);
-      if (!mem_cbs_.empty()) fire_mem_cb(address, value, size, false);
-      if (!watchpoints_.empty()) check_watchpoints(address, size, false);
-      break;
-    }
-    case Op::kSb:
-    case Op::kSh:
-    case Op::kSw: {
-      const u32 address = rs1 + static_cast<u32>(in.imm);
-      const unsigned size =
-          (in.op == Op::kSw) ? 4 : (in.op == Op::kSh) ? 2 : 1;
-      const u32 value = rs2 & (size == 4 ? ~u32{0} : (u32{1} << (8 * size)) - 1);
-      auto result = bus_.write(address, size, value);
-      if (!result.ok()) {
-        take_trap(kCauseStoreFault, address, false);
-        charge(true);
-        return true;
-      }
-      mmio = *result;
-      if (!mem_cbs_.empty()) fire_mem_cb(address, value, size, true);
-      if (!watchpoints_.empty()) check_watchpoints(address, size, true);
-      if (!mmio && tb_cache_.overlaps_code(address, size)) {
-        // Self-modifying code: flush after this block finishes.
-        tb_flush_pending_ = true;
-      }
-      break;
-    }
-    case Op::kAddi: cpu_.write_gpr(in.rd, rs1 + static_cast<u32>(in.imm)); break;
-    case Op::kSlti: cpu_.write_gpr(in.rd, srs1 < in.imm ? 1 : 0); break;
-    case Op::kSltiu:
-      cpu_.write_gpr(in.rd, rs1 < static_cast<u32>(in.imm) ? 1 : 0);
-      break;
-    case Op::kXori: cpu_.write_gpr(in.rd, rs1 ^ static_cast<u32>(in.imm)); break;
-    case Op::kOri: cpu_.write_gpr(in.rd, rs1 | static_cast<u32>(in.imm)); break;
-    case Op::kAndi: cpu_.write_gpr(in.rd, rs1 & static_cast<u32>(in.imm)); break;
-    case Op::kSlli: cpu_.write_gpr(in.rd, rs1 << in.rs2); break;
-    case Op::kSrli: cpu_.write_gpr(in.rd, rs1 >> in.rs2); break;
-    case Op::kSrai: cpu_.write_gpr(in.rd, static_cast<u32>(srs1 >> in.rs2)); break;
-    case Op::kAdd: cpu_.write_gpr(in.rd, rs1 + rs2); break;
-    case Op::kSub: cpu_.write_gpr(in.rd, rs1 - rs2); break;
-    case Op::kSll: cpu_.write_gpr(in.rd, rs1 << (rs2 & 31)); break;
-    case Op::kSlt: cpu_.write_gpr(in.rd, srs1 < srs2 ? 1 : 0); break;
-    case Op::kSltu: cpu_.write_gpr(in.rd, rs1 < rs2 ? 1 : 0); break;
-    case Op::kXor: cpu_.write_gpr(in.rd, rs1 ^ rs2); break;
-    case Op::kSrl: cpu_.write_gpr(in.rd, rs1 >> (rs2 & 31)); break;
-    case Op::kSra: cpu_.write_gpr(in.rd, static_cast<u32>(srs1 >> (rs2 & 31))); break;
-    case Op::kOr: cpu_.write_gpr(in.rd, rs1 | rs2); break;
-    case Op::kAnd: cpu_.write_gpr(in.rd, rs1 & rs2); break;
-    case Op::kFence: break;
-    case Op::kEcall: {
-      // Semihosting exit convention: a7 = 93, a0 = exit code.
-      if (cpu_.read_gpr(17) == 93) {
-        pending_stop_ = PendingStop{StopReason::kExitEcall,
-                                    static_cast<int>(cpu_.read_gpr(10)), 0, ""};
-        // No redirect penalty: the simulation ends here rather than
-        // redirecting the front-end (keeps the QTA timeline chain exact).
-        charge(false);
-        return true;
-      }
-      take_trap(kCauseEcallM, 0, false);
-      charge(true);
-      return true;
-    }
-    case Op::kEbreak:
-      take_trap(kCauseBreakpoint, pc, false);
-      charge(true);
-      return true;
-    case Op::kMul: cpu_.write_gpr(in.rd, rs1 * rs2); break;
-    case Op::kMulh:
-      cpu_.write_gpr(in.rd, static_cast<u32>(
-          (static_cast<i64>(srs1) * static_cast<i64>(srs2)) >> 32));
-      break;
-    case Op::kMulhsu:
-      cpu_.write_gpr(in.rd, static_cast<u32>(
-          (static_cast<i64>(srs1) * static_cast<i64>(static_cast<u64>(rs2))) >> 32));
-      break;
-    case Op::kMulhu:
-      cpu_.write_gpr(in.rd, static_cast<u32>(
-          (static_cast<u64>(rs1) * static_cast<u64>(rs2)) >> 32));
-      break;
-    case Op::kDiv:
-      if (rs2 == 0) {
-        cpu_.write_gpr(in.rd, ~u32{0});
-      } else if (rs1 == 0x8000'0000u && rs2 == ~u32{0}) {
-        cpu_.write_gpr(in.rd, 0x8000'0000u);  // overflow
-      } else {
-        cpu_.write_gpr(in.rd, static_cast<u32>(srs1 / srs2));
-      }
-      break;
-    case Op::kDivu:
-      cpu_.write_gpr(in.rd, rs2 == 0 ? ~u32{0} : rs1 / rs2);
-      break;
-    case Op::kRem:
-      if (rs2 == 0) {
-        cpu_.write_gpr(in.rd, rs1);
-      } else if (rs1 == 0x8000'0000u && rs2 == ~u32{0}) {
-        cpu_.write_gpr(in.rd, 0);
-      } else {
-        cpu_.write_gpr(in.rd, static_cast<u32>(srs1 % srs2));
-      }
-      break;
-    case Op::kRemu:
-      cpu_.write_gpr(in.rd, rs2 == 0 ? rs1 : rs1 % rs2);
-      break;
-    case Op::kCsrrw:
-    case Op::kCsrrs:
-    case Op::kCsrrc:
-    case Op::kCsrrwi:
-    case Op::kCsrrsi:
-    case Op::kCsrrci: {
-      const CsrFile::CounterView counters = counter_view();
-      const bool imm_form = in.op == Op::kCsrrwi || in.op == Op::kCsrrsi ||
-                            in.op == Op::kCsrrci;
-      const u32 operand = imm_form ? static_cast<u32>(in.rs2) : rs1;
-      const bool is_write_op = in.op == Op::kCsrrw || in.op == Op::kCsrrwi;
-      const bool wants_read = !is_write_op || in.rd != 0;
-      const bool wants_write =
-          is_write_op || (imm_form ? in.rs2 != 0 : in.rs1 != 0);
-      u32 old_value = 0;
-      if (wants_read) {
-        auto value = cpu_.csr.read(in.csr, counters);
-        if (!value.ok()) {
-          take_trap(kCauseIllegalInstruction, in.raw, false);
-          charge(true);
-        return true;
-        }
-        old_value = *value;
-      }
-      if (wants_write) {
-        u32 new_value = operand;
-        if (in.op == Op::kCsrrs || in.op == Op::kCsrrsi) {
-          new_value = old_value | operand;
-        } else if (in.op == Op::kCsrrc || in.op == Op::kCsrrci) {
-          new_value = old_value & ~operand;
-        }
-        if (!cpu_.csr.write(in.csr, new_value).ok()) {
-          take_trap(kCauseIllegalInstruction, in.raw, false);
-          charge(true);
-        return true;
-        }
-      }
-      cpu_.write_gpr(in.rd, old_value);
-      break;
-    }
-    case Op::kMret: {
-      CsrFile& csr = cpu_.csr;
-      next_pc = csr.mepc;
-      const bool mpie = (csr.mstatus & kMstatusMpie) != 0;
-      csr.mstatus &= ~kMstatusMie;
-      if (mpie) csr.mstatus |= kMstatusMie;
-      csr.mstatus |= kMstatusMpie;
-      redirect = true;
-      break;
-    }
-    case Op::kWfi: {
-      if ((cpu_.csr.mie & kMieMtie) != 0 && clint_ != nullptr &&
-          clint_->mtimecmp() != ~u64{0}) {
-        // Sleep until the timer fires: fast-forward modelled time.
-        if (cycles_ < clint_->mtimecmp()) cycles_ = clint_->mtimecmp();
-      } else {
-        pending_stop_ = PendingStop{StopReason::kWfiHalt, 0, 0,
-                                    "wfi with timer interrupt disabled"};
-        charge(true);
-        return true;
-      }
-      break;
-    }
-    case Op::kCount:
-      S4E_CHECK_MSG(false, "invalid Op in translated block");
+struct CmpEq {
+  static bool eval(u32 a, u32 b) noexcept { return a == b; }
+};
+struct CmpNe {
+  static bool eval(u32 a, u32 b) noexcept { return a != b; }
+};
+struct CmpLt {
+  static bool eval(u32 a, u32 b) noexcept {
+    return static_cast<i32>(a) < static_cast<i32>(b);
+  }
+};
+struct CmpGe {
+  static bool eval(u32 a, u32 b) noexcept {
+    return static_cast<i32>(a) >= static_cast<i32>(b);
+  }
+};
+struct CmpLtu {
+  static bool eval(u32 a, u32 b) noexcept { return a < b; }
+};
+struct CmpGeu {
+  static bool eval(u32 a, u32 b) noexcept { return a >= b; }
+};
+
+}  // namespace
+
+struct ExecOps {
+  using O = ExecOutcome;
+
+#define S4E_DEF_ALU(NAME, EXPR)                               \
+  static O NAME(Machine& m, const DecodedInsn& d) {           \
+    const u32 rs1 = m.cpu_.read_gpr(d.rs1);                   \
+    const u32 rs2 = m.cpu_.read_gpr(d.rs2);                   \
+    const i32 srs1 = static_cast<i32>(rs1);                   \
+    const i32 srs2 = static_cast<i32>(rs2);                   \
+    (void)rs1, (void)rs2, (void)srs1, (void)srs2;             \
+    m.cpu_.write_gpr(d.rd, (EXPR));                           \
+    m.cycles_ += d.c_fall;                                    \
+    return O::kNext;                                          \
   }
 
-  bool penalize = redirect;
-  if (timing_.params().branch_predictor &&
-      in.info().op_class == isa::OpClass::kBranch) {
-    // Bimodal 2-bit predictor: penalty only on mispredicts (in either
-    // direction); the table is indexed by the branch PC.
-    u8& counter = bimodal_[(pc >> 2) & (bimodal_.size() - 1)];
-    const bool predicted_taken = counter >= 2;
-    penalize = predicted_taken != redirect;
-    if (redirect) {
-      if (counter < 3) ++counter;
+  S4E_DEF_ALU(lui, static_cast<u32>(d.imm))
+  S4E_DEF_ALU(auipc, d.pc + static_cast<u32>(d.imm))
+  S4E_DEF_ALU(addi, rs1 + static_cast<u32>(d.imm))
+  S4E_DEF_ALU(slti, srs1 < d.imm ? 1u : 0u)
+  S4E_DEF_ALU(sltiu, rs1 < static_cast<u32>(d.imm) ? 1u : 0u)
+  S4E_DEF_ALU(xori, rs1 ^ static_cast<u32>(d.imm))
+  S4E_DEF_ALU(ori, rs1 | static_cast<u32>(d.imm))
+  S4E_DEF_ALU(andi, rs1 & static_cast<u32>(d.imm))
+  S4E_DEF_ALU(slli, rs1 << d.rs2)
+  S4E_DEF_ALU(srli, rs1 >> d.rs2)
+  S4E_DEF_ALU(srai, static_cast<u32>(srs1 >> d.rs2))
+  S4E_DEF_ALU(add, rs1 + rs2)
+  S4E_DEF_ALU(sub, rs1 - rs2)
+  S4E_DEF_ALU(sll, rs1 << (rs2 & 31))
+  S4E_DEF_ALU(slt, srs1 < srs2 ? 1u : 0u)
+  S4E_DEF_ALU(sltu, rs1 < rs2 ? 1u : 0u)
+  S4E_DEF_ALU(xor_, rs1 ^ rs2)
+  S4E_DEF_ALU(srl, rs1 >> (rs2 & 31))
+  S4E_DEF_ALU(sra, static_cast<u32>(srs1 >> (rs2 & 31)))
+  S4E_DEF_ALU(or_, rs1 | rs2)
+  S4E_DEF_ALU(and_, rs1 & rs2)
+  S4E_DEF_ALU(mul, rs1 * rs2)
+  S4E_DEF_ALU(mulh, static_cast<u32>(
+                        (static_cast<i64>(srs1) * static_cast<i64>(srs2)) >> 32))
+  S4E_DEF_ALU(mulhsu,
+              static_cast<u32>((static_cast<i64>(srs1) *
+                                static_cast<i64>(static_cast<u64>(rs2))) >> 32))
+  S4E_DEF_ALU(mulhu, static_cast<u32>(
+                         (static_cast<u64>(rs1) * static_cast<u64>(rs2)) >> 32))
+#undef S4E_DEF_ALU
+
+  static O div_(Machine& m, const DecodedInsn& d) {
+    const u32 rs1 = m.cpu_.read_gpr(d.rs1);
+    const u32 rs2 = m.cpu_.read_gpr(d.rs2);
+    u32 out;
+    if (rs2 == 0) {
+      out = ~u32{0};
+    } else if (rs1 == 0x8000'0000u && rs2 == ~u32{0}) {
+      out = 0x8000'0000u;  // overflow
     } else {
-      if (counter > 0) --counter;
+      out = static_cast<u32>(static_cast<i32>(rs1) / static_cast<i32>(rs2));
+    }
+    m.cpu_.write_gpr(d.rd, out);
+    m.cycles_ += d.c_fall + m.timing_.divide_cycles(rs1);
+    return O::kNext;
+  }
+  static O divu(Machine& m, const DecodedInsn& d) {
+    const u32 rs1 = m.cpu_.read_gpr(d.rs1);
+    const u32 rs2 = m.cpu_.read_gpr(d.rs2);
+    m.cpu_.write_gpr(d.rd, rs2 == 0 ? ~u32{0} : rs1 / rs2);
+    m.cycles_ += d.c_fall + m.timing_.divide_cycles(rs1);
+    return O::kNext;
+  }
+  static O rem(Machine& m, const DecodedInsn& d) {
+    const u32 rs1 = m.cpu_.read_gpr(d.rs1);
+    const u32 rs2 = m.cpu_.read_gpr(d.rs2);
+    u32 out;
+    if (rs2 == 0) {
+      out = rs1;
+    } else if (rs1 == 0x8000'0000u && rs2 == ~u32{0}) {
+      out = 0;
+    } else {
+      out = static_cast<u32>(static_cast<i32>(rs1) % static_cast<i32>(rs2));
+    }
+    m.cpu_.write_gpr(d.rd, out);
+    m.cycles_ += d.c_fall + m.timing_.divide_cycles(rs1);
+    return O::kNext;
+  }
+  static O remu(Machine& m, const DecodedInsn& d) {
+    const u32 rs1 = m.cpu_.read_gpr(d.rs1);
+    const u32 rs2 = m.cpu_.read_gpr(d.rs2);
+    m.cpu_.write_gpr(d.rd, rs2 == 0 ? rs1 : rs1 % rs2);
+    m.cycles_ += d.c_fall + m.timing_.divide_cycles(rs1);
+    return O::kNext;
+  }
+
+  static O fence(Machine& m, const DecodedInsn& d) {
+    m.cycles_ += d.c_fall;
+    return O::kNext;
+  }
+
+  static O jal(Machine& m, const DecodedInsn& d) {
+    m.cpu_.write_gpr(d.rd, d.link);
+    m.cycles_ += d.c_taken;
+    m.cpu_.pc = d.target;
+    return O::kTakenStatic;
+  }
+  // Superblock splice: the jump continues inline into the spliced target.
+  static O jal_spliced(Machine& m, const DecodedInsn& d) {
+    m.cpu_.write_gpr(d.rd, d.link);
+    m.cycles_ += d.c_taken;
+    m.cpu_.pc = d.target;
+    return O::kNextSpliced;
+  }
+  static O jalr(Machine& m, const DecodedInsn& d) {
+    const u32 target =
+        (m.cpu_.read_gpr(d.rs1) + static_cast<u32>(d.imm)) & ~u32{1};
+    m.cpu_.write_gpr(d.rd, d.link);
+    m.cycles_ += d.c_taken;
+    m.cpu_.pc = target;
+    return O::kTakenIndirect;
+  }
+
+  // kMode 0: block terminator. kMode 1: spliced fall-through edge (a taken
+  // branch side-exits the superblock). kMode 2: spliced taken edge (the
+  // taken path continues inline; fall-through side-exits).
+  template <typename Cmp, bool kPredictor, int kMode>
+  static O branch(Machine& m, const DecodedInsn& d) {
+    const bool taken = Cmp::eval(m.cpu_.read_gpr(d.rs1), m.cpu_.read_gpr(d.rs2));
+    bool penalize = taken;
+    if constexpr (kPredictor) {
+      // Bimodal 2-bit predictor: penalty only on mispredicts (in either
+      // direction); the table is indexed by the branch PC.
+      u8& counter = m.bimodal_[(d.pc >> 2) & (m.bimodal_.size() - 1)];
+      const bool predicted_taken = counter >= 2;
+      penalize = predicted_taken != taken;
+      if (taken) {
+        if (counter < 3) ++counter;
+      } else {
+        if (counter > 0) --counter;
+      }
+    }
+    m.cycles_ += penalize ? d.c_taken : d.c_fall;
+    if constexpr (kMode == 2) {
+      if (taken) {
+        m.cpu_.pc = d.target;
+        return O::kNextSpliced;
+      }
+      m.cpu_.pc = d.link;
+      return O::kSideExit;
+    } else {
+      if (taken) {
+        m.cpu_.pc = d.target;
+        return kMode == 1 ? O::kSideExit : O::kTakenStatic;
+      }
+      return O::kNext;
     }
   }
-  charge(penalize);
-  cpu_.pc = next_pc;
-  return false;
+
+  template <unsigned kSize, unsigned kSignBits>
+  static O load(Machine& m, const DecodedInsn& d) {
+    const u32 address = m.cpu_.read_gpr(d.rs1) + static_cast<u32>(d.imm);
+    const u32 offset = address - m.ram_base_;
+    if (!m.mem_slow_ && offset <= m.ram_size_ - kSize) [[likely]] {
+      const u8* p = m.ram_data_ + offset;
+      u32 value;
+      if constexpr (kSize == 1) {
+        value = p[0];
+      } else if constexpr (kSize == 2) {
+        value = static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8);
+      } else {
+        value = static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+                (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+      }
+      if constexpr (kSignBits != 0) {
+        value = static_cast<u32>(sign_extend(value, kSignBits));
+      }
+      m.cpu_.write_gpr(d.rd, value);
+      m.cycles_ += d.c_fall;
+      return O::kNext;
+    }
+    return slow_load<kSize, kSignBits>(m, d, address);
+  }
+
+  template <unsigned kSize, unsigned kSignBits>
+  static O slow_load(Machine& m, const DecodedInsn& d, u32 address) {
+    // Devices are ticked on demand before an MMIO data access, so a guest
+    // mtime read (or any time-derived device state) is exact at the access
+    // cycle in every dispatch mode — the chained engine would otherwise
+    // observe device time only at chain exits.
+    if (!m.bus_.is_ram(address, kSize)) m.bus_.tick(m.cycles_);
+    auto result = m.bus_.read(address, kSize);
+    if (!result.ok()) {
+      m.cpu_.pc = d.pc;
+      m.take_trap(kCauseLoadFault, address, false);
+      m.cycles_ += d.c_taken;
+      return O::kStop;
+    }
+    u32 value = result->value;
+    if constexpr (kSignBits != 0) {
+      value = static_cast<u32>(sign_extend(value, kSignBits));
+    }
+    m.cpu_.write_gpr(d.rd, value);
+    if (!m.mem_cbs_.empty()) {
+      m.current_insn_pc_ = d.pc;
+      m.fire_mem_cb(address, value, kSize, false);
+    }
+    if (!m.watchpoints_.empty()) m.check_watchpoints(address, kSize, false);
+    m.cycles_ += result->mmio ? d.c_mmio : d.c_fall;
+    m.cpu_.pc = d.link;
+    return m.pending_stop_ ? O::kStop : O::kNext;
+  }
+
+  template <unsigned kSize>
+  static O store(Machine& m, const DecodedInsn& d) {
+    const u32 address = m.cpu_.read_gpr(d.rs1) + static_cast<u32>(d.imm);
+    const u32 value = m.cpu_.read_gpr(d.rs2) &
+                      (kSize == 4 ? ~u32{0} : (u32{1} << (8 * kSize)) - 1);
+    const u32 offset = address - m.ram_base_;
+    if (!m.mem_slow_ && offset <= m.ram_size_ - kSize) [[likely]] {
+      u8* p = m.ram_data_ + offset;
+      p[0] = static_cast<u8>(value);
+      if constexpr (kSize >= 2) p[1] = static_cast<u8>(value >> 8);
+      if constexpr (kSize == 4) {
+        p[2] = static_cast<u8>(value >> 16);
+        p[3] = static_cast<u8>(value >> 24);
+      }
+      // Inline dirty marking — must match Bus::RamRegion::mark_dirty
+      // exactly or snapshot restores would miss pages.
+      const u32 first_page = offset / kRamPageBytes;
+      const u32 last_page = (offset + kSize - 1) / kRamPageBytes;
+      m.ram_dirty_[first_page >> 6] |= u64{1} << (first_page & 63);
+      if (last_page != first_page) {
+        m.ram_dirty_[last_page >> 6] |= u64{1} << (last_page & 63);
+      }
+      m.cycles_ += d.c_fall;
+      if (m.tb_cache_.overlaps_code(address, kSize)) [[unlikely]] {
+        // Self-modifying code: flush at the block boundary.
+        m.tb_flush_pending_ = true;
+        m.cpu_.pc = d.link;
+        return O::kStop;
+      }
+      return O::kNext;
+    }
+    return slow_store<kSize>(m, d, address, value);
+  }
+
+  template <unsigned kSize>
+  static O slow_store(Machine& m, const DecodedInsn& d, u32 address,
+                      u32 value) {
+    if (!m.bus_.is_ram(address, kSize)) m.bus_.tick(m.cycles_);
+    auto result = m.bus_.write(address, kSize, value);
+    if (!result.ok()) {
+      m.cpu_.pc = d.pc;
+      m.take_trap(kCauseStoreFault, address, false);
+      m.cycles_ += d.c_taken;
+      return O::kStop;
+    }
+    const bool mmio = *result;
+    if (!m.mem_cbs_.empty()) {
+      m.current_insn_pc_ = d.pc;
+      m.fire_mem_cb(address, value, kSize, true);
+    }
+    if (!m.watchpoints_.empty()) m.check_watchpoints(address, kSize, true);
+    if (!mmio && m.tb_cache_.overlaps_code(address, kSize)) {
+      m.tb_flush_pending_ = true;
+    }
+    m.cycles_ += mmio ? d.c_mmio : d.c_fall;
+    m.cpu_.pc = d.link;
+    return (m.pending_stop_ || m.tb_flush_pending_) ? O::kStop : O::kNext;
+  }
+
+  static O csr_op(Machine& m, const DecodedInsn& d) {
+    const CsrFile::CounterView counters = m.counter_view();
+    const bool imm_form = d.op == Op::kCsrrwi || d.op == Op::kCsrrsi ||
+                          d.op == Op::kCsrrci;
+    const u32 operand =
+        imm_form ? static_cast<u32>(d.rs2) : m.cpu_.read_gpr(d.rs1);
+    const bool is_write_op = d.op == Op::kCsrrw || d.op == Op::kCsrrwi;
+    const bool wants_read = !is_write_op || d.rd != 0;
+    const bool wants_write =
+        is_write_op || (imm_form ? d.rs2 != 0 : d.rs1 != 0);
+    if (wants_read && d.csr == isa::kCsrMip && m.clint_ != nullptr) {
+      // Keep MTIP exact at read time in every dispatch mode: the chained
+      // engine ticks devices only at chain exits, and even the careful loop
+      // previously refreshed mip only at block dispatch.
+      m.clint_->tick(m.cycles_);
+      if (m.clint_->timer_pending()) {
+        m.cpu_.csr.mip |= kMipMtip;
+      } else {
+        m.cpu_.csr.mip &= ~kMipMtip;
+      }
+    }
+    u32 old_value = 0;
+    if (wants_read) {
+      auto value = m.cpu_.csr.read(d.csr, counters);
+      if (!value.ok()) {
+        m.cpu_.pc = d.pc;
+        m.take_trap(kCauseIllegalInstruction, d.raw, false);
+        m.cycles_ += d.c_taken;
+        return O::kStop;
+      }
+      old_value = *value;
+    }
+    if (wants_write) {
+      u32 new_value = operand;
+      if (d.op == Op::kCsrrs || d.op == Op::kCsrrsi) {
+        new_value = old_value | operand;
+      } else if (d.op == Op::kCsrrc || d.op == Op::kCsrrci) {
+        new_value = old_value & ~operand;
+      }
+      if (!m.cpu_.csr.write(d.csr, new_value).ok()) {
+        m.cpu_.pc = d.pc;
+        m.take_trap(kCauseIllegalInstruction, d.raw, false);
+        m.cycles_ += d.c_taken;
+        return O::kStop;
+      }
+      // A write that may re-arm the timer interrupt must end the current
+      // chain run so the fast-path gate re-evaluates.
+      m.note_csr_written(d.csr);
+    }
+    m.cpu_.write_gpr(d.rd, old_value);
+    m.cycles_ += d.c_fall;
+    return O::kNext;
+  }
+
+  static O ecall(Machine& m, const DecodedInsn& d) {
+    m.cpu_.pc = d.pc;
+    // Semihosting exit convention: a7 = 93, a0 = exit code.
+    if (m.cpu_.read_gpr(17) == 93) {
+      m.pending_stop_ = Machine::PendingStop{StopReason::kExitEcall,
+                                    static_cast<int>(m.cpu_.read_gpr(10)), 0,
+                                    ""};
+      // No redirect penalty: the simulation ends here rather than
+      // redirecting the front-end (keeps the QTA timeline chain exact).
+      m.cycles_ += d.c_fall;
+      return O::kStop;
+    }
+    m.take_trap(kCauseEcallM, 0, false);
+    m.cycles_ += d.c_taken;
+    return O::kStop;
+  }
+
+  static O ebreak(Machine& m, const DecodedInsn& d) {
+    m.cpu_.pc = d.pc;
+    m.take_trap(kCauseBreakpoint, d.pc, false);
+    m.cycles_ += d.c_taken;
+    return O::kStop;
+  }
+
+  static O mret(Machine& m, const DecodedInsn& d) {
+    CsrFile& csr = m.cpu_.csr;
+    const u32 target = csr.mepc;
+    const bool mpie = (csr.mstatus & kMstatusMpie) != 0;
+    csr.mstatus &= ~kMstatusMie;
+    if (mpie) csr.mstatus |= kMstatusMie;
+    csr.mstatus |= kMstatusMpie;
+    m.cycles_ += d.c_taken;
+    m.cpu_.pc = target;
+    // mret restores MIE, which can arm a pending interrupt: re-evaluate the
+    // fast-path gate at the next central dispatch.
+    m.chain_epoch_recheck_ = true;
+    return O::kTakenIndirect;
+  }
+
+  static O wfi(Machine& m, const DecodedInsn& d) {
+    if ((m.cpu_.csr.mie & kMieMtie) != 0 && m.clint_ != nullptr &&
+        m.clint_->mtimecmp() != ~u64{0}) {
+      // Sleep until the timer fires: fast-forward modelled time.
+      if (m.cycles_ < m.clint_->mtimecmp()) m.cycles_ = m.clint_->mtimecmp();
+      m.cycles_ += d.c_fall;
+      return O::kNext;
+    }
+    m.cpu_.pc = d.pc;
+    m.pending_stop_ = Machine::PendingStop{StopReason::kWfiHalt, 0, 0,
+                                  "wfi with timer interrupt disabled"};
+    m.cycles_ += d.c_taken;
+    return O::kStop;
+  }
+
+  template <typename Cmp>
+  static ExecHandler pick_branch(bool predictor, int mode) {
+    switch (mode) {
+      case 1:
+        return predictor ? &branch<Cmp, true, 1> : &branch<Cmp, false, 1>;
+      case 2:
+        return predictor ? &branch<Cmp, true, 2> : &branch<Cmp, false, 2>;
+      default:
+        return predictor ? &branch<Cmp, true, 0> : &branch<Cmp, false, 0>;
+    }
+  }
+
+  static ExecHandler branch_variant(Op op, bool predictor, int mode) {
+    switch (op) {
+      case Op::kBeq: return pick_branch<CmpEq>(predictor, mode);
+      case Op::kBne: return pick_branch<CmpNe>(predictor, mode);
+      case Op::kBlt: return pick_branch<CmpLt>(predictor, mode);
+      case Op::kBge: return pick_branch<CmpGe>(predictor, mode);
+      case Op::kBltu: return pick_branch<CmpLtu>(predictor, mode);
+      case Op::kBgeu: return pick_branch<CmpGeu>(predictor, mode);
+      default: return nullptr;
+    }
+  }
+
+  static ExecHandler select(const Instr& in, bool predictor) {
+    switch (in.op) {
+      case Op::kLui: return &lui;
+      case Op::kAuipc: return &auipc;
+      case Op::kJal: return &jal;
+      case Op::kJalr: return &jalr;
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBltu:
+      case Op::kBgeu: return branch_variant(in.op, predictor, 0);
+      case Op::kLb: return &load<1, 8>;
+      case Op::kLh: return &load<2, 16>;
+      case Op::kLw: return &load<4, 0>;
+      case Op::kLbu: return &load<1, 0>;
+      case Op::kLhu: return &load<2, 0>;
+      case Op::kSb: return &store<1>;
+      case Op::kSh: return &store<2>;
+      case Op::kSw: return &store<4>;
+      case Op::kAddi: return &addi;
+      case Op::kSlti: return &slti;
+      case Op::kSltiu: return &sltiu;
+      case Op::kXori: return &xori;
+      case Op::kOri: return &ori;
+      case Op::kAndi: return &andi;
+      case Op::kSlli: return &slli;
+      case Op::kSrli: return &srli;
+      case Op::kSrai: return &srai;
+      case Op::kAdd: return &add;
+      case Op::kSub: return &sub;
+      case Op::kSll: return &sll;
+      case Op::kSlt: return &slt;
+      case Op::kSltu: return &sltu;
+      case Op::kXor: return &xor_;
+      case Op::kSrl: return &srl;
+      case Op::kSra: return &sra;
+      case Op::kOr: return &or_;
+      case Op::kAnd: return &and_;
+      case Op::kFence: return &fence;
+      case Op::kEcall: return &ecall;
+      case Op::kEbreak: return &ebreak;
+      case Op::kMul: return &mul;
+      case Op::kMulh: return &mulh;
+      case Op::kMulhsu: return &mulhsu;
+      case Op::kMulhu: return &mulhu;
+      case Op::kDiv: return &div_;
+      case Op::kDivu: return &divu;
+      case Op::kRem: return &rem;
+      case Op::kRemu: return &remu;
+      case Op::kCsrrw:
+      case Op::kCsrrs:
+      case Op::kCsrrc:
+      case Op::kCsrrwi:
+      case Op::kCsrrsi:
+      case Op::kCsrrci: return &csr_op;
+      case Op::kMret: return &mret;
+      case Op::kWfi: return &wfi;
+      case Op::kCount: break;
+    }
+    S4E_CHECK_MSG(false, "invalid Op in translated block");
+    return nullptr;
+  }
+};
+
+s4e_insn_info Machine::to_insn_info(const DecodedInsn& decoded) {
+  s4e_insn_info info{};
+  info.address = decoded.pc;
+  info.encoding = decoded.raw;
+  info.op = static_cast<u16>(decoded.op);
+  info.op_class = static_cast<u8>(isa::op_info(decoded.op).op_class);
+  info.rd = decoded.rd;
+  info.rs1 = decoded.rs1;
+  info.rs2 = decoded.rs2;
+  info.csr = decoded.csr;
+  info.imm = decoded.imm;
+  return info;
+}
+
+void Machine::lower_block(TranslationBlock& block) {
+  const TimingParams& params = timing_.params();
+  const bool predictor = params.branch_predictor;
+  block.code.clear();
+  block.code.reserve(block.insns.size());
+  u32 pc = block.start;
+  for (const Instr& in : block.insns) {
+    DecodedInsn d;
+    d.pc = pc;
+    d.link = pc + in.length;
+    d.imm = in.imm;
+    d.target = pc + static_cast<u32>(in.imm);
+    d.raw = in.raw;
+    d.csr = in.csr;
+    d.op = in.op;
+    d.rd = in.rd;
+    d.rs1 = in.rs1;
+    d.rs2 = in.rs2;
+    d.length = in.length;
+    if (in.info().op_class == isa::OpClass::kDiv) {
+      // Divides charge base + divide_cycles(rs1) in the handler (the
+      // operand-dependent part cannot be precomputed).
+      d.c_fall = params.base_cycles;
+      d.c_taken = params.base_cycles;
+      d.c_mmio = params.base_cycles;
+    } else {
+      d.c_fall = timing_.dynamic_cycles(in, false, 0, 0, false);
+      d.c_taken = timing_.dynamic_cycles(in, true, 0, 0, false);
+      d.c_mmio = timing_.dynamic_cycles(in, false, 0, 0, true);
+    }
+    d.fn = ExecOps::select(in, predictor);
+    block.code.push_back(d);
+    pc = d.link;
+  }
+  block.fall_pc = block.start + block.byte_size;
+  block.taken_pc = 0;
+  if (!block.insns.empty()) {
+    const Instr& last = block.insns.back();
+    if (last.is_branch() || last.op == Op::kJal) {
+      block.taken_pc = block.code.back().target;
+    }
+  }
+}
+
+Machine::BlockExit Machine::exec_block_fast(TranslationBlock* tb) {
+  const DecodedInsn* d = tb->code.data();
+  const DecodedInsn* const end = d + tb->code.size();
+  for (;;) {
+    ++icount_;
+    const ExecOutcome out = d->fn(*this, *d);
+    if (static_cast<u8>(out) <=
+        static_cast<u8>(ExecOutcome::kNextSpliced)) [[likely]] {
+      if (++d != end) continue;
+      cpu_.pc = tb->fall_pc;
+      return BlockExit::kFall;
+    }
+    switch (out) {
+      case ExecOutcome::kTakenStatic: return BlockExit::kTaken;
+      case ExecOutcome::kTakenIndirect: return BlockExit::kIndirect;
+      case ExecOutcome::kSideExit: return BlockExit::kSide;
+      default: return BlockExit::kStopped;
+    }
+  }
+}
+
+void Machine::exec_insns_careful(TranslationBlock* tb, u64 limit) {
+  const bool have_insn_cbs = !insn_exec_cbs_.empty();
+  s4e_vm* vm = vm_handle_.get();
+  for (const DecodedInsn& d : tb->code) {
+    if (icount_ >= limit) break;
+    if (have_insn_cbs) {
+      const s4e_insn_info info = to_insn_info(d);
+      for (const auto& reg : insn_exec_cbs_) {
+        reg.callback(reg.userdata, vm, &info);
+      }
+    }
+    ++icount_;
+    const ExecOutcome out = d.fn(*this, d);
+    if (out == ExecOutcome::kNext) {
+      cpu_.pc = d.link;
+    } else if (out != ExecOutcome::kNextSpliced) {
+      break;  // redirect or stop: the block ends here
+    }
+    if (pending_stop_ || tb_flush_pending_) break;
+  }
+}
+
+TranslationBlock* Machine::lookup_or_translate(u32 pc) {
+  TranslationBlock* tb = tb_cache_.lookup(pc);
+  if (tb == nullptr) tb = translate(pc);
+  return tb;
+}
+
+void Machine::run_block_careful(u64 limit) {
+  const u32 block_pc = cpu_.pc;
+  TranslationBlock* tb =
+      config_.enable_tb_cache ? tb_cache_.lookup(block_pc) : nullptr;
+  if (tb == nullptr) tb = translate(block_pc);
+  if (tb == nullptr) return;  // trap was taken (or a stop is pending)
+
+  ++tb->exec_count;
+  ++estats_.blocks_careful;
+  probe_icache(block_pc);
+  if (!tb_exec_cbs_.empty()) {
+    s4e_vm* vm = vm_handle_.get();
+    for (const auto& reg : tb_exec_cbs_) {
+      reg.callback(reg.userdata, vm, block_pc);
+    }
+  }
+  exec_insns_careful(tb, limit);
+}
+
+bool Machine::fast_path_ok() const noexcept {
+  // The chained fast path is taken only when nothing needs per-instruction
+  // or per-block observability: no debug state, no exec/mem plugin
+  // callbacks (tb_trans is fine — translations fire identically in both
+  // modes), and no armed timer interrupt (delivery is checked per block in
+  // careful mode; chaining would defer it by up to a quantum).
+  return config_.enable_tb_cache && !debug_check_ && insn_exec_cbs_.empty() &&
+         tb_exec_cbs_.empty() && mem_cbs_.empty() &&
+         !(clint_ != nullptr && (cpu_.csr.mie & kMieMtie) != 0);
+}
+
+TranslationBlock* Machine::maybe_form_superblock(TranslationBlock* src,
+                                                 BlockExit ex,
+                                                 TranslationBlock* dst) {
+  if (!config_.enable_superblocks) return dst;
+  // The icache model charges one probe per dispatched block; splicing would
+  // skip interior probes and change modelled cycles, so superblocks form
+  // only with the icache model off.
+  if (!icache_tags_.empty()) return dst;
+  if (src->code.empty() || dst->code.empty()) return dst;
+  if (src->code.size() + dst->code.size() > kMaxSuperblockInsns) return dst;
+
+  const DecodedInsn& terminator = src->code.back();
+  const bool predictor = timing_.params().branch_predictor;
+  const bool terminator_is_branch =
+      isa::op_info(terminator.op).op_class == isa::OpClass::kBranch;
+  ExecHandler spliced_fn = nullptr;
+  if (ex == BlockExit::kTaken) {
+    if (terminator.op == Op::kJal) {
+      spliced_fn = &ExecOps::jal_spliced;
+    } else if (terminator_is_branch) {
+      spliced_fn = ExecOps::branch_variant(terminator.op, predictor, 2);
+    }
+    if (spliced_fn == nullptr) return dst;
+  } else {  // BlockExit::kFall
+    // WFI must stay a block end (interrupt delivery at the boundary).
+    if (terminator.op == Op::kWfi) return dst;
+    if (terminator_is_branch) {
+      spliced_fn = ExecOps::branch_variant(terminator.op, predictor, 1);
+      if (spliced_fn == nullptr) return dst;
+    }
+    // Any other fall-through terminator keeps its handler and flows on.
+  }
+
+  auto sb = std::make_unique<TranslationBlock>();
+  sb->start = src->start;
+  sb->byte_size = src->byte_size;  // entry span; full extent in `ranges`
+  sb->is_superblock = true;
+  sb->fall_pc = dst->fall_pc;
+  sb->taken_pc = dst->taken_pc;
+  sb->code = src->code;
+  if (spliced_fn != nullptr) sb->code.back().fn = spliced_fn;
+  sb->code.insert(sb->code.end(), dst->code.begin(), dst->code.end());
+  const auto append_ranges = [&sb](const TranslationBlock* block) {
+    if (block->is_superblock) {
+      sb->ranges.insert(sb->ranges.end(), block->ranges.begin(),
+                        block->ranges.end());
+    } else {
+      sb->ranges.emplace_back(block->start, block->byte_size);
+    }
+  };
+  append_ranges(src);
+  append_ranges(dst);
+  ++estats_.superblocks_formed;
+  tb_cache_.install_superblock(std::move(sb));
+  return nullptr;  // epoch bumped; the caller re-dispatches centrally
+}
+
+void Machine::run_chain(u64 limit) {
+  const u64 epoch = tb_cache_.chain_epoch();
+  const u64 quantum_end =
+      std::min(limit, saturating_add(icount_, kChainQuantum));
+  TranslationBlock* tb = lookup_or_translate(cpu_.pc);
+  if (tb == nullptr) return;  // fetch trap taken (or a stop is pending)
+  if (tb->superblock != nullptr) tb = tb->superblock;
+
+  for (;;) {
+    if (icount_ >= quantum_end) return;  // epoch due
+    if (tb->code.size() > quantum_end - icount_) {
+      if (quantum_end == limit) {
+        // The instruction budget ends inside this block: execute it with
+        // exact per-instruction limit semantics (at least one instruction
+        // runs, so exec_count stays truthful).
+        ++tb->exec_count;
+        ++estats_.blocks_careful;
+        probe_icache(tb->start);
+        exec_insns_careful(tb, limit);
+      }
+      return;  // otherwise: quantum boundary — epoch work, then resume
+    }
+
+    ++tb->exec_count;
+    ++estats_.blocks_fast;
+    if (!icache_tags_.empty()) probe_icache(tb->start);
+    const BlockExit ex = exec_block_fast(tb);
+    if (ex == BlockExit::kStopped || ex == BlockExit::kSide) return;
+    if (tb_flush_pending_ || chain_epoch_recheck_) return;
+    if (!config_.enable_chaining) return;  // ablation: per-block dispatch
+
+    TranslationBlock* next = nullptr;
+    if (ex == BlockExit::kIndirect) {
+      const u32 next_pc = cpu_.pc;
+      auto& jc = tb->jc;
+      if (jc[0].target != nullptr && jc[0].pc == next_pc &&
+          jc[0].epoch == epoch) {
+        next = jc[0].target;
+        ++estats_.jump_cache_hits;
+      } else if (jc[1].target != nullptr && jc[1].pc == next_pc &&
+                 jc[1].epoch == epoch) {
+        std::swap(jc[0], jc[1]);  // MRU first
+        next = jc[0].target;
+        ++estats_.jump_cache_hits;
+      } else {
+        ++estats_.jump_cache_misses;
+        next = lookup_or_translate(next_pc);
+        if (next == nullptr || tb_flush_pending_) return;
+        if (next->superblock != nullptr) next = next->superblock;
+        jc[1] = jc[0];
+        jc[0] = {next_pc, next, epoch};
+      }
+    } else {
+      ChainSlot& slot =
+          ex == BlockExit::kFall ? tb->chain_fall : tb->chain_taken;
+      if (slot.target != nullptr && slot.epoch == epoch) {
+        next = slot.target;
+        ++estats_.chain_follows;
+        if (++slot.hot == kSuperblockHotThreshold) {
+          next = maybe_form_superblock(tb, ex, next);
+          if (next == nullptr) return;  // superblock installed: epoch bumped
+        }
+      } else {
+        next = lookup_or_translate(cpu_.pc);
+        if (next == nullptr || tb_flush_pending_) return;
+        if (next->superblock != nullptr) next = next->superblock;
+        slot = ChainSlot{next, epoch, 0};
+        ++estats_.chain_patches;
+      }
+    }
+    tb = next;
+  }
 }
 
 RunResult Machine::run() {
@@ -699,33 +1247,11 @@ RunResult Machine::run_loop(u64 max_insns, StopReason budget_reason) {
       tb_cache_.flush();
     }
 
-    const u32 block_pc = cpu_.pc;
-    TranslationBlock* tb =
-        config_.enable_tb_cache ? tb_cache_.lookup(block_pc) : nullptr;
-    if (tb == nullptr) tb = translate(block_pc);
-    if (tb == nullptr) continue;  // trap was taken (or stop is pending)
-
-    ++tb->exec_count;
-    probe_icache(block_pc);
-    for (const auto& reg : tb_exec_cbs_) {
-      reg.callback(reg.userdata, vm_handle(), block_pc);
-    }
-
-    u32 expected_pc = tb->start;
-    for (const Instr& instr : tb->insns) {
-      if (icount_ >= limit) break;
-      if (!insn_exec_cbs_.empty()) {
-        const s4e_insn_info info = to_insn_info(instr, cpu_.pc);
-        for (const auto& reg : insn_exec_cbs_) {
-          reg.callback(reg.userdata, vm_handle(), &info);
-        }
-      }
-      ++icount_;
-      const bool stop = execute(instr);
-      if (stop || pending_stop_) break;
-      expected_pc += instr.length;
-      if (cpu_.pc != expected_pc) break;  // redirect: block ends here
-      if (tb_flush_pending_) break;
+    if (fast_path_ok()) {
+      chain_epoch_recheck_ = false;
+      run_chain(limit);
+    } else {
+      run_block_careful(limit);
     }
     if (tb_flush_pending_) {
       tb_flush_pending_ = false;
@@ -768,6 +1294,7 @@ u64 Machine::add_insn_exec_cb(s4e_insn_exec_cb cb, void* userdata) {
 }
 u64 Machine::add_mem_cb(s4e_mem_cb cb, void* userdata) {
   mem_cbs_.push_back({cb, userdata});
+  update_mem_slow();
   return mem_cbs_.size();
 }
 u64 Machine::add_trap_cb(s4e_trap_cb cb, void* userdata) {

@@ -28,6 +28,11 @@ struct MachineConfig {
   u32 ram_size = 4u << 20;  // 4 MiB
   TimingParams timing;
   bool enable_tb_cache = true;  // E1 ablation switch
+  // Engine ablation switches (BENCH_emulation.json records the chained vs
+  // unchained split): chaining links blocks directly so hot code never
+  // returns to central dispatch; superblocks splice hot edges into traces.
+  bool enable_chaining = true;
+  bool enable_superblocks = true;
   u64 max_instructions = 200'000'000;
   bool map_uart = true;
   bool map_clint = true;
@@ -193,6 +198,20 @@ class Machine {
   }
   u64 icache_misses() const noexcept { return icache_misses_; }
   TbCache& tb_cache() noexcept { return tb_cache_; }
+  const TbCache& tb_cache() const noexcept { return tb_cache_; }
+
+  // Execution-engine counters (chain links, jump cache, superblocks,
+  // dispatch mix); cleared by reset() with the other performance counters.
+  const EngineStats& engine_stats() const noexcept { return estats_; }
+
+  // Called by the plugin C API after an out-of-band CSR write: a changed
+  // interrupt-enable state must end the current chain run so the fast-path
+  // gate re-evaluates at the next dispatch.
+  void note_csr_written(u16 address) noexcept {
+    if (address == isa::kCsrMie || address == isa::kCsrMstatus) {
+      chain_epoch_recheck_ = true;
+    }
+  }
 
   Uart* uart() noexcept { return uart_; }
   Clint* clint() noexcept { return clint_; }
@@ -243,8 +262,35 @@ class Machine {
   // at the entry PC (resume-over-breakpoint semantics).
   RunResult run_loop(u64 max_insns, StopReason budget_reason);
   TranslationBlock* translate(u32 pc);
-  // Execute one instruction; returns true if the run must stop.
-  bool execute(const isa::Instr& instr);
+
+  // --- Execution engine (see exec_engine.hpp and the handler table in
+  // machine.cpp). Two dispatch modes share the same lowered handlers:
+  //   fast:    run_chain() — chained threaded dispatch, epoch work hoisted
+  //            to chain exits, bounded by kChainQuantum;
+  //   careful: run_block_careful() — exact old per-instruction loop, used
+  //            whenever plugins, debug state, an armed timer, or the
+  //            uncached ablation demand per-insn/per-block observability.
+  enum class BlockExit : u8 { kFall, kTaken, kIndirect, kSide, kStopped };
+  bool fast_path_ok() const noexcept;
+  void run_chain(u64 limit);
+  void run_block_careful(u64 limit);
+  BlockExit exec_block_fast(TranslationBlock* tb);
+  // Per-insn execution with exact limit/stop/flush boundaries (the careful
+  // inner loop; also the fast path's partial-block fallback when the
+  // instruction budget ends inside a block).
+  void exec_insns_careful(TranslationBlock* tb, u64 limit);
+  void lower_block(TranslationBlock& block);
+  TranslationBlock* lookup_or_translate(u32 pc);
+  // Splice `dst` onto `src`'s hot exit edge; returns the block to continue
+  // with, or nullptr when a superblock was installed (epoch bumped — the
+  // caller must return to central dispatch).
+  TranslationBlock* maybe_form_superblock(TranslationBlock* src, BlockExit ex,
+                                          TranslationBlock* dst);
+  void refresh_ram_window() noexcept;
+  void update_mem_slow() noexcept {
+    mem_slow_ = !mem_cbs_.empty() || !watchpoints_.empty();
+  }
+
   void check_watchpoints(u32 address, unsigned size, bool is_store);
   void update_debug_check() noexcept {
     debug_check_ = debug_stop_request_ || !breakpoints_.empty();
@@ -254,6 +300,12 @@ class Machine {
   void probe_icache(u32 block_pc);
   void fire_mem_cb(u32 vaddr, u32 value, unsigned size, bool is_store);
   static s4e_insn_info to_insn_info(const isa::Instr& instr, u32 address);
+  static s4e_insn_info to_insn_info(const DecodedInsn& decoded);
+
+  // The lowered instruction handlers live in this friend (machine.cpp) so
+  // the per-op functions can touch machine state without 60 method
+  // declarations here.
+  friend struct ExecOps;
 
   MachineConfig config_;
   TimingModel timing_;
@@ -269,6 +321,19 @@ class Machine {
   std::optional<PendingStop> pending_stop_;
   u32 current_insn_pc_ = 0;
   bool tb_flush_pending_ = false;
+  // Set by a CSR write that may change the fast-path gate (mie/mstatus):
+  // ends the current chain run so interrupt arming re-evaluates centrally.
+  bool chain_epoch_recheck_ = false;
+  // True while loads/stores must take the slow path even for RAM (memory
+  // callbacks or watchpoints registered); kept in sync by update_mem_slow().
+  bool mem_slow_ = false;
+  // Cached view of the primary RAM region for the inline load/store fast
+  // path (stable for the machine's lifetime; see Bus::ram_window).
+  u8* ram_data_ = nullptr;
+  u64* ram_dirty_ = nullptr;
+  u32 ram_base_ = 0;
+  u32 ram_size_ = 0;
+  EngineStats estats_;
   // Debug run-control state. `debug_check_` is the single block-dispatch
   // gate (true iff breakpoints exist or a stop was requested); the
   // watchpoint vector is checked on data accesses only while non-empty.

@@ -63,6 +63,9 @@ uint32_t s4e_read_csr(s4e_vm* vm, unsigned address) {
 
 void s4e_write_csr(s4e_vm* vm, unsigned address, uint32_t value) {
   (void)vm->machine->cpu().csr.write(static_cast<s4e::u16>(address), value);
+  // An interrupt-enable write from a callback must end any chained run so
+  // the engine's fast-path gate re-evaluates at the next dispatch.
+  vm->machine->note_csr_written(static_cast<s4e::u16>(address));
 }
 
 int s4e_read_mem(s4e_vm* vm, uint32_t address, void* buffer, uint32_t size) {

@@ -1,27 +1,72 @@
 // Translation-block cache: the VP's analogue of QEMU's TCG code cache.
 //
-// Guest code is decoded once per basic block and the decoded form is reused
-// on every re-execution; only stores into already-translated code (self-
-// modification, e.g. by the fault injector) force a flush. The E1 experiment
-// ablates this cache against per-instruction re-decoding.
+// Guest code is decoded once per basic block, lowered to the threaded
+// DecodedInsn form (see exec_engine.hpp), and reused on every re-execution;
+// only stores into already-translated code (self-modification, e.g. by the
+// fault injector) force a flush. The E1 experiment ablates this cache
+// against per-instruction re-decoding.
+//
+// Chaining model: blocks carry direct successor pointers (fall-through and
+// static-branch edges) plus a 2-entry jump cache per indirect exit, patched
+// lazily by the execution engine. Links are severed *logically*, not by
+// walking back-pointers: every slot records the cache's chain epoch at patch
+// time, and any invalidation (flush, invalidate_range, re-insert, superblock
+// replacement) bumps the epoch, making every outstanding link stale in O(1).
+// A stale link is never dereferenced — the epoch is checked first — so block
+// destruction needs no unlinking pass.
 #pragma once
 
 #include <array>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "isa/instr.hpp"
+#include "vp/exec_engine.hpp"
 
 namespace s4e::vp {
+
+struct TranslationBlock;
+
+// A direct chain edge: valid iff `epoch` matches the cache's current chain
+// epoch. `hot` counts follows and triggers superblock formation.
+struct ChainSlot {
+  TranslationBlock* target = nullptr;
+  u64 epoch = 0;
+  u32 hot = 0;
+};
 
 struct TranslationBlock {
   u32 start = 0;
   u32 byte_size = 0;
   std::vector<isa::Instr> insns;
-  // Precomputed worst-case-free base timing per instruction is kept by the
-  // execution loop; the block itself stays a pure decode artefact.
+  // The lowered threaded form the execution engine actually runs; same
+  // order as `insns` for basic blocks. Superblocks carry only `code`.
+  std::vector<DecodedInsn> code;
   u64 exec_count = 0;
+
+  // --- Chaining metadata (engine-owned, see machine.cpp run_chain). ---
+  u32 fall_pc = 0;   // pc after the last instruction (fall-through edge)
+  u32 taken_pc = 0;  // static target of a terminating branch/jal, else 0
+  ChainSlot chain_fall;   // fall-through successor
+  ChainSlot chain_taken;  // taken-branch / jal successor
+  // 2-entry jump cache for an indirect terminator (jalr/mret), most
+  // recently used first.
+  struct JumpCacheEntry {
+    u32 pc = 0;
+    TranslationBlock* target = nullptr;
+    u64 epoch = 0;
+  };
+  std::array<JumpCacheEntry, 2> jc{};
+  // Hot-trace alias: when set, the fast engine dispatches this superblock
+  // instead of the basic block. Owned by the cache's superblock registry.
+  TranslationBlock* superblock = nullptr;
+  bool is_superblock = false;
+  // Source [address, size) spans a superblock was spliced from, for
+  // invalidate_range overlap checks. Empty for basic blocks (which use
+  // [start, end())).
+  std::vector<std::pair<u32, u32>> ranges;
 
   u32 end() const noexcept { return start + byte_size; }
 };
@@ -37,9 +82,16 @@ class TbCache {
 
   TranslationBlock* lookup(u32 pc) noexcept {
     FrontEntry& front = front_[front_slot(pc)];
-    if (front.block != nullptr && front.pc == pc) return front.block;
+    if (front.block != nullptr && front.pc == pc) {
+      ++front_hits_;
+      return front.block;
+    }
     auto it = blocks_.find(pc);
-    if (it == blocks_.end()) return nullptr;
+    if (it == blocks_.end()) {
+      ++lookup_misses_;
+      return nullptr;
+    }
+    ++deep_hits_;
     front = {pc, it->second.get()};
     return front.block;
   }
@@ -48,27 +100,36 @@ class TbCache {
     TranslationBlock* raw = block.get();
     code_lo_ = std::min(code_lo_, raw->start);
     code_hi_ = std::max(code_hi_, raw->end());
-    // Re-inserting at an existing pc destroys the old block; its only
-    // possible front entry lives in front_slot(pc) and is overwritten here,
-    // so no stale pointer survives.
-    blocks_[raw->start] = std::move(block);
+    auto& slot = blocks_[raw->start];
+    if (slot != nullptr) {
+      // Re-inserting at a live pc destroys the old block: sever every link
+      // that may point at it, and drop a superblock built over it. (The
+      // normal paths invalidate first, so this is a defensive rarity.)
+      drop_superblock_at(raw->start);
+      sever_chains();
+    }
+    slot = std::move(block);
     front_[front_slot(raw->start)] = {raw->start, raw};
     return raw;
   }
 
   void flush() noexcept {
     blocks_.clear();
+    super_.clear();
     front_.fill(FrontEntry{});
     code_lo_ = ~u32{0};
     code_hi_ = 0;
     ++flush_count_;
+    sever_chains();
   }
 
   // Drop only the blocks overlapping [address, address+size) — code was
   // patched in that range (a mutant, a restored dirty page) but the rest of
   // the translated code is still valid and stays warm. Returns the number
   // of blocks dropped. The code watermarks stay (conservative: they may
-  // only over-approximate translated code).
+  // only over-approximate translated code). Superblocks spliced from any
+  // overlapping source range are dropped too, and all chain links are
+  // severed (epoch bump) whenever anything was dropped.
   u64 invalidate_range(u32 address, u32 size) noexcept {
     if (!overlaps_code(address, size)) return 0;
     const u64 lo = address;
@@ -85,8 +146,42 @@ class TbCache {
         ++it;
       }
     }
+    for (auto it = super_.begin(); it != super_.end();) {
+      bool overlap = false;
+      for (const auto& [range_lo, range_size] : it->second->ranges) {
+        if (range_lo < hi && static_cast<u64>(range_lo) + range_size > lo) {
+          overlap = true;
+          break;
+        }
+      }
+      if (overlap) {
+        if (auto base = blocks_.find(it->first); base != blocks_.end()) {
+          base->second->superblock = nullptr;
+        }
+        it = super_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    if (dropped != 0) sever_chains();
     invalidated_blocks_ += dropped;
     return dropped;
+  }
+
+  // Register a superblock as the fast-dispatch alias of the basic block at
+  // its entry pc, replacing (and destroying) any previous superblock there.
+  // Severs all chains: links into the old superblock die with it, and links
+  // into the entry block get re-resolved to the new superblock on re-patch.
+  TranslationBlock* install_superblock(
+      std::unique_ptr<TranslationBlock> superblock) {
+    TranslationBlock* raw = superblock.get();
+    super_[raw->start] = std::move(superblock);
+    if (auto base = blocks_.find(raw->start); base != blocks_.end()) {
+      base->second->superblock = raw;
+    }
+    sever_chains();
+    return raw;
   }
 
   // Conservative self-modification check: true if [address, address+size)
@@ -95,9 +190,22 @@ class TbCache {
     return code_hi_ != 0 && address < code_hi_ && address + size > code_lo_;
   }
 
+  // Invalidate every outstanding chain link and jump-cache entry in O(1):
+  // slots stamped with an older epoch fail validation and are re-patched.
+  void sever_chains() noexcept {
+    ++chain_epoch_;
+    ++chain_severs_;
+  }
+  u64 chain_epoch() const noexcept { return chain_epoch_; }
+
   std::size_t size() const noexcept { return blocks_.size(); }
+  std::size_t superblock_count() const noexcept { return super_.size(); }
   u64 flush_count() const noexcept { return flush_count_; }
   u64 invalidated_blocks() const noexcept { return invalidated_blocks_; }
+  u64 chain_severs() const noexcept { return chain_severs_; }
+  u64 front_hits() const noexcept { return front_hits_; }
+  u64 deep_hits() const noexcept { return deep_hits_; }
+  u64 lookup_misses() const noexcept { return lookup_misses_; }
 
  private:
   struct FrontEntry {
@@ -111,12 +219,33 @@ class TbCache {
     return (pc >> 1) & (kFrontEntries - 1);
   }
 
+  void drop_superblock_at(u32 pc) noexcept {
+    if (super_.empty()) return;
+    if (auto it = super_.find(pc); it != super_.end()) {
+      if (auto base = blocks_.find(pc); base != blocks_.end()) {
+        base->second->superblock = nullptr;
+      }
+      super_.erase(it);
+    }
+  }
+
   std::unordered_map<u32, std::unique_ptr<TranslationBlock>> blocks_;
+  // Superblocks live outside `blocks_`: lookup() must keep returning the
+  // basic block (exact per-block semantics for the careful loop); only the
+  // fast engine follows the `superblock` alias.
+  std::unordered_map<u32, std::unique_ptr<TranslationBlock>> super_;
   std::array<FrontEntry, kFrontEntries> front_{};
   u32 code_lo_ = ~u32{0};
   u32 code_hi_ = 0;
   u64 flush_count_ = 0;
   u64 invalidated_blocks_ = 0;
+  // Chain epoch starts at 1 so a default-constructed ChainSlot (epoch 0)
+  // can never validate.
+  u64 chain_epoch_ = 1;
+  u64 chain_severs_ = 0;
+  u64 front_hits_ = 0;
+  u64 deep_hits_ = 0;
+  u64 lookup_misses_ = 0;
 };
 
 }  // namespace s4e::vp

@@ -1,0 +1,311 @@
+// Execution-engine suite (`ctest -L engine`): the chained threaded-dispatch
+// core must be observationally identical to plain per-block dispatch, and
+// every event that invalidates code must sever live chain links.
+//
+//   E-P1  chained and unchained execution are bit-identical (registers,
+//         data-memory hash, icount, cycles) over torture seeds
+//   E-R1  a breakpoint inserted mid-run severs chains and still stops
+//         exactly at the breakpointed pc
+//   E-R2  invalidate_range on a chained successor really drops the stale
+//         code — a host-side patch takes effect in both engines
+//   E-R3  snapshot-restore with live chains replays to the same final state
+//   E-C1  the engine counters move the way the design says they must
+//   E-M1  the obs MetricsRegistry export carries the same numbers
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "obs/engine_metrics.hpp"
+#include "testgen/testgen.hpp"
+#include "vp/machine.hpp"
+#include "vp/runner.hpp"
+#include "vp/snapshot.hpp"
+
+namespace s4e {
+namespace {
+
+std::vector<testgen::GeneratedProgram> programs_for_seed(u64 seed,
+                                                         unsigned count) {
+  testgen::TortureConfig config;
+  config.seed = seed;
+  config.programs = count;
+  return testgen::torture_suite(config);
+}
+
+// A call-heavy hot loop: exercises fall-through chains, the taken-edge
+// chain (bnez), the indirect jump cache (ret), and — at 2000 iterations —
+// superblock formation (threshold 64).
+const char* kCallLoop = R"(
+_start:
+    li s0, 0
+    li s1, 2000
+loop:
+    call bump
+    addi s1, s1, -1
+    bnez s1, loop
+    mv a0, s0
+    li a7, 93
+    ecall
+bump:
+    addi s0, s0, 1
+    addi s0, s0, 1
+    ret
+)";
+
+assembler::Program assemble_or_die(const char* source) {
+  auto program = assembler::assemble(source);
+  S4E_CHECK(program.ok());
+  return *program;
+}
+
+vp::MachineConfig unchained_config() {
+  vp::MachineConfig config;
+  config.enable_chaining = false;
+  config.enable_superblocks = false;
+  return config;
+}
+
+void expect_same_state(vp::Machine& a, vp::Machine& b,
+                       const vp::RunResult& ra, const vp::RunResult& rb,
+                       const assembler::Program& program,
+                       const std::string& name) {
+  EXPECT_EQ(ra.reason, rb.reason) << name;
+  EXPECT_EQ(ra.exit_code, rb.exit_code) << name;
+  EXPECT_EQ(ra.instructions, rb.instructions) << name;
+  EXPECT_EQ(ra.cycles, rb.cycles) << name;
+  EXPECT_EQ(ra.final_pc, rb.final_pc) << name;
+  for (unsigned reg = 0; reg < isa::kGprCount; ++reg) {
+    EXPECT_EQ(a.cpu().read_gpr(reg), b.cpu().read_gpr(reg))
+        << name << " x" << reg;
+  }
+  EXPECT_EQ(vp::data_memory_hash(a, program), vp::data_memory_hash(b, program))
+      << name;
+}
+
+class EngineTortureSeed : public ::testing::TestWithParam<u64> {};
+
+// E-P1 — the strongest engine property: over generated torture programs,
+// full chaining + superblocks produces *exactly* what per-block dispatch
+// produces, down to the cycle count and the final data-memory hash.
+TEST_P(EngineTortureSeed, ChainedAndUnchainedBitIdentical) {
+  for (const auto& test : programs_for_seed(GetParam(), 3)) {
+    auto program = assembler::assemble(test.source);
+    ASSERT_TRUE(program.ok()) << test.name;
+
+    vp::Machine chained;  // default config: chaining + superblocks on
+    ASSERT_TRUE(chained.load_program(*program).ok());
+    const auto chained_result = chained.run();
+
+    vp::Machine unchained(unchained_config());
+    ASSERT_TRUE(unchained.load_program(*program).ok());
+    const auto unchained_result = unchained.run();
+
+    expect_same_state(chained, unchained, chained_result, unchained_result,
+                      *program, test.name);
+
+    // Middle ablation point: chaining without superblocks.
+    vp::MachineConfig no_super;
+    no_super.enable_superblocks = false;
+    vp::Machine chain_only(no_super);
+    ASSERT_TRUE(chain_only.load_program(*program).ok());
+    const auto chain_only_result = chain_only.run();
+    expect_same_state(chained, chain_only, chained_result, chain_only_result,
+                      *program, test.name + " (no superblocks)");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineTortureSeed,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// E-R1 — insert a breakpoint while chains are live mid-run: the insertion
+// must sever the links (a stale block->block edge would fly straight past
+// the per-dispatch breakpoint check) and the run must stop exactly there.
+TEST(EngineChaining, BreakpointSeversChainsMidRun) {
+  const assembler::Program program = assemble_or_die(kCallLoop);
+  vp::Machine machine;
+  ASSERT_TRUE(machine.load_program(program).ok());
+
+  const auto paused = machine.run_slice(3000);
+  ASSERT_EQ(paused.reason, vp::StopReason::kDebugSlice);
+  ASSERT_GT(machine.engine_stats().chain_patches, 0u)
+      << "slice too short to patch any chain edges";
+  const u64 severs_before = machine.tb_cache().chain_severs();
+
+  // The `bump` callee body starts with `addi s0, s0, 1` (0x00140413); its
+  // block is a chained/jump-cached successor of the loop body.
+  u32 word = 0;
+  u32 target = 0;
+  for (u32 address = program.entry;; address += 4) {
+    ASSERT_TRUE(machine.bus().ram_read(address, &word, 4).ok());
+    if (word == 0x00140413u) {
+      target = address;
+      break;
+    }
+  }
+  machine.add_breakpoint(target);
+  EXPECT_GT(machine.tb_cache().chain_severs(), severs_before);
+
+  const auto stopped = machine.run(1u << 20);
+  EXPECT_EQ(stopped.reason, vp::StopReason::kDebugBreak);
+  EXPECT_EQ(machine.cpu().pc, target);
+
+  // Resume over the breakpoint and finish: the run must still compute the
+  // exact unchained result.
+  ASSERT_TRUE(machine.remove_breakpoint(target));
+  const auto done = machine.run();
+  ASSERT_EQ(done.reason, vp::StopReason::kExitEcall);
+
+  vp::Machine reference(unchained_config());
+  ASSERT_TRUE(reference.load_program(program).ok());
+  const auto ref = reference.run();
+  EXPECT_EQ(done.exit_code, ref.exit_code);
+  EXPECT_EQ(done.instructions, ref.instructions);
+  EXPECT_EQ(done.cycles, ref.cycles);
+}
+
+// E-R2 — invalidate_range on a chained successor: patch the callee body
+// from the host mid-run, invalidate, and resume. A stale chain or jump
+// cache entry would keep executing the old translation; both engines must
+// instead pick up the patched code and agree exactly.
+TEST(EngineChaining, InvalidateRangeOnChainedSuccessor) {
+  const assembler::Program program = assemble_or_die(kCallLoop);
+
+  auto run_with_patch = [&](const vp::MachineConfig& config) {
+    vp::Machine machine(config);
+    S4E_CHECK(machine.load_program(program).ok());
+    const auto paused = machine.run_slice(3000);
+    S4E_CHECK(paused.reason == vp::StopReason::kDebugSlice);
+
+    u32 word = 0;
+    u32 target = 0;
+    for (u32 address = program.entry;; address += 4) {
+      S4E_CHECK(machine.bus().ram_read(address, &word, 4).ok());
+      if (word == 0x00140413u) {  // first `addi s0, s0, 1` of `bump`
+        target = address;
+        break;
+      }
+    }
+    // Patch the immediate from 1 to 5 and drop the stale translation.
+    const u32 patched = 0x00540413u;  // addi s0, s0, 5
+    S4E_CHECK(machine.bus().ram_write(target, &patched, 4).ok());
+    machine.invalidate_code(target, 4);
+
+    const auto done = machine.run();
+    S4E_CHECK(done.reason == vp::StopReason::kExitEcall);
+    return std::pair<u64, int>{done.instructions, done.exit_code};
+  };
+
+  const auto chained = run_with_patch(vp::MachineConfig{});
+  const auto unchained = run_with_patch(unchained_config());
+  EXPECT_EQ(chained.first, unchained.first);
+  EXPECT_EQ(chained.second, unchained.second);
+  // The patch changes one of the two +1s to +5: the final count must show
+  // the new immediate (i.e. exceed the unpatched 2 * 2000 = 4000 total).
+  EXPECT_GT(chained.second, 4000);
+}
+
+// E-R3 — snapshot while chains are live, run to the end, restore, run
+// again: the replay must land on the identical final state even though the
+// restore dropped translations on dirty pages out from under live links.
+TEST(EngineChaining, SnapshotRestoreWithLiveChains) {
+  const assembler::Program program = assemble_or_die(kCallLoop);
+  vp::Machine machine;
+  ASSERT_TRUE(machine.load_program(program).ok());
+
+  const auto paused = machine.run_slice(5000);
+  ASSERT_EQ(paused.reason, vp::StopReason::kDebugSlice);
+  ASSERT_GT(machine.engine_stats().chain_patches, 0u);
+
+  vp::Snapshot snap;
+  machine.save_state(snap);
+
+  const auto first = machine.run();
+  ASSERT_EQ(first.reason, vp::StopReason::kExitEcall);
+  const u64 first_hash = vp::data_memory_hash(machine, program);
+  std::array<u32, isa::kGprCount> first_gprs{};
+  for (unsigned reg = 0; reg < isa::kGprCount; ++reg) {
+    first_gprs[reg] = machine.cpu().read_gpr(reg);
+  }
+
+  machine.restore_state(snap);
+  const auto replay = machine.run();
+  EXPECT_EQ(replay.reason, first.reason);
+  EXPECT_EQ(replay.exit_code, first.exit_code);
+  EXPECT_EQ(replay.instructions, first.instructions);
+  EXPECT_EQ(replay.cycles, first.cycles);
+  for (unsigned reg = 0; reg < isa::kGprCount; ++reg) {
+    EXPECT_EQ(machine.cpu().read_gpr(reg), first_gprs[reg]) << "x" << reg;
+  }
+  EXPECT_EQ(vp::data_memory_hash(machine, program), first_hash);
+}
+
+// E-C1 — the counters must reflect the mechanisms: a hot call loop patches
+// chains, rides them, hits the jump cache on `ret`, and crosses the
+// superblock threshold; the unchained ablation does none of that.
+TEST(EngineCounters, HotLoopExercisesEveryMechanism) {
+  const assembler::Program program = assemble_or_die(kCallLoop);
+
+  vp::Machine chained;
+  ASSERT_TRUE(chained.load_program(program).ok());
+  ASSERT_EQ(chained.run().reason, vp::StopReason::kExitEcall);
+  const vp::EngineStats& stats = chained.engine_stats();
+  EXPECT_GT(stats.blocks_fast, 0u);
+  EXPECT_GT(stats.chain_patches, 0u);
+  EXPECT_GT(stats.chain_follows, stats.chain_patches);
+  EXPECT_GT(stats.jump_cache_hits, 0u);
+  EXPECT_GT(stats.superblocks_formed, 0u);
+  EXPECT_GT(chained.tb_cache().superblock_count(), 0u);
+
+  vp::Machine unchained(unchained_config());
+  ASSERT_TRUE(unchained.load_program(program).ok());
+  ASSERT_EQ(unchained.run().reason, vp::StopReason::kExitEcall);
+  EXPECT_EQ(unchained.engine_stats().chain_patches, 0u);
+  EXPECT_EQ(unchained.engine_stats().jump_cache_hits, 0u);
+  EXPECT_EQ(unchained.engine_stats().superblocks_formed, 0u);
+  EXPECT_GT(unchained.engine_stats().blocks_fast, 0u);
+
+  // A per-instruction plugin forces the careful loop — the fast-block
+  // counter must stay frozen while careful dispatch takes over.
+  vp::Machine careful;
+  ASSERT_TRUE(careful.load_program(program).ok());
+  auto noop_cb = [](void*, s4e_vm*, const s4e_insn_info*) {};
+  careful.add_insn_exec_cb(noop_cb, nullptr);
+  ASSERT_EQ(careful.run().reason, vp::StopReason::kExitEcall);
+  EXPECT_EQ(careful.engine_stats().blocks_fast, 0u);
+  EXPECT_GT(careful.engine_stats().blocks_careful, 0u);
+}
+
+// E-M1 — the MetricsRegistry export must carry exactly the machine's
+// counters (one shard; counters aggregate by addition across machines).
+TEST(EngineMetrics, RegistryExportMatchesMachineCounters) {
+  const assembler::Program program = assemble_or_die(kCallLoop);
+  vp::Machine machine;
+  ASSERT_TRUE(machine.load_program(program).ok());
+  ASSERT_EQ(machine.run().reason, vp::StopReason::kExitEcall);
+
+  obs::MetricsRegistry registry;
+  const obs::EngineMetricIds ids = obs::register_engine_metrics(registry);
+  registry.open_shards(1);
+  obs::record_engine_metrics(registry.shard(0), ids, machine);
+
+  const vp::EngineStats& stats = machine.engine_stats();
+  EXPECT_EQ(registry.value(ids.chain_patches), stats.chain_patches);
+  EXPECT_EQ(registry.value(ids.chain_follows), stats.chain_follows);
+  EXPECT_EQ(registry.value(ids.jump_cache_hits), stats.jump_cache_hits);
+  EXPECT_EQ(registry.value(ids.jump_cache_misses), stats.jump_cache_misses);
+  EXPECT_EQ(registry.value(ids.superblocks_formed), stats.superblocks_formed);
+  EXPECT_EQ(registry.value(ids.blocks_fast), stats.blocks_fast);
+  EXPECT_EQ(registry.value(ids.blocks_careful), stats.blocks_careful);
+  EXPECT_EQ(registry.value(ids.chain_severs),
+            machine.tb_cache().chain_severs());
+  EXPECT_EQ(registry.value(ids.tb_front_hits),
+            machine.tb_cache().front_hits());
+  EXPECT_EQ(registry.value(ids.tb_deep_hits), machine.tb_cache().deep_hits());
+  EXPECT_EQ(registry.value(ids.tb_lookup_misses),
+            machine.tb_cache().lookup_misses());
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"engine.chain_patches\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.tb_front_hits\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s4e

@@ -171,6 +171,33 @@ int main(int argc, char** argv) {
                 machine.tb_cache().size(),
                 static_cast<unsigned long long>(
                     machine.tb_cache().flush_count()));
+    const vp::EngineStats& es = machine.engine_stats();
+    const vp::TbCache& tc = machine.tb_cache();
+    const auto rate = [](u64 hits, u64 misses) {
+      const u64 total = hits + misses;
+      return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    };
+    std::printf("engine   : %llu fast blocks, %llu careful blocks\n",
+                static_cast<unsigned long long>(es.blocks_fast),
+                static_cast<unsigned long long>(es.blocks_careful));
+    std::printf("chains   : %llu linked, %llu followed, %llu severs\n",
+                static_cast<unsigned long long>(es.chain_patches),
+                static_cast<unsigned long long>(es.chain_follows),
+                static_cast<unsigned long long>(tc.chain_severs()));
+    std::printf("jump$    : %llu hits, %llu misses (%.1f%%)\n",
+                static_cast<unsigned long long>(es.jump_cache_hits),
+                static_cast<unsigned long long>(es.jump_cache_misses),
+                rate(es.jump_cache_hits, es.jump_cache_misses));
+    std::printf("superblk : %llu formed, %zu live\n",
+                static_cast<unsigned long long>(es.superblocks_formed),
+                tc.superblock_count());
+    std::printf("tb-front : %llu front hits, %llu deep hits, %llu misses "
+                "(%.1f%% front)\n",
+                static_cast<unsigned long long>(tc.front_hits()),
+                static_cast<unsigned long long>(tc.deep_hits()),
+                static_cast<unsigned long long>(tc.lookup_misses()),
+                rate(tc.front_hits(), tc.deep_hits() + tc.lookup_misses()));
   }
   if (args.has("--coverage")) {
     std::printf("%s", coverage::to_report(coverage_plugin.data(),
