@@ -219,5 +219,76 @@ int main() {
     S4E_CHECK(merged);
     std::printf("  (recorded in BENCH_campaign.json)\n");
   }
+
+  // Static triage ablation: the same fault list with triage off and on.
+  // The triage contract is checked, not just timed — pruned faults must
+  // come back kMasked with the golden exit, and every non-pruned result
+  // must be bit-identical to the untriaged run.
+  {
+    std::printf("\n[E5-triage] static fault triage (off vs on):\n");
+    std::printf("  %-12s %8s %7s %9s %9s %8s\n", "workload", "mutants",
+                "pruned", "off m/s", "on m/s", "speedup");
+    std::string rows;
+    for (const char* name : {"crc32", "pid"}) {
+      auto triage_workload = core::find_workload(name);
+      S4E_CHECK(triage_workload.ok());
+      auto triage_program = ecosystem.build(*triage_workload);
+      S4E_CHECK(triage_program.ok());
+      // Large enough that the one-time static analysis amortizes over the
+      // skipped runs (the prune fraction, not the analysis, dominates).
+      fault::CampaignConfig triage_config;
+      triage_config.seed = 0x5ca1e4ed;
+      triage_config.mutant_count = 2000;
+
+      auto start = std::chrono::steady_clock::now();
+      auto off = ecosystem.run_campaign(*triage_program, triage_config);
+      const double off_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      triage_config.triage = dataflow::TriageMode::kOn;
+      start = std::chrono::steady_clock::now();
+      auto on = ecosystem.run_campaign(*triage_program, triage_config);
+      const double on_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      S4E_CHECK_MSG(off.ok() && on.ok(), name);
+
+      S4E_CHECK(off->mutants.size() == on->mutants.size());
+      for (std::size_t i = 0; i < off->mutants.size(); ++i) {
+        const auto& base = off->mutants[i];
+        const auto& triaged = on->mutants[i];
+        S4E_CHECK(base.spec.to_string() == triaged.spec.to_string());
+        if (triaged.pruned) {
+          S4E_CHECK_MSG(triaged.outcome == fault::Outcome::kMasked, name);
+        } else {
+          S4E_CHECK_MSG(base.outcome == triaged.outcome &&
+                            base.exit_code == triaged.exit_code &&
+                            base.instructions == triaged.instructions,
+                        name);
+        }
+      }
+
+      const double mutants = static_cast<double>(off->mutants.size());
+      std::printf("  %-12s %8.0f %7llu %9.0f %9.0f %7.2fx\n", name, mutants,
+                  static_cast<unsigned long long>(on->pruned_count),
+                  mutants / off_seconds, mutants / on_seconds,
+                  off_seconds / on_seconds);
+      if (!rows.empty()) rows += ", ";
+      rows += format("{\"workload\": \"%s\", \"mutants\": %.0f, "
+                     "\"pruned\": %llu, \"pruned_fraction\": %s, "
+                     "\"off_mutants_per_s\": %s, \"on_mutants_per_s\": %s}",
+                     name, mutants,
+                     static_cast<unsigned long long>(on->pruned_count),
+                     bench::json_number(on->pruned_count / mutants, 4)
+                         .c_str(),
+                     bench::json_number(mutants / off_seconds).c_str(),
+                     bench::json_number(mutants / on_seconds).c_str());
+    }
+    S4E_CHECK(bench::merge_bench_entry("BENCH_campaign.json", "fault_triage",
+                                       "[" + rows + "]"));
+    std::printf("  (recorded in BENCH_campaign.json)\n");
+  }
   return 0;
 }

@@ -36,10 +36,87 @@ bool identical_scores(const s4e::mutation::MutationScore& a,
   return true;
 }
 
+// Static triage ablation: the same campaign with triage off and on. The
+// triage contract is checked here, not just timed — pruned mutants must
+// report kSurvived, and every non-pruned result must be bit-identical to
+// the untriaged run. `write_report` off is the ctest smoke mode
+// (bench.triage_smoke): one pass, no BENCH_campaign.json write.
+void run_triage_section(bool write_report) {
+  using namespace s4e;
+  std::printf("\n[E10-triage] static equivalent-mutant pruning "
+              "(triage off vs on):\n");
+  std::printf("  %-12s %8s %7s %9s %9s %8s\n", "workload", "mutants",
+              "pruned", "off r/s", "on r/s", "speedup");
+  std::string rows;
+  for (const char* name : {"callchain", "pid", "checksum"}) {
+    auto workload = core::find_workload(name);
+    S4E_CHECK(workload.ok());
+    auto program = assembler::assemble(workload->source);
+    S4E_CHECK(program.ok());
+
+    mutation::MutationConfig config;
+    mutation::MutationCampaign off_campaign(*program, config);
+    auto start = std::chrono::steady_clock::now();
+    auto off = off_campaign.run();
+    const double off_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    config.triage = dataflow::TriageMode::kOn;
+    mutation::MutationCampaign on_campaign(*program, config);
+    start = std::chrono::steady_clock::now();
+    auto on = on_campaign.run();
+    const double on_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    S4E_CHECK_MSG(off.ok() && on.ok(), name);
+
+    S4E_CHECK(off->results.size() == on->results.size());
+    for (std::size_t i = 0; i < off->results.size(); ++i) {
+      const auto& base = off->results[i];
+      const auto& triaged = on->results[i];
+      S4E_CHECK(base.mutant.address == triaged.mutant.address &&
+                base.mutant.mutated == triaged.mutant.mutated);
+      if (triaged.pruned) {
+        S4E_CHECK_MSG(triaged.verdict == mutation::Verdict::kSurvived, name);
+      } else {
+        S4E_CHECK_MSG(base.verdict == triaged.verdict &&
+                          base.exit_code == triaged.exit_code,
+                      name);
+      }
+    }
+
+    const double runs = static_cast<double>(off->results.size());
+    std::printf("  %-12s %8.0f %7llu %9.0f %9.0f %7.2fx\n", name, runs,
+                static_cast<unsigned long long>(on->pruned_count),
+                runs / off_seconds, runs / on_seconds,
+                off_seconds / on_seconds);
+    if (!rows.empty()) rows += ", ";
+    rows += format("{\"workload\": \"%s\", \"mutants\": %.0f, "
+                   "\"pruned\": %llu, \"pruned_fraction\": %s, "
+                   "\"off_runs_per_s\": %s, \"on_runs_per_s\": %s}",
+                   name, runs,
+                   static_cast<unsigned long long>(on->pruned_count),
+                   bench::json_number(on->pruned_count / runs, 4).c_str(),
+                   bench::json_number(runs / off_seconds).c_str(),
+                   bench::json_number(runs / on_seconds).c_str());
+  }
+  if (write_report) {
+    S4E_CHECK(bench::merge_bench_entry("BENCH_campaign.json",
+                                       "mutation_triage", "[" + rows + "]"));
+    std::printf("  (recorded in BENCH_campaign.json)\n");
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4e;
+
+  // bench.triage_smoke runs only the triage contract check (no report).
+  if (argc > 1 && std::string(argv[1]) == "--triage-only") {
+    run_triage_section(/*write_report=*/false);
+    return 0;
+  }
 
   std::printf("[E10] binary mutation analysis of the standard workloads\n\n");
   std::printf("%-12s %8s %8s %9s %9s %9s %10s %9s\n", "workload", "mutants",
@@ -217,5 +294,7 @@ int main() {
     S4E_CHECK(merged);
     std::printf("  (recorded in BENCH_campaign.json)\n");
   }
+
+  run_triage_section(/*write_report=*/true);
   return 0;
 }

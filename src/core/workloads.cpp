@@ -510,6 +510,41 @@ table:
     .word op_add, op_sub, op_dbl, op_nop
 )";
 
+// --- call chain: a two-level balanced call chain with a spilled frame —
+// the interprocedural-analysis workload (summaries prove the chain
+// balanced, so the static stack depth is concrete). Exit = square_plus(5)
+// + square_plus(3) = 27 + 13 = 40.
+constexpr const char* kCallchain = R"(
+_start:
+    li a0, 5
+    call square_plus
+    mv s0, a0
+    li a0, 3
+    call square_plus
+    add a0, a0, s0
+    li a7, 93
+    ecall
+
+# square_plus(x) = x*x + bias(x); spills ra and x across the inner call.
+square_plus:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    sw a0, 8(sp)
+    call bias
+    lw t0, 8(sp)
+    mul t0, t0, t0
+    add a0, a0, t0
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+# bias(x) = (x & 3) + 1: a leaf with no frame.
+bias:
+    andi a0, a0, 3
+    addi a0, a0, 1
+    ret
+)";
+
 }  // namespace
 
 const std::vector<Workload>& standard_workloads() {
@@ -537,6 +572,8 @@ const std::vector<Workload>& standard_workloads() {
        kBsearch, 11, true},
       {"jumptab", "byte-coded dispatcher through a .word jump table",
        kJumptab, 25, true},
+      {"callchain", "balanced two-level call chain with a spilled frame",
+       kCallchain, 40, true},
   };
   return workloads;
 }

@@ -72,7 +72,14 @@ Result<Analysis> analyze_program(const assembler::Program& program,
     // Pass B: fold loads from clean image regions.
     MemModel full = collect;
     full.enable_loads();
-    auto sols = run_reg_pass(cfg, program.entry, &full);
+    auto baseline = run_reg_pass(cfg, program.entry, &full);
+
+    // Pass C: bottom-up interprocedural re-solve — callee summaries applied
+    // at call sites refine both the register and liveness facts, so
+    // constants (and uninit bits) flow across calls.
+    Interprocedural ip =
+        solve_interprocedural(cfg, program.entry, &full, baseline);
+    auto& sols = ip.reg;
 
     // Try to resolve reachable `jalr x0` sites with a finite target set.
     // Already-resolved sites are recomputed every round: the richer CFG can
@@ -147,10 +154,12 @@ Result<Analysis> analyze_program(const assembler::Program& program,
       const cfg::Function& fn = cfg.functions[f];
       FunctionAnalysis& fa = an.functions[f];
       fa.reg = std::move(sols[f]);
-      fa.live = solve(fn, Liveness());
+      fa.live = std::move(ip.live[f]);
+      fa.call_effects = std::move(ip.call_effects[f]);
       fa.block_reachable.resize(fn.blocks.size());
       fa.edge_ok.resize(fn.blocks.size());
-      RegDomain domain({fn.entry == program.entry, &an.mem});
+      RegDomain domain(
+          {fn.entry == program.entry, &an.mem, &fa.call_effects});
       for (const cfg::BasicBlock& block : fn.blocks) {
         fa.block_reachable[block.id] = fa.reg.in[block.id].reached;
         auto& ok = fa.edge_ok[block.id];
@@ -193,6 +202,8 @@ Result<Analysis> analyze_program(const assembler::Program& program,
         }
       }
     }
+    an.graph = std::move(ip.graph);
+    an.summaries = std::move(ip.summaries);
     an.cfg = std::move(cfg);
     return an;
   }

@@ -24,12 +24,17 @@
 #include "dataflow/liveness.hpp"
 #include "dataflow/memmodel.hpp"
 #include "dataflow/regstate.hpp"
+#include "dataflow/summaries.hpp"
 
 namespace s4e::dataflow {
 
 struct FunctionAnalysis {
+  // Summary-refined solutions (interprocedural facts applied at call sites).
   Solution<RegDomain> reg;
   Solution<Liveness> live;
+  // Call-block id -> the callee's summarized effect at that site; consumers
+  // replaying blocks (lint) pass these to finish_block / exit_adjust.
+  std::map<cfg::BlockId, CallEffect> call_effects;
   std::vector<bool> block_reachable;
   // Parallel to each block's successors vector: false = branch edge proven
   // infeasible from the solved out-state.
@@ -51,6 +56,8 @@ struct Analysis {
   std::map<u32, std::vector<u32>> resolved;  // jalr pc -> jump targets
   std::vector<UnresolvedSite> unresolved;    // reachable, still unknown
   MemModel mem;  // final-pass model (dirty store ranges populated)
+  CallGraph graph;  // over the final CFG build
+  std::vector<FunctionSummary> summaries;  // parallel to cfg.functions
 };
 
 struct AnalyzeOptions {

@@ -1,0 +1,174 @@
+#include "dataflow/callgraph.hpp"
+
+#include <algorithm>
+
+namespace s4e::dataflow {
+
+namespace {
+
+// Iterative Tarjan SCC over the callee adjacency lists. Tarjan pops callee
+// SCCs before the SCCs that reach them, so callee SCCs receive the lower
+// ids — iterating functions by ascending SCC id visits callees before
+// callers, which is exactly the bottom-up summary order.
+struct Tarjan {
+  const std::vector<std::vector<u32>>& adj;
+  std::vector<u32> index, lowlink, scc_id;
+  std::vector<bool> on_stack;
+  std::vector<u32> stack;
+  std::vector<bool> in_cycle;
+  u32 next_index = 0;
+  u32 next_scc = 0;
+  static constexpr u32 kUnvisited = ~u32{0};
+
+  explicit Tarjan(const std::vector<std::vector<u32>>& a)
+      : adj(a),
+        index(a.size(), kUnvisited),
+        lowlink(a.size(), 0),
+        scc_id(a.size(), 0),
+        on_stack(a.size(), false),
+        in_cycle(a.size(), false) {}
+
+  void run(u32 root) {
+    if (index[root] != kUnvisited) return;
+    // Explicit DFS stack: (node, next child position).
+    std::vector<std::pair<u32, std::size_t>> dfs{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!dfs.empty()) {
+      auto& [v, child] = dfs.back();
+      if (child < adj[v].size()) {
+        const u32 w = adj[v][child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.emplace_back(w, 0);
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        // v is an SCC root: pop its members.
+        std::size_t first = stack.size();
+        while (first > 0 && stack[first - 1] != v) --first;
+        const std::size_t members = stack.size() - first + 1;
+        for (std::size_t i = first - 1; i < stack.size(); ++i) {
+          scc_id[stack[i]] = next_scc;
+          on_stack[stack[i]] = false;
+        }
+        if (members > 1) {
+          for (std::size_t i = first - 1; i < stack.size(); ++i) {
+            in_cycle[stack[i]] = true;
+          }
+        }
+        stack.resize(first - 1);
+        ++next_scc;
+      }
+      const u32 done = v;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().first] =
+            std::min(lowlink[dfs.back().first], lowlink[done]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CallGraph build_call_graph(
+    const cfg::ProgramCfg& cfg,
+    const std::vector<std::vector<bool>>* block_reachable) {
+  const std::size_t n = cfg.functions.size();
+  CallGraph graph;
+  graph.callees.resize(n);
+  graph.callers.resize(n);
+  graph.poisoned.assign(n, false);
+  graph.tainted.assign(n, false);
+  graph.recursive.assign(n, false);
+  graph.scc_id.assign(n, 0);
+
+  for (std::size_t f = 0; f < n; ++f) {
+    const cfg::Function& fn = cfg.functions[f];
+    for (const cfg::BasicBlock& block : fn.blocks) {
+      if (block_reachable != nullptr && !(*block_reachable)[f][block.id]) {
+        continue;
+      }
+      if (block.terminator == cfg::Terminator::kCall) {
+        auto it = cfg.function_by_entry.find(block.call_target);
+        if (it != cfg.function_by_entry.end()) {
+          graph.callees[f].push_back(it->second);
+        } else {
+          // Call into code the reconstruction did not materialize as a
+          // function (should not happen for a well-formed build, but a
+          // pruned sub-graph may drop callees): unknown effect.
+          graph.poisoned[f] = true;
+        }
+      } else if (block.terminator == cfg::Terminator::kIndirect &&
+                 block.indirect_targets.empty()) {
+        // Unresolved indirect site (call or jump): the function may transfer
+        // control anywhere, so its callee set — and therefore its summary —
+        // is unknowable.
+        graph.poisoned[f] = true;
+      }
+    }
+    auto& c = graph.callees[f];
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    for (u32 callee : c) graph.callers[callee].push_back(static_cast<u32>(f));
+  }
+  for (auto& c : graph.callers) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+  }
+
+  Tarjan tarjan(graph.callees);
+  for (u32 f = 0; f < n; ++f) tarjan.run(f);
+  graph.scc_id = std::move(tarjan.scc_id);
+  graph.recursive = std::move(tarjan.in_cycle);
+  // Direct self-recursion forms a single-node SCC; catch it explicitly.
+  for (u32 f = 0; f < n; ++f) {
+    if (std::binary_search(graph.callees[f].begin(), graph.callees[f].end(),
+                           f)) {
+      graph.recursive[f] = true;
+    }
+  }
+
+  // Tarjan emits SCCs callees-first, so ascending SCC id is already a
+  // bottom-up order of the condensation; sort functions by it.
+  graph.bottom_up.resize(n);
+  for (u32 f = 0; f < n; ++f) graph.bottom_up[f] = f;
+  std::stable_sort(graph.bottom_up.begin(), graph.bottom_up.end(),
+                   [&](u32 a, u32 b) {
+                     return graph.scc_id[a] < graph.scc_id[b];
+                   });
+
+  // Taint = poisoned or (transitively) calls a tainted function. One pass in
+  // bottom-up order settles it for the acyclic part; members of a cycle see
+  // each other via a second sweep over the SCC.
+  for (u32 f : graph.bottom_up) {
+    graph.tainted[f] = graph.poisoned[f];
+    for (u32 callee : graph.callees[f]) {
+      if (graph.tainted[callee]) graph.tainted[f] = true;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (u32 f = 0; f < n; ++f) {
+      if (graph.tainted[f]) continue;
+      for (u32 callee : graph.callees[f]) {
+        if (graph.tainted[callee]) {
+          graph.tainted[f] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace s4e::dataflow

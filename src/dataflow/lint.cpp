@@ -59,31 +59,61 @@ struct Linter {
     }
   }
 
+  const CallEffect* call_effect(std::size_t f, const cfg::BasicBlock& block) {
+    const auto& effects = an.functions[f].call_effects;
+    auto it = effects.find(block.id);
+    return it == effects.end() ? nullptr : &it->second;
+  }
+
   void check_uninit_reads() {
     for_each_reachable_block([&](const cfg::Function& fn, std::size_t f,
                                  const cfg::BasicBlock& block) {
-      walk_block(block, &an.mem, an.functions[f].reg.in[block.id],
-                 [&](u32 pc, const Instr& instr, const RegState& state) {
-                   const u32 bad = isa::def_use(instr).reads &
-                                   state.maybe_uninit & ~u32{1};
-                   for (unsigned r = 1; r < isa::kGprCount; ++r) {
-                     if ((bad & reg_bit(r)) == 0) continue;
-                     add(CheckKind::kUninitRead, pc, fn.name,
-                         format("'%s' reads %s, which may be uninitialized "
-                                "on a path reaching 0x%08x",
-                                isa::disassemble(instr).c_str(),
-                                std::string(isa::gpr_abi_name(r)).c_str(),
-                                pc));
-                   }
-                 });
+      RegState state = an.functions[f].reg.in[block.id];
+      u32 pc = block.start;
+      for (const Instr& instr : block.insns) {
+        const u32 bad =
+            isa::def_use(instr).reads & state.maybe_uninit & ~u32{1};
+        for (unsigned r = 1; r < isa::kGprCount; ++r) {
+          if ((bad & reg_bit(r)) == 0) continue;
+          add(CheckKind::kUninitRead, pc, fn.name,
+              format("'%s' reads %s, which may be uninitialized "
+                     "on a path reaching 0x%08x",
+                     isa::disassemble(instr).c_str(),
+                     std::string(isa::gpr_abi_name(r)).c_str(), pc));
+        }
+        RegDomain::apply(instr, pc, &an.mem, state);
+        pc += instr.length;
+      }
+      // Interprocedural: an argument register the callee provably reads
+      // must be initialized at the call. Only refined effects are screened
+      // — the ABI default would flag every may-uninit a-register.
+      const CallEffect* effect = call_effect(f, block);
+      if (effect == nullptr || !effect->refined) return;
+      const u32 bad = effect->may_read & state.maybe_uninit & ~u32{1};
+      if (bad == 0) return;
+      const u32 call_pc = block.end - block.insns.back().length;
+      auto callee = an.cfg.function_by_entry.find(block.call_target);
+      const std::string callee_name =
+          callee == an.cfg.function_by_entry.end()
+              ? format("0x%08x", block.call_target)
+              : an.cfg.functions[callee->second].name;
+      for (unsigned r = 1; r < isa::kGprCount; ++r) {
+        if ((bad & reg_bit(r)) == 0) continue;
+        add(CheckKind::kUninitRead, call_pc, fn.name,
+            format("call to '%s' at 0x%08x passes %s, which may be "
+                   "uninitialized and which the callee reads",
+                   callee_name.c_str(), call_pc,
+                   std::string(isa::gpr_abi_name(r)).c_str()));
+      }
     });
   }
 
   void check_dead_writes() {
     for_each_reachable_block([&](const cfg::Function& fn, std::size_t f,
                                  const cfg::BasicBlock& block) {
-      u32 live = Liveness::exit_adjust(block,
-                                       an.functions[f].live.out[block.id]);
+      u32 live =
+          Liveness::exit_adjust(block, an.functions[f].live.out[block.id],
+                                call_effect(f, block));
       u32 pc_end = block.end;
       for (auto it = block.insns.rbegin(); it != block.insns.rend(); ++it) {
         const Instr& instr = *it;
@@ -186,6 +216,68 @@ struct Linter {
           {an.cfg.functions[f].name, frame[f], depth(depth, f)});
     }
     report.max_stack_depth = total[0];
+
+    if (opts.stack_limit >= 0 && report.max_stack_depth >= 0 &&
+        report.max_stack_depth > opts.stack_limit) {
+      add(CheckKind::kStackOverflow, an.cfg.functions[0].entry,
+          an.cfg.functions[0].name,
+          format("worst-case static stack depth %lld bytes exceeds the "
+                 "%lld-byte budget",
+                 static_cast<long long>(report.max_stack_depth),
+                 static_cast<long long>(opts.stack_limit)));
+    }
+  }
+
+  void check_recursion() {
+    // A reachable call-graph cycle admits no static stack bound; every
+    // member is reported (mutual recursion flags each participant once).
+    for (std::size_t f = 0; f < an.cfg.functions.size(); ++f) {
+      if (!an.function_reachable[f] || f >= an.graph.recursive.size() ||
+          !an.graph.recursive[f]) {
+        continue;
+      }
+      const cfg::Function& fn = an.cfg.functions[f];
+      add(CheckKind::kRecursion, fn.entry, fn.name,
+          format("'%s' is part of a call-graph cycle: recursion depth — "
+                 "and therefore stack use — has no static bound",
+                 fn.name.c_str()));
+    }
+  }
+
+  void check_unused_result() {
+    // A function that writes a0 on every returning path advertises a
+    // result. If no reachable call site keeps a0 live at its continuation,
+    // every caller discards it. (Result forwarding is covered: a caller
+    // passing a0 through to its own return keeps it live via the return
+    // boundary.)
+    const std::size_t n = an.cfg.functions.size();
+    std::vector<u8> produces(n, 0);
+    for (std::size_t f = 1; f < n; ++f) {
+      if (!an.function_reachable[f] || f >= an.summaries.size()) continue;
+      const FunctionSummary& sum = an.summaries[f];
+      produces[f] = !sum.conservative && sum.returns &&
+                    (sum.must_write & reg_bit(10)) != 0;
+    }
+    std::vector<u8> called(n, 0), consumed(n, 0);
+    for_each_reachable_block([&](const cfg::Function& /*fn*/, std::size_t f,
+                                 const cfg::BasicBlock& block) {
+      if (block.terminator != Terminator::kCall) return;
+      auto it = an.cfg.function_by_entry.find(block.call_target);
+      if (it == an.cfg.function_by_entry.end()) return;
+      called[it->second] = 1;
+      // Backward out-fact of the call block = live after the call returns.
+      if ((an.functions[f].live.out[block.id] & reg_bit(10)) != 0) {
+        consumed[it->second] = 1;
+      }
+    });
+    for (std::size_t f = 1; f < n; ++f) {
+      if (!produces[f] || !called[f] || consumed[f]) continue;
+      const cfg::Function& fn = an.cfg.functions[f];
+      add(CheckKind::kUnusedResult, fn.entry, fn.name,
+          format("'%s' computes a result in a0, but no reachable call "
+                 "site ever uses it",
+                 fn.name.c_str()));
+    }
   }
 
   void check_policy() {
@@ -274,6 +366,9 @@ std::string_view check_name(CheckKind kind) noexcept {
     case CheckKind::kStackImbalance: return "stack-imbalance";
     case CheckKind::kPolicyViolation: return "policy";
     case CheckKind::kUnresolvedIndirect: return "indirect";
+    case CheckKind::kUnusedResult: return "unused-result";
+    case CheckKind::kRecursion: return "recursion";
+    case CheckKind::kStackOverflow: return "stack-overflow";
   }
   return "?";
 }
@@ -282,6 +377,37 @@ std::string Finding::to_string() const {
   return format("[%s] 0x%08x (%s): %s",
                 std::string(check_name(kind)).c_str(), pc, function.c_str(),
                 message.c_str());
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Finding::to_json() const {
+  return format("{\"check\":\"%s\",\"pc\":\"0x%08x\",\"function\":\"%s\","
+                "\"message\":\"%s\"}",
+                std::string(check_name(kind)).c_str(), pc,
+                json_escape(function).c_str(), json_escape(message).c_str());
 }
 
 std::string LintReport::to_string() const {
@@ -313,6 +439,8 @@ LintReport lint(const Analysis& analysis, const LintOptions& options) {
   linter.check_uninit_reads();
   linter.check_dead_writes();
   linter.check_stack();
+  linter.check_recursion();
+  linter.check_unused_result();
   linter.check_policy();
   linter.check_unresolved();
   std::stable_sort(linter.report.findings.begin(),

@@ -13,6 +13,18 @@
 //                        issued from code outside the region's PC window)
 //   kUnresolvedIndirect— a reachable jalr whose target set could not be
 //                        folded (residual analysis blind spot)
+//   kUnusedResult      — a function that always produces a result in a0,
+//                        but no reachable call site ever consumes it
+//   kRecursion         — a reachable function participates in a call-graph
+//                        cycle, so no static stack bound exists
+//   kStackOverflow     — the entry function's worst-case static stack depth
+//                        exceeds the configured limit
+//
+// The dead-write and uninit-read checks are interprocedural: call sites
+// apply the callee's summarized effect (registers it preserves stay live /
+// initialized; registers it reads are demanded), so a value consumed only
+// by a callee is not a dead store and an uninitialized argument a callee
+// actually reads is flagged at the call.
 //
 // Policy screening uses must-target semantics: a finding is emitted only
 // when every address the access can take is in violation, so imprecise
@@ -34,6 +46,9 @@ enum class CheckKind : u8 {
   kStackImbalance,
   kPolicyViolation,
   kUnresolvedIndirect,
+  kUnusedResult,
+  kRecursion,
+  kStackOverflow,
 };
 
 std::string_view check_name(CheckKind kind) noexcept;
@@ -45,6 +60,7 @@ struct Finding {
   std::string message;
 
   std::string to_string() const;
+  std::string to_json() const;  // one self-contained object, no newline
 };
 
 // Static stack accounting for one function.
@@ -65,6 +81,10 @@ struct LintReport {
 
 struct LintOptions {
   const memwatch::Policy* policy = nullptr;  // enables kPolicyViolation
+  // Static stack budget in bytes for kStackOverflow; negative disables the
+  // check. Only a *known* depth is compared — an unknown depth is already
+  // reported via kStackImbalance / kRecursion.
+  i64 stack_limit = -1;
 };
 
 // Run every check over a completed analysis.

@@ -32,6 +32,15 @@ class Liveness {
   static constexpr bool kForward = false;
   using State = u32;  // bitmask of may-live GPRs
 
+  struct Options {
+    // Per-call-block effects from interprocedural summaries (keyed by the
+    // kCall block's id); null/missing entries use the ABI assumption.
+    const std::map<cfg::BlockId, CallEffect>* call_effects = nullptr;
+  };
+
+  Liveness() = default;
+  explicit Liveness(const Options& options) : options_(options) {}
+
   State boundary(const cfg::Function& fn, const cfg::BasicBlock& block) const {
     (void)fn;
     switch (block.terminator) {
@@ -45,16 +54,28 @@ class Liveness {
   }
 
   // Live set adjustment at the bottom of a block (before walking its
-  // instructions backward). Shared with the lint replay.
-  static State exit_adjust(const cfg::BasicBlock& block, State live) {
-    if (block.terminator == cfg::Terminator::kCall) live |= kCallReadMask;
-    return live;
+  // instructions backward). Shared with the lint replay. With a summary
+  // effect, the kill set is the callee's must-write registers and the gen
+  // set its may-read registers (plus sp, which every call consumes for the
+  // callee frame); without one, the ABI assumption gens the argument
+  // registers and kills nothing.
+  static State exit_adjust(const cfg::BasicBlock& block, State live,
+                           const CallEffect* effect = nullptr) {
+    if (block.terminator != cfg::Terminator::kCall) return live;
+    if (effect == nullptr) return live | kCallReadMask;
+    return (live & ~effect->must_write) | effect->may_read | reg_bit(2);
+  }
+
+  const CallEffect* call_effect(const cfg::BasicBlock& block) const {
+    if (options_.call_effects == nullptr) return nullptr;
+    auto it = options_.call_effects->find(block.id);
+    return it == options_.call_effects->end() ? nullptr : &it->second;
   }
 
   State transfer(const cfg::Function& fn, const cfg::BasicBlock& block,
                  State live) const {
     (void)fn;
-    live = exit_adjust(block, live);
+    live = exit_adjust(block, live, call_effect(block));
     for (auto it = block.insns.rbegin(); it != block.insns.rend(); ++it) {
       const isa::DefUse du = isa::def_use(*it);
       live = (live & ~du.writes) | du.reads;
@@ -73,6 +94,9 @@ class Liveness {
                      const State&, const cfg::Edge&) const {
     return true;  // unused in the backward direction
   }
+
+ private:
+  Options options_;
 };
 
 }  // namespace s4e::dataflow

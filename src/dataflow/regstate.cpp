@@ -92,8 +92,14 @@ RegState RegDomain::transfer(const cfg::Function& fn,
     apply(instr, pc, options_.mem, state);
     pc += instr.length;
   }
-  finish_block(block, state);
+  finish_block(block, state, call_effect(block));
   return state;
+}
+
+const CallEffect* RegDomain::call_effect(const cfg::BasicBlock& block) const {
+  if (options_.call_effects == nullptr) return nullptr;
+  auto it = options_.call_effects->find(block.id);
+  return it == options_.call_effects->end() ? nullptr : &it->second;
 }
 
 bool RegDomain::join(State& into, const State& from, bool widen) const {
@@ -261,17 +267,38 @@ void RegDomain::apply(const Instr& instr, u32 pc, const MemModel* mem,
   }
 }
 
-void RegDomain::finish_block(const cfg::BasicBlock& block, State& state) {
+void RegDomain::finish_block(const cfg::BasicBlock& block, State& state,
+                             const CallEffect* effect) {
   if (block.terminator != cfg::Terminator::kCall || !state.reached) return;
-  // Call-return clobber: the callee may write every caller-saved register
-  // (so they are initialized but unknown at the continuation); sp and the
-  // callee-saved registers are preserved per the calling convention.
-  for (unsigned r = 1; r < isa::kGprCount; ++r) {
-    if (kCallerSavedMask & reg_bit(r)) {
-      state.regs[r] = AbsValue::top();
-      state.maybe_uninit &= ~reg_bit(r);
+  if (effect == nullptr) {
+    // Conservative call-return clobber: the callee may write every
+    // caller-saved register (so they are initialized but unknown at the
+    // continuation); sp and the callee-saved registers are preserved per
+    // the calling convention.
+    for (unsigned r = 1; r < isa::kGprCount; ++r) {
+      if (kCallerSavedMask & reg_bit(r)) {
+        state.regs[r] = AbsValue::top();
+        state.maybe_uninit &= ~reg_bit(r);
+      }
     }
+    return;
   }
+  // Summary-driven effect. Preserved registers (not in `clobbered`) keep the
+  // caller's abstract value and uninit bit; clobbered registers become the
+  // callee's return value (a0/a1) or top; only must-written registers are
+  // definitely initialized afterwards.
+  for (unsigned r = 1; r < isa::kGprCount; ++r) {
+    if ((effect->clobbered & reg_bit(r)) == 0) continue;
+    if (r == 10) {
+      state.regs[r] = effect->ret0;
+    } else if (r == 11) {
+      state.regs[r] = effect->ret1;
+    } else {
+      state.regs[r] = AbsValue::top();
+    }
+    if (effect->must_write & reg_bit(r)) state.maybe_uninit &= ~reg_bit(r);
+  }
+  if (!effect->sp_balanced) state.regs[2] = AbsValue::top();
 }
 
 std::optional<bool> RegDomain::eval_branch(const Instr& branch,

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <map>
 #include <optional>
 
 #include "cfg/cfg.hpp"
@@ -30,6 +31,38 @@ inline constexpr u32 kCallerSavedMask =
     (0xffu << 10) |                    // a0-a7
     (0xfu << 28);                      // t3-t6
 
+// The effect of one call site on the caller's state, distilled from the
+// callee's bottom-up FunctionSummary (summaries.hpp). The defaults are the
+// conservative RV32 ABI assumptions and reproduce the pre-summary behavior
+// exactly, so a null/absent effect is always sound.
+struct CallEffect {
+  // May-write: registers whose incoming value might not survive the call.
+  // The complement (minus sp, handled via sp_balanced) is preserved: the
+  // caller's abstract value and uninit bit flow across the call unchanged.
+  u32 clobbered = kCallerSavedMask;
+  // Must-write: registers the callee writes on every returning path. Only
+  // these lose their maybe-uninit bit (forward) or their liveness (backward
+  // kill) — a may-written register could still hold the caller's value.
+  u32 must_write = 0;
+  // Registers whose incoming value the callee (transitively) may read.
+  u32 may_read = kCallReadMaskDefault;
+  // Abstract a0/a1 at the callee's returns; meaningful when clobbered.
+  AbsValue ret0 = AbsValue::top();
+  AbsValue ret1 = AbsValue::top();
+  // False when the callee provably unbalances sp: the caller's sp becomes
+  // top at the continuation instead of being assumed preserved.
+  bool sp_balanced = true;
+  // True when this effect came from a computed (non-conservative) summary.
+  // Precision-only consumers (e.g. lint's uninitialized-argument check)
+  // restrict themselves to refined effects to avoid ABI-default noise.
+  bool refined = false;
+
+  // a0-a7, sp, gp, tp — mirrors liveness.hpp's kCallReadMask, restated here
+  // to keep the header dependency one-directional (liveness includes us).
+  static constexpr u32 kCallReadMaskDefault =
+      (0xffu << 10) | reg_bit(2) | reg_bit(3) | reg_bit(4);
+};
+
 struct RegState {
   bool reached = false;
   std::array<AbsValue, isa::kGprCount> regs;  // default: all bottom
@@ -44,6 +77,10 @@ class RegDomain {
   struct Options {
     bool is_entry_function = false;
     const MemModel* mem = nullptr;
+    // Per-call-block effects from interprocedural summaries (keyed by the
+    // kCall block's id). Null or missing entries fall back to the
+    // conservative ABI clobber.
+    const std::map<cfg::BlockId, CallEffect>* call_effects = nullptr;
   };
 
   explicit RegDomain(const Options& options) : options_(options) {}
@@ -60,14 +97,18 @@ class RegDomain {
   static void apply(const isa::Instr& instr, u32 pc, const MemModel* mem,
                     State& state);
 
-  // Post-block effect: the call-return clobber for kCall blocks.
-  static void finish_block(const cfg::BasicBlock& block, State& state);
+  // Post-block effect: the call-return clobber for kCall blocks. A null
+  // `effect` applies the conservative ABI assumptions.
+  static void finish_block(const cfg::BasicBlock& block, State& state,
+                           const CallEffect* effect = nullptr);
 
   // Definite branch outcome from the state at the branch, if decidable.
   static std::optional<bool> eval_branch(const isa::Instr& branch,
                                          const State& state);
 
  private:
+  const CallEffect* call_effect(const cfg::BasicBlock& block) const;
+
   Options options_;
 };
 

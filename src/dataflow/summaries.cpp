@@ -1,0 +1,305 @@
+#include "dataflow/summaries.hpp"
+
+#include <algorithm>
+
+#include "isa/defuse.hpp"
+
+namespace s4e::dataflow {
+
+namespace {
+
+using cfg::Terminator;
+
+// Ranges beyond this are collapsed into the `*_unknown` flag instead of
+// growing the summary without bound.
+constexpr std::size_t kMaxMemRanges = 32;
+
+// Forward must-write analysis: which registers every path from the entry to
+// a given point has definitely written. Meet at joins is set intersection.
+struct MustWriteDomain {
+  static constexpr bool kForward = true;
+  struct State {
+    bool reached = false;
+    u32 mask = 0;
+  };
+
+  const std::map<cfg::BlockId, CallEffect>* effects = nullptr;
+
+  State boundary(const cfg::Function&, const cfg::BasicBlock&) const {
+    return {true, 0};
+  }
+
+  State transfer(const cfg::Function&, const cfg::BasicBlock& block,
+                 State state) const {
+    if (!state.reached) return state;
+    for (const isa::Instr& instr : block.insns) {
+      state.mask |= isa::def_use(instr).writes;
+    }
+    if (block.terminator == Terminator::kCall) {
+      auto it = effects->find(block.id);
+      if (it != effects->end()) state.mask |= it->second.must_write;
+    }
+    state.mask &= ~u32{1};
+    return state;
+  }
+
+  bool join(State& into, const State& from, bool /*widen*/) const {
+    if (!from.reached) return false;
+    if (!into.reached) {
+      into = from;
+      return true;
+    }
+    const u32 met = into.mask & from.mask;
+    if (met == into.mask) return false;
+    into.mask = met;
+    return true;
+  }
+
+  bool edge_feasible(const cfg::Function&, const cfg::BasicBlock&,
+                     const State&, const cfg::Edge&) const {
+    return true;
+  }
+};
+
+void add_range(std::vector<MemRange>& ranges, i64 lo, i64 hi, bool& unknown) {
+  if (unknown) return;
+  ranges.push_back({lo, hi});
+  if (ranges.size() <= kMaxMemRanges) return;
+  // Coalesce; if still over budget the footprint degrades to unknown.
+  std::sort(ranges.begin(), ranges.end(),
+            [](const MemRange& a, const MemRange& b) { return a.lo < b.lo; });
+  std::vector<MemRange> merged;
+  for (const MemRange& r : ranges) {
+    if (!merged.empty() && r.lo <= merged.back().hi + 1) {
+      merged.back().hi = std::max(merged.back().hi, r.hi);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  ranges = std::move(merged);
+  if (ranges.size() > kMaxMemRanges) {
+    ranges.clear();
+    unknown = true;
+  }
+}
+
+}  // namespace
+
+CallEffect FunctionSummary::effect() const {
+  CallEffect e;
+  if (conservative) return e;
+  e.refined = true;
+  e.clobbered = may_write;
+  e.must_write = must_write;
+  e.may_read = may_read;
+  e.ret0 = ret0;
+  e.ret1 = ret1;
+  e.sp_balanced = sp_balanced;
+  return e;
+}
+
+Interprocedural solve_interprocedural(
+    const cfg::ProgramCfg& cfg, u32 program_entry, const MemModel* mem,
+    const std::vector<Solution<RegDomain>>& baseline) {
+  const std::size_t n = cfg.functions.size();
+  Interprocedural ip;
+
+  std::vector<std::vector<bool>> reach(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    reach[f].resize(cfg.functions[f].blocks.size());
+    for (std::size_t b = 0; b < reach[f].size(); ++b) {
+      reach[f][b] = baseline[f].in[b].reached;
+    }
+  }
+  ip.graph = build_call_graph(cfg, &reach);
+  ip.summaries.resize(n);
+  ip.call_effects.resize(n);
+  ip.reg.resize(n);
+  ip.live.resize(n);
+
+  for (u32 f : ip.graph.bottom_up) {
+    const cfg::Function& fn = cfg.functions[f];
+    auto& effects = ip.call_effects[f];
+    for (const cfg::BasicBlock& block : fn.blocks) {
+      if (block.terminator != Terminator::kCall) continue;
+      auto it = cfg.function_by_entry.find(block.call_target);
+      if (it == cfg.function_by_entry.end()) continue;
+      effects.emplace(block.id, ip.summaries[it->second].effect());
+    }
+
+    RegDomain reg_domain({fn.entry == program_entry, mem, &effects});
+    ip.reg[f] = solve(fn, reg_domain);
+    Liveness live_domain(Liveness::Options{&effects});
+    ip.live[f] = solve(fn, live_domain);
+
+    FunctionSummary& sum = ip.summaries[f];
+    // Cycle members would need a fixpoint over their own summary; tainted
+    // functions may transfer control anywhere. Both keep the ABI fallback —
+    // which is the documented soundness assumption for workload assembly.
+    if (ip.graph.recursive[f] || ip.graph.tainted[f]) continue;
+    sum.conservative = false;
+
+    const Solution<RegDomain>& sol = ip.reg[f];
+    auto reached = [&](const cfg::BasicBlock& block) {
+      return sol.in[block.id].reached;
+    };
+
+    // Register effects.
+    u32 may_write = 0;
+    u32 raw_reads = 0;
+    bool any_return = false;
+    for (const cfg::BasicBlock& block : fn.blocks) {
+      if (!reached(block)) continue;
+      for (const isa::Instr& instr : block.insns) {
+        const isa::DefUse du = isa::def_use(instr);
+        may_write |= du.writes;
+        raw_reads |= du.reads;
+      }
+      if (block.terminator == Terminator::kCall) {
+        auto it = effects.find(block.id);
+        const CallEffect& e =
+            it == effects.end() ? CallEffect{} : it->second;
+        may_write |= e.clobbered;
+        raw_reads |= e.may_read;
+      } else if (block.terminator == Terminator::kExit) {
+        // The environment observes the argument and pointer registers at an
+        // exit ecall; keep them readable so callers never see their setup
+        // as dead.
+        raw_reads |= kExitLiveMask;
+      } else if (block.terminator == Terminator::kReturn) {
+        any_return = true;
+      }
+    }
+    sum.returns = any_return;
+    sum.may_write = may_write & ~(reg_bit(0) | reg_bit(2));
+
+    MustWriteDomain mw_domain{&effects};
+    const Solution<MustWriteDomain> mw = solve(fn, mw_domain);
+    u32 must_write = ~u32{0};
+    AbsValue ret0;  // bottom; join accumulates over return sites
+    AbsValue ret1;
+    bool sp_balanced = true;
+    for (const cfg::BasicBlock& block : fn.blocks) {
+      if (!reached(block) || block.terminator != Terminator::kReturn) {
+        continue;
+      }
+      must_write &= mw.out[block.id].mask;
+      ret0 = AbsValue::join(ret0, sol.out[block.id].regs[10]);
+      ret1 = AbsValue::join(ret1, sol.out[block.id].regs[11]);
+      const AbsValue& sp = sol.out[block.id].regs[2];
+      if (!(sp.is_stack() && sp.lo() == 0 && sp.hi() == 0)) {
+        sp_balanced = false;
+      }
+    }
+    if (!any_return) {
+      // No way back to the caller: the continuation is unreachable, so any
+      // kill set is sound and the return value is irrelevant.
+      must_write = ~u32{1};
+      ret0 = AbsValue::top();
+      ret1 = AbsValue::top();
+    }
+    sum.must_write = must_write & ~(reg_bit(0) | reg_bit(2));
+    // Guard against registers only "written" via a callee's conservative
+    // effect yet absent from may_write bookkeeping.
+    sum.must_write &= sum.may_write;
+    sum.ret0 = std::move(ret0);
+    sum.ret1 = std::move(ret1);
+    sum.sp_balanced = sp_balanced;
+
+    // may_read: incoming values the function may observe. The liveness
+    // live-in at the entry block is read-before-written (transitively, via
+    // the call effects), but its return-boundary seeds every callee-saved
+    // register; intersecting with the raw read union strips registers no
+    // instruction or callee ever touches.
+    sum.may_read = ip.live[f].in[0] & raw_reads & ~u32{1};
+
+    // Memory footprint and stack accounting.
+    sum.reads_unknown = false;
+    sum.writes_unknown = false;
+    sum.reads_stack = false;
+    sum.writes_stack = false;
+    i64 deepest = 0;
+    bool sp_known = true;
+    for (const cfg::BasicBlock& block : fn.blocks) {
+      if (!reached(block)) continue;
+      const auto probe = [&](const AbsValue& sp) {
+        if (!sp.is_stack()) {
+          sp_known = false;
+        } else {
+          deepest = std::max(deepest, -sp.lo());
+        }
+      };
+      walk_block(block, mem, sol.in[block.id],
+                 [&](u32 /*pc*/, const isa::Instr& instr,
+                     const RegState& state) {
+                   probe(state.regs[2]);
+                   if (!instr.is_load() && !instr.is_store()) return;
+                   const AbsValue addr = effective_address(instr, state);
+                   bool& unknown = instr.is_store() ? sum.writes_unknown
+                                                    : sum.reads_unknown;
+                   bool& stack = instr.is_store() ? sum.writes_stack
+                                                  : sum.reads_stack;
+                   auto& ranges =
+                       instr.is_store() ? sum.mem_writes : sum.mem_reads;
+                   if (addr.is_stack()) {
+                     stack = true;
+                   } else if (addr.has_bounds()) {
+                     add_range(ranges, addr.lo(),
+                               addr.hi() + access_size(instr.op) - 1,
+                               unknown);
+                   } else {
+                     unknown = true;
+                   }
+                 });
+      probe(sol.out[block.id].regs[2]);
+      if (block.terminator == Terminator::kCall) {
+        auto it = cfg.function_by_entry.find(block.call_target);
+        const FunctionSummary* callee =
+            it == cfg.function_by_entry.end() ? nullptr
+                                              : &ip.summaries[it->second];
+        if (callee == nullptr || callee->conservative) {
+          sum.reads_unknown = sum.writes_unknown = true;
+          sum.reads_stack = sum.writes_stack = true;
+        } else {
+          sum.reads_unknown |= callee->reads_unknown;
+          sum.writes_unknown |= callee->writes_unknown;
+          sum.reads_stack |= callee->reads_stack;
+          sum.writes_stack |= callee->writes_stack;
+          for (const MemRange& r : callee->mem_reads) {
+            add_range(sum.mem_reads, r.lo, r.hi, sum.reads_unknown);
+          }
+          for (const MemRange& r : callee->mem_writes) {
+            add_range(sum.mem_writes, r.lo, r.hi, sum.writes_unknown);
+          }
+        }
+      }
+    }
+    sum.frame_bytes = sp_known ? deepest : -1;
+
+    // Whole-chain depth: own frame, or a callee chain on top of the sp at
+    // its call site.
+    i64 total = sum.frame_bytes;
+    if (total >= 0) {
+      for (const cfg::BasicBlock& block : fn.blocks) {
+        if (!reached(block) || block.terminator != Terminator::kCall) {
+          continue;
+        }
+        auto it = cfg.function_by_entry.find(block.call_target);
+        const AbsValue& sp = sol.out[block.id].regs[2];
+        const i64 callee_total =
+            it == cfg.function_by_entry.end()
+                ? -1
+                : ip.summaries[it->second].total_bytes;
+        if (callee_total < 0 || !sp.is_stack()) {
+          total = -1;
+          break;
+        }
+        total = std::max(total, -sp.lo() + callee_total);
+      }
+    }
+    sum.total_bytes = total;
+  }
+  return ip;
+}
+
+}  // namespace s4e::dataflow

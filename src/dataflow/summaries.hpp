@@ -1,0 +1,95 @@
+// Bottom-up function summaries and the interprocedural re-solve.
+//
+// For each function, in callees-before-callers order (callgraph.hpp), the
+// register and liveness domains are re-solved with the already-computed
+// summaries of its callees applied at every call site (regstate.hpp's
+// CallEffect), and a summary is then distilled from the refined solution:
+//
+//   may_write / must_write   which registers the callee may / definitely
+//                            clobbers (complement of may_write = preserved,
+//                            so caller facts flow across the call)
+//   may_read                 registers whose incoming value the callee may
+//                            observe, transitively through its own callees
+//   ret0 / ret1              abstract a0/a1 at the callee's returns (join)
+//   sp_balanced              stack delta: sp provably restored on return
+//   mem_reads / mem_writes   absolute may-read/may-write address ranges,
+//                            with unknown/stack escape flags
+//   frame / total bytes      deepest local and whole-chain sp excursion
+//
+// Functions in a call-graph cycle and functions tainted by an unresolved
+// indirect site keep the conservative summary, which reproduces the RV32
+// ABI assumptions exactly — so the interprocedural layer only ever refines
+// the intraprocedural results, never weakens them.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+#include "dataflow/callgraph.hpp"
+#include "dataflow/framework.hpp"
+#include "dataflow/liveness.hpp"
+#include "dataflow/memmodel.hpp"
+#include "dataflow/regstate.hpp"
+
+namespace s4e::dataflow {
+
+// Inclusive address interval in the canonical (sign-extended i32) space
+// the data-flow layer uses throughout.
+struct MemRange {
+  i64 lo = 0;
+  i64 hi = 0;
+};
+
+struct FunctionSummary {
+  // True = the ABI-assumption fallback (recursive, tainted by an
+  // unresolved indirect, or never analyzed); effect() then equals the
+  // default CallEffect and the memory footprint is unknown.
+  bool conservative = true;
+
+  u32 may_write = kCallerSavedMask;
+  u32 must_write = 0;
+  u32 may_read = CallEffect::kCallReadMaskDefault;
+  AbsValue ret0 = AbsValue::top();
+  AbsValue ret1 = AbsValue::top();
+  bool sp_balanced = true;
+  bool returns = true;  // has a reachable return path
+
+  // Transitive memory footprint. `*_unknown` = some access (own or callee)
+  // had no static bound; `*_stack` = some access went through an sp-derived
+  // address (confined to the stack region when the program's static stack
+  // depth is known, see triage.cpp).
+  bool reads_unknown = true;
+  bool writes_unknown = true;
+  bool reads_stack = true;
+  bool writes_stack = true;
+  std::vector<MemRange> mem_reads;
+  std::vector<MemRange> mem_writes;
+
+  // Static stack accounting (bytes below the entry sp). -1 = unknown.
+  i64 frame_bytes = -1;
+  i64 total_bytes = -1;  // including the deepest callee chain
+
+  // Distill the per-call-site effect the solver domains consume.
+  CallEffect effect() const;
+};
+
+struct Interprocedural {
+  CallGraph graph;
+  std::vector<FunctionSummary> summaries;  // parallel to cfg.functions
+  // Per function: call-block id -> the callee's effect at that site.
+  std::vector<std::map<cfg::BlockId, CallEffect>> call_effects;
+  // Summary-refined solutions, parallel to cfg.functions.
+  std::vector<Solution<RegDomain>> reg;
+  std::vector<Solution<Liveness>> live;
+};
+
+// Run the bottom-up interprocedural pass. `baseline` supplies block
+// reachability for call-graph construction (pass-B intraprocedural
+// solutions); the refined solutions it returns are everywhere at least as
+// precise as the baseline.
+Interprocedural solve_interprocedural(
+    const cfg::ProgramCfg& cfg, u32 program_entry, const MemModel* mem,
+    const std::vector<Solution<RegDomain>>& baseline);
+
+}  // namespace s4e::dataflow

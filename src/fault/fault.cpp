@@ -297,6 +297,32 @@ Result<CampaignResult> Campaign::run() {
   S4E_TRY(profile, profile_run(result));
   faults_ = generate_faults(profile);
 
+  // Static triage: decide every fault site up front. Fault-list generation
+  // is unaffected, so the non-pruned subset is identical to a triage-off
+  // run over the same seed.
+  std::vector<dataflow::TriageDecision> decisions(faults_.size());
+  if (config_.triage != dataflow::TriageMode::kOff) {
+    dataflow::TriageOptions triage_options;
+    triage_options.stack_top = config_.machine.ram_base + config_.machine.ram_size;
+    S4E_TRY(triage, dataflow::StaticTriage::build(program_, triage_options));
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+      const FaultSpec& spec = faults_[i];
+      switch (spec.target) {
+        case FaultTarget::kGpr:
+          decisions[i] = triage.gpr_fault(spec.reg);
+          break;
+        case FaultTarget::kMemory:
+          break;  // the flipped byte lands in the hashed .data image
+        case FaultTarget::kCode:
+          decisions[i] = triage.code_fault(spec.address,
+                                           spec.kind == FaultKind::kStuckAt,
+                                           spec.bit, spec.stuck_value);
+          break;
+      }
+    }
+  }
+  const bool skip_pruned = config_.triage == dataflow::TriageMode::kOn;
+
   vp::MachineConfig mutant_config = config_.machine;
   mutant_config.max_instructions =
       vp::hang_budget(result.golden_instructions, config_.hang_budget_factor,
@@ -326,7 +352,9 @@ Result<CampaignResult> Campaign::run() {
                           Result<MutantResult> mutant) {
     if (mutant.ok()) {
       const unsigned bucket = static_cast<unsigned>(mutant->outcome);
-      if (telemetry != nullptr) {
+      // Statically decided mutants were never simulated; they count toward
+      // the outcome histogram but not the run telemetry.
+      if (telemetry != nullptr && !(skip_pruned && mutant->pruned)) {
         telemetry->record_run(worker, bucket, mutant->instructions,
                               !mutant->post_mortem.empty());
       }
@@ -337,6 +365,34 @@ Result<CampaignResult> Campaign::run() {
       progress_.record(exec::CampaignProgress::kBuckets);  // count done only
     }
   };
+  // Short-circuit for statically decided faults (triage on), and the
+  // verify-mode cross-check for faults that *would* have been pruned.
+  const auto synthesize = [&](std::size_t index) -> MutantResult {
+    MutantResult mutant;
+    mutant.spec = faults_[index];
+    mutant.outcome = Outcome::kMasked;
+    mutant.exit_code = result.golden_exit_code;
+    mutant.pruned = true;
+    mutant.prune_reason = decisions[index].reason;
+    return mutant;
+  };
+  const auto finish = [&](std::size_t index,
+                          Result<MutantResult> mutant) -> Result<MutantResult> {
+    if (!mutant.ok() || !decisions[index].pruned) return mutant;
+    mutant->pruned = true;
+    mutant->prune_reason = decisions[index].reason;
+    if (config_.triage == dataflow::TriageMode::kVerify &&
+        mutant->outcome != Outcome::kMasked) {
+      return Error(
+          ErrorCode::kAnalysisError,
+          format("triage verify mismatch: %s statically pruned as '%s' but "
+                 "dynamically %s",
+                 mutant->spec.to_string().c_str(),
+                 mutant->prune_reason.c_str(),
+                 std::string(fault::to_string(mutant->outcome)).c_str()));
+    }
+    return mutant;
+  };
   if (config_.reuse_machines) {
     // One long-lived machine per worker lane, loaded and snapshotted on the
     // lane's first mutant; every run starts from a dirty-page restore with
@@ -344,6 +400,10 @@ Result<CampaignResult> Campaign::run() {
     std::vector<std::unique_ptr<vp::WorkerVm>> vms(executor.jobs());
     executor.run_affine(faults_.size(), [&](unsigned worker,
                                             std::size_t index) {
+      if (skip_pruned && decisions[index].pruned) {
+        record(worker, index, synthesize(index));  // no VM needed
+        return;
+      }
       if (vms[worker] == nullptr) {
         auto vm = vp::WorkerVm::create(mutant_config, program_);
         if (!vm.ok()) {
@@ -353,7 +413,8 @@ Result<CampaignResult> Campaign::run() {
         vms[worker] = std::move(*vm);
       }
       record(worker, index,
-             run_mutant_on(vms[worker]->prepare(), faults_[index], result));
+             finish(index, run_mutant_on(vms[worker]->prepare(),
+                                         faults_[index], result)));
     });
     for (const auto& vm : vms) {
       if (vm != nullptr) result.snapshot_stats += vm->stats();
@@ -363,7 +424,12 @@ Result<CampaignResult> Campaign::run() {
     // a stable worker index (slot determinism is unchanged).
     executor.run_affine(faults_.size(), [&](unsigned worker,
                                             std::size_t index) {
-      record(worker, index, run_mutant(faults_[index], mutant_config, result));
+      if (skip_pruned && decisions[index].pruned) {
+        record(worker, index, synthesize(index));
+        return;
+      }
+      record(worker, index,
+             finish(index, run_mutant(faults_[index], mutant_config, result)));
     });
   }
 
@@ -372,11 +438,17 @@ Result<CampaignResult> Campaign::run() {
     if (errors[index].has_value()) return *errors[index];
     MutantResult& mutant = slots[index];
     ++result.outcome_counts[static_cast<unsigned>(mutant.outcome)];
+    result.pruned_count += mutant.pruned ? 1 : 0;
     result.simulated_instructions +=
         static_cast<double>(mutant.instructions);
     result.mutants.push_back(std::move(mutant));
   }
-  if (telemetry != nullptr) result.metrics_json = telemetry->to_json();
+  if (telemetry != nullptr) {
+    if (config_.triage != dataflow::TriageMode::kOff) {
+      telemetry->set_pruned(result.pruned_count);
+    }
+    result.metrics_json = telemetry->to_json();
+  }
   return result;
 }
 
@@ -399,6 +471,12 @@ std::string CampaignResult::to_string() const {
                 static_cast<unsigned long long>(golden_instructions));
   out += format("  mutants simulated : %zu (%.0f instructions total)\n",
                 mutants.size(), simulated_instructions);
+  if (pruned_count > 0) {
+    out += format("  statically pruned : %llu (%.1f%%)\n",
+                  static_cast<unsigned long long>(pruned_count),
+                  100.0 * static_cast<double>(pruned_count) /
+                      static_cast<double>(std::max<u64>(mutants.size(), 1)));
+  }
   const u64 total = std::max<u64>(mutants.size(), 1);
   for (unsigned i = 0; i < 4; ++i) {
     const auto outcome = static_cast<Outcome>(i);

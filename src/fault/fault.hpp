@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "coverage/coverage.hpp"
+#include "dataflow/triage.hpp"
 #include "exec/campaign_executor.hpp"
 #include "vp/machine.hpp"
 #include "vp/plugin.hpp"
@@ -84,6 +85,11 @@ struct MutantResult {
   Outcome outcome = Outcome::kMasked;
   int exit_code = 0;
   u64 instructions = 0;
+  // Static triage: true = the outcome was proven (kMasked) without running
+  // the VP; `prune_reason` is the triage class tag. In verify mode the
+  // mutant still executes and `pruned` marks what *would* have been skipped.
+  bool pruned = false;
+  std::string prune_reason;
   // Flight-recorder dump (the mutant's last executed instructions, memory
   // accesses and traps) captured for kHang/kCrash mutants when the campaign
   // runs with `post_mortem` enabled; empty otherwise.
@@ -121,6 +127,11 @@ struct CampaignConfig {
   // the last `post_mortem_events` events for every kHang/kCrash mutant.
   bool post_mortem = false;
   unsigned post_mortem_events = 16;
+  // Static campaign triage (dataflow::StaticTriage). kOn skips mutants whose
+  // outcome is statically provable (they report kMasked with zero simulated
+  // instructions); kVerify runs them anyway and errors on any mismatch
+  // between the static verdict and the dynamic outcome.
+  dataflow::TriageMode triage = dataflow::TriageMode::kOff;
   vp::MachineConfig machine;
 };
 
@@ -133,6 +144,7 @@ struct CampaignResult {
 
   std::vector<MutantResult> mutants;
   u64 outcome_counts[4] = {0, 0, 0, 0};
+  u64 pruned_count = 0;  // mutants decided statically (triage)
   double simulated_instructions = 0;  // across all mutants
   // Aggregate snapshot/restore cost over all reused worker machines (zeroed
   // when reuse_machines is off).

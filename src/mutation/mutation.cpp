@@ -183,6 +183,13 @@ double MutationScore::score(Operator op) const {
 std::string MutationScore::to_string() const {
   std::string out = "mutation analysis\n";
   out += format("  mutants        : %zu\n", results.size());
+  if (pruned_count > 0) {
+    out += format("  pruned (static): %llu (%.1f%%)\n",
+                  static_cast<unsigned long long>(pruned_count),
+                  100.0 * static_cast<double>(pruned_count) /
+                      static_cast<double>(
+                          std::max<std::size_t>(results.size(), 1)));
+  }
   out += format("  killed         : %llu (%.1f%%)\n",
                 static_cast<unsigned long long>(killed()), 100.0 * score());
   for (unsigned i = 0; i < 4; ++i) {
@@ -249,6 +256,22 @@ Result<MutationScore> MutationCampaign::run() {
     mutants.resize(config_.max_mutants);
   }
 
+  // Static triage: classify every mutant up front. Enumeration and the cap
+  // are unaffected, so the non-pruned subset matches a triage-off run.
+  std::vector<dataflow::TriageDecision> decisions(mutants.size());
+  if (config_.triage != dataflow::TriageMode::kOff) {
+    dataflow::TriageOptions triage_options;
+    triage_options.stack_top =
+        config_.machine.ram_base + config_.machine.ram_size;
+    S4E_TRY(triage, dataflow::StaticTriage::build(program_, triage_options));
+    for (std::size_t i = 0; i < mutants.size(); ++i) {
+      decisions[i] =
+          triage.mutant(mutants[i].address, mutants[i].length,
+                        mutants[i].original, mutants[i].mutated);
+    }
+  }
+  const bool skip_pruned = config_.triage == dataflow::TriageMode::kOn;
+
   vp::MachineConfig mutant_config = config_.machine;
   mutant_config.max_instructions = vp::hang_budget(
       golden.result.instructions, config_.hang_budget_factor,
@@ -278,7 +301,9 @@ Result<MutationScore> MutationCampaign::run() {
                           Result<MutantResult> result) {
     if (result.ok()) {
       const unsigned bucket = static_cast<unsigned>(result->verdict);
-      if (telemetry != nullptr) {
+      // Statically decided mutants were never run; they count toward the
+      // verdict histogram but not the run telemetry.
+      if (telemetry != nullptr && !(skip_pruned && result->pruned)) {
         telemetry->record_run(worker, bucket, result->instructions,
                               !result->post_mortem.empty());
       }
@@ -289,12 +314,44 @@ Result<MutationScore> MutationCampaign::run() {
       progress_.record(exec::CampaignProgress::kBuckets);  // count done only
     }
   };
+  // Short-circuit for statically proven-equivalent mutants (triage on), and
+  // the verify-mode cross-check for mutants that *would* have been pruned.
+  const auto synthesize = [&](std::size_t index) -> MutantResult {
+    MutantResult result;
+    result.mutant = mutants[index];
+    result.verdict = Verdict::kSurvived;
+    result.exit_code = golden.result.exit_code;
+    result.pruned = true;
+    result.prune_reason = decisions[index].reason;
+    return result;
+  };
+  const auto finish = [&](std::size_t index,
+                          Result<MutantResult> result) -> Result<MutantResult> {
+    if (!result.ok() || !decisions[index].pruned) return result;
+    result->pruned = true;
+    result->prune_reason = decisions[index].reason;
+    if (config_.triage == dataflow::TriageMode::kVerify &&
+        result->verdict != Verdict::kSurvived) {
+      return Error(
+          ErrorCode::kAnalysisError,
+          format("triage verify mismatch: mutant 0x%08x (%s) statically "
+                 "pruned as '%s' but dynamically %s",
+                 result->mutant.address, result->mutant.description.c_str(),
+                 result->prune_reason.c_str(),
+                 std::string(mutation::to_string(result->verdict)).c_str()));
+    }
+    return result;
+  };
   if (config_.reuse_machines) {
     // One long-lived machine per worker lane; each mutant starts from a
     // dirty-page restore of the loaded state instead of a fresh build.
     std::vector<std::unique_ptr<vp::WorkerVm>> vms(executor.jobs());
     executor.run_affine(mutants.size(), [&](unsigned worker,
                                             std::size_t index) {
+      if (skip_pruned && decisions[index].pruned) {
+        record(worker, index, synthesize(index));  // no VM needed
+        return;
+      }
       if (vms[worker] == nullptr) {
         auto vm = vp::WorkerVm::create(mutant_config, program_);
         if (!vm.ok()) {
@@ -304,8 +361,10 @@ Result<MutationScore> MutationCampaign::run() {
         vms[worker] = std::move(*vm);
       }
       record(worker, index,
-             run_mutant_on(vms[worker]->prepare(), mutants[index],
-                           golden.result.exit_code, golden.uart));
+             finish(index, run_mutant_on(vms[worker]->prepare(),
+                                         mutants[index],
+                                         golden.result.exit_code,
+                                         golden.uart)));
     });
     for (const auto& vm : vms) {
       if (vm != nullptr) score.snapshot_stats += vm->stats();
@@ -315,8 +374,13 @@ Result<MutationScore> MutationCampaign::run() {
     // a stable worker index (slot determinism is unchanged).
     executor.run_affine(mutants.size(), [&](unsigned worker,
                                             std::size_t index) {
-      record(worker, index, run_mutant(mutants[index], mutant_config,
-                                       golden.result.exit_code, golden.uart));
+      if (skip_pruned && decisions[index].pruned) {
+        record(worker, index, synthesize(index));
+        return;
+      }
+      record(worker, index,
+             finish(index, run_mutant(mutants[index], mutant_config,
+                                      golden.result.exit_code, golden.uart)));
     });
   }
 
@@ -324,9 +388,15 @@ Result<MutationScore> MutationCampaign::run() {
   for (std::size_t index = 0; index < slots.size(); ++index) {
     if (errors[index].has_value()) return *errors[index];
     ++score.verdict_counts[static_cast<unsigned>(slots[index].verdict)];
+    score.pruned_count += slots[index].pruned ? 1 : 0;
     score.results.push_back(std::move(slots[index]));
   }
-  if (telemetry != nullptr) score.metrics_json = telemetry->to_json();
+  if (telemetry != nullptr) {
+    if (config_.triage != dataflow::TriageMode::kOff) {
+      telemetry->set_pruned(score.pruned_count);
+    }
+    score.metrics_json = telemetry->to_json();
+  }
   return score;
 }
 

@@ -17,6 +17,7 @@
 
 #include "asm/program.hpp"
 #include "common/status.hpp"
+#include "dataflow/triage.hpp"
 #include "exec/campaign_executor.hpp"
 #include "isa/instr.hpp"
 #include "vp/machine.hpp"
@@ -54,6 +55,12 @@ struct MutantResult {
   Verdict verdict = Verdict::kSurvived;
   int exit_code = 0;
   u64 instructions = 0;  // guest instructions the mutant executed
+  // Static triage: true = the verdict was proven (kSurvived, equivalent
+  // mutant) without running the VP; `prune_reason` is the triage class. In
+  // verify mode the mutant still executes and `pruned` marks what *would*
+  // have been skipped.
+  bool pruned = false;
+  std::string prune_reason;
   // Flight-recorder dump (the mutant's last executed instructions, memory
   // accesses and traps) captured for kKilledHang/kKilledCrash mutants when
   // the campaign runs with `post_mortem` enabled; empty otherwise.
@@ -63,6 +70,7 @@ struct MutantResult {
 struct MutationScore {
   std::vector<MutantResult> results;
   u64 verdict_counts[4] = {0, 0, 0, 0};
+  u64 pruned_count = 0;  // mutants decided statically (triage)
   // Aggregate snapshot/restore cost over all reused worker machines (zeroed
   // when reuse_machines is off).
   vp::SnapshotStats snapshot_stats;
@@ -114,6 +122,11 @@ struct MutationConfig {
   // the last `post_mortem_events` events for every hang/crash kill.
   bool post_mortem = false;
   unsigned post_mortem_events = 16;
+  // Static campaign triage (dataflow::StaticTriage). kOn skips mutants the
+  // analysis proves equivalent to the original under the kill criteria
+  // (they report kSurvived with zero executed instructions); kVerify runs
+  // them anyway and errors on any static/dynamic mismatch.
+  dataflow::TriageMode triage = dataflow::TriageMode::kOff;
   vp::MachineConfig machine;
 };
 

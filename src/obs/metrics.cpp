@@ -174,16 +174,26 @@ void CampaignTelemetry::set_campaign(u64 total_mutants,
   hang_budget_ = hang_budget;
 }
 
+void CampaignTelemetry::set_pruned(u64 pruned) {
+  pruned_set_ = true;
+  pruned_ = pruned;
+}
+
 std::string CampaignTelemetry::to_json() const {
   // Campaign-level facts first, then the aggregated worker metrics merged
   // into one flat object.
   std::string metrics = registry_.to_json();
   metrics.erase(0, 1);  // drop the leading '{'
+  std::string pruned;
+  if (pruned_set_) {
+    pruned = format("\"pruned\": %llu, ",
+                    static_cast<unsigned long long>(pruned_));
+  }
   return format("{\"mutants_total\": %llu, \"golden_instructions\": %llu, "
-                "\"hang_budget\": %llu, %s",
+                "\"hang_budget\": %llu, %s%s",
                 static_cast<unsigned long long>(total_mutants_),
                 static_cast<unsigned long long>(golden_instructions_),
-                static_cast<unsigned long long>(hang_budget_),
+                static_cast<unsigned long long>(hang_budget_), pruned.c_str(),
                 metrics.c_str());
 }
 

@@ -125,6 +125,10 @@ class CampaignTelemetry {
   void set_campaign(u64 total_mutants, u64 golden_instructions,
                     u64 hang_budget);
 
+  // Statically pruned mutant count (campaign triage). Only campaigns that
+  // ran with triage call this; the JSON stays unchanged otherwise.
+  void set_pruned(u64 pruned);
+
   // One-line JSON of the aggregated campaign metrics.
   std::string to_json() const;
 
@@ -138,6 +142,8 @@ class CampaignTelemetry {
   u64 total_mutants_ = 0;
   u64 golden_instructions_ = 0;
   u64 hang_budget_ = 0;
+  bool pruned_set_ = false;
+  u64 pruned_ = 0;
 };
 
 }  // namespace s4e::obs

@@ -10,8 +10,13 @@
 #include "core/workloads.hpp"
 #include "dataflow/absvalue.hpp"
 #include "dataflow/analyze.hpp"
+#include "dataflow/callgraph.hpp"
 #include "dataflow/lint.hpp"
+#include "dataflow/summaries.hpp"
+#include "dataflow/triage.hpp"
+#include "fault/fault.hpp"
 #include "memwatch/policy_file.hpp"
+#include "mutation/mutation.hpp"
 
 #ifndef S4E_SOURCE_DIR
 #error "S4E_SOURCE_DIR must be defined by the build system"
@@ -265,7 +270,10 @@ TEST(Lint, FlagsUnbalancedStackAndReportsDepth) {
   auto report = lint_source(read_negative("unbalanced_stack.s"));
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(has_kind(*report, CheckKind::kStackImbalance));
-  EXPECT_EQ(report->max_stack_depth, 16);
+  // The callee provably returns with sp shifted, so the caller's sp — and
+  // any depth past the call — is unknown. (Balanced chains report a
+  // concrete depth; see CallGraph.ReportsDepthAcrossBalancedChain.)
+  EXPECT_EQ(report->max_stack_depth, -1);
 }
 
 TEST(Lint, FlagsOutOfPolicyUartStoreOnly) {
@@ -309,6 +317,508 @@ helper:
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->clean()) << report->to_string();
   EXPECT_EQ(report->max_stack_depth, 80);
+}
+
+TEST(Lint, FlagsDeadWriteAcrossCallBoundary) {
+  // `li t0, 7; call helper` where the callee never reads t0 and the caller
+  // overwrites it: only the refined call summary can prove the write dead.
+  auto report = lint_source(read_negative("dead_write_callee.s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_kind(*report, CheckKind::kDeadWrite));
+}
+
+TEST(Lint, CleanWhenValueFlowsIntoCallee) {
+  // Regression companion: the same shape but the callee reads the value —
+  // the old intraprocedural false positive.
+  auto report = lint_source(read_negative("dead_write_call_clean.s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->to_string();
+}
+
+TEST(Lint, FlagsUnusedResult) {
+  auto report = lint_source(read_negative("unused_result.s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_kind(*report, CheckKind::kUnusedResult));
+}
+
+TEST(Lint, FlagsRecursion) {
+  auto report = lint_source(read_negative("recursion_unbounded.s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(has_kind(*report, CheckKind::kRecursion));
+}
+
+TEST(Lint, FlagsStaticStackOverflowOnlyWithLimit) {
+  const std::string source = read_negative("stack_overflow_static.s");
+  // The check is opt-in: with no limit the 4 MiB + 4 KiB frame is legal.
+  auto unlimited = lint_source(source);
+  ASSERT_TRUE(unlimited.ok());
+  EXPECT_TRUE(unlimited->clean()) << unlimited->to_string();
+  EXPECT_EQ(unlimited->max_stack_depth, 0x401000);
+
+  LintOptions options;
+  options.stack_limit = 4 << 20;  // the VP's RAM size
+  auto limited = lint_source(source, options);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_TRUE(has_kind(*limited, CheckKind::kStackOverflow));
+}
+
+TEST(Lint, FindingToJson) {
+  auto report = lint_source(read_negative("unused_result.s"));
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->findings.empty());
+  const std::string json = report->findings[0].to_json();
+  EXPECT_NE(json.find("\"check\":\"unused-result\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"pc\":\"0x"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"function\":\"compute\""), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << json;
+}
+
+// -------------------------------------------------------------- call graph
+
+int fn_index(const Analysis& an, std::string_view name) {
+  for (std::size_t i = 0; i < an.cfg.functions.size(); ++i) {
+    if (an.cfg.functions[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int bottom_up_pos(const CallGraph& graph, int fn) {
+  for (std::size_t i = 0; i < graph.bottom_up.size(); ++i) {
+    if (graph.bottom_up[i] == static_cast<u32>(fn)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+TEST(CallGraph, DirectCallEdges) {
+  auto analysis = analyze_source(R"(
+_start:
+    call outer
+    li a7, 93
+    ecall
+outer:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    call leaf
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+leaf:
+    addi a0, zero, 1
+    ret
+  )");
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  const CallGraph& graph = analysis->graph;
+  const int start = fn_index(*analysis, "_start");
+  const int outer = fn_index(*analysis, "outer");
+  const int leaf = fn_index(*analysis, "leaf");
+  ASSERT_GE(start, 0);
+  ASSERT_GE(outer, 0);
+  ASSERT_GE(leaf, 0);
+  EXPECT_EQ(graph.callees[start], std::vector<u32>{static_cast<u32>(outer)});
+  EXPECT_EQ(graph.callees[outer], std::vector<u32>{static_cast<u32>(leaf)});
+  EXPECT_EQ(graph.callers[leaf], std::vector<u32>{static_cast<u32>(outer)});
+  for (std::size_t f = 0; f < graph.poisoned.size(); ++f) {
+    EXPECT_FALSE(graph.poisoned[f]) << analysis->cfg.functions[f].name;
+    EXPECT_FALSE(graph.recursive[f]) << analysis->cfg.functions[f].name;
+  }
+  // Tarjan order: callees before callers.
+  EXPECT_LT(bottom_up_pos(graph, leaf), bottom_up_pos(graph, outer));
+  EXPECT_LT(bottom_up_pos(graph, outer), bottom_up_pos(graph, start));
+}
+
+TEST(CallGraph, ResolvedIndirectJumpNeedsNoPoison) {
+  // A la+jr trampoline the resolver folds into plain CFG edges: nothing is
+  // poisoned, no call-graph edge is lost.
+  auto analysis = analyze_source(R"(
+    la t0, target
+    jalr zero, 0(t0)
+target:
+    li a7, 93
+    ecall
+  )");
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  EXPECT_TRUE(analysis->unresolved.empty());
+  for (std::size_t f = 0; f < analysis->graph.poisoned.size(); ++f) {
+    EXPECT_FALSE(analysis->graph.poisoned[f]);
+    EXPECT_FALSE(analysis->graph.tainted[f]);
+  }
+}
+
+TEST(CallGraph, SelfRecursionMarked) {
+  auto analysis = analyze_source(read_negative("recursion_unbounded.s"));
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  const int start = fn_index(*analysis, "_start");
+  const int countdown = fn_index(*analysis, "countdown");
+  ASSERT_GE(countdown, 0);
+  EXPECT_TRUE(analysis->graph.recursive[countdown]);
+  EXPECT_FALSE(analysis->graph.recursive[start]);
+  // No summary exists for a cycle member: the ABI fallback stays in force.
+  EXPECT_TRUE(analysis->summaries[countdown].conservative);
+}
+
+TEST(CallGraph, MutualRecursionSharesScc) {
+  auto analysis = analyze_source(R"(
+_start:
+    li a0, 4
+    call even
+    li a7, 93
+    ecall
+even:
+    beqz a0, even_yes
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    addi a0, a0, -1
+    call odd
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+even_yes:
+    li a0, 1
+    ret
+odd:
+    beqz a0, odd_no
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    addi a0, a0, -1
+    call even
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+odd_no:
+    li a0, 0
+    ret
+  )");
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  const int start = fn_index(*analysis, "_start");
+  const int even = fn_index(*analysis, "even");
+  const int odd = fn_index(*analysis, "odd");
+  ASSERT_GE(even, 0);
+  ASSERT_GE(odd, 0);
+  EXPECT_TRUE(analysis->graph.recursive[even]);
+  EXPECT_TRUE(analysis->graph.recursive[odd]);
+  EXPECT_EQ(analysis->graph.scc_id[even], analysis->graph.scc_id[odd]);
+  EXPECT_NE(analysis->graph.scc_id[start], analysis->graph.scc_id[even]);
+}
+
+TEST(CallGraph, UnresolvedJalrPoisonsCallers) {
+  auto analysis = analyze_source(R"(
+_start:
+    call wild
+    li a7, 93
+    ecall
+wild:
+    csrr t0, mcycle
+    jalr zero, 0(t0)
+  )");
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  const int start = fn_index(*analysis, "_start");
+  const int wild = fn_index(*analysis, "wild");
+  ASSERT_GE(wild, 0);
+  EXPECT_TRUE(analysis->graph.poisoned[wild]);
+  EXPECT_TRUE(analysis->graph.tainted[wild]);
+  // Poisoning is local; the taint is what propagates to callers.
+  EXPECT_FALSE(analysis->graph.poisoned[start]);
+  EXPECT_TRUE(analysis->graph.tainted[start]);
+  EXPECT_TRUE(analysis->summaries[wild].conservative);
+  EXPECT_TRUE(analysis->summaries[start].conservative);
+}
+
+TEST(CallGraph, ReportsDepthAcrossBalancedChain) {
+  // The summary proves square_plus balanced, so the whole-chain depth is
+  // concrete. (Contrast Lint.FlagsUnbalancedStackAndReportsDepth, where an
+  // unbalanced callee makes the post-call sp — and the depth — unknown.)
+  auto workload = core::find_workload("callchain");
+  ASSERT_TRUE(workload.ok());
+  auto report = lint_source(workload->source);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->to_string();
+  EXPECT_EQ(report->max_stack_depth, 16);
+}
+
+// --------------------------------------------------------------- summaries
+
+TEST(Summaries, ConstantReturnAndPreservedRegisters) {
+  auto analysis = analyze_source(R"(
+_start:
+    call answer
+    mv s0, a0
+    add a0, s0, s0
+    li a7, 93
+    ecall
+answer:
+    li a0, 21
+    ret
+  )");
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  const int answer = fn_index(*analysis, "answer");
+  ASSERT_GE(answer, 0);
+  const FunctionSummary& sum = analysis->summaries[answer];
+  EXPECT_FALSE(sum.conservative);
+  EXPECT_TRUE(sum.returns);
+  EXPECT_TRUE(sum.sp_balanced);
+  EXPECT_NE(sum.must_write & reg_bit(10), 0u);  // a0 written on every path
+  EXPECT_TRUE(sum.ret0.is_const());
+  EXPECT_EQ(sum.ret0.const_value(), 21);
+  const CallEffect effect = sum.effect();
+  EXPECT_TRUE(effect.refined);
+  EXPECT_EQ(effect.clobbered & reg_bit(8), 0u);  // s0 survives the call
+}
+
+TEST(Summaries, CalleePreservationProvesBranchInfeasible) {
+  // s1 holds 5 across the call (the summary shows `answer` never touches
+  // it), so the `bne` is statically not taken and the div is dead — an
+  // interprocedural-only conclusion.
+  auto analysis = analyze_source(R"(
+_start:
+    li s1, 5
+    call answer
+    li t0, 5
+    bne s1, t0, bad
+    li a0, 0
+    li a7, 93
+    ecall
+bad:
+    div t1, t2, t0
+    li a7, 93
+    ecall
+answer:
+    li a0, 21
+    ret
+  )");
+  ASSERT_TRUE(analysis.ok()) << analysis.error().to_string();
+  const auto ops = reachable_ops(*analysis);
+  EXPECT_FALSE(ops[static_cast<unsigned>(isa::Op::kDiv)]);
+}
+
+// ------------------------------------------------------------------ triage
+
+Result<StaticTriage> triage_source(std::string_view source) {
+  auto program = assembler::assemble(source);
+  EXPECT_TRUE(program.ok())
+      << (program.ok() ? "" : program.error().to_string());
+  return StaticTriage::build(*program);
+}
+
+// All addresses below assume the 4-byte encodings the assembler emits,
+// starting at the 0x80000000 load base.
+constexpr char kTriageProgram[] = R"(
+_start:
+    li t0, 7
+    addi t1, t0, 0
+    beq t0, zero, skip
+    addi t2, zero, 5
+skip:
+    mv a0, t1
+    li a7, 93
+    ecall
+)";
+
+TEST(Triage, PrunesDeadRegisterFaultOnly) {
+  auto triage = triage_source(kTriageProgram);
+  ASSERT_TRUE(triage.ok()) << triage.error().to_string();
+  // t2 (x7) is written but never read: any value it holds is unobservable.
+  const auto dead = triage->gpr_fault(7);
+  EXPECT_TRUE(dead.pruned);
+  EXPECT_STREQ(dead.reason, "dead-register");
+  // t0 (x5) feeds the exit value; x0 faults model hardware the triage
+  // cannot reason about.
+  EXPECT_FALSE(triage->gpr_fault(5).pruned);
+  EXPECT_FALSE(triage->gpr_fault(0).pruned);
+}
+
+TEST(Triage, PrunesValueEquivalentMutant) {
+  auto program = assembler::assemble(kTriageProgram);
+  ASSERT_TRUE(program.ok());
+  // `addi t1, t0, 0` vs `andi t1, t0, -1`: t0 is the constant 7 at the
+  // only occurrence, so both write the same 7 into t1.
+  auto variant = assembler::assemble(R"(
+_start:
+    li t0, 7
+    andi t1, t0, -1
+    beq t0, zero, skip
+    addi t2, zero, 5
+skip:
+    mv a0, t1
+    li a7, 93
+    ecall
+)");
+  ASSERT_TRUE(variant.ok());
+  auto original = program->read_word(0x80000004);
+  auto mutated = variant->read_word(0x80000004);
+  ASSERT_TRUE(original.ok() && mutated.ok());
+  ASSERT_NE(*original, *mutated);
+  auto triage = StaticTriage::build(*program);
+  ASSERT_TRUE(triage.ok()) << triage.error().to_string();
+  const auto decision = triage->mutant(0x80000004, 4, *original, *mutated);
+  EXPECT_TRUE(decision.pruned);
+  EXPECT_STREQ(decision.reason, "value-equivalent");
+}
+
+TEST(Triage, PrunesBranchEquivalentMutant) {
+  auto program = assembler::assemble(kTriageProgram);
+  ASSERT_TRUE(program.ok());
+  // `beq t0, zero` vs `blt t0, zero` with t0 = 7: both provably fall
+  // through.
+  auto variant = assembler::assemble(R"(
+_start:
+    li t0, 7
+    addi t1, t0, 0
+    blt t0, zero, skip
+    addi t2, zero, 5
+skip:
+    mv a0, t1
+    li a7, 93
+    ecall
+)");
+  ASSERT_TRUE(variant.ok());
+  auto original = program->read_word(0x80000008);
+  auto mutated = variant->read_word(0x80000008);
+  ASSERT_TRUE(original.ok() && mutated.ok());
+  auto triage = StaticTriage::build(*program);
+  ASSERT_TRUE(triage.ok()) << triage.error().to_string();
+  const auto decision = triage->mutant(0x80000008, 4, *original, *mutated);
+  EXPECT_TRUE(decision.pruned);
+  EXPECT_STREQ(decision.reason, "branch-equivalent");
+}
+
+TEST(Triage, PrunesDeadWriteMutantButNotLiveOne) {
+  auto program = assembler::assemble(kTriageProgram);
+  ASSERT_TRUE(program.ok());
+  auto triage = StaticTriage::build(*program);
+  ASSERT_TRUE(triage.ok()) << triage.error().to_string();
+  // `addi t2, zero, 5` -> `addi t2, zero, 7`: different values, but t2 is
+  // dead after the write.
+  auto dead_site = program->read_word(0x8000000c);
+  ASSERT_TRUE(dead_site.ok());
+  const auto dead = triage->mutant(0x8000000c, 4, *dead_site,
+                                   *dead_site ^ (1u << 21));
+  EXPECT_TRUE(dead.pruned);
+  EXPECT_STREQ(dead.reason, "dead-write");
+  // `addi t1, t0, 0` -> `addi t1, t0, 1`: t1 is the exit value, and 8 != 7.
+  auto live_site = program->read_word(0x80000004);
+  ASSERT_TRUE(live_site.ok());
+  EXPECT_FALSE(
+      triage->mutant(0x80000004, 4, *live_site, *live_site | (1u << 20))
+          .pruned);
+}
+
+TEST(Triage, PrunesUnreachableCodeAndStuckAtNop) {
+  constexpr char kDeadArm[] = R"(
+_start:
+    li a0, 0
+    j exit
+dead:
+    addi a0, a0, 1
+exit:
+    li a7, 93
+    ecall
+)";
+  auto program = assembler::assemble(kDeadArm);
+  ASSERT_TRUE(program.ok());
+  auto triage = StaticTriage::build(*program);
+  ASSERT_TRUE(triage.ok()) << triage.error().to_string();
+
+  // The `dead:` instruction at +8 is never reached and never read as data.
+  const auto flip = triage->code_fault(0x80000008, /*stuck_at=*/false,
+                                       /*bit=*/3, /*stuck_value=*/false);
+  EXPECT_TRUE(flip.pruned);
+  EXPECT_STREQ(flip.reason, "unreachable-code");
+  auto dead_word = program->read_word(0x80000008);
+  ASSERT_TRUE(dead_word.ok());
+  EXPECT_TRUE(
+      triage->mutant(0x80000008, 4, *dead_word, *dead_word ^ (1u << 20))
+          .pruned);
+
+  // A stuck-at whose forced value matches the image bit is the identity.
+  auto first = program->read_word(0x80000000);
+  ASSERT_TRUE(first.ok());
+  const bool bit2 = ((*first >> 2) & 1u) != 0;
+  const auto identity =
+      triage->code_fault(0x80000000, /*stuck_at=*/true, /*bit=*/2, bit2);
+  EXPECT_TRUE(identity.pruned);
+  EXPECT_STREQ(identity.reason, "stuck-at-nop");
+  EXPECT_FALSE(
+      triage->code_fault(0x80000000, /*stuck_at=*/true, /*bit=*/2, !bit2)
+          .pruned);
+}
+
+TEST(Triage, ParsesModeFlagValues) {
+  EXPECT_EQ(parse_triage_mode(""), TriageMode::kOn);
+  EXPECT_EQ(parse_triage_mode("on"), TriageMode::kOn);
+  EXPECT_EQ(parse_triage_mode("off"), TriageMode::kOff);
+  EXPECT_EQ(parse_triage_mode("verify"), TriageMode::kVerify);
+  EXPECT_EQ(parse_triage_mode("bogus"), std::nullopt);
+}
+
+TEST(Triage, FaultCampaignOnMatchesOffForUnpruned) {
+  auto workload = core::find_workload("callchain");
+  ASSERT_TRUE(workload.ok());
+  auto program = assembler::assemble(workload->source);
+  ASSERT_TRUE(program.ok());
+  fault::CampaignConfig config;
+  config.seed = 11;
+  config.mutant_count = 80;
+  config.jobs = 1;
+  fault::Campaign off_campaign(*program, config);
+  auto off = off_campaign.run();
+  config.triage = TriageMode::kOn;
+  fault::Campaign on_campaign(*program, config);
+  auto on = on_campaign.run();
+  ASSERT_TRUE(off.ok() && on.ok());
+
+  // Triage never changes the fault list, and every non-pruned slot is
+  // bit-identical to the untriaged campaign.
+  EXPECT_GT(on->pruned_count, 0u);
+  ASSERT_EQ(off->mutants.size(), on->mutants.size());
+  for (std::size_t i = 0; i < off->mutants.size(); ++i) {
+    const auto& base = off->mutants[i];
+    const auto& triaged = on->mutants[i];
+    ASSERT_EQ(base.spec.to_string(), triaged.spec.to_string());
+    if (triaged.pruned) {
+      EXPECT_EQ(triaged.outcome, fault::Outcome::kMasked)
+          << triaged.prune_reason;
+    } else {
+      EXPECT_EQ(base.outcome, triaged.outcome) << base.spec.to_string();
+      EXPECT_EQ(base.exit_code, triaged.exit_code);
+      EXPECT_EQ(base.instructions, triaged.instructions);
+    }
+  }
+}
+
+TEST(Triage, FaultVerifyPassesOnStandardWorkloads) {
+  // The soundness gate: execute every pruned fault anyway and fail on any
+  // static/dynamic disagreement.
+  for (const core::Workload& workload : core::standard_workloads()) {
+    auto program = assembler::assemble(workload.source);
+    ASSERT_TRUE(program.ok()) << workload.name;
+    fault::CampaignConfig config;
+    config.seed = 3;
+    config.mutant_count = 60;
+    config.triage = TriageMode::kVerify;
+    fault::Campaign campaign(*program, config);
+    auto result = campaign.run();
+    EXPECT_TRUE(result.ok())
+        << workload.name << ": "
+        << (result.ok() ? "" : result.error().to_string());
+  }
+}
+
+TEST(Triage, MutationVerifyPassesOnStandardWorkloads) {
+  for (const core::Workload& workload : core::standard_workloads()) {
+    auto program = assembler::assemble(workload.source);
+    ASSERT_TRUE(program.ok()) << workload.name;
+    mutation::MutationConfig config;
+    config.max_mutants = 60;
+    config.triage = TriageMode::kVerify;
+    mutation::MutationCampaign campaign(*program, config);
+    auto score = campaign.run();
+    EXPECT_TRUE(score.ok())
+        << workload.name << ": "
+        << (score.ok() ? "" : score.error().to_string());
+  }
 }
 
 // ------------------------------------------------------------- policy file

@@ -2,8 +2,8 @@
 //
 //   s4e-faultsim file.elf [--mutants N] [--seed S] [--jobs N] [--blind]
 //                [--no-gpr] [--no-mem] [--no-code] [--list] [--progress]
-//                [--reuse-machine[=off]] [--snapshot-stats]
-//                [--metrics-out FILE] [--post-mortem]
+//                [--reuse-machine[=off]] [--triage[=off|verify]]
+//                [--snapshot-stats] [--metrics-out FILE] [--post-mortem]
 //                [--post-mortem-dir DIR]
 //
 // Observability flags never change the stdout report: metrics go to FILE,
@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "bench/bench_report.hpp"
+#include "dataflow/triage.hpp"
 #include "elf/elf32.hpp"
 #include "fault/fault.hpp"
 #include "tools/tool_util.hpp"
@@ -24,14 +25,15 @@ int main(int argc, char** argv) {
       "usage: s4e-faultsim <file.elf> [--mutants N] [--seed S] "
       "[--jobs N] [--blind] [--no-gpr] [--no-mem] [--no-code] "
       "[--list] [--progress] [--reuse-machine[=off]] "
+      "[--triage[=off|verify]] "
       "[--snapshot-stats] [--metrics-out FILE] [--post-mortem] "
       "[--post-mortem-dir DIR]\n";
   tools::Args args(argc, argv,
                    {"--mutants", "--seed", "--jobs", "--metrics-out",
                     "--post-mortem-dir"},
                    {"--blind", "--no-gpr", "--no-mem", "--no-code", "--list",
-                    "--progress", "--reuse-machine", "--snapshot-stats",
-                    "--post-mortem"});
+                    "--progress", "--reuse-machine", "--triage",
+                    "--snapshot-stats", "--post-mortem"});
   if (const int code = tools::standard_flags(args, "s4e-faultsim", kUsage);
       code >= 0) {
     return code;
@@ -67,6 +69,18 @@ int main(int argc, char** argv) {
   // Per-worker machine reuse is the default; --reuse-machine is accepted
   // for symmetry and --reuse-machine=off forces a fresh VP per mutant.
   config.reuse_machines = args.value("--reuse-machine") != "off";
+  // Static triage: --triage prunes statically-decided faults, =verify runs
+  // them anyway and errors on any static/dynamic mismatch.
+  if (args.has("--triage")) {
+    const auto mode = dataflow::parse_triage_mode(args.value("--triage"));
+    if (!mode) {
+      std::fprintf(stderr,
+                   "s4e-faultsim: --triage expects on|off|verify (got %s)\n",
+                   args.value("--triage").c_str());
+      return 2;
+    }
+    config.triage = *mode;
+  }
   config.collect_metrics = args.has("--metrics-out");
   config.post_mortem =
       args.has("--post-mortem") || args.has("--post-mortem-dir");

@@ -6,7 +6,15 @@
 // and static stack depth, memory-policy violations and unresolved indirect
 // jumps. Accepts an ELF or a .s source (assembled in-process).
 //
-//   s4e-lint <prog.elf|prog.s> [--policy file.policy] [--quiet]
+//   s4e-lint <prog.elf|prog.s> [--policy file.policy] [--stack-limit BYTES]
+//            [--json] [--quiet]
+//
+// --json prints one finding per line as a JSON object (machine-readable;
+// the human report is the default and is unchanged). --stack-limit flags a
+// statically-proven stack depth above BYTES (default: the VP's RAM size —
+// sp starts at the top of RAM, so a deeper stack is guaranteed to
+// overflow); programs whose depth cannot be bounded are not flagged by
+// this check (but recursion is flagged on its own).
 //
 // Exit status: 0 = clean, 1 = findings reported, 2 = usage/analysis error.
 #include <cstdio>
@@ -16,12 +24,15 @@
 #include "elf/elf32.hpp"
 #include "memwatch/policy_file.hpp"
 #include "tools/tool_util.hpp"
+#include "vp/machine.hpp"
 
 int main(int argc, char** argv) {
   using namespace s4e;
   static constexpr char kUsage[] =
-      "usage: s4e-lint <prog.elf|prog.s> [--policy file.policy] [--quiet]\n";
-  tools::Args args(argc, argv, {"--policy"}, {"--quiet"});
+      "usage: s4e-lint <prog.elf|prog.s> [--policy file.policy] "
+      "[--stack-limit BYTES] [--json] [--quiet]\n";
+  tools::Args args(argc, argv, {"--policy", "--stack-limit"},
+                   {"--json", "--quiet"});
   if (const int code = tools::standard_flags(args, "s4e-lint", kUsage);
       code >= 0) {
     return code;
@@ -62,13 +73,28 @@ int main(int argc, char** argv) {
     policy = std::move(*parsed);
     options.policy = &policy;
   }
+  options.stack_limit = static_cast<i64>(vp::MachineConfig{}.ram_size);
+  if (args.has("--stack-limit")) {
+    const auto limit = parse_integer(args.value("--stack-limit"));
+    if (!limit || *limit < 0) {
+      std::fprintf(stderr,
+                   "s4e-lint: --stack-limit expects a byte count (got %s)\n",
+                   args.value("--stack-limit").c_str());
+      return 2;
+    }
+    options.stack_limit = *limit;
+  }
 
   auto report = dataflow::lint_program(*program, options);
   if (!report.ok()) {
     std::fprintf(stderr, "s4e-lint: %s\n", report.error().to_string().c_str());
     return 2;
   }
-  if (!args.has("--quiet")) {
+  if (args.has("--json")) {
+    for (const auto& finding : report->findings) {
+      std::printf("%s\n", finding.to_json().c_str());
+    }
+  } else if (!args.has("--quiet")) {
     std::printf("%s", report->to_string().c_str());
   }
   return report->clean() ? 0 : 1;

@@ -1,8 +1,9 @@
 // s4e-mutate — binary mutation analysis of an ELF (the XEMU flow).
 //
 //   s4e-mutate file.elf [--max N] [--jobs N] [--all-sites] [--survivors]
-//              [--progress] [--reuse-machine[=off]] [--snapshot-stats]
-//              [--metrics-out FILE] [--post-mortem] [--post-mortem-dir DIR]
+//              [--progress] [--reuse-machine[=off]] [--triage[=off|verify]]
+//              [--snapshot-stats] [--metrics-out FILE] [--post-mortem]
+//              [--post-mortem-dir DIR]
 //
 // Observability flags never change the stdout report: metrics go to FILE,
 // post-mortems go to stderr (or one file per mutant under DIR).
@@ -12,6 +13,7 @@
 #include <thread>
 
 #include "bench/bench_report.hpp"
+#include "dataflow/triage.hpp"
 #include "elf/elf32.hpp"
 #include "mutation/mutation.hpp"
 #include "tools/tool_util.hpp"
@@ -21,13 +23,14 @@ int main(int argc, char** argv) {
   static constexpr char kUsage[] =
       "usage: s4e-mutate <file.elf> [--max N] [--jobs N] "
       "[--all-sites] [--survivors] [--progress] "
-      "[--reuse-machine[=off]] [--snapshot-stats] "
+      "[--reuse-machine[=off]] [--triage[=off|verify]] [--snapshot-stats] "
       "[--metrics-out FILE] [--post-mortem] "
       "[--post-mortem-dir DIR]\n";
   tools::Args args(argc, argv,
                    {"--max", "--jobs", "--metrics-out", "--post-mortem-dir"},
                    {"--all-sites", "--survivors", "--progress",
-                    "--reuse-machine", "--snapshot-stats", "--post-mortem"});
+                    "--reuse-machine", "--triage", "--snapshot-stats",
+                    "--post-mortem"});
   if (const int code = tools::standard_flags(args, "s4e-mutate", kUsage);
       code >= 0) {
     return code;
@@ -58,6 +61,18 @@ int main(int argc, char** argv) {
   // Per-worker machine reuse is the default; --reuse-machine is accepted
   // for symmetry and --reuse-machine=off forces a fresh VP per mutant.
   config.reuse_machines = args.value("--reuse-machine") != "off";
+  // Static triage: --triage prunes statically-proven-equivalent mutants,
+  // =verify runs them anyway and errors on any static/dynamic mismatch.
+  if (args.has("--triage")) {
+    const auto mode = dataflow::parse_triage_mode(args.value("--triage"));
+    if (!mode) {
+      std::fprintf(stderr,
+                   "s4e-mutate: --triage expects on|off|verify (got %s)\n",
+                   args.value("--triage").c_str());
+      return 2;
+    }
+    config.triage = *mode;
+  }
   config.collect_metrics = args.has("--metrics-out");
   config.post_mortem =
       args.has("--post-mortem") || args.has("--post-mortem-dir");

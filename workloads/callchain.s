@@ -1,0 +1,31 @@
+# balanced two-level call chain with a spilled frame
+# expected exit code: 40
+
+_start:
+    li a0, 5
+    call square_plus
+    mv s0, a0
+    li a0, 3
+    call square_plus
+    add a0, a0, s0
+    li a7, 93
+    ecall
+
+# square_plus(x) = x*x + bias(x); spills ra and x across the inner call.
+square_plus:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    sw a0, 8(sp)
+    call bias
+    lw t0, 8(sp)
+    mul t0, t0, t0
+    add a0, a0, t0
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+# bias(x) = (x & 3) + 1: a leaf with no frame.
+bias:
+    andi a0, a0, 3
+    addi a0, a0, 1
+    ret

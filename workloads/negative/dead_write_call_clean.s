@@ -1,0 +1,16 @@
+# regression companion to dead_write_callee.s — must stay CLEAN.
+# a0 is written before the call and the callee reads it: the refined call
+# summary keeps a0 live across the call site, so the write is not dead.
+# This pins the interprocedural dead-write check against the old
+# intraprocedural false-positive (a value handed into a callee flagged as
+# never read).
+
+_start:
+    li a0, 7           # live: handed into helper, which reads a0
+    call helper
+    li a7, 93
+    ecall
+
+helper:
+    addi a0, a0, 2
+    ret

@@ -1,0 +1,18 @@
+# seeded defect: t0 is written before a call, but the callee clobbers it
+# (caller-saved, never read) and the caller overwrites it afterwards — the
+# write is dead across the call boundary. Interprocedural summaries prove
+# the callee reads only a0, so s4e-lint must report a dead-write finding.
+# (The companion dead_write_call_clean.s passes the value *into* the callee
+# and must stay clean.)
+
+_start:
+    li t0, 7           # dead: helper never reads t0, and it is
+    call helper        # overwritten below before any use
+    li t0, 1
+    add a0, a0, t0
+    li a7, 93
+    ecall
+
+helper:
+    addi a0, a0, 2
+    ret

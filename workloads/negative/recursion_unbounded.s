@@ -1,0 +1,21 @@
+# seeded defect: `countdown` calls itself, so its stack use has no static
+# bound. s4e-lint must report a recursion finding (the dynamic run is fine
+# — depth 5 — but no static stack bound exists).
+
+_start:
+    li a0, 5
+    call countdown
+    li a0, 0
+    li a7, 93
+    ecall
+
+countdown:
+    beqz a0, done
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    addi a0, a0, -1
+    call countdown
+    lw ra, 12(sp)
+    addi sp, sp, 16
+done:
+    ret

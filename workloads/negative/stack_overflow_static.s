@@ -1,0 +1,17 @@
+# seeded defect: `bigframe` dips sp by 4 MiB + 4 KiB — deeper than the
+# VP's entire RAM (sp starts at the top of RAM). The frame is balanced and
+# the program never touches the over-deep region, so it runs clean; only
+# the static stack-depth bound catches it. s4e-lint (whose default
+# --stack-limit is the RAM size) must report a stack-overflow finding.
+
+_start:
+    call bigframe
+    li a0, 0
+    li a7, 93
+    ecall
+
+bigframe:
+    lui t0, 0x401      # 0x401000-byte frame: deeper than 4 MiB of RAM
+    sub sp, sp, t0
+    add sp, sp, t0
+    ret

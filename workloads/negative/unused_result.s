@@ -1,0 +1,14 @@
+# seeded defect: `compute` returns a result in a0, but every reachable call
+# site discards it (a0 is overwritten before any read). s4e-lint must
+# report an unused-result finding for `compute`.
+
+_start:
+    li a0, 21
+    call compute
+    li a0, 0           # result discarded at the only call site
+    li a7, 93
+    ecall
+
+compute:
+    slli a0, a0, 1
+    ret
