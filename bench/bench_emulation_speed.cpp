@@ -90,6 +90,16 @@ vp::MachineConfig interp_config() {
   return config;
 }
 
+// Two-hart SMP: both harts execute the hot kernel under the round-robin
+// slice scheduler (the kernel never reads mhartid, so each hart runs the
+// full loop; the first exit ecall stops the machine). Measures the
+// scheduler + hart-staging overhead on top of BM_TbCached.
+vp::MachineConfig smp2_config() {
+  vp::MachineConfig config;
+  config.num_harts = 2;
+  return config;
+}
+
 void BM_TbCached(benchmark::State& state) {
   run_emulation(state, cached_config());
 }
@@ -98,6 +108,9 @@ void BM_TbCachedNoChain(benchmark::State& state) {
 }
 void BM_PureInterpreter(benchmark::State& state) {
   run_emulation(state, interp_config());
+}
+void BM_TbCachedSmp2(benchmark::State& state) {
+  run_emulation(state, smp2_config());
 }
 
 // Debug subsystem linked but idle: a DebugTarget exists and break/watchpoints
@@ -128,6 +141,7 @@ BENCHMARK(BM_TbCached)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TbCachedNoChain)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TbCachedDebugIdle)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PureInterpreter)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TbCachedSmp2)->Unit(benchmark::kMillisecond);
 
 // Per-workload cached emulation speed (smaller binaries, branchier code).
 void BM_Workload(benchmark::State& state, const std::string& name) {
@@ -198,11 +212,12 @@ int main(int argc, char** argv) {
     const double cached = time_run(cached_config());
     const double nochain = time_run(nochain_config());
     const double uncached = time_run(interp_config());
+    const double smp2 = time_run(smp2_config());
     std::printf("\n[E1] cached %.1f MIPS (%.1f unchained), "
                 "pure-interpreter %.1f MIPS, speedup %.2fx "
-                "(chaining alone %.2fx)\n",
+                "(chaining alone %.2fx), 2-hart SMP %.1f MIPS\n",
                 cached, nochain, uncached, cached / uncached,
-                cached / nochain);
+                cached / nochain, smp2);
     const bool merged = bench::merge_bench_entry(
         "BENCH_emulation.json", "emulation_speed",
         "{\"kernel\": \"hot_loop\", "
@@ -210,7 +225,8 @@ int main(int argc, char** argv) {
         ", \"nochain_mips\": " + bench::json_number(nochain) +
         ", \"interp_mips\": " + bench::json_number(uncached) +
         ", \"cached_vs_interp\": " + bench::json_number(cached / uncached) +
-        ", \"chain_speedup\": " + bench::json_number(cached / nochain) + "}");
+        ", \"chain_speedup\": " + bench::json_number(cached / nochain) +
+        ", \"smp2_mips\": " + bench::json_number(smp2) + "}");
     S4E_CHECK(merged);
     std::printf("  (recorded in BENCH_emulation.json)\n");
   }

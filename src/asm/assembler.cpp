@@ -487,6 +487,25 @@ Result<Instr> parse_statement(const Statement& st, u32 pc,
   Instr instr;
   switch (info.format) {
     case Format::kR: {
+      if (info.op_class == isa::OpClass::kAmo) {
+        // A-extension syntax: `lr.w rd, (rs1)`; `amoadd.w rd, rs2, (rs1)`.
+        // The address register is parenthesized and takes no offset.
+        const bool is_lr = *op == Op::kLrW;
+        S4E_TRY_STATUS(need(is_lr ? 2 : 3));
+        S4E_TRY(rd, parse_reg_operand(ops[0]));
+        unsigned rs2 = 0;
+        if (!is_lr) {
+          S4E_TRY(reg, parse_reg_operand(ops[1]));
+          rs2 = reg;
+        }
+        S4E_TRY(mem, parse_mem_operand(ops[is_lr ? 1 : 2]));
+        if (!mem.offset_expr.empty() && mem.offset_expr != "0") {
+          return Error(ErrorCode::kParseError,
+                       "'" + st.mnemonic + "' takes no address offset");
+        }
+        instr = isa::make_r(*op, rd, mem.base, rs2);
+        break;
+      }
       S4E_TRY_STATUS(need(3));
       S4E_TRY(rd, parse_reg_operand(ops[0]));
       S4E_TRY(rs1, parse_reg_operand(ops[1]));

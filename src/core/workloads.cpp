@@ -545,6 +545,128 @@ bias:
     ret
 )";
 
+// --- SMP spinlock: every hart takes a test-and-set lock (amoswap.w) 64
+// times and adds 1 to a shared counter under it. Hart 0 then checks the
+// counter reached at least its own contribution and exits 0; the other
+// harts park in a wfi loop. Runs unchanged on any hart count (on a
+// single-hart machine only the hart-0 path executes).
+constexpr const char* kSmpSpinlock = R"(
+_start:
+    csrr t0, mhartid
+    la s0, lock
+    la s2, counter
+    li s1, 64
+    bnez t0, worker
+    call add_loop
+    lw t4, 0(s2)
+    li t5, 64
+    blt t4, t5, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+
+worker:
+    call add_loop
+park:
+    wfi
+    j park
+
+# add_loop: s1 rounds of lock / counter += 1 / unlock. The lock is a
+# test-and-set word: amoswap.w 1 acquires when the old value was 0, and
+# an amoswap.w of 0 releases.
+add_loop:
+acquire:
+    li t1, 1
+    amoswap.w t2, t1, (s0)
+    bnez t2, acquire
+    lw t3, 0(s2)
+    addi t3, t3, 1
+    sw t3, 0(s2)
+    amoswap.w zero, zero, (s0)
+    addi s1, s1, -1
+    bnez s1, add_loop
+    ret
+.data
+lock:
+    .word 0
+counter:
+    .word 0
+)";
+
+// --- SMP message passing: a shared ticket counter bumped with an lr.w/sc.w
+// retry loop hands every hart unique slots in a shared log; each hart writes
+// its marker (mhartid + 1) into its slots. Hart 0 takes 16 tickets,
+// remembers its slot indexes, and verifies afterwards that no other hart
+// overwrote them (tickets are unique, so a clobber means broken atomics).
+// Exit 0 on success for any hart count.
+constexpr const char* kSmpMsgpass = R"(
+_start:
+    csrr s0, mhartid
+    addi s6, s0, 1
+    li s1, 16
+    la s2, ticket
+    la s3, log
+    la s4, mine
+    bnez s0, sec_loop
+h0_loop:
+    call take_ticket
+    sw t0, 0(s4)
+    addi s4, s4, 4
+    addi s1, s1, -1
+    bnez s1, h0_loop
+    la s4, mine
+    li s1, 16
+verify:
+    lw t0, 0(s4)
+    slli t0, t0, 2
+    add t0, t0, s3
+    lw t1, 0(t0)
+    bne t1, s6, fail
+    addi s4, s4, 4
+    addi s1, s1, -1
+    bnez s1, verify
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+
+sec_loop:
+    call take_ticket
+    addi s1, s1, -1
+    bnez s1, sec_loop
+park:
+    wfi
+    j park
+
+# take_ticket: fetch-and-increment `ticket` with an lr/sc retry loop (the
+# sc fails when another hart's store broke the reservation), then write the
+# caller's marker into log[ticket]. Returns the ticket in t0.
+take_ticket:
+    lr.w t0, (s2)
+    addi t1, t0, 1
+    sc.w t2, t1, (s2)
+    bnez t2, take_ticket
+    andi t3, t0, 127
+    slli t3, t3, 2
+    add t3, t3, s3
+    sw s6, 0(t3)
+    ret
+.data
+ticket:
+    .word 0
+log:
+    .space 512
+mine:
+    .space 64
+)";
+
 }  // namespace
 
 const std::vector<Workload>& standard_workloads() {
@@ -574,6 +696,10 @@ const std::vector<Workload>& standard_workloads() {
        kJumptab, 25, true},
       {"callchain", "balanced two-level call chain with a spilled frame",
        kCallchain, 40, true},
+      {"smp_spinlock", "amoswap spinlock guarding a shared counter (SMP)",
+       kSmpSpinlock, 0, false},
+      {"smp_msgpass", "lr/sc ticket counter with per-hart log slots (SMP)",
+       kSmpMsgpass, 0, false},
   };
   return workloads;
 }

@@ -40,7 +40,7 @@ void collect_stores(const cfg::ProgramCfg& cfg,
       walk_block(block, &mem, in,
                  [&](u32 /*pc*/, const isa::Instr& instr,
                      const RegState& state) {
-                   if (!instr.is_store()) return;
+                   if (!instr.writes_memory()) return;
                    mem.record_store(effective_address(instr, state),
                                     access_size(instr.op));
                  });

@@ -287,7 +287,7 @@ struct Linter {
                                  const cfg::BasicBlock& block) {
       walk_block(block, &an.mem, an.functions[f].reg.in[block.id],
                  [&](u32 pc, const Instr& instr, const RegState& state) {
-                   if (!instr.is_load() && !instr.is_store()) return;
+                   if (!instr.reads_memory() && !instr.writes_memory()) return;
                    const auto bounds =
                        raw_bounds(effective_address(instr, state));
                    if (!bounds) return;  // imprecise: never flag
@@ -300,7 +300,7 @@ struct Linter {
 
   void screen_access(const cfg::Function& fn, u32 pc, const Instr& instr,
                      u64 lo, u64 hi, const memwatch::Policy& policy) {
-    const bool is_store = instr.is_store();
+    const bool is_store = instr.writes_memory();
     bool matched_any = false;
     for (const memwatch::Region& region : policy.regions) {
       const u64 rbase = region.base;

@@ -246,6 +246,20 @@ void RegDomain::apply(const Instr& instr, u32 pc, const MemModel* mem,
     case Op::kCsrrwi:
     case Op::kCsrrsi:
     case Op::kCsrrci:
+    // Atomics: rd receives the loaded value (or the SC success flag) —
+    // unknown to the static domain, and the memory effect is modelled as
+    // a clobber by the surrounding MemModel invalidation.
+    case Op::kLrW:
+    case Op::kScW:
+    case Op::kAmoswapW:
+    case Op::kAmoaddW:
+    case Op::kAmoxorW:
+    case Op::kAmoorW:
+    case Op::kAmoandW:
+    case Op::kAmominW:
+    case Op::kAmomaxW:
+    case Op::kAmominuW:
+    case Op::kAmomaxuW:
       set(instr.rd, AbsValue::top());
       break;
     case Op::kSb:

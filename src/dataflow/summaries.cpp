@@ -233,23 +233,25 @@ Interprocedural solve_interprocedural(
                  [&](u32 /*pc*/, const isa::Instr& instr,
                      const RegState& state) {
                    probe(state.regs[2]);
-                   if (!instr.is_load() && !instr.is_store()) return;
+                   if (!instr.reads_memory() && !instr.writes_memory()) return;
                    const AbsValue addr = effective_address(instr, state);
-                   bool& unknown = instr.is_store() ? sum.writes_unknown
-                                                    : sum.reads_unknown;
-                   bool& stack = instr.is_store() ? sum.writes_stack
-                                                  : sum.reads_stack;
-                   auto& ranges =
-                       instr.is_store() ? sum.mem_writes : sum.mem_reads;
-                   if (addr.is_stack()) {
-                     stack = true;
-                   } else if (addr.has_bounds()) {
-                     add_range(ranges, addr.lo(),
-                               addr.hi() + access_size(instr.op) - 1,
-                               unknown);
-                   } else {
-                     unknown = true;
-                   }
+                   const auto record = [&](bool write) {
+                     bool& unknown =
+                         write ? sum.writes_unknown : sum.reads_unknown;
+                     bool& stack = write ? sum.writes_stack : sum.reads_stack;
+                     auto& ranges = write ? sum.mem_writes : sum.mem_reads;
+                     if (addr.is_stack()) {
+                       stack = true;
+                     } else if (addr.has_bounds()) {
+                       add_range(ranges, addr.lo(),
+                                 addr.hi() + access_size(instr.op) - 1,
+                                 unknown);
+                     } else {
+                       unknown = true;
+                     }
+                   };
+                   if (instr.reads_memory()) record(false);
+                   if (instr.writes_memory()) record(true);
                  });
       probe(sol.out[block.id].regs[2]);
       if (block.terminator == Terminator::kCall) {

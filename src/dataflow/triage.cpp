@@ -102,24 +102,27 @@ Result<StaticTriage> StaticTriage::build(const assembler::Program& program,
             t.ever_read_ |= isa::def_use(instr).reads;
             t.occurrences_[pc].push_back(
                 {static_cast<u32>(f), block.id, index++});
-            if (!instr.is_load() && !instr.is_store()) return;
+            if (!instr.reads_memory() && !instr.writes_memory()) return;
             const AbsValue addr = effective_address(instr, state);
             const i64 size = access_size(instr.op);
-            bool& unknown =
-                instr.is_store() ? t.writes_unknown_ : t.reads_unknown_;
-            auto& ranges =
-                instr.is_store() ? t.write_ranges_ : t.read_ranges_;
-            bool& any_stack =
-                instr.is_store() ? any_stack_write : any_stack_read;
-            if (addr.is_stack()) {
-              any_stack = true;
-              stack_lo = std::min(stack_lo, addr.lo());
-              stack_hi = std::max(stack_hi, addr.hi() + size - 1);
-            } else if (addr.has_bounds()) {
-              ranges.push_back({addr.lo(), addr.hi() + size - 1});
-            } else {
-              unknown = true;
-            }
+            // Atomics record on both sides: an AMO first reads the word it
+            // then overwrites, so a fault there is observable AND clobbered.
+            const auto record = [&](bool write) {
+              bool& unknown = write ? t.writes_unknown_ : t.reads_unknown_;
+              auto& ranges = write ? t.write_ranges_ : t.read_ranges_;
+              bool& any_stack = write ? any_stack_write : any_stack_read;
+              if (addr.is_stack()) {
+                any_stack = true;
+                stack_lo = std::min(stack_lo, addr.lo());
+                stack_hi = std::max(stack_hi, addr.hi() + size - 1);
+              } else if (addr.has_bounds()) {
+                ranges.push_back({addr.lo(), addr.hi() + size - 1});
+              } else {
+                unknown = true;
+              }
+            };
+            if (instr.reads_memory()) record(false);
+            if (instr.writes_memory()) record(true);
           });
       if (block.terminator == Terminator::kExit) {
         t.ever_read_ |= kExitLiveMask;

@@ -55,22 +55,32 @@ bool RspServer::send_packet(std::string_view payload) {
 }
 
 std::string RspServer::stop_reply() const {
+  // Multi-hart sessions annotate every stop with the hart it happened on
+  // (thread id = hart + 1) and use T replies throughout so the annotation
+  // has somewhere to go; single-hart replies stay byte-identical to the
+  // original stub.
+  const bool multi = target_.machine().num_harts() > 1;
+  const std::string thread =
+      multi ? format("thread:%x;", last_stop_.hart + 1) : std::string();
   switch (last_stop_.reason) {
     case vp::StopReason::kDebugBreak:
-      return format("T%02xswbreak:;", kSigTrap);
+      return format("T%02xswbreak:;", kSigTrap) + thread;
     case vp::StopReason::kDebugWatch: {
       const char* kind = "watch";
       if (last_stop_.watch_kind == vp::WatchKind::kRead) kind = "rwatch";
       if (last_stop_.watch_kind == vp::WatchKind::kAccess) kind = "awatch";
       // The address is big-endian hex in stop replies (a plain number).
       return format("T%02x%s:%s;", kSigTrap, kind,
-                    hex32(last_stop_.debug_addr).c_str());
+                    hex32(last_stop_.debug_addr).c_str()) +
+             thread;
     }
     case vp::StopReason::kDebugStep:
     case vp::StopReason::kDebugSlice:
-      return format("S%02x", kSigTrap);
+      return multi ? format("T%02x", kSigTrap) + thread
+                   : format("S%02x", kSigTrap);
     case vp::StopReason::kDebugInterrupt:
-      return format("S%02x", kSigInt);
+      return multi ? format("T%02x", kSigInt) + thread
+                   : format("S%02x", kSigInt);
     default:
       break;
   }
@@ -79,13 +89,28 @@ std::string RspServer::stop_reply() const {
   }
   // Traps and other abnormal stops: report as SIGTRAP so the debugger can
   // inspect the halted machine instead of losing the session.
-  return format("S%02x", kSigTrap);
+  return multi ? format("T%02x", kSigTrap) + thread : format("S%02x", kSigTrap);
 }
 
 std::string RspServer::handle_query(std::string_view payload) {
+  const bool multi = target_.num_harts() > 1;
   if (starts_with(payload, "qSupported")) return std::string(kSupported);
   if (payload == "qAttached") return "1";
-  if (payload == "qC") return "";  // no thread ids: empty → all-threads
+  if (payload == "qC") {
+    // Current thread: the Hg-selected hart. Single-hart sessions keep the
+    // legacy "no thread ids" empty reply.
+    return multi ? format("QC%x", g_hart_ + 1) : "";
+  }
+  if (payload == "qfThreadInfo") {
+    if (!multi) return "";
+    std::string reply = "m";
+    for (unsigned h = 0; h < target_.num_harts(); ++h) {
+      if (h != 0) reply += ',';
+      reply += format("%x", h + 1);
+    }
+    return reply;
+  }
+  if (payload == "qsThreadInfo") return multi ? "l" : "";
   if (starts_with(payload, "qXfer:features:read:target.xml:")) {
     std::string_view range = payload.substr(payload.rfind(':') + 1);
     u32 offset = 0;
@@ -136,15 +161,15 @@ bool RspServer::handle_packet(std::string_view payload, ServeResult& done,
     case '?':
       return send_packet(stop_reply());
     case 'g':
-      return send_packet(target_.read_registers());
+      return send_packet(target_.read_registers(g_hart_));
     case 'G':
-      return send_packet(target_.write_registers(payload.substr(1)) ? "OK"
-                                                                    : "E01");
+      return send_packet(
+          target_.write_registers(g_hart_, payload.substr(1)) ? "OK" : "E01");
     case 'p': {
       const auto regnum = parse_hex(payload.substr(1));
       if (!regnum) return send_packet("E01");
       const std::string value =
-          target_.read_register(static_cast<unsigned>(*regnum));
+          target_.read_register(g_hart_, static_cast<unsigned>(*regnum));
       return send_packet(value.empty() ? "E01" : value);
     }
     case 'P': {
@@ -154,7 +179,8 @@ bool RspServer::handle_packet(std::string_view payload, ServeResult& done,
       const auto value = parse_hex32_le(payload.substr(eq + 1));
       if (!regnum || !value) return send_packet("E01");
       return send_packet(
-          target_.write_register(static_cast<unsigned>(*regnum), *value)
+          target_.write_register(g_hart_, static_cast<unsigned>(*regnum),
+                                 *value)
               ? "OK"
               : "E01");
     }
@@ -221,10 +247,31 @@ bool RspServer::handle_packet(std::string_view payload, ServeResult& done,
       done = ServeResult::kKilled;
       ended = true;
       return true;
-    case 'H':
-      return send_packet("OK");  // thread ops: single thread, accept all
-    case 'T':
-      return send_packet("OK");  // thread alive
+    case 'H': {
+      // H<op><tid>: select the thread for subsequent operations. tid 0 and
+      // -1 mean "any/all" (fall back to the active hart); a positive tid
+      // names one hart (tid = hart + 1). `Hc` selection is accepted but
+      // resume always runs the whole machine (all-stop semantics).
+      if (payload.size() < 2) return send_packet("E01");
+      const std::string_view tid_text = payload.substr(2);
+      if (tid_text.empty() || tid_text == "0" || tid_text == "-1") {
+        if (payload[1] == 'g') g_hart_ = target_.active_hart();
+        return send_packet("OK");
+      }
+      const auto tid = parse_hex(tid_text);
+      if (!tid || *tid == 0 || *tid > target_.num_harts()) {
+        return send_packet("E01");
+      }
+      if (payload[1] == 'g') g_hart_ = static_cast<unsigned>(*tid) - 1;
+      return send_packet("OK");
+    }
+    case 'T': {
+      // Thread alive: every hart id stays valid for the machine's lifetime.
+      if (target_.num_harts() == 1) return send_packet("OK");  // legacy stub
+      const auto tid = parse_hex(payload.substr(1));
+      const bool alive = tid && *tid >= 1 && *tid <= target_.num_harts();
+      return send_packet(alive ? "OK" : "E01");
+    }
     case 'q':
       return send_packet(handle_query(payload));
     case 'Q':

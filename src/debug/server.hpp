@@ -76,6 +76,12 @@ class RspServer {
   }
   bool no_ack_mode_ = false;
   bool program_exited_ = false;
+  // Hg-selected hart for register operations (thread id = hart + 1). The
+  // multi-thread protocol surface (thread-info queries, `thread:` stop-reply
+  // annotations, per-thread T/H semantics) engages only when the machine has
+  // more than one hart; single-hart sessions stay byte-identical to the
+  // original single-threaded stub.
+  unsigned g_hart_ = 0;
 };
 
 }  // namespace s4e::debug

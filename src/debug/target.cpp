@@ -15,17 +15,18 @@ std::string_view target_xml() {
          "</target>\n";
 }
 
-std::string DebugTarget::read_registers() const {
+std::string DebugTarget::read_registers(unsigned hart) const {
+  const vp::CpuState& cpu = machine_.cpu(hart);
   std::string out;
   out.reserve(kRegCount * 8);
   for (unsigned i = 0; i < 32; ++i) {
-    out += hex32_le(machine_.cpu().gpr[i]);
+    out += hex32_le(cpu.gpr[i]);
   }
-  out += hex32_le(machine_.cpu().pc);
+  out += hex32_le(cpu.pc);
   return out;
 }
 
-bool DebugTarget::write_registers(std::string_view hex) {
+bool DebugTarget::write_registers(unsigned hart, std::string_view hex) {
   if (hex.size() < kRegCount * 8) return false;
   u32 values[kRegCount];
   for (unsigned i = 0; i < kRegCount; ++i) {
@@ -33,25 +34,28 @@ bool DebugTarget::write_registers(std::string_view hex) {
     if (!value) return false;
     values[i] = *value;
   }
-  for (unsigned i = 1; i < 32; ++i) machine_.cpu().write_gpr(i, values[i]);
-  machine_.cpu().pc = values[kPcRegnum];
+  vp::CpuState& cpu = machine_.cpu(hart);
+  for (unsigned i = 1; i < 32; ++i) cpu.write_gpr(i, values[i]);
+  cpu.pc = values[kPcRegnum];
   return true;
 }
 
-std::string DebugTarget::read_register(unsigned regnum) const {
-  if (regnum < 32) return hex32_le(machine_.cpu().gpr[regnum]);
-  if (regnum == kPcRegnum) return hex32_le(machine_.cpu().pc);
+std::string DebugTarget::read_register(unsigned hart, unsigned regnum) const {
+  const vp::CpuState& cpu = machine_.cpu(hart);
+  if (regnum < 32) return hex32_le(cpu.gpr[regnum]);
+  if (regnum == kPcRegnum) return hex32_le(cpu.pc);
   return {};
 }
 
-bool DebugTarget::write_register(unsigned regnum, u32 value) {
+bool DebugTarget::write_register(unsigned hart, unsigned regnum, u32 value) {
   if (regnum == 0) return true;  // x0 is hardwired; accept and ignore
+  vp::CpuState& cpu = machine_.cpu(hart);
   if (regnum < 32) {
-    machine_.cpu().write_gpr(regnum, value);
+    cpu.write_gpr(regnum, value);
     return true;
   }
   if (regnum == kPcRegnum) {
-    machine_.cpu().pc = value;
+    cpu.pc = value;
     return true;
   }
   return false;

@@ -27,15 +27,31 @@ class DebugTarget {
 
   vp::Machine& machine() noexcept { return machine_; }
 
-  // --- Registers (little-endian hex wire format).
+  // SMP view for the stub's thread model (thread id = hart index + 1).
+  unsigned num_harts() const noexcept { return machine_.num_harts(); }
+  unsigned active_hart() const noexcept { return machine_.active_hart(); }
+
+  // --- Registers (little-endian hex wire format). The no-arg forms operate
+  // on the active hart; the hart-index forms are the stub's Hg-selected
+  // thread (identical for a single-hart machine).
 
   // All 33 registers concatenated (the `g` reply).
-  std::string read_registers() const;
+  std::string read_registers() const { return read_registers(active_hart()); }
+  std::string read_registers(unsigned hart) const;
   // Write from a `G` payload; fails on short/malformed input.
-  bool write_registers(std::string_view hex);
+  bool write_registers(std::string_view hex) {
+    return write_registers(active_hart(), hex);
+  }
+  bool write_registers(unsigned hart, std::string_view hex);
   // Single register, or empty on a bad regnum (`p`).
-  std::string read_register(unsigned regnum) const;
-  bool write_register(unsigned regnum, u32 value);
+  std::string read_register(unsigned regnum) const {
+    return read_register(active_hart(), regnum);
+  }
+  std::string read_register(unsigned hart, unsigned regnum) const;
+  bool write_register(unsigned regnum, u32 value) {
+    return write_register(active_hart(), regnum, value);
+  }
+  bool write_register(unsigned hart, unsigned regnum, u32 value);
 
   // --- Memory. RAM-backed only: a debugger peek must not trigger MMIO
   // side effects, so device windows read as errors rather than as loads.

@@ -15,7 +15,10 @@ std::string FaultSpec::to_string() const {
       kind == FaultKind::kTransient ? "transient" : "stuck-at";
   switch (target) {
     case FaultTarget::kGpr:
-      return format("%s gpr x%u bit %u%s trigger=%llu", kind_name, reg, bit,
+      // hart is printed only when non-zero so single-hart fault lists stay
+      // byte-identical to pre-SMP output.
+      return format("%s gpr%s x%u bit %u%s trigger=%llu", kind_name,
+                    hart != 0 ? format("@hart%u", hart).c_str() : "", reg, bit,
                     kind == FaultKind::kStuckAt ? (stuck_value ? "=1" : "=0")
                                                 : "",
                     static_cast<unsigned long long>(trigger));
@@ -48,8 +51,9 @@ std::string_view to_string(Outcome outcome) noexcept {
 void FaultInjectorPlugin::apply_flip() {
   switch (spec_.target) {
     case FaultTarget::kGpr: {
-      const u32 value = s4e_read_gpr(vm(), spec_.reg);
-      s4e_write_gpr(vm(), spec_.reg, flip_bit(value, spec_.bit));
+      const u32 value = s4e_read_gpr_hart(vm(), spec_.hart, spec_.reg);
+      s4e_write_gpr_hart(vm(), spec_.hart, spec_.reg,
+                         flip_bit(value, spec_.bit));
       break;
     }
     case FaultTarget::kMemory: {
@@ -76,11 +80,11 @@ void FaultInjectorPlugin::apply_flip() {
 void FaultInjectorPlugin::apply_stuck() {
   switch (spec_.target) {
     case FaultTarget::kGpr: {
-      const u32 value = s4e_read_gpr(vm(), spec_.reg);
+      const u32 value = s4e_read_gpr_hart(vm(), spec_.hart, spec_.reg);
       const u32 forced = spec_.stuck_value ? (value | (u32{1} << spec_.bit))
                                            : (value & ~(u32{1} << spec_.bit));
       if (forced != value) {
-        s4e_write_gpr(vm(), spec_.reg, forced);
+        s4e_write_gpr_hart(vm(), spec_.hart, spec_.reg, forced);
         ++applications_;
       }
       break;
@@ -224,6 +228,11 @@ std::vector<FaultSpec> Campaign::generate_faults(const Profile& profile) {
       case FaultTarget::kGpr:
         spec.reg = registers[rng.next_below(static_cast<u32>(registers.size()))];
         spec.bit = static_cast<u8>(rng.next_below(32));
+        // The hart draw happens only on SMP machines so single-hart fault
+        // lists consume the exact RNG sequence of pre-SMP builds.
+        if (config_.machine.num_harts > 1) {
+          spec.hart = rng.next_below(config_.machine.num_harts);
+        }
         break;
       case FaultTarget::kMemory:
         spec.address = memory[rng.next_below(static_cast<u32>(memory.size()))];
@@ -300,6 +309,12 @@ Result<CampaignResult> Campaign::run() {
   // Static triage: decide every fault site up front. Fault-list generation
   // is unaffected, so the non-pruned subset is identical to a triage-off
   // run over the same seed.
+  // Static triage reasons about a single sequential instruction stream; on
+  // an SMP machine a register another hart never reads can still change the
+  // interleaving-visible state, so triage is conservatively disabled.
+  if (config_.machine.num_harts > 1) {
+    config_.triage = dataflow::TriageMode::kOff;
+  }
   std::vector<dataflow::TriageDecision> decisions(faults_.size());
   if (config_.triage != dataflow::TriageMode::kOff) {
     dataflow::TriageOptions triage_options;

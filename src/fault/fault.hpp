@@ -36,6 +36,8 @@ struct FaultSpec {
   u8 bit = 0;            // bit index (kGpr/kCode: 0..31, kMemory: 0..7)
   bool stuck_value = false;  // kStuckAt: forced bit value
   u64 trigger = 0;       // kTransient: icount at which the flip fires
+  unsigned hart = 0;     // kGpr on SMP machines: hart whose register file
+                         // takes the fault (always 0 on single-hart runs)
 
   std::string to_string() const;
 };

@@ -22,6 +22,16 @@ std::string disassemble(const Instr& instr) {
   const std::string m(info.mnemonic);
   switch (info.format) {
     case Format::kR:
+      // A-extension syntax addresses through rs1: `lr.w rd, (rs1)`,
+      // `amoadd.w rd, rs2, (rs1)`.
+      if (instr.op == Op::kLrW) {
+        return format("%s %s, (%s)", m.c_str(), reg(instr.rd).c_str(),
+                      reg(instr.rs1).c_str());
+      }
+      if (info.op_class == OpClass::kAmo) {
+        return format("%s %s, %s, (%s)", m.c_str(), reg(instr.rd).c_str(),
+                      reg(instr.rs2).c_str(), reg(instr.rs1).c_str());
+      }
       return format("%s %s, %s, %s", m.c_str(), reg(instr.rd).c_str(),
                     reg(instr.rs1).c_str(), reg(instr.rs2).c_str());
     case Format::kI:

@@ -56,7 +56,10 @@ Result<u32> encode(const Instr& instr) {
       S4E_TRY_STATUS(check_reg(instr.rs2, "rs2"));
       word = insert_bits(word, 7, 5, instr.rd);
       word = insert_bits(word, 15, 5, instr.rs1);
-      word = insert_bits(word, 20, 5, instr.rs2);
+      // Skip the rs2 field when the pattern fixes it (lr.w encodes rs2=0).
+      if ((info.mask & (0x1fu << 20)) == 0) {
+        word = insert_bits(word, 20, 5, instr.rs2);
+      }
       break;
     }
     case Format::kI: {

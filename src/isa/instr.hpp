@@ -31,6 +31,14 @@ struct Instr {
   }
   bool is_load() const noexcept { return info().op_class == OpClass::kLoad; }
   bool is_store() const noexcept { return info().op_class == OpClass::kStore; }
+  bool is_amo() const noexcept { return info().op_class == OpClass::kAmo; }
+  // Memory-effect view for the static analyses: every atomic reads its
+  // target word; all but LR.W may also write it (SC.W conservatively so —
+  // the static side cannot know whether the reservation holds).
+  bool reads_memory() const noexcept { return is_load() || is_amo(); }
+  bool writes_memory() const noexcept {
+    return is_store() || (is_amo() && op != Op::kLrW);
+  }
 
   bool operator==(const Instr&) const = default;
 };

@@ -11,6 +11,11 @@ constexpr u32 kMaskR = 0xfe00707f;       // funct7 | funct3 | opcode
 constexpr u32 kMaskI = 0x0000707f;       // funct3 | opcode
 constexpr u32 kMaskU = 0x0000007f;       // opcode only
 constexpr u32 kMaskFull = 0xffffffff;    // fully fixed (ecall/ebreak/...)
+// A-extension patterns leave the aq/rl ordering bits (26:25) free; LR.W
+// additionally has rs2 fixed to zero, so its mask is tighter and the
+// decoder's most-specific-first ordering resolves it before the AMO rows.
+constexpr u32 kMaskAmo = 0xf800707f;     // funct5 | funct3 | opcode
+constexpr u32 kMaskLr = 0xf9f0707f;      // funct5 | rs2=0 | funct3 | opcode
 
 constexpr OpInfo kTable[] = {
     // op, mnemonic, format, class, module, match, mask, rs1, rs2, rd
@@ -70,6 +75,17 @@ constexpr OpInfo kTable[] = {
     {Op::kCsrrci, "csrrci", Format::kCsrImm, OpClass::kCsr, IsaModule::kZicsr, 0x00007073, kMaskI, false, false, true},
     {Op::kMret, "mret", Format::kNone, OpClass::kSystem, IsaModule::kPriv, 0x30200073, kMaskFull, false, false, false},
     {Op::kWfi, "wfi", Format::kNone, OpClass::kSystem, IsaModule::kPriv, 0x10500073, kMaskFull, false, false, false},
+    {Op::kLrW, "lr.w", Format::kR, OpClass::kAmo, IsaModule::kA, 0x1000202f, kMaskLr, true, false, true},
+    {Op::kScW, "sc.w", Format::kR, OpClass::kAmo, IsaModule::kA, 0x1800202f, kMaskAmo, true, true, true},
+    {Op::kAmoswapW, "amoswap.w", Format::kR, OpClass::kAmo, IsaModule::kA, 0x0800202f, kMaskAmo, true, true, true},
+    {Op::kAmoaddW, "amoadd.w", Format::kR, OpClass::kAmo, IsaModule::kA, 0x0000202f, kMaskAmo, true, true, true},
+    {Op::kAmoxorW, "amoxor.w", Format::kR, OpClass::kAmo, IsaModule::kA, 0x2000202f, kMaskAmo, true, true, true},
+    {Op::kAmoorW, "amoor.w", Format::kR, OpClass::kAmo, IsaModule::kA, 0x4000202f, kMaskAmo, true, true, true},
+    {Op::kAmoandW, "amoand.w", Format::kR, OpClass::kAmo, IsaModule::kA, 0x6000202f, kMaskAmo, true, true, true},
+    {Op::kAmominW, "amomin.w", Format::kR, OpClass::kAmo, IsaModule::kA, 0x8000202f, kMaskAmo, true, true, true},
+    {Op::kAmomaxW, "amomax.w", Format::kR, OpClass::kAmo, IsaModule::kA, 0xa000202f, kMaskAmo, true, true, true},
+    {Op::kAmominuW, "amominu.w", Format::kR, OpClass::kAmo, IsaModule::kA, 0xc000202f, kMaskAmo, true, true, true},
+    {Op::kAmomaxuW, "amomaxu.w", Format::kR, OpClass::kAmo, IsaModule::kA, 0xe000202f, kMaskAmo, true, true, true},
 };
 
 static_assert(sizeof(kTable) / sizeof(kTable[0]) == kOpCount,
@@ -103,6 +119,7 @@ std::string_view op_class_name(OpClass c) noexcept {
     case OpClass::kCsr: return "csr";
     case OpClass::kSystem: return "system";
     case OpClass::kFence: return "fence";
+    case OpClass::kAmo: return "amo";
     case OpClass::kCount: break;
   }
   return "?";
@@ -112,6 +129,7 @@ std::string_view isa_module_name(IsaModule m) noexcept {
   switch (m) {
     case IsaModule::kI: return "RV32I";
     case IsaModule::kM: return "RV32M";
+    case IsaModule::kA: return "RV32A";
     case IsaModule::kZicsr: return "Zicsr";
     case IsaModule::kPriv: return "priv";
     case IsaModule::kCount: break;

@@ -32,6 +32,10 @@ enum class Op : u8 {
   kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
   // Privileged
   kMret, kWfi,
+  // RV32A (Zalrsc + Zaamo)
+  kLrW, kScW,
+  kAmoswapW, kAmoaddW, kAmoxorW, kAmoorW, kAmoandW,
+  kAmominW, kAmomaxW, kAmominuW, kAmomaxuW,
   kCount,
 };
 
@@ -65,6 +69,7 @@ enum class OpClass : u8 {
   kCsr,
   kSystem,   // ecall/ebreak/mret/wfi
   kFence,
+  kAmo,      // lr/sc and read-modify-write atomics
   kCount,
 };
 
@@ -72,7 +77,7 @@ inline constexpr unsigned kOpClassCount = static_cast<unsigned>(OpClass::kCount)
 
 // Which ISA module (extension) an instruction belongs to; the coverage
 // report breaks results down per module, as in the MBMV'21 metric.
-enum class IsaModule : u8 { kI, kM, kZicsr, kPriv, kCount };
+enum class IsaModule : u8 { kI, kM, kA, kZicsr, kPriv, kCount };
 
 // Static description of one instruction type.
 struct OpInfo {

@@ -16,6 +16,7 @@ namespace s4e::obs {
 // Handles for the engine metric set; returned by register_engine_metrics()
 // and consumed by record_engine_metrics().
 struct EngineMetricIds {
+  MetricId harts;  // hart count of each recorded machine (sums over lanes)
   MetricId chain_patches;
   MetricId chain_follows;
   MetricId chain_severs;
@@ -31,6 +32,7 @@ struct EngineMetricIds {
 
 inline EngineMetricIds register_engine_metrics(MetricsRegistry& registry) {
   EngineMetricIds ids;
+  ids.harts = registry.add_counter("engine.harts");
   ids.chain_patches = registry.add_counter("engine.chain_patches");
   ids.chain_follows = registry.add_counter("engine.chain_follows");
   ids.chain_severs = registry.add_counter("engine.chain_severs");
@@ -51,8 +53,22 @@ inline EngineMetricIds register_engine_metrics(MetricsRegistry& registry) {
 inline void record_engine_metrics(MetricsRegistry::Shard& shard,
                                   const EngineMetricIds& ids,
                                   const vp::Machine& machine) {
-  const vp::EngineStats& stats = machine.engine_stats();
+  // Engine counters are banked per hart on an SMP machine; fold every bank
+  // so the totals cover the whole machine (one bank on single-hart, where
+  // this loop reduces to the old single-read).
+  vp::EngineStats stats;
+  for (unsigned hart = 0; hart < machine.num_harts(); ++hart) {
+    const vp::EngineStats& bank = machine.engine_stats(hart);
+    stats.chain_patches += bank.chain_patches;
+    stats.chain_follows += bank.chain_follows;
+    stats.jump_cache_hits += bank.jump_cache_hits;
+    stats.jump_cache_misses += bank.jump_cache_misses;
+    stats.superblocks_formed += bank.superblocks_formed;
+    stats.blocks_fast += bank.blocks_fast;
+    stats.blocks_careful += bank.blocks_careful;
+  }
   const vp::TbCache& cache = machine.tb_cache();
+  shard.add(ids.harts, machine.num_harts());
   shard.add(ids.chain_patches, stats.chain_patches);
   shard.add(ids.chain_follows, stats.chain_follows);
   shard.add(ids.chain_severs, cache.chain_severs());

@@ -70,6 +70,28 @@ std::vector<GeneratedProgram> architectural_suite() {
     std::string body;
     switch (info.format) {
       case Format::kR: {
+        if (info.op_class == OpClass::kAmo) {
+          // Atomics need a real RAM target; each test is self-checking
+          // against the known initial memory word.
+          body += "    la a1, buf\n    li a2, 5\n    li a4, 13\n";
+          body += "    sw a4, 0(a1)\n";
+          if (op == Op::kLrW) {
+            body += "    lr.w a3, (a1)\n";
+            body += "    bne a3, a4, fail\n";
+          } else if (op == Op::kScW) {
+            body += "    lr.w a3, (a1)\n";
+            body += "    sc.w a3, a2, (a1)\n";
+            body += "    bnez a3, fail\n";  // paired SC must succeed
+          } else {
+            body += format("    %s a3, a2, (a1)\n", m.c_str());
+            body += "    bne a3, a4, fail\n";  // rd = old memory value
+          }
+          body += kExit0;
+          body += "fail:\n";
+          body += kExit1;
+          body += ".data\nbuf:\n    .word 0\n";
+          break;
+        }
         if (const Golden* golden = golden_for(op)) {
           body += format("    li a1, %lld\n    li a2, %lld\n",
                          static_cast<long long>(golden->a),

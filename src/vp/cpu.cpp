@@ -10,8 +10,8 @@ Result<u32> CsrFile::read(u16 address, const CounterView& counters) const {
   switch (address) {
     case kCsrMstatus: return mstatus;
     case kCsrMisa:
-      // RV32 (MXL=1) with I and M: bits 8 ('I') and 12 ('M').
-      return (1u << 30) | (1u << 8) | (1u << 12);
+      // RV32 (MXL=1) with A, I and M: bits 0 ('A'), 8 ('I') and 12 ('M').
+      return (1u << 30) | (1u << 0) | (1u << 8) | (1u << 12);
     case kCsrMie: return mie;
     case kCsrMtvec: return mtvec;
     case kCsrMscratch: return mscratch;
@@ -32,7 +32,7 @@ Result<u32> CsrFile::read(u16 address, const CounterView& counters) const {
     case kCsrMvendorid: return 0;
     case kCsrMarchid: return 0x53344539;  // "S4E9"
     case kCsrMimpid: return 1;
-    case kCsrMhartid: return 0;
+    case kCsrMhartid: return counters.hartid;
     default:
       return Error(ErrorCode::kNotFound,
                    format("CSR 0x%03x not implemented", address));
@@ -52,7 +52,7 @@ Status CsrFile::write(u16 address, u32 value) {
     case kCsrMisa:
       return Status();  // WARL: ignore
     case kCsrMie:
-      mie = value & kMieMtie;
+      mie = value & (kMieMtie | kMieMsie);
       return Status();
     case kCsrMtvec:
       mtvec = value & ~u32{2};  // mode bit 1 reserved

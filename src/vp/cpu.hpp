@@ -18,15 +18,20 @@ inline constexpr u32 kMstatusMpp = 3u << 11;  // always M (11) here
 // mie/mip bits.
 inline constexpr u32 kMipMtip = 1u << 7;
 inline constexpr u32 kMieMtie = 1u << 7;
+inline constexpr u32 kMipMsip = 1u << 3;
+inline constexpr u32 kMieMsie = 1u << 3;
 
 // mcause values.
 inline constexpr u32 kCauseIllegalInstruction = 2;
 inline constexpr u32 kCauseBreakpoint = 3;
+inline constexpr u32 kCauseLoadMisaligned = 4;
 inline constexpr u32 kCauseLoadFault = 5;
+inline constexpr u32 kCauseStoreMisaligned = 6;
 inline constexpr u32 kCauseStoreFault = 7;
 inline constexpr u32 kCauseEcallM = 11;
 inline constexpr u32 kCauseInterrupt = 0x8000'0000u;
 inline constexpr u32 kCauseMachineTimer = kCauseInterrupt | 7;
+inline constexpr u32 kCauseMachineSoftware = kCauseInterrupt | 3;
 
 // Machine-mode CSR file. Counter CSRs (cycle/instret/time) are not stored
 // here — the machine supplies them at read time from its own counters.
@@ -36,6 +41,7 @@ class CsrFile {
     u64 cycles = 0;
     u64 instret = 0;
     u64 time = 0;
+    u32 hartid = 0;  // mhartid of the hart doing the read
   };
 
   // Read with WARL/read-only semantics. Unknown addresses fail (the CPU
@@ -66,6 +72,18 @@ struct CpuState {
     index &= 31;
     if (index != 0) gpr[index] = value;
   }
+};
+
+// One hardware thread: the architectural CPU state plus the LR/SC
+// reservation. The machine owns a vector of these; the *active* hart's
+// CpuState is staged into the machine's hot `cpu_` member while it runs
+// (so the single-hart fast path is untouched), but reservations live here
+// permanently — remote stores must be able to clear any hart's reservation
+// without a swap.
+struct Hart {
+  CpuState cpu;
+  bool res_valid = false;  // LR/SC reservation armed
+  u32 res_addr = 0;        // reserved word address (4-byte aligned)
 };
 
 }  // namespace s4e::vp

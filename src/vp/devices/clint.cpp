@@ -8,9 +8,17 @@ Result<u32> Clint::read(u32 offset, unsigned size) {
   if (size != 4) {
     return Error(ErrorCode::kInvalidArgument, "clint: only 32-bit access");
   }
+  if (offset >= kMsipBase && offset < kMsipBase + 4 * kMaxHarts &&
+      (offset & 3) == 0) {
+    return msip_[(offset - kMsipBase) / 4];
+  }
+  if (offset >= kMtimecmpBase && offset < kMtimecmpBase + 8 * kMaxHarts &&
+      (offset & 3) == 0) {
+    const u64 cmp = mtimecmp_[(offset - kMtimecmpBase) / 8];
+    return (offset & 4) == 0 ? static_cast<u32>(cmp)
+                             : static_cast<u32>(cmp >> 32);
+  }
   switch (offset) {
-    case kMtimecmpLo: return static_cast<u32>(mtimecmp_);
-    case kMtimecmpHi: return static_cast<u32>(mtimecmp_ >> 32);
     case kMtimeLo: return static_cast<u32>(mtime_);
     case kMtimeHi: return static_cast<u32>(mtime_ >> 32);
     default:
@@ -23,17 +31,23 @@ Status Clint::write(u32 offset, unsigned size, u32 value) {
   if (size != 4) {
     return Error(ErrorCode::kInvalidArgument, "clint: only 32-bit access");
   }
-  switch (offset) {
-    case kMtimecmpLo:
-      mtimecmp_ = (mtimecmp_ & 0xffff'ffff'0000'0000ULL) | value;
-      return Status();
-    case kMtimecmpHi:
-      mtimecmp_ = (mtimecmp_ & 0xffff'ffffULL) | (static_cast<u64>(value) << 32);
-      return Status();
-    default:
-      return Error(ErrorCode::kOutOfRange,
-                   format("clint: write to bad offset 0x%x", offset));
+  if (offset >= kMsipBase && offset < kMsipBase + 4 * kMaxHarts &&
+      (offset & 3) == 0) {
+    msip_[(offset - kMsipBase) / 4] = value & 1u;  // only bit 0 implemented
+    return Status();
   }
+  if (offset >= kMtimecmpBase && offset < kMtimecmpBase + 8 * kMaxHarts &&
+      (offset & 3) == 0) {
+    u64& cmp = mtimecmp_[(offset - kMtimecmpBase) / 8];
+    if ((offset & 4) == 0) {
+      cmp = (cmp & 0xffff'ffff'0000'0000ULL) | value;
+    } else {
+      cmp = (cmp & 0xffff'ffffULL) | (static_cast<u64>(value) << 32);
+    }
+    return Status();
+  }
+  return Error(ErrorCode::kOutOfRange,
+               format("clint: write to bad offset 0x%x", offset));
 }
 
 }  // namespace s4e::vp

@@ -1,10 +1,15 @@
-// CLINT-compatible machine timer: mtime advances with modelled cycles,
-// mtimecmp raises the machine timer interrupt (MTIP).
+// CLINT-compatible core-local interruptor: per-hart software-interrupt
+// bits (msip) and machine timers. mtime is global and advances with
+// modelled cycles; each hart has its own mtimecmp bank raising that hart's
+// MTIP, and its own msip word raising MSIP.
 //
-// Register map (byte offsets within the CLINT window):
-//   0x4000 mtimecmp (lo), 0x4004 mtimecmp (hi)
-//   0xbff8 mtime    (lo), 0xbffc mtime    (hi)
+// Register map (byte offsets within the CLINT window, hart index h):
+//   0x0000 + 4*h  msip[h]      (bit 0 writable)
+//   0x4000 + 8*h  mtimecmp[h]  (lo),  0x4004 + 8*h  (hi)
+//   0xbff8        mtime (lo),  0xbffc mtime (hi)
 #pragma once
+
+#include <array>
 
 #include "vp/device.hpp"
 
@@ -14,8 +19,11 @@ class Clint final : public Device {
  public:
   static constexpr u32 kDefaultBase = 0x0200'0000;
   static constexpr u32 kWindowSize = 0x1'0000;
-  static constexpr u32 kMtimecmpLo = 0x4000;
-  static constexpr u32 kMtimecmpHi = 0x4004;
+  static constexpr unsigned kMaxHarts = 8;
+  static constexpr u32 kMsipBase = 0x0000;
+  static constexpr u32 kMtimecmpBase = 0x4000;
+  static constexpr u32 kMtimecmpLo = kMtimecmpBase;      // hart 0
+  static constexpr u32 kMtimecmpHi = kMtimecmpBase + 4;  // hart 0
   static constexpr u32 kMtimeLo = 0xbff8;
   static constexpr u32 kMtimeHi = 0xbffc;
 
@@ -26,26 +34,42 @@ class Clint final : public Device {
   void tick(u64 now) override { mtime_ = now; }
   void reset() override {
     mtime_ = 0;
-    mtimecmp_ = ~u64{0};
+    mtimecmp_.fill(~u64{0});
+    msip_.fill(0);
   }
   void save_state(StateWriter& out) const override {
     out.put_u64(mtime_);
-    out.put_u64(mtimecmp_);
+    for (u64 cmp : mtimecmp_) out.put_u64(cmp);
+    for (u32 sip : msip_) out.put_u32(sip);
   }
   void restore_state(StateReader& in) override {
     mtime_ = in.get_u64();
-    mtimecmp_ = in.get_u64();
+    for (u64& cmp : mtimecmp_) cmp = in.get_u64();
+    for (u32& sip : msip_) sip = in.get_u32();
   }
 
-  // True while mtime >= mtimecmp (level-triggered MTIP).
-  bool timer_pending() const noexcept { return mtime_ >= mtimecmp_; }
+  // True while mtime >= mtimecmp[hart] (level-triggered MTIP).
+  bool timer_pending(unsigned hart = 0) const noexcept {
+    return mtime_ >= mtimecmp_[hart % kMaxHarts];
+  }
+  // True while msip[hart] bit 0 is set (level-triggered MSIP).
+  bool software_pending(unsigned hart = 0) const noexcept {
+    return (msip_[hart % kMaxHarts] & 1u) != 0;
+  }
 
   u64 mtime() const noexcept { return mtime_; }
-  u64 mtimecmp() const noexcept { return mtimecmp_; }
+  u64 mtimecmp(unsigned hart = 0) const noexcept {
+    return mtimecmp_[hart % kMaxHarts];
+  }
+  u32 msip(unsigned hart = 0) const noexcept { return msip_[hart % kMaxHarts]; }
 
  private:
   u64 mtime_ = 0;
-  u64 mtimecmp_ = ~u64{0};
+  std::array<u64, kMaxHarts> mtimecmp_{};
+  std::array<u32, kMaxHarts> msip_{};
+
+ public:
+  Clint() { reset(); }
 };
 
 }  // namespace s4e::vp

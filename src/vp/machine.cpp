@@ -38,6 +38,13 @@ std::string_view to_string(StopReason reason) noexcept {
 
 Machine::Machine(const MachineConfig& config)
     : config_(config), timing_(config.timing) {
+  num_harts_ = std::clamp(config_.num_harts, 1u, Clint::kMaxHarts);
+  config_.num_harts = num_harts_;
+  if (config_.smp_slice_quantum == 0) config_.smp_slice_quantum = 1;
+  smp_ = num_harts_ > 1 || config_.force_slice_scheduler;
+  harts_.resize(num_harts_);
+  hart_stats_.resize(num_harts_);
+  hart_icount_.resize(num_harts_);
   bus_.add_ram(config_.ram_base, config_.ram_size);
   if (config_.map_uart) {
     auto uart = std::make_unique<Uart>();
@@ -81,10 +88,28 @@ Machine::~Machine() = default;
 s4e_vm* Machine::vm_handle() noexcept { return vm_handle_.get(); }
 
 void Machine::reset(bool clear_ram) {
-  cpu_ = CpuState{};
-  cpu_.pc = config_.ram_base;
-  // Stack grows down from the top of RAM; keep a 16-byte red zone.
-  cpu_.write_gpr(2, config_.ram_base + config_.ram_size - 16);
+  // Stacks grow down from the top of RAM with a 16-byte red zone; SMP harts
+  // get staggered stack tops so bare-metal code that never partitions the
+  // stack itself still runs (hart 0 keeps the exact single-hart layout).
+  const u32 stack_stride =
+      num_harts_ > 1 ? (config_.ram_size / (2 * num_harts_)) & ~u32{15} : 0;
+  for (unsigned h = 0; h < num_harts_; ++h) {
+    Hart& hart = harts_[h];
+    hart.cpu = CpuState{};
+    hart.cpu.pc = config_.ram_base;
+    hart.cpu.write_gpr(2,
+                       config_.ram_base + config_.ram_size - 16 -
+                           h * stack_stride);
+    hart.res_valid = false;
+    hart.res_addr = 0;
+    hart_stats_[h] = EngineStats{};
+    hart_icount_[h] = 0;
+  }
+  active_hart_ = 0;
+  cpu_ = harts_[0].cpu;
+  reservations_active_ = 0;
+  slice_start_icount_ = 0;
+  slice_end_ = smp_ ? config_.smp_slice_quantum : 0;
   icount_ = 0;
   cycles_ = 0;
   pending_stop_.reset();
@@ -107,8 +132,43 @@ void Machine::reset(bool clear_ram) {
   }
 }
 
+void Machine::sync_active_hart() {
+  harts_[active_hart_].cpu = cpu_;
+  hart_stats_[active_hart_] = estats_;
+  hart_icount_[active_hart_] += icount_ - slice_start_icount_;
+  slice_start_icount_ = icount_;
+}
+
+void Machine::rotate_hart() {
+  sync_active_hart();
+  active_hart_ = (active_hart_ + 1) % num_harts_;
+  cpu_ = harts_[active_hart_].cpu;
+  estats_ = hart_stats_[active_hart_];
+  slice_end_ = saturating_add(icount_, config_.smp_slice_quantum);
+  // The incoming hart's mie/mstatus may gate the fast path differently.
+  chain_epoch_recheck_ = true;
+}
+
+void Machine::clear_remote_reservations(u32 address, unsigned size) noexcept {
+  for (unsigned h = 0; h < num_harts_; ++h) {
+    if (h == active_hart_) continue;
+    Hart& hart = harts_[h];
+    if (hart.res_valid && address < hart.res_addr + 4 &&
+        address + size > hart.res_addr) {
+      hart.res_valid = false;
+      --reservations_active_;
+    }
+  }
+}
+
 void Machine::save_state(Snapshot& snap) {
+  sync_active_hart();
   snap.cpu = cpu_;
+  snap.harts = harts_;
+  snap.active_hart = active_hart_;
+  snap.slice_end = slice_end_;
+  snap.slice_start_icount = slice_start_icount_;
+  snap.hart_icount = hart_icount_;
   snap.icount = icount_;
   snap.cycles = cycles_;
   snap.icache_misses = icache_misses_;
@@ -122,6 +182,17 @@ void Machine::save_state(Snapshot& snap) {
 
 void Machine::restore_state(const Snapshot& snap) {
   S4E_CHECK_MSG(snap.valid, "restore from an empty Snapshot");
+  S4E_CHECK_MSG(snap.harts.size() == harts_.size(),
+                "snapshot hart count mismatch");
+  harts_ = snap.harts;
+  active_hart_ = snap.active_hart;
+  slice_end_ = snap.slice_end;
+  slice_start_icount_ = snap.slice_start_icount;
+  hart_icount_ = snap.hart_icount;
+  reservations_active_ = 0;
+  for (const Hart& hart : harts_) {
+    if (hart.res_valid) ++reservations_active_;
+  }
   cpu_ = snap.cpu;
   icount_ = snap.icount;
   cycles_ = snap.cycles;
@@ -243,7 +314,9 @@ Status Machine::load_program(const assembler::Program& program) {
     S4E_TRY_STATUS(bus_.ram_write(section.base, section.bytes.data(),
                                   static_cast<u32>(section.bytes.size())));
   }
+  // Every hart starts at the entry point; SMP programs branch on mhartid.
   cpu_.pc = program.entry;
+  for (Hart& hart : harts_) hart.cpu.pc = program.entry;
   tb_cache_.flush();
   return Status();
 }
@@ -377,13 +450,23 @@ void Machine::take_trap(u32 cause, u32 tval, bool interrupt) {
 
 void Machine::check_interrupts() {
   if (clint_ == nullptr) return;
-  if (clint_->timer_pending()) {
+  // Level-triggered MIP bits mirror the active hart's CLINT banks.
+  if (clint_->timer_pending(active_hart_)) {
     cpu_.csr.mip |= kMipMtip;
   } else {
     cpu_.csr.mip &= ~kMipMtip;
   }
-  if ((cpu_.csr.mstatus & kMstatusMie) != 0 &&
-      (cpu_.csr.mie & kMieMtie) != 0 && (cpu_.csr.mip & kMipMtip) != 0) {
+  if (clint_->software_pending(active_hart_)) {
+    cpu_.csr.mip |= kMipMsip;
+  } else {
+    cpu_.csr.mip &= ~kMipMsip;
+  }
+  if ((cpu_.csr.mstatus & kMstatusMie) == 0) return;
+  const u32 pending = cpu_.csr.mie & cpu_.csr.mip;
+  // Architectural priority: software interrupts before timer.
+  if ((pending & kMipMsip) != 0) {
+    take_trap(3, 0, true);
+  } else if ((pending & kMipMtip) != 0) {
     take_trap(7, 0, true);
   }
 }
@@ -453,6 +536,39 @@ struct CmpLtu {
 };
 struct CmpGeu {
   static bool eval(u32 a, u32 b) noexcept { return a >= b; }
+};
+
+// AMO combine functions: eval(old_memory_value, rs2) -> value stored back.
+struct AmoSwap {
+  static u32 eval(u32, u32 b) noexcept { return b; }
+};
+struct AmoAdd {
+  static u32 eval(u32 a, u32 b) noexcept { return a + b; }
+};
+struct AmoXor {
+  static u32 eval(u32 a, u32 b) noexcept { return a ^ b; }
+};
+struct AmoOr {
+  static u32 eval(u32 a, u32 b) noexcept { return a | b; }
+};
+struct AmoAnd {
+  static u32 eval(u32 a, u32 b) noexcept { return a & b; }
+};
+struct AmoMin {
+  static u32 eval(u32 a, u32 b) noexcept {
+    return static_cast<i32>(a) < static_cast<i32>(b) ? a : b;
+  }
+};
+struct AmoMax {
+  static u32 eval(u32 a, u32 b) noexcept {
+    return static_cast<i32>(a) > static_cast<i32>(b) ? a : b;
+  }
+};
+struct AmoMinu {
+  static u32 eval(u32 a, u32 b) noexcept { return a < b ? a : b; }
+};
+struct AmoMaxu {
+  static u32 eval(u32 a, u32 b) noexcept { return a > b ? a : b; }
 };
 
 }  // namespace
@@ -687,6 +803,9 @@ struct ExecOps {
       if (last_page != first_page) {
         m.ram_dirty_[last_page >> 6] |= u64{1} << (last_page & 63);
       }
+      if (m.reservations_active_ != 0) [[unlikely]] {
+        m.clear_remote_reservations(address, kSize);
+      }
       m.cycles_ += d.c_fall;
       if (m.tb_cache_.overlaps_code(address, kSize)) [[unlikely]] {
         // Self-modifying code: flush at the block boundary.
@@ -711,6 +830,9 @@ struct ExecOps {
       return O::kStop;
     }
     const bool mmio = *result;
+    if (!mmio && m.reservations_active_ != 0) {
+      m.clear_remote_reservations(address, kSize);
+    }
     if (!m.mem_cbs_.empty()) {
       m.current_insn_pc_ = d.pc;
       m.fire_mem_cb(address, value, kSize, true);
@@ -818,6 +940,17 @@ struct ExecOps {
   }
 
   static O wfi(Machine& m, const DecodedInsn& d) {
+    if (m.num_harts_ > 1) {
+      // SMP: never fast-forward time (other harts are runnable) and never
+      // halt the whole machine — yield the rest of the slice and re-check
+      // this hart's interrupts when it is scheduled again. A machine where
+      // every hart spins in wfi makes icount progress each visit, so the
+      // instruction budget still bounds it (the hang detector).
+      m.cycles_ += d.c_fall;
+      m.slice_end_ = m.icount_;
+      m.chain_epoch_recheck_ = true;
+      return O::kNext;
+    }
     if ((m.cpu_.csr.mie & kMieMtie) != 0 && m.clint_ != nullptr &&
         m.clint_->mtimecmp() != ~u64{0}) {
       // Sleep until the timer fires: fast-forward modelled time.
@@ -830,6 +963,157 @@ struct ExecOps {
                                   "wfi with timer interrupt disabled"};
     m.cycles_ += d.c_taken;
     return O::kStop;
+  }
+
+  // --- RV32A. Atomics operate on the primary RAM window only (reservations
+  // and read-modify-write on device registers are not modelled): a non-RAM
+  // target raises the load/store access fault the equivalent plain access
+  // would, a misaligned one the address-misaligned trap the A extension
+  // mandates. The handlers access RAM directly even when mem_slow_ is set,
+  // so they fire memory callbacks and watchpoint checks themselves.
+
+  static O lr_w(Machine& m, const DecodedInsn& d) {
+    const u32 address = m.cpu_.read_gpr(d.rs1);
+    if ((address & 3) != 0) [[unlikely]] {
+      m.cpu_.pc = d.pc;
+      m.take_trap(kCauseLoadMisaligned, address, false);
+      m.cycles_ += d.c_taken;
+      return O::kStop;
+    }
+    const u32 offset = address - m.ram_base_;
+    if (offset > m.ram_size_ - 4) [[unlikely]] {
+      m.cpu_.pc = d.pc;
+      m.take_trap(kCauseLoadFault, address, false);
+      m.cycles_ += d.c_taken;
+      return O::kStop;
+    }
+    const u8* p = m.ram_data_ + offset;
+    const u32 value = static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+                      (static_cast<u32>(p[2]) << 16) |
+                      (static_cast<u32>(p[3]) << 24);
+    m.cpu_.write_gpr(d.rd, value);
+    Hart& hart = m.harts_[m.active_hart_];
+    if (!hart.res_valid) ++m.reservations_active_;
+    hart.res_valid = true;
+    hart.res_addr = address;
+    if (m.mem_slow_) [[unlikely]] {
+      if (!m.mem_cbs_.empty()) {
+        m.current_insn_pc_ = d.pc;
+        m.fire_mem_cb(address, value, 4, false);
+      }
+      if (!m.watchpoints_.empty()) m.check_watchpoints(address, 4, false);
+    }
+    m.cycles_ += d.c_fall;
+    m.cpu_.pc = d.link;
+    return m.pending_stop_ ? O::kStop : O::kNext;
+  }
+
+  static O sc_w(Machine& m, const DecodedInsn& d) {
+    const u32 address = m.cpu_.read_gpr(d.rs1);
+    if ((address & 3) != 0) [[unlikely]] {
+      m.cpu_.pc = d.pc;
+      m.take_trap(kCauseStoreMisaligned, address, false);
+      m.cycles_ += d.c_taken;
+      return O::kStop;
+    }
+    const u32 offset = address - m.ram_base_;
+    if (offset > m.ram_size_ - 4) [[unlikely]] {
+      m.cpu_.pc = d.pc;
+      m.take_trap(kCauseStoreFault, address, false);
+      m.cycles_ += d.c_taken;
+      return O::kStop;
+    }
+    // SC consumes this hart's reservation whether or not it succeeds.
+    Hart& hart = m.harts_[m.active_hart_];
+    const bool success = hart.res_valid && hart.res_addr == address;
+    if (hart.res_valid) {
+      hart.res_valid = false;
+      --m.reservations_active_;
+    }
+    if (!success) {
+      m.cpu_.write_gpr(d.rd, 1);
+      m.cycles_ += d.c_fall;
+      return O::kNext;
+    }
+    const u32 value = m.cpu_.read_gpr(d.rs2);
+    u8* p = m.ram_data_ + offset;
+    p[0] = static_cast<u8>(value);
+    p[1] = static_cast<u8>(value >> 8);
+    p[2] = static_cast<u8>(value >> 16);
+    p[3] = static_cast<u8>(value >> 24);
+    const u32 page = offset / kRamPageBytes;
+    m.ram_dirty_[page >> 6] |= u64{1} << (page & 63);
+    if (m.reservations_active_ != 0) [[unlikely]] {
+      m.clear_remote_reservations(address, 4);
+    }
+    m.cpu_.write_gpr(d.rd, 0);
+    if (m.mem_slow_) [[unlikely]] {
+      if (!m.mem_cbs_.empty()) {
+        m.current_insn_pc_ = d.pc;
+        m.fire_mem_cb(address, value, 4, true);
+      }
+      if (!m.watchpoints_.empty()) m.check_watchpoints(address, 4, true);
+    }
+    m.cycles_ += d.c_fall;
+    if (m.tb_cache_.overlaps_code(address, 4)) [[unlikely]] {
+      m.tb_flush_pending_ = true;
+      m.cpu_.pc = d.link;
+      return O::kStop;
+    }
+    m.cpu_.pc = d.link;
+    return m.pending_stop_ ? O::kStop : O::kNext;
+  }
+
+  template <typename OpF>
+  static O amo_w(Machine& m, const DecodedInsn& d) {
+    const u32 address = m.cpu_.read_gpr(d.rs1);
+    if ((address & 3) != 0) [[unlikely]] {
+      m.cpu_.pc = d.pc;
+      m.take_trap(kCauseStoreMisaligned, address, false);
+      m.cycles_ += d.c_taken;
+      return O::kStop;
+    }
+    const u32 offset = address - m.ram_base_;
+    if (offset > m.ram_size_ - 4) [[unlikely]] {
+      m.cpu_.pc = d.pc;
+      m.take_trap(kCauseStoreFault, address, false);
+      m.cycles_ += d.c_taken;
+      return O::kStop;
+    }
+    u8* p = m.ram_data_ + offset;
+    const u32 old = static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+                    (static_cast<u32>(p[2]) << 16) |
+                    (static_cast<u32>(p[3]) << 24);
+    const u32 next = OpF::eval(old, m.cpu_.read_gpr(d.rs2));
+    p[0] = static_cast<u8>(next);
+    p[1] = static_cast<u8>(next >> 8);
+    p[2] = static_cast<u8>(next >> 16);
+    p[3] = static_cast<u8>(next >> 24);
+    const u32 page = offset / kRamPageBytes;
+    m.ram_dirty_[page >> 6] |= u64{1} << (page & 63);
+    if (m.reservations_active_ != 0) [[unlikely]] {
+      m.clear_remote_reservations(address, 4);
+    }
+    m.cpu_.write_gpr(d.rd, old);
+    if (m.mem_slow_) [[unlikely]] {
+      if (!m.mem_cbs_.empty()) {
+        m.current_insn_pc_ = d.pc;
+        m.fire_mem_cb(address, old, 4, false);   // the read half
+        m.fire_mem_cb(address, next, 4, true);   // the write half
+      }
+      if (!m.watchpoints_.empty()) {
+        m.check_watchpoints(address, 4, true);
+        if (!m.pending_stop_) m.check_watchpoints(address, 4, false);
+      }
+    }
+    m.cycles_ += d.c_fall;
+    if (m.tb_cache_.overlaps_code(address, 4)) [[unlikely]] {
+      m.tb_flush_pending_ = true;
+      m.cpu_.pc = d.link;
+      return O::kStop;
+    }
+    m.cpu_.pc = d.link;
+    return m.pending_stop_ ? O::kStop : O::kNext;
   }
 
   template <typename Cmp>
@@ -914,6 +1198,17 @@ struct ExecOps {
       case Op::kCsrrci: return &csr_op;
       case Op::kMret: return &mret;
       case Op::kWfi: return &wfi;
+      case Op::kLrW: return &lr_w;
+      case Op::kScW: return &sc_w;
+      case Op::kAmoswapW: return &amo_w<AmoSwap>;
+      case Op::kAmoaddW: return &amo_w<AmoAdd>;
+      case Op::kAmoxorW: return &amo_w<AmoXor>;
+      case Op::kAmoorW: return &amo_w<AmoOr>;
+      case Op::kAmoandW: return &amo_w<AmoAnd>;
+      case Op::kAmominW: return &amo_w<AmoMin>;
+      case Op::kAmomaxW: return &amo_w<AmoMax>;
+      case Op::kAmominuW: return &amo_w<AmoMinu>;
+      case Op::kAmomaxuW: return &amo_w<AmoMaxu>;
       case Op::kCount: break;
     }
     S4E_CHECK_MSG(false, "invalid Op in translated block");
@@ -1051,11 +1346,12 @@ bool Machine::fast_path_ok() const noexcept {
   // The chained fast path is taken only when nothing needs per-instruction
   // or per-block observability: no debug state, no exec/mem plugin
   // callbacks (tb_trans is fine — translations fire identically in both
-  // modes), and no armed timer interrupt (delivery is checked per block in
-  // careful mode; chaining would defer it by up to a quantum).
+  // modes), and no armed timer/software interrupt (delivery is checked per
+  // block in careful mode; chaining would defer it by up to a quantum).
   return config_.enable_tb_cache && !debug_check_ && insn_exec_cbs_.empty() &&
          tb_exec_cbs_.empty() && mem_cbs_.empty() &&
-         !(clint_ != nullptr && (cpu_.csr.mie & kMieMtie) != 0);
+         !(clint_ != nullptr &&
+           (cpu_.csr.mie & (kMieMtie | kMieMsie)) != 0);
 }
 
 TranslationBlock* Machine::maybe_form_superblock(TranslationBlock* src,
@@ -1221,6 +1517,12 @@ RunResult Machine::run_loop(u64 max_insns, StopReason budget_reason) {
       }
       break;
     }
+    // SMP slice rotation: a fixed instruction quantum on the single global
+    // icount timeline makes the interleaving deterministic. The dispatch
+    // below is capped at slice_end_, so the active hart lands here exactly
+    // when its slice expires (run_chain/exec_insns_careful honour an exact
+    // per-instruction limit and always make >= 1 instruction of progress).
+    if (smp_ && icount_ >= slice_end_) rotate_hart();
     if (debug_check_) {
       if (debug_stop_request_) {
         debug_stop_request_ = false;
@@ -1247,11 +1549,12 @@ RunResult Machine::run_loop(u64 max_insns, StopReason budget_reason) {
       tb_cache_.flush();
     }
 
+    const u64 dispatch_limit = smp_ ? std::min(limit, slice_end_) : limit;
     if (fast_path_ok()) {
       chain_epoch_recheck_ = false;
-      run_chain(limit);
+      run_chain(dispatch_limit);
     } else {
-      run_block_careful(limit);
+      run_block_careful(dispatch_limit);
     }
     if (tb_flush_pending_) {
       tb_flush_pending_ = false;
@@ -1269,6 +1572,7 @@ RunResult Machine::run_loop(u64 max_insns, StopReason budget_reason) {
   result.instructions = icount_;
   result.cycles = cycles_;
   result.final_pc = cpu_.pc;
+  result.hart = active_hart_;
   if (!result.debug_stop()) {
     // Debugger stops are pauses, not ends: exit plugins (trace exit line,
     // flight-recorder dump) fire once, when the program actually stops.

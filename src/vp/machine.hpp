@@ -38,6 +38,15 @@ struct MachineConfig {
   bool map_clint = true;
   bool map_testdev = true;
   bool map_gpio = true;
+  // SMP: number of harts (clamped to [1, Clint::kMaxHarts]). Harts execute
+  // deterministic round-robin slices of `smp_slice_quantum` instructions on
+  // the single global icount/cycle timeline — a fixed quantum makes the
+  // cross-hart interleaving a pure function of the program, so SMP runs are
+  // bit-reproducible. `force_slice_scheduler` engages the slice machinery
+  // even with one hart (the N=1 determinism property test rides on this).
+  unsigned num_harts = 1;
+  u64 smp_slice_quantum = kChainQuantum;
+  bool force_slice_scheduler = false;
 };
 
 // Why the run loop stopped.
@@ -72,6 +81,8 @@ struct RunResult {
   // address, with `watch_kind` naming the matched watchpoint's condition.
   u32 debug_addr = 0;
   WatchKind watch_kind = WatchKind::kWrite;
+  // Hart that was active when the run stopped (breakpoint/trap attribution).
+  unsigned hart = 0;
   std::string detail;
 
   bool normal_exit() const noexcept {
@@ -180,6 +191,25 @@ class Machine {
 
   CpuState& cpu() noexcept { return cpu_; }
   const CpuState& cpu() const noexcept { return cpu_; }
+
+  // --- SMP view. The *active* hart's architectural state is staged in the
+  // hot `cpu_` member while it runs (the single-hart fast path is untouched);
+  // parked harts live in harts_. cpu(h) resolves to whichever copy is live.
+  unsigned num_harts() const noexcept { return num_harts_; }
+  unsigned active_hart() const noexcept { return active_hart_; }
+  CpuState& cpu(unsigned hart) noexcept {
+    return hart == active_hart_ ? cpu_ : harts_[hart].cpu;
+  }
+  const CpuState& cpu(unsigned hart) const noexcept {
+    return hart == active_hart_ ? cpu_ : harts_[hart].cpu;
+  }
+  // Instructions retired by one hart (the global icount() is the sum).
+  u64 hart_icount(unsigned hart) const noexcept {
+    u64 count = hart_icount_[hart];
+    if (hart == active_hart_) count += icount_ - slice_start_icount_;
+    return count;
+  }
+
   Bus& bus() noexcept { return bus_; }
   const MachineConfig& config() const noexcept { return config_; }
   const TimingModel& timing() const noexcept { return timing_; }
@@ -194,7 +224,7 @@ class Machine {
   // and the plugin C API, in the cached and uncached (enable_tb_cache =
   // false) execution modes alike.
   CsrFile::CounterView counter_view() const noexcept {
-    return CsrFile::CounterView{cycles_, icount_, cycles_};
+    return CsrFile::CounterView{cycles_, icount_, cycles_, active_hart_};
   }
   u64 icache_misses() const noexcept { return icache_misses_; }
   TbCache& tb_cache() noexcept { return tb_cache_; }
@@ -202,7 +232,12 @@ class Machine {
 
   // Execution-engine counters (chain links, jump cache, superblocks,
   // dispatch mix); cleared by reset() with the other performance counters.
+  // The no-arg form is the active hart's counters (== machine-wide for one
+  // hart); the per-hart form resolves staged vs parked copies like cpu(h).
   const EngineStats& engine_stats() const noexcept { return estats_; }
+  const EngineStats& engine_stats(unsigned hart) const noexcept {
+    return hart == active_hart_ ? estats_ : hart_stats_[hart];
+  }
 
   // Called by the plugin C API after an out-of-band CSR write: a changed
   // interrupt-enable state must end the current chain run so the fast-path
@@ -291,6 +326,15 @@ class Machine {
     mem_slow_ = !mem_cbs_.empty() || !watchpoints_.empty();
   }
 
+  // --- SMP slice scheduler (run_loop). sync_active_hart() parks the staged
+  // cpu_/estats_ copies back into harts_ / hart_stats_; rotate_hart() parks
+  // the current hart and stages the next one for a fresh slice.
+  void sync_active_hart();
+  void rotate_hart();
+  // Invalidate other harts' LR reservations overlapping a store to
+  // [address, address+size) — the cross-hart half of SC's success rule.
+  void clear_remote_reservations(u32 address, unsigned size) noexcept;
+
   void check_watchpoints(u32 address, unsigned size, bool is_store);
   void update_debug_check() noexcept {
     debug_check_ = debug_stop_request_ || !breakpoints_.empty();
@@ -318,6 +362,19 @@ class Machine {
 
   u64 icount_ = 0;
   u64 cycles_ = 0;
+  // --- SMP state. One global instruction/cycle timeline; harts take
+  // deterministic round-robin slices of it. icache/bimodal state stays
+  // machine-global (a shared front-end model), CPU state and engine stats
+  // are per hart.
+  unsigned num_harts_ = 1;
+  bool smp_ = false;  // slice scheduler engaged (num_harts_ > 1 or forced)
+  unsigned active_hart_ = 0;
+  u64 slice_end_ = 0;           // icount_ at which the active hart yields
+  u64 slice_start_icount_ = 0;  // icount_ when its current slice began
+  unsigned reservations_active_ = 0;  // harts holding an LR reservation
+  std::vector<Hart> harts_;
+  std::vector<EngineStats> hart_stats_;
+  std::vector<u64> hart_icount_;
   std::optional<PendingStop> pending_stop_;
   u32 current_insn_pc_ = 0;
   bool tb_flush_pending_ = false;

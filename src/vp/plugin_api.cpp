@@ -53,6 +53,21 @@ void s4e_write_gpr(s4e_vm* vm, unsigned index, uint32_t value) {
   vm->machine->cpu().write_gpr(index, value);
 }
 
+uint32_t s4e_read_gpr_hart(s4e_vm* vm, unsigned hart, unsigned index) {
+  if (hart >= vm->machine->num_harts()) return 0;
+  return vm->machine->cpu(hart).read_gpr(index);
+}
+
+void s4e_write_gpr_hart(s4e_vm* vm, unsigned hart, unsigned index,
+                        uint32_t value) {
+  if (hart >= vm->machine->num_harts()) return;
+  vm->machine->cpu(hart).write_gpr(index, value);
+}
+
+unsigned s4e_num_harts(s4e_vm* vm) { return vm->machine->num_harts(); }
+
+unsigned s4e_current_hart(s4e_vm* vm) { return vm->machine->active_hart(); }
+
 uint32_t s4e_read_pc(s4e_vm* vm) { return vm->machine->cpu().pc; }
 
 uint32_t s4e_read_csr(s4e_vm* vm, unsigned address) {

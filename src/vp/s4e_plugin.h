@@ -86,9 +86,19 @@ uint64_t s4e_register_trap_cb(s4e_vm* vm, s4e_trap_cb cb, void* userdata);
 uint64_t s4e_register_exit_cb(s4e_vm* vm, s4e_exit_cb cb, void* userdata);
 
 /* Architectural state access. Indexes are architectural (x0..x31).
- * Writes to x0 are ignored, as in hardware. */
+ * Writes to x0 are ignored, as in hardware. The plain forms address the
+ * currently executing hart; the _hart forms address a specific hart on an
+ * SMP machine (out-of-range hart indexes read 0 / are ignored). */
 uint32_t s4e_read_gpr(s4e_vm* vm, unsigned index);
 void s4e_write_gpr(s4e_vm* vm, unsigned index, uint32_t value);
+uint32_t s4e_read_gpr_hart(s4e_vm* vm, unsigned hart, unsigned index);
+void s4e_write_gpr_hart(s4e_vm* vm, unsigned hart, unsigned index,
+                        uint32_t value);
+
+/* SMP topology: number of harts, and the hart currently executing (the one
+ * whose instruction stream delivers insn_exec/mem callbacks). */
+unsigned s4e_num_harts(s4e_vm* vm);
+unsigned s4e_current_hart(s4e_vm* vm);
 uint32_t s4e_read_pc(s4e_vm* vm);
 uint32_t s4e_read_csr(s4e_vm* vm, unsigned address);
 void s4e_write_csr(s4e_vm* vm, unsigned address, uint32_t value);

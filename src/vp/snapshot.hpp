@@ -119,6 +119,14 @@ struct Snapshot {
   std::array<u8, kBimodalEntries> bimodal{};
   std::vector<RamImage> ram;
   std::vector<std::vector<u8>> device_state;  // one blob per mapped device
+  // SMP extension: every hart (architectural state + LR/SC reservation) and
+  // the round-robin scheduler position. The legacy `cpu` field stays the
+  // *active* hart's state so single-hart consumers are unchanged.
+  std::vector<Hart> harts;
+  u32 active_hart = 0;
+  u64 slice_end = 0;
+  u64 slice_start_icount = 0;
+  std::vector<u64> hart_icount;
   bool valid = false;
 };
 

@@ -20,6 +20,7 @@ u32 TimingModel::dynamic_cycles(const isa::Instr& instr, bool redirect,
   switch (instr.info().op_class) {
     case isa::OpClass::kLoad:
     case isa::OpClass::kStore:
+    case isa::OpClass::kAmo:
       cycles += mmio ? params_.mmio_access_cycles : params_.ram_access_cycles;
       break;
     case isa::OpClass::kMul:
@@ -46,6 +47,7 @@ u32 TimingModel::worst_case_cycles(const isa::Instr& instr) const noexcept {
   switch (instr.info().op_class) {
     case isa::OpClass::kLoad:
     case isa::OpClass::kStore:
+    case isa::OpClass::kAmo:
       // Without a value analysis the static side cannot prove an access
       // stays in RAM, so it must assume the slower of the two paths (for
       // the default parameters that is MMIO). This is the classic source

@@ -382,6 +382,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllOps, FullDisasmRoundTrip, ::testing::Range(0u, isa::kOpCount),
     [](const ::testing::TestParamInfo<unsigned>& info) {
       std::string name(isa::mnemonic(static_cast<isa::Op>(info.param)));
+      for (char& c : name) {
+        if (c == '.') c = '_';  // "lr.w" -> "lr_w": gtest names are [A-Za-z0-9_]
+      }
       return name;
     });
 

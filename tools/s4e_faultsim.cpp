@@ -1,10 +1,14 @@
 // s4e-faultsim — fault-effect campaign on an ELF.
 //
-//   s4e-faultsim file.elf [--mutants N] [--seed S] [--jobs N] [--blind]
-//                [--no-gpr] [--no-mem] [--no-code] [--list] [--progress]
-//                [--reuse-machine[=off]] [--triage[=off|verify]]
+//   s4e-faultsim file.elf [--harts N] [--mutants N] [--seed S] [--jobs N]
+//                [--blind] [--no-gpr] [--no-mem] [--no-code] [--list]
+//                [--progress] [--reuse-machine[=off]] [--triage[=off|verify]]
 //                [--snapshot-stats] [--metrics-out FILE] [--post-mortem]
 //                [--post-mortem-dir DIR]
+//
+// --harts N runs every mutant (and the golden reference) on an N-hart SMP
+// machine; GPR faults then target an RNG-chosen hart. Static triage is
+// forced off for N > 1 (single-stream reasoning is unsound under SMP).
 //
 // Observability flags never change the stdout report: metrics go to FILE,
 // post-mortems go to stderr (or one file per mutant under DIR).
@@ -22,15 +26,15 @@
 int main(int argc, char** argv) {
   using namespace s4e;
   static constexpr char kUsage[] =
-      "usage: s4e-faultsim <file.elf> [--mutants N] [--seed S] "
+      "usage: s4e-faultsim <file.elf> [--harts N] [--mutants N] [--seed S] "
       "[--jobs N] [--blind] [--no-gpr] [--no-mem] [--no-code] "
       "[--list] [--progress] [--reuse-machine[=off]] "
       "[--triage[=off|verify]] "
       "[--snapshot-stats] [--metrics-out FILE] [--post-mortem] "
       "[--post-mortem-dir DIR]\n";
   tools::Args args(argc, argv,
-                   {"--mutants", "--seed", "--jobs", "--metrics-out",
-                    "--post-mortem-dir"},
+                   {"--harts", "--mutants", "--seed", "--jobs",
+                    "--metrics-out", "--post-mortem-dir"},
                    {"--blind", "--no-gpr", "--no-mem", "--no-code", "--list",
                     "--progress", "--reuse-machine", "--triage",
                     "--snapshot-stats", "--post-mortem"});
@@ -50,6 +54,16 @@ int main(int argc, char** argv) {
   }
 
   fault::CampaignConfig config;
+  if (args.has("--harts")) {
+    const auto harts = parse_integer(args.value("--harts"));
+    if (!harts.ok() || *harts < 1 ||
+        *harts > static_cast<long long>(vp::Clint::kMaxHarts)) {
+      std::fprintf(stderr, "s4e-faultsim: --harts expects 1..%u (got %s)\n",
+                   vp::Clint::kMaxHarts, args.value("--harts").c_str());
+      return 2;
+    }
+    config.machine.num_harts = static_cast<unsigned>(*harts);
+  }
   config.mutant_count = static_cast<unsigned>(
       parse_integer(args.value("--mutants", "200")).value_or(200));
   config.seed =

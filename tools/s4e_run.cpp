@@ -29,8 +29,8 @@
 namespace {
 
 constexpr char kUsage[] =
-    "usage: s4e-run <file.elf> [--max-insns N] [--uart-input S] "
-    "[--coverage] [--profile] [--stats] [--trace[=FILE]] "
+    "usage: s4e-run <file.elf> [--harts N] [--slice N] [--max-insns N] "
+    "[--uart-input S] [--coverage] [--profile] [--stats] [--trace[=FILE]] "
     "[--trace-limit N] [--gdb[=PORT]]\n";
 
 // Serve one GDB session; the machine is halted at entry. Returns false on a
@@ -83,7 +83,8 @@ bool serve_gdb(s4e::vp::Machine& machine, const std::string& port_text,
 int main(int argc, char** argv) {
   using namespace s4e;
   tools::Args args(argc, argv,
-                   {"--max-insns", "--uart-input", "--trace-limit"},
+                   {"--harts", "--slice", "--max-insns", "--uart-input",
+                    "--trace-limit"},
                    {"--coverage", "--profile", "--stats", "--trace", "--gdb"});
   if (const int code = tools::standard_flags(args, "s4e-run", kUsage);
       code >= 0) {
@@ -100,6 +101,28 @@ int main(int argc, char** argv) {
   }
 
   vp::MachineConfig config;
+  if (args.has("--harts")) {
+    auto harts = parse_integer(args.value("--harts"));
+    if (!harts.ok() || *harts < 1 ||
+        *harts > static_cast<long long>(vp::Clint::kMaxHarts)) {
+      std::fprintf(stderr, "s4e-run: --harts expects 1..%u (got %s)\n",
+                   vp::Clint::kMaxHarts, args.value("--harts").c_str());
+      return 2;
+    }
+    config.num_harts = static_cast<unsigned>(*harts);
+  }
+  // --slice N: SMP round-robin quantum in instructions. Shorter slices give
+  // finer cross-hart interleaving (still fully deterministic); the default
+  // matches the engine's chain quantum.
+  if (args.has("--slice")) {
+    auto quantum = parse_integer(args.value("--slice"));
+    if (!quantum.ok() || *quantum < 1) {
+      std::fprintf(stderr, "s4e-run: --slice expects a positive count (got %s)\n",
+                   args.value("--slice").c_str());
+      return 2;
+    }
+    config.smp_slice_quantum = static_cast<u64>(*quantum);
+  }
   if (args.has("--max-insns")) {
     auto limit = parse_integer(args.value("--max-insns"));
     if (!limit.ok() || *limit <= 0) {
@@ -167,6 +190,20 @@ int main(int argc, char** argv) {
     std::printf("cycles   : %llu\n",
                 static_cast<unsigned long long>(result.cycles));
     std::printf("final pc : 0x%08x\n", result.final_pc);
+    if (machine.num_harts() > 1) {
+      // Per-hart breakdown: retired instructions plus each hart's share of
+      // the engine's block dispatches (single-hart output is unchanged).
+      for (unsigned hart = 0; hart < machine.num_harts(); ++hart) {
+        const vp::EngineStats& hs = machine.engine_stats(hart);
+        std::printf("hart %-4u: %llu insns, %llu fast blocks, "
+                    "%llu careful blocks, final pc 0x%08x\n",
+                    hart,
+                    static_cast<unsigned long long>(machine.hart_icount(hart)),
+                    static_cast<unsigned long long>(hs.blocks_fast),
+                    static_cast<unsigned long long>(hs.blocks_careful),
+                    machine.cpu(hart).pc);
+      }
+    }
     std::printf("tb-cache : %zu blocks, %llu flushes\n",
                 machine.tb_cache().size(),
                 static_cast<unsigned long long>(

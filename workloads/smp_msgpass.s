@@ -1,0 +1,64 @@
+# lr/sc ticket counter with per-hart log slots (SMP)
+# expected exit code: 0
+
+_start:
+    csrr s0, mhartid
+    addi s6, s0, 1
+    li s1, 16
+    la s2, ticket
+    la s3, log
+    la s4, mine
+    bnez s0, sec_loop
+h0_loop:
+    call take_ticket
+    sw t0, 0(s4)
+    addi s4, s4, 4
+    addi s1, s1, -1
+    bnez s1, h0_loop
+    la s4, mine
+    li s1, 16
+verify:
+    lw t0, 0(s4)
+    slli t0, t0, 2
+    add t0, t0, s3
+    lw t1, 0(t0)
+    bne t1, s6, fail
+    addi s4, s4, 4
+    addi s1, s1, -1
+    bnez s1, verify
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+
+sec_loop:
+    call take_ticket
+    addi s1, s1, -1
+    bnez s1, sec_loop
+park:
+    wfi
+    j park
+
+# take_ticket: fetch-and-increment `ticket` with an lr/sc retry loop (the
+# sc fails when another hart's store broke the reservation), then write the
+# caller's marker into log[ticket]. Returns the ticket in t0.
+take_ticket:
+    lr.w t0, (s2)
+    addi t1, t0, 1
+    sc.w t2, t1, (s2)
+    bnez t2, take_ticket
+    andi t3, t0, 127
+    slli t3, t3, 2
+    add t3, t3, s3
+    sw s6, 0(t3)
+    ret
+.data
+ticket:
+    .word 0
+log:
+    .space 512
+mine:
+    .space 64

@@ -1,0 +1,47 @@
+# amoswap spinlock guarding a shared counter (SMP)
+# expected exit code: 0
+
+_start:
+    csrr t0, mhartid
+    la s0, lock
+    la s2, counter
+    li s1, 64
+    bnez t0, worker
+    call add_loop
+    lw t4, 0(s2)
+    li t5, 64
+    blt t4, t5, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+
+worker:
+    call add_loop
+park:
+    wfi
+    j park
+
+# add_loop: s1 rounds of lock / counter += 1 / unlock. The lock is a
+# test-and-set word: amoswap.w 1 acquires when the old value was 0, and
+# an amoswap.w of 0 releases.
+add_loop:
+acquire:
+    li t1, 1
+    amoswap.w t2, t1, (s0)
+    bnez t2, acquire
+    lw t3, 0(s2)
+    addi t3, t3, 1
+    sw t3, 0(s2)
+    amoswap.w zero, zero, (s0)
+    addi s1, s1, -1
+    bnez s1, add_loop
+    ret
+.data
+lock:
+    .word 0
+counter:
+    .word 0
