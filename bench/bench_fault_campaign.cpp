@@ -16,6 +16,8 @@
 #include "common/strings.hpp"
 #include "core/ecosystem.hpp"
 #include "core/workloads.hpp"
+#include "elf/elf32.hpp"
+#include "fleet/orchestrator.hpp"
 
 namespace {
 
@@ -217,6 +219,68 @@ int main() {
                                   6)
                    .c_str()));
     S4E_CHECK(merged);
+    std::printf("  (recorded in BENCH_campaign.json)\n");
+  }
+
+  // Fleet-vs-thread: the same campaign sharded across worker *processes*
+  // (the s4e-campaignd engine, one worker binary per shard) against the
+  // in-process thread pool. Beyond the throughput row, this is a live
+  // check of the fleet's headline contract: the merged report must be
+  // byte-identical to the in-process campaign's.
+  {
+    const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+    constexpr unsigned kFleetMutants = 800;
+    std::printf("\n[E5-fleet] bubble_sort, %u mutants, process fleet vs "
+                "thread pool (%u workers / jobs):\n",
+                kFleetMutants, hw);
+    fault::CampaignConfig config;
+    config.seed = 0x5ca1e4ed;
+    config.mutant_count = kFleetMutants;
+    config.jobs = hw;
+    fault::Campaign thread_campaign(*sort_program, config);
+    auto start = std::chrono::steady_clock::now();
+    auto threaded = thread_campaign.run();
+    const double thread_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    S4E_CHECK(threaded.ok());
+
+    const std::string elf_path = "bench_fleet_fault.elf";
+    S4E_CHECK(elf::write_elf_file(*sort_program, elf_path).ok());
+    fleet::FleetOptions options;
+    options.elf_path = elf_path;
+    options.mode = fleet::Mode::kFault;
+    options.worker_path = std::string(S4E_TOOL_DIR) + "/s4e-faultsim";
+    options.workers = hw;
+    options.shards = hw;  // one shard per worker: no respawn slack needed
+    options.seed = config.seed;
+    options.mutants = kFleetMutants;
+    start = std::chrono::steady_clock::now();
+    auto fleet_run = fleet::run_fleet(options);
+    const double fleet_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    S4E_CHECK(fleet_run.ok());
+    std::remove(elf_path.c_str());
+    const bool identical = fleet_run->report == threaded->to_string();
+    std::printf("  thread pool   (jobs=%-2u)   : %6.2f s  (%7.0f mutants/s)\n",
+                hw, thread_seconds, kFleetMutants / thread_seconds);
+    std::printf("  process fleet (workers=%-2u): %6.2f s  (%7.0f mutants/s)\n",
+                hw, fleet_seconds, kFleetMutants / fleet_seconds);
+    std::printf("  reports byte-identical: %s\n", identical ? "yes" : "NO");
+    S4E_CHECK(identical);
+
+    S4E_CHECK(bench::merge_bench_entry(
+        "BENCH_campaign.json", "fault_fleet",
+        format("{\"workload\": \"bubble_sort\", \"mutants\": %u, "
+               "\"workers\": %u, "
+               "\"thread_mutants_per_s\": %s, "
+               "\"fleet_mutants_per_s\": %s, "
+               "\"fleet_vs_thread\": %s}",
+               kFleetMutants, hw,
+               bench::json_number(kFleetMutants / thread_seconds).c_str(),
+               bench::json_number(kFleetMutants / fleet_seconds).c_str(),
+               bench::json_number(thread_seconds / fleet_seconds).c_str())));
     std::printf("  (recorded in BENCH_campaign.json)\n");
   }
 

@@ -14,6 +14,8 @@
 #include "bench/bench_report.hpp"
 #include "common/strings.hpp"
 #include "core/workloads.hpp"
+#include "elf/elf32.hpp"
+#include "fleet/orchestrator.hpp"
 #include "mutation/mutation.hpp"
 
 namespace {
@@ -292,6 +294,67 @@ int main(int argc, char** argv) {
                                   6)
                    .c_str()));
     S4E_CHECK(merged);
+    std::printf("  (recorded in BENCH_campaign.json)\n");
+  }
+
+  // Fleet-vs-thread: the full bubble_sort mutation campaign sharded across
+  // worker processes (the s4e-campaignd engine) against the in-process
+  // thread pool, with the byte-identity contract checked live.
+  {
+    const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+    auto workload = core::find_workload("bubble_sort");
+    S4E_CHECK(workload.ok());
+    auto program = assembler::assemble(workload->source);
+    S4E_CHECK(program.ok());
+
+    mutation::MutationConfig config;
+    config.jobs = hw;
+    mutation::MutationCampaign thread_campaign(*program, config);
+    auto start = std::chrono::steady_clock::now();
+    auto threaded = thread_campaign.run();
+    const double thread_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    S4E_CHECK(threaded.ok());
+    const double runs = static_cast<double>(threaded->results.size());
+    std::printf("\n[E10-fleet] bubble_sort, %.0f mutants, process fleet vs "
+                "thread pool (%u workers / jobs):\n",
+                runs, hw);
+
+    const std::string elf_path = "bench_fleet_mutation.elf";
+    S4E_CHECK(elf::write_elf_file(*program, elf_path).ok());
+    fleet::FleetOptions options;
+    options.elf_path = elf_path;
+    options.mode = fleet::Mode::kMutation;
+    options.worker_path = std::string(S4E_TOOL_DIR) + "/s4e-mutate";
+    options.workers = hw;
+    options.shards = hw;
+    start = std::chrono::steady_clock::now();
+    auto fleet_run = fleet::run_fleet(options);
+    const double fleet_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    S4E_CHECK(fleet_run.ok());
+    std::remove(elf_path.c_str());
+    const bool identical = fleet_run->report == threaded->to_string();
+    std::printf("  thread pool   (jobs=%-2u)   : %6.2f s  (%7.0f runs/s)\n",
+                hw, thread_seconds, runs / thread_seconds);
+    std::printf("  process fleet (workers=%-2u): %6.2f s  (%7.0f runs/s)\n",
+                hw, fleet_seconds, runs / fleet_seconds);
+    std::printf("  reports byte-identical: %s\n", identical ? "yes" : "NO");
+    S4E_CHECK(identical);
+
+    S4E_CHECK(bench::merge_bench_entry(
+        "BENCH_campaign.json", "mutation_fleet",
+        format("{\"workload\": \"bubble_sort\", \"mutants\": %.0f, "
+               "\"workers\": %u, "
+               "\"thread_runs_per_s\": %s, "
+               "\"fleet_runs_per_s\": %s, "
+               "\"fleet_vs_thread\": %s}",
+               runs, hw,
+               bench::json_number(runs / thread_seconds).c_str(),
+               bench::json_number(runs / fleet_seconds).c_str(),
+               bench::json_number(thread_seconds / fleet_seconds).c_str())));
     std::printf("  (recorded in BENCH_campaign.json)\n");
   }
 

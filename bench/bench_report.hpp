@@ -7,6 +7,8 @@
 // not a JSON parse.
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -21,6 +23,12 @@ namespace s4e::bench {
 // (typically an object). Returns false (and reports on stderr) when the
 // report file cannot be opened or fully written — a silently missing report
 // entry looks exactly like a bench that was never run.
+//
+// The write is crash-safe: the merged report goes to a sibling temp file
+// which replaces `path` with one atomic rename(2). A bench or campaign
+// worker killed mid-write can therefore never leave a truncated JSON behind
+// to poison the next line-merge — readers see either the old report or the
+// new one, never a half-written hybrid.
 inline bool merge_bench_entry(const std::string& path, const std::string& key,
                               const std::string& object_json) {
   std::vector<std::pair<std::string, std::string>> entries;
@@ -54,21 +62,36 @@ inline bool merge_bench_entry(const std::string& path, const std::string& key,
   }
   if (!replaced) entries.emplace_back(key, object_json);
 
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "bench_report: cannot open '%s' for writing\n",
-                 path.c_str());
-    return false;
+  // Temp name is per-process so concurrent mergers (ctest -j, fleet
+  // workers) never stomp each other's staging file; the rename still
+  // serializes on the final path.
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench_report: cannot open '%s' for writing\n",
+                   temp.c_str());
+      return false;
+    }
+    out << "{\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      out << "  \"" << entries[i].first << "\": " << entries[i].second
+          << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "bench_report: short write to '%s'\n",
+                   temp.c_str());
+      std::remove(temp.c_str());
+      return false;
+    }
   }
-  out << "{\n";
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    out << "  \"" << entries[i].first << "\": " << entries[i].second
-        << (i + 1 < entries.size() ? "," : "") << "\n";
-  }
-  out << "}\n";
-  out.flush();
-  if (!out.good()) {
-    std::fprintf(stderr, "bench_report: short write to '%s'\n", path.c_str());
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "bench_report: cannot rename '%s' to '%s'\n",
+                 temp.c_str(), path.c_str());
+    std::remove(temp.c_str());
     return false;
   }
   return true;

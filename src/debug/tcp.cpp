@@ -2,6 +2,7 @@
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -9,6 +10,25 @@
 #include <cstring>
 
 namespace s4e::debug {
+
+namespace {
+
+// Wait until `fd` is readable. Returns 1 when readable (or the peer hung
+// up — the following read observes that), 0 on deadline, -1 on poll error.
+int wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n >= 0) return n > 0 ? 1 : 0;
+    if (errno != EINTR) return -1;
+    // EINTR: retry with the full timeout again — fleet/debug deadlines are
+    // coarse liveness bounds, not precise timers.
+  }
+}
+
+}  // namespace
 
 TcpChannel::~TcpChannel() {
   if (fd_ >= 0) ::close(fd_);
@@ -23,6 +43,42 @@ std::string TcpChannel::read_blocking() {
     if (errno == EINTR) continue;
     return {};  // connection error → treat as closed
   }
+}
+
+std::string TcpChannel::read_for(int timeout_ms, bool& timed_out) {
+  timed_out = false;
+  const int ready = wait_readable(fd_, timeout_ms);
+  if (ready == 0) {
+    timed_out = true;
+    return {};
+  }
+  if (ready < 0) return {};  // poll error → treat as closed
+  return read_blocking();    // data or EOF is pending; recv cannot block long
+}
+
+std::unique_ptr<TcpChannel> TcpChannel::connect_loopback(u16 port,
+                                                         std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<TcpChannel>(fd);
 }
 
 std::string TcpChannel::read_poll() {
@@ -84,6 +140,23 @@ std::unique_ptr<TcpListener> TcpListener::listen_loopback(u16 port,
 }
 
 std::unique_ptr<TcpChannel> TcpListener::accept_one(std::string& error) {
+  bool timed_out = false;
+  return accept_one_for(-1, error, timed_out);
+}
+
+std::unique_ptr<TcpChannel> TcpListener::accept_one_for(int timeout_ms,
+                                                        std::string& error,
+                                                        bool& timed_out) {
+  timed_out = false;
+  const int ready = wait_readable(fd_, timeout_ms);
+  if (ready == 0) {
+    timed_out = true;
+    return nullptr;
+  }
+  if (ready < 0) {
+    error = std::string("poll: ") + std::strerror(errno);
+    return nullptr;
+  }
   for (;;) {
     const int client = ::accept(fd_, nullptr, nullptr);
     if (client >= 0) {

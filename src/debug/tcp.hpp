@@ -25,6 +25,20 @@ class TcpChannel final : public ByteChannel {
   std::string read_poll() override;
   bool write_all(std::string_view bytes) override;
 
+  // Deadline read: block up to `timeout_ms` (-1 = forever) for data. An
+  // empty return with `timed_out` set means the deadline passed with the
+  // peer still connected; empty without it means close/error — so a
+  // vanished peer (killed worker, detached client) can never hang the
+  // owning loop forever.
+  std::string read_for(int timeout_ms, bool& timed_out);
+
+  // Connect to 127.0.0.1:port (a fleet worker dialing back to its
+  // orchestrator). Null with a message in `error` on failure.
+  static std::unique_ptr<TcpChannel> connect_loopback(u16 port,
+                                                      std::string& error);
+
+  int fd() const noexcept { return fd_; }
+
  private:
   int fd_;
 };
@@ -46,6 +60,15 @@ class TcpListener {
 
   // Block until a client connects; null on accept failure.
   std::unique_ptr<TcpChannel> accept_one(std::string& error);
+
+  // Deadline accept: wait up to `timeout_ms` (-1 = forever) for a client.
+  // Null with `timed_out` set (and no error) when the deadline passed —
+  // the caller's loop stays live even if the expected peer never shows up.
+  std::unique_ptr<TcpChannel> accept_one_for(int timeout_ms,
+                                             std::string& error,
+                                             bool& timed_out);
+
+  int fd() const noexcept { return fd_; }
 
  private:
   TcpListener(int fd, u16 port) : fd_(fd), port_(port) {}

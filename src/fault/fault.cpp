@@ -302,6 +302,11 @@ Result<MutantResult> Campaign::run_mutant(
 }
 
 Result<CampaignResult> Campaign::run() {
+  if (config_.shard_count < 1 || config_.shard_index >= config_.shard_count) {
+    return Error(ErrorCode::kInvalidArgument,
+                 format("invalid shard %u/%u", config_.shard_index,
+                        config_.shard_count));
+  }
   CampaignResult result;
   S4E_TRY(profile, profile_run(result));
   faults_ = generate_faults(profile);
@@ -343,15 +348,25 @@ Result<CampaignResult> Campaign::run() {
       vp::hang_budget(result.golden_instructions, config_.hang_budget_factor,
                       config_.machine.max_instructions);
 
+  // Shard selection: the fault list and triage decisions above cover the
+  // *full* campaign (identical RNG sequence for every shard); only the
+  // contiguous global index range [begin, end) is simulated here.
+  const u64 total = faults_.size();
+  const u64 begin = total * config_.shard_index / config_.shard_count;
+  const u64 end = total * (config_.shard_index + 1) / config_.shard_count;
+  const std::size_t count = static_cast<std::size_t>(end - begin);
+  result.shard_begin = begin;
+  result.total_faults = total;
+
   // Fan the independent mutant simulations out over the executor. Every
   // job writes only its own slot; the per-outcome counters and the
   // floating-point instruction total are aggregated afterwards by walking
   // the slots in submission order, so the CampaignResult is bit-identical
   // to the jobs=1 serial run regardless of scheduling — with or without
   // machine reuse.
-  std::vector<MutantResult> slots(faults_.size());
-  std::vector<std::optional<Error>> errors(faults_.size());
-  progress_.begin(faults_.size());
+  std::vector<MutantResult> slots(count);
+  std::vector<std::optional<Error>> errors(count);
+  progress_.begin(count);
   exec::CampaignExecutor executor(config_.jobs);
   // Telemetry shards are per worker lane (lock-free: each lane writes only
   // its own shard) and fold deterministically after the barrier.
@@ -360,7 +375,7 @@ Result<CampaignResult> Campaign::run() {
     telemetry = std::make_unique<obs::CampaignTelemetry>(
         std::vector<std::string>{"masked", "sdc", "crash", "hang"},
         executor.jobs());
-    telemetry->set_campaign(faults_.size(), result.golden_instructions,
+    telemetry->set_campaign(count, result.golden_instructions,
                             mutant_config.max_instructions);
   }
   const auto record = [&](unsigned worker, std::size_t index,
@@ -382,20 +397,22 @@ Result<CampaignResult> Campaign::run() {
   };
   // Short-circuit for statically decided faults (triage on), and the
   // verify-mode cross-check for faults that *would* have been pruned.
-  const auto synthesize = [&](std::size_t index) -> MutantResult {
+  // These index the *global* fault list; `record` above takes the local
+  // slot index within the shard.
+  const auto synthesize = [&](std::size_t global) -> MutantResult {
     MutantResult mutant;
-    mutant.spec = faults_[index];
+    mutant.spec = faults_[global];
     mutant.outcome = Outcome::kMasked;
     mutant.exit_code = result.golden_exit_code;
     mutant.pruned = true;
-    mutant.prune_reason = decisions[index].reason;
+    mutant.prune_reason = decisions[global].reason;
     return mutant;
   };
-  const auto finish = [&](std::size_t index,
+  const auto finish = [&](std::size_t global,
                           Result<MutantResult> mutant) -> Result<MutantResult> {
-    if (!mutant.ok() || !decisions[index].pruned) return mutant;
+    if (!mutant.ok() || !decisions[global].pruned) return mutant;
     mutant->pruned = true;
-    mutant->prune_reason = decisions[index].reason;
+    mutant->prune_reason = decisions[global].reason;
     if (config_.triage == dataflow::TriageMode::kVerify &&
         mutant->outcome != Outcome::kMasked) {
       return Error(
@@ -413,10 +430,10 @@ Result<CampaignResult> Campaign::run() {
     // lane's first mutant; every run starts from a dirty-page restore with
     // a warm TB cache instead of a fresh build + full program load.
     std::vector<std::unique_ptr<vp::WorkerVm>> vms(executor.jobs());
-    executor.run_affine(faults_.size(), [&](unsigned worker,
-                                            std::size_t index) {
-      if (skip_pruned && decisions[index].pruned) {
-        record(worker, index, synthesize(index));  // no VM needed
+    executor.run_affine(count, [&](unsigned worker, std::size_t index) {
+      const std::size_t global = static_cast<std::size_t>(begin) + index;
+      if (skip_pruned && decisions[global].pruned) {
+        record(worker, index, synthesize(global));  // no VM needed
         return;
       }
       if (vms[worker] == nullptr) {
@@ -428,8 +445,8 @@ Result<CampaignResult> Campaign::run() {
         vms[worker] = std::move(*vm);
       }
       record(worker, index,
-             finish(index, run_mutant_on(vms[worker]->prepare(),
-                                         faults_[index], result)));
+             finish(global, run_mutant_on(vms[worker]->prepare(),
+                                          faults_[global], result)));
     });
     for (const auto& vm : vms) {
       if (vm != nullptr) result.snapshot_stats += vm->stats();
@@ -437,14 +454,15 @@ Result<CampaignResult> Campaign::run() {
   } else {
     // Fresh machine per mutant, still lane-affine so the metric shards have
     // a stable worker index (slot determinism is unchanged).
-    executor.run_affine(faults_.size(), [&](unsigned worker,
-                                            std::size_t index) {
-      if (skip_pruned && decisions[index].pruned) {
-        record(worker, index, synthesize(index));
+    executor.run_affine(count, [&](unsigned worker, std::size_t index) {
+      const std::size_t global = static_cast<std::size_t>(begin) + index;
+      if (skip_pruned && decisions[global].pruned) {
+        record(worker, index, synthesize(global));
         return;
       }
       record(worker, index,
-             finish(index, run_mutant(faults_[index], mutant_config, result)));
+             finish(global,
+                    run_mutant(faults_[global], mutant_config, result)));
     });
   }
 

@@ -134,6 +134,15 @@ struct CampaignConfig {
   // instructions); kVerify runs them anyway and errors on any mismatch
   // between the static verdict and the dynamic outcome.
   dataflow::TriageMode triage = dataflow::TriageMode::kOff;
+  // Shard selection for multi-process fleets (s4e-campaignd): the full
+  // fault list is still generated deterministically (same RNG sequence for
+  // every shard), then only the contiguous index range
+  // [floor(i*M/N), floor((i+1)*M/N)) is simulated, where M is the full
+  // list size, i = shard_index and N = shard_count. The union of all N
+  // shards' results is exactly the serial campaign; shard_count == 1 is
+  // the whole campaign (the default, bit-identical to the pre-shard code).
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
   vp::MachineConfig machine;
 };
 
@@ -145,6 +154,11 @@ struct CampaignResult {
   u64 golden_memory_hash = 0;  // FNV-1a over the final .data contents
 
   std::vector<MutantResult> mutants;
+  // Sharded runs: global index of mutants[0] in the full fault list, and
+  // the full list's size. Whole-campaign runs have shard_begin == 0 and
+  // total_faults == mutants.size().
+  u64 shard_begin = 0;
+  u64 total_faults = 0;
   u64 outcome_counts[4] = {0, 0, 0, 0};
   u64 pruned_count = 0;  // mutants decided statically (triage)
   double simulated_instructions = 0;  // across all mutants

@@ -1,0 +1,225 @@
+#include "fleet/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace s4e::fleet {
+
+std::string encode_header(const CheckpointHeader& header) {
+  return format("{\"checkpoint\":\"s4e-fleet\",\"mode\":\"%s\","
+                "\"fingerprint\":\"%016llx\",\"shards\":%u}",
+                std::string(to_string(header.mode)).c_str(),
+                static_cast<unsigned long long>(header.fingerprint),
+                header.shards);
+}
+
+std::string encode_shard_header(const CompletedShard& shard) {
+  return format("{\"shard\":%u,\"count\":%zu,\"begin\":%llu,\"end\":%llu,"
+                "\"total\":%llu,\"golden_exit\":%d,"
+                "\"golden_instructions\":%llu}",
+                shard.shard, shard.records.size(),
+                static_cast<unsigned long long>(shard.begin),
+                static_cast<unsigned long long>(shard.end),
+                static_cast<unsigned long long>(shard.total),
+                shard.golden_exit,
+                static_cast<unsigned long long>(shard.golden_instructions));
+}
+
+Result<std::vector<CompletedShard>> parse_journal(
+    const std::string& text, const CheckpointHeader& header,
+    bool& header_matches) {
+  header_matches = false;
+  std::vector<CompletedShard> shards;
+
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.find("\"checkpoint\":\"s4e-fleet\"") == std::string::npos) {
+    return Error(ErrorCode::kParseError, "checkpoint: missing header line");
+  }
+  const auto mode_name = json_field(line, "mode");
+  const auto fingerprint = json_field(line, "fingerprint");
+  const auto shard_count = json_int_field(line, "shards");
+  if (!mode_name || !fingerprint || !shard_count) {
+    return Error(ErrorCode::kParseError, "checkpoint: malformed header");
+  }
+  const auto mode = parse_mode(*mode_name);
+  const auto fp = parse_hex_u64(*fingerprint);
+  if (!mode || !fp) {
+    return Error(ErrorCode::kParseError, "checkpoint: malformed header");
+  }
+  if (*mode != header.mode || *fp != header.fingerprint ||
+      static_cast<unsigned>(*shard_count) != header.shards) {
+    return shards;  // different campaign; header_matches stays false
+  }
+  header_matches = true;
+
+  // Shard blocks. Any structural defect means the daemon died mid-append:
+  // the partial block and everything after it are discarded, not errors.
+  while (std::getline(in, line)) {
+    const auto shard = json_int_field(line, "shard");
+    const auto count = json_int_field(line, "count");
+    if (!shard || !count || *count < 0 ||
+        line.find("\"begin\"") == std::string::npos) {
+      break;
+    }
+    CompletedShard block;
+    block.shard = static_cast<unsigned>(*shard);
+    const auto begin = json_int_field(line, "begin");
+    const auto end = json_int_field(line, "end");
+    const auto total = json_int_field(line, "total");
+    const auto golden_exit = json_int_field(line, "golden_exit");
+    const auto golden_insns = json_int_field(line, "golden_instructions");
+    if (!begin || !end || !total || !golden_exit || !golden_insns) break;
+    block.begin = static_cast<u64>(*begin);
+    block.end = static_cast<u64>(*end);
+    block.total = static_cast<u64>(*total);
+    block.golden_exit = static_cast<int>(*golden_exit);
+    block.golden_instructions = static_cast<u64>(*golden_insns);
+
+    bool truncated = false;
+    block.records.reserve(static_cast<std::size_t>(*count));
+    for (long long i = 0; i < *count; ++i) {
+      if (!std::getline(in, line)) {
+        truncated = true;
+        break;
+      }
+      auto parsed = parse_line(line, header.mode);
+      if (!parsed.ok() || !parsed->record.has_value()) {
+        truncated = true;
+        break;
+      }
+      block.records.push_back(*parsed->record);
+    }
+    if (truncated) break;
+
+    if (!std::getline(in, line)) break;
+    const auto commit = json_int_field(line, "commit");
+    if (!commit || static_cast<unsigned>(*commit) != block.shard) break;
+    shards.push_back(std::move(block));
+  }
+
+  std::sort(shards.begin(), shards.end(),
+            [](const CompletedShard& a, const CompletedShard& b) {
+              return a.shard < b.shard;
+            });
+  return shards;
+}
+
+CheckpointJournal& CheckpointJournal::operator=(
+    CheckpointJournal&& other) noexcept {
+  if (this != &other) {
+    close();
+    file_ = other.file_;
+    mode_ = other.mode_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+CheckpointJournal::~CheckpointJournal() { close(); }
+
+void CheckpointJournal::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<CheckpointJournal> CheckpointJournal::open(
+    const std::string& path, const CheckpointHeader& header,
+    std::vector<CompletedShard>& recovered, bool& replaced_stale) {
+  recovered.clear();
+  replaced_stale = false;
+
+  std::string existing;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+
+  bool resume = false;
+  if (!existing.empty()) {
+    bool matches = false;
+    auto parsed = parse_journal(existing, header, matches);
+    if (parsed.ok() && matches) {
+      recovered = std::move(*parsed);
+      resume = true;
+    } else {
+      replaced_stale = true;  // different campaign or unreadable header
+    }
+  }
+
+  CheckpointJournal journal;
+  journal.mode_ = header.mode;
+  if (resume) {
+    // Re-write the journal from the committed blocks only, so a partial
+    // trailing block does not accumulate garbage across restarts. The
+    // rewrite goes through a temp file + rename, like the live commits.
+    const std::string temp = path + ".tmp." + std::to_string(::getpid());
+    std::FILE* out = std::fopen(temp.c_str(), "wb");
+    if (out == nullptr) {
+      return Error(ErrorCode::kIoError,
+                   "checkpoint: cannot open " + temp + " for writing");
+    }
+    std::string text = encode_header(header) + "\n";
+    for (const CompletedShard& shard : recovered) {
+      text += encode_shard_header(shard) + "\n";
+      for (const RecordLine& record : shard.records) {
+        text += encode(header.mode, record) + "\n";
+      }
+      text += format("{\"commit\":%u}", shard.shard) + "\n";
+    }
+    const bool wrote =
+        std::fwrite(text.data(), 1, text.size(), out) == text.size();
+    const bool synced = ::fsync(::fileno(out)) == 0;
+    std::fclose(out);
+    if (!wrote || !synced || std::rename(temp.c_str(), path.c_str()) != 0) {
+      std::remove(temp.c_str());
+      return Error(ErrorCode::kIoError,
+                   "checkpoint: cannot rewrite " + path);
+    }
+    journal.file_ = std::fopen(path.c_str(), "ab");
+  } else {
+    journal.file_ = std::fopen(path.c_str(), "wb");
+    if (journal.file_ != nullptr) {
+      const std::string line = encode_header(header) + "\n";
+      if (std::fwrite(line.data(), 1, line.size(), journal.file_) !=
+              line.size() ||
+          std::fflush(journal.file_) != 0) {
+        journal.close();
+      }
+    }
+  }
+  if (journal.file_ == nullptr) {
+    return Error(ErrorCode::kIoError,
+                 "checkpoint: cannot open " + path + " for appending");
+  }
+  return journal;
+}
+
+Status CheckpointJournal::commit(const CompletedShard& shard) {
+  S4E_CHECK_MSG(file_ != nullptr, "checkpoint journal is closed");
+  std::string text = encode_shard_header(shard) + "\n";
+  for (const RecordLine& record : shard.records) {
+    text += encode(mode_, record) + "\n";
+  }
+  text += format("{\"commit\":%u}", shard.shard) + "\n";
+  if (std::fwrite(text.data(), 1, text.size(), file_) != text.size() ||
+      std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return Error(ErrorCode::kIoError, "checkpoint: append failed");
+  }
+  return Status();
+}
+
+}  // namespace s4e::fleet

@@ -1,0 +1,89 @@
+// Crash-safe checkpoint journal for the campaign fleet service.
+//
+// The journal is an append-only text file. Line one is a header binding the
+// file to one campaign (fingerprint, mode, shard count). Every time a shard
+// finishes, the daemon appends one block:
+//
+//   {"shard":i,"count":K,"begin":B,"end":E,"total":T,...golden...}
+//   <K record lines, global index order>
+//   {"commit":i}
+//
+// and flushes + fsyncs before acknowledging the shard as done. A block
+// without its commit line (daemon died mid-append) is ignored on load, as
+// is everything after it — so the worst crash loses exactly the in-flight
+// block and the shard is simply re-run. Resume is automatic: when the
+// journal exists and its header matches the campaign, committed shards are
+// fed straight into the aggregation and never re-executed.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fleet/records.hpp"
+
+namespace s4e::fleet {
+
+struct CheckpointHeader {
+  Mode mode = Mode::kFault;
+  u64 fingerprint = 0;
+  unsigned shards = 1;
+};
+
+// One committed shard: its range, the golden reference the worker reported,
+// and every record in global index order.
+struct CompletedShard {
+  unsigned shard = 0;
+  u64 begin = 0;
+  u64 end = 0;
+  u64 total = 0;
+  int golden_exit = 0;
+  u64 golden_instructions = 0;
+  std::vector<RecordLine> records;
+};
+
+class CheckpointJournal {
+ public:
+  CheckpointJournal() = default;
+  CheckpointJournal(CheckpointJournal&& other) noexcept
+      : file_(other.file_), mode_(other.mode_) {
+    other.file_ = nullptr;
+  }
+  CheckpointJournal& operator=(CheckpointJournal&& other) noexcept;
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+  ~CheckpointJournal();
+
+  // Open `path` for the campaign described by `header`. If the file holds a
+  // matching journal, committed shards are returned through `recovered`
+  // (sorted by shard index) and appends continue after them. If the file is
+  // missing, empty, or belongs to a *different* campaign, it is replaced by
+  // a fresh journal and `recovered` stays empty; `replaced_stale` reports
+  // that case so the caller can surface it.
+  static Result<CheckpointJournal> open(const std::string& path,
+                                        const CheckpointHeader& header,
+                                        std::vector<CompletedShard>& recovered,
+                                        bool& replaced_stale);
+
+  // Append one committed shard block and fsync it to disk.
+  Status commit(const CompletedShard& shard);
+
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  Mode mode_ = Mode::kFault;
+};
+
+// Parse helper shared with tests: reads a journal stream, returning only
+// fully committed shard blocks (a partial trailing block is discarded, not
+// an error). Fails only when the header is missing or malformed.
+Result<std::vector<CompletedShard>> parse_journal(const std::string& text,
+                                                  const CheckpointHeader& header,
+                                                  bool& header_matches);
+
+std::string encode_header(const CheckpointHeader& header);
+std::string encode_shard_header(const CompletedShard& shard);
+
+}  // namespace s4e::fleet

@@ -245,6 +245,11 @@ std::vector<Mutant> enumerate_mutants(const assembler::Program& program,
 }
 
 Result<MutationScore> MutationCampaign::run() {
+  if (config_.shard_count < 1 || config_.shard_index >= config_.shard_count) {
+    return Error(ErrorCode::kInvalidArgument,
+                 format("invalid shard %u/%u", config_.shard_index,
+                        config_.shard_count));
+  }
   // Golden run + executed-address profile.
   vp::Machine machine(config_.machine);
   S4E_TRY(golden, vp::run_golden(machine, program_));
@@ -277,14 +282,24 @@ Result<MutationScore> MutationCampaign::run() {
       golden.result.instructions, config_.hang_budget_factor,
       config_.machine.max_instructions);
 
+  // Shard selection: enumeration and triage above cover the *full* mutant
+  // list (identical for every shard); only the contiguous global index
+  // range [begin, end) is executed here.
+  const u64 total = mutants.size();
+  const u64 begin = total * config_.shard_index / config_.shard_count;
+  const u64 end = total * (config_.shard_index + 1) / config_.shard_count;
+  const std::size_t count = static_cast<std::size_t>(end - begin);
+
   // Independent mutant runs fanned out over the executor; each job fills
   // only its own slot, and the verdict histogram is aggregated afterwards
   // in submission order — the score is bit-identical to a serial run,
   // with or without machine reuse.
   MutationScore score;
-  std::vector<MutantResult> slots(mutants.size());
-  std::vector<std::optional<Error>> errors(mutants.size());
-  progress_.begin(mutants.size());
+  score.shard_begin = begin;
+  score.total_mutants = total;
+  std::vector<MutantResult> slots(count);
+  std::vector<std::optional<Error>> errors(count);
+  progress_.begin(count);
   exec::CampaignExecutor executor(config_.jobs);
   // Telemetry shards are per worker lane (lock-free: each lane writes only
   // its own shard) and fold deterministically after the barrier.
@@ -294,7 +309,7 @@ Result<MutationScore> MutationCampaign::run() {
         std::vector<std::string>{"killed_result", "killed_crash",
                                  "killed_hang", "survived"},
         executor.jobs());
-    telemetry->set_campaign(mutants.size(), golden.result.instructions,
+    telemetry->set_campaign(count, golden.result.instructions,
                             mutant_config.max_instructions);
   }
   const auto record = [&](unsigned worker, std::size_t index,
@@ -316,20 +331,22 @@ Result<MutationScore> MutationCampaign::run() {
   };
   // Short-circuit for statically proven-equivalent mutants (triage on), and
   // the verify-mode cross-check for mutants that *would* have been pruned.
-  const auto synthesize = [&](std::size_t index) -> MutantResult {
+  // These index the *global* mutant list; `record` above takes the local
+  // slot index within the shard.
+  const auto synthesize = [&](std::size_t global) -> MutantResult {
     MutantResult result;
-    result.mutant = mutants[index];
+    result.mutant = mutants[global];
     result.verdict = Verdict::kSurvived;
     result.exit_code = golden.result.exit_code;
     result.pruned = true;
-    result.prune_reason = decisions[index].reason;
+    result.prune_reason = decisions[global].reason;
     return result;
   };
-  const auto finish = [&](std::size_t index,
+  const auto finish = [&](std::size_t global,
                           Result<MutantResult> result) -> Result<MutantResult> {
-    if (!result.ok() || !decisions[index].pruned) return result;
+    if (!result.ok() || !decisions[global].pruned) return result;
     result->pruned = true;
-    result->prune_reason = decisions[index].reason;
+    result->prune_reason = decisions[global].reason;
     if (config_.triage == dataflow::TriageMode::kVerify &&
         result->verdict != Verdict::kSurvived) {
       return Error(
@@ -346,10 +363,10 @@ Result<MutationScore> MutationCampaign::run() {
     // One long-lived machine per worker lane; each mutant starts from a
     // dirty-page restore of the loaded state instead of a fresh build.
     std::vector<std::unique_ptr<vp::WorkerVm>> vms(executor.jobs());
-    executor.run_affine(mutants.size(), [&](unsigned worker,
-                                            std::size_t index) {
-      if (skip_pruned && decisions[index].pruned) {
-        record(worker, index, synthesize(index));  // no VM needed
+    executor.run_affine(count, [&](unsigned worker, std::size_t index) {
+      const std::size_t global = static_cast<std::size_t>(begin) + index;
+      if (skip_pruned && decisions[global].pruned) {
+        record(worker, index, synthesize(global));  // no VM needed
         return;
       }
       if (vms[worker] == nullptr) {
@@ -361,10 +378,10 @@ Result<MutationScore> MutationCampaign::run() {
         vms[worker] = std::move(*vm);
       }
       record(worker, index,
-             finish(index, run_mutant_on(vms[worker]->prepare(),
-                                         mutants[index],
-                                         golden.result.exit_code,
-                                         golden.uart)));
+             finish(global, run_mutant_on(vms[worker]->prepare(),
+                                          mutants[global],
+                                          golden.result.exit_code,
+                                          golden.uart)));
     });
     for (const auto& vm : vms) {
       if (vm != nullptr) score.snapshot_stats += vm->stats();
@@ -372,15 +389,16 @@ Result<MutationScore> MutationCampaign::run() {
   } else {
     // Fresh machine per mutant, still lane-affine so the metric shards have
     // a stable worker index (slot determinism is unchanged).
-    executor.run_affine(mutants.size(), [&](unsigned worker,
-                                            std::size_t index) {
-      if (skip_pruned && decisions[index].pruned) {
-        record(worker, index, synthesize(index));
+    executor.run_affine(count, [&](unsigned worker, std::size_t index) {
+      const std::size_t global = static_cast<std::size_t>(begin) + index;
+      if (skip_pruned && decisions[global].pruned) {
+        record(worker, index, synthesize(global));
         return;
       }
       record(worker, index,
-             finish(index, run_mutant(mutants[index], mutant_config,
-                                      golden.result.exit_code, golden.uart)));
+             finish(global, run_mutant(mutants[global], mutant_config,
+                                       golden.result.exit_code,
+                                       golden.uart)));
     });
   }
 

@@ -69,6 +69,11 @@ struct MutantResult {
 
 struct MutationScore {
   std::vector<MutantResult> results;
+  // Sharded runs: global index of results[0] in the full mutant
+  // enumeration, and the full enumeration's size. Whole-campaign runs have
+  // shard_begin == 0 and total_mutants == results.size().
+  u64 shard_begin = 0;
+  u64 total_mutants = 0;
   u64 verdict_counts[4] = {0, 0, 0, 0};
   u64 pruned_count = 0;  // mutants decided statically (triage)
   // Aggregate snapshot/restore cost over all reused worker machines (zeroed
@@ -127,6 +132,14 @@ struct MutationConfig {
   // (they report kSurvived with zero executed instructions); kVerify runs
   // them anyway and errors on any static/dynamic mismatch.
   dataflow::TriageMode triage = dataflow::TriageMode::kOff;
+  // Shard selection for multi-process fleets (s4e-campaignd): mutants are
+  // still enumerated for the *whole* program (identical ordering for every
+  // shard, max_mutants cap applied first), then only the contiguous index
+  // range [floor(i*M/N), floor((i+1)*M/N)) is executed. The union of all N
+  // shards' results is exactly the serial campaign; shard_count == 1 is
+  // the whole campaign (the default, bit-identical to the pre-shard code).
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
   vp::MachineConfig machine;
 };
 

@@ -379,6 +379,26 @@ TEST(BenchReport, MergePreservesOtherEntries) {
   std::remove(path.c_str());
 }
 
+TEST(BenchReport, MergeIsAtomicAndLeavesNoStagingFile) {
+  // The merge stages into `<path>.tmp.<pid>` and renames over the target;
+  // after a successful merge the staging file must be gone and the target
+  // must parse as one complete object (no truncated hybrid).
+  const std::string path =
+      ::testing::TempDir() + "/obs_bench_atomic_" + std::to_string(getpid()) +
+      ".json";
+  const std::string temp = path + ".tmp." + std::to_string(getpid());
+  EXPECT_TRUE(bench::merge_bench_entry(path, "alpha", "{\"v\": 1}"));
+  EXPECT_TRUE(bench::merge_bench_entry(path, "beta", "{\"v\": 2}"));
+  std::ifstream temp_in(temp);
+  EXPECT_FALSE(temp_in.good()) << "staging file left behind: " << temp;
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content.front(), '{');
+  EXPECT_EQ(content.substr(content.size() - 2), "}\n");
+  std::remove(path.c_str());
+}
+
 TEST(BenchReport, MergeReportsUnwritablePath) {
   // Used to silently produce nothing; must now return false so tools and
   // benches can fail loudly instead of dropping the report entry.

@@ -313,7 +313,7 @@ TEST(ToolTestgen, DumpsSuitesAndElfs) {
 const char* kAllTools[] = {"s4e-as",       "s4e-objdump", "s4e-run",
                            "s4e-wcet",     "s4e-qta",     "s4e-faultsim",
                            "s4e-mutate",   "s4e-cov",     "s4e-lint",
-                           "s4e-testgen"};
+                           "s4e-testgen",  "s4e-campaignd"};
 
 TEST(ToolFlags, UnknownFlagIsRejectedWithSuggestion) {
   auto run = run_command(tool("s4e-run") + " x.elf --max-isns 10");
@@ -368,6 +368,36 @@ TEST(ToolFlags, HelpDocumentsEveryParsedFlag) {
           << name << " --help does not mention " << flag;
     }
   }
+}
+
+TEST(ToolFlags, BrokenStdoutIsReportedNotSilent) {
+  // /dev/full makes every stdout write fail with ENOSPC — a deterministic
+  // stand-in for the closed-pipe (`tool | head`) case. Tools must exit 1
+  // with a diagnostic on stderr instead of pretending the report was
+  // written (or dying to SIGPIPE with no message at all).
+  for (const char* name : kAllTools) {
+    auto result =
+        run_command("sh -c '" + tool(name) + " --help > /dev/full'");
+    EXPECT_EQ(result.exit_code, 1) << name << ": " << result.output;
+    EXPECT_NE(result.output.find("error writing to stdout"),
+              std::string::npos)
+        << name << ": " << result.output;
+  }
+}
+
+TEST(ToolFaultsim, BrokenStdoutAfterCampaignExitsNonZero) {
+  // The full-report path (not just --help) must also surface the write
+  // failure: a fault campaign whose report went nowhere is not a success.
+  const std::string elf_path = temp_path("tools_full.elf");
+  auto assembled =
+      run_command(tool("s4e-as") + " --workload checksum -o " + elf_path);
+  ASSERT_EQ(assembled.exit_code, 0);
+  auto result = run_command("sh -c '" + tool("s4e-faultsim") + " " +
+                            elf_path + " --mutants 5 > /dev/full'");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("error writing to stdout"), std::string::npos)
+      << result.output;
+  std::remove(elf_path.c_str());
 }
 
 TEST(ToolRun, UartInputReachesGuest) {

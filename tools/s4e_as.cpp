@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
       std::printf("%-12s %s\n", workload.name.c_str(),
                   workload.description.c_str());
     }
-    return 0;
+    return tools::finish_stdout("s4e-as");
   }
 
   std::string source;
@@ -85,5 +85,5 @@ int main(int argc, char** argv) {
   }
   std::printf("s4e-as: wrote %s (%zu bytes of sections, entry 0x%08x)\n",
               output.c_str(), program->image_size(), program->entry);
-  return 0;
+  return tools::finish_stdout("s4e-as");
 }

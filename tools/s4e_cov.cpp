@@ -87,5 +87,5 @@ int main(int argc, char** argv) {
                           have_static ? &static_ops : nullptr)
                           .c_str());
   }
-  return failures == 0 ? 0 : 1;
+  return tools::finish_stdout("s4e-cov", failures == 0 ? 0 : 1);
 }

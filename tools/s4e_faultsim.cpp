@@ -4,7 +4,8 @@
 //                [--blind] [--no-gpr] [--no-mem] [--no-code] [--list]
 //                [--progress] [--reuse-machine[=off]] [--triage[=off|verify]]
 //                [--snapshot-stats] [--metrics-out FILE] [--post-mortem]
-//                [--post-mortem-dir DIR]
+//                [--post-mortem-dir DIR] [--shard I/N] [--emit-jsonl]
+//                [--result-port P]
 //
 // --harts N runs every mutant (and the golden reference) on an N-hart SMP
 // machine; GPR faults then target an RNG-chosen hart. Static triage is
@@ -12,15 +13,23 @@
 //
 // Observability flags never change the stdout report: metrics go to FILE,
 // post-mortems go to stderr (or one file per mutant under DIR).
+//
+// Fleet mode (s4e-campaignd workers): --shard I/N simulates only the
+// shard's contiguous slice of the full fault list; --emit-jsonl replaces
+// the human report with the fleet wire stream (stdout, or dialed back to
+// --result-port P over loopback TCP).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_report.hpp"
 #include "dataflow/triage.hpp"
 #include "elf/elf32.hpp"
 #include "fault/fault.hpp"
+#include "fleet/records.hpp"
+#include "fleet/worker.hpp"
 #include "tools/tool_util.hpp"
 
 int main(int argc, char** argv) {
@@ -31,13 +40,15 @@ int main(int argc, char** argv) {
       "[--list] [--progress] [--reuse-machine[=off]] "
       "[--triage[=off|verify]] "
       "[--snapshot-stats] [--metrics-out FILE] [--post-mortem] "
-      "[--post-mortem-dir DIR]\n";
+      "[--post-mortem-dir DIR] [--shard I/N] [--emit-jsonl] "
+      "[--result-port P] [--test-stall-after N]\n";
   tools::Args args(argc, argv,
                    {"--harts", "--mutants", "--seed", "--jobs",
-                    "--metrics-out", "--post-mortem-dir"},
+                    "--metrics-out", "--post-mortem-dir", "--shard",
+                    "--result-port", "--test-stall-after"},
                    {"--blind", "--no-gpr", "--no-mem", "--no-code", "--list",
                     "--progress", "--reuse-machine", "--triage",
-                    "--snapshot-stats", "--post-mortem"});
+                    "--snapshot-stats", "--post-mortem", "--emit-jsonl"});
   if (const int code = tools::standard_flags(args, "s4e-faultsim", kUsage);
       code >= 0) {
     return code;
@@ -98,6 +109,16 @@ int main(int argc, char** argv) {
   config.collect_metrics = args.has("--metrics-out");
   config.post_mortem =
       args.has("--post-mortem") || args.has("--post-mortem-dir");
+  if (args.has("--shard")) {
+    const auto shard = fleet::parse_shard(args.value("--shard"));
+    if (!shard) {
+      std::fprintf(stderr, "s4e-faultsim: --shard expects I/N (got %s)\n",
+                   args.value("--shard").c_str());
+      return 2;
+    }
+    config.shard_index = shard->first;
+    config.shard_count = shard->second;
+  }
 
   fault::Campaign campaign(*program, config);
 
@@ -133,6 +154,45 @@ int main(int argc, char** argv) {
                  result.error().to_string().c_str());
     return 1;
   }
+
+  // Fleet worker mode: stream the shard instead of printing the report.
+  if (args.has("--emit-jsonl")) {
+    auto elf_bytes = fleet::read_file_bytes(args.positional()[0]);
+    if (!elf_bytes.ok()) {
+      std::fprintf(stderr, "s4e-faultsim: %s\n",
+                   elf_bytes.error().to_string().c_str());
+      return 1;
+    }
+    fleet::MetaLine meta;
+    meta.mode = fleet::Mode::kFault;
+    meta.shard = config.shard_index;
+    meta.shards = config.shard_count;
+    meta.begin = result->shard_begin;
+    meta.end = result->shard_begin + result->mutants.size();
+    meta.total = result->total_faults;
+    meta.golden_exit = result->golden_exit_code;
+    meta.golden_instructions = result->golden_instructions;
+    meta.fingerprint = fleet::campaign_fingerprint(
+        *elf_bytes, fleet::Mode::kFault, config.seed, config.mutant_count,
+        0, config.shard_count);
+    std::vector<std::string> lines;
+    lines.reserve(result->mutants.size());
+    for (std::size_t i = 0; i < result->mutants.size(); ++i) {
+      lines.push_back(
+          fleet::encode_record(result->mutants[i], result->shard_begin + i));
+    }
+    fleet::EmitOptions emit;
+    emit.result_port = static_cast<int>(
+        parse_integer(args.value("--result-port", "-1")).value_or(-1));
+    emit.stall_after = static_cast<unsigned>(
+        parse_integer(args.value("--test-stall-after", "0")).value_or(0));
+    if (auto status = fleet::emit_stream(meta, lines, emit); !status.ok()) {
+      std::fprintf(stderr, "s4e-faultsim: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    return tools::finish_stdout("s4e-faultsim");
+  }
+
   std::printf("%s", result->to_string().c_str());
   if (args.has("--snapshot-stats")) {
     // Debug aid on stderr so the stdout report stays byte-identical with
@@ -185,5 +245,5 @@ int main(int argc, char** argv) {
       return 1;  // merge_bench_entry already reported on stderr
     }
   }
-  return 0;
+  return tools::finish_stdout("s4e-faultsim");
 }

@@ -97,5 +97,5 @@ int main(int argc, char** argv) {
   } else if (!args.has("--quiet")) {
     std::printf("%s", report->to_string().c_str());
   }
-  return report->clean() ? 0 : 1;
+  return tools::finish_stdout("s4e-lint", report->clean() ? 0 : 1);
 }

@@ -3,18 +3,27 @@
 //   s4e-mutate file.elf [--max N] [--jobs N] [--all-sites] [--survivors]
 //              [--progress] [--reuse-machine[=off]] [--triage[=off|verify]]
 //              [--snapshot-stats] [--metrics-out FILE] [--post-mortem]
-//              [--post-mortem-dir DIR]
+//              [--post-mortem-dir DIR] [--shard I/N] [--emit-jsonl]
+//              [--result-port P]
 //
 // Observability flags never change the stdout report: metrics go to FILE,
 // post-mortems go to stderr (or one file per mutant under DIR).
+//
+// Fleet mode (s4e-campaignd workers): --shard I/N runs only the shard's
+// contiguous slice of the full mutant enumeration; --emit-jsonl replaces
+// the human report with the fleet wire stream (stdout, or dialed back to
+// --result-port P over loopback TCP).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_report.hpp"
 #include "dataflow/triage.hpp"
 #include "elf/elf32.hpp"
+#include "fleet/records.hpp"
+#include "fleet/worker.hpp"
 #include "mutation/mutation.hpp"
 #include "tools/tool_util.hpp"
 
@@ -25,12 +34,14 @@ int main(int argc, char** argv) {
       "[--all-sites] [--survivors] [--progress] "
       "[--reuse-machine[=off]] [--triage[=off|verify]] [--snapshot-stats] "
       "[--metrics-out FILE] [--post-mortem] "
-      "[--post-mortem-dir DIR]\n";
+      "[--post-mortem-dir DIR] [--shard I/N] [--emit-jsonl] "
+      "[--result-port P] [--test-stall-after N]\n";
   tools::Args args(argc, argv,
-                   {"--max", "--jobs", "--metrics-out", "--post-mortem-dir"},
+                   {"--max", "--jobs", "--metrics-out", "--post-mortem-dir",
+                    "--shard", "--result-port", "--test-stall-after"},
                    {"--all-sites", "--survivors", "--progress",
                     "--reuse-machine", "--triage", "--snapshot-stats",
-                    "--post-mortem"});
+                    "--post-mortem", "--emit-jsonl"});
   if (const int code = tools::standard_flags(args, "s4e-mutate", kUsage);
       code >= 0) {
     return code;
@@ -76,6 +87,16 @@ int main(int argc, char** argv) {
   config.collect_metrics = args.has("--metrics-out");
   config.post_mortem =
       args.has("--post-mortem") || args.has("--post-mortem-dir");
+  if (args.has("--shard")) {
+    const auto shard = fleet::parse_shard(args.value("--shard"));
+    if (!shard) {
+      std::fprintf(stderr, "s4e-mutate: --shard expects I/N (got %s)\n",
+                   args.value("--shard").c_str());
+      return 2;
+    }
+    config.shard_index = shard->first;
+    config.shard_count = shard->second;
+  }
 
   mutation::MutationCampaign campaign(*program, config);
 
@@ -112,6 +133,45 @@ int main(int argc, char** argv) {
                  score.error().to_string().c_str());
     return 1;
   }
+
+  // Fleet worker mode: stream the shard instead of printing the report.
+  if (args.has("--emit-jsonl")) {
+    auto elf_bytes = fleet::read_file_bytes(args.positional()[0]);
+    if (!elf_bytes.ok()) {
+      std::fprintf(stderr, "s4e-mutate: %s\n",
+                   elf_bytes.error().to_string().c_str());
+      return 1;
+    }
+    fleet::MetaLine meta;
+    meta.mode = fleet::Mode::kMutation;
+    meta.shard = config.shard_index;
+    meta.shards = config.shard_count;
+    meta.begin = score->shard_begin;
+    meta.end = score->shard_begin + score->results.size();
+    meta.total = score->total_mutants;
+    meta.golden_exit = 0;
+    meta.golden_instructions = 0;
+    meta.fingerprint = fleet::campaign_fingerprint(
+        *elf_bytes, fleet::Mode::kMutation, 0, 0, config.max_mutants,
+        config.shard_count);
+    std::vector<std::string> lines;
+    lines.reserve(score->results.size());
+    for (std::size_t i = 0; i < score->results.size(); ++i) {
+      lines.push_back(
+          fleet::encode_record(score->results[i], score->shard_begin + i));
+    }
+    fleet::EmitOptions emit;
+    emit.result_port = static_cast<int>(
+        parse_integer(args.value("--result-port", "-1")).value_or(-1));
+    emit.stall_after = static_cast<unsigned>(
+        parse_integer(args.value("--test-stall-after", "0")).value_or(0));
+    if (auto status = fleet::emit_stream(meta, lines, emit); !status.ok()) {
+      std::fprintf(stderr, "s4e-mutate: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    return tools::finish_stdout("s4e-mutate");
+  }
+
   std::printf("%s", score->to_string().c_str());
   if (args.has("--snapshot-stats")) {
     // Debug aid on stderr so the stdout report stays byte-identical with
@@ -164,5 +224,5 @@ int main(int argc, char** argv) {
       return 1;  // merge_bench_entry already reported on stderr
     }
   }
-  return 0;
+  return tools::finish_stdout("s4e-mutate");
 }

@@ -96,5 +96,5 @@ int main(int argc, char** argv) {
     }
     offset += 4;
   }
-  return 0;
+  return tools::finish_stdout("s4e-objdump");
 }

@@ -66,5 +66,5 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.instructions));
   const qta::QtaReport report = plugin.report(result.cycles);
   std::printf("%s", report.to_string().c_str());
-  return report.bound_violated ? 1 : 0;
+  return tools::finish_stdout("s4e-qta", report.bound_violated ? 1 : 0);
 }

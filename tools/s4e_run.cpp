@@ -175,7 +175,8 @@ int main(int argc, char** argv) {
     result = machine.run();
   }
   if (trace_file != nullptr) std::fclose(trace_file);
-  if (killed) return 0;  // debugger issued `k`: not a guest failure
+  // debugger issued `k`: not a guest failure
+  if (killed) return tools::finish_stdout("s4e-run");
 
   if (!machine.uart()->tx_log().empty()) {
     std::printf("--- uart ---\n%s--- end uart ---\n",
@@ -244,8 +245,14 @@ int main(int argc, char** argv) {
   if (args.has("--profile")) {
     std::printf("%s", profiler.report(*program).c_str());
   }
-  if (result.normal_exit()) return result.exit_code & 0xff;
-  if (result.reason == vp::StopReason::kMaxInstructions) return 124;
+  // A broken stdout (closed pipe mid-report) overrides the guest's exit
+  // code: a truncated report must not look like a clean run.
+  if (result.normal_exit()) {
+    return tools::finish_stdout("s4e-run", result.exit_code & 0xff);
+  }
+  if (result.reason == vp::StopReason::kMaxInstructions) {
+    return tools::finish_stdout("s4e-run", 124);
+  }
   std::fprintf(stderr, "s4e-run: abnormal stop: %s (%s)\n",
                std::string(vp::to_string(result.reason)).c_str(),
                result.detail.c_str());

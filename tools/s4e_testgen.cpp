@@ -86,5 +86,5 @@ int main(int argc, char** argv) {
   }
   std::printf("s4e-testgen: wrote %u programs to %s%s\n", written,
               outdir.c_str(), args.has("--elf") ? " (with ELFs)" : "");
-  return 0;
+  return tools::finish_stdout("s4e-testgen");
 }

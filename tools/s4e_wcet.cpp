@@ -68,5 +68,5 @@ int main(int argc, char** argv) {
     }
     std::printf("annotated CFG written to %s\n", path.c_str());
   }
-  return 0;
+  return tools::finish_stdout("s4e-wcet");
 }

@@ -1,7 +1,9 @@
-// Shared helpers for the command-line tools: tiny argv parser and file IO.
+// Shared helpers for the command-line tools: tiny argv parser, file IO and
+// the stdout-pipe discipline every tool follows.
 #pragma once
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -12,6 +14,28 @@
 #include "common/strings.hpp"
 
 namespace s4e::tools {
+
+// A tool whose stdout is a pipe whose reader went away (`s4e-faultsim … |
+// head`) gets SIGPIPE on the next write and dies mid-report with no
+// diagnostic and a signal exit. The standard fix: ignore SIGPIPE so writes
+// fail with EPIPE instead, then check stdio's error state once at exit
+// (finish_stdout below) and leave with a clean message. Installed by
+// standard_flags(), i.e. by every tool.
+inline void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+// Epilogue for every tool's successful main() paths: flush stdout and
+// surface any accumulated write error (EPIPE from a closed pipe, ENOSPC,
+// …) as exit 1 with a diagnostic on stderr. Returns `code` when stdout is
+// healthy. Error paths that already return non-zero don't need it.
+inline int finish_stdout(const char* tool, int code = 0) {
+  const bool flush_failed = std::fflush(stdout) != 0;
+  if (flush_failed || std::ferror(stdout) != 0) {
+    std::fprintf(stderr, "%s: error writing to stdout (closed pipe?)\n",
+                 tool);
+    return 1;
+  }
+  return code;
+}
 
 // "--flag", "--key value", "--key=value" and positional arguments.
 //
@@ -116,6 +140,7 @@ class Args {
 // Returns the exit code to use, or -1 to continue running.
 inline int standard_flags(const Args& args, const char* tool,
                           const char* usage) {
+  ignore_sigpipe();
   if (!args.ok()) {
     std::fprintf(stderr, "%s: %s\n", tool, args.error().c_str());
     return 2;
@@ -124,11 +149,11 @@ inline int standard_flags(const Args& args, const char* tool,
     for (const auto& key : args.known_options()) {
       std::printf("%s\n", key.c_str());
     }
-    return 0;
+    return finish_stdout(tool);
   }
   if (args.has("--help")) {
     std::printf("%s", usage);
-    return 0;
+    return finish_stdout(tool);
   }
   return -1;
 }
