@@ -276,11 +276,13 @@ int main() {
                "\"workers\": %u, "
                "\"thread_mutants_per_s\": %s, "
                "\"fleet_mutants_per_s\": %s, "
-               "\"fleet_vs_thread\": %s}",
+               "\"fleet_vs_thread\": %s, "
+               "\"host_cores\": %u}",
                kFleetMutants, hw,
                bench::json_number(kFleetMutants / thread_seconds).c_str(),
                bench::json_number(kFleetMutants / fleet_seconds).c_str(),
-               bench::json_number(thread_seconds / fleet_seconds).c_str())));
+               bench::json_number(thread_seconds / fleet_seconds).c_str(),
+               std::thread::hardware_concurrency())));
     std::printf("  (recorded in BENCH_campaign.json)\n");
   }
 

@@ -350,11 +350,13 @@ int main(int argc, char** argv) {
                "\"workers\": %u, "
                "\"thread_runs_per_s\": %s, "
                "\"fleet_runs_per_s\": %s, "
-               "\"fleet_vs_thread\": %s}",
+               "\"fleet_vs_thread\": %s, "
+               "\"host_cores\": %u}",
                runs, hw,
                bench::json_number(runs / thread_seconds).c_str(),
                bench::json_number(runs / fleet_seconds).c_str(),
-               bench::json_number(thread_seconds / fleet_seconds).c_str())));
+               bench::json_number(thread_seconds / fleet_seconds).c_str(),
+               std::thread::hardware_concurrency())));
     std::printf("  (recorded in BENCH_campaign.json)\n");
   }
 

@@ -4,21 +4,27 @@
 
 namespace s4e::qta {
 
-QtaPlugin::QtaPlugin(wcet::AnnotatedCfg annotated)
-    : annotated_(std::move(annotated)) {
-  annotated_.reindex();
-  for (const wcet::AnnotatedEdge& edge : annotated_.edges) {
+namespace {
+wcet::AnnotatedCfg reindexed(wcet::AnnotatedCfg cfg) {
+  cfg.reindex();
+  return cfg;
+}
+}  // namespace
+
+PathAccumulator::PathAccumulator(const wcet::AnnotatedCfg& annotated)
+    : annotated_(&annotated) {
+  for (const wcet::AnnotatedEdge& edge : annotated_->edges) {
     edge_penalty_[(u64{edge.source} << 32) | edge.target] = edge.penalty;
   }
 }
 
-void QtaPlugin::on_insn_exec(const s4e_insn_info& insn) {
-  const wcet::AnnotatedBlock* block = annotated_.block_at(insn.address);
+void PathAccumulator::step(u32 pc) {
+  const wcet::AnnotatedBlock* block = annotated_->block_at(pc);
   if (block == nullptr) {
     // Not a block head — either mid-block (normal) or genuinely unannotated
     // code. Only the latter is worth counting: detect it by checking that
     // the address lies inside the block we are currently traversing.
-    if (in_flight_ && insn.address >= prev_block_end_) {
+    if (in_flight_ && pc >= prev_block_end_) {
       // Execution moved past the annotated region (e.g. a trap handler the
       // static analysis never saw).
       ++unknown_blocks_;
@@ -36,13 +42,12 @@ void QtaPlugin::on_insn_exec(const s4e_insn_info& insn) {
   // they are always front-end redirects, matched by the 2x penalty the
   // analyzer folds into each call site's weight.
   if (in_flight_) {
-    auto it = edge_penalty_.find((u64{prev_block_start_} << 32) |
-                                 insn.address);
+    auto it = edge_penalty_.find((u64{prev_block_start_} << 32) | pc);
     if (it != edge_penalty_.end()) {
       wc_path_cycles_ += it->second;
-    } else if (annotated_.penalize_all_transitions ||
-               insn.address != prev_block_end_) {
-      wc_path_cycles_ += annotated_.redirect_penalty;
+    } else if (annotated_->penalize_all_transitions ||
+               pc != prev_block_end_) {
+      wc_path_cycles_ += annotated_->redirect_penalty;
     }
   }
   prev_block_start_ = block->start;
@@ -50,18 +55,18 @@ void QtaPlugin::on_insn_exec(const s4e_insn_info& insn) {
   in_flight_ = true;
 }
 
-QtaReport QtaPlugin::report(u64 observed_cycles) const {
+QtaReport PathAccumulator::report(u64 observed_cycles) const {
   QtaReport report;
   report.observed_cycles = observed_cycles;
   report.wc_path_cycles = wc_path_cycles_;
-  report.static_bound = annotated_.total_wcet;
+  report.static_bound = annotated_->total_wcet;
   report.blocks_entered = blocks_entered_;
   report.unknown_blocks = unknown_blocks_;
-  report.bound_violated = wc_path_cycles_ > annotated_.total_wcet;
+  report.bound_violated = wc_path_cycles_ > annotated_->total_wcet;
   return report;
 }
 
-void QtaPlugin::reset() noexcept {
+void PathAccumulator::reset() noexcept {
   wc_path_cycles_ = 0;
   blocks_entered_ = 0;
   unknown_blocks_ = 0;
@@ -69,6 +74,9 @@ void QtaPlugin::reset() noexcept {
   prev_block_end_ = 0;
   in_flight_ = false;
 }
+
+QtaPlugin::QtaPlugin(wcet::AnnotatedCfg annotated)
+    : annotated_(reindexed(std::move(annotated))), path_(annotated_) {}
 
 std::string QtaReport::to_string() const {
   std::string out;

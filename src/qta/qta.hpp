@@ -10,6 +10,11 @@
 // Three timelines therefore exist for one run, ordered by construction:
 //     observed cycles  <=  WC time of executed path  <=  static WCET bound
 // The E3 experiment checks exactly this chain.
+//
+// The accumulation itself is a pure function of the retired-PC sequence, so
+// it is split out as PathAccumulator: the live co-simulation plugin feeds it
+// from insn_exec callbacks, and the trace replay engine feeds it the
+// identical sequence from a recorded trace — same chain, no VP.
 #pragma once
 
 #include <map>
@@ -44,6 +49,37 @@ struct QtaReport {
   std::string to_string() const;
 };
 
+// Worst-case path-time accumulator over a retired-PC sequence. The annotated
+// CFG must outlive the accumulator and must already be reindex()ed.
+class PathAccumulator {
+ public:
+  explicit PathAccumulator(const wcet::AnnotatedCfg& annotated);
+
+  // Account one retired instruction at `pc`.
+  void step(u32 pc);
+
+  u64 wc_path_cycles() const noexcept { return wc_path_cycles_; }
+  u64 blocks_entered() const noexcept { return blocks_entered_; }
+  u64 unknown_blocks() const noexcept { return unknown_blocks_; }
+
+  QtaReport report(u64 observed_cycles) const;
+
+  void reset() noexcept;
+
+ private:
+  const wcet::AnnotatedCfg* annotated_;
+  // Intra-function edge penalties keyed by (source start << 32 | target
+  // start); transitions not in this map (calls, returns) fall back to the
+  // contiguity rule.
+  std::map<u64, u32> edge_penalty_;
+  u64 wc_path_cycles_ = 0;
+  u64 blocks_entered_ = 0;
+  u64 unknown_blocks_ = 0;
+  u32 prev_block_start_ = 0;
+  u32 prev_block_end_ = 0;
+  bool in_flight_ = false;  // at least one block entered
+};
+
 // The co-simulation plugin. Attach to a VP, run the workload, then collect
 // the report (pass the machine's final cycle count for `observed`).
 class QtaPlugin final : public vp::PluginBase {
@@ -56,30 +92,25 @@ class QtaPlugin final : public vp::PluginBase {
     return subs;
   }
 
-  void on_insn_exec(const s4e_insn_info& insn) override;
+  void on_insn_exec(const s4e_insn_info& insn) override {
+    path_.step(insn.address);
+  }
 
-  u64 wc_path_cycles() const noexcept { return wc_path_cycles_; }
-  u64 blocks_entered() const noexcept { return blocks_entered_; }
-  u64 unknown_blocks() const noexcept { return unknown_blocks_; }
+  u64 wc_path_cycles() const noexcept { return path_.wc_path_cycles(); }
+  u64 blocks_entered() const noexcept { return path_.blocks_entered(); }
+  u64 unknown_blocks() const noexcept { return path_.unknown_blocks(); }
   const wcet::AnnotatedCfg& annotated() const noexcept { return annotated_; }
 
-  QtaReport report(u64 observed_cycles) const;
+  QtaReport report(u64 observed_cycles) const {
+    return path_.report(observed_cycles);
+  }
 
   // Reset path accumulation (for re-running the same machine).
-  void reset() noexcept;
+  void reset() noexcept { path_.reset(); }
 
  private:
   wcet::AnnotatedCfg annotated_;
-  // Intra-function edge penalties keyed by (source start << 32 | target
-  // start); transitions not in this map (calls, returns) fall back to the
-  // contiguity rule.
-  std::map<u64, u32> edge_penalty_;
-  u64 wc_path_cycles_ = 0;
-  u64 blocks_entered_ = 0;
-  u64 unknown_blocks_ = 0;
-  u32 prev_block_start_ = 0;
-  u32 prev_block_end_ = 0;
-  bool in_flight_ = false;  // at least one block entered
+  PathAccumulator path_;
 };
 
 }  // namespace s4e::qta

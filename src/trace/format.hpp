@@ -1,0 +1,366 @@
+// Binary execution-trace format — the capture side of the capture-once /
+// replay-many differential timing engine (Hsu et al.: record one
+// instruction-level trace, evaluate arbitrarily many timing models offline).
+//
+// The format is a delta-encoded event stream, not an instruction log: the
+// reader maintains a PC cursor, plain straight-line instructions are
+// run-length encoded (one tag + varint count for a whole basic block of
+// ALU ops), control transfers carry a zigzag PC delta, and memory accesses a
+// zigzag address delta against the previous access. Everything the timing
+// models of vp/timing.hpp can charge for is preserved exactly:
+//
+//   header   magic "S4ETRACE", version, program fingerprint (FNV-1a, the
+//            fleet scheme), entry PC, and the TimingParams the recording
+//            run used (replaying them must land on the footer's cycle
+//            count — the trace's built-in self check).
+//   events   tag byte + varint payloads, terminated by kEnd:
+//              kBlock        block dispatch at the cursor (== one icache
+//                            probe and one tb_exec callback)
+//              kRun4/kRun2   n plain base-cost instructions (RLE)
+//              kJump/kBranchT/kBranchN*  control transfers (taken bit is
+//                            explicit: a taken branch to the fall-through
+//                            address is indistinguishable from not-taken in
+//                            the bare PC stream, but trains the predictor
+//                            differently)
+//              kLoad*/kStore*/kAmo*      data accesses, RAM vs MMIO
+//              kMul/kDiv/kCsr            latency classes (kDiv carries the
+//                            dividend: the iterative divider's cost is
+//                            operand-dependent)
+//              kTrapInsn/kTrapFetch      synchronous traps with cause and
+//                            handler target
+//              kTaint        a timing-path-sensitive site (cycle CSR read,
+//                            CLINT/GPIO load, interrupt, non-final wfi):
+//                            the executed path could differ under another
+//                            timing configuration, so replay REJECTS the
+//                            whole trace, per site, loudly
+//   footer   magic "S4ETFOOT", stop reason, exit code, instruction/block/
+//            event counts, the recorded-configuration cycle count, and an
+//            FNV-1a checksum of the event bytes. The footer is written
+//            last (after an fsync-able temp file), so a truncated or
+//            crashed recording is detected by its absence, not by UB.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+#include "vp/timing.hpp"
+
+namespace s4e::assembler {
+struct Program;
+}
+
+namespace s4e::trace {
+
+inline constexpr char kTraceMagic[8] = {'S', '4', 'E', 'T',
+                                        'R', 'A', 'C', 'E'};
+inline constexpr char kFooterMagic[8] = {'S', '4', 'E', 'T',
+                                         'F', 'O', 'O', 'T'};
+inline constexpr u32 kTraceVersion = 1;
+
+// Event stream tags. The *4/*2 suffix is the instruction length (the cursor
+// must advance by it); redirecting events carry the target delta instead.
+enum class Tag : u8 {
+  kEnd = 0x00,
+  kBlock = 0x01,       // block dispatched at cursor (icache probe point)
+  kRun4 = 0x02,        // varint n: n plain 4-byte base-cost instructions
+  kRun2 = 0x03,        // varint n: 2-byte forms
+  kJump = 0x04,        // varint zz(target - pc): jal/jalr
+  kBranchT = 0x05,     // varint zz(target - pc): taken conditional branch
+  kBranchN4 = 0x06,    // not-taken conditional branch, 4-byte form
+  kBranchN2 = 0x07,    // not-taken conditional branch, 2-byte form
+  kLoad4 = 0x08,       // RAM load + mem payload
+  kLoad2 = 0x09,
+  kStore4 = 0x0a,      // RAM store + mem payload
+  kStore2 = 0x0b,
+  kLoadMmio4 = 0x0c,   // MMIO load + mem payload
+  kLoadMmio2 = 0x0d,
+  kStoreMmio4 = 0x0e,  // MMIO store + mem payload
+  kStoreMmio2 = 0x0f,
+  kAmoLoad = 0x10,     // lr.w: one read access + mem payload
+  kAmoStore = 0x11,    // sc.w success: one write access + mem payload
+  kAmoRmw = 0x12,      // amo*.w: read-modify-write, one mem payload
+  kAmoFail = 0x13,     // sc.w failure: no memory access modelled
+  kMul4 = 0x14,
+  kMul2 = 0x15,
+  kDiv4 = 0x16,        // varint dividend (rs1 at issue)
+  kDiv2 = 0x17,
+  kCsr4 = 0x18,        // counter-free CSR access
+  kCsr2 = 0x19,
+  kSysExit = 0x1a,     // ecall exit convention (a7 = 93); trace ends
+  kMret = 0x1b,        // varint zz(target - pc)
+  kWfiHalt = 0x1c,     // final wfi (timer interrupts disabled); trace ends
+  kTrapInsn = 0x1d,    // executed instruction ended in a synchronous trap:
+                       //   u8 info (class | kTrapLen4 | kTrapHandled),
+                       //   varint cause, varint zz(handler - pc) if handled
+  kTrapFetch = 0x1e,   // block-head fetch/decode trap, no instruction
+                       //   executed: u8 info, varint cause,
+                       //   varint zz(handler - cursor) if handled
+  kTaint = 0x1f,       // varint kind: timing-path-sensitive site at cursor
+  kBlockAt = 0x20,     // varint zz(pc - cursor): block dispatch resync
+                       //   (only follows taints — e.g. an interrupt moved
+                       //   the PC somewhere the event stream cannot derive)
+  kWfiSleep = 0x21,    // non-final wfi (always preceded by its kTaint:
+                       //   modelled time fast-forwarded, replay refuses)
+  kCount,
+};
+
+// kTrapInsn / kTrapFetch info-byte layout.
+inline constexpr u8 kTrapClassMask = 0x0f;  // isa::OpClass of the insn
+inline constexpr u8 kTrapLen4 = 0x20;       // 4-byte instruction form
+inline constexpr u8 kTrapHandled = 0x40;    // mtvec != 0: handler entered
+
+// Why replay must refuse a trace: the recorded path went through a site
+// whose outcome depends on the timing configuration, so the same program
+// could execute a *different* path under another TimingParams — replaying
+// this trace under it would be fiction, not analysis.
+enum class TaintKind : u8 {
+  kCsrCycleRead = 0,  // rdcycle/mcycle: value is the config's cycle count
+  kCsrTimeRead = 1,   // rdtime: mtime mirrors cycles
+  kCsrMipRead = 2,    // MTIP is a function of cycles vs mtimecmp
+  kClintLoad = 3,     // mtime/mtimecmp/msip MMIO read
+  kGpioLoad = 4,      // GPIO input state is sampled at `now` (cycles)
+  kClintStore = 5,    // arms timer/software interrupts (delivery is
+                      // cycle-dependent)
+  kWfiSleep = 6,      // non-final wfi fast-forwards modelled time
+  kInterrupt = 7,     // asynchronous trap: delivery point is cycle-exact
+  kCursorResync = 8,  // control flow diverged from the event stream
+  kCount,
+};
+
+std::string_view to_string(TaintKind kind) noexcept;
+
+// --- Varint codec (LEB128 + zigzag), shared by writer, reader and tests.
+
+inline void put_varint(std::vector<u8>& out, u64 value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<u8>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<u8>(value));
+}
+
+inline u64 zigzag(i64 value) noexcept {
+  return (static_cast<u64>(value) << 1) ^ static_cast<u64>(value >> 63);
+}
+
+inline i64 unzigzag(u64 value) noexcept {
+  return static_cast<i64>(value >> 1) ^ -static_cast<i64>(value & 1);
+}
+
+// The one decoded-event shape the reader yields. Fields are valid per tag.
+struct Event {
+  Tag tag = Tag::kEnd;
+  u32 pc = 0;        // instruction / block address (cursor at decode time)
+  u32 target = 0;    // redirect target / trap handler entry
+  u32 count = 0;     // kRun*: run length
+  u32 length = 0;    // instruction byte length (0 for non-insn events)
+  u32 dividend = 0;  // kDiv*
+  u32 cause = 0;     // kTrap*
+  u32 mem_addr = 0;  // data access address
+  u8 mem_size = 0;   // data access size (1/2/4)
+  u8 op_class = 0;   // kTrapInsn: isa::OpClass of the trapped instruction
+  bool handled = false;    // kTrap*: handler entered (vs. run stopped)
+  bool mem_store = false;  // data access direction
+  bool mem_mmio = false;   // data access hit a device window
+  TaintKind taint = TaintKind::kCsrCycleRead;
+};
+
+// Trace header: everything replay needs to refuse the wrong workload and to
+// self-check against the recording run.
+struct Header {
+  u32 version = kTraceVersion;
+  u32 flags = 0;
+  u64 fingerprint = 0;  // program fingerprint (see program_fingerprint)
+  u32 entry_pc = 0;
+  vp::TimingParams recorded;  // the recording run's timing configuration
+};
+
+// Trace footer: counted so truncation is detected, checksummed so torn
+// writes are detected.
+struct Footer {
+  u8 stop_reason = 0;        // vp::StopReason of the recording run
+  int exit_code = 0;
+  u64 instructions = 0;      // executed instructions (== replayed count)
+  u64 blocks = 0;            // block dispatches (== icache probes)
+  u64 mem_accesses = 0;      // data access records
+  u64 taints = 0;            // taint sites (replay refuses when != 0)
+  u64 recorded_cycles = 0;   // cycle count under `Header::recorded`
+  u64 stream_checksum = 0;   // FNV-1a over the event-stream bytes
+};
+
+// FNV-1a (the fleet campaign-fingerprint scheme) over a program's loadable
+// identity: section bases + bytes + entry PC. Used to bind a trace to the
+// workload it was recorded from.
+u64 program_fingerprint(const assembler::Program& program);
+
+// FNV-1a over raw bytes (the stream checksum).
+u64 fnv1a(const u8* data, std::size_t size, u64 seed = 0xcbf29ce484222325ull);
+
+// --- Writer -----------------------------------------------------------------
+//
+// Append-only in-memory encoder; save() writes header + stream + footer via
+// a temp file + rename, so a crashed recorder never leaves a
+// well-formed-looking partial trace behind.
+class Writer {
+ public:
+  explicit Writer(const Header& header) : header_(header) {
+    stream_.reserve(1u << 16);
+  }
+
+  const Header& header() const noexcept { return header_; }
+
+  void block() { stream_.push_back(static_cast<u8>(Tag::kBlock)); }
+  void block_at(u32 pc, u32 cursor) {
+    stream_.push_back(static_cast<u8>(Tag::kBlockAt));
+    put_varint(stream_, zigzag(static_cast<i64>(pc) - cursor));
+  }
+  void run(u32 length, u32 count) {
+    stream_.push_back(
+        static_cast<u8>(length == 4 ? Tag::kRun4 : Tag::kRun2));
+    put_varint(stream_, count);
+  }
+  void jump(u32 pc, u32 target) { redirect(Tag::kJump, pc, target); }
+  void branch_taken(u32 pc, u32 target) { redirect(Tag::kBranchT, pc, target); }
+  void branch_not_taken(u32 length) {
+    stream_.push_back(
+        static_cast<u8>(length == 4 ? Tag::kBranchN4 : Tag::kBranchN2));
+  }
+  void mret(u32 pc, u32 target) { redirect(Tag::kMret, pc, target); }
+  void mem(Tag tag, u32 addr, u8 size) {
+    stream_.push_back(static_cast<u8>(tag));
+    mem_payload(addr, size);
+  }
+  void amo_fail() { stream_.push_back(static_cast<u8>(Tag::kAmoFail)); }
+  void mul(u32 length) {
+    stream_.push_back(static_cast<u8>(length == 4 ? Tag::kMul4 : Tag::kMul2));
+  }
+  void div(u32 length, u32 dividend) {
+    stream_.push_back(static_cast<u8>(length == 4 ? Tag::kDiv4 : Tag::kDiv2));
+    put_varint(stream_, dividend);
+  }
+  void csr(u32 length) {
+    stream_.push_back(static_cast<u8>(length == 4 ? Tag::kCsr4 : Tag::kCsr2));
+  }
+  void sys_exit() { stream_.push_back(static_cast<u8>(Tag::kSysExit)); }
+  void wfi_halt() { stream_.push_back(static_cast<u8>(Tag::kWfiHalt)); }
+  void wfi_sleep() { stream_.push_back(static_cast<u8>(Tag::kWfiSleep)); }
+  void trap_insn(u8 op_class, u32 length, bool handled, u32 cause, u32 pc,
+                 u32 handler) {
+    stream_.push_back(static_cast<u8>(Tag::kTrapInsn));
+    stream_.push_back(static_cast<u8>((op_class & kTrapClassMask) |
+                                      (length == 4 ? kTrapLen4 : 0) |
+                                      (handled ? kTrapHandled : 0)));
+    put_varint(stream_, cause);
+    if (handled) put_varint(stream_, zigzag(static_cast<i64>(handler) - pc));
+  }
+  void trap_fetch(bool handled, u32 cause, u32 cursor, u32 handler) {
+    stream_.push_back(static_cast<u8>(Tag::kTrapFetch));
+    stream_.push_back(static_cast<u8>(handled ? kTrapHandled : 0));
+    put_varint(stream_, cause);
+    if (handled) {
+      put_varint(stream_, zigzag(static_cast<i64>(handler) - cursor));
+    }
+  }
+  void taint(TaintKind kind) {
+    stream_.push_back(static_cast<u8>(Tag::kTaint));
+    put_varint(stream_, static_cast<u64>(kind));
+  }
+
+  std::size_t stream_size() const noexcept { return stream_.size(); }
+
+  // Serialize header + stream + kEnd + footer. `footer.stream_checksum` is
+  // computed here; the caller fills the run facts.
+  std::vector<u8> finish(Footer footer);
+
+  // finish() + atomic write (temp + fsync + rename).
+  Status save(const std::string& path, Footer footer);
+
+ private:
+  void redirect(Tag tag, u32 pc, u32 target) {
+    stream_.push_back(static_cast<u8>(tag));
+    put_varint(stream_, zigzag(static_cast<i64>(target) - pc));
+  }
+  void mem_payload(u32 addr, u8 size) {
+    const u32 log2_size = size == 4 ? 2 : (size == 2 ? 1 : 0);
+    put_varint(stream_,
+               (zigzag(static_cast<i64>(addr) - prev_addr_) << 2) | log2_size);
+    prev_addr_ = addr;
+  }
+
+  Header header_;
+  std::vector<u8> stream_;
+  u32 prev_addr_ = 0;
+};
+
+// --- Reader -----------------------------------------------------------------
+
+// One taint occurrence with enough context for a per-site diagnostic.
+struct TaintSite {
+  TaintKind kind = TaintKind::kCsrCycleRead;
+  u32 pc = 0;  // cursor at the taint event
+};
+
+// A fully validated trace: load() refuses bad magic, bad version, missing
+// or torn footers and checksum mismatches with a per-site diagnostic, and
+// pre-walks the stream once so counts are verified against the footer
+// before any replay trusts them.
+class Trace {
+ public:
+  static Result<Trace> load(const std::string& path);
+  static Result<Trace> parse(std::vector<u8> bytes);
+
+  const Header& header() const noexcept { return header_; }
+  const Footer& footer() const noexcept { return footer_; }
+  const std::vector<TaintSite>& taints() const noexcept { return taints_; }
+
+  // Raw event-stream bytes (excluding the kEnd terminator).
+  const u8* stream_data() const noexcept { return bytes_.data() + stream_off_; }
+  std::size_t stream_size() const noexcept { return stream_len_; }
+
+ private:
+  std::vector<u8> bytes_;
+  std::size_t stream_off_ = 0;
+  std::size_t stream_len_ = 0;
+  Header header_;
+  Footer footer_;
+  std::vector<TaintSite> taints_;
+};
+
+// Streaming decoder over a trace's event bytes. Maintains the PC cursor and
+// the mem-address delta state; next() yields one event (kRun* events carry
+// their full count — the caller expands them). Returns false at stream end.
+// Decode errors (unknown tag, varint overrun) are reported via error().
+class Cursor {
+ public:
+  Cursor(const u8* data, std::size_t size, u32 entry_pc)
+      : p_(data), end_(data + size), pc_(entry_pc) {}
+  explicit Cursor(const Trace& trace)
+      : Cursor(trace.stream_data(), trace.stream_size(),
+               trace.header().entry_pc) {}
+
+  bool next(Event& out);
+
+  bool ok() const noexcept { return error_.empty(); }
+  const std::string& error() const noexcept { return error_; }
+  // Byte offset of the *last decoded* event (for diagnostics).
+  std::size_t offset() const noexcept { return event_off_; }
+
+ private:
+  bool get_varint(u64& out);
+  bool fail(const std::string& message) {
+    error_ = message;
+    return false;
+  }
+
+  const u8* p_;
+  const u8* end_;
+  const u8* begin_ = p_;
+  u32 pc_;
+  u32 prev_addr_ = 0;
+  std::size_t event_off_ = 0;
+  std::string error_;
+};
+
+}  // namespace s4e::trace

@@ -1,0 +1,390 @@
+#include "trace/recorder.hpp"
+
+#include "asm/program.hpp"
+#include "isa/csr.hpp"
+#include "isa/opcode.hpp"
+#include "vp/devices/clint.hpp"
+#include "vp/devices/gpio.hpp"
+
+namespace s4e::trace {
+
+using isa::Op;
+using isa::OpClass;
+
+TraceRecorder::Config TraceRecorder::config_for(
+    const vp::MachineConfig& machine, const assembler::Program& program) {
+  Config config;
+  config.fingerprint = program_fingerprint(program);
+  config.entry_pc = program.entry;
+  config.recorded = machine.timing;
+  config.ram_base = machine.ram_base;
+  config.ram_size = machine.ram_size;
+  return config;
+}
+
+namespace {
+
+Header header_for(const TraceRecorder::Config& config) {
+  Header header;
+  header.fingerprint = config.fingerprint;
+  header.entry_pc = config.entry_pc;
+  header.recorded = config.recorded;
+  return header;
+}
+
+// Instruction byte length from the raw encoding: decompressed RVC forms
+// keep their 16-bit parcel in `encoding`, so the standard low-bit rule
+// applies unchanged.
+u32 insn_length(u32 encoding) noexcept {
+  return (encoding & 3) == 3 ? 4 : 2;
+}
+
+bool branch_taken(Op op, u32 rs1, u32 rs2) noexcept {
+  switch (op) {
+    case Op::kBeq: return rs1 == rs2;
+    case Op::kBne: return rs1 != rs2;
+    case Op::kBlt: return static_cast<i32>(rs1) < static_cast<i32>(rs2);
+    case Op::kBge: return static_cast<i32>(rs1) >= static_cast<i32>(rs2);
+    case Op::kBltu: return rs1 < rs2;
+    case Op::kBgeu: return rs1 >= rs2;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(const Config& config)
+    : config_(config), writer_(header_for(config)),
+      cursor_(config.entry_pc) {}
+
+Status TraceRecorder::attach_checked(s4e_vm* vm) {
+  if (s4e_num_harts(vm) > 1) {
+    return Error(ErrorCode::kUnsupported,
+                 "trace recording requires a single-hart machine (an SMP "
+                 "interleaving is not a single PC stream)");
+  }
+  attach(vm);
+  return Status();
+}
+
+void TraceRecorder::flush_run() {
+  if (run_count_ == 0) return;
+  writer_.run(run_length_, run_count_);
+  run_count_ = 0;
+}
+
+void TraceRecorder::plain(u32 length) {
+  if (run_count_ != 0 && run_length_ != length) flush_run();
+  run_length_ = length;
+  ++run_count_;
+  ++instructions_;
+  advance(length);
+}
+
+void TraceRecorder::taint_at(TaintKind kind) {
+  flush_run();
+  writer_.taint(kind);
+  ++taints_;
+}
+
+void TraceRecorder::flush_pending(const vp::RunResult* result) {
+  if (!pending_) return;
+  const Pending pending = *pending_;
+  pending_.reset();
+  flush_run();
+  ++instructions_;
+  switch (static_cast<OpClass>(pending.op_class)) {
+    case OpClass::kLoad:
+    case OpClass::kStore: {
+      // Exactly one access on the non-trap path (a trapped access never
+      // reaches here — on_trap flushed it as kTrapInsn).
+      const MemAccess& access = pending.mem[0];
+      const bool is_store =
+          static_cast<OpClass>(pending.op_class) == OpClass::kStore;
+      Tag tag;
+      if (access.mmio) {
+        tag = is_store ? (pending.length == 4 ? Tag::kStoreMmio4
+                                              : Tag::kStoreMmio2)
+                       : (pending.length == 4 ? Tag::kLoadMmio4
+                                              : Tag::kLoadMmio2);
+      } else {
+        tag = is_store ? (pending.length == 4 ? Tag::kStore4 : Tag::kStore2)
+                       : (pending.length == 4 ? Tag::kLoad4 : Tag::kLoad2);
+      }
+      writer_.mem(tag, access.addr, access.size);
+      ++mem_accesses_;
+      advance(pending.length);
+      break;
+    }
+    case OpClass::kAmo:
+      if (pending.mem_count == 2) {
+        writer_.mem(Tag::kAmoRmw, pending.mem[0].addr, pending.mem[0].size);
+        mem_accesses_ += 2;
+      } else if (pending.mem_count == 1) {
+        writer_.mem(pending.mem[0].store ? Tag::kAmoStore : Tag::kAmoLoad,
+                    pending.mem[0].addr, pending.mem[0].size);
+        ++mem_accesses_;
+      } else {
+        writer_.amo_fail();  // failed sc.w: no access modelled
+      }
+      advance(pending.length);
+      break;
+    case OpClass::kCsr:
+      writer_.csr(pending.length);
+      advance(pending.length);
+      break;
+    case OpClass::kSystem:
+      if (static_cast<Op>(pending.op) == Op::kWfi) {
+        if (result != nullptr &&
+            result->reason == vp::StopReason::kWfiHalt) {
+          writer_.wfi_halt();
+        } else {
+          // The wfi slept (timer armed: modelled time fast-forwarded) and
+          // execution continued — a timing-dependent amount of time passed,
+          // so the trace is only valid for the recording configuration.
+          taint_at(TaintKind::kWfiSleep);
+          writer_.wfi_sleep();
+        }
+      } else {
+        // ecall on the semihosting-exit path (a trapped ecall/ebreak was
+        // flushed by on_trap as kTrapInsn and never reaches here).
+        writer_.sys_exit();
+      }
+      advance(pending.length);
+      break;
+    default:
+      // Unreachable: only the classes above are made pending.
+      advance(pending.length);
+      break;
+  }
+}
+
+void TraceRecorder::on_tb_exec(u32 tb_start) {
+  flush_pending(nullptr);
+  ++blocks_;
+  if (cursor_valid_ && tb_start == cursor_) {
+    flush_run();
+    writer_.block();
+    return;
+  }
+  if (cursor_valid_) {
+    // Control flow arrived somewhere the event stream cannot derive — a
+    // contract violation unless a taint (interrupt) explains it.
+    taint_at(TaintKind::kCursorResync);
+  }
+  flush_run();
+  writer_.block_at(tb_start, cursor_);
+  cursor_ = tb_start;
+  cursor_valid_ = true;
+}
+
+void TraceRecorder::on_insn_exec(const s4e_insn_info& insn) {
+  flush_pending(nullptr);
+  if (cursor_valid_ && insn.address != cursor_) {
+    taint_at(TaintKind::kCursorResync);
+    cursor_ = insn.address;
+  } else if (!cursor_valid_) {
+    // Should be resynced by the enclosing block dispatch; be safe.
+    cursor_ = insn.address;
+    cursor_valid_ = true;
+  }
+  const u32 length = insn_length(insn.encoding);
+  switch (static_cast<OpClass>(insn.op_class)) {
+    case OpClass::kArith:
+    case OpClass::kFence:
+      plain(length);
+      break;
+    case OpClass::kMul:
+      flush_run();
+      writer_.mul(length);
+      ++instructions_;
+      advance(length);
+      break;
+    case OpClass::kDiv: {
+      // The iterative divider's cost depends on the dividend; read it now,
+      // before execution can overwrite rs1 (rd may alias it).
+      const u32 dividend = s4e_read_gpr(vm(), insn.rs1);
+      flush_run();
+      writer_.div(length, dividend);
+      ++instructions_;
+      advance(length);
+      break;
+    }
+    case OpClass::kJump: {
+      u32 target;
+      if (static_cast<Op>(insn.op) == Op::kJalr) {
+        target = (s4e_read_gpr(vm(), insn.rs1) +
+                  static_cast<u32>(insn.imm)) & ~u32{1};
+      } else {
+        target = insn.address + static_cast<u32>(insn.imm);
+      }
+      flush_run();
+      writer_.jump(insn.address, target);
+      ++instructions_;
+      cursor_ = target;
+      break;
+    }
+    case OpClass::kBranch: {
+      const bool taken = branch_taken(static_cast<Op>(insn.op),
+                                      s4e_read_gpr(vm(), insn.rs1),
+                                      s4e_read_gpr(vm(), insn.rs2));
+      flush_run();
+      if (taken) {
+        const u32 target = insn.address + static_cast<u32>(insn.imm);
+        writer_.branch_taken(insn.address, target);
+        cursor_ = target;
+      } else {
+        writer_.branch_not_taken(length);
+        advance(length);
+      }
+      ++instructions_;
+      break;
+    }
+    case OpClass::kCsr: {
+      // Counter CSRs read the very quantity the replay matrix varies; a
+      // program that observes them can branch on them, so the recorded
+      // path is only valid for the recording configuration.
+      const Op op = static_cast<Op>(insn.op);
+      const bool wants_read =
+          !(op == Op::kCsrrw || op == Op::kCsrrwi) || insn.rd != 0;
+      if (wants_read) {
+        switch (insn.csr) {
+          case isa::kCsrCycle:
+          case isa::kCsrCycleh:
+          case isa::kCsrMcycle:
+          case isa::kCsrMcycleh:
+            taint_at(TaintKind::kCsrCycleRead);
+            break;
+          case isa::kCsrTime:
+          case isa::kCsrTimeh:
+            taint_at(TaintKind::kCsrTimeRead);
+            break;
+          case isa::kCsrMip:
+            taint_at(TaintKind::kCsrMipRead);
+            break;
+          default:
+            break;
+        }
+      }
+      pending_ = Pending{insn.address, length, insn.op, insn.op_class, {}, 0};
+      break;
+    }
+    case OpClass::kSystem:
+      if (static_cast<Op>(insn.op) == Op::kMret) {
+        const u32 target = s4e_read_csr(vm(), isa::kCsrMepc);
+        flush_run();
+        writer_.mret(insn.address, target);
+        ++instructions_;
+        cursor_ = target;
+      } else {
+        // ecall / ebreak / wfi: outcome (exit, trap, halt, sleep) arrives
+        // as a later event.
+        pending_ =
+            Pending{insn.address, length, insn.op, insn.op_class, {}, 0};
+      }
+      break;
+    case OpClass::kLoad:
+    case OpClass::kStore:
+    case OpClass::kAmo:
+      pending_ = Pending{insn.address, length, insn.op, insn.op_class, {}, 0};
+      break;
+    case OpClass::kCount:
+      break;
+  }
+}
+
+void TraceRecorder::on_mem(const s4e_mem_event& event) {
+  if (!pending_ || pending_->mem_count >= 2) return;
+  MemAccess access;
+  access.addr = event.vaddr;
+  access.size = event.size;
+  access.store = event.is_store != 0;
+  access.mmio = !(event.vaddr >= config_.ram_base &&
+                  event.vaddr - config_.ram_base <=
+                      config_.ram_size - event.size);
+  if (access.mmio) {
+    // CLINT and GPIO state is a function of modelled time; the UART and the
+    // test finisher are not. CLINT *stores* arm interrupts whose delivery
+    // point is cycle-exact, so they taint too.
+    if (event.vaddr - vp::Clint::kDefaultBase < vp::Clint::kWindowSize) {
+      taint_at(access.store ? TaintKind::kClintStore : TaintKind::kClintLoad);
+    } else if (!access.store &&
+               event.vaddr - vp::Gpio::kDefaultBase < vp::Gpio::kWindowSize) {
+      taint_at(TaintKind::kGpioLoad);
+    }
+  }
+  pending_->mem[pending_->mem_count++] = access;
+}
+
+void TraceRecorder::on_trap(const s4e_trap_event& event) {
+  const bool interrupt = (event.cause & 0x8000'0000u) != 0;
+  const u32 mtvec = s4e_read_csr(vm(), isa::kCsrMtvec);
+  const bool handled = mtvec != 0;
+  const u32 handler = mtvec & ~u32{3};  // sync traps: base, never vectored
+
+  if (!interrupt && pending_ && event.epc == pending_->pc) {
+    // Synchronous trap raised by the pending instruction's handler.
+    const Pending pending = *pending_;
+    pending_.reset();
+    flush_run();
+    writer_.trap_insn(pending.op_class, pending.length, handled, event.cause,
+                      pending.pc, handler);
+    ++instructions_;
+    if (handled) {
+      cursor_ = handler;
+    } else {
+      cursor_valid_ = false;  // run ends here
+    }
+    return;
+  }
+
+  flush_pending(nullptr);
+  if (interrupt) {
+    // Asynchronous: the delivery point is a function of the cycle count, so
+    // the path from here on is configuration-specific.
+    taint_at(TaintKind::kInterrupt);
+    cursor_valid_ = false;  // next block dispatch resyncs via kBlockAt
+    return;
+  }
+  // Standalone synchronous trap: instruction fetch / decode failed at a
+  // block head — no instruction executed, no class cost charged.
+  if (cursor_valid_ && event.epc != cursor_) {
+    taint_at(TaintKind::kCursorResync);
+    cursor_ = event.epc;
+  }
+  flush_run();
+  writer_.trap_fetch(handled, event.cause, cursor_, handler);
+  if (handled) {
+    cursor_ = handler;
+    cursor_valid_ = true;
+  } else {
+    cursor_valid_ = false;
+  }
+}
+
+Footer TraceRecorder::make_footer(const vp::RunResult& result) const {
+  Footer footer;
+  footer.stop_reason = static_cast<u8>(result.reason);
+  footer.exit_code = result.exit_code;
+  footer.instructions = instructions_;
+  footer.blocks = blocks_;
+  footer.mem_accesses = mem_accesses_;
+  footer.taints = taints_;
+  footer.recorded_cycles = result.cycles;
+  return footer;
+}
+
+Status TraceRecorder::finish(const vp::RunResult& result,
+                             const std::string& path) {
+  flush_pending(&result);
+  flush_run();
+  return writer_.save(path, make_footer(result));
+}
+
+std::vector<u8> TraceRecorder::finish_bytes(const vp::RunResult& result) {
+  flush_pending(&result);
+  flush_run();
+  return writer_.finish(make_footer(result));
+}
+
+}  // namespace s4e::trace

@@ -1,0 +1,123 @@
+// Trace recorder — the capture half of capture-once / replay-many.
+//
+// A TraceRecorder is a VP plugin (per-insn + mem + trap + tb_exec
+// subscriptions, so it forces the exec engine's careful loop under the same
+// contract as every other per-instruction tool; memory callbacks do not
+// change modelled cycles, so recording does not perturb the timing it
+// captures). It reconstructs, from the callback stream alone, exactly the
+// information every TimingParams configuration charges for:
+//
+//   - the block-dispatch sequence (icache probes),
+//   - each conditional branch's PC and taken direction (predictor state),
+//   - each instruction's latency class and byte length,
+//   - RAM vs MMIO classification of every data access,
+//   - each divide's dividend (iterative-divider early-out),
+//   - synchronous traps with cause and handler entry.
+//
+// Branches, jumps, jalr and mret are resolved *at issue time* by reading
+// the architectural state the handler itself is about to read (GPRs, mepc),
+// so their targets and taken bits are exact without waiting for the next
+// event. Loads, stores, atomics, CSR ops and the system instructions stay
+// pending until their outcome (memory event, trap, run end) arrives.
+//
+// Timing-path-sensitive sites (cycle/time CSR reads, CLINT/GPIO loads,
+// CLINT stores, interrupts, non-final wfi) are recorded as taint events:
+// the captured path is only valid for the recording configuration, and
+// replay refuses such traces per-site instead of producing fiction.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/format.hpp"
+#include "vp/machine.hpp"
+#include "vp/plugin.hpp"
+
+namespace s4e::trace {
+
+class TraceRecorder final : public vp::PluginBase {
+ public:
+  struct Config {
+    u64 fingerprint = 0;            // program_fingerprint() of the workload
+    u32 entry_pc = 0;
+    vp::TimingParams recorded;      // the recording machine's timing config
+    u32 ram_base = 0x8000'0000;     // RAM window for MMIO classification
+    u32 ram_size = 4u << 20;
+  };
+
+  // The usual wiring: fingerprint + entry from the program, timing + RAM
+  // window from the machine configuration.
+  static Config config_for(const vp::MachineConfig& machine,
+                           const assembler::Program& program);
+
+  explicit TraceRecorder(const Config& config);
+
+  Subscriptions subscriptions() const override {
+    Subscriptions subs;
+    subs.tb_exec = true;
+    subs.insn_exec = true;
+    subs.mem = true;
+    subs.trap = true;
+    return subs;
+  }
+
+  // attach() with the recorder's preconditions checked: single-hart only
+  // (an SMP interleaving is not a single PC stream).
+  Status attach_checked(s4e_vm* vm);
+
+  void on_tb_exec(u32 tb_start) override;
+  void on_insn_exec(const s4e_insn_info& insn) override;
+  void on_mem(const s4e_mem_event& event) override;
+  void on_trap(const s4e_trap_event& event) override;
+
+  // Flush pending state and write the trace (temp + fsync + rename). The
+  // RunResult disambiguates the final instruction (wfi halt vs sleep) and
+  // supplies the footer facts (stop reason, cycles for the self check).
+  Status finish(const vp::RunResult& result, const std::string& path);
+
+  // finish() without the file: serialized trace bytes (tests, benches).
+  std::vector<u8> finish_bytes(const vp::RunResult& result);
+
+  u64 instructions() const noexcept { return instructions_; }
+  u64 blocks() const noexcept { return blocks_; }
+  u64 mem_accesses() const noexcept { return mem_accesses_; }
+  u64 taints() const noexcept { return taints_; }
+  std::size_t stream_size() const noexcept { return writer_.stream_size(); }
+
+ private:
+  struct MemAccess {
+    u32 addr = 0;
+    u8 size = 0;
+    bool store = false;
+    bool mmio = false;
+  };
+  struct Pending {
+    u32 pc = 0;
+    u32 length = 0;
+    u16 op = 0;
+    u8 op_class = 0;
+    MemAccess mem[2];
+    unsigned mem_count = 0;
+  };
+
+  void flush_run();
+  void plain(u32 length);
+  void taint_at(TaintKind kind);
+  void flush_pending(const vp::RunResult* result);
+  void advance(u32 length) { cursor_ += length; }
+
+  Config config_;
+  Writer writer_;
+  std::optional<Pending> pending_;
+  u32 run_length_ = 0;   // RLE state: instruction byte length of the run
+  u32 run_count_ = 0;
+  u32 cursor_ = 0;       // PC of the next expected instruction
+  bool cursor_valid_ = true;
+  u64 instructions_ = 0;
+  u64 blocks_ = 0;
+  u64 mem_accesses_ = 0;
+  u64 taints_ = 0;
+  Footer make_footer(const vp::RunResult& result) const;
+};
+
+}  // namespace s4e::trace

@@ -118,13 +118,8 @@ void Machine::reset(bool clear_ram) {
   estats_ = EngineStats{};
   update_debug_check();
   tb_cache_.flush();
-  if (config_.timing.icache_miss_cycles != 0) {
-    icache_tags_.assign(config_.timing.icache_lines, ~u32{0});
-  } else {
-    icache_tags_.clear();
-  }
-  icache_misses_ = 0;
-  bimodal_.fill(0);
+  icache_.reset(config_.timing);
+  bimodal_.reset();
   bus_.reset_devices();
   if (clear_ram) {
     std::vector<u8> zeros(config_.ram_size, 0);
@@ -171,9 +166,9 @@ void Machine::save_state(Snapshot& snap) {
   snap.hart_icount = hart_icount_;
   snap.icount = icount_;
   snap.cycles = cycles_;
-  snap.icache_misses = icache_misses_;
-  snap.icache_tags = icache_tags_;
-  snap.bimodal = bimodal_;
+  snap.icache_misses = icache_.misses();
+  snap.icache_tags = icache_.tags();
+  snap.bimodal = bimodal_.table();
   bus_.ram_snapshot(snap.ram);
   bus_.save_device_state(snap.device_state);
   snap.valid = true;
@@ -196,9 +191,8 @@ void Machine::restore_state(const Snapshot& snap) {
   cpu_ = snap.cpu;
   icount_ = snap.icount;
   cycles_ = snap.cycles;
-  icache_misses_ = snap.icache_misses;
-  icache_tags_ = snap.icache_tags;
-  bimodal_ = snap.bimodal;
+  icache_.restore(snap.icache_tags, snap.icache_misses);
+  bimodal_.table() = snap.bimodal;
   pending_stop_.reset();
   tb_flush_pending_ = false;
   chain_epoch_recheck_ = false;
@@ -472,15 +466,9 @@ void Machine::check_interrupts() {
 }
 
 void Machine::probe_icache(u32 block_pc) {
-  if (icache_tags_.empty()) return;
+  if (!icache_.enabled()) return;
   const TimingParams& params = timing_.params();
-  const u32 line = block_pc / params.icache_line_bytes;
-  const u32 index = line & (params.icache_lines - 1);
-  if (icache_tags_[index] != line) {
-    icache_tags_[index] = line;
-    cycles_ += params.icache_miss_cycles;
-    ++icache_misses_;
-  }
+  if (icache_.probe(block_pc, params)) cycles_ += params.icache_miss_cycles;
 }
 
 void Machine::fire_mem_cb(u32 vaddr, u32 value, unsigned size, bool is_store) {
@@ -701,14 +689,7 @@ struct ExecOps {
     if constexpr (kPredictor) {
       // Bimodal 2-bit predictor: penalty only on mispredicts (in either
       // direction); the table is indexed by the branch PC.
-      u8& counter = m.bimodal_[(d.pc >> 2) & (m.bimodal_.size() - 1)];
-      const bool predicted_taken = counter >= 2;
-      penalize = predicted_taken != taken;
-      if (taken) {
-        if (counter < 3) ++counter;
-      } else {
-        if (counter > 0) --counter;
-      }
+      penalize = m.bimodal_.mispredict(d.pc, taken);
     }
     m.cycles_ += penalize ? d.c_taken : d.c_fall;
     if constexpr (kMode == 2) {
@@ -1361,7 +1342,7 @@ TranslationBlock* Machine::maybe_form_superblock(TranslationBlock* src,
   // The icache model charges one probe per dispatched block; splicing would
   // skip interior probes and change modelled cycles, so superblocks form
   // only with the icache model off.
-  if (!icache_tags_.empty()) return dst;
+  if (icache_.enabled()) return dst;
   if (src->code.empty() || dst->code.empty()) return dst;
   if (src->code.size() + dst->code.size() > kMaxSuperblockInsns) return dst;
 
@@ -1436,7 +1417,7 @@ void Machine::run_chain(u64 limit) {
 
     ++tb->exec_count;
     ++estats_.blocks_fast;
-    if (!icache_tags_.empty()) probe_icache(tb->start);
+    if (icache_.enabled()) probe_icache(tb->start);
     const BlockExit ex = exec_block_fast(tb);
     if (ex == BlockExit::kStopped || ex == BlockExit::kSide) return;
     if (tb_flush_pending_ || chain_epoch_recheck_) return;

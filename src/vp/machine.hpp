@@ -226,7 +226,7 @@ class Machine {
   CsrFile::CounterView counter_view() const noexcept {
     return CsrFile::CounterView{cycles_, icount_, cycles_, active_hart_};
   }
-  u64 icache_misses() const noexcept { return icache_misses_; }
+  u64 icache_misses() const noexcept { return icache_.misses(); }
   TbCache& tb_cache() noexcept { return tb_cache_; }
   const TbCache& tb_cache() const noexcept { return tb_cache_; }
 
@@ -398,12 +398,11 @@ class Machine {
   bool debug_stop_request_ = false;
   std::unordered_set<u32> breakpoints_;
   std::vector<Watchpoint> watchpoints_;
-  // Instruction-cache model state (see TimingParams): tag per line, ~0 when
-  // invalid. Empty when the model is disabled.
-  std::vector<u32> icache_tags_;
-  u64 icache_misses_ = 0;
-  // Bimodal branch predictor counters (2-bit saturating).
-  std::array<u8, kBimodalEntries> bimodal_{};
+  // Microarchitectural model state machines (shared with trace replay —
+  // see vp/timing.hpp): direct-mapped icache tags and the bimodal branch
+  // predictor table.
+  IcacheSim icache_;
+  BimodalPredictor bimodal_;
   SnapshotStats snap_stats_;
   // Holds the current block when the TB cache is disabled (E1 ablation).
   std::unique_ptr<TranslationBlock> scratch_block_;

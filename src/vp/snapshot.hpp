@@ -22,6 +22,7 @@
 #include "common/bits.hpp"
 #include "common/status.hpp"
 #include "vp/cpu.hpp"
+#include "vp/timing.hpp"  // kBimodalEntries
 
 namespace s4e::vp {
 
@@ -29,10 +30,6 @@ namespace s4e::vp {
 // mutant run touching a few stack/data words restores in a handful of page
 // copies, large enough to keep the bitmap negligible (4 MiB -> 4096 bits).
 inline constexpr u32 kRamPageBytes = 1024;
-
-// Bimodal branch-predictor table entries (shared between Machine and
-// Snapshot so the two can never disagree on the copy size).
-inline constexpr std::size_t kBimodalEntries = 256;
 
 // Little-endian byte-stream writer for device state blobs. Devices append
 // their complete state in save_state() and read it back, in the same order,

@@ -42,6 +42,33 @@ u32 TimingModel::dynamic_cycles(const isa::Instr& instr, bool redirect,
   return cycles;
 }
 
+u32 TimingModel::class_cycles(isa::OpClass op, bool redirect,
+                              bool mmio) const noexcept {
+  u32 cycles = params_.base_cycles;
+  switch (op) {
+    case isa::OpClass::kLoad:
+    case isa::OpClass::kStore:
+    case isa::OpClass::kAmo:
+      cycles += mmio ? params_.mmio_access_cycles : params_.ram_access_cycles;
+      break;
+    case isa::OpClass::kMul:
+      cycles += params_.mul_cycles;
+      break;
+    case isa::OpClass::kDiv:
+      break;  // base only; divide_cycles(dividend) is charged by the caller
+    case isa::OpClass::kCsr:
+      cycles += params_.csr_cycles;
+      break;
+    case isa::OpClass::kSystem:
+      cycles += params_.trap_cycles;
+      break;
+    default:
+      break;
+  }
+  if (redirect) cycles += params_.redirect_penalty;
+  return cycles;
+}
+
 u32 TimingModel::worst_case_cycles(const isa::Instr& instr) const noexcept {
   u32 cycles = params_.base_cycles;
   switch (instr.info().op_class) {

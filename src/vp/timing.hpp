@@ -15,10 +15,17 @@
 // for every instruction and context (asserted in tests over random programs).
 #pragma once
 
+#include <array>
+#include <vector>
+
 #include "common/bits.hpp"
 #include "isa/instr.hpp"
 
 namespace s4e::vp {
+
+// Bimodal branch-predictor table entries (shared between Machine, Snapshot
+// and the trace replay engine so the three can never disagree on the size).
+inline constexpr std::size_t kBimodalEntries = 256;
 
 struct TimingParams {
   u32 base_cycles = 1;        // issue cost of any instruction
@@ -75,8 +82,100 @@ class TimingModel {
   // Dynamic cost of an iterative divide by operand value.
   u32 divide_cycles(u32 dividend) const noexcept;
 
+  // Per-class cost exactly as the exec engine's lowering precomputes it into
+  // DecodedInsn::{c_fall, c_taken, c_mmio}: `redirect` selects the taken
+  // variant, `mmio` the device-access variant. The operand-dependent divide
+  // cost is *excluded* (kDiv lowers to base_cycles and the handler adds
+  // divide_cycles(dividend) at run time) — trace replay adds it back per
+  // recorded dividend. This is the single source of truth both the live
+  // cycle counter and the VP-free replay engine charge from.
+  u32 class_cycles(isa::OpClass op, bool redirect, bool mmio) const noexcept;
+
  private:
   TimingParams params_;
+};
+
+// Direct-mapped instruction-cache state machine, probed once per dispatched
+// translation block. Extracted from Machine so trace replay can run the
+// identical model against a recorded block stream without a VP: same tag
+// layout, same reset state, same miss accounting — bit-identical miss
+// sequences by construction.
+class IcacheSim {
+ public:
+  IcacheSim() = default;
+  explicit IcacheSim(const TimingParams& params) { reset(params); }
+
+  // Sizes (or clears) the tag array for `params`; a zero miss cost disables
+  // the model entirely, matching Machine::reset().
+  void reset(const TimingParams& params) {
+    if (params.icache_miss_cycles != 0) {
+      tags_.assign(params.icache_lines, ~u32{0});
+    } else {
+      tags_.clear();
+    }
+    misses_ = 0;
+  }
+
+  bool enabled() const noexcept { return !tags_.empty(); }
+
+  // Probes the line holding `block_pc`; returns true on a miss (the caller
+  // charges icache_miss_cycles). Must only be called when enabled().
+  bool probe(u32 block_pc, const TimingParams& params) noexcept {
+    const u32 line = block_pc / params.icache_line_bytes;
+    const u32 index = line & (params.icache_lines - 1);
+    if (tags_[index] != line) {
+      tags_[index] = line;
+      ++misses_;
+      return true;
+    }
+    return false;
+  }
+
+  u64 misses() const noexcept { return misses_; }
+
+  // Snapshot plumbing: Machine::save_state/restore_state copy the raw state.
+  const std::vector<u32>& tags() const noexcept { return tags_; }
+  void restore(const std::vector<u32>& tags, u64 misses) {
+    tags_ = tags;
+    misses_ = misses;
+  }
+
+ private:
+  std::vector<u32> tags_;
+  u64 misses_ = 0;
+};
+
+// Bimodal (2-bit saturating counter) branch predictor, indexed by branch PC.
+// Extracted from the exec engine's branch handler for the same reason as
+// IcacheSim: replay feeds it the recorded (pc, taken) stream and gets the
+// identical mispredict sequence the live run charged.
+class BimodalPredictor {
+ public:
+  // Consults and updates the counter for one executed conditional branch;
+  // returns true when the branch mispredicted (the caller charges the
+  // redirect penalty, in either direction).
+  bool mispredict(u32 pc, bool taken) noexcept {
+    u8& counter = table_[(pc >> 2) & (table_.size() - 1)];
+    const bool predicted_taken = counter >= 2;
+    const bool mispredicted = predicted_taken != taken;
+    if (taken) {
+      if (counter < 3) ++counter;
+    } else {
+      if (counter > 0) --counter;
+    }
+    return mispredicted;
+  }
+
+  void reset() noexcept { table_.fill(0); }
+
+  // Snapshot plumbing.
+  std::array<u8, kBimodalEntries>& table() noexcept { return table_; }
+  const std::array<u8, kBimodalEntries>& table() const noexcept {
+    return table_;
+  }
+
+ private:
+  std::array<u8, kBimodalEntries> table_{};
 };
 
 }  // namespace s4e::vp

@@ -24,6 +24,7 @@
 #include "elf/elf32.hpp"
 #include "obs/trace.hpp"
 #include "tools/tool_util.hpp"
+#include "trace/recorder.hpp"
 #include "vp/machine.hpp"
 
 namespace {
@@ -31,7 +32,7 @@ namespace {
 constexpr char kUsage[] =
     "usage: s4e-run <file.elf> [--harts N] [--slice N] [--max-insns N] "
     "[--uart-input S] [--coverage] [--profile] [--stats] [--trace[=FILE]] "
-    "[--trace-limit N] [--gdb[=PORT]]\n";
+    "[--trace-limit N] [--trace-bin FILE] [--gdb[=PORT]]\n";
 
 // Serve one GDB session; the machine is halted at entry. Returns false on a
 // setup error. On return, `result` holds the final machine stop: either the
@@ -84,7 +85,7 @@ int main(int argc, char** argv) {
   using namespace s4e;
   tools::Args args(argc, argv,
                    {"--harts", "--slice", "--max-insns", "--uart-input",
-                    "--trace-limit"},
+                    "--trace-limit", "--trace-bin"},
                    {"--coverage", "--profile", "--stats", "--trace", "--gdb"});
   if (const int code = tools::standard_flags(args, "s4e-run", kUsage);
       code >= 0) {
@@ -167,6 +168,22 @@ int main(int argc, char** argv) {
                           .value_or(0)));
   if (args.has("--trace")) trace.attach(machine.vm_handle());
 
+  // --trace-bin FILE records a binary execution trace for the differential
+  // replay engine (s4e-qta --replay).
+  s4e::trace::TraceRecorder recorder(
+      s4e::trace::TraceRecorder::config_for(config, *program));
+  if (args.has("--trace-bin")) {
+    if (args.value("--trace-bin").empty()) {
+      std::fprintf(stderr, "s4e-run: --trace-bin needs a file path\n");
+      return 2;
+    }
+    if (auto status = recorder.attach_checked(machine.vm_handle());
+        !status.ok()) {
+      std::fprintf(stderr, "s4e-run: %s\n", status.to_string().c_str());
+      return 2;
+    }
+  }
+
   vp::RunResult result;
   bool killed = false;
   if (args.has("--gdb")) {
@@ -175,6 +192,19 @@ int main(int argc, char** argv) {
     result = machine.run();
   }
   if (trace_file != nullptr) std::fclose(trace_file);
+  if (args.has("--trace-bin") && !killed) {
+    const std::string bin_path = args.value("--trace-bin");
+    if (auto status = recorder.finish(result, bin_path); !status.ok()) {
+      std::fprintf(stderr, "s4e-run: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "s4e-run: trace-bin wrote %s (%zu stream bytes, %llu "
+                 "instructions, %llu taints)\n",
+                 bin_path.c_str(), recorder.stream_size(),
+                 static_cast<unsigned long long>(recorder.instructions()),
+                 static_cast<unsigned long long>(recorder.taints()));
+  }
   // debugger issued `k`: not a guest failure
   if (killed) return tools::finish_stdout("s4e-run");
 
